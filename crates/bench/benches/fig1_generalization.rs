@@ -1,0 +1,72 @@
+//! E7 — Figure 1: the generalization tree.
+//!
+//! Micro-benchmarks the lattice operations (join, subsumption, matching,
+//! containment) that every other component leans on, and prints the tree.
+
+use anmat_bench::criterion;
+use anmat_pattern::{contains, Pattern, SymbolClass};
+use criterion::{black_box, Criterion};
+
+fn artifact() {
+    println!("── Figure 1: generalization tree ──");
+    println!("            \\A (all)");
+    println!("  \\LU      \\LL      \\D      \\S");
+    println!(" A..Z     a..z    0..9   symbols");
+    for (a, b) in [
+        (SymbolClass::Literal('a'), SymbolClass::Literal('b')),
+        (SymbolClass::Literal('a'), SymbolClass::Literal('A')),
+        (SymbolClass::Upper, SymbolClass::Digit),
+    ] {
+        println!("  join({a}, {b}) = {}", a.join(&b));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let classes = [
+        SymbolClass::Literal('x'),
+        SymbolClass::Upper,
+        SymbolClass::Lower,
+        SymbolClass::Digit,
+        SymbolClass::Symbol,
+        SymbolClass::Any,
+    ];
+    let mut g = c.benchmark_group("fig1_generalization");
+    g.bench_function("join_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in &classes {
+                for bb in &classes {
+                    acc += black_box(a.join(bb)).depth() as u32;
+                }
+            }
+            acc
+        });
+    });
+    g.bench_function("subsumes_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in &classes {
+                for bb in &classes {
+                    acc += u32::from(black_box(a.subsumes(bb)));
+                }
+            }
+            acc
+        });
+    });
+    let p1: Pattern = "\\LU\\LL*\\ \\A*".parse().unwrap();
+    let p2: Pattern = "John\\ \\A*".parse().unwrap();
+    g.bench_function("pattern_match", |b| {
+        b.iter(|| black_box(&p1).matches(black_box("John Charles")));
+    });
+    g.bench_function("pattern_containment", |b| {
+        b.iter(|| contains(black_box(&p1), black_box(&p2)));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

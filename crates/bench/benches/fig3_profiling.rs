@@ -1,0 +1,40 @@
+//! E9 — Figure 3: the profiling view.
+//!
+//! Prints the `pattern::position, frequency` listing for each synthetic
+//! dataset and measures profiling throughput.
+
+use anmat_bench::criterion;
+use anmat_core::report;
+use anmat_datagen::{names, phone, zipcity};
+use anmat_table::TableProfile;
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let small = phone::generate(&anmat_bench::gen(200, 0xF3));
+    let profile = TableProfile::profile(&small.table);
+    println!("{}", report::profiling_view(&small.table, &profile));
+
+    let mut g = c.benchmark_group("fig3_profiling");
+    for &rows in &[1_000usize, 10_000, 50_000] {
+        let phones = phone::generate(&anmat_bench::gen(rows, 1));
+        let namesd = names::generate(&anmat_bench::gen(rows, 2));
+        let zips = zipcity::generate(&anmat_bench::gen(rows, 3), zipcity::ZipTarget::City);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("phone", rows), &phones, |b, d| {
+            b.iter(|| TableProfile::profile(black_box(&d.table)));
+        });
+        g.bench_with_input(BenchmarkId::new("names", rows), &namesd, |b, d| {
+            b.iter(|| TableProfile::profile(black_box(&d.table)));
+        });
+        g.bench_with_input(BenchmarkId::new("zip", rows), &zips, |b, d| {
+            b.iter(|| TableProfile::profile(black_box(&d.table)));
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

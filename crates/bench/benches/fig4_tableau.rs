@@ -1,0 +1,35 @@
+//! E10 — Figure 4: the discovered-PFD tableau view.
+//!
+//! Prints the confirmation view (tableau + per-tuple frequency + coverage)
+//! and measures the coverage computation and rendering.
+
+use anmat_bench::{criterion, experiment_config};
+use anmat_core::{discover, report};
+use anmat_datagen::phone;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = phone::generate(&anmat_bench::gen(5_000, 0xF4));
+    let cfg = experiment_config();
+    let pfds = discover(&data.table, &cfg);
+    for pfd in &pfds {
+        print!("{}", report::tableau_view(&data.table, pfd));
+    }
+    let Some(pfd) = pfds.first() else {
+        panic!("discovery must yield at least one PFD on the phone dataset");
+    };
+    let mut g = c.benchmark_group("fig4_tableau");
+    g.bench_function("coverage_5k", |b| {
+        b.iter(|| black_box(pfd).coverage(black_box(&data.table)));
+    });
+    g.bench_function("render_view", |b| {
+        b.iter(|| report::tableau_view(black_box(&data.table), black_box(pfd)));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

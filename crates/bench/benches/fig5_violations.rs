@@ -1,0 +1,35 @@
+//! E11 — Figure 5: the violation view (Full Name → Gender, as in the
+//! paper's screenshot).
+//!
+//! Prints violating records with their violated rule and repair, and
+//! measures detection + rendering.
+
+use anmat_bench::{criterion, experiment_config};
+use anmat_core::{detect_all, discover, report, ContextStyle};
+use anmat_datagen::names;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = names::generate(&anmat_bench::gen(5_000, 0xF5));
+    let mut cfg = experiment_config();
+    cfg.context_style = ContextStyle::AnyString;
+    let pfds = discover(&data.table, &cfg);
+    let violations = detect_all(&data.table, &pfds);
+    let sample: Vec<_> = violations.iter().take(5).cloned().collect();
+    print!("{}", report::violations_view(&data.table, &sample));
+
+    let mut g = c.benchmark_group("fig5_violations");
+    g.bench_function("detect_5k", |b| {
+        b.iter(|| detect_all(black_box(&data.table), &pfds));
+    });
+    g.bench_function("render_view", |b| {
+        b.iter(|| report::violations_view(black_box(&data.table), &violations));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,60 @@
+//! E12 — §4 "Parameter Setting": the coverage/violation-ratio trade-off.
+//!
+//! "Using [a] smaller percentage for the coverage will allow to report
+//! more dependencies but it will report more dependencies which are false
+//! positives." This bench sweeps both knobs, prints the PFD count and
+//! detection precision at each setting, and measures one discovery run.
+
+use anmat_bench::{criterion, experiment_config};
+use anmat_core::{detect_all, discover, DiscoveryConfig};
+use anmat_datagen::zipcity;
+use criterion::{black_box, Criterion};
+
+fn artifact() {
+    let data = zipcity::generate(&anmat_bench::gen(5_000, 0x512), zipcity::ZipTarget::City);
+    println!("── §4 parameter sweep (zip/city, 5k rows, 1% errors) ──");
+    println!(
+        "{:>9} {:>10} {:>6} {:>10} {:>7}",
+        "coverage", "viol.ratio", "#PFDs", "precision", "recall"
+    );
+    for &min_coverage in &[0.3, 0.5, 0.7, 0.9] {
+        for &max_violation_ratio in &[0.0, 0.05, 0.15, 0.3] {
+            let cfg = DiscoveryConfig {
+                min_coverage,
+                max_violation_ratio,
+                min_support: 3,
+                ..DiscoveryConfig::default()
+            };
+            let pfds = discover(&data.table, &cfg);
+            let flagged: Vec<usize> = detect_all(&data.table, &pfds)
+                .iter()
+                .map(|v| v.row)
+                .collect();
+            let s = data.score(&flagged);
+            println!(
+                "{:>9.2} {:>10.2} {:>6} {:>10.3} {:>7.3}",
+                min_coverage,
+                max_violation_ratio,
+                pfds.len(),
+                s.precision(),
+                s.recall()
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let data = zipcity::generate(&anmat_bench::gen(5_000, 0x512), zipcity::ZipTarget::City);
+    let cfg = experiment_config();
+    c.benchmark_group("param_sweep")
+        .bench_function("discover_5k_default_knobs", |b| {
+            b.iter(|| discover(black_box(&data.table), &cfg));
+        });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,48 @@
+//! E1 — Table 1 of the paper (D1: a Name table) and λ1/λ2/λ4.
+//!
+//! Regenerates the discovered PFDs on the verbatim 4-row table and on a
+//! scaled synthetic name/gender table; measures discovery + detection.
+
+use anmat_bench::{criterion, experiment_config, paper_table1};
+use anmat_core::{detect_all, discover};
+use anmat_datagen::names;
+use criterion::{black_box, Criterion};
+
+fn artifact() {
+    let table = paper_table1();
+    let mut cfg = experiment_config();
+    cfg.relation = "Name".into();
+    cfg.min_support = 2;
+    cfg.max_violation_ratio = 0.4; // tolerate r4 among 2 Susans
+    let pfds = discover(&table, &cfg);
+    println!("── Table 1 reproduction (paper's 4 rows) ──");
+    for p in &pfds {
+        println!("{p}");
+    }
+    let violations = detect_all(&table, &pfds);
+    println!(
+        "violations: {:?} (expect r4 = row 3 flagged)",
+        violations.iter().map(|v| v.row).collect::<Vec<_>>()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let data = names::generate(&anmat_bench::gen(2000, 0xE1));
+    let cfg = experiment_config();
+    let pfds = discover(&data.table, &cfg);
+    let mut g = c.benchmark_group("table1_name");
+    g.bench_function("discover_2k", |b| {
+        b.iter(|| discover(black_box(&data.table), &cfg));
+    });
+    g.bench_function("detect_2k", |b| {
+        b.iter(|| detect_all(black_box(&data.table), &pfds));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,45 @@
+//! E2 — Table 2 of the paper (D2: a Zip table) and λ3/λ5.
+
+use anmat_bench::{criterion, experiment_config, paper_table2};
+use anmat_core::{detect_all, discover};
+use anmat_datagen::zipcity;
+use criterion::{black_box, Criterion};
+
+fn artifact() {
+    let table = paper_table2();
+    let mut cfg = experiment_config();
+    cfg.relation = "Zip".into();
+    cfg.min_support = 2;
+    cfg.max_violation_ratio = 0.4; // tolerate s4 among the 900xx block
+    let pfds = discover(&table, &cfg);
+    println!("── Table 2 reproduction (paper's 4 rows) ──");
+    for p in &pfds {
+        println!("{p}");
+    }
+    let violations = detect_all(&table, &pfds);
+    println!(
+        "violations: {:?} (expect s4 = row 3 flagged)",
+        violations.iter().map(|v| v.row).collect::<Vec<_>>()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let data = zipcity::generate(&anmat_bench::gen(2000, 0xE2), zipcity::ZipTarget::City);
+    let cfg = experiment_config();
+    let pfds = discover(&data.table, &cfg);
+    let mut g = c.benchmark_group("table2_zip");
+    g.bench_function("discover_2k", |b| {
+        b.iter(|| discover(black_box(&data.table), &cfg));
+    });
+    g.bench_function("detect_2k", |b| {
+        b.iter(|| detect_all(black_box(&data.table), &pfds));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,34 @@
+//! E4 — Table 3, block D2: Full Name → Gender.
+//!
+//! Expect first-name tableaux (`\A*,\ Donald\A* → M` …) and flipped-gender
+//! error rows like `Holloway, Donald E. | F`.
+
+use anmat_bench::{criterion, experiment_config, print_table3_block};
+use anmat_core::{detect_all, discover, ContextStyle};
+use anmat_datagen::names;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = names::generate(&anmat_bench::gen(10_000, 0xD2));
+    // Paper display style for the D2 block: \A* contexts.
+    let mut cfg = experiment_config();
+    cfg.context_style = ContextStyle::AnyString;
+    let pfds = discover(&data.table, &cfg);
+    print_table3_block("D2 Full Name → Gender", &data, &pfds);
+
+    let mut g = c.benchmark_group("table3_name_gender");
+    g.bench_function("discover_10k", |b| {
+        b.iter(|| discover(black_box(&data.table), &cfg));
+    });
+    let pfds2 = pfds.clone();
+    g.bench_function("detect_10k", |b| {
+        b.iter(|| detect_all(black_box(&data.table), &pfds2));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

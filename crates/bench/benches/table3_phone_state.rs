@@ -1,0 +1,31 @@
+//! E3 — Table 3, block D1: Phone Number → State.
+//!
+//! Expect area-code tableaux (`850\D{7} → FL` …) and error rows in the
+//! paper's `8505467600 | CA` format.
+
+use anmat_bench::{criterion, experiment_config, print_table3_block};
+use anmat_core::{detect_all, discover};
+use anmat_datagen::phone;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = phone::generate(&anmat_bench::gen(10_000, 0xD1));
+    let cfg = experiment_config();
+    let pfds = discover(&data.table, &cfg);
+    print_table3_block("D1 Phone Number → State", &data, &pfds);
+
+    let mut g = c.benchmark_group("table3_phone_state");
+    g.bench_function("discover_10k", |b| {
+        b.iter(|| discover(black_box(&data.table), &cfg));
+    });
+    g.bench_function("detect_10k", |b| {
+        b.iter(|| detect_all(black_box(&data.table), &pfds));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

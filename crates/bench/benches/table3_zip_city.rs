@@ -1,0 +1,34 @@
+//! E5 — Table 3, block D5: ZIP → CITY.
+//!
+//! Expect `6060\D → Chicago`-shaped tableaux and the paper's typo errors
+//! (`60601 | Chicag`, `60601 | Chciago`).
+
+use anmat_bench::{criterion, experiment_config, print_table3_block};
+use anmat_core::{detect_all, discover};
+use anmat_datagen::zipcity;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = zipcity::generate(&anmat_bench::gen(10_000, 0xD5), zipcity::ZipTarget::City);
+    let cfg = experiment_config();
+    let pfds: Vec<_> = discover(&data.table, &cfg)
+        .into_iter()
+        .filter(|p| p.lhs_attr == "zip" && p.rhs_attr == "city")
+        .collect();
+    print_table3_block("D5 ZIP → CITY", &data, &pfds);
+
+    let mut g = c.benchmark_group("table3_zip_city");
+    g.bench_function("discover_10k", |b| {
+        b.iter(|| discover(black_box(&data.table), &cfg));
+    });
+    g.bench_function("detect_10k", |b| {
+        b.iter(|| detect_all(black_box(&data.table), &pfds));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

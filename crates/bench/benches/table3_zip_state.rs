@@ -1,0 +1,34 @@
+//! E6 — Table 3, block D5: ZIP → STATE.
+//!
+//! Expect `60\D{3} → IL` / `95\D{3} → CA`-shaped tableaux and the paper's
+//! case-flip (`60603 | lL`) and wrong-constant (`95603 | MI`) errors.
+
+use anmat_bench::{criterion, experiment_config, print_table3_block};
+use anmat_core::{detect_all, discover};
+use anmat_datagen::zipcity;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = zipcity::generate(&anmat_bench::gen(10_000, 0x5A), zipcity::ZipTarget::State);
+    let cfg = experiment_config();
+    let pfds: Vec<_> = discover(&data.table, &cfg)
+        .into_iter()
+        .filter(|p| p.lhs_attr == "zip" && p.rhs_attr == "state")
+        .collect();
+    print_table3_block("D5 ZIP → STATE", &data, &pfds);
+
+    let mut g = c.benchmark_group("table3_zip_state");
+    g.bench_function("discover_10k", |b| {
+        b.iter(|| discover(black_box(&data.table), &cfg));
+    });
+    g.bench_function("detect_10k", |b| {
+        b.iter(|| detect_all(black_box(&data.table), &pfds));
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

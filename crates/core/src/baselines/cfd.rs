@@ -1,0 +1,276 @@
+//! Constant conditional functional dependencies (the CTANE constant
+//! fragment): rules `A = a → B = b` mined with support and confidence
+//! thresholds.
+//!
+//! CFDs condition on *entire* attribute values — the paper's running
+//! example of their limitation: `zip = 90001 → city = Los Angeles` is
+//! mineable, but nothing ties `90004` (seen once, and wrong) to Los
+//! Angeles, whereas the PFD `900\D{2} → Los Angeles` catches it.
+
+use anmat_table::{RowId, Table};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A constant CFD `(A = a → B = b)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstantCfd {
+    /// LHS attribute index.
+    pub lhs: usize,
+    /// LHS constant.
+    pub lhs_value: String,
+    /// RHS attribute index.
+    pub rhs: usize,
+    /// RHS constant.
+    pub rhs_value: String,
+    /// Supporting rows at mining time.
+    pub support: usize,
+}
+
+impl ConstantCfd {
+    /// Render with attribute names.
+    #[must_use]
+    pub fn display(&self, table: &Table) -> String {
+        format!(
+            "[{} = {}] → [{} = {}]",
+            table.schema().name(self.lhs),
+            self.lhs_value,
+            table.schema().name(self.rhs),
+            self.rhs_value
+        )
+    }
+}
+
+impl fmt::Display for ConstantCfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[#{} = {}] → [#{} = {}]",
+            self.lhs, self.lhs_value, self.rhs, self.rhs_value
+        )
+    }
+}
+
+/// A row flagged by a constant CFD.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CfdViolation {
+    /// The violating row.
+    pub row: RowId,
+    /// The rule it violates.
+    pub rule: ConstantCfd,
+    /// The RHS value found.
+    pub found: Option<String>,
+}
+
+/// Configuration for constant-CFD mining.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CfdConfig {
+    /// Minimum rows sharing the LHS constant.
+    pub min_support: usize,
+    /// Minimum fraction of those rows agreeing on the RHS constant.
+    pub min_confidence: f64,
+}
+
+impl Default for CfdConfig {
+    fn default() -> Self {
+        CfdConfig {
+            min_support: 2,
+            min_confidence: 0.9,
+        }
+    }
+}
+
+/// Constant-CFD miner and detector.
+#[derive(Debug)]
+pub struct CfdMiner {
+    config: CfdConfig,
+}
+
+impl CfdMiner {
+    /// Create a miner.
+    #[must_use]
+    pub fn new(config: CfdConfig) -> CfdMiner {
+        CfdMiner { config }
+    }
+
+    /// Mine constant CFDs for every ordered column pair.
+    #[must_use]
+    pub fn discover(&self, table: &Table) -> Vec<ConstantCfd> {
+        let mut out = Vec::new();
+        for lhs in 0..table.column_count() {
+            for rhs in 0..table.column_count() {
+                if lhs != rhs {
+                    out.extend(self.discover_pair(table, lhs, rhs));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mine constant CFDs for one column pair.
+    #[must_use]
+    pub fn discover_pair(&self, table: &Table, lhs: usize, rhs: usize) -> Vec<ConstantCfd> {
+        // value → (rhs value → count)
+        let mut groups: HashMap<&str, HashMap<&str, usize>> = HashMap::new();
+        for (_, a, b) in table.iter_pair(lhs, rhs) {
+            *groups.entry(a).or_default().entry(b).or_insert(0) += 1;
+        }
+        let mut out: Vec<ConstantCfd> = Vec::new();
+        for (a, counts) in groups {
+            let support: usize = counts.values().sum();
+            if support < self.config.min_support {
+                continue;
+            }
+            let Some((&b, &dom)) = counts
+                .iter()
+                .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+            else {
+                continue;
+            };
+            if (dom as f64) < self.config.min_confidence * support as f64 {
+                continue;
+            }
+            out.push(ConstantCfd {
+                lhs,
+                lhs_value: a.to_string(),
+                rhs,
+                rhs_value: b.to_string(),
+                support,
+            });
+        }
+        out.sort_by(|x, y| x.lhs_value.cmp(&y.lhs_value));
+        out
+    }
+
+    /// Flag rows violating a rule.
+    #[must_use]
+    pub fn detect(&self, table: &Table, rule: &ConstantCfd) -> Vec<CfdViolation> {
+        let mut out = Vec::new();
+        for (row, v) in table.iter_column(rule.lhs) {
+            if v.as_str() != Some(rule.lhs_value.as_str()) {
+                continue;
+            }
+            let found = table.cell_str(row, rule.rhs);
+            if found != Some(rule.rhs_value.as_str()) {
+                out.push(CfdViolation {
+                    row,
+                    rule: rule.clone(),
+                    found: found.map(str::to_string),
+                });
+            }
+        }
+        out
+    }
+
+    /// Flag rows violating any of a set of rules (deduplicated by row and
+    /// RHS attribute).
+    #[must_use]
+    pub fn detect_all(&self, table: &Table, rules: &[ConstantCfd]) -> Vec<CfdViolation> {
+        let mut out: Vec<CfdViolation> = rules
+            .iter()
+            .flat_map(|r| self.detect(table, r))
+            .collect();
+        out.sort_by(|a, b| {
+            a.row
+                .cmp(&b.row)
+                .then_with(|| a.rule.rhs.cmp(&b.rule.rhs))
+        });
+        out.dedup_by(|a, b| a.row == b.row && a.rule.rhs == b.rule.rhs);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anmat_table::Schema;
+
+    fn zip_table() -> Table {
+        Table::from_str_rows(
+            Schema::new(["zip", "city"]).unwrap(),
+            [
+                ["90001", "Los Angeles"],
+                ["90001", "Los Angeles"],
+                ["90001", "San Diego"], // error on a frequent zip
+                ["90002", "Los Angeles"],
+                ["90002", "Los Angeles"],
+                ["90004", "New York"], // error on a unique zip
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mines_frequent_constants() {
+        let miner = CfdMiner::new(CfdConfig {
+            min_support: 2,
+            min_confidence: 0.6,
+        });
+        let rules = miner.discover_pair(&zip_table(), 0, 1);
+        assert!(rules
+            .iter()
+            .any(|r| r.lhs_value == "90001" && r.rhs_value == "Los Angeles"));
+        assert!(rules
+            .iter()
+            .any(|r| r.lhs_value == "90002" && r.rhs_value == "Los Angeles"));
+        // 90004 seen once: below support.
+        assert!(!rules.iter().any(|r| r.lhs_value == "90004"));
+    }
+
+    #[test]
+    fn confidence_threshold() {
+        let miner = CfdMiner::new(CfdConfig {
+            min_support: 2,
+            min_confidence: 0.9,
+        });
+        let rules = miner.discover_pair(&zip_table(), 0, 1);
+        // 90001 → LA has confidence 2/3 < 0.9.
+        assert!(!rules.iter().any(|r| r.lhs_value == "90001"));
+        assert!(rules.iter().any(|r| r.lhs_value == "90002"));
+    }
+
+    #[test]
+    fn detects_violations_of_mined_rule() {
+        let miner = CfdMiner::new(CfdConfig {
+            min_support: 2,
+            min_confidence: 0.6,
+        });
+        let t = zip_table();
+        let rules = miner.discover_pair(&t, 0, 1);
+        let violations = miner.detect_all(&t, &rules);
+        // Catches the 90001 error (row 2) but is blind to 90004 (row 5).
+        assert!(violations.iter().any(|v| v.row == 2));
+        assert!(
+            !violations.iter().any(|v| v.row == 5),
+            "CFD cannot catch the unique-zip error — that's the PFD's job"
+        );
+    }
+
+    #[test]
+    fn discover_all_pairs() {
+        let miner = CfdMiner::new(CfdConfig {
+            min_support: 2,
+            min_confidence: 0.6,
+        });
+        let rules = miner.discover(&zip_table());
+        // zip → city rules survive in the all-pairs sweep…
+        assert!(rules.iter().any(|r| r.lhs == 0 && r.rhs == 1));
+        // …and the reverse direction is genuinely attempted: "Los
+        // Angeles" maps to zips 90001/90002 evenly (confidence ½ < 0.6),
+        // so no city → zip rule may appear.
+        assert!(!rules.iter().any(|r| r.lhs == 1 && r.rhs == 0));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = zip_table();
+        let rule = ConstantCfd {
+            lhs: 0,
+            lhs_value: "90001".into(),
+            rhs: 1,
+            rhs_value: "Los Angeles".into(),
+            support: 3,
+        };
+        assert_eq!(rule.display(&t), "[zip = 90001] → [city = Los Angeles]");
+    }
+}

@@ -1,0 +1,207 @@
+//! Applying suggested repairs.
+//!
+//! The paper frames repairs as "if we assume that the LHS value is
+//! correct then the RHS could [be] repaired by changing it to `tp[B]`"
+//! (constant PFDs); for variable PFDs the block majority plays the role
+//! of `tp[B]`. This module turns a violation list into table edits, with
+//! conflict handling (two rules proposing different values for the same
+//! cell leave it untouched — a human decision, as in the demo's
+//! confirmation workflow) and an iterate-to-fixpoint driver for rule sets
+//! whose repairs unlock further detections.
+
+use super::{detect_all, Violation};
+use crate::pfd::Pfd;
+use anmat_table::{RowId, Table, Value};
+use std::collections::HashMap;
+
+/// Outcome of one repair pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Cells changed: `(row, column index, old, new)`.
+    pub applied: Vec<(RowId, usize, Option<String>, String)>,
+    /// Cells with conflicting proposals, left unchanged:
+    /// `(row, column index, proposals)`.
+    pub conflicts: Vec<(RowId, usize, Vec<String>)>,
+    /// Violations that carried no repair suggestion.
+    pub unrepairable: usize,
+}
+
+impl RepairReport {
+    /// Number of cells changed.
+    #[must_use]
+    pub fn applied_count(&self) -> usize {
+        self.applied.len()
+    }
+}
+
+/// Apply the repairs suggested by `violations` to `table`.
+///
+/// Proposals are grouped per cell; a cell is edited only when every
+/// proposal agrees. Returns what was changed and what conflicted.
+pub fn apply_repairs(table: &mut Table, violations: &[Violation]) -> RepairReport {
+    let mut proposals: HashMap<(RowId, usize), Vec<String>> = HashMap::new();
+    let mut unrepairable = 0usize;
+    for v in violations {
+        let Some(repair) = &v.repair else {
+            unrepairable += 1;
+            continue;
+        };
+        let Some(col) = table.schema().index_of(&repair.attr) else {
+            unrepairable += 1;
+            continue;
+        };
+        proposals
+            .entry((repair.row, col))
+            .or_default()
+            .push(repair.to.clone());
+    }
+    let mut applied = Vec::new();
+    let mut conflicts = Vec::new();
+    let mut cells: Vec<((RowId, usize), Vec<String>)> = proposals.into_iter().collect();
+    cells.sort_by_key(|(k, _)| *k);
+    for ((row, col), mut values) in cells {
+        values.sort_unstable();
+        values.dedup();
+        if values.len() == 1 {
+            let old = table.cell_str(row, col).map(str::to_string);
+            let new = values.pop().expect("one value");
+            if old.as_deref() != Some(new.as_str()) {
+                table.set_cell(row, col, Value::text(new.clone()));
+                applied.push((row, col, old, new));
+            }
+        } else {
+            conflicts.push((row, col, values));
+        }
+    }
+    RepairReport {
+        applied,
+        conflicts,
+        unrepairable,
+    }
+}
+
+/// Detect → repair → re-detect until no repair applies (or `max_rounds`).
+///
+/// Returns the per-round reports. The table converges when a round applies
+/// nothing; with majority-vote repairs this terminates quickly in
+/// practice, and `max_rounds` bounds pathological rule interactions.
+pub fn repair_to_fixpoint(
+    table: &mut Table,
+    pfds: &[Pfd],
+    max_rounds: usize,
+) -> Vec<RepairReport> {
+    let mut reports = Vec::new();
+    for _ in 0..max_rounds {
+        let violations = detect_all(table, pfds);
+        let report = apply_repairs(table, &violations);
+        let done = report.applied.is_empty();
+        reports.push(report);
+        if done {
+            break;
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfd::PatternTuple;
+    use anmat_pattern::ConstrainedPattern;
+    use anmat_table::Schema;
+
+    fn lambda3() -> Pfd {
+        Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::constant(
+                ConstrainedPattern::unconstrained("900\\D{2}".parse().unwrap()),
+                "Los Angeles",
+            )],
+        )
+    }
+
+    fn dirty_zip_table() -> Table {
+        Table::from_str_rows(
+            Schema::new(["zip", "city"]).unwrap(),
+            [
+                ["90001", "Los Angeles"],
+                ["90002", "Los Angeles"],
+                ["90003", "Los Angeles"],
+                ["90004", "New York"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repairs_fix_the_paper_error() {
+        let mut t = dirty_zip_table();
+        let violations = super::super::detect_pfd(&t, &lambda3());
+        let report = apply_repairs(&mut t, &violations);
+        assert_eq!(report.applied_count(), 1);
+        assert_eq!(t.cell_str(3, 1), Some("Los Angeles"));
+        // Re-detection is clean.
+        assert!(super::super::detect_pfd(&t, &lambda3()).is_empty());
+    }
+
+    #[test]
+    fn conflicting_proposals_skip_cell() {
+        // Two rules proposing different cities for the same rows.
+        let pfd2 = Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::constant(
+                ConstrainedPattern::unconstrained("9000\\D".parse().unwrap()),
+                "Long Beach",
+            )],
+        );
+        let mut t = dirty_zip_table();
+        let mut violations = super::super::detect_pfd(&t, &lambda3());
+        violations.extend(super::super::detect_pfd(&t, &pfd2));
+        let report = apply_repairs(&mut t, &violations);
+        // Row 3 gets two different proposals → conflict, untouched.
+        assert!(report.conflicts.iter().any(|(row, _, _)| *row == 3));
+        assert_eq!(t.cell_str(3, 1), Some("New York"));
+    }
+
+    #[test]
+    fn fixpoint_converges_and_cleans() {
+        let mut t = dirty_zip_table();
+        let reports = repair_to_fixpoint(&mut t, &[lambda3()], 5);
+        assert!(reports.len() >= 2, "one repairing round + one clean round");
+        assert_eq!(reports.last().unwrap().applied_count(), 0);
+        assert_eq!(t.cell_str(3, 1), Some("Los Angeles"));
+    }
+
+    #[test]
+    fn variable_repairs_use_block_majority() {
+        let pfd = Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::variable(
+                "[\\D{3}]\\D{2}".parse::<ConstrainedPattern>().unwrap(),
+            )],
+        );
+        let mut t = dirty_zip_table();
+        let violations = super::super::detect_pfd(&t, &pfd);
+        let report = apply_repairs(&mut t, &violations);
+        assert_eq!(report.applied_count(), 1);
+        assert_eq!(t.cell_str(3, 1), Some("Los Angeles"));
+    }
+
+    #[test]
+    fn idempotent_on_clean_table() {
+        let mut t = Table::from_str_rows(
+            Schema::new(["zip", "city"]).unwrap(),
+            [["90001", "Los Angeles"], ["90002", "Los Angeles"]],
+        )
+        .unwrap();
+        let reports = repair_to_fixpoint(&mut t, &[lambda3()], 5);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].applied_count(), 0);
+    }
+}

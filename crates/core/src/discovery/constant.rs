@@ -1,0 +1,446 @@
+//! Mining constant PFDs (the case spelled out in Figure 2).
+//!
+//! For a candidate dependency `A → B`, every inverted-list entry — a key
+//! (token, n-gram or prefix of `t[A]`) at a consistent position — is
+//! scored by the decision function: enough supporting rows, and a dominant
+//! full RHS value with confidence at least `1 − allowed-violation-ratio`.
+//! Passing entries become tableau tuples `(context ⧺ key ⧺ context → rhs)`;
+//! tuples are re-validated against the table (induced contexts can widen
+//! the match set), minimized under language containment (keep the most
+//! general pattern per RHS), and the tableau is emitted as a PFD if its
+//! coverage reaches γ.
+
+use super::context::{build_lhs_pattern, KeyContexts};
+use super::DiscoveryConfig;
+use crate::pfd::{PatternTuple, Pfd};
+use anmat_index::{ExtractionMode, InvertedIndex, PatternIndex};
+use anmat_pattern::{contains, ConstrainedPattern, Pattern};
+use anmat_table::{Table, TableProfile};
+use std::collections::HashMap;
+
+/// A validated candidate tuple with bookkeeping for minimization.
+struct Candidate {
+    pattern: Pattern,
+    rhs: String,
+    /// Rows matching the pattern (from validation).
+    support: usize,
+}
+
+/// Mine the constant-PFD tableau for one column pair.
+pub(crate) fn mine_constant(
+    table: &Table,
+    profile: &TableProfile,
+    lhs: usize,
+    rhs: usize,
+    config: &DiscoveryConfig,
+) -> Vec<Pfd> {
+    let lhs_profile = &profile.columns[lhs];
+    let modes: Vec<ExtractionMode> = if lhs_profile.is_single_token() {
+        vec![
+            ExtractionMode::Prefixes(config.prefix_max),
+            ExtractionMode::NGrams(config.ngram_len),
+        ]
+    } else {
+        vec![ExtractionMode::Tokens]
+    };
+
+    let index = PatternIndex::build(table, lhs);
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut seen: HashMap<(String, String), ()> = HashMap::new();
+
+    // Global RHS distribution for the significance test.
+    let mut rhs_global: HashMap<&str, usize> = HashMap::new();
+    let mut pair_rows = 0usize;
+    for (_, _, b) in table.iter_pair(lhs, rhs) {
+        *rhs_global.entry(b).or_insert(0) += 1;
+        pair_rows += 1;
+    }
+
+    for mode in modes {
+        let inv = InvertedIndex::build(table, lhs, rhs, mode, ExtractionMode::Tokens);
+        let considered = inv.considered_rows.max(1);
+        let key_count = inv.key_count();
+        let mut keys: Vec<(&str, usize)> = inv.frequent_keys(config.min_support);
+        keys.truncate(10_000); // cost cap on pathological columns
+        for (key, support) in keys {
+            if support as f64 / considered as f64 > config.max_key_frequency {
+                continue; // stop-word key: determines nothing
+            }
+            for (pos, group_rows) in group_rows_by_pos(&inv, key) {
+                if group_rows.len() < config.min_support {
+                    continue;
+                }
+                // RHS distribution over distinct rows of this (key, pos).
+                let mut rhs_counts: HashMap<&str, usize> = HashMap::new();
+                for &row in &group_rows {
+                    if let Some(v) = table.cell_str(row, rhs) {
+                        *rhs_counts.entry(v).or_insert(0) += 1;
+                    }
+                }
+                let total: usize = rhs_counts.values().sum();
+                let Some((&dominant, &dom_count)) = rhs_counts
+                    .iter()
+                    .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+                else {
+                    continue;
+                };
+                if total < config.min_support
+                    || (dom_count as f64) < config.min_confidence() * total as f64
+                {
+                    continue;
+                }
+                // Significance: with many candidate keys, small groups can
+                // agree on the RHS by chance. Expected false discoveries
+                // for this entry ≈ base_rate^(support−1) · #keys.
+                if pair_rows >= 100 {
+                    let base = rhs_global.get(dominant).copied().unwrap_or(0) as f64
+                        / pair_rows as f64;
+                    let chance = base.powi(dom_count.saturating_sub(1) as i32)
+                        * key_count as f64;
+                    if chance > config.significance {
+                        continue;
+                    }
+                }
+                // Contexts from the agreeing rows only, so injected errors
+                // cannot distort the learned pattern.
+                let mut contexts = KeyContexts::default();
+                for &row in &group_rows {
+                    if table.cell_str(row, rhs) != Some(dominant) {
+                        continue;
+                    }
+                    let Some(value) = table.cell_str(row, lhs) else {
+                        continue;
+                    };
+                    if let Some((before, after)) = split_at_occurrence(value, key, pos, mode)
+                    {
+                        contexts.push(before, after);
+                    }
+                }
+                if contexts.is_empty() {
+                    continue;
+                }
+                let pattern = build_lhs_pattern(key, &contexts, config.context_style);
+                let sig = (pattern.to_string(), dominant.to_string());
+                if seen.contains_key(&sig) {
+                    continue;
+                }
+                // Re-validate against the full table: the induced pattern
+                // may match rows outside the supporting set.
+                if let Some(cand) = validate(table, &index, rhs, pattern, dominant, config) {
+                    seen.insert(sig, ());
+                    candidates.push(cand);
+                }
+            }
+        }
+    }
+
+    let tableau = minimize(candidates, config.max_tableau);
+    if tableau.is_empty() {
+        return Vec::new();
+    }
+    let pfd = Pfd::new(
+        config.relation.clone(),
+        table.schema().name(lhs),
+        table.schema().name(rhs),
+        tableau,
+    );
+    if pfd.coverage(table) >= config.min_coverage {
+        vec![pfd]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Group the distinct rows of a key by the LHS position of the occurrence.
+fn group_rows_by_pos(inv: &InvertedIndex, key: &str) -> Vec<(usize, Vec<usize>)> {
+    let mut by_pos: HashMap<usize, Vec<usize>> = HashMap::new();
+    for p in inv.postings(key) {
+        let rows = by_pos.entry(p.lhs_pos).or_default();
+        if rows.last() != Some(&p.row) {
+            rows.push(p.row);
+        }
+    }
+    let mut out: Vec<(usize, Vec<usize>)> = by_pos.into_iter().collect();
+    out.sort_by_key(|(pos, _)| *pos);
+    out
+}
+
+/// Split `value` into (before, after) around the key occurrence at `pos`.
+///
+/// Positions are token indices for token mode and char offsets otherwise
+/// (matching [`ExtractionMode::extract`]). Returns `None` when the
+/// occurrence cannot be located (value changed shape).
+fn split_at_occurrence<'v>(
+    value: &'v str,
+    key: &str,
+    pos: usize,
+    mode: ExtractionMode,
+) -> Option<(&'v str, &'v str)> {
+    let char_start = match mode {
+        ExtractionMode::Tokens => {
+            let toks = anmat_table::tokenize(value);
+            let tok = toks.iter().find(|t| t.index == pos)?;
+            if tok.text != key {
+                return None;
+            }
+            tok.char_start
+        }
+        ExtractionMode::NGrams(_) | ExtractionMode::Prefixes(_) => pos,
+    };
+    let chars: Vec<(usize, char)> = value.char_indices().collect();
+    let key_chars = key.chars().count();
+    let start_byte = chars.get(char_start).map(|(b, _)| *b)?;
+    let end_byte = match chars.get(char_start + key_chars) {
+        Some((b, _)) => *b,
+        None if char_start + key_chars == chars.len() => value.len(),
+        None => return None,
+    };
+    if &value[start_byte..end_byte] != key {
+        return None;
+    }
+    Some((&value[..start_byte], &value[end_byte..]))
+}
+
+/// Check a candidate pattern against the whole table.
+fn validate(
+    table: &Table,
+    index: &PatternIndex,
+    rhs: usize,
+    pattern: Pattern,
+    dominant: &str,
+    config: &DiscoveryConfig,
+) -> Option<Candidate> {
+    let rows = index.lookup(&pattern);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for &row in &rows {
+        let Some(v) = table.cell_str(row, rhs) else {
+            continue;
+        };
+        total += 1;
+        if v == dominant {
+            agree += 1;
+        }
+    }
+    if total < config.min_support {
+        return None;
+    }
+    if (agree as f64) < config.min_confidence() * total as f64 {
+        return None;
+    }
+    Some(Candidate {
+        pattern,
+        rhs: dominant.to_string(),
+        support: rows.len(),
+    })
+}
+
+/// Keep the most general pattern per RHS value; drop contained duplicates;
+/// cap the tableau size by support.
+fn minimize(mut candidates: Vec<Candidate>, max_tableau: usize) -> Vec<PatternTuple> {
+    // Most general first (lower specificity = more general), then higher
+    // support.
+    candidates.sort_by(|a, b| {
+        a.pattern
+            .specificity()
+            .cmp(&b.pattern.specificity())
+            .then_with(|| b.support.cmp(&a.support))
+            .then_with(|| a.pattern.to_string().cmp(&b.pattern.to_string()))
+    });
+    let mut kept: Vec<Candidate> = Vec::new();
+    'outer: for c in candidates {
+        for k in &kept {
+            if k.rhs == c.rhs && contains(&k.pattern, &c.pattern) {
+                continue 'outer; // already covered by a more general tuple
+            }
+        }
+        kept.push(c);
+    }
+    kept.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.pattern.to_string().cmp(&b.pattern.to_string()))
+    });
+    kept.truncate(max_tableau);
+    kept.into_iter()
+        .map(|c| {
+            PatternTuple::constant(ConstrainedPattern::unconstrained(c.pattern), c.rhs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::ContextStyle;
+    use anmat_table::Schema;
+
+    fn cfg() -> DiscoveryConfig {
+        DiscoveryConfig {
+            min_support: 2,
+            max_violation_ratio: 0.4,
+            min_coverage: 0.5,
+            ..DiscoveryConfig::default()
+        }
+    }
+
+    fn mine(table: &Table, config: &DiscoveryConfig) -> Vec<Pfd> {
+        let profile = TableProfile::profile(table);
+        mine_constant(table, &profile, 0, 1, config)
+    }
+
+    #[test]
+    fn paper_table1_name_gender() {
+        // D1: λ1/λ2 should emerge (John → M, Susan → F) despite r4's error.
+        let t = Table::from_str_rows(
+            Schema::new(["name", "gender"]).unwrap(),
+            [
+                ["John Charles", "M"],
+                ["John Bosco", "M"],
+                ["Susan Orlean", "F"],
+                ["Susan Boyle", "M"], // error tolerated by the ratio
+            ],
+        )
+        .unwrap();
+        let pfds = mine(&t, &cfg());
+        assert_eq!(pfds.len(), 1);
+        let rendered = pfds[0].to_string();
+        assert!(rendered.contains("John"), "{rendered}");
+        assert!(
+            rendered.contains("gender = M"),
+            "John should determine M: {rendered}"
+        );
+    }
+
+    #[test]
+    fn paper_table2_zip_city() {
+        // D2: λ3 (900xx → Los Angeles).
+        let t = Table::from_str_rows(
+            Schema::new(["zip", "city"]).unwrap(),
+            [
+                ["90001", "Los Angeles"],
+                ["90002", "Los Angeles"],
+                ["90003", "Los Angeles"],
+                ["90004", "New York"], // error
+            ],
+        )
+        .unwrap();
+        let pfds = mine(&t, &cfg());
+        assert_eq!(pfds.len(), 1);
+        let pfd = &pfds[0];
+        assert!(pfd.to_string().contains("Los Angeles"), "{pfd}");
+        // The winning pattern should cover all four zips.
+        assert!(pfd.coverage(&t) >= 0.99, "coverage {}", pfd.coverage(&t));
+    }
+
+    #[test]
+    fn context_from_agreeing_rows_only() {
+        // The error row has a different LHS shape; it must not poison the
+        // learned pattern.
+        let t = Table::from_str_rows(
+            Schema::new(["code", "dept"]).unwrap(),
+            [
+                ["F-101", "Finance"],
+                ["F-102", "Finance"],
+                ["F-103", "Finance"],
+                ["F-1x4", "Sales"], // shape-breaking error row
+            ],
+        )
+        .unwrap();
+        let mut c = cfg();
+        c.max_violation_ratio = 0.3;
+        let pfds = mine(&t, &c);
+        assert_eq!(pfds.len(), 1, "{pfds:?}");
+        let s = pfds[0].to_string();
+        assert!(s.contains("Finance"), "{s}");
+    }
+
+    #[test]
+    fn no_pfd_when_rhs_random() {
+        let t = Table::from_str_rows(
+            Schema::new(["a", "b"]).unwrap(),
+            [
+                ["tok x1", "p"],
+                ["tok x2", "q"],
+                ["tok x3", "r"],
+                ["tok x4", "s"],
+            ],
+        )
+        .unwrap();
+        let mut c = cfg();
+        c.max_violation_ratio = 0.1;
+        // "tok" appears everywhere but its RHS confidence is 1/4; the
+        // unique suffix tokens have support 1 < min_support.
+        assert!(mine(&t, &c).is_empty());
+    }
+
+    #[test]
+    fn coverage_gate_blocks_narrow_tableaux() {
+        let t = Table::from_str_rows(
+            Schema::new(["name", "flag"]).unwrap(),
+            [
+                ["aa one", "1"],
+                ["aa two", "1"],
+                ["bb three", "2"],
+                ["cc four", "3"],
+                ["dd five", "4"],
+                ["ee six", "5"],
+            ],
+        )
+        .unwrap();
+        let mut c = cfg();
+        c.min_coverage = 0.9; // "aa ..." covers only 1/3 of rows
+        assert!(mine(&t, &c).is_empty());
+        c.min_coverage = 0.3;
+        assert_eq!(mine(&t, &c).len(), 1);
+    }
+
+    #[test]
+    fn split_at_occurrence_modes() {
+        assert_eq!(
+            split_at_occurrence("Holloway, Donald E.", "Donald", 1, ExtractionMode::Tokens),
+            Some(("Holloway, ", " E."))
+        );
+        assert_eq!(
+            split_at_occurrence("90001", "900", 0, ExtractionMode::Prefixes(3)),
+            Some(("", "01"))
+        );
+        assert_eq!(
+            split_at_occurrence("F-9-107", "9-1", 2, ExtractionMode::NGrams(3)),
+            Some(("F-", "07"))
+        );
+        // Mismatch cases.
+        assert_eq!(
+            split_at_occurrence("ab", "zz", 0, ExtractionMode::Prefixes(2)),
+            None
+        );
+        assert_eq!(
+            split_at_occurrence("one two", "three", 1, ExtractionMode::Tokens),
+            None
+        );
+    }
+
+    #[test]
+    fn anystring_style_produces_paper_shapes() {
+        let t = Table::from_str_rows(
+            Schema::new(["name", "gender"]).unwrap(),
+            [
+                ["Holloway, Donald E.", "M"],
+                ["Kimbell, Donald", "M"],
+                ["Jones, Stacey R.", "F"],
+                ["Smith, Stacey", "F"],
+            ],
+        )
+        .unwrap();
+        let mut c = cfg();
+        c.context_style = ContextStyle::AnyString;
+        c.max_violation_ratio = 0.1;
+        let pfds = mine(&t, &c);
+        assert_eq!(pfds.len(), 1);
+        let s = pfds[0].to_string();
+        assert!(
+            s.contains("\\A*,\\ Donald\\A*") || s.contains("\\A*,\\ Donald"),
+            "expected paper-style pattern, got: {s}"
+        );
+    }
+}

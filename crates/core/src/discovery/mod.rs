@@ -1,0 +1,232 @@
+//! PFD discovery — the algorithm of Figure 2.
+//!
+//! ```text
+//! Algorithm Discover PFDs
+//! Input : a relational table T, a decision function f, a minimum
+//!         coverage threshold γ
+//! Output: a set Ψ of PFDs
+//! 1.  Φ := CandidateDependencies(T)              — profiling + pruning
+//! 2.  Ψ := ∅
+//! 3.  for each FD φ : (A → B) ∈ Φ:
+//! 4.    H := ∅                                   — inverted list
+//! 5–8.  fill H from Tokenize(t[A])|NGrams(t[A]) × Tokenize(t[B])…
+//! 9–12. for each entry h ∈ H: if f(h) add a pattern tuple to Tp
+//! 13–14. if coverage(Tp) ≥ γ: Ψ := Ψ ∪ {ψ}
+//! ```
+//!
+//! The decision function `f` is support/confidence over an entry's RHS
+//! distribution, with the user's *allowed-violation ratio* as the
+//! confidence slack (§4 "Parameter Setting"): an entry becomes a constant
+//! pattern tuple when at least `min_support` rows contain the key at a
+//! consistent position and at least `1 − max_violation_ratio` of them
+//! agree on the RHS value.
+//!
+//! Beyond the paper's pseudo-code (which only shows the constant case),
+//! [`variable`] mines variable PFDs — λ4/λ5-style rules with a wildcard
+//! RHS — by generating candidate constrained patterns from the column's
+//! dominant signatures and validating them with lossless blocking.
+
+pub mod constant;
+pub mod context;
+pub mod variable;
+
+use crate::pfd::{Pfd, PfdKind};
+use anmat_table::{Table, TableProfile};
+use serde::{Deserialize, Serialize};
+
+/// How the free context around a discovered key is rendered in the LHS
+/// pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContextStyle {
+    /// Induce the context pattern from the supporting values and loosen
+    /// repetition counts (`Holloway, ` ⊔ `Kimbell, ` → `\LU\LL+,\ `).
+    /// More specific than the paper's display, never wrong on the data.
+    Induced,
+    /// Render free context as `\A*` while preserving the separator
+    /// characters adjacent to the key (`\A*,\ Donald\A*`) — the display
+    /// style of the paper's Table 3.
+    AnyString,
+}
+
+/// User-facing knobs of the discovery algorithm.
+///
+/// The two parameters the demo exposes (§4) are [`min_coverage`] and
+/// [`max_violation_ratio`]; the rest have sensible defaults and control
+/// the extraction modes and cost caps.
+///
+/// [`min_coverage`]: DiscoveryConfig::min_coverage
+/// [`max_violation_ratio`]: DiscoveryConfig::max_violation_ratio
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Relation name stamped on discovered PFDs.
+    pub relation: String,
+    /// Minimum coverage γ: the ratio of LHS rows that must match at least
+    /// one tableau pattern for the PFD to be reported.
+    pub min_coverage: f64,
+    /// Allowed-violation ratio: an entry/candidate may disagree with its
+    /// dominant RHS on at most this fraction of supporting rows (the
+    /// disagreements are exactly what detection later reports as errors).
+    pub max_violation_ratio: f64,
+    /// Minimum number of rows supporting an inverted-list entry before it
+    /// can become a pattern tuple.
+    pub min_support: usize,
+    /// n for the n-gram extraction mode.
+    pub ngram_len: usize,
+    /// Maximum prefix length for the prefix extraction mode.
+    pub prefix_max: usize,
+    /// Cap on tableau size per PFD (most-supported tuples win).
+    pub max_tableau: usize,
+    /// Context rendering style for constant-tuple LHS patterns.
+    pub context_style: ContextStyle,
+    /// Mine constant PFDs?
+    pub mine_constant: bool,
+    /// Mine variable PFDs?
+    pub mine_variable: bool,
+    /// Spread candidate pairs across threads (crossbeam scope).
+    pub parallel: bool,
+    /// Skip keys occurring in more than this fraction of rows. Off (1.0)
+    /// by default: a ubiquitous *prefix* is precisely what a rule like
+    /// `900\D{2} → Los Angeles` needs on a single-city extract, and the
+    /// confidence gate already rejects keys that determine nothing. Lower
+    /// it to prune stop-word tokens in free-text columns.
+    pub max_key_frequency: f64,
+    /// Significance level α for accepting a constant entry. With
+    /// thousands of candidate n-gram keys, a handful of rows agreeing on
+    /// the RHS *by chance* passes the confidence gate; an entry is kept
+    /// only if `base_rate^(support−1) · #keys ≤ α`, where `base_rate` is
+    /// the dominant RHS value's global frequency. Only applied to pairs
+    /// with at least 100 considered rows — on demo-sized tables the
+    /// statistic is meaningless and every confident entry is kept. Set to
+    /// 1.0 to disable entirely.
+    pub significance: f64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            relation: "T".into(),
+            min_coverage: 0.6,
+            max_violation_ratio: 0.3,
+            min_support: 2,
+            ngram_len: 3,
+            prefix_max: 4,
+            max_tableau: 64,
+            context_style: ContextStyle::Induced,
+            mine_constant: true,
+            mine_variable: true,
+            parallel: false,
+            max_key_frequency: 1.0,
+            significance: 0.05,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// The minimum confidence an entry's dominant RHS must reach:
+    /// `1 − max_violation_ratio`.
+    #[must_use]
+    pub fn min_confidence(&self) -> f64 {
+        1.0 - self.max_violation_ratio
+    }
+}
+
+/// Discover PFDs over every candidate column pair of `table`.
+///
+/// Implements the outer loop of Figure 2. Results are sorted by
+/// `(lhs attribute, rhs attribute, kind)` for determinism.
+#[must_use]
+pub fn discover(table: &Table, config: &DiscoveryConfig) -> Vec<Pfd> {
+    let profile = TableProfile::profile(table);
+    let pairs = profile.candidate_pairs();
+    let mut out: Vec<Pfd> = if config.parallel && pairs.len() > 1 {
+        discover_parallel(table, &profile, &pairs, config)
+    } else {
+        pairs
+            .iter()
+            .flat_map(|&(a, b)| discover_pair_profiled(table, &profile, a, b, config))
+            .collect()
+    };
+    sort_pfds(&mut out);
+    out
+}
+
+/// Discover PFDs for one column pair (both directions are *not* implied;
+/// call twice to mine both).
+#[must_use]
+pub fn discover_pair(
+    table: &Table,
+    lhs: usize,
+    rhs: usize,
+    config: &DiscoveryConfig,
+) -> Vec<Pfd> {
+    let profile = TableProfile::profile(table);
+    let mut out = discover_pair_profiled(table, &profile, lhs, rhs, config);
+    sort_pfds(&mut out);
+    out
+}
+
+fn discover_pair_profiled(
+    table: &Table,
+    profile: &TableProfile,
+    lhs: usize,
+    rhs: usize,
+    config: &DiscoveryConfig,
+) -> Vec<Pfd> {
+    let mut out = Vec::new();
+    if config.mine_constant {
+        out.extend(constant::mine_constant(table, profile, lhs, rhs, config));
+    }
+    if config.mine_variable {
+        out.extend(variable::mine_variable(table, profile, lhs, rhs, config));
+    }
+    out
+}
+
+fn discover_parallel(
+    table: &Table,
+    profile: &TableProfile,
+    pairs: &[(usize, usize)],
+    config: &DiscoveryConfig,
+) -> Vec<Pfd> {
+    let n_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(pairs.len());
+    let chunks: Vec<&[(usize, usize)]> = pairs.chunks(pairs.len().div_ceil(n_threads)).collect();
+    let mut results: Vec<Vec<Pfd>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .flat_map(|&(a, b)| {
+                            discover_pair_profiled(table, profile, a, b, config)
+                        })
+                        .collect::<Vec<Pfd>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("discovery worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+fn sort_pfds(pfds: &mut [Pfd]) {
+    pfds.sort_by(|a, b| {
+        (&a.lhs_attr, &a.rhs_attr, kind_rank(a.kind()))
+            .cmp(&(&b.lhs_attr, &b.rhs_attr, kind_rank(b.kind())))
+    });
+}
+
+fn kind_rank(k: PfdKind) -> u8 {
+    match k {
+        PfdKind::Constant => 0,
+        PfdKind::Variable => 1,
+        PfdKind::Mixed => 2,
+    }
+}

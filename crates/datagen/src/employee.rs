@@ -1,0 +1,112 @@
+//! Employee IDs — the §1 motivating example.
+//!
+//! "In an employee table, ID `F-9-107`: `F` determines the financial
+//! department, and `9` determines one's grade." IDs are
+//! `<dept letter>-<grade digit>-<serial>`; the table carries the
+//! department and grade columns those ID fragments determine. Exercises
+//! the n-gram path (single-token code column) with a *mid-string*
+//! determinant — the grade digit at character 2.
+
+use crate::{Dataset, ErrorInjector, GenConfig};
+use anmat_table::{Schema, Table, Value};
+use rand::Rng;
+
+/// Department letter → name.
+pub const DEPARTMENTS: &[(char, &str)] = &[
+    ('F', "Finance"),
+    ('E', "Engineering"),
+    ('S', "Sales"),
+    ('H', "HR"),
+    ('M', "Marketing"),
+];
+
+/// Generate the employee-ID dataset. Errors corrupt the department column.
+#[must_use]
+pub fn generate(config: &GenConfig) -> Dataset {
+    let mut rng = config.rng();
+    let schema = Schema::new(["emp_id", "department", "grade"]).expect("static names");
+    let mut table = Table::empty(schema);
+    for _ in 0..config.rows {
+        let (letter, dept) = DEPARTMENTS[rng.random_range(0..DEPARTMENTS.len())];
+        let grade = rng.random_range(1..=9u32);
+        let serial: u32 = rng.random_range(100..1000);
+        table
+            .push_row(vec![
+                Value::text(format!("{letter}-{grade}-{serial}")),
+                Value::text(dept),
+                Value::text(format!("G{grade}")),
+            ])
+            .expect("arity 3");
+    }
+    let injector = ErrorInjector::wrong_value_only(
+        DEPARTMENTS.iter().map(|(_, d)| (*d).to_string()).collect(),
+    );
+    let errors = injector.corrupt(&mut table, 1, config.error_count(), &mut rng);
+    Dataset { table, errors }
+}
+
+/// The clean department for an ID per the generator mapping.
+#[must_use]
+pub fn department_of(id: &str) -> Option<&'static str> {
+    let first = id.chars().next()?;
+    DEPARTMENTS
+        .iter()
+        .find(|(l, _)| *l == first)
+        .map(|(_, d)| *d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_shape() {
+        let d = generate(&GenConfig {
+            rows: 100,
+            ..GenConfig::default()
+        });
+        for (_, v) in d.table.iter_column(0) {
+            let s = v.as_str().unwrap();
+            let parts: Vec<&str> = s.split('-').collect();
+            assert_eq!(parts.len(), 3, "{s}");
+            assert_eq!(parts[0].len(), 1);
+            assert_eq!(parts[1].len(), 1);
+            assert_eq!(parts[2].len(), 3);
+        }
+    }
+
+    #[test]
+    fn prefix_determines_department_on_clean_rows() {
+        let d = generate(&GenConfig {
+            rows: 300,
+            seed: 23,
+            error_rate: 0.02,
+        });
+        let bad = d.error_rows();
+        for row in 0..d.table.row_count() {
+            if bad.contains(&row) {
+                continue;
+            }
+            let id = d.table.cell_str(row, 0).unwrap();
+            assert_eq!(
+                d.table.cell_str(row, 1),
+                Some(department_of(id).unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn grade_digit_matches_grade_column() {
+        let d = generate(&GenConfig {
+            rows: 100,
+            seed: 29,
+            error_rate: 0.0,
+        });
+        for row in 0..d.table.row_count() {
+            let id = d.table.cell_str(row, 0).unwrap();
+            let digit = id.chars().nth(2).unwrap();
+            let grade = d.table.cell_str(row, 2).unwrap();
+            assert_eq!(grade, format!("G{digit}"));
+        }
+    }
+}

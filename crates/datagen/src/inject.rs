@@ -1,0 +1,302 @@
+//! The shared error injector.
+//!
+//! Reproduces the corruption types visible in the paper's Table 3:
+//! truncation (`Chicago` → `Chicag`, → `C`), transposition (`Chciago`),
+//! case errors (`IL` → `lL`), and wrong constants (`FL` → `CA`,
+//! `M` → `F`). Corruption targets and kinds are drawn from a seeded RNG;
+//! every change is recorded with its original value as ground truth.
+
+use anmat_table::{RowId, Table, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The corruption applied to one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Replace with a different value from the column's domain pool.
+    WrongValue,
+    /// Drop trailing characters (`Chicago` → `Chicag`).
+    Truncate,
+    /// Swap two adjacent characters (`Chicago` → `Chciago`).
+    Transpose,
+    /// Flip the case of one letter (`IL` → `lL`).
+    CaseFlip,
+    /// Blank the cell (disguised missing value).
+    Null,
+}
+
+/// One recorded corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedError {
+    /// Corrupted row.
+    pub row: RowId,
+    /// Corrupted column index.
+    pub col: usize,
+    /// The clean value before corruption.
+    pub original: String,
+    /// The value written.
+    pub corrupted: Option<String>,
+    /// What was done.
+    pub kind: CorruptionKind,
+}
+
+/// Applies corruptions to a table column.
+#[derive(Debug)]
+pub struct ErrorInjector {
+    /// Corruption kinds to draw from (uniformly).
+    pub kinds: Vec<CorruptionKind>,
+    /// Replacement pool for [`CorruptionKind::WrongValue`].
+    pub pool: Vec<String>,
+}
+
+impl ErrorInjector {
+    /// An injector drawing from all corruption kinds.
+    #[must_use]
+    pub fn all_kinds(pool: Vec<String>) -> ErrorInjector {
+        ErrorInjector {
+            kinds: vec![
+                CorruptionKind::WrongValue,
+                CorruptionKind::Truncate,
+                CorruptionKind::Transpose,
+                CorruptionKind::CaseFlip,
+            ],
+            pool,
+        }
+    }
+
+    /// An injector that only swaps in wrong domain values.
+    #[must_use]
+    pub fn wrong_value_only(pool: Vec<String>) -> ErrorInjector {
+        ErrorInjector {
+            kinds: vec![CorruptionKind::WrongValue],
+            pool,
+        }
+    }
+
+    /// Corrupt `count` distinct rows of column `col`, returning ground
+    /// truth. Rows with null cells are skipped.
+    pub fn corrupt(
+        &self,
+        table: &mut Table,
+        col: usize,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<InjectedError> {
+        let n = table.row_count();
+        if n == 0 || count == 0 || self.kinds.is_empty() {
+            return Vec::new();
+        }
+        let mut targets: Vec<RowId> = Vec::with_capacity(count);
+        let mut used = std::collections::HashSet::new();
+        let mut attempts = 0;
+        while targets.len() < count && attempts < count * 20 + 100 {
+            attempts += 1;
+            let row = rng.random_range(0..n);
+            if used.contains(&row) || table.cell(row, col).is_null() {
+                continue;
+            }
+            used.insert(row);
+            targets.push(row);
+        }
+        let mut out = Vec::with_capacity(targets.len());
+        for row in targets {
+            let original = table
+                .cell_str(row, col)
+                .expect("nulls filtered above")
+                .to_string();
+            let kind = self.kinds[rng.random_range(0..self.kinds.len())];
+            let corrupted = self.apply(&original, kind, rng);
+            // A corruption that happens to reproduce the original (e.g. a
+            // transpose of equal chars) is retried as WrongValue, and
+            // skipped entirely if even that cannot differ.
+            let corrupted = match corrupted {
+                Some(c) if c == original => self
+                    .apply(&original, CorruptionKind::WrongValue, rng)
+                    .filter(|c| c != &original),
+                other => other,
+            };
+            match corrupted {
+                Some(c) => {
+                    table.set_cell(row, col, Value::text(c.clone()));
+                    out.push(InjectedError {
+                        row,
+                        col,
+                        original,
+                        corrupted: Some(c),
+                        kind,
+                    });
+                }
+                None if kind == CorruptionKind::Null => {
+                    table.set_cell(row, col, Value::Null);
+                    out.push(InjectedError {
+                        row,
+                        col,
+                        original,
+                        corrupted: None,
+                        kind,
+                    });
+                }
+                None => {}
+            }
+        }
+        out.sort_by_key(|e| e.row);
+        out
+    }
+
+    fn apply(&self, original: &str, kind: CorruptionKind, rng: &mut StdRng) -> Option<String> {
+        match kind {
+            CorruptionKind::WrongValue => {
+                let alternatives: Vec<&String> =
+                    self.pool.iter().filter(|v| v.as_str() != original).collect();
+                if alternatives.is_empty() {
+                    return None;
+                }
+                Some(alternatives[rng.random_range(0..alternatives.len())].clone())
+            }
+            CorruptionKind::Truncate => {
+                let chars: Vec<char> = original.chars().collect();
+                if chars.len() < 2 {
+                    return None;
+                }
+                // Keep between 1 and len-1 characters.
+                let keep = rng.random_range(1..chars.len());
+                Some(chars[..keep].iter().collect())
+            }
+            CorruptionKind::Transpose => {
+                let mut chars: Vec<char> = original.chars().collect();
+                if chars.len() < 2 {
+                    return None;
+                }
+                let i = rng.random_range(0..chars.len() - 1);
+                chars.swap(i, i + 1);
+                Some(chars.into_iter().collect())
+            }
+            CorruptionKind::CaseFlip => {
+                let chars: Vec<char> = original.chars().collect();
+                let letter_positions: Vec<usize> = chars
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_alphabetic())
+                    .map(|(i, _)| i)
+                    .collect();
+                if letter_positions.is_empty() {
+                    return None;
+                }
+                let p = letter_positions[rng.random_range(0..letter_positions.len())];
+                let mut chars = chars;
+                chars[p] = if chars[p].is_uppercase() {
+                    chars[p].to_lowercase().next().unwrap_or(chars[p])
+                } else {
+                    chars[p].to_uppercase().next().unwrap_or(chars[p])
+                };
+                Some(chars.into_iter().collect())
+            }
+            CorruptionKind::Null => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anmat_table::Schema;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(["city"]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..n).map(|_| vec![Value::text("Chicago")]).collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn corrupts_exactly_count_rows() {
+        let mut t = table(100);
+        let inj = ErrorInjector::all_kinds(vec!["Springfield".into()]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let errors = inj.corrupt(&mut t, 0, 5, &mut rng);
+        assert_eq!(errors.len(), 5);
+        for e in &errors {
+            assert_eq!(e.original, "Chicago");
+            let now = t.cell_str(e.row, 0).map(str::to_string);
+            assert_eq!(now, e.corrupted);
+            assert_ne!(now.as_deref(), Some("Chicago"));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let inj = ErrorInjector::all_kinds(vec!["X".into()]);
+        let mut t1 = table(50);
+        let mut t2 = table(50);
+        let e1 = inj.corrupt(&mut t1, 0, 5, &mut StdRng::seed_from_u64(42));
+        let e2 = inj.corrupt(&mut t2, 0, 5, &mut StdRng::seed_from_u64(42));
+        assert_eq!(e1, e2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn truncate_produces_prefix() {
+        let inj = ErrorInjector {
+            kinds: vec![CorruptionKind::Truncate],
+            pool: vec![],
+        };
+        let mut t = table(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let errors = inj.corrupt(&mut t, 0, 3, &mut rng);
+        for e in &errors {
+            let c = e.corrupted.as_ref().unwrap();
+            assert!(e.original.starts_with(c.as_str()));
+            assert!(c.len() < e.original.len());
+        }
+    }
+
+    #[test]
+    fn transpose_is_permutation() {
+        let inj = ErrorInjector {
+            kinds: vec![CorruptionKind::Transpose],
+            pool: vec!["Zzz".into()],
+        };
+        let mut t = table(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let errors = inj.corrupt(&mut t, 0, 3, &mut rng);
+        for e in &errors {
+            if e.kind != CorruptionKind::Transpose {
+                continue;
+            }
+            if let Some(c) = &e.corrupted {
+                if c == "Zzz" {
+                    continue; // fell back to WrongValue on a no-op swap
+                }
+                let mut a: Vec<char> = e.original.chars().collect();
+                let mut b: Vec<char> = c.chars().collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{} vs {}", e.original, c);
+            }
+        }
+    }
+
+    #[test]
+    fn case_flip_changes_one_letter_case() {
+        let inj = ErrorInjector {
+            kinds: vec![CorruptionKind::CaseFlip],
+            pool: vec![],
+        };
+        let schema = Schema::new(["state"]).unwrap();
+        let mut t = Table::from_str_rows(schema, [["IL"], ["IL"], ["IL"]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let errors = inj.corrupt(&mut t, 0, 2, &mut rng);
+        for e in &errors {
+            let c = e.corrupted.as_ref().unwrap();
+            assert!(c == "iL" || c == "Il", "{c}");
+        }
+    }
+
+    #[test]
+    fn wrong_value_requires_pool() {
+        let inj = ErrorInjector::wrong_value_only(vec![]);
+        let mut t = table(10);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(inj.corrupt(&mut t, 0, 3, &mut rng).is_empty());
+    }
+}

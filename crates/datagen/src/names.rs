@@ -1,0 +1,119 @@
+//! Full Name → Gender (Table 3, block D2).
+//!
+//! Records are rendered `Last, First M.` / `Last, First` (the paper's
+//! rows: `Holloway, Donald E.`, `Kimbell, David` …). The first name
+//! determines the gender; injected errors flip it — the paper's error
+//! column is exactly flipped genders.
+
+use crate::{Dataset, ErrorInjector, GenConfig};
+use anmat_table::{Schema, Table, Value};
+use rand::Rng;
+
+/// First name → gender, starting with the paper's five.
+pub const FIRST_NAMES: &[(&str, &str)] = &[
+    ("Donald", "M"), // paper row 1
+    ("Stacey", "F"), // paper row 2
+    ("David", "M"),  // paper row 3
+    ("Jerry", "M"),  // paper row 4
+    ("Alan", "M"),   // paper row 5
+    ("Susan", "F"),
+    ("John", "M"),
+    ("Alice", "F"),
+    ("Maria", "F"),
+    ("Peter", "M"),
+    ("Linda", "F"),
+    ("James", "M"),
+];
+
+/// Last-name pool (the paper's plus filler).
+pub const LAST_NAMES: &[&str] = &[
+    "Holloway", "Jones", "Kimbell", "Mallack", "Otillio", "Smith", "Brown", "Davis", "Wilson",
+    "Moore", "Taylor", "Clark", "Walker", "Young", "Allen", "King",
+];
+
+/// Generate the D2-style full-name/gender dataset.
+#[must_use]
+pub fn generate(config: &GenConfig) -> Dataset {
+    let mut rng = config.rng();
+    let schema = Schema::new(["full_name", "gender"]).expect("static names");
+    let mut table = Table::empty(schema);
+    for _ in 0..config.rows {
+        let (first, gender) = FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())];
+        let last = LAST_NAMES[rng.random_range(0..LAST_NAMES.len())];
+        // ~60% carry a middle initial, like the paper's examples.
+        let name = if rng.random_range(0..10) < 6 {
+            let initial = char::from(b'A' + rng.random_range(0..26) as u8);
+            format!("{last}, {first} {initial}.")
+        } else {
+            format!("{last}, {first}")
+        };
+        table
+            .push_row(vec![Value::text(name), Value::text(gender)])
+            .expect("arity 2");
+    }
+    let injector =
+        ErrorInjector::wrong_value_only(vec!["M".to_string(), "F".to_string()]);
+    let errors = injector.corrupt(&mut table, 1, config.error_count(), &mut rng);
+    Dataset { table, errors }
+}
+
+/// Gender of a first name per the generator dictionary.
+#[must_use]
+pub fn gender_of(first: &str) -> Option<&'static str> {
+    FIRST_NAMES
+        .iter()
+        .find(|(n, _)| *n == first)
+        .map(|(_, g)| *g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let d = generate(&GenConfig {
+            rows: 100,
+            seed: 2,
+            error_rate: 0.0,
+        });
+        for (_, v) in d.table.iter_column(0) {
+            let s = v.as_str().unwrap();
+            assert!(s.contains(", "), "{s}");
+            let after_comma = s.split(", ").nth(1).unwrap();
+            let first = after_comma.split(' ').next().unwrap();
+            assert!(gender_of(first).is_some(), "{s}");
+        }
+    }
+
+    #[test]
+    fn clean_rows_respect_dependency() {
+        let d = generate(&GenConfig {
+            rows: 400,
+            seed: 3,
+            error_rate: 0.02,
+        });
+        let bad = d.error_rows();
+        for (row, name, gender) in d.table.iter_pair(0, 1) {
+            if bad.contains(&row) {
+                continue;
+            }
+            let first = name.split(", ").nth(1).unwrap().split(' ').next().unwrap();
+            assert_eq!(gender, gender_of(first).unwrap(), "row {row}: {name}");
+        }
+    }
+
+    #[test]
+    fn errors_flip_gender() {
+        let d = generate(&GenConfig {
+            rows: 400,
+            seed: 4,
+            error_rate: 0.05,
+        });
+        assert!(!d.errors.is_empty());
+        for e in &d.errors {
+            let flipped = if e.original == "M" { "F" } else { "M" };
+            assert_eq!(e.corrupted.as_deref(), Some(flipped));
+        }
+    }
+}

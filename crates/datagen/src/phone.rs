@@ -1,0 +1,117 @@
+//! Phone → State (Table 3, block D1).
+//!
+//! NANP numbers rendered as 10 digits (`8505467600`, as in the paper's
+//! error listing); the 3-digit area-code prefix determines the state.
+//! Injected errors replace the state with another state — exactly the
+//! paper's error rows (`8505467600 | CA`, `6073771300 | PA` …).
+
+use crate::{Dataset, ErrorInjector, GenConfig};
+use anmat_table::{Schema, Table, Value};
+use rand::Rng;
+
+/// Area code → state, starting with the paper's five.
+pub const AREA_CODES: &[(&str, &str)] = &[
+    ("850", "FL"), // Tallahassee — paper row 1
+    ("607", "NY"), // Ithaca — paper row 2
+    ("404", "GA"), // Atlanta — paper row 3
+    ("217", "IL"), // Springfield — paper row 4
+    ("860", "CT"), // Hartford — paper row 5
+    ("212", "NY"),
+    ("312", "IL"),
+    ("305", "FL"),
+    ("512", "TX"),
+    ("206", "WA"),
+];
+
+/// States used as wrong-value replacements (the paper's error column shows
+/// CA, PA, OK, TX, SC).
+pub const WRONG_STATES: &[&str] = &["CA", "PA", "OK", "TX", "SC", "MI", "NV"];
+
+/// Generate the D1-style phone/state dataset.
+#[must_use]
+pub fn generate(config: &GenConfig) -> Dataset {
+    let mut rng = config.rng();
+    let schema = Schema::new(["phone", "state"]).expect("static names");
+    let mut table = Table::empty(schema);
+    for _ in 0..config.rows {
+        let (area, state) = AREA_CODES[rng.random_range(0..AREA_CODES.len())];
+        let line: u32 = rng.random_range(0..10_000_000);
+        let phone = format!("{area}{line:07}");
+        table
+            .push_row(vec![Value::text(phone), Value::text(state)])
+            .expect("arity 2");
+    }
+    let injector = ErrorInjector::wrong_value_only(
+        WRONG_STATES.iter().map(|s| (*s).to_string()).collect(),
+    );
+    let errors = injector.corrupt(&mut table, 1, config.error_count(), &mut rng);
+    Dataset { table, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = GenConfig {
+            rows: 200,
+            seed: 1,
+            error_rate: 0.05,
+        };
+        let d1 = generate(&cfg);
+        let d2 = generate(&cfg);
+        assert_eq!(d1.table, d2.table);
+        assert_eq!(d1.table.row_count(), 200);
+        assert_eq!(d1.errors.len(), 10);
+    }
+
+    #[test]
+    fn phones_are_ten_digits_with_known_area() {
+        let d = generate(&GenConfig {
+            rows: 50,
+            ..GenConfig::default()
+        });
+        for (_, v) in d.table.iter_column(0) {
+            let s = v.as_str().unwrap();
+            assert_eq!(s.len(), 10);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+            assert!(AREA_CODES.iter().any(|(a, _)| s.starts_with(a)));
+        }
+    }
+
+    #[test]
+    fn clean_rows_respect_dependency() {
+        let d = generate(&GenConfig {
+            rows: 300,
+            seed: 9,
+            error_rate: 0.02,
+        });
+        let bad = d.error_rows();
+        for (row, phone, state) in d.table.iter_pair(0, 1) {
+            if bad.contains(&row) {
+                continue;
+            }
+            let area = &phone[..3];
+            let expected = AREA_CODES
+                .iter()
+                .find(|(a, _)| a == &area)
+                .map(|(_, s)| *s)
+                .unwrap();
+            assert_eq!(state, expected, "row {row}");
+        }
+    }
+
+    #[test]
+    fn errors_change_state_only() {
+        let d = generate(&GenConfig {
+            rows: 300,
+            seed: 5,
+            error_rate: 0.03,
+        });
+        for e in &d.errors {
+            assert_eq!(e.col, 1);
+            assert_ne!(e.corrupted.as_deref(), Some(e.original.as_str()));
+        }
+    }
+}

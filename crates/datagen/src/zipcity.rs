@@ -1,0 +1,161 @@
+//! ZIP → CITY and ZIP → STATE (Table 3, block D5).
+//!
+//! Zip prefixes determine city and state: `6060\D` → Chicago/IL,
+//! `900\D{2}` → Los Angeles/CA, `956\D{2}` → Auburn/CA (the paper's
+//! `95603 | MI` error row is a 956xx California zip). City errors are
+//! truncations and transpositions (`Chicag`, `C`, `Chciago`); state errors
+//! are case flips (`lL`) and wrong constants (`MI`).
+
+use crate::inject::CorruptionKind;
+use crate::{Dataset, ErrorInjector, GenConfig};
+use anmat_table::{Schema, Table, Value};
+use rand::Rng;
+
+/// Zip prefix → (city, state).
+pub const ZIP_PREFIXES: &[(&str, &str, &str)] = &[
+    ("6060", "Chicago", "IL"),     // paper D5 rows
+    ("900", "Los Angeles", "CA"),  // Tables 1–2
+    ("956", "Auburn", "CA"),       // the paper's 95603
+    ("100", "New York", "NY"),
+    ("021", "Boston", "MA"),
+    ("770", "Houston", "TX"),
+];
+
+/// Which column of the generated table to corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipTarget {
+    /// Corrupt the city column (truncate/transpose, per the paper).
+    City,
+    /// Corrupt the state column (case flips and wrong constants).
+    State,
+}
+
+/// Generate the D5-style zip/city/state dataset, corrupting the chosen
+/// column.
+#[must_use]
+pub fn generate(config: &GenConfig, target: ZipTarget) -> Dataset {
+    let mut rng = config.rng();
+    let schema = Schema::new(["zip", "city", "state"]).expect("static names");
+    let mut table = Table::empty(schema);
+    for _ in 0..config.rows {
+        let (prefix, city, state) = ZIP_PREFIXES[rng.random_range(0..ZIP_PREFIXES.len())];
+        let suffix_len = 5 - prefix.len();
+        let suffix: String = (0..suffix_len)
+            .map(|_| char::from(b'0' + rng.random_range(0..10) as u8))
+            .collect();
+        table
+            .push_row(vec![
+                Value::text(format!("{prefix}{suffix}")),
+                Value::text(city),
+                Value::text(state),
+            ])
+            .expect("arity 3");
+    }
+    let (col, injector) = match target {
+        ZipTarget::City => (
+            1,
+            ErrorInjector {
+                kinds: vec![CorruptionKind::Truncate, CorruptionKind::Transpose],
+                pool: ZIP_PREFIXES.iter().map(|(_, c, _)| (*c).to_string()).collect(),
+            },
+        ),
+        ZipTarget::State => (
+            2,
+            ErrorInjector {
+                kinds: vec![CorruptionKind::CaseFlip, CorruptionKind::WrongValue],
+                pool: vec!["MI".into(), "lL".into(), "WA".into(), "OR".into()],
+            },
+        ),
+    };
+    let errors = injector.corrupt(&mut table, col, config.error_count(), &mut rng);
+    Dataset { table, errors }
+}
+
+/// The clean (city, state) for a zip per the generator mapping.
+#[must_use]
+pub fn city_state_of(zip: &str) -> Option<(&'static str, &'static str)> {
+    ZIP_PREFIXES
+        .iter()
+        .find(|(p, _, _)| zip.starts_with(p))
+        .map(|(_, c, s)| (*c, *s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zips_are_five_digits() {
+        let d = generate(
+            &GenConfig {
+                rows: 100,
+                ..GenConfig::default()
+            },
+            ZipTarget::City,
+        );
+        for (_, v) in d.table.iter_column(0) {
+            let s = v.as_str().unwrap();
+            assert_eq!(s.len(), 5);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn clean_rows_respect_mapping() {
+        let d = generate(
+            &GenConfig {
+                rows: 300,
+                seed: 11,
+                error_rate: 0.02,
+            },
+            ZipTarget::City,
+        );
+        let bad = d.error_rows();
+        for row in 0..d.table.row_count() {
+            if bad.contains(&row) {
+                continue;
+            }
+            let zip = d.table.cell_str(row, 0).unwrap();
+            let (city, state) = city_state_of(zip).unwrap();
+            assert_eq!(d.table.cell_str(row, 1), Some(city));
+            assert_eq!(d.table.cell_str(row, 2), Some(state));
+        }
+    }
+
+    #[test]
+    fn city_errors_are_shape_breaking() {
+        let d = generate(
+            &GenConfig {
+                rows: 500,
+                seed: 13,
+                error_rate: 0.02,
+            },
+            ZipTarget::City,
+        );
+        assert!(!d.errors.is_empty());
+        for e in &d.errors {
+            assert_eq!(e.col, 1);
+            let c = e.corrupted.as_ref().unwrap();
+            assert_ne!(c, &e.original);
+        }
+    }
+
+    #[test]
+    fn state_errors_include_case_flips() {
+        let d = generate(
+            &GenConfig {
+                rows: 800,
+                seed: 17,
+                error_rate: 0.03,
+            },
+            ZipTarget::State,
+        );
+        assert!(d
+            .errors
+            .iter()
+            .any(|e| e.kind == CorruptionKind::CaseFlip));
+        for e in &d.errors {
+            assert_eq!(e.col, 2);
+        }
+    }
+}

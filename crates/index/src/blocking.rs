@@ -1,0 +1,176 @@
+//! Blocking for variable-PFD detection (§3 of the paper).
+//!
+//! A variable PFD (`tp[B] = ⊥`) is violated by a *pair* of tuples that
+//! match `tp[A]`, agree on its constrained captures, and differ on `B`.
+//! The brute-force check is quadratic; the paper avoids it "using
+//! blocking" (citing BigDansing). Because
+//! [`ConstrainedPattern::key`](anmat_pattern::ConstrainedPattern::key)
+//! characterizes `≡_Q` exactly, grouping rows by key is a *lossless*
+//! blocking scheme: every violating pair lies within one block, and the
+//! pair enumeration cost drops from `O(n²)` to `Σ |block|²` — and further
+//! to `O(n)` for the common case where each block's RHS is checked by
+//! value counts rather than explicit pairs.
+
+use anmat_pattern::ConstrainedPattern;
+use anmat_table::{RowId, Table};
+use std::collections::HashMap;
+
+/// Rows grouped by constrained-capture key.
+#[derive(Debug)]
+pub struct Blocks {
+    /// Key → rows, sorted by key for determinism.
+    pub blocks: Vec<(String, Vec<RowId>)>,
+    /// Rows whose LHS did not match the pattern at all.
+    pub unmatched: Vec<RowId>,
+    /// Rows with a null LHS.
+    pub null_rows: Vec<RowId>,
+}
+
+impl Blocks {
+    /// Number of blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total rows across blocks.
+    #[must_use]
+    pub fn matched_rows(&self) -> usize {
+        self.blocks.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Number of within-block pairs (the work blocking actually does).
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|(_, r)| r.len() * (r.len().saturating_sub(1)) / 2)
+            .sum()
+    }
+
+    /// Number of pairs brute force would enumerate over matched rows.
+    #[must_use]
+    pub fn brute_force_pair_count(&self) -> usize {
+        let n = self.matched_rows();
+        n * n.saturating_sub(1) / 2
+    }
+}
+
+/// Builder for [`Blocks`].
+#[derive(Debug)]
+pub struct BlockingIndex;
+
+impl BlockingIndex {
+    /// Group the rows of column `col` by their constrained-capture key
+    /// under `q`.
+    #[must_use]
+    pub fn block(table: &Table, col: usize, q: &ConstrainedPattern) -> Blocks {
+        let mut map: HashMap<String, Vec<RowId>> = HashMap::new();
+        let mut unmatched = Vec::new();
+        let mut null_rows = Vec::new();
+        // Deduplicate capture extraction per distinct value.
+        let mut key_cache: HashMap<&str, Option<String>> = HashMap::new();
+        for (row, v) in table.iter_column(col) {
+            let Some(s) = v.as_str() else {
+                null_rows.push(row);
+                continue;
+            };
+            let key = key_cache.entry(s).or_insert_with(|| q.key(s));
+            match key {
+                Some(k) => map.entry(k.clone()).or_default().push(row),
+                None => unmatched.push(row),
+            }
+        }
+        let mut blocks: Vec<(String, Vec<RowId>)> = map.into_iter().collect();
+        blocks.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Blocks {
+            blocks,
+            unmatched,
+            null_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anmat_table::Schema;
+
+    fn name_table() -> Table {
+        let schema = Schema::new(["name"]).unwrap();
+        Table::from_str_rows(
+            schema,
+            [
+                ["John Charles"],
+                ["John Bosco"],
+                ["Susan Orlean"],
+                ["Susan Boyle"],
+                ["lowercase name"],
+                [""],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn q_first_name() -> ConstrainedPattern {
+        "[\\LU\\LL*\\ ]\\A*".parse().unwrap()
+    }
+
+    #[test]
+    fn blocks_group_by_first_name() {
+        let blocks = BlockingIndex::block(&name_table(), 0, &q_first_name());
+        assert_eq!(blocks.block_count(), 2);
+        assert_eq!(blocks.blocks[0].0, "John ");
+        assert_eq!(blocks.blocks[0].1, vec![0, 1]);
+        assert_eq!(blocks.blocks[1].0, "Susan ");
+        assert_eq!(blocks.blocks[1].1, vec![2, 3]);
+        assert_eq!(blocks.unmatched, vec![4]);
+        assert_eq!(blocks.null_rows, vec![5]);
+    }
+
+    #[test]
+    fn pair_counts() {
+        let blocks = BlockingIndex::block(&name_table(), 0, &q_first_name());
+        // 2 blocks of 2 rows: 1 pair each.
+        assert_eq!(blocks.pair_count(), 2);
+        // Brute force over 4 matched rows: 6 pairs.
+        assert_eq!(blocks.brute_force_pair_count(), 6);
+        assert_eq!(blocks.matched_rows(), 4);
+    }
+
+    #[test]
+    fn zip_prefix_blocking() {
+        let schema = Schema::new(["zip"]).unwrap();
+        let t = Table::from_str_rows(
+            schema,
+            [["90001"], ["90002"], ["90101"], ["60601"]],
+        )
+        .unwrap();
+        let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
+        let blocks = BlockingIndex::block(&t, 0, &q);
+        let keys: Vec<&str> = blocks.blocks.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["606", "900", "901"]);
+        assert_eq!(blocks.blocks[1].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_values_share_cache() {
+        let schema = Schema::new(["x"]).unwrap();
+        let t = Table::from_str_rows(schema, [["ab"], ["ab"], ["ab"]]).unwrap();
+        let q = ConstrainedPattern::whole("\\LL+".parse().unwrap());
+        let blocks = BlockingIndex::block(&t, 0, &q);
+        assert_eq!(blocks.block_count(), 1);
+        assert_eq!(blocks.blocks[0].1.len(), 3);
+        assert_eq!(blocks.pair_count(), 3);
+    }
+
+    #[test]
+    fn all_unmatched() {
+        let schema = Schema::new(["x"]).unwrap();
+        let t = Table::from_str_rows(schema, [["123"], ["456"]]).unwrap();
+        let q = ConstrainedPattern::whole("\\LL+".parse().unwrap());
+        let blocks = BlockingIndex::block(&t, 0, &q);
+        assert_eq!(blocks.block_count(), 0);
+        assert_eq!(blocks.unmatched.len(), 2);
+    }
+}

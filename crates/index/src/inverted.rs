@@ -1,0 +1,400 @@
+//! The hash-based inverted list `H` of the discovery algorithm
+//! (Figure 2, lines 4–12).
+//!
+//! For a candidate dependency `A → B`, every token (or n-gram, or prefix)
+//! `s` of `t[A]` maps to a posting `(id(t), pos_s, u, pos_u)` for each
+//! token/n-gram `u` of `t[B]` — exactly line 8 of the paper's algorithm.
+//! On top of the raw lists this module computes per-entry statistics
+//! ([`EntryStats`]): support, the RHS full-value distribution, and the
+//! dominant RHS — the inputs of the PFD decision function `f`.
+
+use anmat_table::{ngrams, prefixes, tokenize, RowId, Table};
+use std::collections::HashMap;
+
+/// How LHS/RHS strings are decomposed into inverted-list keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtractionMode {
+    /// Whitespace tokens (`Tokenize` in the paper).
+    Tokens,
+    /// Character n-grams of the given length (`NGrams`).
+    NGrams(usize),
+    /// String prefixes up to the given length — the variant that finds
+    /// determining prefixes such as `900` in `90001`. (The paper folds
+    /// this into its n-gram mode by using positions; a dedicated prefix
+    /// mode keeps positions trivially 0 and avoids redundant keys.)
+    Prefixes(usize),
+}
+
+impl ExtractionMode {
+    /// Decompose one cell string into `(key text, position)` pairs.
+    ///
+    /// Positions follow the paper's display convention: token index for
+    /// token mode, character offset for n-gram/prefix modes.
+    #[must_use]
+    pub fn extract(&self, s: &str) -> Vec<(String, usize)> {
+        match *self {
+            ExtractionMode::Tokens => tokenize(s)
+                .into_iter()
+                .map(|t| (t.text, t.index))
+                .collect(),
+            ExtractionMode::NGrams(n) => ngrams(s, n)
+                .into_iter()
+                .map(|g| (g.text, g.char_start))
+                .collect(),
+            ExtractionMode::Prefixes(max) => prefixes(s, max)
+                .into_iter()
+                .map(|g| (g.text, g.char_start))
+                .collect(),
+        }
+    }
+}
+
+/// One posting: where a key occurred and what the RHS held there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Tuple id.
+    pub row: RowId,
+    /// Position of the key within `t[A]` (token index or char offset).
+    pub lhs_pos: usize,
+    /// One RHS token/n-gram of `t[B]`.
+    pub rhs_token: String,
+    /// Its position within `t[B]`.
+    pub rhs_pos: usize,
+    /// The full RHS cell value (what constant-PFD tableaux store).
+    pub rhs_full: String,
+}
+
+/// Aggregate statistics for one inverted-list entry (one LHS key).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryStats {
+    /// Number of distinct rows containing the key.
+    pub support: usize,
+    /// Distinct full RHS values with their row counts, descending.
+    pub rhs_counts: Vec<(String, usize)>,
+}
+
+impl EntryStats {
+    /// The most frequent full RHS value, if any.
+    #[must_use]
+    pub fn dominant_rhs(&self) -> Option<&str> {
+        self.rhs_counts.first().map(|(v, _)| v.as_str())
+    }
+
+    /// Confidence of the dominant RHS: `max_count / support`.
+    #[must_use]
+    pub fn confidence(&self) -> f64 {
+        if self.support == 0 {
+            return 0.0;
+        }
+        self.rhs_counts
+            .first()
+            .map_or(0.0, |(_, c)| *c as f64 / self.support as f64)
+    }
+
+    /// Number of rows that disagree with the dominant RHS.
+    #[must_use]
+    pub fn violations(&self) -> usize {
+        self.support - self.rhs_counts.first().map_or(0, |(_, c)| *c)
+    }
+}
+
+/// The inverted list for one candidate dependency `A → B`.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    /// Key → postings (one per (row, lhs occurrence, rhs token)).
+    entries: HashMap<String, Vec<Posting>>,
+    /// Key → distinct rows containing it (deduplicated, sorted).
+    rows_by_key: HashMap<String, Vec<RowId>>,
+    /// Number of rows with non-null values on both sides.
+    pub considered_rows: usize,
+}
+
+impl InvertedIndex {
+    /// Build the inverted list for the column pair `(lhs, rhs)` of `table`.
+    ///
+    /// Implements lines 4–8 of Figure 2. Rows with a null on either side
+    /// are skipped (they can neither support nor violate a PFD).
+    #[must_use]
+    pub fn build(
+        table: &Table,
+        lhs: usize,
+        rhs: usize,
+        lhs_mode: ExtractionMode,
+        rhs_mode: ExtractionMode,
+    ) -> InvertedIndex {
+        let mut entries: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut rows_by_key: HashMap<String, Vec<RowId>> = HashMap::new();
+        let mut considered_rows = 0usize;
+        for (row, a, b) in table.iter_pair(lhs, rhs) {
+            considered_rows += 1;
+            let lhs_keys = lhs_mode.extract(a);
+            let rhs_keys = rhs_mode.extract(b);
+            for (key, lhs_pos) in &lhs_keys {
+                let postings = entries.entry(key.clone()).or_default();
+                for (u, rhs_pos) in &rhs_keys {
+                    postings.push(Posting {
+                        row,
+                        lhs_pos: *lhs_pos,
+                        rhs_token: u.clone(),
+                        rhs_pos: *rhs_pos,
+                        rhs_full: b.to_string(),
+                    });
+                }
+                // RHS cells with no tokens at all still count the row.
+                if rhs_keys.is_empty() {
+                    postings.push(Posting {
+                        row,
+                        lhs_pos: *lhs_pos,
+                        rhs_token: String::new(),
+                        rhs_pos: 0,
+                        rhs_full: b.to_string(),
+                    });
+                }
+                let rows = rows_by_key.entry(key.clone()).or_default();
+                if rows.last() != Some(&row) {
+                    rows.push(row);
+                }
+            }
+        }
+        InvertedIndex {
+            entries,
+            rows_by_key,
+            considered_rows,
+        }
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The postings for a key.
+    #[must_use]
+    pub fn postings(&self, key: &str) -> &[Posting] {
+        self.entries.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// The distinct rows containing a key.
+    #[must_use]
+    pub fn rows(&self, key: &str) -> &[RowId] {
+        self.rows_by_key.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Aggregate statistics for one key.
+    #[must_use]
+    pub fn stats(&self, key: &str) -> EntryStats {
+        let rows = self.rows(key);
+        let support = rows.len();
+        // Count distinct rows per full RHS value. A row contributes once
+        // regardless of how many RHS tokens it produced.
+        let mut per_value: HashMap<&str, Vec<RowId>> = HashMap::new();
+        for p in self.postings(key) {
+            let v = per_value.entry(p.rhs_full.as_str()).or_default();
+            if v.last() != Some(&p.row) {
+                v.push(p.row);
+            }
+        }
+        let mut rhs_counts: Vec<(String, usize)> = per_value
+            .into_iter()
+            .map(|(v, rows)| (v.to_string(), rows.len()))
+            .collect();
+        rhs_counts.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.cmp(vb)));
+        EntryStats {
+            support,
+            rhs_counts,
+        }
+    }
+
+    /// Iterate keys in deterministic (sorted) order with their stats.
+    pub fn iter_stats(&self) -> impl Iterator<Item = (&str, EntryStats)> {
+        let mut keys: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|k| (k, self.stats(k)))
+    }
+
+    /// Keys whose support is at least `min_support`, sorted by descending
+    /// support (ties: ascending key).
+    #[must_use]
+    pub fn frequent_keys(&self, min_support: usize) -> Vec<(&str, usize)> {
+        let mut out: Vec<(&str, usize)> = self
+            .rows_by_key
+            .iter()
+            .filter(|(_, rows)| rows.len() >= min_support)
+            .map(|(k, rows)| (k.as_str(), rows.len()))
+            .collect();
+        out.sort_by(|(ka, sa), (kb, sb)| sb.cmp(sa).then_with(|| ka.cmp(kb)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anmat_table::{Schema, Table};
+
+    fn name_gender_table() -> Table {
+        // Table 1 of the paper (D1), including the seeded error in r4.
+        let schema = Schema::new(["name", "gender"]).unwrap();
+        Table::from_str_rows(
+            schema,
+            [
+                ["John Charles", "M"],
+                ["John Bosco", "M"],
+                ["Susan Orlean", "F"],
+                ["Susan Boyle", "M"], // error: should be F
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn token_extraction_builds_postings() {
+        let t = name_gender_table();
+        let idx = InvertedIndex::build(
+            &t,
+            0,
+            1,
+            ExtractionMode::Tokens,
+            ExtractionMode::Tokens,
+        );
+        assert_eq!(idx.considered_rows, 4);
+        assert_eq!(idx.rows("John"), &[0, 1]);
+        assert_eq!(idx.rows("Susan"), &[2, 3]);
+        let p = idx.postings("John");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].lhs_pos, 0);
+        assert_eq!(p[0].rhs_full, "M");
+    }
+
+    #[test]
+    fn stats_detect_paper_error() {
+        let t = name_gender_table();
+        let idx = InvertedIndex::build(
+            &t,
+            0,
+            1,
+            ExtractionMode::Tokens,
+            ExtractionMode::Tokens,
+        );
+        let john = idx.stats("John");
+        assert_eq!(john.support, 2);
+        assert_eq!(john.dominant_rhs(), Some("M"));
+        assert_eq!(john.violations(), 0);
+        assert!((john.confidence() - 1.0).abs() < 1e-9);
+        let susan = idx.stats("Susan");
+        assert_eq!(susan.support, 2);
+        assert_eq!(susan.violations(), 1);
+        assert!((susan.confidence() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_mode_zip_codes() {
+        // Table 2 of the paper (D2).
+        let schema = Schema::new(["zip", "city"]).unwrap();
+        let t = Table::from_str_rows(
+            schema,
+            [
+                ["90001", "Los Angeles"],
+                ["90002", "Los Angeles"],
+                ["90003", "Los Angeles"],
+                ["90004", "New York"], // error
+            ],
+        )
+        .unwrap();
+        let idx = InvertedIndex::build(
+            &t,
+            0,
+            1,
+            ExtractionMode::Prefixes(3),
+            ExtractionMode::Tokens,
+        );
+        let s = idx.stats("900");
+        assert_eq!(s.support, 4);
+        assert_eq!(s.dominant_rhs(), Some("Los Angeles"));
+        assert_eq!(s.violations(), 1);
+    }
+
+    #[test]
+    fn ngram_mode_positions() {
+        let schema = Schema::new(["id", "dept"]).unwrap();
+        let t = Table::from_str_rows(
+            schema,
+            [["F-9-107", "Finance"], ["F-3-220", "Finance"]],
+        )
+        .unwrap();
+        let idx = InvertedIndex::build(
+            &t,
+            0,
+            1,
+            ExtractionMode::NGrams(2),
+            ExtractionMode::Tokens,
+        );
+        // "F-" occurs at char 0 in both ids.
+        let p = idx.postings("F-");
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|p| p.lhs_pos == 0));
+        assert_eq!(idx.stats("F-").support, 2);
+    }
+
+    #[test]
+    fn multi_occurrence_key_counts_row_once() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let t = Table::from_str_rows(schema, [["x x x", "1"]]).unwrap();
+        let idx = InvertedIndex::build(
+            &t,
+            0,
+            1,
+            ExtractionMode::Tokens,
+            ExtractionMode::Tokens,
+        );
+        assert_eq!(idx.stats("x").support, 1);
+        assert_eq!(idx.postings("x").len(), 3);
+    }
+
+    #[test]
+    fn nulls_skipped() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let t = Table::from_str_rows(schema, [["x", "1"], ["", "2"], ["y", ""]]).unwrap();
+        let idx = InvertedIndex::build(
+            &t,
+            0,
+            1,
+            ExtractionMode::Tokens,
+            ExtractionMode::Tokens,
+        );
+        assert_eq!(idx.considered_rows, 1);
+        assert!(idx.rows("y").is_empty());
+    }
+
+    #[test]
+    fn frequent_keys_sorted() {
+        let t = name_gender_table();
+        let idx = InvertedIndex::build(
+            &t,
+            0,
+            1,
+            ExtractionMode::Tokens,
+            ExtractionMode::Tokens,
+        );
+        let freq = idx.frequent_keys(2);
+        assert_eq!(freq, vec![("John", 2), ("Susan", 2)]);
+        assert!(idx.frequent_keys(3).is_empty());
+    }
+
+    #[test]
+    fn iter_stats_deterministic() {
+        let t = name_gender_table();
+        let idx = InvertedIndex::build(
+            &t,
+            0,
+            1,
+            ExtractionMode::Tokens,
+            ExtractionMode::Tokens,
+        );
+        let keys: Vec<&str> = idx.iter_stats().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,30 @@
+//! Indexing substrates for PFD discovery and error detection.
+//!
+//! Three access paths from §3 of the paper:
+//!
+//! * [`inverted`] — the hash-based inverted list `H` of the discovery
+//!   algorithm (Figure 2, lines 4–12): LHS token/n-gram → postings of
+//!   `(tuple id, LHS position, RHS token, RHS position)`, with per-entry
+//!   support/confidence statistics that feed the decision function `f`;
+//! * [`pattern_index`] — the "index supporting regular expressions for
+//!   each column present on the LHS of the PFDs": distinct values are
+//!   bucketed by pattern signature, and a pattern lookup prunes whole
+//!   buckets via exact language-intersection tests before touching
+//!   individual values;
+//! * [`blocking`] — the blocking strategy (cf. BigDansing) that avoids the
+//!   quadratic tuple-pair enumeration for variable PFDs: rows are grouped
+//!   by their constrained-capture key, and pairs are enumerated within
+//!   blocks only.
+//!
+//! [`trie`] provides the character trie the pattern index uses to
+//! accelerate literal-prefix lookups.
+
+pub mod blocking;
+pub mod inverted;
+pub mod pattern_index;
+pub mod trie;
+
+pub use blocking::{BlockingIndex, Blocks};
+pub use inverted::{EntryStats, ExtractionMode, InvertedIndex, Posting};
+pub use pattern_index::PatternIndex;
+pub use trie::CharTrie;

@@ -1,0 +1,256 @@
+//! The per-column pattern index of §3.
+//!
+//! For constant-PFD detection the paper "create[s] an index supporting
+//! regular expressions for each column present on the LHS of the PFDs", so
+//! that the violation scan only touches tuples matching `tp[A]`. This
+//! implementation:
+//!
+//! * deduplicates the column into distinct values with row postings
+//!   (low-cardinality columns collapse dramatically);
+//! * buckets distinct values by their class-exact pattern signature;
+//! * answers a pattern lookup by first testing each bucket's signature
+//!   against the query with exact language operations —
+//!   [`intersects`](anmat_pattern::intersects) to skip buckets wholesale,
+//!   [`contains`](anmat_pattern::contains) to accept buckets wholesale —
+//!   and only match-testing individual values in the remaining buckets;
+//! * keeps a [`CharTrie`] so queries with a literal prefix (`900\D{2}`)
+//!   descend directly to the matching subtree.
+
+use crate::trie::CharTrie;
+use anmat_pattern::{contains, intersects, match_pattern, signature, Pattern, PatternLevel};
+use anmat_table::{RowId, Table};
+use std::collections::HashMap;
+
+/// An index over one column supporting pattern lookups.
+#[derive(Debug)]
+pub struct PatternIndex {
+    /// Distinct value → rows holding it.
+    values: HashMap<String, Vec<RowId>>,
+    /// Signature → distinct values in that bucket.
+    buckets: Vec<(Pattern, Vec<String>)>,
+    /// Literal-prefix accelerator over distinct values (value → pseudo-row
+    /// = index into `distinct`).
+    trie: CharTrie,
+    /// Distinct values in insertion order (trie payload indirection).
+    distinct: Vec<String>,
+    /// Rows with a non-null value.
+    pub indexed_rows: usize,
+}
+
+impl PatternIndex {
+    /// Build the index over column `col` of `table`.
+    #[must_use]
+    pub fn build(table: &Table, col: usize) -> PatternIndex {
+        let mut values: HashMap<String, Vec<RowId>> = HashMap::new();
+        let mut indexed_rows = 0usize;
+        for (row, v) in table.iter_column(col) {
+            let Some(s) = v.as_str() else { continue };
+            indexed_rows += 1;
+            values.entry(s.to_string()).or_default().push(row);
+        }
+        let mut by_sig: HashMap<Pattern, Vec<String>> = HashMap::new();
+        let mut distinct: Vec<String> = Vec::with_capacity(values.len());
+        let mut trie = CharTrie::new();
+        let mut sorted: Vec<&String> = values.keys().collect();
+        sorted.sort_unstable();
+        for v in sorted {
+            let sig = signature(v, PatternLevel::ClassExact);
+            by_sig.entry(sig).or_default().push(v.clone());
+            trie.insert(v, distinct.len());
+            distinct.push(v.clone());
+        }
+        let mut buckets: Vec<(Pattern, Vec<String>)> = by_sig.into_iter().collect();
+        buckets.sort_by(|(a, _), (b, _)| a.to_string().cmp(&b.to_string()));
+        PatternIndex {
+            values,
+            buckets,
+            trie,
+            distinct,
+            indexed_rows,
+        }
+    }
+
+    /// Number of distinct values.
+    #[must_use]
+    pub fn distinct_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of signature buckets.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Rows whose value matches `pattern`, sorted ascending.
+    #[must_use]
+    pub fn lookup(&self, pattern: &Pattern) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = Vec::new();
+        for v in self.matching_values(pattern) {
+            rows.extend_from_slice(&self.values[v]);
+        }
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Distinct values matching `pattern`.
+    #[must_use]
+    pub fn matching_values(&self, pattern: &Pattern) -> Vec<&str> {
+        let mut out = Vec::new();
+        // Literal-prefix fast path: descend the trie, then verify.
+        let prefix = literal_prefix(pattern);
+        if !prefix.is_empty() {
+            let mut ids: Vec<usize> = self.trie.rows_with_prefix(&prefix);
+            ids.sort_unstable();
+            for id in ids {
+                let v = &self.distinct[id];
+                if match_pattern(pattern, v) {
+                    out.push(v.as_str());
+                }
+            }
+            return out;
+        }
+        for (sig, vals) in &self.buckets {
+            if !intersects(sig, pattern) {
+                continue; // no value with this signature can match
+            }
+            if contains(pattern, sig) {
+                // Every value with this signature matches.
+                out.extend(vals.iter().map(String::as_str));
+                continue;
+            }
+            for v in vals {
+                if match_pattern(pattern, v) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// Rows holding exactly `value`.
+    #[must_use]
+    pub fn rows_for_value(&self, value: &str) -> &[RowId] {
+        self.values.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Full scan fallback (for the ablation benchmark): match every
+    /// distinct value with no bucket pruning.
+    #[must_use]
+    pub fn lookup_scan(&self, pattern: &Pattern) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = Vec::new();
+        for (v, ids) in &self.values {
+            if match_pattern(pattern, v) {
+                rows.extend_from_slice(ids);
+            }
+        }
+        rows.sort_unstable();
+        rows
+    }
+}
+
+/// The longest literal prefix of a pattern (maximal run of exactly-once
+/// literal elements at the start).
+fn literal_prefix(p: &Pattern) -> String {
+    let mut out = String::new();
+    for e in p.elements() {
+        match (e.class, e.quant.interval()) {
+            (anmat_pattern::SymbolClass::Literal(c), (1, Some(1))) => out.push(c),
+            (anmat_pattern::SymbolClass::Literal(c), (min, _)) if min >= 1 => {
+                out.push(c);
+                break; // repetition: only the first copy is certain
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anmat_table::Schema;
+
+    fn zip_table() -> Table {
+        let schema = Schema::new(["zip"]).unwrap();
+        Table::from_str_rows(
+            schema,
+            [
+                ["90001"],
+                ["90002"],
+                ["90003"],
+                ["60601"],
+                ["60601"],
+                ["606-01"],
+                ["abcde"],
+                [""],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn pat(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn build_stats() {
+        let t = zip_table();
+        let idx = PatternIndex::build(&t, 0);
+        assert_eq!(idx.indexed_rows, 7);
+        assert_eq!(idx.distinct_count(), 6);
+        // Signatures: \D{5} (x4 values... 90001/90002/90003/60601), \D{3}-\D{2}, \LL{5}.
+        assert_eq!(idx.bucket_count(), 3);
+    }
+
+    #[test]
+    fn lookup_with_literal_prefix() {
+        let t = zip_table();
+        let idx = PatternIndex::build(&t, 0);
+        assert_eq!(idx.lookup(&pat("900\\D{2}")), vec![0, 1, 2]);
+        assert_eq!(idx.lookup(&pat("606\\D{2}")), vec![3, 4]);
+    }
+
+    #[test]
+    fn lookup_class_pattern() {
+        let t = zip_table();
+        let idx = PatternIndex::build(&t, 0);
+        assert_eq!(idx.lookup(&pat("\\D{5}")), vec![0, 1, 2, 3, 4]);
+        assert_eq!(idx.lookup(&pat("\\LL{5}")), vec![6]);
+        assert_eq!(idx.lookup(&pat("\\D{3}-\\D{2}")), vec![5]);
+    }
+
+    #[test]
+    fn lookup_agrees_with_scan() {
+        let t = zip_table();
+        let idx = PatternIndex::build(&t, 0);
+        for p in ["900\\D{2}", "\\D{5}", "\\A*", "\\D+", "x\\D*"] {
+            let p = pat(p);
+            assert_eq!(idx.lookup(&p), idx.lookup_scan(&p), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn rows_for_value_duplicates() {
+        let t = zip_table();
+        let idx = PatternIndex::build(&t, 0);
+        assert_eq!(idx.rows_for_value("60601"), &[3, 4]);
+        assert!(idx.rows_for_value("nope").is_empty());
+    }
+
+    #[test]
+    fn literal_prefix_extraction() {
+        assert_eq!(literal_prefix(&pat("900\\D{2}")), "900");
+        assert_eq!(literal_prefix(&pat("\\D{5}")), "");
+        assert_eq!(literal_prefix(&pat("ab+c")), "ab");
+        assert_eq!(literal_prefix(&pat("a{0,1}bc")), "");
+    }
+
+    #[test]
+    fn empty_pattern_lookup() {
+        let schema = Schema::new(["x"]).unwrap();
+        let t = Table::from_str_rows(schema, [["a"], [""]]).unwrap();
+        let idx = PatternIndex::build(&t, 0);
+        assert!(idx.lookup(&Pattern::empty()).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! A character trie mapping string prefixes to row-id postings.
+
+use anmat_table::RowId;
+use std::collections::HashMap;
+
+/// A trie over characters; each node stores the rows whose value passes
+/// through it. Supports exact-prefix postings retrieval.
+#[derive(Debug, Default)]
+pub struct CharTrie {
+    root: Node,
+    len: usize,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    children: HashMap<char, Node>,
+    /// Rows whose value ends exactly here.
+    terminal: Vec<RowId>,
+    /// Number of rows in this subtree (terminal counts included).
+    subtree_rows: usize,
+}
+
+impl CharTrie {
+    /// An empty trie.
+    #[must_use]
+    pub fn new() -> CharTrie {
+        CharTrie::default()
+    }
+
+    /// Number of inserted (value, row) pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the trie empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value for a row.
+    pub fn insert(&mut self, value: &str, row: RowId) {
+        let mut node = &mut self.root;
+        node.subtree_rows += 1;
+        for c in value.chars() {
+            node = node.children.entry(c).or_default();
+            node.subtree_rows += 1;
+        }
+        node.terminal.push(row);
+        self.len += 1;
+    }
+
+    /// All rows whose value starts with `prefix` (empty prefix = all rows).
+    #[must_use]
+    pub fn rows_with_prefix(&self, prefix: &str) -> Vec<RowId> {
+        let Some(node) = self.descend(prefix) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(node.subtree_rows);
+        collect(node, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Rows whose value equals `value` exactly.
+    #[must_use]
+    pub fn rows_exact(&self, value: &str) -> &[RowId] {
+        self.descend(value).map_or(&[], |n| &n.terminal)
+    }
+
+    /// Number of rows below a prefix without materializing them.
+    #[must_use]
+    pub fn count_with_prefix(&self, prefix: &str) -> usize {
+        self.descend(prefix).map_or(0, |n| n.subtree_rows)
+    }
+
+    fn descend(&self, path: &str) -> Option<&Node> {
+        let mut node = &self.root;
+        for c in path.chars() {
+            node = node.children.get(&c)?;
+        }
+        Some(node)
+    }
+}
+
+fn collect(node: &Node, out: &mut Vec<RowId>) {
+    out.extend_from_slice(&node.terminal);
+    for child in node.children.values() {
+        collect(child, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CharTrie {
+        let mut t = CharTrie::new();
+        for (i, v) in ["90001", "90002", "90003", "60601", "606", ""]
+            .iter()
+            .enumerate()
+        {
+            t.insert(v, i);
+        }
+        t
+    }
+
+    #[test]
+    fn prefix_lookup() {
+        let t = sample();
+        assert_eq!(t.rows_with_prefix("900"), vec![0, 1, 2]);
+        assert_eq!(t.rows_with_prefix("606"), vec![3, 4]);
+        assert_eq!(t.rows_with_prefix("60601"), vec![3]);
+        assert!(t.rows_with_prefix("7").is_empty());
+    }
+
+    #[test]
+    fn empty_prefix_returns_all() {
+        let t = sample();
+        assert_eq!(t.rows_with_prefix(""), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let t = sample();
+        assert_eq!(t.rows_exact("606"), &[4]);
+        assert_eq!(t.rows_exact("90001"), &[0]);
+        assert!(t.rows_exact("9000").is_empty());
+        assert_eq!(t.rows_exact(""), &[5]);
+    }
+
+    #[test]
+    fn counts_match_lookups() {
+        let t = sample();
+        assert_eq!(t.count_with_prefix("900"), 3);
+        assert_eq!(t.count_with_prefix(""), 6);
+        assert_eq!(t.count_with_prefix("x"), 0);
+    }
+
+    #[test]
+    fn duplicate_values_accumulate() {
+        let mut t = CharTrie::new();
+        t.insert("ab", 1);
+        t.insert("ab", 2);
+        assert_eq!(t.rows_exact("ab"), &[1, 2]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! Constrained patterns: patterns with annotated segments (§2 of the paper).
+//!
+//! A constrained pattern `Q` is a concatenation of segments, at least one of
+//! which is *constrained* (the paper writes it with an overline; we bracket
+//! it: `[\LU\LL*\ ]\A*`). Two strings are equivalent under `Q`
+//! (`s ≡_Q s'`) iff both match the embedded pattern *and* they agree on the
+//! substrings consumed by every constrained segment. That equivalence is
+//! what lets λ4 enforce "same first name ⇒ same gender" without naming any
+//! particular first name.
+//!
+//! The *blocking key* ([`ConstrainedPattern::key`]) — the concatenation of
+//! constrained captures — is the handle the detection engine uses to avoid
+//! quadratic pair enumeration: `s ≡_Q s'` iff their keys are equal.
+
+use crate::ast::Pattern;
+use crate::error::PatternError;
+use crate::matcher::match_spans_chars;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One segment of a constrained pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// The segment's pattern.
+    pub pattern: Pattern,
+    /// Whether strings must agree on this segment's capture.
+    pub constrained: bool,
+}
+
+impl Segment {
+    /// A constrained segment.
+    #[must_use]
+    pub fn constrained(pattern: Pattern) -> Segment {
+        Segment {
+            pattern,
+            constrained: true,
+        }
+    }
+
+    /// An unconstrained (free) segment.
+    #[must_use]
+    pub fn free(pattern: Pattern) -> Segment {
+        Segment {
+            pattern,
+            constrained: false,
+        }
+    }
+}
+
+/// A concatenation of segments, some constrained.
+///
+/// Parse with [`str::parse`] using `[...]` for constrained segments;
+/// `Display` round-trips.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConstrainedPattern {
+    segments: Vec<Segment>,
+    /// Element-count boundaries of each segment within the embedded
+    /// pattern, cached for capture extraction.
+    boundaries: Vec<(usize, usize)>,
+    embedded: Pattern,
+}
+
+impl ConstrainedPattern {
+    /// Build from segments. Rejects an entirely empty segment list.
+    pub fn new(segments: Vec<Segment>) -> Result<ConstrainedPattern, PatternError> {
+        if segments.is_empty() {
+            return Err(PatternError::EmptyPattern);
+        }
+        let mut boundaries = Vec::with_capacity(segments.len());
+        let mut embedded = Pattern::empty();
+        for seg in &segments {
+            let start = embedded.len();
+            embedded = embedded.concat(&seg.pattern);
+            boundaries.push((start, embedded.len()));
+        }
+        Ok(ConstrainedPattern {
+            segments,
+            boundaries,
+            embedded,
+        })
+    }
+
+    /// A fully-constrained single-segment pattern (the whole value must
+    /// agree). Equivalent to a classical FD restricted to values matching
+    /// the pattern.
+    #[must_use]
+    pub fn whole(pattern: Pattern) -> ConstrainedPattern {
+        ConstrainedPattern::new(vec![Segment::constrained(pattern)])
+            .expect("single segment is non-empty")
+    }
+
+    /// A single free segment (no constraint) — matches-only semantics.
+    #[must_use]
+    pub fn unconstrained(pattern: Pattern) -> ConstrainedPattern {
+        ConstrainedPattern::new(vec![Segment::free(pattern)]).expect("single segment")
+    }
+
+    /// Error if no segment is constrained.
+    pub fn require_constrained(self) -> Result<ConstrainedPattern, PatternError> {
+        if self.has_constraint() {
+            Ok(self)
+        } else {
+            Err(PatternError::NoConstrainedSegment)
+        }
+    }
+
+    /// The segments in order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Is at least one segment constrained?
+    #[must_use]
+    pub fn has_constraint(&self) -> bool {
+        self.segments.iter().any(|s| s.constrained)
+    }
+
+    /// The embedded pattern `Q̄` — all segments concatenated, annotations
+    /// dropped.
+    #[must_use]
+    pub fn embedded(&self) -> &Pattern {
+        &self.embedded
+    }
+
+    /// Does `s` match the constrained pattern (`s ⊨ Q` iff `s ⊨ Q̄`)?
+    #[must_use]
+    pub fn matches(&self, s: &str) -> bool {
+        self.embedded.matches(s)
+    }
+
+    /// The substrings consumed by each *constrained* segment, in order, or
+    /// `None` if `s` does not match.
+    ///
+    /// Uses leftmost-greedy span semantics (see
+    /// [`crate::matcher::match_spans`]), so captures are deterministic.
+    #[must_use]
+    pub fn captures(&self, s: &str) -> Option<Vec<String>> {
+        let chars: Vec<char> = s.chars().collect();
+        let spans = match_spans_chars(&self.embedded, &chars)?;
+        let mut out = Vec::new();
+        for (seg, &(start, end)) in self.segments.iter().zip(&self.boundaries) {
+            if !seg.constrained {
+                continue;
+            }
+            let from = if start == end {
+                // Empty segment: zero-width capture at the boundary.
+                spans.spans.get(start).map_or(chars.len(), |&(a, _)| a)
+            } else {
+                spans.spans[start].0
+            };
+            let to = if start == end {
+                from
+            } else {
+                spans.spans[end - 1].1
+            };
+            out.push(chars[from..to].iter().collect());
+        }
+        Some(out)
+    }
+
+    /// The blocking key: constrained captures joined with `\u{1F}` (unit
+    /// separator), or `None` if `s` does not match.
+    ///
+    /// `key(s) == key(s')` (both `Some`) iff `s ≡_Q s'`.
+    #[must_use]
+    pub fn key(&self, s: &str) -> Option<String> {
+        let caps = self.captures(s)?;
+        Some(caps.join("\u{1F}"))
+    }
+
+    /// The `≡_Q` relation: both strings match and agree on every
+    /// constrained capture.
+    #[must_use]
+    pub fn equivalent(&self, s1: &str, s2: &str) -> bool {
+        match (self.key(s1), self.key(s2)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Structural restriction check: is `self` a restricted pattern of
+    /// `other` (`self ⊆ other` on constrained patterns)?
+    ///
+    /// Sound criterion (sufficient, not complete): the embedded pattern of
+    /// `self` is language-contained in `other`'s, and every constrained
+    /// segment of `other` is matched by a constrained segment of `self` at
+    /// the same segment-alignment position with a contained pattern. This
+    /// covers the paper's Example 2 (`Q2 ⊆ Q1`) and the cases discovery
+    /// produces; a complete decision procedure would need semantic
+    /// alignment of segment boundaries, which the restricted language does
+    /// not require in practice.
+    #[must_use]
+    pub fn is_restriction_of(&self, other: &ConstrainedPattern) -> bool {
+        if !crate::containment::contains(other.embedded(), self.embedded()) {
+            return false;
+        }
+        // Greedy left-to-right mapping of other's segments onto ours.
+        let mut i = 0usize;
+        for oseg in &other.segments {
+            if !oseg.constrained {
+                continue;
+            }
+            let mut found = false;
+            while i < self.segments.len() {
+                let sseg = &self.segments[i];
+                i += 1;
+                if sseg.constrained
+                    && crate::containment::contains(&oseg.pattern, &sseg.pattern)
+                {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for ConstrainedPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for seg in &self.segments {
+            if seg.constrained {
+                write!(f, "[{}]", seg.pattern)?;
+            } else {
+                write!(f, "{}", seg.pattern)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for ConstrainedPattern {
+    type Err = PatternError;
+
+    fn from_str(s: &str) -> Result<ConstrainedPattern, PatternError> {
+        crate::parser::parse_constrained(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(s: &str) -> ConstrainedPattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn q1_from_example2() {
+        // Q1 = \LU\LL*\ \A* with first name constrained.
+        let q1 = cp("[\\LU\\LL*\\ ]\\A*");
+        assert!(q1.matches("John Charles"));
+        assert!(q1.matches("John Bosco"));
+        // r1 ≡_Q1 r2: same first name.
+        assert!(q1.equivalent("John Charles", "John Bosco"));
+        assert!(!q1.equivalent("John Charles", "Susan Boyle"));
+        assert_eq!(
+            q1.captures("John Charles").unwrap(),
+            vec!["John ".to_string()]
+        );
+    }
+
+    #[test]
+    fn q2_from_example2_first_and_last() {
+        let q2 = cp("[\\LU\\LL*\\ ]\\A*[\\LU\\LL*]");
+        // Constrained on first and last name; middle free.
+        assert!(q2.matches("John Albert Charles"));
+        let caps = q2.captures("John Albert Charles").unwrap();
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0], "John ");
+        // Greedy \A* takes as much as possible while leaving \LU\LL* matchable.
+        assert!(caps[1].starts_with(char::is_uppercase));
+    }
+
+    #[test]
+    fn restriction_example2() {
+        let q1 = cp("[\\LU\\LL*\\ ]\\A*");
+        let q2 = cp("[\\LU\\LL*\\ ]\\A*\\ [\\LU\\LL*]");
+        assert!(q2.is_restriction_of(&q1));
+        assert!(!q1.is_restriction_of(&q2));
+    }
+
+    #[test]
+    fn whole_pattern_blocking() {
+        let q = ConstrainedPattern::whole("\\D{3}".parse().unwrap());
+        assert_eq!(q.key("607").as_deref(), Some("607"));
+        assert!(q.equivalent("607", "607"));
+        assert!(!q.equivalent("607", "850"));
+        assert!(q.key("60x").is_none());
+    }
+
+    #[test]
+    fn zip_prefix_constrained() {
+        // λ5: first 3 digits of a 5-digit zip determine the city.
+        let q = cp("[\\D{3}]\\D{2}");
+        assert!(q.equivalent("90001", "90002"));
+        assert!(!q.equivalent("90001", "90101"));
+        assert_eq!(q.captures("90001").unwrap(), vec!["900".to_string()]);
+    }
+
+    #[test]
+    fn unconstrained_has_no_key_semantics() {
+        let q = ConstrainedPattern::unconstrained("\\D{5}".parse().unwrap());
+        assert!(!q.has_constraint());
+        // All matching strings are equivalent (empty capture vector).
+        assert!(q.equivalent("90001", "12345"));
+        assert!(q.clone().require_constrained().is_err());
+    }
+
+    #[test]
+    fn key_distinguishes_multi_captures() {
+        // Ambiguity guard: two captures "ab|c" vs "a|bc" must differ.
+        let q = cp("[\\LL+]-[\\LL+]");
+        let k1 = q.key("ab-c").unwrap();
+        let k2 = q.key("a-bc").unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn non_matching_strings_never_equivalent() {
+        let q = cp("[\\D{3}]\\D{2}");
+        assert!(!q.equivalent("90001", "900x1"));
+        assert!(!q.equivalent("x", "x"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "[\\LU\\LL*\\ ]\\A*",
+            "[\\D{3}]\\D{2}",
+            "[\\LU\\LL*\\ ]\\A*\\ [\\LU\\LL*]",
+            "\\A*,\\ [Donald]\\A*",
+        ] {
+            let q = cp(s);
+            assert_eq!(cp(&q.to_string()), q, "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn embedded_concatenation() {
+        let q = cp("[\\D{3}]\\D{2}");
+        assert_eq!(q.embedded().to_string(), "\\D{3}\\D{2}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let q = cp("[\\LU\\LL*\\ ]\\A*");
+        let json = serde_json::to_string(&q).unwrap();
+        let q2: ConstrainedPattern = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared across the pattern crate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The textual pattern ended in the middle of an escape or quantifier.
+    UnexpectedEnd {
+        /// Byte offset at which input was exhausted.
+        at: usize,
+    },
+    /// An escape sequence that is not part of the language (e.g. `\Q`).
+    UnknownEscape {
+        /// Byte offset of the backslash.
+        at: usize,
+        /// The offending escape body.
+        escape: String,
+    },
+    /// A malformed `{..}` quantifier.
+    BadQuantifier {
+        /// Byte offset of the opening brace.
+        at: usize,
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// A quantifier with nothing to repeat (`*abc`, leading `{3}` …).
+    DanglingQuantifier {
+        /// Byte offset of the quantifier.
+        at: usize,
+    },
+    /// Constrained-segment brackets that do not balance.
+    UnbalancedSegment {
+        /// Byte offset of the offending bracket (or end of input).
+        at: usize,
+    },
+    /// A constrained pattern without any constrained segment.
+    NoConstrainedSegment,
+    /// An empty pattern where a non-empty one is required.
+    EmptyPattern,
+    /// A quantifier interval with `min > max`.
+    EmptyInterval {
+        /// The declared minimum.
+        min: u32,
+        /// The declared maximum.
+        max: u32,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::UnexpectedEnd { at } => {
+                write!(f, "unexpected end of pattern at byte {at}")
+            }
+            PatternError::UnknownEscape { at, escape } => {
+                write!(f, "unknown escape `\\{escape}` at byte {at}")
+            }
+            PatternError::BadQuantifier { at, reason } => {
+                write!(f, "bad quantifier at byte {at}: {reason}")
+            }
+            PatternError::DanglingQuantifier { at } => {
+                write!(f, "quantifier with nothing to repeat at byte {at}")
+            }
+            PatternError::UnbalancedSegment { at } => {
+                write!(f, "unbalanced constrained-segment bracket at byte {at}")
+            }
+            PatternError::NoConstrainedSegment => {
+                write!(f, "constrained pattern has no constrained segment")
+            }
+            PatternError::EmptyPattern => write!(f, "pattern is empty"),
+            PatternError::EmptyInterval { min, max } => {
+                write!(f, "quantifier interval {{{min},{max}}} is empty (min > max)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}

@@ -1,0 +1,433 @@
+//! Parser for the paper's textual pattern syntax.
+//!
+//! Grammar (whitespace is significant — a space is a literal character):
+//!
+//! ```text
+//! constrained  := segment+                     (at least one bracketed)
+//! segment      := '[' pattern ']' | pattern
+//! pattern      := element*
+//! element      := atom quantifier?
+//! atom         := '\A' | '\LU' | '\LL' | '\D' | '\S'
+//!               | '\' special     (escaped literal: \\ \  \{ \} \* \+ \[ \])
+//!               | any other char  (literal)
+//! quantifier   := '*' | '+' | '{' N '}' | '{' N ',' '}' | '{' N ',' M '}'
+//! ```
+//!
+//! The printed form of every [`Pattern`] and
+//! [`ConstrainedPattern`](crate::ConstrainedPattern) re-parses to an equal
+//! value (round-trip property, checked by proptests).
+
+use crate::ast::{Element, Pattern, Quantifier};
+use crate::constrained::{ConstrainedPattern, Segment};
+use crate::error::PatternError;
+use crate::symbol::SymbolClass;
+
+/// Parse a plain pattern (no constrained segments).
+pub fn parse_pattern(input: &str) -> Result<Pattern, PatternError> {
+    let mut p = Parser::new(input);
+    let pat = p.pattern(&['[', ']'])?;
+    if let Some((at, c)) = p.peek() {
+        // A stray bracket (or anything else `pattern` refused to consume).
+        return Err(match c {
+            '[' | ']' => PatternError::UnbalancedSegment { at },
+            _ => PatternError::DanglingQuantifier { at },
+        });
+    }
+    Ok(pat)
+}
+
+/// Parse a constrained pattern: segments in `[...]` are constrained.
+///
+/// A plain pattern with no brackets parses successfully but yields a
+/// constrained pattern with zero constrained segments; callers that require
+/// a constraint should use
+/// [`ConstrainedPattern::require_constrained`].
+pub fn parse_constrained(input: &str) -> Result<ConstrainedPattern, PatternError> {
+    let mut p = Parser::new(input);
+    let mut segments: Vec<Segment> = Vec::new();
+    loop {
+        match p.peek() {
+            None => break,
+            Some((_, '[')) => {
+                p.bump();
+                let pat = p.pattern(&[']'])?;
+                match p.peek() {
+                    Some((_, ']')) => {
+                        p.bump();
+                    }
+                    other => {
+                        return Err(PatternError::UnbalancedSegment {
+                            at: other.map_or(p.len(), |(at, _)| at),
+                        })
+                    }
+                }
+                segments.push(Segment::constrained(pat));
+            }
+            Some((at, ']')) => return Err(PatternError::UnbalancedSegment { at }),
+            Some(_) => {
+                let pat = p.pattern(&['[', ']'])?;
+                if pat.is_empty() {
+                    // `pattern` refused the next char and it wasn't a bracket:
+                    // impossible given peek above, but guard against loops.
+                    return Err(PatternError::UnexpectedEnd { at: p.pos });
+                }
+                segments.push(Segment::free(pat));
+            }
+        }
+    }
+    ConstrainedPattern::new(segments)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    // (byte offset, char) pairs.
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            input,
+            chars: input.char_indices().collect(),
+            pos: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    fn peek(&self) -> Option<(usize, char)> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let out = self.peek();
+        if out.is_some() {
+            self.pos += 1;
+        }
+        out
+    }
+
+    /// Parse a maximal run of elements, stopping at EOF or any char in
+    /// `stop` (unescaped).
+    fn pattern(&mut self, stop: &[char]) -> Result<Pattern, PatternError> {
+        let mut elements = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some((_, c)) if stop.contains(&c) => break,
+                Some((at, c)) if c == '*' || c == '+' || c == '{' => {
+                    return Err(PatternError::DanglingQuantifier { at });
+                }
+                Some(_) => {
+                    let class = self.atom()?;
+                    let quant = self.quantifier()?;
+                    elements.push(Element::new(class, quant));
+                }
+            }
+        }
+        Ok(Pattern::new(elements))
+    }
+
+    fn atom(&mut self) -> Result<SymbolClass, PatternError> {
+        let (at, c) = self.bump().expect("caller peeked");
+        if c != '\\' {
+            return Ok(SymbolClass::Literal(c));
+        }
+        let (_, esc) = self
+            .bump()
+            .ok_or(PatternError::UnexpectedEnd { at: self.len() })?;
+        match esc {
+            'A' => Ok(SymbolClass::Any),
+            'D' => Ok(SymbolClass::Digit),
+            'S' => Ok(SymbolClass::Symbol),
+            'L' => {
+                let (_, kind) = self
+                    .bump()
+                    .ok_or(PatternError::UnexpectedEnd { at: self.len() })?;
+                match kind {
+                    'U' => Ok(SymbolClass::Upper),
+                    'L' => Ok(SymbolClass::Lower),
+                    other => Err(PatternError::UnknownEscape {
+                        at,
+                        escape: format!("L{other}"),
+                    }),
+                }
+            }
+            '\\' | ' ' | '{' | '}' | '*' | '+' | '[' | ']' => Ok(SymbolClass::Literal(esc)),
+            other => Err(PatternError::UnknownEscape {
+                at,
+                escape: other.to_string(),
+            }),
+        }
+    }
+
+    fn quantifier(&mut self) -> Result<Quantifier, PatternError> {
+        match self.peek() {
+            Some((_, '*')) => {
+                self.bump();
+                Ok(Quantifier::Star)
+            }
+            Some((_, '+')) => {
+                self.bump();
+                Ok(Quantifier::Plus)
+            }
+            Some((at, '{')) => {
+                self.bump();
+                self.braced_quantifier(at)
+            }
+            _ => Ok(Quantifier::One),
+        }
+    }
+
+    fn braced_quantifier(&mut self, open_at: usize) -> Result<Quantifier, PatternError> {
+        let min = self.number(open_at)?;
+        match self.bump() {
+            Some((_, '}')) => Ok(if min == 1 {
+                Quantifier::One
+            } else {
+                Quantifier::Exactly(min)
+            }),
+            Some((_, ',')) => match self.peek() {
+                Some((_, '}')) => {
+                    self.bump();
+                    Ok(match min {
+                        0 => Quantifier::Star,
+                        1 => Quantifier::Plus,
+                        n => Quantifier::AtLeast(n),
+                    })
+                }
+                Some(_) => {
+                    let max = self.number(open_at)?;
+                    match self.bump() {
+                        Some((_, '}')) => {
+                            if min > max {
+                                Err(PatternError::EmptyInterval { min, max })
+                            } else if min == max {
+                                Ok(if min == 1 {
+                                    Quantifier::One
+                                } else {
+                                    Quantifier::Exactly(min)
+                                })
+                            } else {
+                                Ok(Quantifier::Range(min, max))
+                            }
+                        }
+                        _ => Err(PatternError::BadQuantifier {
+                            at: open_at,
+                            reason: "missing closing `}`".into(),
+                        }),
+                    }
+                }
+                None => Err(PatternError::UnexpectedEnd { at: self.len() }),
+            },
+            Some((at, c)) => Err(PatternError::BadQuantifier {
+                at: open_at,
+                reason: format!("unexpected `{c}` at byte {at}"),
+            }),
+            None => Err(PatternError::UnexpectedEnd { at: self.len() }),
+        }
+    }
+
+    fn number(&mut self, open_at: usize) -> Result<u32, PatternError> {
+        let mut digits = String::new();
+        while let Some((_, c)) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return Err(PatternError::BadQuantifier {
+                at: open_at,
+                reason: "expected a number".into(),
+            });
+        }
+        digits.parse().map_err(|_| PatternError::BadQuantifier {
+            at: open_at,
+            reason: format!("number `{digits}` out of range"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(s: &str) -> Pattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn parse_paper_lambda3() {
+        // λ3: zip codes 900xx.
+        let p = pat("900\\D{2}");
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.to_string(), "900\\D{2}");
+        assert!(p.matches("90001"));
+        assert!(!p.matches("9000"));
+    }
+
+    #[test]
+    fn parse_paper_lambda4_embedded() {
+        // λ4's embedded pattern: \LU\LL*\ \A*
+        let p = pat("\\LU\\LL*\\ \\A*");
+        assert_eq!(p.to_string(), "\\LU\\LL*\\ \\A*");
+        assert!(p.matches("John Charles"));
+        assert!(p.matches("Susan Boyle"));
+        assert!(!p.matches("john charles"));
+    }
+
+    #[test]
+    fn parse_classes() {
+        assert_eq!(pat("\\A").elements()[0].class, SymbolClass::Any);
+        assert_eq!(pat("\\D").elements()[0].class, SymbolClass::Digit);
+        assert_eq!(pat("\\S").elements()[0].class, SymbolClass::Symbol);
+        assert_eq!(pat("\\LU").elements()[0].class, SymbolClass::Upper);
+        assert_eq!(pat("\\LL").elements()[0].class, SymbolClass::Lower);
+    }
+
+    #[test]
+    fn parse_quantifiers() {
+        assert_eq!(pat("a*").elements()[0].quant, Quantifier::Star);
+        assert_eq!(pat("a+").elements()[0].quant, Quantifier::Plus);
+        assert_eq!(pat("a{7}").elements()[0].quant, Quantifier::Exactly(7));
+        assert_eq!(pat("a{2,}").elements()[0].quant, Quantifier::AtLeast(2));
+        assert_eq!(pat("a{2,5}").elements()[0].quant, Quantifier::Range(2, 5));
+        // {1} and {3,3} canonicalize.
+        assert_eq!(pat("a{1}").elements()[0].quant, Quantifier::One);
+        assert_eq!(pat("a{3,3}").elements()[0].quant, Quantifier::Exactly(3));
+        assert_eq!(pat("a{0,}").elements()[0].quant, Quantifier::Star);
+        assert_eq!(pat("a{1,}").elements()[0].quant, Quantifier::Plus);
+    }
+
+    #[test]
+    fn parse_escaped_literals() {
+        let p = pat("\\\\\\ \\{\\}\\*\\+\\[\\]");
+        let lits: Vec<char> = p
+            .elements()
+            .iter()
+            .map(|e| match e.class {
+                SymbolClass::Literal(c) => c,
+                _ => panic!("expected literal"),
+            })
+            .collect();
+        assert_eq!(lits, vec!['\\', ' ', '{', '}', '*', '+', '[', ']']);
+    }
+
+    #[test]
+    fn reject_unknown_escape() {
+        assert!(matches!(
+            parse_pattern("\\Q"),
+            Err(PatternError::UnknownEscape { .. })
+        ));
+        assert!(matches!(
+            parse_pattern("\\LX"),
+            Err(PatternError::UnknownEscape { .. })
+        ));
+    }
+
+    #[test]
+    fn reject_dangling_quantifier() {
+        assert!(matches!(
+            parse_pattern("*ab"),
+            Err(PatternError::DanglingQuantifier { .. })
+        ));
+        assert!(matches!(
+            parse_pattern("{3}"),
+            Err(PatternError::DanglingQuantifier { .. })
+        ));
+    }
+
+    #[test]
+    fn reject_bad_braces() {
+        assert!(matches!(
+            parse_pattern("a{}"),
+            Err(PatternError::BadQuantifier { .. })
+        ));
+        assert!(matches!(
+            parse_pattern("a{3"),
+            Err(PatternError::BadQuantifier { .. }) | Err(PatternError::UnexpectedEnd { .. })
+        ));
+        assert!(matches!(
+            parse_pattern("a{5,2}"),
+            Err(PatternError::EmptyInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn reject_unescaped_bracket_in_plain_pattern() {
+        assert!(matches!(
+            parse_pattern("ab]cd"),
+            Err(PatternError::UnbalancedSegment { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_trailing_escape_fails() {
+        assert!(matches!(
+            parse_pattern("abc\\"),
+            Err(PatternError::UnexpectedEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn constrained_roundtrip() {
+        let q = parse_constrained("[\\LU\\LL*\\ ]\\A*").unwrap();
+        assert_eq!(q.segments().len(), 2);
+        assert!(q.segments()[0].constrained);
+        assert!(!q.segments()[1].constrained);
+        assert_eq!(q.to_string(), "[\\LU\\LL*\\ ]\\A*");
+    }
+
+    #[test]
+    fn constrained_multi_segment() {
+        // Q2 from Example 2: first and last name constrained, middles free.
+        let q = parse_constrained("[\\LU\\LL*\\ ]\\A*\\ [\\LU\\LL*]").unwrap();
+        assert_eq!(q.segments().len(), 3);
+        assert!(q.segments()[0].constrained);
+        assert!(!q.segments()[1].constrained);
+        assert!(q.segments()[2].constrained);
+    }
+
+    #[test]
+    fn constrained_rejects_unbalanced() {
+        assert!(matches!(
+            parse_constrained("[\\D{3}"),
+            Err(PatternError::UnbalancedSegment { .. })
+        ));
+        assert!(matches!(
+            parse_constrained("\\D{3}]"),
+            Err(PatternError::UnbalancedSegment { .. })
+        ));
+    }
+
+    #[test]
+    fn plain_input_parses_as_unconstrained() {
+        let q = parse_constrained("\\D{5}").unwrap();
+        assert_eq!(q.segments().len(), 1);
+        assert!(!q.segments()[0].constrained);
+    }
+
+    #[test]
+    fn display_roundtrip_samples() {
+        for s in [
+            "900\\D{2}",
+            "\\LU\\LL*\\ \\A*",
+            "\\D{3}\\ \\D{2}",
+            "abc",
+            "\\A*,\\ Donald\\A*",
+            "a{2,5}b+c*",
+            "\\S\\S{2}",
+        ] {
+            let p = pat(s);
+            let printed = p.to_string();
+            let reparsed = parse_pattern(&printed).unwrap();
+            assert_eq!(p, reparsed, "round-trip failed for {s}");
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! RFC-4180 CSV reading and writing.
+//!
+//! Hand-rolled rather than a dependency: the demo only needs headers,
+//! quoting (embedded commas, quotes, newlines) and a configurable
+//! delimiter, and owning the parser keeps error positions precise.
+
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+/// CSV parsing/writing options.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header row (default true).
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+        }
+    }
+}
+
+/// Read a table from CSV text with default options.
+pub fn read_str(input: &str) -> Result<Table, TableError> {
+    read_str_with(input, CsvOptions::default())
+}
+
+/// Read a table from CSV text.
+pub fn read_str_with(input: &str, opts: CsvOptions) -> Result<Table, TableError> {
+    let records = parse_records(input, opts.delimiter)?;
+    records_to_table(records, opts)
+}
+
+/// Read a table from a file path.
+pub fn read_path(path: impl AsRef<Path>) -> Result<Table, TableError> {
+    read_path_with(path, CsvOptions::default())
+}
+
+/// Read a table from a file path with options.
+pub fn read_path_with(path: impl AsRef<Path>, opts: CsvOptions) -> Result<Table, TableError> {
+    let mut reader = BufReader::new(std::fs::File::open(path)?);
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    read_str_with(&buf, opts)
+}
+
+/// Serialize a table to CSV text (always writes a header).
+#[must_use]
+pub fn write_str(table: &Table) -> String {
+    write_str_with(table, CsvOptions::default())
+}
+
+/// Serialize a table to CSV text with options.
+#[must_use]
+pub fn write_str_with(table: &Table, opts: CsvOptions) -> String {
+    let mut out = String::new();
+    if opts.has_header {
+        write_record(
+            &mut out,
+            table.schema().names().iter().map(String::as_str),
+            opts.delimiter,
+        );
+    }
+    for r in 0..table.row_count() {
+        write_record(
+            &mut out,
+            (0..table.column_count()).map(|c| table.cell(r, c).as_str().unwrap_or("")),
+            opts.delimiter,
+        );
+    }
+    out
+}
+
+/// Write a table to a file.
+pub fn write_path(table: &Table, path: impl AsRef<Path>) -> Result<(), TableError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(write_str(table).as_bytes())?;
+    Ok(())
+}
+
+/// Stream a table from any reader.
+pub fn read_from(reader: impl Read, opts: CsvOptions) -> Result<Table, TableError> {
+    let mut buf = String::new();
+    BufReader::new(reader).read_to_string(&mut buf)?;
+    read_str_with(&buf, opts)
+}
+
+fn records_to_table(records: Vec<Vec<String>>, opts: CsvOptions) -> Result<Table, TableError> {
+    let mut it = records.into_iter();
+    let schema = if opts.has_header {
+        match it.next() {
+            Some(header) => Schema::new(header)?,
+            None => Schema::new(Vec::<String>::new())?,
+        }
+    } else {
+        // Peek arity from the first record; synthesize c0..cN names.
+        let first = it.next();
+        let arity = first.as_ref().map_or(0, Vec::len);
+        let schema = Schema::new((0..arity).map(|i| format!("c{i}")))?;
+        let mut table = Table::empty(schema);
+        if let Some(row) = first {
+            table.push_row(row.into_iter().map(|f| Value::from_field(&f)).collect())?;
+        }
+        for row in it {
+            table.push_row(row.into_iter().map(|f| Value::from_field(&f)).collect())?;
+        }
+        return Ok(table);
+    };
+    let mut table = Table::empty(schema);
+    for row in it {
+        table.push_row(row.into_iter().map(|f| Value::from_field(&f)).collect())?;
+    }
+    Ok(table)
+}
+
+/// Parse CSV text into records of fields.
+fn parse_records(input: &str, delimiter: char) -> Result<Vec<Vec<String>>, TableError> {
+    #[derive(PartialEq)]
+    enum State {
+        FieldStart,
+        Unquoted,
+        Quoted,
+        QuoteInQuoted, // saw a `"` inside a quoted field: escape or end
+    }
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut state = State::FieldStart;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    // Track whether anything has been produced on the current record, so a
+    // trailing newline doesn't create a phantom empty record.
+    let mut record_started = false;
+
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            line += 1;
+        }
+        match state {
+            State::FieldStart => match c {
+                '"' => {
+                    state = State::Quoted;
+                    record_started = true;
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                        line += 1;
+                    }
+                    end_record(&mut records, &mut record, &mut field, &mut record_started);
+                }
+                '\n' => {
+                    end_record(&mut records, &mut record, &mut field, &mut record_started);
+                }
+                c if c == delimiter => {
+                    record.push(String::new());
+                    record_started = true;
+                }
+                c => {
+                    field.push(c);
+                    state = State::Unquoted;
+                    record_started = true;
+                }
+            },
+            State::Unquoted => match c {
+                '"' => {
+                    return Err(TableError::Csv {
+                        line,
+                        reason: "quote inside unquoted field".into(),
+                    })
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                        line += 1;
+                    }
+                    record.push(std::mem::take(&mut field));
+                    end_record_no_push(&mut records, &mut record, &mut record_started);
+                    state = State::FieldStart;
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    end_record_no_push(&mut records, &mut record, &mut record_started);
+                    state = State::FieldStart;
+                }
+                c if c == delimiter => {
+                    record.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                    record_started = true;
+                }
+                c => field.push(c),
+            },
+            State::Quoted => match c {
+                '"' => state = State::QuoteInQuoted,
+                c => field.push(c),
+            },
+            State::QuoteInQuoted => match c {
+                '"' => {
+                    field.push('"');
+                    state = State::Quoted;
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                        line += 1;
+                    }
+                    record.push(std::mem::take(&mut field));
+                    end_record_no_push(&mut records, &mut record, &mut record_started);
+                    state = State::FieldStart;
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    end_record_no_push(&mut records, &mut record, &mut record_started);
+                    state = State::FieldStart;
+                }
+                c if c == delimiter => {
+                    record.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                    record_started = true;
+                }
+                c => {
+                    return Err(TableError::Csv {
+                        line,
+                        reason: format!("unexpected `{c}` after closing quote"),
+                    })
+                }
+            },
+        }
+    }
+    // EOF.
+    match state {
+        State::Quoted => {
+            return Err(TableError::Csv {
+                line,
+                reason: "unterminated quoted field".into(),
+            })
+        }
+        State::Unquoted | State::QuoteInQuoted => {
+            record.push(std::mem::take(&mut field));
+            records.push(std::mem::take(&mut record));
+        }
+        State::FieldStart => {
+            if record_started {
+                record.push(String::new());
+                records.push(std::mem::take(&mut record));
+            }
+        }
+    }
+    Ok(records)
+}
+
+fn end_record(
+    records: &mut Vec<Vec<String>>,
+    record: &mut Vec<String>,
+    field: &mut String,
+    record_started: &mut bool,
+) {
+    if *record_started {
+        record.push(std::mem::take(field));
+        records.push(std::mem::take(record));
+        *record_started = false;
+    } else if !record.is_empty() {
+        records.push(std::mem::take(record));
+    }
+    // A bare newline on an empty record is skipped (blank line).
+}
+
+fn end_record_no_push(
+    records: &mut Vec<Vec<String>>,
+    record: &mut Vec<String>,
+    record_started: &mut bool,
+) {
+    records.push(std::mem::take(record));
+    *record_started = false;
+}
+
+fn write_record<'a>(
+    out: &mut String,
+    fields: impl Iterator<Item = &'a str>,
+    delimiter: char,
+) {
+    let mut fields = fields.peekable();
+    // A record that is a single empty field would print as a blank line,
+    // which readers (ours included) skip. Quote it to disambiguate.
+    if let Some(first) = fields.peek() {
+        if first.is_empty() {
+            let first = fields.next().expect("peeked");
+            if fields.peek().is_none() {
+                out.push_str("\"\"\n");
+                return;
+            }
+            // Re-chain the consumed field.
+            write_record_inner(out, std::iter::once(first).chain(fields), delimiter);
+            return;
+        }
+    }
+    write_record_inner(out, fields, delimiter);
+}
+
+fn write_record_inner<'a>(
+    out: &mut String,
+    fields: impl Iterator<Item = &'a str>,
+    delimiter: char,
+) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(delimiter);
+        }
+        first = false;
+        if f.contains(delimiter) || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            out.push('"');
+            for c in f.chars() {
+                if c == '"' {
+                    out.push('"');
+                }
+                out.push(c);
+            }
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_read() {
+        let t = read_str("zip,city\n90001,Los Angeles\n90002,Los Angeles\n").unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.schema().names(), &["zip", "city"]);
+        assert_eq!(t.cell_str(0, 1), Some("Los Angeles"));
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = read_str("name,gender\n\"Jones, Stacey R.\",F\n").unwrap();
+        assert_eq!(t.cell_str(0, 0), Some("Jones, Stacey R."));
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let t = read_str("a\n\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.cell_str(0, 0), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn embedded_newline() {
+        let t = read_str("a,b\n\"line1\nline2\",x\n").unwrap();
+        assert_eq!(t.cell_str(0, 0), Some("line1\nline2"));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = read_str("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell_str(1, 1), Some("4"));
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let t = read_str("a,b\n1,2").unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.cell_str(0, 1), Some("2"));
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let t = read_str("a,b,c\n1,,3\n").unwrap();
+        assert!(t.cell(0, 1).is_null());
+    }
+
+    #[test]
+    fn trailing_empty_field() {
+        let t = read_str("a,b\n1,\n").unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert!(t.cell(0, 1).is_null());
+    }
+
+    #[test]
+    fn headerless_mode() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let t = read_str_with("1,2\n3,4\n", opts).unwrap();
+        assert_eq!(t.schema().names(), &["c0", "c1"]);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn alternative_delimiter() {
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
+        let t = read_str_with("a;b\n1;2\n", opts).unwrap();
+        assert_eq!(t.cell_str(0, 1), Some("2"));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        assert!(matches!(
+            read_str("a,b\n1,2,3\n"),
+            Err(TableError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(matches!(
+            read_str("a\n\"oops\n"),
+            Err(TableError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_after_quote_rejected() {
+        assert!(matches!(
+            read_str("a\n\"x\"y\n"),
+            Err(TableError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let schema = Schema::new(["name", "note"]).unwrap();
+        let t = Table::from_rows(
+            schema,
+            [
+                vec![Value::text("Jones, Stacey"), Value::text("says \"hi\"")],
+                vec![Value::Null, Value::text("line1\nline2")],
+            ],
+        )
+        .unwrap();
+        let csv = write_str(&t);
+        let t2 = read_str(&csv).unwrap();
+        assert_eq!(t2.cell_str(0, 0), Some("Jones, Stacey"));
+        assert_eq!(t2.cell_str(0, 1), Some("says \"hi\""));
+        assert!(t2.cell(1, 0).is_null());
+        assert_eq!(t2.cell_str(1, 1), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = read_str("a,b\n1,2\n\n3,4\n").unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let schema = Schema::new(["x"]).unwrap();
+        let t = Table::from_str_rows(schema, [["1"], ["2"]]).unwrap();
+        let path = std::env::temp_dir().join("anmat_csv_test.csv");
+        write_path(&t, &path).unwrap();
+        let t2 = read_path(&path).unwrap();
+        assert_eq!(t, t2);
+        let _ = std::fs::remove_file(path);
+    }
+}

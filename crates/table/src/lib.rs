@@ -1,0 +1,33 @@
+//! In-memory relational table substrate for ANMAT.
+//!
+//! The paper's demo system ingests CSV uploads, profiles them, and stores
+//! results in MongoDB. This crate provides the equivalent storage layer as
+//! a plain Rust library:
+//!
+//! * [`Value`] / [`Schema`] / [`Table`] — a columnar, string-centric
+//!   relational store (PFDs operate on cell *strings*, so cells are text
+//!   with an explicit null marker; typed interpretation happens at
+//!   profiling time);
+//! * [`csv`] — an RFC-4180 CSV reader/writer (quoting, embedded
+//!   separators/newlines, escaped quotes);
+//! * [`profile`] — the data profiler behind Figure 3: inferred column
+//!   types, distinct/null statistics, and per-level pattern histograms; it
+//!   also implements the `CandidateDependencies` pruning of the discovery
+//!   algorithm (line 1 of Figure 2);
+//! * [`tokenize`] — the `Tokenize` and `NGrams` functions of Figure 2,
+//!   with token/char positions.
+
+pub mod csv;
+pub mod error;
+pub mod profile;
+pub mod schema;
+pub mod table;
+pub mod tokenize;
+pub mod value;
+
+pub use error::TableError;
+pub use profile::{ColumnProfile, InferredType, PatternHistogram, TableProfile};
+pub use schema::Schema;
+pub use table::{RowId, Table, TableBuilder};
+pub use tokenize::{ngrams, prefixes, tokenize, NGram, Token};
+pub use value::Value;

@@ -1,0 +1,123 @@
+//! Table schemas: ordered, uniquely-named columns.
+
+use crate::error::TableError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An ordered list of uniquely-named columns.
+///
+/// Serializes as a plain list of names; duplicate names are rejected both
+/// at construction and at deserialization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<String>", into = "Vec<String>")]
+pub struct Schema {
+    names: Vec<String>,
+    by_name: HashMap<String, usize>,
+}
+
+impl TryFrom<Vec<String>> for Schema {
+    type Error = String;
+
+    fn try_from(names: Vec<String>) -> Result<Schema, String> {
+        Schema::new(names).map_err(|e| e.to_string())
+    }
+}
+
+impl From<Schema> for Vec<String> {
+    fn from(s: Schema) -> Vec<String> {
+        s.names
+    }
+}
+
+impl Schema {
+    /// Build a schema; rejects duplicate names.
+    pub fn new<I, S>(names: I) -> Result<Schema, TableError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let mut by_name = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            if by_name.insert(n.clone(), i).is_some() {
+                return Err(TableError::DuplicateColumn { name: n.clone() });
+            }
+        }
+        Ok(Schema { names, by_name })
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Column names in order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of a column by name.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Index of a column by name, as an error-carrying lookup.
+    pub fn require(&self, name: &str) -> Result<usize, TableError> {
+        self.index_of(name).ok_or_else(|| TableError::UnknownColumn {
+            name: name.to_string(),
+        })
+    }
+
+    /// Name of the column at `idx` (panics if out of range).
+    #[must_use]
+    pub fn name(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(["zip", "city"]).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("zip"), Some(0));
+        assert_eq!(s.index_of("city"), Some(1));
+        assert_eq!(s.index_of("state"), None);
+        assert_eq!(s.name(1), "city");
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert!(matches!(
+            Schema::new(["a", "b", "a"]),
+            Err(TableError::DuplicateColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn require_errors_on_missing() {
+        let s = Schema::new(["a"]).unwrap();
+        assert!(s.require("a").is_ok());
+        assert!(matches!(
+            s.require("z"),
+            Err(TableError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_reindexes() {
+        let s = Schema::new(["x", "y"]).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, r#"["x","y"]"#);
+        let s2: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s2.index_of("y"), Some(1));
+        assert!(serde_json::from_str::<Schema>(r#"["a","a"]"#).is_err());
+    }
+}

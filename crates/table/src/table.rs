@@ -1,0 +1,286 @@
+//! Columnar in-memory tables.
+
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a row: its 0-based position.
+pub type RowId = usize;
+
+/// A columnar table: one `Vec<Value>` per column, all equal length.
+///
+/// Columnar layout matches the access pattern of both discovery (scan a
+/// column pair) and detection (scan one column, probe another).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    #[must_use]
+    pub fn empty(schema: Schema) -> Table {
+        let columns = (0..schema.arity()).map(|_| Vec::new()).collect();
+        Table {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Build a table from rows of cells.
+    pub fn from_rows<R>(schema: Schema, rows: R) -> Result<Table, TableError>
+    where
+        R: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut t = Table::empty(schema);
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(t)
+    }
+
+    /// Convenience: build from string rows (fields go through
+    /// [`Value::from_field`]).
+    pub fn from_str_rows<'a, R, F>(schema: Schema, rows: R) -> Result<Table, TableError>
+    where
+        R: IntoIterator<Item = F>,
+        F: IntoIterator<Item = &'a str>,
+    {
+        let mut t = Table::empty(schema);
+        for row in rows {
+            t.push_row(row.into_iter().map(Value::from_field).collect())?;
+        }
+        Ok(t)
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<RowId, TableError> {
+        if row.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                row: self.rows,
+                found: row.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        let id = self.rows;
+        self.rows += 1;
+        Ok(id)
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn column_count(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// A whole column by index (panics if out of range).
+    #[must_use]
+    pub fn column(&self, idx: usize) -> &[Value] {
+        &self.columns[idx]
+    }
+
+    /// A whole column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[Value], TableError> {
+        Ok(&self.columns[self.schema.require(name)?])
+    }
+
+    /// One cell.
+    #[must_use]
+    pub fn cell(&self, row: RowId, col: usize) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// One cell's string content (`None` if null).
+    #[must_use]
+    pub fn cell_str(&self, row: RowId, col: usize) -> Option<&str> {
+        self.columns[col][row].as_str()
+    }
+
+    /// Overwrite one cell (used by error injection and repair).
+    pub fn set_cell(&mut self, row: RowId, col: usize, v: Value) {
+        self.columns[col][row] = v;
+    }
+
+    /// Materialize one row.
+    #[must_use]
+    pub fn row(&self, row: RowId) -> Vec<&Value> {
+        self.columns.iter().map(|c| &c[row]).collect()
+    }
+
+    /// Iterate `(RowId, &Value)` over a column.
+    pub fn iter_column(&self, col: usize) -> impl Iterator<Item = (RowId, &Value)> {
+        self.columns[col].iter().enumerate()
+    }
+
+    /// Iterate `(RowId, &str, &str)` over the non-null cells of a column
+    /// pair — the unit of work of the discovery loop.
+    pub fn iter_pair<'t>(
+        &'t self,
+        a: usize,
+        b: usize,
+    ) -> impl Iterator<Item = (RowId, &'t str, &'t str)> {
+        self.columns[a]
+            .iter()
+            .zip(self.columns[b].iter())
+            .enumerate()
+            .filter_map(|(id, (va, vb))| Some((id, va.as_str()?, vb.as_str()?)))
+    }
+
+    /// A new table containing only the rows selected by `keep`.
+    #[must_use]
+    pub fn filter_rows(&self, keep: impl Fn(RowId) -> bool) -> Table {
+        let mut t = Table::empty(self.schema.clone());
+        for r in 0..self.rows {
+            if keep(r) {
+                let row: Vec<Value> = self.columns.iter().map(|c| c[r].clone()).collect();
+                t.push_row(row).expect("same schema");
+            }
+        }
+        t
+    }
+}
+
+/// Incremental builder used by generators and the CSV reader.
+#[derive(Debug)]
+pub struct TableBuilder {
+    table: Table,
+}
+
+impl TableBuilder {
+    /// Start building with a schema.
+    #[must_use]
+    pub fn new(schema: Schema) -> TableBuilder {
+        TableBuilder {
+            table: Table::empty(schema),
+        }
+    }
+
+    /// Append one row of pre-built values.
+    pub fn row(&mut self, row: Vec<Value>) -> Result<&mut Self, TableError> {
+        self.table.push_row(row)?;
+        Ok(self)
+    }
+
+    /// Append one row of raw strings.
+    pub fn str_row<'a, F>(&mut self, row: F) -> Result<&mut Self, TableError>
+    where
+        F: IntoIterator<Item = &'a str>,
+    {
+        self.table
+            .push_row(row.into_iter().map(Value::from_field).collect())?;
+        Ok(self)
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> Table {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zip_table() -> Table {
+        // Table 2 of the paper (D2: a Zip table), including the seeded error.
+        let schema = Schema::new(["zip", "city"]).unwrap();
+        Table::from_str_rows(
+            schema,
+            [
+                ["90001", "Los Angeles"],
+                ["90002", "Los Angeles"],
+                ["90003", "Los Angeles"],
+                ["90004", "New York"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = zip_table();
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.cell_str(0, 0), Some("90001"));
+        assert_eq!(t.cell_str(3, 1), Some("New York"));
+        assert_eq!(t.column_by_name("city").unwrap().len(), 4);
+        assert!(t.column_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut t = Table::empty(schema);
+        assert!(matches!(
+            t.push_row(vec![Value::text("1")]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_pair_skips_nulls() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let t = Table::from_str_rows(
+            schema,
+            [["x", "1"], ["", "2"], ["y", ""], ["z", "3"]],
+        )
+        .unwrap();
+        let pairs: Vec<_> = t.iter_pair(0, 1).collect();
+        assert_eq!(pairs, vec![(0, "x", "1"), (3, "z", "3")]);
+    }
+
+    #[test]
+    fn set_cell_mutates() {
+        let mut t = zip_table();
+        t.set_cell(3, 1, Value::text("Los Angeles"));
+        assert_eq!(t.cell_str(3, 1), Some("Los Angeles"));
+    }
+
+    #[test]
+    fn filter_rows_subsets() {
+        let t = zip_table();
+        let f = t.filter_rows(|r| r % 2 == 0);
+        assert_eq!(f.row_count(), 2);
+        assert_eq!(f.cell_str(1, 0), Some("90003"));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let schema = Schema::new(["name", "gender"]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.str_row(["John Charles", "M"]).unwrap();
+        b.str_row(["Susan Orlean", "F"]).unwrap();
+        let t = b.build();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell_str(1, 1), Some("F"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = zip_table();
+        let json = serde_json::to_string(&t).unwrap();
+        let t2: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(t2.schema().index_of("city"), Some(1));
+    }
+}

@@ -1,0 +1,199 @@
+//! The `Tokenize` and `NGrams` functions of the discovery algorithm
+//! (Figure 2, lines 6–7).
+//!
+//! Discovery feeds each cell through one of two extractors:
+//!
+//! * [`tokenize`] splits on whitespace, yielding [`Token`]s with their
+//!   token index and starting character offset — the paper's pattern
+//!   display `pattern::position, frequency` uses the *token number* as the
+//!   position for tokenized columns;
+//! * [`ngrams`] yields all character n-grams with their starting character
+//!   offset — per the paper, "n-grams are mainly used to extract patterns
+//!   from attributes that contain a single token which could be a code or
+//!   id" (e.g. `F-9-107`, `CHEMBL25`).
+
+use serde::{Deserialize, Serialize};
+
+/// A whitespace-delimited token with position metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// 0-based token number within the cell.
+    pub index: usize,
+    /// 0-based character (not byte) offset of the token's first character.
+    pub char_start: usize,
+}
+
+/// A character n-gram with position metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NGram {
+    /// The n-gram text (exactly `n` characters).
+    pub text: String,
+    /// 0-based character offset at which the n-gram starts.
+    pub char_start: usize,
+}
+
+/// Split a cell into whitespace-delimited tokens.
+///
+/// Runs of whitespace are a single separator; leading/trailing whitespace
+/// produces no empty tokens. Positions are character offsets, safe for any
+/// UTF-8 input.
+#[must_use]
+pub fn tokenize(s: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut start = 0usize;
+    let mut index = 0usize;
+    for (ci, c) in s.chars().enumerate() {
+        if c.is_whitespace() {
+            if !current.is_empty() {
+                out.push(Token {
+                    text: std::mem::take(&mut current),
+                    index,
+                    char_start: start,
+                });
+                index += 1;
+            }
+        } else {
+            if current.is_empty() {
+                start = ci;
+            }
+            current.push(c);
+        }
+    }
+    if !current.is_empty() {
+        out.push(Token {
+            text: current,
+            index,
+            char_start: start,
+        });
+    }
+    out
+}
+
+/// All character n-grams of length `n`.
+///
+/// Returns the whole string as a single pseudo-n-gram when it is shorter
+/// than `n` (so short codes still produce a key), and nothing for an empty
+/// string or `n == 0`.
+#[must_use]
+pub fn ngrams(s: &str, n: usize) -> Vec<NGram> {
+    if n == 0 || s.is_empty() {
+        return Vec::new();
+    }
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < n {
+        return vec![NGram {
+            text: s.to_string(),
+            char_start: 0,
+        }];
+    }
+    (0..=chars.len() - n)
+        .map(|i| NGram {
+            text: chars[i..i + n].iter().collect(),
+            char_start: i,
+        })
+        .collect()
+}
+
+/// All prefixes of the string up to length `max_len` (inclusive), with
+/// positions — used by discovery to find determining *prefixes* like the
+/// `900` of `90001` or the `F-` of `F-9-107`.
+#[must_use]
+pub fn prefixes(s: &str, max_len: usize) -> Vec<NGram> {
+    let chars: Vec<char> = s.chars().collect();
+    (1..=chars.len().min(max_len))
+        .map(|len| NGram {
+            text: chars[..len].iter().collect(),
+            char_start: 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_simple() {
+        let toks = tokenize("John Charles");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text, "John");
+        assert_eq!(toks[0].index, 0);
+        assert_eq!(toks[0].char_start, 0);
+        assert_eq!(toks[1].text, "Charles");
+        assert_eq!(toks[1].index, 1);
+        assert_eq!(toks[1].char_start, 5);
+    }
+
+    #[test]
+    fn tokenize_punctuation_stays_attached() {
+        let toks = tokenize("Holloway, Donald E.");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Holloway,", "Donald", "E."]);
+    }
+
+    #[test]
+    fn tokenize_collapses_whitespace() {
+        let toks = tokenize("  a \t b  ");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text, "a");
+        assert_eq!(toks[0].char_start, 2);
+        assert_eq!(toks[1].index, 1);
+    }
+
+    #[test]
+    fn tokenize_empty() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_unicode_offsets() {
+        let toks = tokenize("Édouard Manet");
+        assert_eq!(toks[1].char_start, 8);
+    }
+
+    #[test]
+    fn ngrams_basic() {
+        let gs = ngrams("90001", 3);
+        let texts: Vec<&str> = gs.iter().map(|g| g.text.as_str()).collect();
+        assert_eq!(texts, vec!["900", "000", "001"]);
+        assert_eq!(gs[0].char_start, 0);
+        assert_eq!(gs[2].char_start, 2);
+    }
+
+    #[test]
+    fn ngrams_short_string() {
+        let gs = ngrams("ab", 3);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].text, "ab");
+    }
+
+    #[test]
+    fn ngrams_degenerate() {
+        assert!(ngrams("", 3).is_empty());
+        assert!(ngrams("abc", 0).is_empty());
+    }
+
+    #[test]
+    fn ngrams_full_length() {
+        let gs = ngrams("abc", 3);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].text, "abc");
+    }
+
+    #[test]
+    fn prefixes_basic() {
+        let ps = prefixes("90001", 3);
+        let texts: Vec<&str> = ps.iter().map(|g| g.text.as_str()).collect();
+        assert_eq!(texts, vec!["9", "90", "900"]);
+    }
+
+    #[test]
+    fn prefixes_capped_by_length() {
+        assert_eq!(prefixes("ab", 5).len(), 2);
+        assert!(prefixes("", 5).is_empty());
+    }
+}

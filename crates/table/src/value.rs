@@ -1,0 +1,124 @@
+//! Cell values.
+//!
+//! PFDs are constraints over cell *strings* — pattern matching, tokenizing
+//! and capturing all operate on text — so the storage model is
+//! string-centric: a cell is either `Null` (absent/disguised-missing) or a
+//! `Text` string exactly as ingested. Typed interpretation (integer, float,
+//! date…) is a profiling-time concern; see
+//! [`InferredType`](crate::profile::InferredType).
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// An absent value (empty CSV field or declared null token).
+    Null,
+    /// A textual value, stored verbatim.
+    Text(String),
+}
+
+impl Value {
+    /// Construct from a CSV field: empty fields and the conventional null
+    /// tokens become [`Value::Null`].
+    #[must_use]
+    pub fn from_field(s: &str) -> Value {
+        if s.is_empty() || matches!(s, "NULL" | "null" | "NA" | "N/A" | "\\N") {
+            Value::Null
+        } else {
+            Value::Text(s.to_string())
+        }
+    }
+
+    /// A non-null text value.
+    #[must_use]
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// The string content, or `None` for nulls.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Null => None,
+            Value::Text(s) => Some(s),
+        }
+    }
+
+    /// Is this a null?
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// CSV rendering: nulls become the empty field.
+    #[must_use]
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Text(s) => Cow::Borrowed(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "∅"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::from_field(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        if s.is_empty() {
+            Value::Null
+        } else {
+            Value::Text(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_field_null_tokens() {
+        for s in ["", "NULL", "null", "NA", "N/A", "\\N"] {
+            assert!(Value::from_field(s).is_null(), "{s:?} should be null");
+        }
+        assert!(!Value::from_field("0").is_null());
+        assert!(!Value::from_field(" ").is_null());
+    }
+
+    #[test]
+    fn as_str_and_render() {
+        let v = Value::text("Los Angeles");
+        assert_eq!(v.as_str(), Some("Los Angeles"));
+        assert_eq!(v.render(), "Los Angeles");
+        assert_eq!(Value::Null.as_str(), None);
+        assert_eq!(Value::Null.render(), "");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::text("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "∅");
+    }
+
+    #[test]
+    fn from_string_empty_is_null() {
+        let v: Value = String::new().into();
+        assert!(v.is_null());
+    }
+}

@@ -1,0 +1,113 @@
+//! PFD vs FD vs CFD — the paper's positioning claim, measured.
+//!
+//! Runs all three detectors on the same injected-error datasets and
+//! prints a recall/precision table. FDs need two rows sharing the entire
+//! LHS value; CFDs need the erroneous row's exact LHS value to be
+//! frequent; PFDs key on partial-value patterns and catch both.
+//!
+//! ```sh
+//! cargo run --example baseline_comparison
+//! ```
+
+use anmat::datagen::{names, phone, zipcity, Dataset, GenConfig};
+use anmat::prelude::*;
+
+struct Row {
+    dataset: &'static str,
+    method: &'static str,
+    precision: f64,
+    recall: f64,
+}
+
+fn score_pfd(data: &Dataset) -> (f64, f64) {
+    let config = DiscoveryConfig {
+        min_support: 3,
+        min_coverage: 0.5,
+        max_violation_ratio: 0.1,
+        ..DiscoveryConfig::default()
+    };
+    let pfds = discover(&data.table, &config);
+    let flagged: Vec<usize> = detect_all(&data.table, &pfds)
+        .iter()
+        .map(|v| v.row)
+        .collect();
+    let s = data.score(&flagged);
+    (s.precision(), s.recall())
+}
+
+fn score_fd(data: &Dataset) -> (f64, f64) {
+    let miner = FdMiner::new(FdConfig {
+        max_error: 0.05,
+        ..FdConfig::default()
+    });
+    let fds = miner.discover(&data.table);
+    let flagged: Vec<usize> = fds
+        .iter()
+        .flat_map(|f| miner.detect(&data.table, f))
+        .map(|v| v.row)
+        .collect();
+    let s = data.score(&flagged);
+    (s.precision(), s.recall())
+}
+
+fn score_cfd(data: &Dataset) -> (f64, f64) {
+    let miner = CfdMiner::new(CfdConfig {
+        min_support: 3,
+        min_confidence: 0.9,
+    });
+    let rules = miner.discover(&data.table);
+    let flagged: Vec<usize> = miner
+        .detect_all(&data.table, &rules)
+        .iter()
+        .map(|v| v.row)
+        .collect();
+    let s = data.score(&flagged);
+    (s.precision(), s.recall())
+}
+
+fn main() {
+    let gen = GenConfig {
+        rows: 3000,
+        seed: 0xB15,
+        error_rate: 0.01,
+    };
+    let datasets: Vec<(&'static str, Dataset)> = vec![
+        ("phone→state", phone::generate(&gen)),
+        ("name→gender", names::generate(&gen)),
+        (
+            "zip→city",
+            zipcity::generate(&gen, zipcity::ZipTarget::City),
+        ),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, data) in &datasets {
+        for (method, f) in [
+            ("PFD", score_pfd as fn(&Dataset) -> (f64, f64)),
+            ("FD", score_fd),
+            ("CFD", score_cfd),
+        ] {
+            let (precision, recall) = f(data);
+            rows.push(Row {
+                dataset: name,
+                method,
+                precision,
+                recall,
+            });
+        }
+    }
+    println!(
+        "{:<14} {:<6} {:>9} {:>7}",
+        "dataset", "method", "precision", "recall"
+    );
+    println!("{}", "-".repeat(40));
+    for r in rows {
+        println!(
+            "{:<14} {:<6} {:>9.3} {:>7.3}",
+            r.dataset, r.method, r.precision, r.recall
+        );
+    }
+    println!(
+        "\nExpected shape (paper): PFD recall ≫ FD/CFD recall on partial-value\n\
+         dependencies; FD recall ≈ 0 on key-like LHS columns."
+    );
+}

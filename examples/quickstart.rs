@@ -1,0 +1,59 @@
+//! Quickstart: discover PFDs on the paper's own Tables 1 and 2 and detect
+//! the seeded errors.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use anmat::prelude::*;
+
+fn main() {
+    // Table 1 of the paper (D1: a Name table). r4's gender should be F.
+    let names = Table::from_str_rows(
+        Schema::new(["name", "gender"]).unwrap(),
+        [
+            ["John Charles", "M"],
+            ["John Bosco", "M"],
+            ["Susan Orlean", "F"],
+            ["Susan Boyle", "M"], // ← the error
+        ],
+    )
+    .unwrap();
+
+    // Table 2 of the paper (D2: a Zip table). s4's city should be LA.
+    let zips = Table::from_str_rows(
+        Schema::new(["zip", "city"]).unwrap(),
+        [
+            ["90001", "Los Angeles"],
+            ["90002", "Los Angeles"],
+            ["90003", "Los Angeles"],
+            ["90004", "New York"], // ← the error
+        ],
+    )
+    .unwrap();
+
+    // The demo's two knobs: minimum coverage and allowed violations.
+    let config = DiscoveryConfig {
+        relation: "Name".into(),
+        min_coverage: 0.5,
+        max_violation_ratio: 0.4,
+        min_support: 2,
+        ..DiscoveryConfig::default()
+    };
+
+    for (label, table) in [("Name", &names), ("Zip", &zips)] {
+        println!("──────────────────────────────────────────");
+        println!("Dataset {label}:");
+        let cfg = DiscoveryConfig {
+            relation: label.into(),
+            ..config.clone()
+        };
+        let pfds = discover(table, &cfg);
+        for pfd in &pfds {
+            println!("\nDiscovered PFD ({:?}):\n{pfd}", pfd.kind());
+            print!("{}", report::tableau_view(table, pfd));
+        }
+        let violations = detect_all(table, &pfds);
+        print!("\n{}", report::violations_view(table, &violations));
+    }
+}

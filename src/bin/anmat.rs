@@ -1,0 +1,226 @@
+//! `anmat` — command-line interface to the ANMAT pipeline.
+//!
+//! The demo ships a GUI and a Jupyter notebook; this CLI is the
+//! library-native equivalent of that workflow:
+//!
+//! ```text
+//! anmat profile  data.csv                     # Figure 3 view
+//! anmat discover data.csv [--store DIR] [--coverage 0.6] [--violations 0.1]
+//! anmat rules    --store DIR --dataset data [--confirm N | --reject N]
+//! anmat detect   data.csv [--store DIR | --rules FILE] [--repair out.csv]
+//! ```
+//!
+//! `discover` saves profile + rules into a [`RuleStore`] project directory
+//! (the MongoDB substitution); `rules` lists them and records the
+//! Figure-4 confirm/reject decisions; `detect` runs the active rules and
+//! optionally writes a repaired copy of the data.
+
+use anmat::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("discover") => cmd_discover(&args[1..]),
+        Some("rules") => cmd_rules(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `anmat help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "anmat — pattern functional dependencies (SIGMOD'19 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \x20 anmat profile  <data.csv>\n\
+         \x20 anmat discover <data.csv> [--store DIR] [--coverage F] [--violations F]\n\
+         \x20                [--min-support N] [--paper-style]\n\
+         \x20 anmat rules    --store DIR --dataset NAME [--confirm N | --reject N]\n\
+         \x20 anmat detect   <data.csv> (--store DIR | --rules FILE)\n\
+         \x20                [--confirmed-only] [--repair OUT.csv]\n"
+    );
+}
+
+/// Pull `--flag value` out of an argument list; returns remaining args.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == flag)?;
+    if idx + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(value)
+}
+
+/// Pull a boolean `--flag`.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(idx) = args.iter().position(|a| a == flag) {
+        args.remove(idx);
+        true
+    } else {
+        false
+    }
+}
+
+fn dataset_name(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset")
+        .to_string()
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("profile: missing <data.csv>")?;
+    let table = csv::read_path(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let profile = TableProfile::profile(&table);
+    print!("{}", report::profiling_view(&table, &profile));
+    Ok(())
+}
+
+fn cmd_discover(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let store_dir = take_flag(&mut args, "--store");
+    let coverage = take_flag(&mut args, "--coverage");
+    let violations = take_flag(&mut args, "--violations");
+    let min_support = take_flag(&mut args, "--min-support");
+    let paper_style = take_switch(&mut args, "--paper-style");
+    let path = args.first().ok_or("discover: missing <data.csv>")?;
+    let table = csv::read_path(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let mut config = DiscoveryConfig {
+        relation: dataset_name(path),
+        ..DiscoveryConfig::default()
+    };
+    if let Some(c) = coverage {
+        config.min_coverage = c.parse().map_err(|_| format!("bad --coverage `{c}`"))?;
+    }
+    if let Some(v) = violations {
+        config.max_violation_ratio =
+            v.parse().map_err(|_| format!("bad --violations `{v}`"))?;
+    }
+    if let Some(s) = min_support {
+        config.min_support = s.parse().map_err(|_| format!("bad --min-support `{s}`"))?;
+    }
+    if paper_style {
+        config.context_style = ContextStyle::AnyString;
+    }
+
+    let profile = TableProfile::profile(&table);
+    let pfds = discover(&table, &config);
+    println!("discovered {} PFD(s):", pfds.len());
+    for (i, pfd) in pfds.iter().enumerate() {
+        println!("\n[{i}] {:?}", pfd.kind());
+        for line in pfd.to_string().lines() {
+            println!("    {line}");
+        }
+        println!("    coverage {:.3}", pfd.coverage(&table));
+    }
+
+    if let Some(dir) = store_dir {
+        let store = RuleStore::open(&dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+        let record = DatasetRecord {
+            name: dataset_name(path),
+            profile: Some(profile),
+            rules: pfds
+                .into_iter()
+                .map(|pfd| StoredRule {
+                    pfd,
+                    status: RuleStatus::Pending,
+                })
+                .collect(),
+        };
+        store.save(&record).map_err(|e| format!("saving: {e}"))?;
+        println!("\nsaved to store `{dir}` as dataset `{}`", record.name);
+    }
+    Ok(())
+}
+
+fn cmd_rules(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let dir = take_flag(&mut args, "--store").ok_or("rules: missing --store DIR")?;
+    let dataset = take_flag(&mut args, "--dataset").ok_or("rules: missing --dataset NAME")?;
+    let confirm = take_flag(&mut args, "--confirm");
+    let reject = take_flag(&mut args, "--reject");
+    let store = RuleStore::open(&dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+
+    if let Some(n) = confirm {
+        let idx: usize = n.parse().map_err(|_| format!("bad --confirm `{n}`"))?;
+        store
+            .set_status(&dataset, idx, RuleStatus::Confirmed)
+            .map_err(|e| e.to_string())?;
+        println!("rule {idx} confirmed");
+    }
+    if let Some(n) = reject {
+        let idx: usize = n.parse().map_err(|_| format!("bad --reject `{n}`"))?;
+        store
+            .set_status(&dataset, idx, RuleStatus::Rejected)
+            .map_err(|e| e.to_string())?;
+        println!("rule {idx} rejected");
+    }
+
+    let record = store
+        .load(&dataset)
+        .map_err(|e| format!("loading `{dataset}`: {e}"))?;
+    println!("dataset `{}` — {} rule(s):", record.name, record.rules.len());
+    for (i, rule) in record.rules.iter().enumerate() {
+        println!("\n[{i}] {:?}", rule.status);
+        for line in rule.pfd.to_string().lines() {
+            println!("    {line}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let store_dir = take_flag(&mut args, "--store");
+    let rules_file = take_flag(&mut args, "--rules");
+    let confirmed_only = take_switch(&mut args, "--confirmed-only");
+    let repair_out = take_flag(&mut args, "--repair");
+    let path = args.first().ok_or("detect: missing <data.csv>")?;
+    let mut table = csv::read_path(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let pfds: Vec<Pfd> = if let Some(dir) = store_dir {
+        let store = RuleStore::open(&dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+        store
+            .active_rules(&dataset_name(path), !confirmed_only)
+            .map_err(|e| format!("loading rules: {e}"))?
+    } else if let Some(file) = rules_file {
+        let text =
+            std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parsing {file}: {e}"))?
+    } else {
+        return Err("detect: need --store DIR or --rules FILE".into());
+    };
+    if pfds.is_empty() {
+        return Err("no active rules (confirm some with `anmat rules --confirm N`)".into());
+    }
+
+    let violations = detect_all(&table, &pfds);
+    print!("{}", report::violations_view(&table, &violations));
+
+    if let Some(out) = repair_out {
+        let reports = repair_to_fixpoint(&mut table, &pfds, 5);
+        let applied: usize = reports.iter().map(RepairReport::applied_count).sum();
+        let conflicts: usize = reports.iter().map(|r| r.conflicts.len()).sum();
+        csv::write_path(&table, &out).map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "\nrepaired {applied} cell(s) ({conflicts} conflict(s) left untouched) → {out}"
+        );
+    }
+    Ok(())
+}

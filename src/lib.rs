@@ -1,0 +1,72 @@
+//! # ANMAT — pattern functional dependencies in Rust
+//!
+//! A from-scratch reproduction of *ANMAT: Automatic Knowledge Discovery
+//! and Error Detection through Pattern Functional Dependencies* (Qahtan,
+//! Tang, Ouzzani, Cao, Stonebraker — SIGMOD 2019 demo).
+//!
+//! A **pattern functional dependency** (PFD) couples a functional
+//! dependency with a tableau of regex-like patterns over *partial*
+//! attribute values: `900\D{2} → city = Los Angeles` says any five-digit
+//! zip starting `900` maps to Los Angeles; `[\LU\LL*\ ]\A* → gender` says
+//! rows sharing a first name share a gender. PFDs are discovered
+//! automatically from dirty data and then used to flag (and suggest
+//! repairs for) violating cells.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`pattern`] — the restricted pattern language (generalization tree,
+//!   matching, containment, induction, constrained patterns);
+//! * [`table`] — the relational substrate (columnar tables, CSV,
+//!   profiling, tokenization);
+//! * [`index`] — inverted lists, the pattern index, and blocking;
+//! * [`core`] — PFD model, discovery, detection, FD/CFD baselines,
+//!   report rendering;
+//! * [`datagen`] — seeded synthetic datasets mirroring the paper's demo
+//!   data, with ground-truth error labels.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anmat::prelude::*;
+//! use anmat::table::{Schema, Table};
+//!
+//! // The paper's Table 2: a zip table with one seeded error.
+//! let table = Table::from_str_rows(
+//!     Schema::new(["zip", "city"]).unwrap(),
+//!     [
+//!         ["90001", "Los Angeles"],
+//!         ["90002", "Los Angeles"],
+//!         ["90003", "Los Angeles"],
+//!         ["90004", "New York"], // ← s4, the error
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let config = DiscoveryConfig {
+//!     max_violation_ratio: 0.3,
+//!     ..DiscoveryConfig::default()
+//! };
+//! let pfds = discover(&table, &config);
+//! let violations = detect_all(&table, &pfds);
+//! assert!(violations.iter().any(|v| v.row == 3));
+//! ```
+
+pub use anmat_core as core;
+pub use anmat_datagen as datagen;
+pub use anmat_index as index;
+pub use anmat_pattern as pattern;
+pub use anmat_table as table;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use anmat_core::baselines::cfd::{CfdConfig, CfdMiner};
+    pub use anmat_core::baselines::fd::{FdConfig, FdMiner};
+    pub use anmat_core::store::{DatasetRecord, RuleStatus, RuleStore, StoredRule};
+    pub use anmat_core::{
+        apply_repairs, detect_all, detect_pfd, discover, discover_pair, repair_to_fixpoint,
+        report, ContextStyle, Detector, DiscoveryConfig, LhsCell, PatternTuple, Pfd, PfdKind,
+        RepairReport, RhsCell, Violation, ViolationKind,
+    };
+    pub use anmat_pattern::{ConstrainedPattern, Pattern};
+    pub use anmat_table::{csv, Schema, Table, TableProfile, Value};
+}

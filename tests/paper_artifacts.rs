@@ -1,0 +1,197 @@
+//! Regression pins for the paper's concrete artifacts: the λ rules of
+//! §1–§2 and the Table 3 tableau shapes must keep being discovered.
+
+use anmat::datagen::{employee, names, phone, zipcity, GenConfig};
+use anmat::pattern::{contains, ConstrainedPattern, Pattern};
+use anmat::prelude::*;
+use anmat::table::{Schema, Table};
+
+fn gen(rows: usize, seed: u64) -> GenConfig {
+    GenConfig {
+        rows,
+        seed,
+        error_rate: 0.01,
+    }
+}
+
+fn config() -> DiscoveryConfig {
+    DiscoveryConfig {
+        min_support: 3,
+        min_coverage: 0.5,
+        max_violation_ratio: 0.1,
+        ..DiscoveryConfig::default()
+    }
+}
+
+/// Every constant-tuple LHS pattern of the discovered PFDs, as strings.
+fn constant_patterns(pfds: &[Pfd]) -> Vec<String> {
+    pfds.iter()
+        .flat_map(|p| p.constant_tuples())
+        .filter_map(|t| match &t.lhs {
+            LhsCell::Pattern(q) => Some(q.to_string()),
+            LhsCell::Wildcard => None,
+        })
+        .collect()
+}
+
+#[test]
+fn table3_d1_phone_patterns_verbatim() {
+    let data = phone::generate(&gen(8000, 0xA1));
+    let pfds = discover(&data.table, &config());
+    let patterns = constant_patterns(&pfds);
+    // The paper's five tableau rows, string-identical.
+    for expected in [
+        "850\\D{7}",
+        "607\\D{7}",
+        "404\\D{7}",
+        "217\\D{7}",
+        "860\\D{7}",
+    ] {
+        assert!(
+            patterns.iter().any(|p| p == expected),
+            "missing {expected} in {patterns:?}"
+        );
+    }
+}
+
+#[test]
+fn table3_d2_name_patterns_verbatim() {
+    let data = names::generate(&gen(8000, 0xA2));
+    let mut cfg = config();
+    cfg.context_style = ContextStyle::AnyString;
+    let pfds = discover(&data.table, &cfg);
+    let patterns = constant_patterns(&pfds);
+    for expected in [
+        "\\A*,\\ Donald\\A*",
+        "\\A*,\\ Stacey\\A*",
+        "\\A*,\\ David\\A*",
+        "\\A*,\\ Jerry\\A*",
+        "\\A*,\\ Alan\\A*",
+    ] {
+        assert!(
+            patterns.iter().any(|p| p == expected),
+            "missing {expected} in {patterns:?}"
+        );
+    }
+}
+
+#[test]
+fn table3_d5_zip_city_pattern_verbatim() {
+    let data = zipcity::generate(&gen(8000, 0xA5), zipcity::ZipTarget::City);
+    let pfds = discover(&data.table, &config());
+    let patterns = constant_patterns(&pfds);
+    assert!(
+        patterns.iter().any(|p| p == "6060\\D"),
+        "missing the paper's 6060\\D in {patterns:?}"
+    );
+}
+
+#[test]
+fn section1_employee_rules_verbatim() {
+    let data = employee::generate(&gen(5000, 0xA7));
+    let pfds = discover(&data.table, &config());
+    let patterns = constant_patterns(&pfds);
+    assert!(
+        patterns.iter().any(|p| p == "F-\\D-\\D{3}"),
+        "missing F-\\D-\\D{{3}} in {patterns:?}"
+    );
+    // And the variable form constraining the department letter.
+    let has_variable = pfds.iter().flat_map(Pfd::variable_tuples).any(|t| {
+        matches!(&t.lhs, LhsCell::Pattern(q) if q.to_string() == "[\\LU]-\\D-\\D{3}")
+    });
+    assert!(has_variable, "missing [\\LU]-\\D-\\D{{3}} variable rule");
+}
+
+#[test]
+fn lambda_rules_hold_by_containment() {
+    // Discovered patterns must be contained in (at most as general as)
+    // the idealized paper λ patterns, so they inherit their semantics.
+    let data = phone::generate(&gen(8000, 0xA9));
+    let pfds = discover(&data.table, &config());
+    let ideal: Pattern = "\\D{10}".parse().unwrap();
+    for p in constant_patterns(&pfds) {
+        let p: Pattern = p.parse().unwrap();
+        assert!(
+            contains(&ideal, &p),
+            "{p} must stay within the 10-digit phone space"
+        );
+    }
+}
+
+#[test]
+fn example2_q1_q2_relations() {
+    // The paper's Example 2, end to end through the public API.
+    let q1: ConstrainedPattern = "[\\LU\\LL*\\ ]\\A*".parse().unwrap();
+    let q2: ConstrainedPattern = "[\\LU\\LL*\\ ]\\A*\\ [\\LU\\LL*]".parse().unwrap();
+    assert!(q2.is_restriction_of(&q1));
+    assert!(!q1.is_restriction_of(&q2));
+    assert!(q1.equivalent("John Charles", "John Bosco"));
+    assert_eq!(
+        q1.captures("John Charles").unwrap(),
+        vec!["John ".to_string()]
+    );
+}
+
+#[test]
+fn four_cell_violation_of_lambda4() {
+    // §1: "a violation consisting of four cells (r3[name], r3[gender],
+    // r4[name], r4[gender])".
+    let t = Table::from_str_rows(
+        Schema::new(["name", "gender"]).unwrap(),
+        [
+            ["John Charles", "M"],
+            ["John Bosco", "M"],
+            ["Susan Orlean", "F"],
+            ["Susan Boyle", "M"],
+        ],
+    )
+    .unwrap();
+    let lambda4 = Pfd::new(
+        "Name",
+        "name",
+        "gender",
+        vec![PatternTuple::variable(
+            "[\\LU\\LL*\\ ]\\A*".parse::<ConstrainedPattern>().unwrap(),
+        )],
+    );
+    let violations = detect_pfd(&t, &lambda4);
+    assert_eq!(violations.len(), 1);
+    let cells = violations[0].cells();
+    assert_eq!(cells.len(), 4);
+    let rows: std::collections::HashSet<usize> = cells.iter().map(|(r, _)| *r).collect();
+    assert_eq!(rows, [2usize, 3].into_iter().collect());
+}
+
+#[test]
+fn lambda5_detects_s4_by_comparison() {
+    // §1: "λ5 can detect the error s4[city] by comparing s4 with either
+    // s1, s2, or s3."
+    let t = Table::from_str_rows(
+        Schema::new(["zip", "city"]).unwrap(),
+        [
+            ["90001", "Los Angeles"],
+            ["90002", "Los Angeles"],
+            ["90003", "Los Angeles"],
+            ["90004", "New York"],
+        ],
+    )
+    .unwrap();
+    let lambda5 = Pfd::new(
+        "Zip",
+        "zip",
+        "city",
+        vec![PatternTuple::variable(
+            "[\\D{3}]\\D{2}".parse::<ConstrainedPattern>().unwrap(),
+        )],
+    );
+    let violations = detect_pfd(&t, &lambda5);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].row, 3);
+    match &violations[0].kind {
+        ViolationKind::Variable { witnesses, .. } => {
+            assert!(!witnesses.is_empty());
+            assert!(witnesses.iter().all(|w| [0, 1, 2].contains(w)));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

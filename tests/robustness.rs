@@ -1,0 +1,215 @@
+//! Failure-injection and edge-case robustness for the full pipeline.
+
+use anmat::datagen::{names, phone, GenConfig};
+use anmat::prelude::*;
+use anmat::table::{Schema, Table, Value};
+
+fn config() -> DiscoveryConfig {
+    DiscoveryConfig {
+        min_support: 3,
+        min_coverage: 0.5,
+        max_violation_ratio: 0.15,
+        ..DiscoveryConfig::default()
+    }
+}
+
+#[test]
+fn empty_table_yields_nothing() {
+    let t = Table::empty(Schema::new(["a", "b"]).unwrap());
+    assert!(discover(&t, &config()).is_empty());
+}
+
+#[test]
+fn single_row_yields_nothing() {
+    let t = Table::from_str_rows(
+        Schema::new(["a", "b"]).unwrap(),
+        [["90001", "Los Angeles"]],
+    )
+    .unwrap();
+    assert!(discover(&t, &config()).is_empty());
+}
+
+#[test]
+fn all_null_columns_are_skipped() {
+    let t = Table::from_str_rows(
+        Schema::new(["a", "b"]).unwrap(),
+        [["", "x"], ["", "y"], ["", "z"]],
+    )
+    .unwrap();
+    assert!(discover(&t, &config()).is_empty());
+}
+
+#[test]
+fn heavy_null_rate_still_discovers() {
+    // Half the RHS cells nulled out: rules should still form from the
+    // non-null half (nulls neither support nor violate).
+    let mut data = phone::generate(&GenConfig {
+        rows: 2000,
+        seed: 77,
+        error_rate: 0.0,
+    });
+    for row in (0..data.table.row_count()).step_by(2) {
+        data.table.set_cell(row, 1, Value::Null);
+    }
+    let pfds = discover(&data.table, &config());
+    assert!(!pfds.is_empty(), "nulls must not block discovery");
+    // Constant rules treat a null RHS on a matching LHS as a violation —
+    // every nulled row is flagged.
+    let violations = detect_all(&data.table, &pfds);
+    assert!(violations.iter().any(|v| matches!(
+        &v.kind,
+        ViolationKind::Constant { found: None, .. } | ViolationKind::Variable { found: None, .. }
+    )));
+}
+
+#[test]
+fn error_rate_sweep_degrades_gracefully() {
+    // As injected error rates rise past the allowed-violation ratio, rules
+    // stop being discovered rather than producing garbage detections.
+    let mut recalls = Vec::new();
+    for &rate in &[0.01, 0.05, 0.30] {
+        let data = names::generate(&GenConfig {
+            rows: 1500,
+            seed: 101,
+            error_rate: rate,
+        });
+        let pfds = discover(&data.table, &config());
+        let flagged: Vec<usize> = detect_all(&data.table, &pfds)
+            .iter()
+            .map(|v| v.row)
+            .collect();
+        let score = data.score(&flagged);
+        // Precision stays high whenever anything is flagged at all.
+        assert!(
+            score.precision() >= 0.8,
+            "precision {:.2} at error rate {rate}",
+            score.precision()
+        );
+        recalls.push(score.recall());
+    }
+    assert!(recalls[0] >= 0.9, "low-noise recall {:.2}", recalls[0]);
+    // At 30% corruption the 15% violation budget is exceeded: rules are
+    // (correctly) rejected and recall collapses instead of precision.
+    assert!(
+        recalls[2] < recalls[0],
+        "recall must degrade with noise: {recalls:?}"
+    );
+}
+
+#[test]
+fn mixed_shape_column_does_not_panic() {
+    let t = Table::from_str_rows(
+        Schema::new(["messy", "tag"]).unwrap(),
+        [
+            ["90001", "a"],
+            ["John Charles", "b"],
+            ["F-9-107", "c"],
+            ["", "d"],
+            ["  spaces  everywhere ", "e"],
+            ["ünïcödé Überall", "f"],
+            ["\"quoted, csv\"", "g"],
+            ["90002", "a"],
+        ],
+    )
+    .unwrap();
+    // Nothing to find, but every stage must survive the mess.
+    let pfds = discover(&t, &config());
+    let _ = detect_all(&t, &pfds);
+    let profile = TableProfile::profile(&t);
+    let _ = report::profiling_view(&t, &profile);
+}
+
+#[test]
+fn repair_fixpoint_on_generated_data() {
+    let mut data = phone::generate(&GenConfig {
+        rows: 2000,
+        seed: 55,
+        error_rate: 0.01,
+    });
+    let pfds = discover(&data.table, &config());
+    let reports = repair_to_fixpoint(&mut data.table, &pfds, 5);
+    let applied: usize = reports.iter().map(RepairReport::applied_count).sum();
+    assert!(applied >= data.errors.len() * 9 / 10, "repaired {applied}");
+    // After repair, detection is (near-)clean.
+    let residual = detect_all(&data.table, &pfds);
+    assert!(
+        residual.len() <= data.errors.len() / 10,
+        "residual violations: {}",
+        residual.len()
+    );
+    // And the repairs actually restored ground truth.
+    for e in &data.errors {
+        assert_eq!(
+            data.table.cell_str(e.row, e.col),
+            Some(e.original.as_str()),
+            "row {} not restored",
+            e.row
+        );
+    }
+}
+
+#[test]
+fn rule_store_roundtrip_through_detection() {
+    let data = phone::generate(&GenConfig {
+        rows: 1000,
+        seed: 91,
+        error_rate: 0.02,
+    });
+    let pfds = discover(&data.table, &config());
+    let dir = std::env::temp_dir().join(format!("anmat_rs_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = RuleStore::open(&dir).unwrap();
+    store
+        .save(&DatasetRecord {
+            name: "phones".into(),
+            profile: Some(TableProfile::profile(&data.table)),
+            rules: pfds
+                .iter()
+                .cloned()
+                .map(|pfd| StoredRule {
+                    pfd,
+                    status: RuleStatus::Confirmed,
+                })
+                .collect(),
+        })
+        .unwrap();
+    let loaded = store.active_rules("phones", false).unwrap();
+    assert_eq!(loaded, pfds);
+    assert_eq!(
+        detect_all(&data.table, &loaded),
+        detect_all(&data.table, &pfds)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_rows_are_harmless() {
+    let mut rows: Vec<[&str; 2]> = Vec::new();
+    for _ in 0..50 {
+        rows.push(["90001", "Los Angeles"]);
+    }
+    rows.push(["90001", "San Diego"]); // 1 error among 50 duplicates
+    let t = Table::from_str_rows(Schema::new(["zip", "city"]).unwrap(), rows).unwrap();
+    let pfds = discover(&t, &config());
+    assert!(!pfds.is_empty());
+    let violations = detect_all(&t, &pfds);
+    assert!(violations.iter().any(|v| v.row == 50));
+    assert!(violations.iter().all(|v| v.row == 50));
+}
+
+#[test]
+fn detection_on_foreign_schema_is_empty_not_panicking() {
+    // Rules discovered on one schema run harmlessly against another.
+    let data = phone::generate(&GenConfig {
+        rows: 500,
+        seed: 13,
+        error_rate: 0.02,
+    });
+    let pfds = discover(&data.table, &config());
+    let other = Table::from_str_rows(
+        Schema::new(["x", "y"]).unwrap(),
+        [["1", "2"], ["3", "4"]],
+    )
+    .unwrap();
+    assert!(detect_all(&other, &pfds).is_empty());
+}
