@@ -30,7 +30,10 @@ fn bench(c: &mut Criterion) {
     let pfd = lambda4();
     // Agreement check first.
     let small = names::generate(&anmat_bench::gen(500, 0xB10));
-    let blocking_rows: Vec<usize> = detect_pfd(&small.table, &pfd).iter().map(|v| v.row).collect();
+    let blocking_rows: Vec<usize> = detect_pfd(&small.table, &pfd)
+        .iter()
+        .map(|v| v.row)
+        .collect();
     let brute_rows: Vec<usize> = Detector::new(&small.table)
         .detect_variable_bruteforce(&pfd)
         .iter()
@@ -49,9 +52,7 @@ fn bench(c: &mut Criterion) {
         // Brute force is quadratic: cap the sizes it runs at.
         if rows <= 4_000 {
             g.bench_with_input(BenchmarkId::new("bruteforce", rows), &data, |b, d| {
-                b.iter(|| {
-                    Detector::new(black_box(&d.table)).detect_variable_bruteforce(&pfd)
-                });
+                b.iter(|| Detector::new(black_box(&d.table)).detect_variable_bruteforce(&pfd));
             });
         }
     }

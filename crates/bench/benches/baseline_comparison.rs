@@ -14,7 +14,10 @@ use criterion::{black_box, Criterion};
 fn scores(data: &Dataset) {
     let cfg = experiment_config();
     let pfds = discover(&data.table, &cfg);
-    let flagged: Vec<usize> = detect_all(&data.table, &pfds).iter().map(|v| v.row).collect();
+    let flagged: Vec<usize> = detect_all(&data.table, &pfds)
+        .iter()
+        .map(|v| v.row)
+        .collect();
     let pfd_score = data.score(&flagged);
 
     let fd_miner = FdMiner::new(FdConfig {

@@ -166,15 +166,8 @@ impl CfdMiner {
     /// RHS attribute).
     #[must_use]
     pub fn detect_all(&self, table: &Table, rules: &[ConstantCfd]) -> Vec<CfdViolation> {
-        let mut out: Vec<CfdViolation> = rules
-            .iter()
-            .flat_map(|r| self.detect(table, r))
-            .collect();
-        out.sort_by(|a, b| {
-            a.row
-                .cmp(&b.row)
-                .then_with(|| a.rule.rhs.cmp(&b.rule.rhs))
-        });
+        let mut out: Vec<CfdViolation> = rules.iter().flat_map(|r| self.detect(table, r)).collect();
+        out.sort_by(|a, b| a.row.cmp(&b.row).then_with(|| a.rule.rhs.cmp(&b.rule.rhs)));
         out.dedup_by(|a, b| a.row == b.row && a.rule.rhs == b.rule.rhs);
         out
     }

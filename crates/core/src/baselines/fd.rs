@@ -29,16 +29,8 @@ impl Fd {
     /// Render with attribute names.
     #[must_use]
     pub fn display(&self, table: &Table) -> String {
-        let lhs: Vec<&str> = self
-            .lhs
-            .iter()
-            .map(|&i| table.schema().name(i))
-            .collect();
-        format!(
-            "{} → {}",
-            lhs.join(", "),
-            table.schema().name(self.rhs)
-        )
+        let lhs: Vec<&str> = self.lhs.iter().map(|&i| table.schema().name(i)).collect();
+        format!("{} → {}", lhs.join(", "), table.schema().name(self.rhs))
     }
 }
 
@@ -126,10 +118,7 @@ impl StrippedPartition {
     }
 
     fn strip<I: IntoIterator<Item = Vec<RowId>>>(groups: I) -> StrippedPartition {
-        let mut classes: Vec<Vec<RowId>> = groups
-            .into_iter()
-            .filter(|g| g.len() >= 2)
-            .collect();
+        let mut classes: Vec<Vec<RowId>> = groups.into_iter().filter(|g| g.len() >= 2).collect();
         for c in &mut classes {
             c.sort_unstable();
         }
@@ -230,11 +219,11 @@ impl FdMiner {
             let mut next: Vec<(Vec<usize>, StrippedPartition)> = Vec::new();
             for (lhs, part) in &level {
                 let max_attr = *lhs.last().expect("non-empty lhs");
-                for c in (max_attr + 1)..n_cols {
+                for (c, single) in singles.iter().enumerate().take(n_cols).skip(max_attr + 1) {
                     if lhs.contains(&c) {
                         continue;
                     }
-                    let class_of = singles[c].class_of(n_rows);
+                    let class_of = single.class_of(n_rows);
                     let product = part.product(&class_of, n_rows);
                     if product.stripped_rows == 0 {
                         continue; // superkey: nothing non-trivial below
@@ -256,8 +245,7 @@ impl FdMiner {
     pub fn detect(&self, table: &Table, fd: &Fd) -> Vec<FdViolation> {
         let mut groups: HashMap<Vec<Option<&str>>, Vec<RowId>> = HashMap::new();
         for row in 0..table.row_count() {
-            let key: Vec<Option<&str>> =
-                fd.lhs.iter().map(|&c| table.cell_str(row, c)).collect();
+            let key: Vec<Option<&str>> = fd.lhs.iter().map(|&c| table.cell_str(row, c)).collect();
             groups.entry(key).or_default().push(row);
         }
         let mut out = Vec::new();

@@ -8,6 +8,7 @@
 
 use super::{Detector, Repair, Violation, ViolationKind};
 use crate::pfd::{LhsCell, Pfd, RhsCell};
+use anmat_table::{RowId, Table};
 
 /// Detect violations of the constant tuples of `pfd`.
 pub(crate) fn detect(
@@ -35,34 +36,60 @@ pub(crate) fn detect(
             LhsCell::Wildcard => "⊥".to_string(),
         };
         for row in rows {
-            let Some(lhs_value) = table.cell_str(row, lhs) else {
-                continue;
-            };
-            let found = table.cell_str(row, rhs);
-            if found == Some(expected.as_str()) {
-                continue;
-            }
-            out.push(Violation {
-                dependency: pfd.embedded_fd(),
-                lhs_attr: pfd.lhs_attr.clone(),
-                rhs_attr: pfd.rhs_attr.clone(),
+            out.extend(violation_at(
+                table,
+                pfd,
+                &pattern_display,
+                expected,
+                lhs,
+                rhs,
                 row,
-                lhs_value: lhs_value.to_string(),
-                kind: ViolationKind::Constant {
-                    pattern: pattern_display.clone(),
-                    expected: expected.clone(),
-                    found: found.map(str::to_string),
-                },
-                repair: Some(Repair {
-                    row,
-                    attr: pfd.rhs_attr.clone(),
-                    from: found.map(str::to_string),
-                    to: expected.clone(),
-                }),
-            });
+            ));
         }
     }
     out
+}
+
+/// Check one row against one constant tableau tuple.
+///
+/// The single source of truth for constant-tuple semantics (shared with
+/// the incremental `anmat-stream` engine): a non-null LHS row whose RHS
+/// differs from `expected` is a violation; the suggested repair assumes
+/// the LHS is correct and sets the RHS to `tp[B]`. The caller guarantees
+/// the row's LHS matches the tuple pattern.
+#[must_use]
+pub fn violation_at(
+    table: &Table,
+    pfd: &Pfd,
+    pattern_display: &str,
+    expected: &str,
+    lhs: usize,
+    rhs: usize,
+    row: RowId,
+) -> Option<Violation> {
+    let lhs_value = table.cell_str(row, lhs)?;
+    let found = table.cell_str(row, rhs);
+    if found == Some(expected) {
+        return None;
+    }
+    Some(Violation {
+        dependency: pfd.embedded_fd(),
+        lhs_attr: pfd.lhs_attr.clone(),
+        rhs_attr: pfd.rhs_attr.clone(),
+        row,
+        lhs_value: lhs_value.to_string(),
+        kind: ViolationKind::Constant {
+            pattern: pattern_display.to_string(),
+            expected: expected.to_string(),
+            found: found.map(str::to_string),
+        },
+        repair: Some(Repair {
+            row,
+            attr: pfd.rhs_attr.clone(),
+            from: found.map(str::to_string),
+            to: expected.to_string(),
+        }),
+    })
 }
 
 #[cfg(test)]

@@ -161,7 +161,11 @@ impl<'t> Detector<'t> {
                 out.extend(variable::detect(self.table, pfd, lhs, rhs));
             }
         }
-        out.sort_by(|a, b| a.row.cmp(&b.row).then_with(|| a.dependency.cmp(&b.dependency)));
+        out.sort_by(|a, b| {
+            a.row
+                .cmp(&b.row)
+                .then_with(|| a.dependency.cmp(&b.dependency))
+        });
         out
     }
 

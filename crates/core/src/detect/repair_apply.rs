@@ -85,11 +85,7 @@ pub fn apply_repairs(table: &mut Table, violations: &[Violation]) -> RepairRepor
 /// Returns the per-round reports. The table converges when a round applies
 /// nothing; with majority-vote repairs this terminates quickly in
 /// practice, and `max_rounds` bounds pathological rule interactions.
-pub fn repair_to_fixpoint(
-    table: &mut Table,
-    pfds: &[Pfd],
-    max_rounds: usize,
-) -> Vec<RepairReport> {
+pub fn repair_to_fixpoint(table: &mut Table, pfds: &[Pfd], max_rounds: usize) -> Vec<RepairReport> {
     let mut reports = Vec::new();
     for _ in 0..max_rounds {
         let violations = detect_all(table, pfds);

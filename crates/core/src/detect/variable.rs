@@ -15,7 +15,7 @@ use anmat_table::{RowId, Table};
 use std::collections::HashMap;
 
 /// Cap on stored witness rows per violation.
-const MAX_WITNESSES: usize = 4;
+pub const MAX_WITNESSES: usize = 4;
 
 /// Detect violations of the variable tuples of `pfd` via blocking.
 pub(crate) fn detect(table: &Table, pfd: &Pfd, lhs: usize, rhs: usize) -> Vec<Violation> {
@@ -59,14 +59,27 @@ fn detect_whole_column(table: &Table, pfd: &Pfd, lhs: usize, rhs: usize) -> Vec<
     let mut out = Vec::new();
     for key in keys {
         out.extend(flag_block_minority(
-            table, pfd, lhs, rhs, "⊥", key, &blocks[key],
+            table,
+            pfd,
+            lhs,
+            rhs,
+            "⊥",
+            key,
+            &blocks[key],
         ));
     }
     out
 }
 
 /// Flag the minority rows of one block.
-fn flag_block_minority(
+///
+/// This is the single source of truth for variable-PFD block semantics:
+/// majority vote over non-null RHS values (ties break to the
+/// lexicographically smallest value), null RHS rows flagged but never
+/// voting, up to [`MAX_WITNESSES`] majority rows recorded as witnesses in
+/// row order. Both batch detection and the incremental
+/// `anmat-stream` engine call it so their violation sets agree exactly.
+pub fn flag_block_minority(
     table: &Table,
     pfd: &Pfd,
     lhs: usize,
@@ -103,33 +116,64 @@ fn flag_block_minority(
         .collect();
     let mut out = Vec::new();
     for &row in rows {
-        let found = table.cell_str(row, rhs);
-        if found == Some(majority) {
+        if table.cell_str(row, rhs) == Some(majority) {
             continue;
         }
-        let lhs_value = table.cell_str(row, lhs).unwrap_or_default().to_string();
-        out.push(Violation {
-            dependency: pfd.embedded_fd(),
-            lhs_attr: pfd.lhs_attr.clone(),
-            rhs_attr: pfd.rhs_attr.clone(),
+        out.push(minority_violation(
+            table,
+            pfd,
+            lhs,
+            rhs,
+            pattern_display,
+            key,
+            majority,
+            &witnesses,
             row,
-            lhs_value,
-            kind: ViolationKind::Variable {
-                pattern: pattern_display.to_string(),
-                key: key.to_string(),
-                majority: majority.to_string(),
-                found: found.map(str::to_string),
-                witnesses: witnesses.clone(),
-            },
-            repair: Some(Repair {
-                row,
-                attr: pfd.rhs_attr.clone(),
-                from: found.map(str::to_string),
-                to: majority.to_string(),
-            }),
-        });
+        ));
     }
     out
+}
+
+/// Build the violation for one block-minority row.
+///
+/// Shared by [`flag_block_minority`] and the incremental engine's fast
+/// path (append a minority row to a block whose majority and witnesses
+/// are unchanged), so both construct bit-identical violations.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn minority_violation(
+    table: &Table,
+    pfd: &Pfd,
+    lhs: usize,
+    rhs: usize,
+    pattern_display: &str,
+    key: &str,
+    majority: &str,
+    witnesses: &[RowId],
+    row: RowId,
+) -> Violation {
+    let found = table.cell_str(row, rhs);
+    let lhs_value = table.cell_str(row, lhs).unwrap_or_default().to_string();
+    Violation {
+        dependency: pfd.embedded_fd(),
+        lhs_attr: pfd.lhs_attr.clone(),
+        rhs_attr: pfd.rhs_attr.clone(),
+        row,
+        lhs_value,
+        kind: ViolationKind::Variable {
+            pattern: pattern_display.to_string(),
+            key: key.to_string(),
+            majority: majority.to_string(),
+            found: found.map(str::to_string),
+            witnesses: witnesses.to_vec(),
+        },
+        repair: Some(Repair {
+            row,
+            attr: pfd.rhs_attr.clone(),
+            from: found.map(str::to_string),
+            to: majority.to_string(),
+        }),
+    }
 }
 
 /// Quadratic pair enumeration (the paper's brute-force description), for

@@ -93,10 +93,9 @@ pub(crate) fn mine_constant(
                 // agree on the RHS by chance. Expected false discoveries
                 // for this entry ≈ base_rate^(support−1) · #keys.
                 if pair_rows >= 100 {
-                    let base = rhs_global.get(dominant).copied().unwrap_or(0) as f64
-                        / pair_rows as f64;
-                    let chance = base.powi(dom_count.saturating_sub(1) as i32)
-                        * key_count as f64;
+                    let base =
+                        rhs_global.get(dominant).copied().unwrap_or(0) as f64 / pair_rows as f64;
+                    let chance = base.powi(dom_count.saturating_sub(1) as i32) * key_count as f64;
                     if chance > config.significance {
                         continue;
                     }
@@ -111,8 +110,7 @@ pub(crate) fn mine_constant(
                     let Some(value) = table.cell_str(row, lhs) else {
                         continue;
                     };
-                    if let Some((before, after)) = split_at_occurrence(value, key, pos, mode)
-                    {
+                    if let Some((before, after)) = split_at_occurrence(value, key, pos, mode) {
                         contexts.push(before, after);
                     }
                 }
@@ -263,9 +261,7 @@ fn minimize(mut candidates: Vec<Candidate>, max_tableau: usize) -> Vec<PatternTu
     });
     kept.truncate(max_tableau);
     kept.into_iter()
-        .map(|c| {
-            PatternTuple::constant(ConstrainedPattern::unconstrained(c.pattern), c.rhs)
-        })
+        .map(|c| PatternTuple::constant(ConstrainedPattern::unconstrained(c.pattern), c.rhs))
         .collect()
 }
 

@@ -127,11 +127,7 @@ fn common_symbol_suffix(parts: &[String]) -> String {
             }
         });
     }
-    suffix
-        .unwrap_or_default()
-        .into_iter()
-        .rev()
-        .collect()
+    suffix.unwrap_or_default().into_iter().rev().collect()
 }
 
 /// Longest common prefix of all parts consisting only of non-alphanumeric

@@ -82,7 +82,7 @@ pub struct DiscoveryConfig {
     pub mine_constant: bool,
     /// Mine variable PFDs?
     pub mine_variable: bool,
-    /// Spread candidate pairs across threads (crossbeam scope).
+    /// Spread candidate pairs across threads (scoped std threads).
     pub parallel: bool,
     /// Skip keys occurring in more than this fraction of rows. Off (1.0)
     /// by default: a ubiquitous *prefix* is precisely what a rule like
@@ -153,12 +153,7 @@ pub fn discover(table: &Table, config: &DiscoveryConfig) -> Vec<Pfd> {
 /// Discover PFDs for one column pair (both directions are *not* implied;
 /// call twice to mine both).
 #[must_use]
-pub fn discover_pair(
-    table: &Table,
-    lhs: usize,
-    rhs: usize,
-    config: &DiscoveryConfig,
-) -> Vec<Pfd> {
+pub fn discover_pair(table: &Table, lhs: usize, rhs: usize, config: &DiscoveryConfig) -> Vec<Pfd> {
     let profile = TableProfile::profile(table);
     let mut out = discover_pair_profiled(table, &profile, lhs, rhs, config);
     sort_pfds(&mut out);
@@ -194,16 +189,14 @@ fn discover_parallel(
         .min(pairs.len());
     let chunks: Vec<&[(usize, usize)]> = pairs.chunks(pairs.len().div_ceil(n_threads)).collect();
     let mut results: Vec<Vec<Pfd>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .iter()
-                        .flat_map(|&(a, b)| {
-                            discover_pair_profiled(table, profile, a, b, config)
-                        })
+                        .flat_map(|&(a, b)| discover_pair_profiled(table, profile, a, b, config))
                         .collect::<Vec<Pfd>>()
                 })
             })
@@ -211,15 +204,17 @@ fn discover_parallel(
         for h in handles {
             results.push(h.join().expect("discovery worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     results.into_iter().flatten().collect()
 }
 
 fn sort_pfds(pfds: &mut [Pfd]) {
     pfds.sort_by(|a, b| {
-        (&a.lhs_attr, &a.rhs_attr, kind_rank(a.kind()))
-            .cmp(&(&b.lhs_attr, &b.rhs_attr, kind_rank(b.kind())))
+        (&a.lhs_attr, &a.rhs_attr, kind_rank(a.kind())).cmp(&(
+            &b.lhs_attr,
+            &b.rhs_attr,
+            kind_rank(b.kind()),
+        ))
     });
 }
 

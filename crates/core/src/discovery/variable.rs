@@ -55,9 +55,9 @@ pub(crate) fn mine_variable(
     // another passing candidate.
     let mut kept: Vec<ConstrainedPattern> = Vec::new();
     for q in &passing {
-        let dominated = passing.iter().any(|other| {
-            other != q && q.is_restriction_of(other) && !other.is_restriction_of(q)
-        });
+        let dominated = passing
+            .iter()
+            .any(|other| other != q && q.is_restriction_of(other) && !other.is_restriction_of(q));
         if !dominated {
             kept.push(q.clone());
         }

@@ -1,0 +1,224 @@
+//! Live violation bookkeeping with retraction support.
+//!
+//! Batch detection recomputes the full violation set per call; an
+//! append-only stream instead maintains a *ledger* of live violations.
+//! New rows can both **create** violations and **retract** earlier ones —
+//! a late burst of agreeing rows can flip a block's majority RHS, turning
+//! yesterday's "error" into today's consensus — so the ledger tracks
+//! every live violation with a reference count (two rules can imply the
+//! same violation; it stays live until the last implier retracts it) and
+//! running created/retracted totals for monitoring.
+//!
+//! Identity is *structural*: two violations are the same ledger entry iff
+//! their serialized forms agree (dependency, row, evidence, witnesses,
+//! repair — everything). The incremental engine retracts exactly the
+//! objects it previously created, so structural identity is both precise
+//! and cheap.
+
+use crate::detect::Violation;
+use std::collections::BTreeMap;
+
+/// A change to the set of live violations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerEvent {
+    /// A violation became live.
+    Created(Violation),
+    /// A previously live violation was withdrawn (e.g. the block majority
+    /// flipped, or its witnesses changed).
+    Retracted(Violation),
+}
+
+impl LedgerEvent {
+    /// The violation the event concerns.
+    #[must_use]
+    pub fn violation(&self) -> &Violation {
+        match self {
+            LedgerEvent::Created(v) | LedgerEvent::Retracted(v) => v,
+        }
+    }
+
+    /// Is this a creation?
+    #[must_use]
+    pub fn is_created(&self) -> bool {
+        matches!(self, LedgerEvent::Created(_))
+    }
+}
+
+/// The set of currently live violations, keyed structurally, with
+/// reference counts and lifetime counters.
+#[derive(Debug, Default)]
+pub struct ViolationLedger {
+    /// Canonical serialization → (refcount, violation). A `BTreeMap`
+    /// keeps iteration deterministic.
+    live: BTreeMap<String, (usize, Violation)>,
+    created_total: usize,
+    retracted_total: usize,
+}
+
+fn canonical_key(v: &Violation) -> String {
+    serde_json::to_string(v).expect("violations serialize infallibly")
+}
+
+impl ViolationLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> ViolationLedger {
+        ViolationLedger::default()
+    }
+
+    /// Record a violation. Returns the `Created` event if it was not
+    /// already live (otherwise only the reference count grows).
+    pub fn create(&mut self, violation: Violation) -> Option<LedgerEvent> {
+        let key = canonical_key(&violation);
+        let entry = self
+            .live
+            .entry(key)
+            .or_insert_with(|| (0, violation.clone()));
+        entry.0 += 1;
+        if entry.0 == 1 {
+            self.created_total += 1;
+            Some(LedgerEvent::Created(violation))
+        } else {
+            None
+        }
+    }
+
+    /// Withdraw a violation. Returns the `Retracted` event once the last
+    /// reference is gone; `None` if other rules still imply it (or it was
+    /// never live).
+    pub fn retract(&mut self, violation: &Violation) -> Option<LedgerEvent> {
+        let key = canonical_key(violation);
+        let entry = self.live.get_mut(&key)?;
+        entry.0 -= 1;
+        if entry.0 > 0 {
+            return None;
+        }
+        let (_, v) = self.live.remove(&key).expect("entry exists");
+        self.retracted_total += 1;
+        Some(LedgerEvent::Retracted(v))
+    }
+
+    /// The live violations, in deterministic (serialized-key) order.
+    pub fn live(&self) -> impl Iterator<Item = &Violation> {
+        self.live.values().map(|(_, v)| v)
+    }
+
+    /// The live violations sorted like [`crate::detect_all`] output:
+    /// `(row, dependency)` first, then canonical form for total order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Violation> {
+        let mut out: Vec<(&String, &Violation)> =
+            self.live.iter().map(|(k, (_, v))| (k, v)).collect();
+        out.sort_by(|(ka, a), (kb, b)| {
+            a.row
+                .cmp(&b.row)
+                .then_with(|| a.dependency.cmp(&b.dependency))
+                .then_with(|| ka.cmp(kb))
+        });
+        out.into_iter().map(|(_, v)| v.clone()).collect()
+    }
+
+    /// Number of currently live violations.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is the ledger empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Violations ever created (distinct live transitions).
+    #[must_use]
+    pub fn created_total(&self) -> usize {
+        self.created_total
+    }
+
+    /// Violations ever retracted.
+    #[must_use]
+    pub fn retracted_total(&self) -> usize {
+        self.retracted_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{Violation, ViolationKind};
+
+    fn violation(row: usize, expected: &str) -> Violation {
+        Violation {
+            dependency: "zip → city".into(),
+            lhs_attr: "zip".into(),
+            rhs_attr: "city".into(),
+            row,
+            lhs_value: "90004".into(),
+            kind: ViolationKind::Constant {
+                pattern: "900\\D{2}".into(),
+                expected: expected.into(),
+                found: Some("New York".into()),
+            },
+            repair: None,
+        }
+    }
+
+    #[test]
+    fn create_and_retract_roundtrip() {
+        let mut ledger = ViolationLedger::new();
+        let v = violation(3, "Los Angeles");
+        assert!(matches!(
+            ledger.create(v.clone()),
+            Some(LedgerEvent::Created(_))
+        ));
+        assert_eq!(ledger.live_count(), 1);
+        assert!(matches!(
+            ledger.retract(&v),
+            Some(LedgerEvent::Retracted(_))
+        ));
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.created_total(), 1);
+        assert_eq!(ledger.retracted_total(), 1);
+    }
+
+    #[test]
+    fn refcount_suppresses_duplicate_events() {
+        let mut ledger = ViolationLedger::new();
+        let v = violation(3, "Los Angeles");
+        assert!(ledger.create(v.clone()).is_some());
+        // A second rule implying the identical violation: no new event.
+        assert!(ledger.create(v.clone()).is_none());
+        assert_eq!(ledger.live_count(), 1);
+        // First retraction leaves it live; the second removes it.
+        assert!(ledger.retract(&v).is_none());
+        assert_eq!(ledger.live_count(), 1);
+        assert!(ledger.retract(&v).is_some());
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn retract_unknown_is_noop() {
+        let mut ledger = ViolationLedger::new();
+        assert!(ledger.retract(&violation(9, "X")).is_none());
+        assert_eq!(ledger.retracted_total(), 0);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_row_then_dependency() {
+        let mut ledger = ViolationLedger::new();
+        ledger.create(violation(5, "A"));
+        ledger.create(violation(1, "B"));
+        ledger.create(violation(1, "A"));
+        let rows: Vec<usize> = ledger.snapshot().iter().map(|v| v.row).collect();
+        assert_eq!(rows, vec![1, 1, 5]);
+    }
+
+    #[test]
+    fn distinct_violations_tracked_separately() {
+        let mut ledger = ViolationLedger::new();
+        ledger.create(violation(3, "Los Angeles"));
+        ledger.create(violation(3, "San Diego"));
+        assert_eq!(ledger.live_count(), 2);
+    }
+}

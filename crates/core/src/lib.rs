@@ -23,6 +23,23 @@
 //! claim is reproducible. [`report`] renders the profiling, tableau and
 //! violation views of Figures 3–5 as text.
 //!
+//! # Streaming architecture
+//!
+//! Detection is factored so batch and incremental execution share one
+//! semantic core. [`detect::constant::violation_at`] decides a single
+//! `(row, constant tuple)` pair and
+//! [`detect::variable::flag_block_minority`] resolves a single block by
+//! majority vote; `detect_all` drives them across a whole table, while
+//! the `anmat-stream` crate's `StreamEngine` drives them per arriving
+//! row against incrementally maintained `anmat-index` structures. The
+//! [`ledger`] module holds the streaming side's state: a
+//! [`ViolationLedger`] of live violations with reference counts and
+//! retraction support, because an append can *withdraw* an earlier
+//! violation (a late run of agreeing rows flips a block's majority RHS).
+//! The shared primitives are what make the stream/batch equivalence
+//! property — replay any table row-by-row and end in exactly the
+//! `detect_all` violation set — hold by construction.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -50,6 +67,7 @@
 pub mod baselines;
 pub mod detect;
 pub mod discovery;
+pub mod ledger;
 pub mod pfd;
 pub mod report;
 pub mod store;
@@ -59,6 +77,7 @@ pub use detect::{
     Violation, ViolationKind,
 };
 pub use discovery::{discover, discover_pair, ContextStyle, DiscoveryConfig};
+pub use ledger::{LedgerEvent, ViolationLedger};
 pub use pfd::{LhsCell, PatternTuple, Pfd, PfdKind, RhsCell};
 
 /// Convenient glob-import surface.
@@ -69,6 +88,7 @@ pub mod prelude {
         Violation, ViolationKind,
     };
     pub use crate::discovery::{discover, discover_pair, ContextStyle, DiscoveryConfig};
+    pub use crate::ledger::{LedgerEvent, ViolationLedger};
     pub use crate::pfd::{LhsCell, PatternTuple, Pfd, PfdKind, RhsCell};
     pub use crate::report;
     pub use crate::store::{DatasetRecord, RuleStatus, RuleStore, StoredRule};

@@ -69,7 +69,13 @@ impl RuleStore {
         // File-system safety: keep alphanumerics, map the rest to '_'.
         let safe: String = dataset
             .chars()
-            .map(|c| if c.is_alphanumeric() || c == '-' { c } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.root.join(format!("{safe}.json"))
     }

@@ -34,9 +34,8 @@ pub fn generate(config: &GenConfig) -> Dataset {
             ])
             .expect("arity 3");
     }
-    let injector = ErrorInjector::wrong_value_only(
-        ERAS.iter().map(|(_, e)| (*e).to_string()).collect(),
-    );
+    let injector =
+        ErrorInjector::wrong_value_only(ERAS.iter().map(|(_, e)| (*e).to_string()).collect());
     let errors = injector.corrupt(&mut table, 1, config.error_count(), &mut rng);
     Dataset { table, errors }
 }

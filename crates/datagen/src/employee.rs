@@ -88,10 +88,7 @@ mod tests {
                 continue;
             }
             let id = d.table.cell_str(row, 0).unwrap();
-            assert_eq!(
-                d.table.cell_str(row, 1),
-                Some(department_of(id).unwrap())
-            );
+            assert_eq!(d.table.cell_str(row, 1), Some(department_of(id).unwrap()));
         }
     }
 

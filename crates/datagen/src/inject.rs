@@ -146,8 +146,11 @@ impl ErrorInjector {
     fn apply(&self, original: &str, kind: CorruptionKind, rng: &mut StdRng) -> Option<String> {
         match kind {
             CorruptionKind::WrongValue => {
-                let alternatives: Vec<&String> =
-                    self.pool.iter().filter(|v| v.as_str() != original).collect();
+                let alternatives: Vec<&String> = self
+                    .pool
+                    .iter()
+                    .filter(|v| v.as_str() != original)
+                    .collect();
                 if alternatives.is_empty() {
                     return None;
                 }

@@ -51,8 +51,7 @@ pub fn generate(config: &GenConfig) -> Dataset {
             .push_row(vec![Value::text(name), Value::text(gender)])
             .expect("arity 2");
     }
-    let injector =
-        ErrorInjector::wrong_value_only(vec!["M".to_string(), "F".to_string()]);
+    let injector = ErrorInjector::wrong_value_only(vec!["M".to_string(), "F".to_string()]);
     let errors = injector.corrupt(&mut table, 1, config.error_count(), &mut rng);
     Dataset { table, errors }
 }

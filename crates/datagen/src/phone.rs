@@ -41,9 +41,8 @@ pub fn generate(config: &GenConfig) -> Dataset {
             .push_row(vec![Value::text(phone), Value::text(state)])
             .expect("arity 2");
     }
-    let injector = ErrorInjector::wrong_value_only(
-        WRONG_STATES.iter().map(|s| (*s).to_string()).collect(),
-    );
+    let injector =
+        ErrorInjector::wrong_value_only(WRONG_STATES.iter().map(|s| (*s).to_string()).collect());
     let errors = injector.corrupt(&mut table, 1, config.error_count(), &mut rng);
     Dataset { table, errors }
 }

@@ -13,9 +13,9 @@ use rand::Rng;
 
 /// Zip prefix → (city, state).
 pub const ZIP_PREFIXES: &[(&str, &str, &str)] = &[
-    ("6060", "Chicago", "IL"),     // paper D5 rows
-    ("900", "Los Angeles", "CA"),  // Tables 1–2
-    ("956", "Auburn", "CA"),       // the paper's 95603
+    ("6060", "Chicago", "IL"),    // paper D5 rows
+    ("900", "Los Angeles", "CA"), // Tables 1–2
+    ("956", "Auburn", "CA"),      // the paper's 95603
     ("100", "New York", "NY"),
     ("021", "Boston", "MA"),
     ("770", "Houston", "TX"),
@@ -56,7 +56,10 @@ pub fn generate(config: &GenConfig, target: ZipTarget) -> Dataset {
             1,
             ErrorInjector {
                 kinds: vec![CorruptionKind::Truncate, CorruptionKind::Transpose],
-                pool: ZIP_PREFIXES.iter().map(|(_, c, _)| (*c).to_string()).collect(),
+                pool: ZIP_PREFIXES
+                    .iter()
+                    .map(|(_, c, _)| (*c).to_string())
+                    .collect(),
             },
         ),
         ZipTarget::State => (
@@ -150,10 +153,7 @@ mod tests {
             },
             ZipTarget::State,
         );
-        assert!(d
-            .errors
-            .iter()
-            .any(|e| e.kind == CorruptionKind::CaseFlip));
+        assert!(d.errors.iter().any(|e| e.kind == CorruptionKind::CaseFlip));
         for e in &d.errors {
             assert_eq!(e.col, 2);
         }

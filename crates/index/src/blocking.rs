@@ -11,6 +11,7 @@
 //! to `O(n)` for the common case where each block's RHS is checked by
 //! value counts rather than explicit pairs.
 
+use crate::inverted::EntryStats;
 use anmat_pattern::ConstrainedPattern;
 use anmat_table::{RowId, Table};
 use std::collections::HashMap;
@@ -91,6 +92,215 @@ impl BlockingIndex {
     }
 }
 
+/// One block of an incrementally maintained partition: the rows sharing a
+/// key, their RHS values, and a delta-maintained RHS distribution.
+#[derive(Debug, Clone, Default)]
+pub struct KeyBlock {
+    /// Rows in insertion (= row id) order.
+    rows: Vec<RowId>,
+    /// RHS cell per row, parallel to `rows` (`None` = null RHS).
+    rhs: Vec<Option<String>>,
+    /// RHS value → row count (null tracked separately).
+    counts: HashMap<String, usize>,
+    /// Rows whose RHS is null.
+    null_rhs: usize,
+    /// Incrementally maintained `(majority value, its count)`. Only the
+    /// value whose count just grew can displace the current leader, so
+    /// each insert updates this in `O(1)`.
+    majority: Option<(String, usize)>,
+}
+
+impl KeyBlock {
+    /// The rows of this block, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[RowId] {
+        &self.rows
+    }
+
+    /// `(row, rhs)` pairs in insertion order.
+    pub fn rows_with_rhs(&self) -> impl Iterator<Item = (RowId, Option<&str>)> {
+        self.rows
+            .iter()
+            .zip(&self.rhs)
+            .map(|(&r, v)| (r, v.as_deref()))
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the block empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The majority RHS value (most rows; ties break to the
+    /// lexicographically smallest value, matching batch detection). Null
+    /// RHS cells never win the vote. `O(1)`: maintained per insert.
+    #[must_use]
+    pub fn majority(&self) -> Option<&str> {
+        self.majority.as_ref().map(|(v, _)| v.as_str())
+    }
+
+    /// Does every non-null RHS cell agree (and no nulls dissent)?
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.counts.len() <= 1 && self.null_rhs == 0
+    }
+
+    /// The block's aggregate statistics, assembled from the maintained
+    /// deltas in `O(distinct RHS values)`.
+    #[must_use]
+    pub fn stats(&self) -> EntryStats {
+        let mut rhs_counts: Vec<(String, usize)> =
+            self.counts.iter().map(|(v, c)| (v.clone(), *c)).collect();
+        rhs_counts.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.cmp(vb)));
+        EntryStats {
+            support: self.rows.len(),
+            rhs_counts,
+        }
+    }
+
+    fn push(&mut self, row: RowId, rhs: Option<&str>) {
+        self.rows.push(row);
+        self.rhs.push(rhs.map(str::to_string));
+        match rhs {
+            Some(v) => {
+                let count = self.counts.entry(v.to_string()).or_insert(0);
+                *count += 1;
+                let count = *count;
+                // Only `v` gained a row, so only `v` can displace the
+                // leader; ties go to the lexicographically smaller value.
+                match &mut self.majority {
+                    Some((leader, leader_count)) => {
+                        if count > *leader_count || (count == *leader_count && v < leader.as_str())
+                        {
+                            *leader = v.to_string();
+                            *leader_count = count;
+                        }
+                    }
+                    None => self.majority = Some((v.to_string(), count)),
+                }
+            }
+            None => self.null_rhs += 1,
+        }
+    }
+}
+
+/// Where an inserted row landed in a [`BlockingPartition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// The LHS matched; the row joined the block with this key.
+    Block(String),
+    /// The LHS value did not match the pattern.
+    Unmatched,
+    /// The LHS cell was null.
+    NullLhs,
+}
+
+/// An incrementally updatable blocking partition — the streaming
+/// counterpart of [`BlockingIndex::block`].
+///
+/// Rows arrive one at a time via [`BlockingPartition::insert`]; each
+/// insert touches exactly one block (`O(1)` amortized, independent of how
+/// many rows the partition already holds), and per-key [`EntryStats`]
+/// deltas are maintained as rows land. `None` as the keyer blocks on the
+/// whole LHS value (the wildcard-LHS fallback of variable detection).
+#[derive(Debug)]
+pub struct BlockingPartition {
+    keyer: Option<ConstrainedPattern>,
+    blocks: HashMap<String, KeyBlock>,
+    unmatched: Vec<RowId>,
+    null_rows: Vec<RowId>,
+    /// LHS value → key memo (capture extraction is the hot cost).
+    key_cache: HashMap<String, Option<String>>,
+}
+
+impl BlockingPartition {
+    /// An empty partition keyed by the constrained captures of `q`, or by
+    /// the whole LHS value when `q` is `None`.
+    #[must_use]
+    pub fn new(q: Option<ConstrainedPattern>) -> BlockingPartition {
+        BlockingPartition {
+            keyer: q,
+            blocks: HashMap::new(),
+            unmatched: Vec::new(),
+            null_rows: Vec::new(),
+            key_cache: HashMap::new(),
+        }
+    }
+
+    /// Insert one row. Rows must arrive in nondecreasing `RowId` order.
+    pub fn insert(&mut self, row: RowId, lhs: Option<&str>, rhs: Option<&str>) -> Placement {
+        let Some(value) = lhs else {
+            self.null_rows.push(row);
+            return Placement::NullLhs;
+        };
+        let key = match &self.keyer {
+            Some(q) => self
+                .key_cache
+                .entry(value.to_string())
+                .or_insert_with(|| q.key(value))
+                .clone(),
+            None => Some(value.to_string()),
+        };
+        match key {
+            Some(k) => {
+                self.blocks.entry(k.clone()).or_default().push(row, rhs);
+                Placement::Block(k)
+            }
+            None => {
+                self.unmatched.push(row);
+                Placement::Unmatched
+            }
+        }
+    }
+
+    /// The block for a key, if any row produced it.
+    #[must_use]
+    pub fn block(&self, key: &str) -> Option<&KeyBlock> {
+        self.blocks.get(key)
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Rows whose LHS did not match the pattern.
+    #[must_use]
+    pub fn unmatched(&self) -> &[RowId] {
+        &self.unmatched
+    }
+
+    /// Rows with a null LHS.
+    #[must_use]
+    pub fn null_rows(&self) -> &[RowId] {
+        &self.null_rows
+    }
+
+    /// Snapshot into the batch [`Blocks`] shape (sorted keys), for parity
+    /// checks against [`BlockingIndex::block`].
+    #[must_use]
+    pub fn freeze(&self) -> Blocks {
+        let mut blocks: Vec<(String, Vec<RowId>)> = self
+            .blocks
+            .iter()
+            .map(|(k, b)| (k.clone(), b.rows.clone()))
+            .collect();
+        blocks.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Blocks {
+            blocks,
+            unmatched: self.unmatched.clone(),
+            null_rows: self.null_rows.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,11 +351,7 @@ mod tests {
     #[test]
     fn zip_prefix_blocking() {
         let schema = Schema::new(["zip"]).unwrap();
-        let t = Table::from_str_rows(
-            schema,
-            [["90001"], ["90002"], ["90101"], ["60601"]],
-        )
-        .unwrap();
+        let t = Table::from_str_rows(schema, [["90001"], ["90002"], ["90101"], ["60601"]]).unwrap();
         let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
         let blocks = BlockingIndex::block(&t, 0, &q);
         let keys: Vec<&str> = blocks.blocks.iter().map(|(k, _)| k.as_str()).collect();
@@ -172,5 +378,57 @@ mod tests {
         let blocks = BlockingIndex::block(&t, 0, &q);
         assert_eq!(blocks.block_count(), 0);
         assert_eq!(blocks.unmatched.len(), 2);
+    }
+
+    #[test]
+    fn partition_matches_batch_blocking() {
+        let t = name_table();
+        let q = q_first_name();
+        let batch = BlockingIndex::block(&t, 0, &q);
+        let mut partition = BlockingPartition::new(Some(q.clone()));
+        for (row, v) in t.iter_column(0) {
+            partition.insert(row, v.as_str(), None);
+        }
+        let frozen = partition.freeze();
+        assert_eq!(frozen.blocks, batch.blocks);
+        assert_eq!(frozen.unmatched, batch.unmatched);
+        assert_eq!(frozen.null_rows, batch.null_rows);
+    }
+
+    #[test]
+    fn partition_tracks_rhs_deltas() {
+        let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
+        let mut p = BlockingPartition::new(Some(q));
+        assert_eq!(
+            p.insert(0, Some("90001"), Some("Los Angeles")),
+            Placement::Block("900".into())
+        );
+        p.insert(1, Some("90002"), Some("Los Angeles"));
+        p.insert(2, Some("90003"), Some("New York"));
+        p.insert(3, Some("90004"), None);
+        let block = p.block("900").unwrap();
+        assert_eq!(block.len(), 4);
+        assert_eq!(block.majority(), Some("Los Angeles"));
+        assert!(!block.is_consistent());
+        let stats = block.stats();
+        assert_eq!(stats.support, 4);
+        assert_eq!(stats.rhs_counts[0], ("Los Angeles".to_string(), 2));
+        // Majority tie breaks to the lexicographically smaller value,
+        // matching batch detection's vote.
+        p.insert(4, Some("90005"), Some("New York"));
+        assert_eq!(p.block("900").unwrap().majority(), Some("Los Angeles"));
+    }
+
+    #[test]
+    fn whole_value_partition() {
+        let mut p = BlockingPartition::new(None);
+        p.insert(0, Some("x"), Some("1"));
+        p.insert(1, Some("x"), Some("2"));
+        p.insert(2, None, Some("3"));
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.block("x").unwrap().rows(), &[0, 1]);
+        assert_eq!(p.null_rows(), &[2]);
+        let pairs: Vec<_> = p.block("x").unwrap().rows_with_rhs().collect();
+        assert_eq!(pairs, vec![(0, Some("1")), (1, Some("2"))]);
     }
 }

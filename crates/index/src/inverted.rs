@@ -33,10 +33,7 @@ impl ExtractionMode {
     #[must_use]
     pub fn extract(&self, s: &str) -> Vec<(String, usize)> {
         match *self {
-            ExtractionMode::Tokens => tokenize(s)
-                .into_iter()
-                .map(|t| (t.text, t.index))
-                .collect(),
+            ExtractionMode::Tokens => tokenize(s).into_iter().map(|t| (t.text, t.index)).collect(),
             ExtractionMode::NGrams(n) => ngrams(s, n)
                 .into_iter()
                 .map(|g| (g.text, g.char_start))
@@ -99,17 +96,45 @@ impl EntryStats {
 }
 
 /// The inverted list for one candidate dependency `A → B`.
+///
+/// The index is *incrementally updatable*: [`InvertedIndex::insert_row`]
+/// appends one row in `O(keys in the row)`, maintaining per-key
+/// [`EntryStats`] deltas alongside the raw postings. Batch discovery
+/// builds through the same insert path, and the incremental API is what
+/// an online (re-)discovery pass over an append stream would sit on —
+/// today's `StreamEngine` detection path uses its sibling,
+/// [`BlockingPartition`](crate::BlockingPartition).
 #[derive(Debug)]
 pub struct InvertedIndex {
+    /// LHS decomposition mode (kept so inserts match the build mode).
+    lhs_mode: ExtractionMode,
+    /// RHS decomposition mode.
+    rhs_mode: ExtractionMode,
     /// Key → postings (one per (row, lhs occurrence, rhs token)).
     entries: HashMap<String, Vec<Posting>>,
     /// Key → distinct rows containing it (deduplicated, sorted).
     rows_by_key: HashMap<String, Vec<RowId>>,
+    /// Key → full-RHS-value → distinct-row count, maintained per insert
+    /// (the Δ behind [`InvertedIndex::stats`]).
+    rhs_counts_by_key: HashMap<String, HashMap<String, usize>>,
     /// Number of rows with non-null values on both sides.
     pub considered_rows: usize,
 }
 
 impl InvertedIndex {
+    /// An empty index that decomposes cells with the given modes.
+    #[must_use]
+    pub fn empty(lhs_mode: ExtractionMode, rhs_mode: ExtractionMode) -> InvertedIndex {
+        InvertedIndex {
+            lhs_mode,
+            rhs_mode,
+            entries: HashMap::new(),
+            rows_by_key: HashMap::new(),
+            rhs_counts_by_key: HashMap::new(),
+            considered_rows: 0,
+        }
+    }
+
     /// Build the inverted list for the column pair `(lhs, rhs)` of `table`.
     ///
     /// Implements lines 4–8 of Figure 2. Rows with a null on either side
@@ -122,44 +147,55 @@ impl InvertedIndex {
         lhs_mode: ExtractionMode,
         rhs_mode: ExtractionMode,
     ) -> InvertedIndex {
-        let mut entries: HashMap<String, Vec<Posting>> = HashMap::new();
-        let mut rows_by_key: HashMap<String, Vec<RowId>> = HashMap::new();
-        let mut considered_rows = 0usize;
+        let mut index = InvertedIndex::empty(lhs_mode, rhs_mode);
         for (row, a, b) in table.iter_pair(lhs, rhs) {
-            considered_rows += 1;
-            let lhs_keys = lhs_mode.extract(a);
-            let rhs_keys = rhs_mode.extract(b);
-            for (key, lhs_pos) in &lhs_keys {
-                let postings = entries.entry(key.clone()).or_default();
-                for (u, rhs_pos) in &rhs_keys {
-                    postings.push(Posting {
-                        row,
-                        lhs_pos: *lhs_pos,
-                        rhs_token: u.clone(),
-                        rhs_pos: *rhs_pos,
-                        rhs_full: b.to_string(),
-                    });
-                }
-                // RHS cells with no tokens at all still count the row.
-                if rhs_keys.is_empty() {
-                    postings.push(Posting {
-                        row,
-                        lhs_pos: *lhs_pos,
-                        rhs_token: String::new(),
-                        rhs_pos: 0,
-                        rhs_full: b.to_string(),
-                    });
-                }
-                let rows = rows_by_key.entry(key.clone()).or_default();
-                if rows.last() != Some(&row) {
-                    rows.push(row);
-                }
-            }
+            index.insert_row(row, a, b);
         }
-        InvertedIndex {
-            entries,
-            rows_by_key,
-            considered_rows,
+        index
+    }
+
+    /// Append one row's non-null `(lhs, rhs)` cell pair.
+    ///
+    /// Cost is proportional to the number of keys extracted from the row,
+    /// independent of how many rows the index already holds. Rows must
+    /// arrive in nondecreasing `RowId` order (append-only streams do).
+    pub fn insert_row(&mut self, row: RowId, lhs: &str, rhs: &str) {
+        self.considered_rows += 1;
+        let lhs_keys = self.lhs_mode.extract(lhs);
+        let rhs_keys = self.rhs_mode.extract(rhs);
+        for (key, lhs_pos) in &lhs_keys {
+            let postings = self.entries.entry(key.clone()).or_default();
+            for (u, rhs_pos) in &rhs_keys {
+                postings.push(Posting {
+                    row,
+                    lhs_pos: *lhs_pos,
+                    rhs_token: u.clone(),
+                    rhs_pos: *rhs_pos,
+                    rhs_full: rhs.to_string(),
+                });
+            }
+            // RHS cells with no tokens at all still count the row.
+            if rhs_keys.is_empty() {
+                postings.push(Posting {
+                    row,
+                    lhs_pos: *lhs_pos,
+                    rhs_token: String::new(),
+                    rhs_pos: 0,
+                    rhs_full: rhs.to_string(),
+                });
+            }
+            let rows = self.rows_by_key.entry(key.clone()).or_default();
+            if rows.last() != Some(&row) {
+                rows.push(row);
+                // First sighting of this key in this row: one delta to
+                // the key's RHS distribution.
+                *self
+                    .rhs_counts_by_key
+                    .entry(key.clone())
+                    .or_default()
+                    .entry(rhs.to_string())
+                    .or_insert(0) += 1;
+            }
         }
     }
 
@@ -182,23 +218,19 @@ impl InvertedIndex {
     }
 
     /// Aggregate statistics for one key.
+    ///
+    /// Reads the per-key deltas maintained by
+    /// [`InvertedIndex::insert_row`], so cost is `O(distinct RHS values)`
+    /// for the key rather than `O(postings)`. A row contributes once
+    /// regardless of how many RHS tokens it produced.
     #[must_use]
     pub fn stats(&self, key: &str) -> EntryStats {
-        let rows = self.rows(key);
-        let support = rows.len();
-        // Count distinct rows per full RHS value. A row contributes once
-        // regardless of how many RHS tokens it produced.
-        let mut per_value: HashMap<&str, Vec<RowId>> = HashMap::new();
-        for p in self.postings(key) {
-            let v = per_value.entry(p.rhs_full.as_str()).or_default();
-            if v.last() != Some(&p.row) {
-                v.push(p.row);
-            }
-        }
-        let mut rhs_counts: Vec<(String, usize)> = per_value
-            .into_iter()
-            .map(|(v, rows)| (v.to_string(), rows.len()))
-            .collect();
+        let support = self.rows(key).len();
+        let mut rhs_counts: Vec<(String, usize)> = self
+            .rhs_counts_by_key
+            .get(key)
+            .map(|counts| counts.iter().map(|(v, c)| (v.clone(), *c)).collect())
+            .unwrap_or_default();
         rhs_counts.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.cmp(vb)));
         EntryStats {
             support,
@@ -251,13 +283,7 @@ mod tests {
     #[test]
     fn token_extraction_builds_postings() {
         let t = name_gender_table();
-        let idx = InvertedIndex::build(
-            &t,
-            0,
-            1,
-            ExtractionMode::Tokens,
-            ExtractionMode::Tokens,
-        );
+        let idx = InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
         assert_eq!(idx.considered_rows, 4);
         assert_eq!(idx.rows("John"), &[0, 1]);
         assert_eq!(idx.rows("Susan"), &[2, 3]);
@@ -270,13 +296,7 @@ mod tests {
     #[test]
     fn stats_detect_paper_error() {
         let t = name_gender_table();
-        let idx = InvertedIndex::build(
-            &t,
-            0,
-            1,
-            ExtractionMode::Tokens,
-            ExtractionMode::Tokens,
-        );
+        let idx = InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
         let john = idx.stats("John");
         assert_eq!(john.support, 2);
         assert_eq!(john.dominant_rhs(), Some("M"));
@@ -318,18 +338,9 @@ mod tests {
     #[test]
     fn ngram_mode_positions() {
         let schema = Schema::new(["id", "dept"]).unwrap();
-        let t = Table::from_str_rows(
-            schema,
-            [["F-9-107", "Finance"], ["F-3-220", "Finance"]],
-        )
-        .unwrap();
-        let idx = InvertedIndex::build(
-            &t,
-            0,
-            1,
-            ExtractionMode::NGrams(2),
-            ExtractionMode::Tokens,
-        );
+        let t =
+            Table::from_str_rows(schema, [["F-9-107", "Finance"], ["F-3-220", "Finance"]]).unwrap();
+        let idx = InvertedIndex::build(&t, 0, 1, ExtractionMode::NGrams(2), ExtractionMode::Tokens);
         // "F-" occurs at char 0 in both ids.
         let p = idx.postings("F-");
         assert_eq!(p.len(), 2);
@@ -341,13 +352,7 @@ mod tests {
     fn multi_occurrence_key_counts_row_once() {
         let schema = Schema::new(["a", "b"]).unwrap();
         let t = Table::from_str_rows(schema, [["x x x", "1"]]).unwrap();
-        let idx = InvertedIndex::build(
-            &t,
-            0,
-            1,
-            ExtractionMode::Tokens,
-            ExtractionMode::Tokens,
-        );
+        let idx = InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
         assert_eq!(idx.stats("x").support, 1);
         assert_eq!(idx.postings("x").len(), 3);
     }
@@ -356,13 +361,7 @@ mod tests {
     fn nulls_skipped() {
         let schema = Schema::new(["a", "b"]).unwrap();
         let t = Table::from_str_rows(schema, [["x", "1"], ["", "2"], ["y", ""]]).unwrap();
-        let idx = InvertedIndex::build(
-            &t,
-            0,
-            1,
-            ExtractionMode::Tokens,
-            ExtractionMode::Tokens,
-        );
+        let idx = InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
         assert_eq!(idx.considered_rows, 1);
         assert!(idx.rows("y").is_empty());
     }
@@ -370,28 +369,47 @@ mod tests {
     #[test]
     fn frequent_keys_sorted() {
         let t = name_gender_table();
-        let idx = InvertedIndex::build(
-            &t,
-            0,
-            1,
-            ExtractionMode::Tokens,
-            ExtractionMode::Tokens,
-        );
+        let idx = InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
         let freq = idx.frequent_keys(2);
         assert_eq!(freq, vec![("John", 2), ("Susan", 2)]);
         assert!(idx.frequent_keys(3).is_empty());
     }
 
     #[test]
+    fn incremental_insert_matches_build() {
+        let t = name_gender_table();
+        let batch = InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
+        let mut inc = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        for (row, a, b) in t.iter_pair(0, 1) {
+            inc.insert_row(row, a, b);
+        }
+        assert_eq!(inc.considered_rows, batch.considered_rows);
+        assert_eq!(inc.key_count(), batch.key_count());
+        for (key, stats) in batch.iter_stats() {
+            assert_eq!(inc.stats(key), stats, "stats diverge for key {key:?}");
+            assert_eq!(inc.rows(key), batch.rows(key));
+        }
+    }
+
+    #[test]
+    fn insert_row_is_constant_per_row() {
+        // The per-key RHS distribution updates by delta: support grows by
+        // one per containing row and the dominant value tracks the counts.
+        let mut idx = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        for row in 0..100 {
+            idx.insert_row(row, "John Smith", if row % 10 == 0 { "F" } else { "M" });
+            let s = idx.stats("John");
+            assert_eq!(s.support, row + 1);
+        }
+        let s = idx.stats("John");
+        assert_eq!(s.dominant_rhs(), Some("M"));
+        assert_eq!(s.violations(), 10);
+    }
+
+    #[test]
     fn iter_stats_deterministic() {
         let t = name_gender_table();
-        let idx = InvertedIndex::build(
-            &t,
-            0,
-            1,
-            ExtractionMode::Tokens,
-            ExtractionMode::Tokens,
-        );
+        let idx = InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
         let keys: Vec<&str> = idx.iter_stats().map(|(k, _)| k).collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();

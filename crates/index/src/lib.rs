@@ -18,13 +18,21 @@
 //!
 //! [`trie`] provides the character trie the pattern index uses to
 //! accelerate literal-prefix lookups.
+//!
+//! The inverted list and blocking structures are *incrementally
+//! updatable* for append-heavy workloads:
+//! [`InvertedIndex::insert_row`] appends one row in `O(keys per row)`
+//! with per-key [`EntryStats`] deltas (the hook for online
+//! re-discovery), and [`BlockingPartition`] places each arriving row
+//! into exactly one block with an `O(1)` majority update — the
+//! substrate of the `anmat-stream` engine's variable-PFD path.
 
 pub mod blocking;
 pub mod inverted;
 pub mod pattern_index;
 pub mod trie;
 
-pub use blocking::{BlockingIndex, Blocks};
+pub use blocking::{BlockingIndex, BlockingPartition, Blocks, KeyBlock, Placement};
 pub use inverted::{EntryStats, ExtractionMode, InvertedIndex, Posting};
 pub use pattern_index::PatternIndex;
 pub use trie::CharTrie;

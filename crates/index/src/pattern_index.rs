@@ -60,7 +60,7 @@ impl PatternIndex {
             distinct.push(v.clone());
         }
         let mut buckets: Vec<(Pattern, Vec<String>)> = by_sig.into_iter().collect();
-        buckets.sort_by(|(a, _), (b, _)| a.to_string().cmp(&b.to_string()));
+        buckets.sort_by_key(|(a, _)| a.to_string());
         PatternIndex {
             values,
             buckets,

@@ -205,9 +205,7 @@ impl ConstrainedPattern {
             while i < self.segments.len() {
                 let sseg = &self.segments[i];
                 i += 1;
-                if sseg.constrained
-                    && crate::containment::contains(&oseg.pattern, &sseg.pattern)
-                {
+                if sseg.constrained && crate::containment::contains(&oseg.pattern, &sseg.pattern) {
                     found = true;
                     break;
                 }

@@ -70,7 +70,10 @@ impl fmt::Display for PatternError {
             }
             PatternError::EmptyPattern => write!(f, "pattern is empty"),
             PatternError::EmptyInterval { min, max } => {
-                write!(f, "quantifier interval {{{min},{max}}} is empty (min > max)")
+                write!(
+                    f,
+                    "quantifier interval {{{min},{max}}} is empty (min > max)"
+                )
             }
         }
     }

@@ -83,11 +83,8 @@ fn classed(s: &str, unbounded: bool) -> Pattern {
         if let Some(last) = out.last_mut() {
             if last.class == class && !class.is_literal() {
                 let (min, max) = last.quant.interval();
-                last.quant = Quantifier::from_interval(
-                    min + 1,
-                    max.map(|m| m + 1),
-                )
-                .expect("incrementing a valid interval");
+                last.quant = Quantifier::from_interval(min + 1, max.map(|m| m + 1))
+                    .expect("incrementing a valid interval");
                 continue;
             }
         }
@@ -209,9 +206,7 @@ fn loosen_once(p: &Pattern, threshold: u32) -> Pattern {
                 Quantifier::Range(_, _) => Quantifier::Plus,
                 Quantifier::AtLeast(0) => Quantifier::Star,
                 Quantifier::AtLeast(_) => Quantifier::Plus,
-                Quantifier::Exactly(n) if n >= threshold && !class.is_literal() => {
-                    Quantifier::Plus
-                }
+                Quantifier::Exactly(n) if n >= threshold && !class.is_literal() => Quantifier::Plus,
                 q => q,
             };
             Element::new(class, quant)
@@ -302,12 +297,7 @@ mod tests {
 
     #[test]
     fn induce_covers_all_inputs() {
-        let strings = [
-            "John Charles",
-            "John Bosco",
-            "Susan Orlean",
-            "Susan Boyle",
-        ];
+        let strings = ["John Charles", "John Bosco", "Susan Orlean", "Susan Boyle"];
         let p = ind(&strings);
         for s in strings {
             assert!(p.matches(s), "{p} should match {s}");

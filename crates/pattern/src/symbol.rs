@@ -205,10 +205,7 @@ mod tests {
 
     #[test]
     fn parent_chain() {
-        assert_eq!(
-            SymbolClass::Literal('a').parent(),
-            Some(SymbolClass::Lower)
-        );
+        assert_eq!(SymbolClass::Literal('a').parent(), Some(SymbolClass::Lower));
         assert_eq!(SymbolClass::Lower.parent(), Some(SymbolClass::Any));
         assert_eq!(SymbolClass::Any.parent(), None);
     }

@@ -1,0 +1,627 @@
+//! The incremental violation engine.
+//!
+//! Per-rule state mirrors the batch detector's dispatch:
+//!
+//! * each **constant** tableau tuple keeps its (embedded) LHS pattern and
+//!   expected RHS — a new row is checked with the same
+//!   [`violation_at`] primitive the batch scan uses, in `O(|pattern|)`
+//!   per tuple, independent of table size;
+//! * each **variable** tableau tuple keeps an incremental
+//!   [`BlockingPartition`] keyed by the constrained captures — a new row
+//!   joins exactly one block, and the block's asserted violations are
+//!   updated along one of three transition paths (see [`BlockState`]):
+//!   `O(1)` for the common arrivals, `O(affected block)` only on a
+//!   majority flip, with retractions flowing through the
+//!   [`ViolationLedger`].
+//!
+//! Per-insert cost is `O(tableau)` for constant tuples plus `O(1)`
+//! amortized for variable tuples — never `O(table)`.
+
+use crate::drift::{DriftMonitor, DriftReport, RuleHealth};
+use anmat_core::detect::constant::violation_at;
+use anmat_core::detect::variable::{flag_block_minority, minority_violation, MAX_WITNESSES};
+use anmat_core::discovery::DiscoveryConfig;
+use anmat_core::{LedgerEvent, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger};
+use anmat_index::{BlockingPartition, Placement};
+use anmat_pattern::Pattern;
+use anmat_table::{RowId, Schema, Table, TableError, Value};
+use std::collections::HashMap;
+
+/// Engine thresholds (the drift monitor's discovery-style knobs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Rows a rule must match before drift is judged.
+    pub min_support: usize,
+    /// Allowed violation ratio before a rule counts as drifted (mirrors
+    /// `DiscoveryConfig::max_violation_ratio`).
+    pub max_violation_ratio: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            min_support: 8,
+            max_violation_ratio: 0.3,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Adopt the thresholds the rules were discovered with.
+    #[must_use]
+    pub fn from_discovery(config: &DiscoveryConfig) -> StreamConfig {
+        StreamConfig {
+            min_support: config.min_support,
+            max_violation_ratio: config.max_violation_ratio,
+        }
+    }
+}
+
+/// Incremental state for one constant tableau tuple.
+#[derive(Debug)]
+struct ConstantTuple {
+    /// Embedded LHS pattern (`None` = wildcard: every non-null LHS).
+    pattern: Option<Pattern>,
+    /// Display form for violation evidence (matches batch output).
+    display: String,
+    /// The expected RHS constant.
+    expected: String,
+}
+
+/// Incremental state for one variable tableau tuple.
+#[derive(Debug)]
+struct VariableTuple {
+    /// Blocks keyed by constrained capture (whole value for wildcard LHS).
+    partition: BlockingPartition,
+    /// Display form for violation evidence.
+    display: String,
+    /// Per key: what this tuple currently asserts about the block.
+    blocks: HashMap<String, BlockState>,
+}
+
+/// The violations a variable tuple currently asserts for one block, plus
+/// the majority/witness context they were built under.
+///
+/// Invariant: `violations` always equals what `flag_block_minority` would
+/// return for the block — maintained by three transition paths:
+///
+/// 1. **majority flip** (or first non-null RHS): every violation embeds
+///    the majority value, so none survives — retract all, re-derive,
+///    re-create (`O(block)`, rare after warm-up);
+/// 2. **witness growth** (a majority row arrives while fewer than
+///    `MAX_WITNESSES` are known): every violation's witness list changes
+///    — rewrite each (`O(live violations)`, at most `MAX_WITNESSES − 1`
+///    times per majority era);
+/// 3. **minority arrival**: append one violation (`O(1)` — the hot path).
+#[derive(Debug, Default)]
+struct BlockState {
+    majority: Option<String>,
+    witnesses: Vec<RowId>,
+    violations: Vec<Violation>,
+}
+
+#[derive(Debug)]
+enum TupleState {
+    Constant(ConstantTuple),
+    /// Boxed: the partition + block maps dwarf the constant variant.
+    Variable(Box<VariableTuple>),
+}
+
+/// One seeded rule with its resolved columns and per-tuple state.
+#[derive(Debug)]
+struct RuleState {
+    pfd: Pfd,
+    /// `(lhs, rhs)` column indexes; `None` if the schema lacks either
+    /// attribute (the rule is inert, exactly like batch detection).
+    cols: Option<(usize, usize)>,
+    tuples: Vec<TupleState>,
+}
+
+impl RuleState {
+    fn seed(pfd: Pfd, schema: &Schema) -> RuleState {
+        let cols = match (
+            schema.index_of(&pfd.lhs_attr),
+            schema.index_of(&pfd.rhs_attr),
+        ) {
+            (Some(lhs), Some(rhs)) => Some((lhs, rhs)),
+            _ => None,
+        };
+        let tuples = pfd
+            .tableau
+            .iter()
+            .map(|t| match &t.rhs {
+                RhsCell::Constant(expected) => {
+                    let (pattern, display) = match &t.lhs {
+                        LhsCell::Pattern(q) => (Some(q.embedded().clone()), q.to_string()),
+                        LhsCell::Wildcard => (None, "⊥".to_string()),
+                    };
+                    TupleState::Constant(ConstantTuple {
+                        pattern,
+                        display,
+                        expected: expected.clone(),
+                    })
+                }
+                RhsCell::Wildcard => {
+                    let (keyer, display) = match &t.lhs {
+                        LhsCell::Pattern(q) => (Some(q.clone()), q.to_string()),
+                        LhsCell::Wildcard => (None, "⊥".to_string()),
+                    };
+                    TupleState::Variable(Box::new(VariableTuple {
+                        partition: BlockingPartition::new(keyer),
+                        display,
+                        blocks: HashMap::new(),
+                    }))
+                }
+            })
+            .collect();
+        RuleState { pfd, cols, tuples }
+    }
+}
+
+/// The incremental PFD violation engine (see the crate docs).
+#[derive(Debug)]
+pub struct StreamEngine {
+    table: Table,
+    rules: Vec<RuleState>,
+    ledger: ViolationLedger,
+    drift: DriftMonitor,
+}
+
+impl StreamEngine {
+    /// An engine over `schema`, seeded with `rules`, default thresholds.
+    #[must_use]
+    pub fn new(schema: Schema, rules: Vec<Pfd>) -> StreamEngine {
+        StreamEngine::with_config(schema, rules, StreamConfig::default())
+    }
+
+    /// An engine with explicit drift thresholds.
+    #[must_use]
+    pub fn with_config(schema: Schema, rules: Vec<Pfd>, config: StreamConfig) -> StreamEngine {
+        let drift = DriftMonitor::new(rules.len(), config.min_support, config.max_violation_ratio);
+        let states = rules
+            .into_iter()
+            .map(|pfd| RuleState::seed(pfd, &schema))
+            .collect();
+        StreamEngine {
+            table: Table::empty(schema),
+            rules: states,
+            ledger: ViolationLedger::new(),
+            drift,
+        }
+    }
+
+    /// Ingest one row; returns the violation events it caused (creations
+    /// and retractions), in rule/tableau order with retractions first
+    /// within each affected block.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<Vec<LedgerEvent>, TableError> {
+        let row_id = self.table.push_row(row)?;
+        Ok(self.process_row(row_id))
+    }
+
+    /// Ingest one row of raw strings (fields go through
+    /// [`Value::from_field`]).
+    pub fn push_str_row<'a>(
+        &mut self,
+        row: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        self.push_row(row.into_iter().map(Value::from_field).collect())
+    }
+
+    /// Ingest a batch of rows; returns the concatenated events.
+    ///
+    /// Atomic with respect to errors: every row's arity is validated
+    /// before any row is ingested, so a malformed batch leaves the
+    /// engine untouched and no emitted event is ever lost to an `Err`.
+    pub fn push_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        let rows: Vec<Vec<Value>> = rows.into_iter().collect();
+        let arity = self.table.schema().arity();
+        for (offset, row) in rows.iter().enumerate() {
+            if row.len() != arity {
+                return Err(TableError::ArityMismatch {
+                    row: self.table.row_count() + offset,
+                    found: row.len(),
+                    expected: arity,
+                });
+            }
+        }
+        let mut events = Vec::new();
+        for row in rows {
+            events.extend(self.push_row(row).expect("arity pre-validated"));
+        }
+        Ok(events)
+    }
+
+    /// Replay an existing table row-by-row (the table's schema must match
+    /// the engine's).
+    pub fn replay_table(&mut self, table: &Table) -> Result<Vec<LedgerEvent>, TableError> {
+        let mut events = Vec::new();
+        for r in 0..table.row_count() {
+            let row: Vec<Value> = table.row(r).into_iter().cloned().collect();
+            events.extend(self.push_row(row)?);
+        }
+        Ok(events)
+    }
+
+    fn process_row(&mut self, row: RowId) -> Vec<LedgerEvent> {
+        let mut events = Vec::new();
+        let table = &self.table;
+        let ledger = &mut self.ledger;
+        for (rule_idx, rule) in self.rules.iter_mut().enumerate() {
+            let Some((lhs, rhs)) = rule.cols else {
+                continue;
+            };
+            let lhs_val = table.cell_str(row, lhs);
+            let rhs_val = table.cell_str(row, rhs);
+            let mut matched = false;
+            let mut created = 0usize;
+            let mut retracted = 0usize;
+            for tuple in &mut rule.tuples {
+                match tuple {
+                    TupleState::Constant(ct) => {
+                        let Some(value) = lhs_val else { continue };
+                        if let Some(p) = &ct.pattern {
+                            if !p.matches(value) {
+                                continue;
+                            }
+                        }
+                        matched = true;
+                        if let Some(v) =
+                            violation_at(table, &rule.pfd, &ct.display, &ct.expected, lhs, rhs, row)
+                        {
+                            // Drift counts this rule's own assertion even
+                            // when another rule already implied the same
+                            // violation (the ledger refcounts those).
+                            created += 1;
+                            if let Some(ev) = ledger.create(v) {
+                                events.push(ev);
+                            }
+                        }
+                    }
+                    TupleState::Variable(vt) => {
+                        let Placement::Block(key) = vt.partition.insert(row, lhs_val, rhs_val)
+                        else {
+                            continue;
+                        };
+                        matched = true;
+                        let block = vt.partition.block(&key).expect("row just joined");
+                        let new_majority = block.majority().map(str::to_string);
+                        let state = vt.blocks.entry(key.clone()).or_default();
+                        if new_majority != state.majority {
+                            // Majority flip (or first non-null RHS):
+                            // every asserted violation embeds the old
+                            // majority, so none survives.
+                            for v in state.violations.drain(..) {
+                                retracted += 1;
+                                if let Some(ev) = ledger.retract(&v) {
+                                    events.push(ev);
+                                }
+                            }
+                            state.majority = new_majority;
+                            state.witnesses = match &state.majority {
+                                Some(m) => block
+                                    .rows_with_rhs()
+                                    .filter(|(_, v)| *v == Some(m.as_str()))
+                                    .map(|(r, _)| r)
+                                    .take(MAX_WITNESSES)
+                                    .collect(),
+                                None => Vec::new(),
+                            };
+                            if block.len() >= 2 {
+                                state.violations = flag_block_minority(
+                                    table,
+                                    &rule.pfd,
+                                    lhs,
+                                    rhs,
+                                    &vt.display,
+                                    &key,
+                                    block.rows(),
+                                );
+                                for v in &state.violations {
+                                    created += 1;
+                                    if let Some(ev) = ledger.create(v.clone()) {
+                                        events.push(ev);
+                                    }
+                                }
+                            }
+                        } else if let Some(majority) = state.majority.clone() {
+                            if rhs_val == Some(majority.as_str()) {
+                                // New majority row: may extend the
+                                // witness list, which is part of every
+                                // asserted violation.
+                                if state.witnesses.len() < MAX_WITNESSES {
+                                    state.witnesses.push(row);
+                                    for v in &mut state.violations {
+                                        retracted += 1;
+                                        if let Some(ev) = ledger.retract(v) {
+                                            events.push(ev);
+                                        }
+                                        if let ViolationKind::Variable { witnesses, .. } =
+                                            &mut v.kind
+                                        {
+                                            witnesses.clone_from(&state.witnesses);
+                                        }
+                                        created += 1;
+                                        if let Some(ev) = ledger.create(v.clone()) {
+                                            events.push(ev);
+                                        }
+                                    }
+                                }
+                            } else if block.len() >= 2 {
+                                // Minority arrival — the hot path: one
+                                // new violation, nothing else moves.
+                                let v = minority_violation(
+                                    table,
+                                    &rule.pfd,
+                                    lhs,
+                                    rhs,
+                                    &vt.display,
+                                    &key,
+                                    &majority,
+                                    &state.witnesses,
+                                    row,
+                                );
+                                created += 1;
+                                if let Some(ev) = ledger.create(v.clone()) {
+                                    events.push(ev);
+                                }
+                                state.violations.push(v);
+                            }
+                        }
+                        // new majority == old == None: all-null block,
+                        // nothing to assert.
+                    }
+                }
+            }
+            self.drift.observe(rule_idx, matched, created, retracted);
+        }
+        events
+    }
+
+    /// The ledger of live violations.
+    #[must_use]
+    pub fn ledger(&self) -> &ViolationLedger {
+        &self.ledger
+    }
+
+    /// The accumulated table.
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Rows ingested so far.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.table.row_count()
+    }
+
+    /// The seeded rules, in index order.
+    pub fn rules(&self) -> impl Iterator<Item = &Pfd> {
+        self.rules.iter().map(|r| &r.pfd)
+    }
+
+    /// Streaming health counters for one rule.
+    #[must_use]
+    pub fn rule_health(&self, rule: usize) -> RuleHealth {
+        self.drift.health(rule)
+    }
+
+    /// Rules whose live confidence decayed below the discovery threshold
+    /// — candidates for demotion to `RuleStatus::Pending`.
+    #[must_use]
+    pub fn drift_report(&self) -> Vec<DriftReport> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| self.drift.judge(i, r.pfd.embedded_fd()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anmat_core::{detect_all, PatternTuple, ViolationKind};
+    use anmat_pattern::ConstrainedPattern;
+
+    fn q(s: &str) -> ConstrainedPattern {
+        s.parse().unwrap()
+    }
+
+    fn zip_variable_pfd() -> Pfd {
+        Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::variable(q("[\\D{3}]\\D{2}"))],
+        )
+    }
+
+    fn zip_constant_pfd() -> Pfd {
+        Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::constant(
+                ConstrainedPattern::unconstrained("900\\D{2}".parse().unwrap()),
+                "Los Angeles",
+            )],
+        )
+    }
+
+    fn schema() -> Schema {
+        Schema::new(["zip", "city"]).unwrap()
+    }
+
+    #[test]
+    fn constant_violation_on_arrival() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_constant_pfd()]);
+        assert!(engine
+            .push_str_row(["90001", "Los Angeles"])
+            .unwrap()
+            .is_empty());
+        let events = engine.push_str_row(["90004", "New York"]).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_created());
+        assert_eq!(events[0].violation().row, 1);
+        // Non-matching zips are ignored.
+        assert!(engine
+            .push_str_row(["10001", "New York"])
+            .unwrap()
+            .is_empty());
+        assert_eq!(engine.ledger().live_count(), 1);
+    }
+
+    #[test]
+    fn variable_violation_needs_a_block_peer() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd()]);
+        assert!(engine
+            .push_str_row(["90001", "Los Angeles"])
+            .unwrap()
+            .is_empty());
+        // Second row disagrees: 1–1 tie, lexicographic majority wins and
+        // the other row is flagged.
+        let events = engine.push_str_row(["90002", "New York"]).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_created());
+    }
+
+    #[test]
+    fn majority_flip_retracts_and_reflags() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd()]);
+        engine.push_str_row(["90001", "Los Angeles"]).unwrap();
+        engine.push_str_row(["90002", "New York"]).unwrap();
+        // Tie broken lexicographically: majority "Los Angeles", row 1
+        // flagged.
+        assert_eq!(engine.ledger().snapshot()[0].row, 1);
+        // Two more New York rows flip the majority: row 1's violation is
+        // retracted, row 0 becomes the minority.
+        let events = engine.push_str_row(["90003", "New York"]).unwrap();
+        let retractions: Vec<_> = events.iter().filter(|e| !e.is_created()).collect();
+        assert_eq!(retractions.len(), 1);
+        assert_eq!(retractions[0].violation().row, 1);
+        let live = engine.ledger().snapshot();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].row, 0);
+        match &live[0].kind {
+            ViolationKind::Variable { majority, .. } => assert_eq!(majority, "New York"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(engine.ledger().retracted_total() >= 1);
+    }
+
+    #[test]
+    fn final_state_matches_batch_detection() {
+        let rules = vec![zip_constant_pfd(), zip_variable_pfd()];
+        let rows = [
+            ["90001", "Los Angeles"],
+            ["90002", "Los Angeles"],
+            ["90003", "Los Angeles"],
+            ["90004", "New York"],
+            ["10001", "New York"],
+            ["10002", "Boston"],
+        ];
+        let mut engine = StreamEngine::new(schema(), rules.clone());
+        for row in rows {
+            engine.push_str_row(row).unwrap();
+        }
+        let batch = detect_all(engine.table(), &rules);
+        let mut streamed = engine.ledger().snapshot();
+        let mut batch = batch;
+        let key = |v: &Violation| serde_json::to_string(v).unwrap();
+        streamed.sort_by_key(|v| key(v));
+        batch.sort_by_key(|v| key(v));
+        batch.dedup();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn missing_columns_leave_rule_inert() {
+        let pfd = Pfd::new(
+            "R",
+            "nope",
+            "city",
+            vec![PatternTuple::variable(q("[\\A*]"))],
+        );
+        let mut engine = StreamEngine::new(schema(), vec![pfd]);
+        assert!(engine.push_str_row(["90001", "LA"]).unwrap().is_empty());
+        assert_eq!(engine.rule_health(0).matched_rows, 0);
+    }
+
+    #[test]
+    fn config_adopts_discovery_thresholds() {
+        let discovery = anmat_core::DiscoveryConfig {
+            min_support: 5,
+            max_violation_ratio: 0.05,
+            ..anmat_core::DiscoveryConfig::default()
+        };
+        let config = StreamConfig::from_discovery(&discovery);
+        assert_eq!(config.min_support, 5);
+        assert!((config.max_violation_ratio - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_flags_decayed_rule() {
+        let config = StreamConfig {
+            min_support: 4,
+            max_violation_ratio: 0.3,
+        };
+        let mut engine = StreamEngine::with_config(schema(), vec![zip_constant_pfd()], config);
+        for i in 0..10 {
+            let zip = format!("900{i:02}");
+            engine.push_str_row([zip.as_str(), "San Diego"]).unwrap();
+        }
+        let report = engine.drift_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].dependency, "zip → city");
+        assert_eq!(report[0].live_violations, 10);
+        assert!(report[0].confidence < report[0].min_confidence);
+    }
+
+    #[test]
+    fn duplicate_rules_keep_symmetric_drift_health() {
+        // Two identical rules imply the same violations; the ledger
+        // refcounts them to one live copy, but each rule's drift health
+        // must count its own assertions — and stay balanced when a
+        // majority flip retracts them.
+        let rules = vec![zip_variable_pfd(), zip_variable_pfd()];
+        let mut engine = StreamEngine::new(schema(), rules);
+        engine.push_str_row(["90001", "Los Angeles"]).unwrap();
+        engine.push_str_row(["90002", "New York"]).unwrap();
+        engine.push_str_row(["90003", "New York"]).unwrap();
+        engine.push_str_row(["90004", "New York"]).unwrap();
+        assert_eq!(engine.ledger().live_count(), 1);
+        let (h0, h1) = (engine.rule_health(0), engine.rule_health(1));
+        assert_eq!(h0, h1, "identical rules must report identical health");
+        assert_eq!(h0.live_violations, 1);
+        assert!(h0.confidence() > 0.7);
+    }
+
+    #[test]
+    fn push_batch_is_atomic_on_arity_error() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_constant_pfd()]);
+        let bad_batch = vec![
+            vec![Value::from_field("90001"), Value::from_field("New York")],
+            vec![Value::from_field("oops")], // wrong arity
+        ];
+        assert!(engine.push_batch(bad_batch).is_err());
+        // Nothing from the batch was ingested: no rows, no silent events.
+        assert_eq!(engine.row_count(), 0);
+        assert!(engine.ledger().is_empty());
+    }
+
+    #[test]
+    fn push_batch_concatenates_events() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_constant_pfd()]);
+        let rows: Vec<Vec<Value>> = [["90001", "New York"], ["90002", "Boston"]]
+            .iter()
+            .map(|r| r.iter().map(|s| Value::from_field(s)).collect())
+            .collect();
+        let events = engine.push_batch(rows).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(engine.row_count(), 2);
+    }
+}

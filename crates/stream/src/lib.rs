@@ -1,0 +1,66 @@
+//! `anmat-stream` — incremental PFD violation maintenance for
+//! append-heavy workloads.
+//!
+//! The batch pipeline (`discover` → confirm → `detect_all`) recomputes
+//! every violation from scratch per call — `O(table)` even when a single
+//! row arrived. This crate maintains violations *as rows arrive*:
+//!
+//! * [`StreamEngine`] is seeded with confirmed [`Pfd`]s (from a
+//!   `RuleStore` or straight from discovery) and ingests rows via
+//!   [`StreamEngine::push_row`] / [`StreamEngine::push_batch`], emitting
+//!   [`LedgerEvent`]s — newly created violations *and retractions* of
+//!   earlier ones (a late burst of agreeing rows can flip a block's
+//!   majority RHS, withdrawing what used to look like an error).
+//! * Constant tableau tuples cost `O(tableau)` per row — a pattern match
+//!   against the new value, independent of table size. Variable tuples
+//!   maintain an incremental
+//!   [`BlockingPartition`](anmat_index::BlockingPartition): an insert
+//!   touches exactly the affected key's block, and only that block's
+//!   violations are re-derived and diffed.
+//! * Violation semantics are *identical to batch*: the engine calls the
+//!   same `flag_block_minority` / `violation_at` primitives as
+//!   `detect_all`, so replaying any table row-by-row ends in exactly the
+//!   batch violation set (property-tested in `tests/equivalence.rs`).
+//! * A [`DriftMonitor`] tracks per-rule confidence on the live stream
+//!   and flags rules that decay below the discovery threshold, so they
+//!   can be demoted to `RuleStatus::Pending` for re-review.
+//!
+//! # Example
+//!
+//! ```
+//! use anmat_stream::StreamEngine;
+//! use anmat_core::{Pfd, PatternTuple};
+//! use anmat_table::Schema;
+//!
+//! // λ5: rows sharing a 3-digit zip prefix must share a city.
+//! let pfd = Pfd::new(
+//!     "Zip",
+//!     "zip",
+//!     "city",
+//!     vec![PatternTuple::variable("[\\D{3}]\\D{2}".parse().unwrap())],
+//! );
+//! let schema = Schema::new(["zip", "city"]).unwrap();
+//! let mut engine = StreamEngine::new(schema, vec![pfd]);
+//!
+//! for row in [
+//!     ["90001", "Los Angeles"],
+//!     ["90002", "Los Angeles"],
+//!     ["90004", "New York"], // ← flagged on arrival
+//! ] {
+//!     let events = engine.push_str_row(row).unwrap();
+//!     for e in &events {
+//!         println!("{e:?}");
+//!     }
+//! }
+//! assert_eq!(engine.ledger().live_count(), 1);
+//! ```
+
+pub mod drift;
+pub mod engine;
+
+pub use drift::{DriftMonitor, DriftReport, RuleHealth};
+pub use engine::{StreamConfig, StreamEngine};
+
+// Re-exported so downstream users of the engine's event stream don't need
+// a direct anmat-core dependency.
+pub use anmat_core::{LedgerEvent, Pfd, ViolationLedger};

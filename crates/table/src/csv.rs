@@ -283,11 +283,7 @@ fn end_record_no_push(
     *record_started = false;
 }
 
-fn write_record<'a>(
-    out: &mut String,
-    fields: impl Iterator<Item = &'a str>,
-    delimiter: char,
-) {
+fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>, delimiter: char) {
     let mut fields = fields.peekable();
     // A record that is a single empty field would print as a blank line,
     // which readers (ours included) skip. Quote it to disambiguate.

@@ -42,10 +42,7 @@ impl fmt::Display for TableError {
                 row,
                 found,
                 expected,
-            } => write!(
-                f,
-                "row {row} has {found} fields, schema expects {expected}"
-            ),
+            } => write!(f, "row {row} has {found} fields, schema expects {expected}"),
             TableError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
             TableError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
             TableError::Csv { line, reason } => write!(f, "CSV error at line {line}: {reason}"),

@@ -66,7 +66,9 @@ impl PatternHistogram {
         if total == 0 {
             return 0.0;
         }
-        self.entries.first().map_or(0.0, |(_, c)| *c as f64 / total as f64)
+        self.entries
+            .first()
+            .map_or(0.0, |(_, c)| *c as f64 / total as f64)
     }
 }
 
@@ -344,11 +346,8 @@ mod tests {
     #[test]
     fn float_and_bool_inference() {
         let schema = Schema::new(["f", "b"]).unwrap();
-        let t = Table::from_str_rows(
-            schema,
-            [["1.5", "true"], ["2.25", "no"], ["3.0", "Yes"]],
-        )
-        .unwrap();
+        let t = Table::from_str_rows(schema, [["1.5", "true"], ["2.25", "no"], ["3.0", "Yes"]])
+            .unwrap();
         let p = TableProfile::profile(&t);
         assert_eq!(p.columns[0].dtype, InferredType::Float);
         assert_eq!(p.columns[1].dtype, InferredType::Boolean);
@@ -369,8 +368,8 @@ mod tests {
         // Fixed-width numeric zips are code-like → kept.
         assert!(p.columns[0].is_candidate());
         assert!(p.columns[1].is_candidate()); // city text
-        // Populations are all 7 digits in the fixture; use a clearly
-        // variable-width numeric column instead.
+                                              // Populations are all 7 digits in the fixture; use a clearly
+                                              // variable-width numeric column instead.
         let schema = Schema::new(["amount"]).unwrap();
         let t = Table::from_str_rows(schema, [["5"], ["1200"], ["37"]]).unwrap();
         let p2 = TableProfile::profile(&t);
@@ -389,11 +388,8 @@ mod tests {
     #[test]
     fn histograms_group_by_signature() {
         let schema = Schema::new(["phone"]).unwrap();
-        let t = Table::from_str_rows(
-            schema,
-            [["8505467600x"], ["6073771300x"], ["404-848-1918"]],
-        )
-        .unwrap();
+        let t = Table::from_str_rows(schema, [["8505467600x"], ["6073771300x"], ["404-848-1918"]])
+            .unwrap();
         let p = TableProfile::profile(&t);
         let h = p.columns[0].histogram(PatternLevel::ClassExact).unwrap();
         // Two signatures: \D{10}x (twice) and \D{3}-\D{3}-\D{4} (once).

@@ -66,9 +66,10 @@ impl Schema {
 
     /// Index of a column by name, as an error-carrying lookup.
     pub fn require(&self, name: &str) -> Result<usize, TableError> {
-        self.index_of(name).ok_or_else(|| TableError::UnknownColumn {
-            name: name.to_string(),
-        })
+        self.index_of(name)
+            .ok_or_else(|| TableError::UnknownColumn {
+                name: name.to_string(),
+            })
     }
 
     /// Name of the column at `idx` (panics if out of range).
@@ -76,7 +77,6 @@ impl Schema {
     pub fn name(&self, idx: usize) -> &str {
         &self.names[idx]
     }
-
 }
 
 #[cfg(test)]

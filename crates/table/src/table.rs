@@ -133,11 +133,7 @@ impl Table {
 
     /// Iterate `(RowId, &str, &str)` over the non-null cells of a column
     /// pair — the unit of work of the discovery loop.
-    pub fn iter_pair<'t>(
-        &'t self,
-        a: usize,
-        b: usize,
-    ) -> impl Iterator<Item = (RowId, &'t str, &'t str)> {
+    pub fn iter_pair(&self, a: usize, b: usize) -> impl Iterator<Item = (RowId, &str, &str)> {
         self.columns[a]
             .iter()
             .zip(self.columns[b].iter())
@@ -240,11 +236,8 @@ mod tests {
     #[test]
     fn iter_pair_skips_nulls() {
         let schema = Schema::new(["a", "b"]).unwrap();
-        let t = Table::from_str_rows(
-            schema,
-            [["x", "1"], ["", "2"], ["y", ""], ["z", "3"]],
-        )
-        .unwrap();
+        let t =
+            Table::from_str_rows(schema, [["x", "1"], ["", "2"], ["y", ""], ["z", "3"]]).unwrap();
         let pairs: Vec<_> = t.iter_pair(0, 1).collect();
         assert_eq!(pairs, vec![(0, "x", "1"), (3, "z", "3")]);
     }

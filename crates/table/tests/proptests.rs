@@ -20,32 +20,32 @@ fn any_field() -> impl Strategy<Value = String> {
 }
 
 fn any_table() -> impl Strategy<Value = Table> {
-    (1usize..5)
-        .prop_flat_map(|arity| {
-            let schema_names: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
-            prop::collection::vec(prop::collection::vec(any_field(), arity..=arity), 0..12)
-                .prop_map(move |rows| {
-                    let schema = Schema::new(schema_names.clone()).unwrap();
-                    Table::from_rows(
-                        schema,
-                        rows.into_iter().map(|r| {
-                            r.into_iter()
-                                .map(|f| {
-                                    // Direct construction (no null-token folding)
-                                    // so the round-trip comparison is exact up to
-                                    // empty ↔ null.
-                                    if f.is_empty() {
-                                        Value::Null
-                                    } else {
-                                        Value::Text(f)
-                                    }
-                                })
-                                .collect()
-                        }),
-                    )
-                    .unwrap()
-                })
-        })
+    (1usize..5).prop_flat_map(|arity| {
+        let schema_names: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
+        prop::collection::vec(prop::collection::vec(any_field(), arity..=arity), 0..12).prop_map(
+            move |rows| {
+                let schema = Schema::new(schema_names.clone()).unwrap();
+                Table::from_rows(
+                    schema,
+                    rows.into_iter().map(|r| {
+                        r.into_iter()
+                            .map(|f| {
+                                // Direct construction (no null-token folding)
+                                // so the round-trip comparison is exact up to
+                                // empty ↔ null.
+                                if f.is_empty() {
+                                    Value::Null
+                                } else {
+                                    Value::Text(f)
+                                }
+                            })
+                            .collect()
+                    }),
+                )
+                .unwrap()
+            },
+        )
+    })
 }
 
 proptest! {

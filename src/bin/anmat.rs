@@ -8,12 +8,16 @@
 //! anmat discover data.csv [--store DIR] [--coverage 0.6] [--violations 0.1]
 //! anmat rules    --store DIR --dataset data [--confirm N | --reject N]
 //! anmat detect   data.csv [--store DIR | --rules FILE] [--repair out.csv]
+//! anmat stream   data.csv [--store DIR | --rules FILE] [--batch N]
 //! ```
 //!
 //! `discover` saves profile + rules into a [`RuleStore`] project directory
 //! (the MongoDB substitution); `rules` lists them and records the
 //! Figure-4 confirm/reject decisions; `detect` runs the active rules and
-//! optionally writes a repaired copy of the data.
+//! optionally writes a repaired copy of the data. `stream` replays the
+//! CSV as an append stream through the incremental engine, printing
+//! violations (and retractions) as rows arrive — the online-monitoring
+//! scenario the demo GUI hints at.
 
 use anmat::prelude::*;
 use std::process::ExitCode;
@@ -25,11 +29,22 @@ fn main() -> ExitCode {
         Some("discover") => cmd_discover(&args[1..]),
         Some("rules") => cmd_rules(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
-        Some("help") | None => {
-            print_usage();
+        Some("stream") => cmd_stream(&args[1..]),
+        Some("help" | "--help" | "-h") => {
+            print!("{}", usage());
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}` (try `anmat help`)")),
+        None => {
+            // No command: usage is diagnostic output, and the invocation
+            // failed — same contract as an unknown command.
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -40,18 +55,21 @@ fn main() -> ExitCode {
     }
 }
 
-fn print_usage() {
-    println!(
-        "anmat — pattern functional dependencies (SIGMOD'19 reproduction)\n\
-         \n\
-         USAGE:\n\
-         \x20 anmat profile  <data.csv>\n\
-         \x20 anmat discover <data.csv> [--store DIR] [--coverage F] [--violations F]\n\
-         \x20                [--min-support N] [--paper-style]\n\
-         \x20 anmat rules    --store DIR --dataset NAME [--confirm N | --reject N]\n\
-         \x20 anmat detect   <data.csv> (--store DIR | --rules FILE)\n\
-         \x20                [--confirmed-only] [--repair OUT.csv]\n"
-    );
+fn usage() -> String {
+    "anmat — pattern functional dependencies (SIGMOD'19 reproduction)\n\
+     \n\
+     USAGE:\n\
+     \x20 anmat profile  <data.csv>\n\
+     \x20 anmat discover <data.csv> [--store DIR] [--coverage F] [--violations F]\n\
+     \x20                [--min-support N] [--paper-style]\n\
+     \x20 anmat rules    --store DIR --dataset NAME [--confirm N | --reject N]\n\
+     \x20 anmat detect   <data.csv> (--store DIR | --rules FILE)\n\
+     \x20                [--confirmed-only] [--repair OUT.csv]\n\
+     \x20 anmat stream   <data.csv> (--store DIR | --rules FILE) [--batch N]\n\
+     \x20                [--confirmed-only] [--quiet] [--demote-drifted]\n\
+     \x20                [--violations F] [--min-support N]  (drift thresholds;\n\
+     \x20                pass the values the rules were discovered with)\n"
+        .to_string()
 }
 
 /// Pull `--flag value` out of an argument list; returns remaining args.
@@ -109,8 +127,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
         config.min_coverage = c.parse().map_err(|_| format!("bad --coverage `{c}`"))?;
     }
     if let Some(v) = violations {
-        config.max_violation_ratio =
-            v.parse().map_err(|_| format!("bad --violations `{v}`"))?;
+        config.max_violation_ratio = v.parse().map_err(|_| format!("bad --violations `{v}`"))?;
     }
     if let Some(s) = min_support {
         config.min_support = s.parse().map_err(|_| format!("bad --min-support `{s}`"))?;
@@ -175,7 +192,11 @@ fn cmd_rules(args: &[String]) -> Result<(), String> {
     let record = store
         .load(&dataset)
         .map_err(|e| format!("loading `{dataset}`: {e}"))?;
-    println!("dataset `{}` — {} rule(s):", record.name, record.rules.len());
+    println!(
+        "dataset `{}` — {} rule(s):",
+        record.name,
+        record.rules.len()
+    );
     for (i, rule) in record.rules.iter().enumerate() {
         println!("\n[{i}] {:?}", rule.status);
         for line in rule.pfd.to_string().lines() {
@@ -183,6 +204,48 @@ fn cmd_rules(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Load the active rules for a dataset from a store dir or a rules file.
+///
+/// Alongside each rule, returns its index in the *stored* rule list
+/// (identity for a rules file), so callers that write back — drift
+/// demotion — address the same `[N]` the `anmat rules` listing shows.
+fn load_rules(
+    command: &str,
+    data_path: &str,
+    store_dir: Option<&str>,
+    rules_file: Option<&str>,
+    confirmed_only: bool,
+) -> Result<(Vec<Pfd>, Vec<usize>), String> {
+    let (pfds, indices): (Vec<Pfd>, Vec<usize>) = if let Some(dir) = store_dir {
+        let store = RuleStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+        let record = store
+            .load(&dataset_name(data_path))
+            .map_err(|e| format!("loading rules: {e}"))?;
+        record
+            .rules
+            .into_iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.status == RuleStatus::Confirmed
+                    || (!confirmed_only && r.status == RuleStatus::Pending)
+            })
+            .map(|(i, r)| (r.pfd, i))
+            .unzip()
+    } else if let Some(file) = rules_file {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+        let pfds: Vec<Pfd> =
+            serde_json::from_str(&text).map_err(|e| format!("parsing {file}: {e}"))?;
+        let indices = (0..pfds.len()).collect();
+        (pfds, indices)
+    } else {
+        return Err(format!("{command}: need --store DIR or --rules FILE"));
+    };
+    if pfds.is_empty() {
+        return Err("no active rules (confirm some with `anmat rules --confirm N`)".into());
+    }
+    Ok((pfds, indices))
 }
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
@@ -194,21 +257,13 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("detect: missing <data.csv>")?;
     let mut table = csv::read_path(path).map_err(|e| format!("reading {path}: {e}"))?;
 
-    let pfds: Vec<Pfd> = if let Some(dir) = store_dir {
-        let store = RuleStore::open(&dir).map_err(|e| format!("opening store {dir}: {e}"))?;
-        store
-            .active_rules(&dataset_name(path), !confirmed_only)
-            .map_err(|e| format!("loading rules: {e}"))?
-    } else if let Some(file) = rules_file {
-        let text =
-            std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("parsing {file}: {e}"))?
-    } else {
-        return Err("detect: need --store DIR or --rules FILE".into());
-    };
-    if pfds.is_empty() {
-        return Err("no active rules (confirm some with `anmat rules --confirm N`)".into());
-    }
+    let (pfds, _) = load_rules(
+        "detect",
+        path,
+        store_dir.as_deref(),
+        rules_file.as_deref(),
+        confirmed_only,
+    )?;
 
     let violations = detect_all(&table, &pfds);
     print!("{}", report::violations_view(&table, &violations));
@@ -218,9 +273,145 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         let applied: usize = reports.iter().map(RepairReport::applied_count).sum();
         let conflicts: usize = reports.iter().map(|r| r.conflicts.len()).sum();
         csv::write_path(&table, &out).map_err(|e| format!("writing {out}: {e}"))?;
-        println!(
-            "\nrepaired {applied} cell(s) ({conflicts} conflict(s) left untouched) → {out}"
-        );
+        println!("\nrepaired {applied} cell(s) ({conflicts} conflict(s) left untouched) → {out}");
     }
     Ok(())
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let store_dir = take_flag(&mut args, "--store");
+    let rules_file = take_flag(&mut args, "--rules");
+    let confirmed_only = take_switch(&mut args, "--confirmed-only");
+    let quiet = take_switch(&mut args, "--quiet");
+    let demote_drifted = take_switch(&mut args, "--demote-drifted");
+    let batch: usize = match take_flag(&mut args, "--batch") {
+        Some(n) => n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or(format!("bad --batch `{n}` (want a positive integer)"))?,
+        None => 1,
+    };
+    // Drift thresholds: pass the values the rules were discovered with
+    // (mirrors `discover`'s flags); defaults match StreamConfig.
+    let mut stream_config = StreamConfig::default();
+    if let Some(v) = take_flag(&mut args, "--violations") {
+        stream_config.max_violation_ratio =
+            v.parse().map_err(|_| format!("bad --violations `{v}`"))?;
+    }
+    if let Some(s) = take_flag(&mut args, "--min-support") {
+        stream_config.min_support = s.parse().map_err(|_| format!("bad --min-support `{s}`"))?;
+    }
+    if demote_drifted && store_dir.is_none() {
+        return Err("--demote-drifted needs --store DIR".into());
+    }
+    let path = args.first().ok_or("stream: missing <data.csv>")?;
+    let table = csv::read_path(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let (pfds, store_indices) = load_rules(
+        "stream",
+        path,
+        store_dir.as_deref(),
+        rules_file.as_deref(),
+        confirmed_only,
+    )?;
+    println!(
+        "streaming {} row(s) from {path} through {} rule(s), batch size {batch}",
+        table.row_count(),
+        pfds.len()
+    );
+
+    let mut engine = StreamEngine::with_config(table.schema().clone(), pfds, stream_config);
+    let mut pending: Vec<Vec<Value>> = Vec::with_capacity(batch);
+    for r in 0..table.row_count() {
+        pending.push(table.row(r).into_iter().cloned().collect());
+        if pending.len() == batch || r + 1 == table.row_count() {
+            let events = engine
+                .push_batch(pending.drain(..))
+                .map_err(|e| format!("row {r}: {e}"))?;
+            if !quiet {
+                for event in &events {
+                    println!("{}", render_event(event));
+                }
+            }
+        }
+    }
+
+    let ledger = engine.ledger();
+    println!(
+        "\nfinal: {} live violation(s) ({} created, {} retracted) over {} row(s)",
+        ledger.live_count(),
+        ledger.created_total(),
+        ledger.retracted_total(),
+        engine.row_count()
+    );
+
+    let drifted = engine.drift_report();
+    if !drifted.is_empty() {
+        println!("\ndrifted rule(s) — confidence fell below the drift threshold:");
+        for d in &drifted {
+            println!(
+                "  [{}] {}: confidence {:.3} < {:.3} ({} violation(s) in {} matched row(s))",
+                store_indices[d.rule],
+                d.dependency,
+                d.confidence,
+                d.min_confidence,
+                d.live_violations,
+                d.matched_rows
+            );
+        }
+        if demote_drifted {
+            let dir = store_dir.as_deref().expect("validated before replay");
+            let store = RuleStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+            let dataset = dataset_name(path);
+            let mut demoted = 0usize;
+            for d in &drifted {
+                let store_idx = store_indices[d.rule];
+                if store
+                    .set_status(&dataset, store_idx, RuleStatus::Pending)
+                    .map_err(|e| format!("demoting rule {store_idx}: {e}"))?
+                {
+                    demoted += 1;
+                }
+            }
+            println!(
+                "  demoted {demoted} rule(s) to Pending in store `{dir}` \
+                 (re-review with `anmat rules`)"
+            );
+        }
+    }
+    Ok(())
+}
+
+fn render_event(event: &LedgerEvent) -> String {
+    let (sign, v) = match event {
+        LedgerEvent::Created(v) => ('+', v),
+        LedgerEvent::Retracted(v) => ('-', v),
+    };
+    let detail = match &v.kind {
+        ViolationKind::Constant {
+            expected, found, ..
+        } => format!(
+            "expected {expected:?}, found {}",
+            found
+                .as_deref()
+                .map_or("∅".to_string(), |f| format!("{f:?}"))
+        ),
+        ViolationKind::Variable {
+            key,
+            majority,
+            found,
+            ..
+        } => format!(
+            "block {key:?} majority {majority:?}, found {}",
+            found
+                .as_deref()
+                .map_or("∅".to_string(), |f| format!("{f:?}"))
+        ),
+    };
+    format!(
+        "{sign} row {} [{}] {}={:?}: {detail}",
+        v.row, v.dependency, v.lhs_attr, v.lhs_value
+    )
 }

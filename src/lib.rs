@@ -18,11 +18,25 @@
 //!   matching, containment, induction, constrained patterns);
 //! * [`table`] — the relational substrate (columnar tables, CSV,
 //!   profiling, tokenization);
-//! * [`index`] — inverted lists, the pattern index, and blocking;
+//! * [`index`] — inverted lists, the pattern index, and blocking (batch
+//!   and incrementally updatable);
 //! * [`core`] — PFD model, discovery, detection, FD/CFD baselines,
-//!   report rendering;
+//!   violation ledger, report rendering;
+//! * [`stream`] — the incremental violation engine for append-heavy
+//!   workloads: push rows, receive violation creations *and
+//!   retractions*, monitor rule drift;
 //! * [`datagen`] — seeded synthetic datasets mirroring the paper's demo
 //!   data, with ground-truth error labels.
+//!
+//! ## Batch vs. streaming
+//!
+//! `detect_all` recomputes the violation set from scratch — right for a
+//! one-shot audit. When rows arrive continuously, seed a
+//! [`StreamEngine`](stream::StreamEngine) with the confirmed rules
+//! instead: each pushed row costs `O(tableau)` on the constant-PFD path
+//! and `O(affected block)` on the variable path, never `O(table)`, and
+//! the final state provably equals batch detection on the accumulated
+//! table.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +69,7 @@ pub use anmat_core as core;
 pub use anmat_datagen as datagen;
 pub use anmat_index as index;
 pub use anmat_pattern as pattern;
+pub use anmat_stream as stream;
 pub use anmat_table as table;
 
 /// One-stop imports for the common workflow.
@@ -63,10 +78,11 @@ pub mod prelude {
     pub use anmat_core::baselines::fd::{FdConfig, FdMiner};
     pub use anmat_core::store::{DatasetRecord, RuleStatus, RuleStore, StoredRule};
     pub use anmat_core::{
-        apply_repairs, detect_all, detect_pfd, discover, discover_pair, repair_to_fixpoint,
-        report, ContextStyle, Detector, DiscoveryConfig, LhsCell, PatternTuple, Pfd, PfdKind,
-        RepairReport, RhsCell, Violation, ViolationKind,
+        apply_repairs, detect_all, detect_pfd, discover, discover_pair, repair_to_fixpoint, report,
+        ContextStyle, Detector, DiscoveryConfig, LedgerEvent, LhsCell, PatternTuple, Pfd, PfdKind,
+        RepairReport, RhsCell, Violation, ViolationKind, ViolationLedger,
     };
     pub use anmat_pattern::{ConstrainedPattern, Pattern};
+    pub use anmat_stream::{DriftReport, StreamConfig, StreamEngine};
     pub use anmat_table::{csv, Schema, Table, TableProfile, Value};
 }

@@ -1,0 +1,103 @@
+//! CLI contract tests: exit codes, usage routing, and the `stream`
+//! subcommand end-to-end.
+
+use anmat::prelude::*;
+use std::process::{Command, Output};
+
+fn anmat(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_anmat"))
+        .args(args)
+        .output()
+        .expect("anmat binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage_to_stdout_and_succeeds() {
+    for flag in ["help", "--help", "-h"] {
+        let out = anmat(&[flag]);
+        assert!(out.status.success(), "`anmat {flag}` must succeed");
+        assert!(stdout(&out).contains("USAGE"), "usage on stdout for {flag}");
+        assert!(stderr(&out).is_empty(), "no stderr noise for {flag}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage_on_stderr() {
+    let out = anmat(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown command must fail");
+    let err = stderr(&out);
+    assert!(err.contains("unknown command `frobnicate`"));
+    assert!(err.contains("USAGE"), "usage goes to stderr on error");
+    assert!(stdout(&out).is_empty(), "nothing on stdout on error");
+}
+
+#[test]
+fn no_command_fails_with_usage_on_stderr() {
+    let out = anmat(&[]);
+    assert!(!out.status.success(), "bare invocation must fail");
+    assert!(stderr(&out).contains("USAGE"));
+    assert!(stdout(&out).is_empty());
+}
+
+#[test]
+fn stream_replays_csv_and_reports_violations() {
+    let dir = std::env::temp_dir().join(format!("anmat_cli_stream_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("zips.csv");
+    std::fs::write(
+        &csv,
+        "zip,city\n90001,Los Angeles\n90002,Los Angeles\n90003,Los Angeles\n90004,New York\n",
+    )
+    .unwrap();
+    let rules = dir.join("rules.json");
+    let pfds = vec![Pfd::new(
+        "Zip",
+        "zip",
+        "city",
+        vec![PatternTuple::variable(
+            "[\\D{3}]\\D{2}".parse::<ConstrainedPattern>().unwrap(),
+        )],
+    )];
+    std::fs::write(&rules, serde_json::to_string(&pfds).unwrap()).unwrap();
+
+    let out = anmat(&[
+        "stream",
+        csv.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stream failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("+ row 3"),
+        "the New York row must be flagged on arrival:\n{text}"
+    );
+    assert!(
+        text.contains("1 live violation(s)"),
+        "summary line:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stream_without_rules_source_fails() {
+    let dir = std::env::temp_dir().join(format!("anmat_cli_norules_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("d.csv");
+    std::fs::write(&csv, "a,b\n1,2\n").unwrap();
+    let out = anmat(&["stream", csv.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("need --store DIR or --rules FILE"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -57,7 +57,11 @@ fn name_gender_pipeline_catches_flips() {
     let flagged: Vec<usize> = violations.iter().map(|v| v.row).collect();
     let score = data.score(&flagged);
     assert!(score.recall() >= 0.9, "recall {:.2}", score.recall());
-    assert!(score.precision() >= 0.9, "precision {:.2}", score.precision());
+    assert!(
+        score.precision() >= 0.9,
+        "precision {:.2}",
+        score.precision()
+    );
 }
 
 #[test]

@@ -96,9 +96,10 @@ fn section1_employee_rules_verbatim() {
         "missing F-\\D-\\D{{3}} in {patterns:?}"
     );
     // And the variable form constraining the department letter.
-    let has_variable = pfds.iter().flat_map(Pfd::variable_tuples).any(|t| {
-        matches!(&t.lhs, LhsCell::Pattern(q) if q.to_string() == "[\\LU]-\\D-\\D{3}")
-    });
+    let has_variable = pfds
+        .iter()
+        .flat_map(Pfd::variable_tuples)
+        .any(|t| matches!(&t.lhs, LhsCell::Pattern(q) if q.to_string() == "[\\LU]-\\D-\\D{3}"));
     assert!(has_variable, "missing [\\LU]-\\D-\\D{{3}} variable rule");
 }
 

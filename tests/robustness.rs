@@ -21,11 +21,8 @@ fn empty_table_yields_nothing() {
 
 #[test]
 fn single_row_yields_nothing() {
-    let t = Table::from_str_rows(
-        Schema::new(["a", "b"]).unwrap(),
-        [["90001", "Los Angeles"]],
-    )
-    .unwrap();
+    let t =
+        Table::from_str_rows(Schema::new(["a", "b"]).unwrap(), [["90001", "Los Angeles"]]).unwrap();
     assert!(discover(&t, &config()).is_empty());
 }
 
@@ -206,10 +203,7 @@ fn detection_on_foreign_schema_is_empty_not_panicking() {
         error_rate: 0.02,
     });
     let pfds = discover(&data.table, &config());
-    let other = Table::from_str_rows(
-        Schema::new(["x", "y"]).unwrap(),
-        [["1", "2"], ["3", "4"]],
-    )
-    .unwrap();
+    let other =
+        Table::from_str_rows(Schema::new(["x", "y"]).unwrap(), [["1", "2"], ["3", "4"]]).unwrap();
     assert!(detect_all(&other, &pfds).is_empty());
 }

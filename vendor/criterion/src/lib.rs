@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness-free subset the bench suite uses: `Criterion`
+//! with `sample_size` / `warm_up_time` / `measurement_time` /
+//! `configure_from_args` / `benchmark_group` / `final_summary`, groups
+//! with `bench_function` / `bench_with_input` / `throughput` / `finish`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and `black_box`.
+//!
+//! Measurement model: each sample times a fixed batch of iterations and
+//! the reported statistics are the minimum / median / maximum of the
+//! per-iteration sample means — cruder than criterion's bootstrap, but
+//! output lines keep the familiar `time: [lo mid hi]` shape.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// `--bench <filter>`-style substring filter from the command line.
+    filter: Option<String>,
+    benchmarks_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            filter: None,
+            benchmarks_run: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (minimum 2).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sampling time budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Honor a benchmark-name substring filter from `argv` (ignores
+    /// flags). Mirrors criterion's CLI behavior closely enough for
+    /// `cargo bench -- <filter>`.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Criterion {
+        let args = std::env::args().skip(1);
+        for arg in args {
+            if arg == "--bench" || arg == "--test" || arg.starts_with("--") {
+                continue;
+            }
+            self.filter = Some(arg);
+            break;
+        }
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Print the closing summary line.
+    pub fn final_summary(&self) {
+        println!(
+            "criterion (offline shim): {} benchmark(s) measured",
+            self.benchmarks_run
+        );
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter, rendered `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Measure one benchmark taking a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (kept for API parity; drop also suffices).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full_name = format!("{}/{}", self.name, id.render());
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            config: BenchConfig {
+                sample_size: self.criterion.sample_size,
+                warm_up_time: self.criterion.warm_up_time,
+                measurement_time: self.criterion.measurement_time,
+            },
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        self.criterion.benchmarks_run += 1;
+        report(&full_name, &mut bencher.samples_ns, self.throughput);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    config: BenchConfig,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time a routine: warm up, then collect per-iteration means.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Pick a batch size so one sample stays within the budget.
+        let budget = self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples_ns: &mut [f64], throughput: Option<Throughput>) {
+    if samples_ns.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let lo = samples_ns[0];
+    let mid = samples_ns[samples_ns.len() / 2];
+    let hi = samples_ns[samples_ns.len() - 1];
+    let mut line = format!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(mid),
+        fmt_ns(hi)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = count as f64 / (mid / 1e9);
+        line.push_str(&format!("  thrpt: {} {unit}", fmt_rate(rate)));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_end_to_end() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 2);
+        c.final_summary();
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+        assert!(fmt_rate(2.5e6).ends_with('M'));
+    }
+}

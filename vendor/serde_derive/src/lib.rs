@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — structs with named fields, and enums with
+//! unit / tuple / struct variants — plus the container attribute
+//! `#[serde(try_from = "...", into = "...")]`. Written directly against
+//! `proc_macro` token trees because `syn`/`quote` are unavailable offline.
+//!
+//! Generated impls target the value-model traits of the sibling `serde`
+//! vendor crate and reproduce real serde's externally-tagged JSON layout.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input declared.
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(try_from = "...")]` type, if present.
+    try_from: Option<String>,
+    /// `#[serde(into = "...")]` type, if present.
+    into: Option<String>,
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: `(variant name, payload)` in declaration order.
+    Enum(Vec<(String, Payload)>),
+}
+
+enum Payload {
+    Unit,
+    /// Tuple variant with the given arity.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut try_from = None;
+    let mut into = None;
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: `# [ ... ]`. Record serde container attrs.
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    parse_serde_attr(g.stream(), &mut try_from, &mut into);
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Possible restriction: `pub (crate)`.
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut tokens);
+                let body = expect_brace(&mut tokens, &name);
+                let fields = parse_named_fields(body);
+                return Item {
+                    name,
+                    shape: Shape::Struct(fields),
+                    try_from,
+                    into,
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut tokens);
+                let body = expect_brace(&mut tokens, &name);
+                let variants = parse_variants(body);
+                return Item {
+                    name,
+                    shape: Shape::Enum(variants),
+                    try_from,
+                    into,
+                };
+            }
+            Some(_) => {}
+            None => panic!("serde derive: expected a struct or enum"),
+        }
+    }
+}
+
+/// If the attribute group is `serde(...)`, pull out `try_from`/`into`.
+fn parse_serde_attr(stream: TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return;
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tt) = args.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        // Expect `= "literal"`.
+        match (args.next(), args.next()) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                let text = lit.to_string();
+                let inner = text.trim_matches('"').to_string();
+                match key.as_str() {
+                    "try_from" => *try_from = Some(inner),
+                    "into" => *into = Some(inner),
+                    other => panic!("serde derive: unsupported serde attribute `{other}`"),
+                }
+            }
+            _ => panic!("serde derive: malformed serde attribute `{key}`"),
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut impl Iterator<Item = TokenTree>) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_brace(tokens: &mut impl Iterator<Item = TokenTree>, name: &str) -> TokenStream {
+    for tt in tokens {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => return g.stream(),
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde derive: generic type `{name}` is not supported by the offline shim")
+            }
+            _ => {}
+        }
+    }
+    panic!("serde derive: `{name}` has no braced body (unit/tuple structs unsupported)")
+}
+
+/// Field names of a `{ name: Type, ... }` body. Types are skipped
+/// angle-bracket-aware, so `HashMap<String, usize>` does not split a field.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next();
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = expect_ident(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Payload)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            _ => {}
+        }
+        let name = expect_ident(&mut tokens);
+        let payload = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_types(g.stream());
+                tokens.next();
+                Payload::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Payload::Struct(fields)
+            }
+            _ => Payload::Unit,
+        };
+        variants.push((name, payload));
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+    variants
+}
+
+/// Number of comma-separated types at the top level of a tuple payload.
+fn count_top_level_types(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut last_was_comma = false;
+    for tt in stream {
+        any = true;
+        last_was_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        return 0;
+    }
+    // A trailing comma does not introduce another type.
+    commas + usize::from(!last_was_comma)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.into {
+        format!(
+            "let __converted: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_json_value(&__converted)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Struct(fields) => {
+                let mut pairs = String::new();
+                for f in fields {
+                    pairs.push_str(&format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&self.{f})),"
+                    ));
+                }
+                format!("::serde::Value::Object(::std::vec![{pairs}])")
+            }
+            Shape::Enum(variants) => {
+                let mut arms = String::new();
+                for (v, payload) in variants {
+                    match payload {
+                        Payload::Unit => arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{v}\")),"
+                        )),
+                        Payload::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_json_value(__f0))]),"
+                        )),
+                        Payload::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                        Payload::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_json_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{v} {{ {binders} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                pairs.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{ {arms} }}")
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(try_ty) = &item.try_from {
+        format!(
+            "let __converted: {try_ty} = ::serde::Deserialize::from_json_value(__v)?;\n\
+             <{name} as ::std::convert::TryFrom<{try_ty}>>::try_from(__converted)\
+                 .map_err(|e| ::serde::Error::custom(::std::format!(\"{{e}}\")))"
+        )
+    } else {
+        match &item.shape {
+            Shape::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!("{f}: ::serde::__private::field(__v, \"{f}\")?,"));
+                }
+                format!(
+                    "if __v.as_object().is_none() {{\n\
+                         return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"object\", __v));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})"
+                )
+            }
+            Shape::Enum(variants) => {
+                let mut arms = String::new();
+                for (v, payload) in variants {
+                    match payload {
+                        Payload::Unit => arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                        )),
+                        Payload::Tuple(1) => arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __p = __payload.ok_or_else(|| ::serde::Error::custom(\
+                                     \"missing payload for variant `{v}`\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v}(\
+                                     ::serde::Deserialize::from_json_value(__p)?))\n\
+                             }}"
+                        )),
+                        Payload::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_json_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{v}\" => {{\n\
+                                     let __p = __payload.ok_or_else(|| ::serde::Error::custom(\
+                                         \"missing payload for variant `{v}`\"))?;\n\
+                                     let __items = ::serde::__private::tuple_payload(__p, {n})?;\n\
+                                     ::std::result::Result::Ok({name}::{v}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ));
+                        }
+                        Payload::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__private::field(__p, \"{f}\")?"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{v}\" => {{\n\
+                                     let __p = __payload.ok_or_else(|| ::serde::Error::custom(\
+                                         \"missing payload for variant `{v}`\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "let (__variant, __payload) = ::serde::__private::variant(__v)?;\n\
+                     match __variant {{\n\
+                         {arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}`\"))),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
