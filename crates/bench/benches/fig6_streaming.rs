@@ -12,7 +12,7 @@ use anmat_bench::{criterion, experiment_config};
 use anmat_core::{detect_all, discover, Pfd};
 use anmat_datagen::{zipcity, Dataset};
 use anmat_stream::StreamEngine;
-use anmat_table::{Table, Value};
+use anmat_table::{Table, Value, ValueId};
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use std::time::Instant;
 
@@ -23,9 +23,11 @@ fn dataset(rows: usize) -> (Dataset, Vec<Pfd>) {
 }
 
 fn rows_of(table: &Table) -> Vec<Vec<Value>> {
-    (0..table.row_count())
-        .map(|r| table.row(r).into_iter().cloned().collect())
-        .collect()
+    (0..table.row_count()).map(|r| table.row(r)).collect()
+}
+
+fn id_rows_of(table: &Table) -> Vec<Vec<ValueId>> {
+    (0..table.row_count()).map(|r| table.row_ids(r)).collect()
 }
 
 /// Per-row ingest cost with `prefix` rows already accumulated — the
@@ -78,6 +80,22 @@ fn bench(c: &mut Criterion) {
                     let mut engine = StreamEngine::new(data.table.schema().clone(), rules.to_vec());
                     for row in prebuilt.iter().cloned() {
                         engine.push_row(row).expect("schema matches");
+                    }
+                    black_box(engine.ledger().live_count())
+                });
+            },
+        );
+        // The clone-free path: rows arrive as interned ids (what
+        // `replay_table` and the CLI stream command use).
+        let prebuilt_ids = id_rows_of(&data.table);
+        g.bench_with_input(
+            BenchmarkId::new("stream_ingest_ids", rows),
+            &prebuilt_ids,
+            |b, prebuilt_ids| {
+                b.iter(|| {
+                    let mut engine = StreamEngine::new(data.table.schema().clone(), rules.to_vec());
+                    for row in prebuilt_ids.iter().cloned() {
+                        engine.push_id_row(row).expect("schema matches");
                     }
                     black_box(engine.ledger().live_count())
                 });

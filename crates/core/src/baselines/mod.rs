@@ -1,7 +1,7 @@
 //! Prior-art baselines the paper positions PFDs against.
 //!
-//! "The fundamental limitation of previous ICs (e.g., FDs [1] and CFDs
-//! [2]) is that they enforce data dependencies using the entire attribute
+//! "The fundamental limitation of previous ICs (e.g., FDs \[1\] and CFDs
+//! \[2\]) is that they enforce data dependencies using the entire attribute
 //! values." To make that claim testable, this module implements both:
 //!
 //! * [`fd`] — exact and approximate functional-dependency discovery in the

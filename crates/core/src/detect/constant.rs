@@ -8,7 +8,7 @@
 
 use super::{Detector, Repair, Violation, ViolationKind};
 use crate::pfd::{LhsCell, Pfd, RhsCell};
-use anmat_table::{RowId, Table};
+use anmat_table::{RowId, Table, ValueId, ValuePool};
 
 /// Detect violations of the constant tuples of `pfd`.
 pub(crate) fn detect(
@@ -23,6 +23,7 @@ pub(crate) fn detect(
         let RhsCell::Constant(expected) = &tuple.rhs else {
             continue;
         };
+        let expected = ValuePool::intern(expected);
         let rows: Vec<usize> = match &tuple.lhs {
             LhsCell::Pattern(q) => {
                 // The index limits the check to tuples matching tp[A].
@@ -56,22 +57,24 @@ pub(crate) fn detect(
 /// the incremental `anmat-stream` engine): a non-null LHS row whose RHS
 /// differs from `expected` is a violation; the suggested repair assumes
 /// the LHS is correct and sets the RHS to `tp[B]`. The caller guarantees
-/// the row's LHS matches the tuple pattern.
+/// the row's LHS matches the tuple pattern. The agreement check is an
+/// interned-id comparison, so the hot path never touches string bytes.
 #[must_use]
 pub fn violation_at(
     table: &Table,
     pfd: &Pfd,
     pattern_display: &str,
-    expected: &str,
+    expected: ValueId,
     lhs: usize,
     rhs: usize,
     row: RowId,
 ) -> Option<Violation> {
     let lhs_value = table.cell_str(row, lhs)?;
-    let found = table.cell_str(row, rhs);
-    if found == Some(expected) {
+    let found = table.cell_id(row, rhs);
+    if found == expected {
         return None;
     }
+    let found = found.as_str();
     Some(Violation {
         dependency: pfd.embedded_fd(),
         lhs_attr: pfd.lhs_attr.clone(),
@@ -80,14 +83,14 @@ pub fn violation_at(
         lhs_value: lhs_value.to_string(),
         kind: ViolationKind::Constant {
             pattern: pattern_display.to_string(),
-            expected: expected.to_string(),
+            expected: expected.render().to_string(),
             found: found.map(str::to_string),
         },
         repair: Some(Repair {
             row,
             attr: pfd.rhs_attr.clone(),
             from: found.map(str::to_string),
-            to: expected.to_string(),
+            to: expected.render().to_string(),
         }),
     })
 }

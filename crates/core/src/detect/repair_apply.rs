@@ -1,7 +1,7 @@
 //! Applying suggested repairs.
 //!
 //! The paper frames repairs as "if we assume that the LHS value is
-//! correct then the RHS could [be] repaired by changing it to `tp[B]`"
+//! correct then the RHS could \[be\] repaired by changing it to `tp[B]`"
 //! (constant PFDs); for variable PFDs the block majority plays the role
 //! of `tp[B]`. This module turns a violation list into table edits, with
 //! conflict handling (two rules proposing different values for the same

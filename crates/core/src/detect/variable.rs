@@ -11,7 +11,8 @@
 use super::{Repair, Violation, ViolationKind};
 use crate::pfd::{LhsCell, Pfd, RhsCell};
 use anmat_index::BlockingIndex;
-use anmat_table::{RowId, Table};
+use anmat_table::{RowId, Table, ValueId};
+use fxhash::FxHashMap;
 use std::collections::HashMap;
 
 /// Cap on stored witness rows per violation.
@@ -38,7 +39,7 @@ pub(crate) fn detect(table: &Table, pfd: &Pfd, lhs: usize, rhs: usize) -> Vec<Vi
                 lhs,
                 rhs,
                 &q.to_string(),
-                key,
+                key.render(),
                 rows,
             ));
         }
@@ -48,14 +49,14 @@ pub(crate) fn detect(table: &Table, pfd: &Pfd, lhs: usize, rhs: usize) -> Vec<Vi
 
 /// Blocking on the whole value (wildcard-LHS fallback).
 fn detect_whole_column(table: &Table, pfd: &Pfd, lhs: usize, rhs: usize) -> Vec<Violation> {
-    let mut blocks: HashMap<&str, Vec<RowId>> = HashMap::new();
+    let mut blocks: FxHashMap<ValueId, Vec<RowId>> = FxHashMap::default();
     for (row, v) in table.iter_column(lhs) {
-        if let Some(s) = v.as_str() {
-            blocks.entry(s).or_default().push(row);
+        if !v.is_null() {
+            blocks.entry(v).or_default().push(row);
         }
     }
-    let mut keys: Vec<&str> = blocks.keys().copied().collect();
-    keys.sort_unstable();
+    let mut keys: Vec<ValueId> = blocks.keys().copied().collect();
+    keys.sort_by_cached_key(|k| k.render());
     let mut out = Vec::new();
     for key in keys {
         out.extend(flag_block_minority(
@@ -64,8 +65,8 @@ fn detect_whole_column(table: &Table, pfd: &Pfd, lhs: usize, rhs: usize) -> Vec<
             lhs,
             rhs,
             "⊥",
-            key,
-            &blocks[key],
+            key.render(),
+            &blocks[&key],
         ));
     }
     out
@@ -75,10 +76,12 @@ fn detect_whole_column(table: &Table, pfd: &Pfd, lhs: usize, rhs: usize) -> Vec<
 ///
 /// This is the single source of truth for variable-PFD block semantics:
 /// majority vote over non-null RHS values (ties break to the
-/// lexicographically smallest value), null RHS rows flagged but never
-/// voting, up to [`MAX_WITNESSES`] majority rows recorded as witnesses in
-/// row order. Both batch detection and the incremental
-/// `anmat-stream` engine call it so their violation sets agree exactly.
+/// lexicographically smallest value, independent of interning order),
+/// null RHS rows flagged but never voting, up to [`MAX_WITNESSES`]
+/// majority rows recorded as witnesses in row order. Both batch detection
+/// and the incremental `anmat-stream` engine call it so their violation
+/// sets agree exactly. The vote runs over interned ids; strings are only
+/// touched to break ties and to render evidence.
 pub fn flag_block_minority(
     table: &Table,
     pfd: &Pfd,
@@ -91,32 +94,32 @@ pub fn flag_block_minority(
     if rows.len() < 2 {
         return Vec::new();
     }
-    // RHS distribution (None = null RHS participates as a violation
-    // candidate but never as majority).
-    let mut counts: HashMap<Option<&str>, usize> = HashMap::new();
+    // RHS distribution (ValueId::NULL = null RHS participates as a
+    // violation candidate but never as majority).
+    let mut counts: FxHashMap<ValueId, usize> = FxHashMap::default();
     for &row in rows {
-        *counts.entry(table.cell_str(row, rhs)).or_insert(0) += 1;
+        *counts.entry(table.cell_id(row, rhs)).or_insert(0) += 1;
     }
-    let distinct_non_null = counts.keys().filter(|k| k.is_some()).count();
-    if distinct_non_null <= 1 && !counts.contains_key(&None) {
+    let distinct_non_null = counts.keys().filter(|k| !k.is_null()).count();
+    if distinct_non_null <= 1 && !counts.contains_key(&ValueId::NULL) {
         return Vec::new(); // block agrees
     }
     let Some((majority, _)) = counts
         .iter()
-        .filter_map(|(k, c)| k.map(|v| (v, *c)))
-        .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+        .filter_map(|(k, c)| (!k.is_null()).then_some((*k, *c)))
+        .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.render().cmp(va.render())))
     else {
         return Vec::new(); // all RHS null: nothing to vote with
     };
     let witnesses: Vec<RowId> = rows
         .iter()
         .copied()
-        .filter(|&r| table.cell_str(r, rhs) == Some(majority))
+        .filter(|&r| table.cell_id(r, rhs) == majority)
         .take(MAX_WITNESSES)
         .collect();
     let mut out = Vec::new();
     for &row in rows {
-        if table.cell_str(row, rhs) == Some(majority) {
+        if table.cell_id(row, rhs) == majority {
             continue;
         }
         out.push(minority_violation(
@@ -126,7 +129,7 @@ pub fn flag_block_minority(
             rhs,
             pattern_display,
             key,
-            majority,
+            majority.render(),
             &witnesses,
             row,
         ));
@@ -191,12 +194,17 @@ pub(crate) fn detect_bruteforce(
             continue;
         };
         // Materialize matches + keys once (the paper's index does the
-        // same), then enumerate pairs explicitly.
-        let mut matched: Vec<(RowId, String)> = Vec::new();
+        // same; capture extraction memoized per distinct LHS id), then
+        // enumerate pairs explicitly.
+        let mut key_cache: FxHashMap<ValueId, Option<ValueId>> = FxHashMap::default();
+        let mut matched: Vec<(RowId, ValueId)> = Vec::new();
         for (row, v) in table.iter_column(lhs) {
             let Some(s) = v.as_str() else { continue };
-            if let Some(key) = q.key(s) {
-                matched.push((row, key));
+            if let Some(key) = key_cache
+                .entry(v)
+                .or_insert_with(|| q.key(s).map(|k| anmat_table::ValuePool::intern(&k)))
+            {
+                matched.push((row, *key));
             }
         }
         // Pair scan: votes[row] = (agreements, disagreements) against every
@@ -204,28 +212,28 @@ pub(crate) fn detect_bruteforce(
         let mut conflicts: HashMap<RowId, Vec<RowId>> = HashMap::new();
         for i in 0..matched.len() {
             for j in (i + 1)..matched.len() {
-                let (ri, ki) = &matched[i];
-                let (rj, kj) = &matched[j];
+                let (ri, ki) = matched[i];
+                let (rj, kj) = matched[j];
                 if ki != kj {
                     continue;
                 }
-                let bi = table.cell_str(*ri, rhs);
-                let bj = table.cell_str(*rj, rhs);
+                let bi = table.cell_id(ri, rhs);
+                let bj = table.cell_id(rj, rhs);
                 if bi != bj {
-                    conflicts.entry(*ri).or_default().push(*rj);
-                    conflicts.entry(*rj).or_default().push(*ri);
+                    conflicts.entry(ri).or_default().push(rj);
+                    conflicts.entry(rj).or_default().push(ri);
                 }
             }
         }
         // Resolve conflicts identically to blocking (majority vote per key).
-        let mut by_key: HashMap<&str, Vec<RowId>> = HashMap::new();
-        for (row, key) in &matched {
-            by_key.entry(key.as_str()).or_default().push(*row);
+        let mut by_key: FxHashMap<ValueId, Vec<RowId>> = FxHashMap::default();
+        for &(row, key) in &matched {
+            by_key.entry(key).or_default().push(row);
         }
-        let mut keys: Vec<&str> = by_key.keys().copied().collect();
-        keys.sort_unstable();
+        let mut keys: Vec<ValueId> = by_key.keys().copied().collect();
+        keys.sort_by_cached_key(|k| k.render());
         for key in keys {
-            let rows = &by_key[key];
+            let rows = &by_key[&key];
             if rows.iter().all(|r| !conflicts.contains_key(r)) {
                 continue;
             }
@@ -235,7 +243,7 @@ pub(crate) fn detect_bruteforce(
                 lhs,
                 rhs,
                 &q.to_string(),
-                key,
+                key.render(),
                 rows,
             ));
         }

@@ -171,10 +171,17 @@ impl Pfd {
         };
         let mut total = 0usize;
         let mut covered = 0usize;
+        // Admission depends only on the cell string: memoize per distinct
+        // interned value so each tableau pattern matches at most
+        // `distinct(column)` times.
+        let mut memo: fxhash::FxHashMap<anmat_table::ValueId, bool> = fxhash::FxHashMap::default();
         for (_, v) in table.iter_column(col) {
             let Some(s) = v.as_str() else { continue };
             total += 1;
-            if self.tableau.iter().any(|t| t.lhs.admits(s)) {
+            let admits = *memo
+                .entry(v)
+                .or_insert_with(|| self.tableau.iter().any(|t| t.lhs.admits(s)));
+            if admits {
                 covered += 1;
             }
         }

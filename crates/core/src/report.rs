@@ -83,11 +83,17 @@ pub fn tableau_view(table: &Table, pfd: &Pfd) -> String {
             RhsCell::Constant(c) => c.clone(),
             RhsCell::Wildcard => "⊥".to_string(),
         };
-        // Per-tuple frequency, as in the Figure 4 display.
+        // Per-tuple frequency, as in the Figure 4 display (admission
+        // memoized per distinct interned value).
         let freq = lhs_col.map_or(0, |col| {
+            let mut memo: fxhash::FxHashMap<anmat_table::ValueId, bool> =
+                fxhash::FxHashMap::default();
             table
                 .iter_column(col)
-                .filter(|(_, v)| v.as_str().is_some_and(|s| t.lhs.admits(s)))
+                .filter(|(_, v)| {
+                    v.as_str()
+                        .is_some_and(|s| *memo.entry(*v).or_insert_with(|| t.lhs.admits(s)))
+                })
                 .count()
         });
         let _ = writeln!(out, "  tp{i}: {lhs} → {rhs}   (frequency {freq})");
@@ -102,7 +108,7 @@ pub fn violations_view(table: &Table, violations: &[Violation]) -> String {
     let _ = writeln!(out, "=== {} violation(s) ===", violations.len());
     for v in violations {
         let record: Vec<String> = (0..table.column_count())
-            .map(|c| table.cell(v.row, c).to_string())
+            .map(|c| table.cell_id(v.row, c).to_string())
             .collect();
         match &v.kind {
             ViolationKind::Constant {

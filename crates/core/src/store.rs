@@ -1,6 +1,6 @@
 //! Persistent rule store — the MongoDB substitution.
 //!
-//! The demo "store[s] the results in a MongoDB database" after profiling
+//! The demo "store\[s\] the results in a MongoDB database" after profiling
 //! and discovery. This module provides the equivalent persistence as a
 //! plain directory of JSON documents: one *project* per directory,
 //! holding named datasets' profiles, discovered PFDs, and confirmation

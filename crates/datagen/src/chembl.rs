@@ -1,8 +1,8 @@
 //! ChEMBL-like compound records.
 //!
 //! The paper demonstrates on ChEMBL downloads and notes that "n-grams are
-//! mainly used to extract patterns from attributes that contain [a] single
-//! token which could be a code or ids". This generator produces
+//! mainly used to extract patterns from attributes that contain \[a\]
+//! single token which could be a code or ids". This generator produces
 //! `CHEMBL\D+` compound ids plus code columns whose values correlate with
 //! id structure: the id's digit-count bucket determines an era code
 //! (mirroring how low ChEMBL ids are early-deposited compounds).

@@ -92,7 +92,7 @@ impl ErrorInjector {
         while targets.len() < count && attempts < count * 20 + 100 {
             attempts += 1;
             let row = rng.random_range(0..n);
-            if used.contains(&row) || table.cell(row, col).is_null() {
+            if used.contains(&row) || table.cell_id(row, col).is_null() {
                 continue;
             }
             used.insert(row);

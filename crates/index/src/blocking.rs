@@ -10,17 +10,22 @@
 //! pair enumeration cost drops from `O(n²)` to `Σ |block|²` — and further
 //! to `O(n)` for the common case where each block's RHS is checked by
 //! value counts rather than explicit pairs.
+//!
+//! Blocking keys and RHS values are interned [`ValueId`]s: capture
+//! extraction (the hot cost) runs at most once per *distinct* LHS value
+//! — the per-`(pattern, ValueId)` memo the incremental engine relies on —
+//! and every map in this module hashes a 4-byte id instead of a string.
 
-use crate::inverted::EntryStats;
+use crate::inverted::{sort_rhs_counts, EntryStats};
 use anmat_pattern::ConstrainedPattern;
-use anmat_table::{RowId, Table};
-use std::collections::HashMap;
+use anmat_table::{RowId, Table, ValueId, ValuePool};
+use fxhash::FxHashMap;
 
 /// Rows grouped by constrained-capture key.
 #[derive(Debug)]
 pub struct Blocks {
-    /// Key → rows, sorted by key for determinism.
-    pub blocks: Vec<(String, Vec<RowId>)>,
+    /// Key → rows, sorted by resolved key string for determinism.
+    pub blocks: Vec<(ValueId, Vec<RowId>)>,
     /// Rows whose LHS did not match the pattern at all.
     pub unmatched: Vec<RowId>,
     /// Rows with a null LHS.
@@ -66,24 +71,26 @@ impl BlockingIndex {
     /// under `q`.
     #[must_use]
     pub fn block(table: &Table, col: usize, q: &ConstrainedPattern) -> Blocks {
-        let mut map: HashMap<String, Vec<RowId>> = HashMap::new();
+        let mut map: FxHashMap<ValueId, Vec<RowId>> = FxHashMap::default();
         let mut unmatched = Vec::new();
         let mut null_rows = Vec::new();
-        // Deduplicate capture extraction per distinct value.
-        let mut key_cache: HashMap<&str, Option<String>> = HashMap::new();
+        // Capture extraction runs once per distinct LHS value id.
+        let mut key_cache: FxHashMap<ValueId, Option<ValueId>> = FxHashMap::default();
         for (row, v) in table.iter_column(col) {
             let Some(s) = v.as_str() else {
                 null_rows.push(row);
                 continue;
             };
-            let key = key_cache.entry(s).or_insert_with(|| q.key(s));
+            let key = key_cache
+                .entry(v)
+                .or_insert_with(|| q.key(s).map(|k| ValuePool::intern(&k)));
             match key {
-                Some(k) => map.entry(k.clone()).or_default().push(row),
+                Some(k) => map.entry(*k).or_default().push(row),
                 None => unmatched.push(row),
             }
         }
-        let mut blocks: Vec<(String, Vec<RowId>)> = map.into_iter().collect();
-        blocks.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut blocks: Vec<(ValueId, Vec<RowId>)> = map.into_iter().collect();
+        blocks.sort_by_cached_key(|(k, _)| k.render());
         Blocks {
             blocks,
             unmatched,
@@ -98,16 +105,16 @@ impl BlockingIndex {
 pub struct KeyBlock {
     /// Rows in insertion (= row id) order.
     rows: Vec<RowId>,
-    /// RHS cell per row, parallel to `rows` (`None` = null RHS).
-    rhs: Vec<Option<String>>,
+    /// RHS cell per row, parallel to `rows` ([`ValueId::NULL`] = null RHS).
+    rhs: Vec<ValueId>,
     /// RHS value → row count (null tracked separately).
-    counts: HashMap<String, usize>,
+    counts: FxHashMap<ValueId, usize>,
     /// Rows whose RHS is null.
     null_rhs: usize,
     /// Incrementally maintained `(majority value, its count)`. Only the
     /// value whose count just grew can displace the current leader, so
     /// each insert updates this in `O(1)`.
-    majority: Option<(String, usize)>,
+    majority: Option<(ValueId, usize)>,
 }
 
 impl KeyBlock {
@@ -118,11 +125,13 @@ impl KeyBlock {
     }
 
     /// `(row, rhs)` pairs in insertion order.
-    pub fn rows_with_rhs(&self) -> impl Iterator<Item = (RowId, Option<&str>)> {
-        self.rows
-            .iter()
-            .zip(&self.rhs)
-            .map(|(&r, v)| (r, v.as_deref()))
+    pub fn rows_with_rhs(&self) -> impl Iterator<Item = (RowId, Option<&'static str>)> + '_ {
+        self.rows_with_rhs_ids().map(|(r, v)| (r, v.as_str()))
+    }
+
+    /// `(row, rhs id)` pairs in insertion order (the `Copy` hot path).
+    pub fn rows_with_rhs_ids(&self) -> impl Iterator<Item = (RowId, ValueId)> + '_ {
+        self.rows.iter().zip(&self.rhs).map(|(&r, &v)| (r, v))
     }
 
     /// Number of rows.
@@ -141,8 +150,14 @@ impl KeyBlock {
     /// lexicographically smallest value, matching batch detection). Null
     /// RHS cells never win the vote. `O(1)`: maintained per insert.
     #[must_use]
-    pub fn majority(&self) -> Option<&str> {
-        self.majority.as_ref().map(|(v, _)| v.as_str())
+    pub fn majority(&self) -> Option<&'static str> {
+        self.majority_id().and_then(ValueId::as_str)
+    }
+
+    /// The majority RHS value as an interned id.
+    #[must_use]
+    pub fn majority_id(&self) -> Option<ValueId> {
+        self.majority.as_ref().map(|(v, _)| *v)
     }
 
     /// Does every non-null RHS cell agree (and no nulls dissent)?
@@ -155,46 +170,46 @@ impl KeyBlock {
     /// deltas in `O(distinct RHS values)`.
     #[must_use]
     pub fn stats(&self) -> EntryStats {
-        let mut rhs_counts: Vec<(String, usize)> =
-            self.counts.iter().map(|(v, c)| (v.clone(), *c)).collect();
-        rhs_counts.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.cmp(vb)));
+        let mut rhs_counts: Vec<(ValueId, usize)> =
+            self.counts.iter().map(|(v, c)| (*v, *c)).collect();
+        sort_rhs_counts(&mut rhs_counts);
         EntryStats {
             support: self.rows.len(),
             rhs_counts,
         }
     }
 
-    fn push(&mut self, row: RowId, rhs: Option<&str>) {
+    fn push(&mut self, row: RowId, rhs: ValueId) {
         self.rows.push(row);
-        self.rhs.push(rhs.map(str::to_string));
-        match rhs {
-            Some(v) => {
-                let count = self.counts.entry(v.to_string()).or_insert(0);
-                *count += 1;
-                let count = *count;
-                // Only `v` gained a row, so only `v` can displace the
-                // leader; ties go to the lexicographically smaller value.
-                match &mut self.majority {
-                    Some((leader, leader_count)) => {
-                        if count > *leader_count || (count == *leader_count && v < leader.as_str())
-                        {
-                            *leader = v.to_string();
-                            *leader_count = count;
-                        }
-                    }
-                    None => self.majority = Some((v.to_string(), count)),
+        self.rhs.push(rhs);
+        if rhs.is_null() {
+            self.null_rhs += 1;
+            return;
+        }
+        let count = self.counts.entry(rhs).or_insert(0);
+        *count += 1;
+        let count = *count;
+        // Only `rhs` gained a row, so only `rhs` can displace the
+        // leader; ties go to the lexicographically smaller value.
+        match &mut self.majority {
+            Some((leader, leader_count)) => {
+                if count > *leader_count
+                    || (count == *leader_count && rhs.render() < leader.render())
+                {
+                    *leader = rhs;
+                    *leader_count = count;
                 }
             }
-            None => self.null_rhs += 1,
+            None => self.majority = Some((rhs, count)),
         }
     }
 }
 
 /// Where an inserted row landed in a [`BlockingPartition`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// The LHS matched; the row joined the block with this key.
-    Block(String),
+    Block(ValueId),
     /// The LHS value did not match the pattern.
     Unmatched,
     /// The LHS cell was null.
@@ -212,11 +227,15 @@ pub enum Placement {
 #[derive(Debug)]
 pub struct BlockingPartition {
     keyer: Option<ConstrainedPattern>,
-    blocks: HashMap<String, KeyBlock>,
+    blocks: FxHashMap<ValueId, KeyBlock>,
     unmatched: Vec<RowId>,
     null_rows: Vec<RowId>,
-    /// LHS value → key memo (capture extraction is the hot cost).
-    key_cache: HashMap<String, Option<String>>,
+    /// LHS value id → key memo: the per-`(pattern, ValueId)` memo that
+    /// bounds capture extraction to once per distinct LHS value.
+    key_cache: FxHashMap<ValueId, Option<ValueId>>,
+    /// Number of actual capture extractions performed (cache misses) —
+    /// the call-counting test hook for the memoization guarantee.
+    key_evals: usize,
 }
 
 impl BlockingPartition {
@@ -226,30 +245,31 @@ impl BlockingPartition {
     pub fn new(q: Option<ConstrainedPattern>) -> BlockingPartition {
         BlockingPartition {
             keyer: q,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
             unmatched: Vec::new(),
             null_rows: Vec::new(),
-            key_cache: HashMap::new(),
+            key_cache: FxHashMap::default(),
+            key_evals: 0,
         }
     }
 
-    /// Insert one row. Rows must arrive in nondecreasing `RowId` order.
-    pub fn insert(&mut self, row: RowId, lhs: Option<&str>, rhs: Option<&str>) -> Placement {
-        let Some(value) = lhs else {
+    /// Insert one row (interned cells). Rows must arrive in nondecreasing
+    /// `RowId` order.
+    pub fn insert(&mut self, row: RowId, lhs: ValueId, rhs: ValueId) -> Placement {
+        if lhs.is_null() {
             self.null_rows.push(row);
             return Placement::NullLhs;
-        };
+        }
         let key = match &self.keyer {
-            Some(q) => self
-                .key_cache
-                .entry(value.to_string())
-                .or_insert_with(|| q.key(value))
-                .clone(),
-            None => Some(value.to_string()),
+            Some(q) => *self.key_cache.entry(lhs).or_insert_with(|| {
+                self.key_evals += 1;
+                q.key(lhs.render()).map(|k| ValuePool::intern(&k))
+            }),
+            None => Some(lhs),
         };
         match key {
             Some(k) => {
-                self.blocks.entry(k.clone()).or_default().push(row, rhs);
+                self.blocks.entry(k).or_default().push(row, rhs);
                 Placement::Block(k)
             }
             None => {
@@ -261,8 +281,14 @@ impl BlockingPartition {
 
     /// The block for a key, if any row produced it.
     #[must_use]
-    pub fn block(&self, key: &str) -> Option<&KeyBlock> {
-        self.blocks.get(key)
+    pub fn block(&self, key: ValueId) -> Option<&KeyBlock> {
+        self.blocks.get(&key)
+    }
+
+    /// The block for a key string, if any row produced it.
+    #[must_use]
+    pub fn block_by_str(&self, key: &str) -> Option<&KeyBlock> {
+        self.blocks.get(&ValuePool::lookup(key)?)
     }
 
     /// Number of blocks.
@@ -283,16 +309,24 @@ impl BlockingPartition {
         &self.null_rows
     }
 
+    /// Number of actual capture extractions performed. Bounded by the
+    /// number of distinct non-null LHS values inserted — the memoization
+    /// guarantee's test hook.
+    #[must_use]
+    pub fn key_evals(&self) -> usize {
+        self.key_evals
+    }
+
     /// Snapshot into the batch [`Blocks`] shape (sorted keys), for parity
     /// checks against [`BlockingIndex::block`].
     #[must_use]
     pub fn freeze(&self) -> Blocks {
-        let mut blocks: Vec<(String, Vec<RowId>)> = self
+        let mut blocks: Vec<(ValueId, Vec<RowId>)> = self
             .blocks
             .iter()
-            .map(|(k, b)| (k.clone(), b.rows.clone()))
+            .map(|(k, b)| (*k, b.rows.clone()))
             .collect();
-        blocks.sort_by(|(a, _), (b, _)| a.cmp(b));
+        blocks.sort_by_cached_key(|(k, _)| k.render());
         Blocks {
             blocks,
             unmatched: self.unmatched.clone(),
@@ -326,13 +360,17 @@ mod tests {
         "[\\LU\\LL*\\ ]\\A*".parse().unwrap()
     }
 
+    fn id(s: &str) -> ValueId {
+        ValuePool::intern(s)
+    }
+
     #[test]
     fn blocks_group_by_first_name() {
         let blocks = BlockingIndex::block(&name_table(), 0, &q_first_name());
         assert_eq!(blocks.block_count(), 2);
-        assert_eq!(blocks.blocks[0].0, "John ");
+        assert_eq!(blocks.blocks[0].0.as_str(), Some("John "));
         assert_eq!(blocks.blocks[0].1, vec![0, 1]);
-        assert_eq!(blocks.blocks[1].0, "Susan ");
+        assert_eq!(blocks.blocks[1].0.as_str(), Some("Susan "));
         assert_eq!(blocks.blocks[1].1, vec![2, 3]);
         assert_eq!(blocks.unmatched, vec![4]);
         assert_eq!(blocks.null_rows, vec![5]);
@@ -354,7 +392,7 @@ mod tests {
         let t = Table::from_str_rows(schema, [["90001"], ["90002"], ["90101"], ["60601"]]).unwrap();
         let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
         let blocks = BlockingIndex::block(&t, 0, &q);
-        let keys: Vec<&str> = blocks.blocks.iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = blocks.blocks.iter().map(|(k, _)| k.render()).collect();
         assert_eq!(keys, vec!["606", "900", "901"]);
         assert_eq!(blocks.blocks[1].1, vec![0, 1]);
     }
@@ -387,7 +425,7 @@ mod tests {
         let batch = BlockingIndex::block(&t, 0, &q);
         let mut partition = BlockingPartition::new(Some(q.clone()));
         for (row, v) in t.iter_column(0) {
-            partition.insert(row, v.as_str(), None);
+            partition.insert(row, v, ValueId::NULL);
         }
         let frozen = partition.freeze();
         assert_eq!(frozen.blocks, batch.blocks);
@@ -400,35 +438,65 @@ mod tests {
         let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
         let mut p = BlockingPartition::new(Some(q));
         assert_eq!(
-            p.insert(0, Some("90001"), Some("Los Angeles")),
-            Placement::Block("900".into())
+            p.insert(0, id("90001"), id("Los Angeles")),
+            Placement::Block(id("900"))
         );
-        p.insert(1, Some("90002"), Some("Los Angeles"));
-        p.insert(2, Some("90003"), Some("New York"));
-        p.insert(3, Some("90004"), None);
-        let block = p.block("900").unwrap();
+        p.insert(1, id("90002"), id("Los Angeles"));
+        p.insert(2, id("90003"), id("New York"));
+        p.insert(3, id("90004"), ValueId::NULL);
+        let block = p.block_by_str("900").unwrap();
         assert_eq!(block.len(), 4);
         assert_eq!(block.majority(), Some("Los Angeles"));
         assert!(!block.is_consistent());
         let stats = block.stats();
         assert_eq!(stats.support, 4);
-        assert_eq!(stats.rhs_counts[0], ("Los Angeles".to_string(), 2));
+        assert_eq!(stats.rhs_counts[0], (id("Los Angeles"), 2));
         // Majority tie breaks to the lexicographically smaller value,
         // matching batch detection's vote.
-        p.insert(4, Some("90005"), Some("New York"));
-        assert_eq!(p.block("900").unwrap().majority(), Some("Los Angeles"));
+        p.insert(4, id("90005"), id("New York"));
+        assert_eq!(
+            p.block_by_str("900").unwrap().majority(),
+            Some("Los Angeles")
+        );
     }
 
     #[test]
     fn whole_value_partition() {
         let mut p = BlockingPartition::new(None);
-        p.insert(0, Some("x"), Some("1"));
-        p.insert(1, Some("x"), Some("2"));
-        p.insert(2, None, Some("3"));
+        p.insert(0, id("x"), id("1"));
+        p.insert(1, id("x"), id("2"));
+        p.insert(2, ValueId::NULL, id("3"));
         assert_eq!(p.block_count(), 1);
-        assert_eq!(p.block("x").unwrap().rows(), &[0, 1]);
+        assert_eq!(p.block_by_str("x").unwrap().rows(), &[0, 1]);
         assert_eq!(p.null_rows(), &[2]);
-        let pairs: Vec<_> = p.block("x").unwrap().rows_with_rhs().collect();
+        let pairs: Vec<_> = p.block_by_str("x").unwrap().rows_with_rhs().collect();
         assert_eq!(pairs, vec![(0, Some("1")), (1, Some("2"))]);
+    }
+
+    #[test]
+    fn key_evals_bounded_by_distinct_values() {
+        let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
+        let mut p = BlockingPartition::new(Some(q));
+        // 1000 rows over 10 distinct zips: capture extraction must run
+        // exactly 10 times.
+        for row in 0..1000 {
+            let zip = format!("900{:02}", row % 10);
+            p.insert(row, id(&zip), id("LA"));
+        }
+        assert_eq!(p.key_evals(), 10);
+    }
+
+    #[test]
+    fn majority_tie_deterministic_under_any_arrival_order() {
+        // A 2–2 tie must elect the lexicographically smaller string in
+        // both arrival orders (and hence both interning orders).
+        for (first, second) in [("m-tie", "b-tie"), ("b-tie", "m-tie")] {
+            let mut p = BlockingPartition::new(None);
+            p.insert(0, id("k"), id(first));
+            p.insert(1, id("k"), id(second));
+            p.insert(2, id("k"), id(first));
+            p.insert(3, id("k"), id(second));
+            assert_eq!(p.block_by_str("k").unwrap().majority(), Some("b-tie"));
+        }
     }
 }

@@ -7,9 +7,18 @@
 //! On top of the raw lists this module computes per-entry statistics
 //! ([`EntryStats`]): support, the RHS full-value distribution, and the
 //! dominant RHS — the inputs of the PFD decision function `f`.
+//!
+//! All maps are keyed on interned [`ValueId`]s (keys and RHS values are
+//! interned into the global `ValuePool`), so probing and posting-list
+//! maintenance hash a 4-byte `Copy` id under `FxHasher` instead of
+//! re-hashing strings per row. The public `&str`-keyed accessors remain
+//! for callers holding raw text; they resolve through the pool without
+//! interning.
 
-use anmat_table::{ngrams, prefixes, tokenize, RowId, Table};
-use std::collections::HashMap;
+use anmat_table::{
+    for_each_ngram, for_each_prefix, for_each_token, RowId, Table, ValueId, ValuePool,
+};
+use fxhash::FxHashMap;
 
 /// How LHS/RHS strings are decomposed into inverted-list keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,39 +35,48 @@ pub enum ExtractionMode {
 }
 
 impl ExtractionMode {
-    /// Decompose one cell string into `(key text, position)` pairs.
+    /// Visit each `(key text, position)` pair of one cell string, with the
+    /// key borrowed from `s` — the allocation-free path used by index
+    /// construction ([`InvertedIndex::insert_row`] interns each key
+    /// directly off the borrow, so no per-cell `Vec<String>` is built).
     ///
     /// Positions follow the paper's display convention: token index for
     /// token mode, character offset for n-gram/prefix modes.
+    pub fn for_each_key(&self, s: &str, f: impl FnMut(&str, usize)) {
+        match *self {
+            ExtractionMode::Tokens => for_each_token(s, f),
+            ExtractionMode::NGrams(n) => for_each_ngram(s, n, f),
+            ExtractionMode::Prefixes(max) => for_each_prefix(s, max, f),
+        }
+    }
+
+    /// Decompose one cell string into owned `(key text, position)` pairs.
+    ///
+    /// Convenience wrapper over [`ExtractionMode::for_each_key`] for
+    /// callers that want owned keys; hot paths use the callback form.
     #[must_use]
     pub fn extract(&self, s: &str) -> Vec<(String, usize)> {
-        match *self {
-            ExtractionMode::Tokens => tokenize(s).into_iter().map(|t| (t.text, t.index)).collect(),
-            ExtractionMode::NGrams(n) => ngrams(s, n)
-                .into_iter()
-                .map(|g| (g.text, g.char_start))
-                .collect(),
-            ExtractionMode::Prefixes(max) => prefixes(s, max)
-                .into_iter()
-                .map(|g| (g.text, g.char_start))
-                .collect(),
-        }
+        let mut out = Vec::new();
+        self.for_each_key(s, |key, pos| out.push((key.to_string(), pos)));
+        out
     }
 }
 
 /// One posting: where a key occurred and what the RHS held there.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Posting {
     /// Tuple id.
     pub row: RowId,
     /// Position of the key within `t[A]` (token index or char offset).
     pub lhs_pos: usize,
-    /// One RHS token/n-gram of `t[B]`.
-    pub rhs_token: String,
+    /// One RHS token/n-gram of `t[B]`, interned. [`ValueId::NULL`] stands
+    /// in for an RHS cell that produced no tokens at all.
+    pub rhs_token: ValueId,
     /// Its position within `t[B]`.
     pub rhs_pos: usize,
-    /// The full RHS cell value (what constant-PFD tableaux store).
-    pub rhs_full: String,
+    /// The full RHS cell value (what constant-PFD tableaux store),
+    /// interned.
+    pub rhs_full: ValueId,
 }
 
 /// Aggregate statistics for one inverted-list entry (one LHS key).
@@ -66,15 +84,24 @@ pub struct Posting {
 pub struct EntryStats {
     /// Number of distinct rows containing the key.
     pub support: usize,
-    /// Distinct full RHS values with their row counts, descending.
-    pub rhs_counts: Vec<(String, usize)>,
+    /// Distinct full RHS values (interned) with their row counts,
+    /// descending; ties break to the lexicographically smaller *string*
+    /// (not the smaller id), so the ordering is identical across runs
+    /// and platforms regardless of interning order.
+    pub rhs_counts: Vec<(ValueId, usize)>,
 }
 
 impl EntryStats {
     /// The most frequent full RHS value, if any.
     #[must_use]
-    pub fn dominant_rhs(&self) -> Option<&str> {
-        self.rhs_counts.first().map(|(v, _)| v.as_str())
+    pub fn dominant_rhs(&self) -> Option<&'static str> {
+        self.rhs_counts.first().and_then(|(v, _)| v.as_str())
+    }
+
+    /// The most frequent full RHS value as an interned id.
+    #[must_use]
+    pub fn dominant_rhs_id(&self) -> Option<ValueId> {
+        self.rhs_counts.first().map(|(v, _)| *v)
     }
 
     /// Confidence of the dominant RHS: `max_count / support`.
@@ -95,6 +122,12 @@ impl EntryStats {
     }
 }
 
+/// Sort an RHS distribution: count descending, ties by ascending resolved
+/// string (deterministic across runs/platforms; see [`EntryStats`]).
+pub(crate) fn sort_rhs_counts(rhs_counts: &mut [(ValueId, usize)]) {
+    rhs_counts.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.render().cmp(vb.render())));
+}
+
 /// The inverted list for one candidate dependency `A → B`.
 ///
 /// The index is *incrementally updatable*: [`InvertedIndex::insert_row`]
@@ -111,12 +144,15 @@ pub struct InvertedIndex {
     /// RHS decomposition mode.
     rhs_mode: ExtractionMode,
     /// Key → postings (one per (row, lhs occurrence, rhs token)).
-    entries: HashMap<String, Vec<Posting>>,
+    entries: FxHashMap<ValueId, Vec<Posting>>,
     /// Key → distinct rows containing it (deduplicated, sorted).
-    rows_by_key: HashMap<String, Vec<RowId>>,
+    rows_by_key: FxHashMap<ValueId, Vec<RowId>>,
     /// Key → full-RHS-value → distinct-row count, maintained per insert
     /// (the Δ behind [`InvertedIndex::stats`]).
-    rhs_counts_by_key: HashMap<String, HashMap<String, usize>>,
+    rhs_counts_by_key: FxHashMap<ValueId, FxHashMap<ValueId, usize>>,
+    /// Scratch buffer for the RHS keys of the row being inserted (reused
+    /// across inserts so the hot path performs no allocation once warm).
+    rhs_scratch: Vec<(ValueId, usize)>,
     /// Number of rows with non-null values on both sides.
     pub considered_rows: usize,
 }
@@ -128,9 +164,10 @@ impl InvertedIndex {
         InvertedIndex {
             lhs_mode,
             rhs_mode,
-            entries: HashMap::new(),
-            rows_by_key: HashMap::new(),
-            rhs_counts_by_key: HashMap::new(),
+            entries: FxHashMap::default(),
+            rows_by_key: FxHashMap::default(),
+            rhs_counts_by_key: FxHashMap::default(),
+            rhs_scratch: Vec::new(),
             considered_rows: 0,
         }
     }
@@ -161,42 +198,48 @@ impl InvertedIndex {
     /// arrive in nondecreasing `RowId` order (append-only streams do).
     pub fn insert_row(&mut self, row: RowId, lhs: &str, rhs: &str) {
         self.considered_rows += 1;
-        let lhs_keys = self.lhs_mode.extract(lhs);
-        let rhs_keys = self.rhs_mode.extract(rhs);
-        for (key, lhs_pos) in &lhs_keys {
-            let postings = self.entries.entry(key.clone()).or_default();
-            for (u, rhs_pos) in &rhs_keys {
+        let rhs_full = ValuePool::intern(rhs);
+        let mut rhs_keys = std::mem::take(&mut self.rhs_scratch);
+        rhs_keys.clear();
+        self.rhs_mode
+            .for_each_key(rhs, |u, pos| rhs_keys.push((ValuePool::intern(u), pos)));
+        let lhs_mode = self.lhs_mode;
+        lhs_mode.for_each_key(lhs, |key, lhs_pos| {
+            let key = ValuePool::intern(key);
+            let postings = self.entries.entry(key).or_default();
+            for &(rhs_token, rhs_pos) in &rhs_keys {
                 postings.push(Posting {
                     row,
-                    lhs_pos: *lhs_pos,
-                    rhs_token: u.clone(),
-                    rhs_pos: *rhs_pos,
-                    rhs_full: rhs.to_string(),
+                    lhs_pos,
+                    rhs_token,
+                    rhs_pos,
+                    rhs_full,
                 });
             }
             // RHS cells with no tokens at all still count the row.
             if rhs_keys.is_empty() {
                 postings.push(Posting {
                     row,
-                    lhs_pos: *lhs_pos,
-                    rhs_token: String::new(),
+                    lhs_pos,
+                    rhs_token: ValueId::NULL,
                     rhs_pos: 0,
-                    rhs_full: rhs.to_string(),
+                    rhs_full,
                 });
             }
-            let rows = self.rows_by_key.entry(key.clone()).or_default();
+            let rows = self.rows_by_key.entry(key).or_default();
             if rows.last() != Some(&row) {
                 rows.push(row);
                 // First sighting of this key in this row: one delta to
                 // the key's RHS distribution.
                 *self
                     .rhs_counts_by_key
-                    .entry(key.clone())
+                    .entry(key)
                     .or_default()
-                    .entry(rhs.to_string())
+                    .entry(rhs_full)
                     .or_insert(0) += 1;
             }
-        }
+        });
+        self.rhs_scratch = rhs_keys;
     }
 
     /// Number of distinct keys.
@@ -205,33 +248,63 @@ impl InvertedIndex {
         self.entries.len()
     }
 
+    /// The id of a key string, if the index ever saw it.
+    fn key_id(&self, key: &str) -> Option<ValueId> {
+        let id = ValuePool::lookup(key)?;
+        self.entries.contains_key(&id).then_some(id)
+    }
+
     /// The postings for a key.
     #[must_use]
     pub fn postings(&self, key: &str) -> &[Posting] {
-        self.entries.get(key).map_or(&[], Vec::as_slice)
+        self.key_id(key).map_or(&[], |id| self.postings_id(id))
+    }
+
+    /// The postings for an interned key.
+    #[must_use]
+    pub fn postings_id(&self, key: ValueId) -> &[Posting] {
+        self.entries.get(&key).map_or(&[], Vec::as_slice)
     }
 
     /// The distinct rows containing a key.
     #[must_use]
     pub fn rows(&self, key: &str) -> &[RowId] {
-        self.rows_by_key.get(key).map_or(&[], Vec::as_slice)
+        self.key_id(key).map_or(&[], |id| self.rows_id(id))
+    }
+
+    /// The distinct rows containing an interned key.
+    #[must_use]
+    pub fn rows_id(&self, key: ValueId) -> &[RowId] {
+        self.rows_by_key.get(&key).map_or(&[], Vec::as_slice)
     }
 
     /// Aggregate statistics for one key.
+    #[must_use]
+    pub fn stats(&self, key: &str) -> EntryStats {
+        match self.key_id(key) {
+            Some(id) => self.stats_id(id),
+            None => EntryStats {
+                support: 0,
+                rhs_counts: Vec::new(),
+            },
+        }
+    }
+
+    /// Aggregate statistics for one interned key.
     ///
     /// Reads the per-key deltas maintained by
     /// [`InvertedIndex::insert_row`], so cost is `O(distinct RHS values)`
     /// for the key rather than `O(postings)`. A row contributes once
     /// regardless of how many RHS tokens it produced.
     #[must_use]
-    pub fn stats(&self, key: &str) -> EntryStats {
-        let support = self.rows(key).len();
-        let mut rhs_counts: Vec<(String, usize)> = self
+    pub fn stats_id(&self, key: ValueId) -> EntryStats {
+        let support = self.rows_id(key).len();
+        let mut rhs_counts: Vec<(ValueId, usize)> = self
             .rhs_counts_by_key
-            .get(key)
-            .map(|counts| counts.iter().map(|(v, c)| (v.clone(), *c)).collect())
+            .get(&key)
+            .map(|counts| counts.iter().map(|(v, c)| (*v, *c)).collect())
             .unwrap_or_default();
-        rhs_counts.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.cmp(vb)));
+        sort_rhs_counts(&mut rhs_counts);
         EntryStats {
             support,
             rhs_counts,
@@ -239,21 +312,21 @@ impl InvertedIndex {
     }
 
     /// Iterate keys in deterministic (sorted) order with their stats.
-    pub fn iter_stats(&self) -> impl Iterator<Item = (&str, EntryStats)> {
-        let mut keys: Vec<&str> = self.entries.keys().map(String::as_str).collect();
-        keys.sort_unstable();
-        keys.into_iter().map(|k| (k, self.stats(k)))
+    pub fn iter_stats(&self) -> impl Iterator<Item = (&'static str, EntryStats)> + '_ {
+        let mut keys: Vec<ValueId> = self.entries.keys().copied().collect();
+        keys.sort_by_cached_key(|k| k.render());
+        keys.into_iter().map(|k| (k.render(), self.stats_id(k)))
     }
 
     /// Keys whose support is at least `min_support`, sorted by descending
     /// support (ties: ascending key).
     #[must_use]
-    pub fn frequent_keys(&self, min_support: usize) -> Vec<(&str, usize)> {
-        let mut out: Vec<(&str, usize)> = self
+    pub fn frequent_keys(&self, min_support: usize) -> Vec<(&'static str, usize)> {
+        let mut out: Vec<(&'static str, usize)> = self
             .rows_by_key
             .iter()
             .filter(|(_, rows)| rows.len() >= min_support)
-            .map(|(k, rows)| (k.as_str(), rows.len()))
+            .map(|(k, rows)| (k.render(), rows.len()))
             .collect();
         out.sort_by(|(ka, sa), (kb, sb)| sb.cmp(sa).then_with(|| ka.cmp(kb)));
         out
@@ -290,7 +363,7 @@ mod tests {
         let p = idx.postings("John");
         assert_eq!(p.len(), 2);
         assert_eq!(p[0].lhs_pos, 0);
-        assert_eq!(p[0].rhs_full, "M");
+        assert_eq!(p[0].rhs_full.as_str(), Some("M"));
     }
 
     #[test]
@@ -414,5 +487,31 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn dominant_rhs_tie_breaks_to_smaller_string() {
+        // Two RHS values with equal counts must pick the same winner on
+        // every run and platform: the lexicographically smaller string,
+        // independent of pool id assignment order.
+        let mut a = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        a.insert_row(0, "key", "zzz-tie");
+        a.insert_row(1, "key", "aaa-tie");
+        assert_eq!(a.stats("key").dominant_rhs(), Some("aaa-tie"));
+        // Reversed ingest (and hence reversed interning order): same
+        // winner.
+        let mut b = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        b.insert_row(0, "key", "aaa-tie");
+        b.insert_row(1, "key", "zzz-tie");
+        assert_eq!(b.stats("key").dominant_rhs(), Some("aaa-tie"));
+        assert_eq!(a.stats("key").rhs_counts, b.stats("key").rhs_counts);
+    }
+
+    #[test]
+    fn unseen_key_is_empty() {
+        let idx = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        assert!(idx.postings("never-seen-inverted-key").is_empty());
+        assert!(idx.rows("never-seen-inverted-key").is_empty());
+        assert_eq!(idx.stats("never-seen-inverted-key").support, 0);
     }
 }

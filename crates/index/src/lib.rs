@@ -26,6 +26,14 @@
 //! re-discovery), and [`BlockingPartition`] places each arriving row
 //! into exactly one block with an `O(1)` majority update — the
 //! substrate of the `anmat-stream` engine's variable-PFD path.
+//!
+//! All three indexes key their maps on interned
+//! [`ValueId`](anmat_table::ValueId)s from the global
+//! [`ValuePool`](anmat_table::ValuePool): probes hash a 4-byte `Copy` id
+//! under the vendored `FxHasher` rather than re-hashing strings, and
+//! per-value work (pattern matching, capture extraction) is bounded by
+//! the column's *distinct-value* count via id-keyed memos
+//! ([`BlockingPartition::key_evals`] counts the actual evaluations).
 
 pub mod blocking;
 pub mod inverted;

@@ -1,6 +1,6 @@
 //! The per-column pattern index of §3.
 //!
-//! For constant-PFD detection the paper "create[s] an index supporting
+//! For constant-PFD detection the paper "create\[s\] an index supporting
 //! regular expressions for each column present on the LHS of the PFDs", so
 //! that the violation scan only touches tuples matching `tp[A]`. This
 //! implementation:
@@ -10,29 +10,35 @@
 //! * buckets distinct values by their class-exact pattern signature;
 //! * answers a pattern lookup by first testing each bucket's signature
 //!   against the query with exact language operations —
-//!   [`intersects`](anmat_pattern::intersects) to skip buckets wholesale,
-//!   [`contains`](anmat_pattern::contains) to accept buckets wholesale —
+//!   [`intersects`] to skip buckets wholesale,
+//!   [`contains`] to accept buckets wholesale —
 //!   and only match-testing individual values in the remaining buckets;
 //! * keeps a [`CharTrie`] so queries with a literal prefix (`900\D{2}`)
 //!   descend directly to the matching subtree.
 
 use crate::trie::CharTrie;
 use anmat_pattern::{contains, intersects, match_pattern, signature, Pattern, PatternLevel};
-use anmat_table::{RowId, Table};
+use anmat_table::{RowId, Table, ValueId, ValuePool};
+use fxhash::FxHashMap;
 use std::collections::HashMap;
 
 /// An index over one column supporting pattern lookups.
+///
+/// The column is deduplicated into interned distinct values
+/// ([`ValueId`]-keyed postings), so a pattern is ever matched against at
+/// most `distinct(column)` strings, and row-posting probes hash a 4-byte
+/// id.
 #[derive(Debug)]
 pub struct PatternIndex {
     /// Distinct value → rows holding it.
-    values: HashMap<String, Vec<RowId>>,
+    values: FxHashMap<ValueId, Vec<RowId>>,
     /// Signature → distinct values in that bucket.
-    buckets: Vec<(Pattern, Vec<String>)>,
+    buckets: Vec<(Pattern, Vec<ValueId>)>,
     /// Literal-prefix accelerator over distinct values (value → pseudo-row
     /// = index into `distinct`).
     trie: CharTrie,
     /// Distinct values in insertion order (trie payload indirection).
-    distinct: Vec<String>,
+    distinct: Vec<ValueId>,
     /// Rows with a non-null value.
     pub indexed_rows: usize,
 }
@@ -41,25 +47,28 @@ impl PatternIndex {
     /// Build the index over column `col` of `table`.
     #[must_use]
     pub fn build(table: &Table, col: usize) -> PatternIndex {
-        let mut values: HashMap<String, Vec<RowId>> = HashMap::new();
+        let mut values: FxHashMap<ValueId, Vec<RowId>> = FxHashMap::default();
         let mut indexed_rows = 0usize;
         for (row, v) in table.iter_column(col) {
-            let Some(s) = v.as_str() else { continue };
+            if v.is_null() {
+                continue;
+            }
             indexed_rows += 1;
-            values.entry(s.to_string()).or_default().push(row);
+            values.entry(v).or_default().push(row);
         }
-        let mut by_sig: HashMap<Pattern, Vec<String>> = HashMap::new();
-        let mut distinct: Vec<String> = Vec::with_capacity(values.len());
+        let mut by_sig: HashMap<Pattern, Vec<ValueId>> = HashMap::new();
+        let mut distinct: Vec<ValueId> = Vec::with_capacity(values.len());
         let mut trie = CharTrie::new();
-        let mut sorted: Vec<&String> = values.keys().collect();
-        sorted.sort_unstable();
+        let mut sorted: Vec<ValueId> = values.keys().copied().collect();
+        sorted.sort_by_cached_key(|v| v.render());
         for v in sorted {
-            let sig = signature(v, PatternLevel::ClassExact);
-            by_sig.entry(sig).or_default().push(v.clone());
-            trie.insert(v, distinct.len());
-            distinct.push(v.clone());
+            let s = v.render();
+            let sig = signature(s, PatternLevel::ClassExact);
+            by_sig.entry(sig).or_default().push(v);
+            trie.insert(s, distinct.len());
+            distinct.push(v);
         }
-        let mut buckets: Vec<(Pattern, Vec<String>)> = by_sig.into_iter().collect();
+        let mut buckets: Vec<(Pattern, Vec<ValueId>)> = by_sig.into_iter().collect();
         buckets.sort_by_key(|(a, _)| a.to_string());
         PatternIndex {
             values,
@@ -86,8 +95,8 @@ impl PatternIndex {
     #[must_use]
     pub fn lookup(&self, pattern: &Pattern) -> Vec<RowId> {
         let mut rows: Vec<RowId> = Vec::new();
-        for v in self.matching_values(pattern) {
-            rows.extend_from_slice(&self.values[v]);
+        for v in self.matching_ids(pattern) {
+            rows.extend_from_slice(&self.values[&v]);
         }
         rows.sort_unstable();
         rows
@@ -95,7 +104,16 @@ impl PatternIndex {
 
     /// Distinct values matching `pattern`.
     #[must_use]
-    pub fn matching_values(&self, pattern: &Pattern) -> Vec<&str> {
+    pub fn matching_values(&self, pattern: &Pattern) -> Vec<&'static str> {
+        self.matching_ids(pattern)
+            .into_iter()
+            .map(ValueId::render)
+            .collect()
+    }
+
+    /// Interned distinct values matching `pattern`.
+    #[must_use]
+    pub fn matching_ids(&self, pattern: &Pattern) -> Vec<ValueId> {
         let mut out = Vec::new();
         // Literal-prefix fast path: descend the trie, then verify.
         let prefix = literal_prefix(pattern);
@@ -103,9 +121,9 @@ impl PatternIndex {
             let mut ids: Vec<usize> = self.trie.rows_with_prefix(&prefix);
             ids.sort_unstable();
             for id in ids {
-                let v = &self.distinct[id];
-                if match_pattern(pattern, v) {
-                    out.push(v.as_str());
+                let v = self.distinct[id];
+                if match_pattern(pattern, v.render()) {
+                    out.push(v);
                 }
             }
             return out;
@@ -116,12 +134,12 @@ impl PatternIndex {
             }
             if contains(pattern, sig) {
                 // Every value with this signature matches.
-                out.extend(vals.iter().map(String::as_str));
+                out.extend_from_slice(vals);
                 continue;
             }
-            for v in vals {
-                if match_pattern(pattern, v) {
-                    out.push(v.as_str());
+            for &v in vals {
+                if match_pattern(pattern, v.render()) {
+                    out.push(v);
                 }
             }
         }
@@ -131,7 +149,13 @@ impl PatternIndex {
     /// Rows holding exactly `value`.
     #[must_use]
     pub fn rows_for_value(&self, value: &str) -> &[RowId] {
-        self.values.get(value).map_or(&[], Vec::as_slice)
+        ValuePool::lookup(value).map_or(&[], |id| self.rows_for_id(id))
+    }
+
+    /// Rows holding exactly the interned value.
+    #[must_use]
+    pub fn rows_for_id(&self, value: ValueId) -> &[RowId] {
+        self.values.get(&value).map_or(&[], Vec::as_slice)
     }
 
     /// Full scan fallback (for the ablation benchmark): match every
@@ -140,7 +164,7 @@ impl PatternIndex {
     pub fn lookup_scan(&self, pattern: &Pattern) -> Vec<RowId> {
         let mut rows: Vec<RowId> = Vec::new();
         for (v, ids) in &self.values {
-            if match_pattern(pattern, v) {
+            if match_pattern(pattern, v.render()) {
                 rows.extend_from_slice(ids);
             }
         }

@@ -1,7 +1,7 @@
 //! Pattern abstract syntax: quantified symbol classes.
 //!
 //! A [`Pattern`] is a concatenation of [`Element`]s, each a
-//! [`SymbolClass`](crate::SymbolClass) with a [`Quantifier`]. The language
+//! [`SymbolClass`] with a [`Quantifier`]. The language
 //! deliberately excludes alternation and nested repetition (`(α+)*`), per
 //! §2 of the paper.
 

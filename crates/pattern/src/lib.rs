@@ -14,7 +14,7 @@
 //!   recovery;
 //! * [`containment`] — sound and complete language-inclusion checking
 //!   (`P ⊆ P'`) plus least-general generalization of two patterns;
-//! * [`induce`] — pattern induction from string samples, the primitive the
+//! * [`induce`](mod@induce) — pattern induction from string samples, the primitive the
 //!   discovery algorithm uses to turn inverted-list keys into tableau
 //!   patterns;
 //! * [`ConstrainedPattern`] — patterns with constrained (annotated)
@@ -47,6 +47,7 @@ pub mod containment;
 pub mod error;
 pub mod induce;
 pub mod matcher;
+pub mod memo;
 pub mod parser;
 pub mod symbol;
 
@@ -56,4 +57,5 @@ pub use containment::{contains, equivalent, generalize_patterns, intersects};
 pub use error::PatternError;
 pub use induce::{induce, loosen, signature, InduceConfig, PatternLevel};
 pub use matcher::{match_pattern, match_spans, MatchSpans};
+pub use memo::MatchMemo;
 pub use symbol::SymbolClass;

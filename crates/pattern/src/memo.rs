@@ -1,0 +1,113 @@
+//! Per-pattern match memoization over interned values.
+//!
+//! Pattern matching costs `O(|P| · |s|)` per evaluation; a streaming
+//! detector that re-matches every arriving row pays that per *row*. But a
+//! match result depends only on the cell's string — so once cells are
+//! dictionary-encoded (see `anmat_table::ValuePool`), a pattern needs to
+//! be evaluated at most once per *distinct* value. [`MatchMemo`] is that
+//! memo: a `(pattern instance, interned id) → bool` cache keyed on the
+//! caller-supplied `u32` id (this crate stays independent of the table
+//! layer; callers pass `ValueId::raw()`).
+//!
+//! One `MatchMemo` memoizes one pattern — embed one per tableau-tuple
+//! state, next to the `Pattern` it caches for. The memo also counts how
+//! many *real* evaluations it performed ([`MatchMemo::evals`]), which is
+//! the test hook asserting the "at most `distinct(column)` evaluations
+//! per pattern" guarantee.
+
+use crate::ast::Pattern;
+use fxhash::FxHashMap;
+
+/// A `(interned value id) → matches?` cache for one [`Pattern`].
+#[derive(Debug, Clone, Default)]
+pub struct MatchMemo {
+    cache: FxHashMap<u32, bool>,
+    evals: usize,
+}
+
+impl MatchMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> MatchMemo {
+        MatchMemo::default()
+    }
+
+    /// Does `s` (interned as `id`) match `pattern`? Evaluates the pattern
+    /// only on the first sighting of `id`; afterwards this is a single
+    /// u32-keyed hash probe.
+    ///
+    /// The caller must pass the same `pattern` on every call (the memo
+    /// caches for exactly one pattern) and an `id` that canonically
+    /// identifies `s` (equal ids ⇒ equal strings).
+    pub fn matches(&mut self, pattern: &Pattern, id: u32, s: &str) -> bool {
+        if let Some(&hit) = self.cache.get(&id) {
+            return hit;
+        }
+        self.evals += 1;
+        let result = pattern.matches(s);
+        self.cache.insert(id, result);
+        result
+    }
+
+    /// Number of actual pattern evaluations performed (cache misses) —
+    /// the call-counting test hook. Bounded by the number of distinct ids
+    /// ever passed in.
+    #[must_use]
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// Number of distinct ids memoized.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Is the memo empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_per_distinct_id() {
+        let p: Pattern = "900\\D{2}".parse().unwrap();
+        let mut memo = MatchMemo::new();
+        // 100 probes over 2 distinct ids: exactly 2 evaluations.
+        for i in 0..100 {
+            let (id, s) = if i % 2 == 0 {
+                (1, "90001")
+            } else {
+                (2, "10001")
+            };
+            let expected = id == 1;
+            assert_eq!(memo.matches(&p, id, s), expected);
+        }
+        assert_eq!(memo.evals(), 2);
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn results_agree_with_direct_matching() {
+        let p: Pattern = "\\LU\\LL*".parse().unwrap();
+        let mut memo = MatchMemo::new();
+        for (id, s) in [(1u32, "John"), (2, "john"), (3, "J"), (4, "JOhn")] {
+            assert_eq!(memo.matches(&p, id, s), p.matches(s), "{s}");
+            // Second call: cached, same answer.
+            assert_eq!(memo.matches(&p, id, s), p.matches(s), "{s}");
+        }
+        assert_eq!(memo.evals(), 4);
+    }
+
+    #[test]
+    fn empty_memo() {
+        let memo = MatchMemo::new();
+        assert!(memo.is_empty());
+        assert_eq!(memo.evals(), 0);
+    }
+}

@@ -14,7 +14,7 @@
 //! ```
 //!
 //! The printed form of every [`Pattern`] and
-//! [`ConstrainedPattern`](crate::ConstrainedPattern) re-parses to an equal
+//! [`ConstrainedPattern`] re-parses to an equal
 //! value (round-trip property, checked by proptests).
 
 use crate::ast::{Element, Pattern, Quantifier};

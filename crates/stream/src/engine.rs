@@ -1,18 +1,27 @@
 //! The incremental violation engine.
 //!
+//! Ingest is *interned end-to-end*: [`StreamEngine::push_row`] interns
+//! each cell once into the global `ValuePool` (and
+//! [`StreamEngine::push_id_row`] skips even that), after which every
+//! per-rule check operates on `Copy` `ValueId`s — agreement checks are
+//! id comparisons and pattern matching is memoized per distinct value,
+//! so per-row marginal cost depends on the column's *distinct-value*
+//! profile, not its row count.
+//!
 //! Per-rule state mirrors the batch detector's dispatch:
 //!
-//! * each **constant** tableau tuple keeps its (embedded) LHS pattern and
-//!   expected RHS — a new row is checked with the same
-//!   [`violation_at`] primitive the batch scan uses, in `O(|pattern|)`
-//!   per tuple, independent of table size;
+//! * each **constant** tableau tuple keeps its (embedded) LHS pattern
+//!   behind a per-`(pattern, ValueId)` [`MatchMemo`] and its expected RHS
+//!   as an interned id — a new row is checked with the same
+//!   [`violation_at`] primitive the batch scan uses, costing a pattern
+//!   evaluation only on the first sighting of a distinct LHS value;
 //! * each **variable** tableau tuple keeps an incremental
-//!   [`BlockingPartition`] keyed by the constrained captures — a new row
-//!   joins exactly one block, and the block's asserted violations are
-//!   updated along one of three transition paths (see [`BlockState`]):
-//!   `O(1)` for the common arrivals, `O(affected block)` only on a
-//!   majority flip, with retractions flowing through the
-//!   [`ViolationLedger`].
+//!   [`BlockingPartition`] keyed by the constrained captures (extracted
+//!   at most once per distinct LHS value) — a new row joins exactly one
+//!   block, and the block's asserted violations are updated along one of
+//!   three transition paths (see the private `BlockState`): `O(1)` for
+//!   the common arrivals, `O(affected block)` only on a majority flip,
+//!   with retractions flowing through the [`ViolationLedger`].
 //!
 //! Per-insert cost is `O(tableau)` for constant tuples plus `O(1)`
 //! amortized for variable tuples — never `O(table)`.
@@ -23,9 +32,9 @@ use anmat_core::detect::variable::{flag_block_minority, minority_violation, MAX_
 use anmat_core::discovery::DiscoveryConfig;
 use anmat_core::{LedgerEvent, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger};
 use anmat_index::{BlockingPartition, Placement};
-use anmat_pattern::Pattern;
-use anmat_table::{RowId, Schema, Table, TableError, Value};
-use std::collections::HashMap;
+use anmat_pattern::{MatchMemo, Pattern};
+use anmat_table::{RowId, Schema, Table, TableError, Value, ValueId, ValuePool};
+use fxhash::FxHashMap;
 
 /// Engine thresholds (the drift monitor's discovery-style knobs).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,10 +71,14 @@ impl StreamConfig {
 struct ConstantTuple {
     /// Embedded LHS pattern (`None` = wildcard: every non-null LHS).
     pattern: Option<Pattern>,
+    /// Per-`(pattern, ValueId)` match memo: the pattern is evaluated at
+    /// most once per distinct LHS value, not once per row.
+    memo: MatchMemo,
     /// Display form for violation evidence (matches batch output).
     display: String,
-    /// The expected RHS constant.
-    expected: String,
+    /// The expected RHS constant, interned (agreement checks are id
+    /// comparisons).
+    expected: ValueId,
 }
 
 /// Incremental state for one variable tableau tuple.
@@ -76,7 +89,7 @@ struct VariableTuple {
     /// Display form for violation evidence.
     display: String,
     /// Per key: what this tuple currently asserts about the block.
-    blocks: HashMap<String, BlockState>,
+    blocks: FxHashMap<ValueId, BlockState>,
 }
 
 /// The violations a variable tuple currently asserts for one block, plus
@@ -95,7 +108,7 @@ struct VariableTuple {
 /// 3. **minority arrival**: append one violation (`O(1)` — the hot path).
 #[derive(Debug, Default)]
 struct BlockState {
-    majority: Option<String>,
+    majority: Option<ValueId>,
     witnesses: Vec<RowId>,
     violations: Vec<Violation>,
 }
@@ -137,8 +150,9 @@ impl RuleState {
                     };
                     TupleState::Constant(ConstantTuple {
                         pattern,
+                        memo: MatchMemo::new(),
                         display,
-                        expected: expected.clone(),
+                        expected: ValuePool::intern(expected),
                     })
                 }
                 RhsCell::Wildcard => {
@@ -149,7 +163,7 @@ impl RuleState {
                     TupleState::Variable(Box::new(VariableTuple {
                         partition: BlockingPartition::new(keyer),
                         display,
-                        blocks: HashMap::new(),
+                        blocks: FxHashMap::default(),
                     }))
                 }
             })
@@ -193,8 +207,19 @@ impl StreamEngine {
     /// Ingest one row; returns the violation events it caused (creations
     /// and retractions), in rule/tableau order with retractions first
     /// within each affected block.
+    ///
+    /// Each cell is interned exactly once here; everything downstream
+    /// (blocking, memoized matching, agreement checks) operates on `Copy`
+    /// ids.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<Vec<LedgerEvent>, TableError> {
         let row_id = self.table.push_row(row)?;
+        Ok(self.process_row(row_id))
+    }
+
+    /// Ingest one row of already-interned ids — the clone-free ingest
+    /// path (no string is copied, hashed, or even read).
+    pub fn push_id_row(&mut self, row: Vec<ValueId>) -> Result<Vec<LedgerEvent>, TableError> {
+        let row_id = self.table.push_id_row(row)?;
         Ok(self.process_row(row_id))
     }
 
@@ -207,16 +232,10 @@ impl StreamEngine {
         self.push_row(row.into_iter().map(Value::from_field).collect())
     }
 
-    /// Ingest a batch of rows; returns the concatenated events.
-    ///
-    /// Atomic with respect to errors: every row's arity is validated
-    /// before any row is ingested, so a malformed batch leaves the
-    /// engine untouched and no emitted event is ever lost to an `Err`.
-    pub fn push_batch(
-        &mut self,
-        rows: impl IntoIterator<Item = Vec<Value>>,
-    ) -> Result<Vec<LedgerEvent>, TableError> {
-        let rows: Vec<Vec<Value>> = rows.into_iter().collect();
+    /// Validate every row's arity before any row of a batch is ingested,
+    /// so a malformed batch leaves the engine untouched and no emitted
+    /// event is ever lost to an `Err`.
+    fn validate_batch_arity<T>(&self, rows: &[Vec<T>]) -> Result<(), TableError> {
         let arity = self.table.schema().arity();
         for (offset, row) in rows.iter().enumerate() {
             if row.len() != arity {
@@ -227,6 +246,20 @@ impl StreamEngine {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Ingest a batch of rows; returns the concatenated events.
+    ///
+    /// Atomic with respect to errors: every row's arity is validated
+    /// before any row is ingested, so a malformed batch leaves the
+    /// engine untouched and no emitted event is ever lost to an `Err`.
+    pub fn push_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        let rows: Vec<Vec<Value>> = rows.into_iter().collect();
+        self.validate_batch_arity(&rows)?;
         let mut events = Vec::new();
         for row in rows {
             events.extend(self.push_row(row).expect("arity pre-validated"));
@@ -234,13 +267,28 @@ impl StreamEngine {
         Ok(events)
     }
 
+    /// Ingest a batch of already-interned rows; returns the concatenated
+    /// events. Atomic with respect to errors like
+    /// [`StreamEngine::push_batch`].
+    pub fn push_id_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = Vec<ValueId>>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        let rows: Vec<Vec<ValueId>> = rows.into_iter().collect();
+        self.validate_batch_arity(&rows)?;
+        let mut events = Vec::new();
+        for row in rows {
+            events.extend(self.push_id_row(row).expect("arity pre-validated"));
+        }
+        Ok(events)
+    }
+
     /// Replay an existing table row-by-row (the table's schema must match
-    /// the engine's).
+    /// the engine's). Clone-free: rows are carried over as interned ids.
     pub fn replay_table(&mut self, table: &Table) -> Result<Vec<LedgerEvent>, TableError> {
         let mut events = Vec::new();
         for r in 0..table.row_count() {
-            let row: Vec<Value> = table.row(r).into_iter().cloned().collect();
-            events.extend(self.push_row(row)?);
+            events.extend(self.push_id_row(table.row_ids(r))?);
         }
         Ok(events)
     }
@@ -253,23 +301,25 @@ impl StreamEngine {
             let Some((lhs, rhs)) = rule.cols else {
                 continue;
             };
-            let lhs_val = table.cell_str(row, lhs);
-            let rhs_val = table.cell_str(row, rhs);
+            let lhs_id = table.cell_id(row, lhs);
+            let rhs_id = table.cell_id(row, rhs);
             let mut matched = false;
             let mut created = 0usize;
             let mut retracted = 0usize;
             for tuple in &mut rule.tuples {
                 match tuple {
                     TupleState::Constant(ct) => {
-                        let Some(value) = lhs_val else { continue };
+                        let Some(value) = lhs_id.as_str() else {
+                            continue;
+                        };
                         if let Some(p) = &ct.pattern {
-                            if !p.matches(value) {
+                            if !ct.memo.matches(p, lhs_id.raw(), value) {
                                 continue;
                             }
                         }
                         matched = true;
                         if let Some(v) =
-                            violation_at(table, &rule.pfd, &ct.display, &ct.expected, lhs, rhs, row)
+                            violation_at(table, &rule.pfd, &ct.display, ct.expected, lhs, rhs, row)
                         {
                             // Drift counts this rule's own assertion even
                             // when another rule already implied the same
@@ -281,14 +331,13 @@ impl StreamEngine {
                         }
                     }
                     TupleState::Variable(vt) => {
-                        let Placement::Block(key) = vt.partition.insert(row, lhs_val, rhs_val)
-                        else {
+                        let Placement::Block(key) = vt.partition.insert(row, lhs_id, rhs_id) else {
                             continue;
                         };
                         matched = true;
-                        let block = vt.partition.block(&key).expect("row just joined");
-                        let new_majority = block.majority().map(str::to_string);
-                        let state = vt.blocks.entry(key.clone()).or_default();
+                        let block = vt.partition.block(key).expect("row just joined");
+                        let new_majority = block.majority_id();
+                        let state = vt.blocks.entry(key).or_default();
                         if new_majority != state.majority {
                             // Majority flip (or first non-null RHS):
                             // every asserted violation embeds the old
@@ -300,10 +349,10 @@ impl StreamEngine {
                                 }
                             }
                             state.majority = new_majority;
-                            state.witnesses = match &state.majority {
+                            state.witnesses = match state.majority {
                                 Some(m) => block
-                                    .rows_with_rhs()
-                                    .filter(|(_, v)| *v == Some(m.as_str()))
+                                    .rows_with_rhs_ids()
+                                    .filter(|&(_, v)| v == m)
                                     .map(|(r, _)| r)
                                     .take(MAX_WITNESSES)
                                     .collect(),
@@ -316,7 +365,7 @@ impl StreamEngine {
                                     lhs,
                                     rhs,
                                     &vt.display,
-                                    &key,
+                                    key.render(),
                                     block.rows(),
                                 );
                                 for v in &state.violations {
@@ -326,8 +375,8 @@ impl StreamEngine {
                                     }
                                 }
                             }
-                        } else if let Some(majority) = state.majority.clone() {
-                            if rhs_val == Some(majority.as_str()) {
+                        } else if let Some(majority) = state.majority {
+                            if rhs_id == majority {
                                 // New majority row: may extend the
                                 // witness list, which is part of every
                                 // asserted violation.
@@ -358,8 +407,8 @@ impl StreamEngine {
                                     lhs,
                                     rhs,
                                     &vt.display,
-                                    &key,
-                                    &majority,
+                                    key.render(),
+                                    majority.render(),
                                     &state.witnesses,
                                     row,
                                 );
@@ -401,6 +450,23 @@ impl StreamEngine {
     /// The seeded rules, in index order.
     pub fn rules(&self) -> impl Iterator<Item = &Pfd> {
         self.rules.iter().map(|r| &r.pfd)
+    }
+
+    /// Total pattern evaluations performed across all rules — constant
+    /// tuples' memoized matches plus variable tuples' capture
+    /// extractions. Bounded by `Σ_tuple distinct(LHS column)` regardless
+    /// of row count: the call-counting hook behind the "at most one
+    /// evaluation per (pattern, distinct value)" guarantee.
+    #[must_use]
+    pub fn pattern_evals(&self) -> usize {
+        self.rules
+            .iter()
+            .flat_map(|r| &r.tuples)
+            .map(|t| match t {
+                TupleState::Constant(ct) => ct.memo.evals(),
+                TupleState::Variable(vt) => vt.partition.key_evals(),
+            })
+            .sum()
     }
 
     /// Streaming health counters for one rule.

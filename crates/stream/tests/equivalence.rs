@@ -134,7 +134,7 @@ proptest! {
         let mut batched = StreamEngine::new(data.table.schema().clone(), rules);
         let mut pending = Vec::new();
         for r in 0..data.table.row_count() {
-            pending.push(data.table.row(r).into_iter().cloned().collect());
+            pending.push(data.table.row(r));
             if pending.len() == k {
                 batched.push_batch(std::mem::take(&mut pending)).unwrap();
             }

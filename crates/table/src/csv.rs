@@ -7,17 +7,21 @@
 use crate::error::TableError;
 use crate::schema::Schema;
 use crate::table::Table;
-use crate::value::Value;
+use crate::value::{NullPolicy, Value};
 use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 /// CSV parsing/writing options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CsvOptions {
     /// Field delimiter (default `,`).
     pub delimiter: char,
     /// Whether the first record is a header row (default true).
     pub has_header: bool,
+    /// Which field strings read back as null (shared with
+    /// [`Value::from_field`]'s default; extend for dataset-specific
+    /// markers like `nan` or `-`).
+    pub null_policy: NullPolicy,
 }
 
 impl Default for CsvOptions {
@@ -25,6 +29,7 @@ impl Default for CsvOptions {
         CsvOptions {
             delimiter: ',',
             has_header: true,
+            null_policy: NullPolicy::default(),
         }
     }
 }
@@ -73,7 +78,7 @@ pub fn write_str_with(table: &Table, opts: CsvOptions) -> String {
     for r in 0..table.row_count() {
         write_record(
             &mut out,
-            (0..table.column_count()).map(|c| table.cell(r, c).as_str().unwrap_or("")),
+            (0..table.column_count()).map(|c| table.cell_str(r, c).unwrap_or("")),
             opts.delimiter,
         );
     }
@@ -108,18 +113,24 @@ fn records_to_table(records: Vec<Vec<String>>, opts: CsvOptions) -> Result<Table
         let schema = Schema::new((0..arity).map(|i| format!("c{i}")))?;
         let mut table = Table::empty(schema);
         if let Some(row) = first {
-            table.push_row(row.into_iter().map(|f| Value::from_field(&f)).collect())?;
+            table.push_row(fields_to_values(row, &opts.null_policy))?;
         }
         for row in it {
-            table.push_row(row.into_iter().map(|f| Value::from_field(&f)).collect())?;
+            table.push_row(fields_to_values(row, &opts.null_policy))?;
         }
         return Ok(table);
     };
     let mut table = Table::empty(schema);
     for row in it {
-        table.push_row(row.into_iter().map(|f| Value::from_field(&f)).collect())?;
+        table.push_row(fields_to_values(row, &opts.null_policy))?;
     }
     Ok(table)
+}
+
+fn fields_to_values(row: Vec<String>, policy: &NullPolicy) -> Vec<Value> {
+    row.into_iter()
+        .map(|f| Value::from_field_with(&f, policy))
+        .collect()
 }
 
 /// Parse CSV text into records of fields.
@@ -449,6 +460,20 @@ mod tests {
         assert_eq!(t2.cell_str(0, 1), Some("says \"hi\""));
         assert!(t2.cell(1, 0).is_null());
         assert_eq!(t2.cell_str(1, 1), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn custom_null_policy_applies() {
+        let mut opts = CsvOptions::default();
+        opts.null_policy.extend(["nan", "-"]);
+        let t = read_str_with("a,b\nnan,-\nNULL,x\n", opts).unwrap();
+        assert!(t.cell(0, 0).is_null());
+        assert!(t.cell(0, 1).is_null());
+        assert!(t.cell(1, 0).is_null()); // default tokens still apply
+        assert_eq!(t.cell_str(1, 1), Some("x"));
+        // The default policy does not treat `nan` as null.
+        let t2 = read_str("a\nnan\n").unwrap();
+        assert_eq!(t2.cell_str(0, 0), Some("nan"));
     }
 
     #[test]

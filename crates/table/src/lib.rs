@@ -14,11 +14,15 @@
 //!   types, distinct/null statistics, and per-level pattern histograms; it
 //!   also implements the `CandidateDependencies` pruning of the discovery
 //!   algorithm (line 1 of Figure 2);
-//! * [`tokenize`] — the `Tokenize` and `NGrams` functions of Figure 2,
-//!   with token/char positions.
+//! * [`tokenize`](mod@tokenize) — the `Tokenize` and `NGrams` functions
+//!   of Figure 2, with token/char positions;
+//! * [`pool`] — the dictionary-encoding layer: a process-global string
+//!   interner ([`ValuePool`]) and the `Copy` cell handle ([`ValueId`])
+//!   every downstream index and engine keys on.
 
 pub mod csv;
 pub mod error;
+pub mod pool;
 pub mod profile;
 pub mod schema;
 pub mod table;
@@ -26,8 +30,11 @@ pub mod tokenize;
 pub mod value;
 
 pub use error::TableError;
+pub use pool::{ValueId, ValuePool};
 pub use profile::{ColumnProfile, InferredType, PatternHistogram, TableProfile};
 pub use schema::Schema;
 pub use table::{RowId, Table, TableBuilder};
-pub use tokenize::{ngrams, prefixes, tokenize, NGram, Token};
-pub use value::Value;
+pub use tokenize::{
+    for_each_ngram, for_each_prefix, for_each_token, ngrams, prefixes, tokenize, NGram, Token,
+};
+pub use value::{NullPolicy, Value};

@@ -1,0 +1,253 @@
+//! Dictionary-encoded value interning: [`ValuePool`] and [`ValueId`].
+//!
+//! PFD workloads are *distinct-value-centric*: the paper's zip/state/
+//! phone/name columns have orders of magnitude fewer distinct values than
+//! rows, and every expensive per-cell operation — hashing an index key,
+//! matching a pattern, extracting a blocking capture — depends only on
+//! the cell's *string*, not on which row holds it. Interning turns all of
+//! those from per-row work into per-distinct-value work and shrinks every
+//! downstream key from an owned `String` to a `Copy` 4-byte id.
+//!
+//! # Ownership and lifetime story
+//!
+//! The pool is a **process-global, append-only** interner:
+//!
+//! * The first time a string is interned, it is copied once into the pool
+//!   and intentionally **leaked** (`Box::leak`), making its storage
+//!   `&'static str`. Every later sighting of the same string resolves to
+//!   the same [`ValueId`] with a hash lookup and *zero* allocation.
+//! * Ids are never recycled and strings are never dropped: a `ValueId`
+//!   obtained anywhere in the process stays valid (and resolvable) for
+//!   the process lifetime. This is what lets [`ValueId::as_str`] hand out
+//!   `&'static str` without borrowing the pool, and what makes `ValueId`
+//!   `Send + Copy` — the prerequisite for sharding rule state across
+//!   threads without cloning string tables.
+//! * The deliberate leak is bounded by the number of *distinct* strings
+//!   ever ingested, not by row count — the low-cardinality assumption
+//!   that justifies dictionary encoding in the first place. A workload
+//!   that streams unbounded distinct values would grow the pool
+//!   unboundedly; such a workload also defeats dictionary encoding
+//!   anywhere else, and the paper's PFD columns are categorically not of
+//!   that shape.
+//!
+//! Id `0` is reserved for the null cell ([`ValueId::NULL`]); real strings
+//! get ids from 1 upward in first-sighting order. The empty string, when
+//! interned explicitly (e.g. via `Value::text("")`), gets an ordinary
+//! non-null id — nullness is a property of the *cell*, not of string
+//! content.
+//!
+//! Interning is thread-safe (`RwLock`; reads are lock-shared and writes
+//! only happen on first sighting of a string), so tables can be built
+//! from multiple threads and the resulting ids are globally comparable.
+
+use crate::value::Value;
+use fxhash::FxHashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// A dictionary-encoded cell value: `0` = null, otherwise an index into
+/// the global [`ValuePool`].
+///
+/// `ValueId` is `Copy`, 4 bytes, and hashes in a single multiply-rotate
+/// step under the workspace's `FxHasher` — the property that makes
+/// id-keyed index maps cheap. Equality of ids is equality of cell values
+/// (same string, or both null), because the pool canonicalizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// The id of the null cell.
+    pub const NULL: ValueId = ValueId(0);
+
+    /// Is this the null cell?
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The interned string, or `None` for null. `O(1)`; the returned
+    /// reference is `'static` (see the module docs for why).
+    #[must_use]
+    pub fn as_str(self) -> Option<&'static str> {
+        if self.is_null() {
+            None
+        } else {
+            Some(ValuePool::resolve(self))
+        }
+    }
+
+    /// Materialize the owning [`Value`] (allocates for text).
+    #[must_use]
+    pub fn value(self) -> Value {
+        match self.as_str() {
+            None => Value::Null,
+            Some(s) => Value::Text(s.to_string()),
+        }
+    }
+
+    /// CSV-style rendering: nulls become the empty string.
+    #[must_use]
+    pub fn render(self) -> &'static str {
+        self.as_str().unwrap_or("")
+    }
+
+    /// The raw id, for callers that key external structures (e.g. the
+    /// pattern matcher's memo) on interned values.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ValueId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.as_str() {
+            None => write!(f, "∅"),
+            Some(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+struct PoolInner {
+    /// String → id. Keys borrow the leaked `'static` storage in `strings`.
+    map: FxHashMap<&'static str, u32>,
+    /// Id → string; slot 0 is the null placeholder and never handed out.
+    strings: Vec<&'static str>,
+}
+
+fn pool() -> &'static RwLock<PoolInner> {
+    static POOL: OnceLock<RwLock<PoolInner>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        RwLock::new(PoolInner {
+            map: FxHashMap::default(),
+            strings: vec![""], // slot 0 = null placeholder
+        })
+    })
+}
+
+/// The process-global string interner (all methods are associated
+/// functions; there is exactly one pool per process).
+#[derive(Debug)]
+pub struct ValuePool;
+
+impl ValuePool {
+    /// Intern a string, returning its canonical id. Allocates only on the
+    /// first sighting of `s`; afterwards this is a shared-lock hash
+    /// lookup.
+    #[must_use]
+    pub fn intern(s: &str) -> ValueId {
+        {
+            let inner = pool().read().expect("value pool poisoned");
+            if let Some(&id) = inner.map.get(s) {
+                return ValueId(id);
+            }
+        }
+        let mut inner = pool().write().expect("value pool poisoned");
+        // Re-check: another thread may have interned `s` between locks.
+        if let Some(&id) = inner.map.get(s) {
+            return ValueId(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        let id = u32::try_from(inner.strings.len()).expect("value pool exhausted u32 ids");
+        inner.strings.push(leaked);
+        inner.map.insert(leaked, id);
+        ValueId(id)
+    }
+
+    /// Intern a [`Value`] (`Null` maps to [`ValueId::NULL`]).
+    #[must_use]
+    pub fn intern_value(v: &Value) -> ValueId {
+        match v.as_str() {
+            None => ValueId::NULL,
+            Some(s) => ValuePool::intern(s),
+        }
+    }
+
+    /// The id of an already-interned string, without interning. `None`
+    /// means no cell anywhere in the process ever held `s` — useful for
+    /// lookups that must not grow the pool.
+    #[must_use]
+    pub fn lookup(s: &str) -> Option<ValueId> {
+        let inner = pool().read().expect("value pool poisoned");
+        inner.map.get(s).map(|&id| ValueId(id))
+    }
+
+    /// Resolve a non-null id to its interned string.
+    ///
+    /// # Panics
+    /// Panics on [`ValueId::NULL`] (nulls have no string) or on an id not
+    /// produced by this process's pool.
+    #[must_use]
+    pub fn resolve(id: ValueId) -> &'static str {
+        assert!(!id.is_null(), "ValueId::NULL has no string");
+        let inner = pool().read().expect("value pool poisoned");
+        inner.strings[id.0 as usize]
+    }
+
+    /// Number of distinct strings interned so far (excludes the null
+    /// placeholder).
+    #[must_use]
+    pub fn len() -> usize {
+        let inner = pool().read().expect("value pool poisoned");
+        inner.strings.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_resolve_roundtrip() {
+        let id = ValuePool::intern("Los Angeles");
+        assert_eq!(id.as_str(), Some("Los Angeles"));
+        assert_eq!(ValuePool::resolve(id), "Los Angeles");
+        assert!(!id.is_null());
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let a = ValuePool::intern("dedup-probe");
+        let b = ValuePool::intern("dedup-probe");
+        assert_eq!(a, b);
+        let c = ValuePool::intern("dedup-probe-other");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn null_id_behaviour() {
+        assert!(ValueId::NULL.is_null());
+        assert_eq!(ValueId::NULL.as_str(), None);
+        assert_eq!(ValueId::NULL.render(), "");
+        assert_eq!(ValueId::NULL.value(), Value::Null);
+        assert_eq!(ValueId::NULL.to_string(), "∅");
+    }
+
+    #[test]
+    fn value_interning() {
+        assert_eq!(ValuePool::intern_value(&Value::Null), ValueId::NULL);
+        let id = ValuePool::intern_value(&Value::text("probe-value"));
+        assert_eq!(id.value(), Value::text("probe-value"));
+    }
+
+    #[test]
+    fn empty_string_is_not_null() {
+        // Nullness is a cell property; an explicit empty text cell keeps
+        // its identity through the pool.
+        let id = ValuePool::intern("");
+        assert!(!id.is_null());
+        assert_eq!(id.as_str(), Some(""));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(ValuePool::lookup("never-ingested-probe-xyzzy"), None);
+        let id = ValuePool::intern("looked-up-probe");
+        assert_eq!(ValuePool::lookup("looked-up-probe"), Some(id));
+    }
+
+    #[test]
+    fn display_resolves() {
+        let id = ValuePool::intern("display-probe");
+        assert_eq!(id.to_string(), "display-probe");
+    }
+}

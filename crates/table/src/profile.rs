@@ -11,8 +11,7 @@
 //!    sides of a candidate (no dependency can have support).
 //! 2. **The profiling view** — Figure 3 lists, per column, the pattern
 //!    signatures present in the data with their frequencies. That view is
-//!    [`PatternHistogram`], computed at every
-//!    [`PatternLevel`](anmat_pattern::PatternLevel).
+//!    [`PatternHistogram`], computed at every [`PatternLevel`].
 
 use crate::table::Table;
 use anmat_pattern::{signature, Pattern, PatternLevel};

@@ -1,6 +1,16 @@
-//! Columnar in-memory tables.
+//! Columnar in-memory tables, dictionary-encoded.
+//!
+//! A column is a `Vec<ValueId>` — 4 bytes per cell — dictionary-encoded
+//! against the process-global [`ValuePool`]. Ingest interns each cell
+//! once; every downstream consumer (indexes, discovery, detection, the
+//! stream engine) operates on `Copy` ids and pays string costs only per
+//! *distinct* value. The `Value`/`&str` views (`cell`, `cell_str`,
+//! `row`, `iter_pair`) are preserved at the API boundary for CSV ingest,
+//! reports and serde; id accessors (`cell_id`, `row_ids`, `column`) are
+//! the hot path.
 
 use crate::error::TableError;
+use crate::pool::{ValueId, ValuePool};
 use crate::schema::Schema;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
@@ -8,14 +18,16 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a row: its 0-based position.
 pub type RowId = usize;
 
-/// A columnar table: one `Vec<Value>` per column, all equal length.
+/// A columnar table: one `Vec<ValueId>` per column, all equal length.
 ///
 /// Columnar layout matches the access pattern of both discovery (scan a
-/// column pair) and detection (scan one column, probe another).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// column pair) and detection (scan one column, probe another); the
+/// dictionary encoding makes each scan touch 4-byte `Copy` ids, with
+/// string resolution deferred to per-distinct-value work.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     schema: Schema,
-    columns: Vec<Vec<Value>>,
+    columns: Vec<Vec<ValueId>>,
     rows: usize,
 }
 
@@ -57,8 +69,26 @@ impl Table {
         Ok(t)
     }
 
-    /// Append one row.
+    /// Append one row, interning each cell into the [`ValuePool`].
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<RowId, TableError> {
+        if row.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                row: self.rows,
+                found: row.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(&row) {
+            col.push(ValuePool::intern_value(v));
+        }
+        let id = self.rows;
+        self.rows += 1;
+        Ok(id)
+    }
+
+    /// Append one row of already-interned ids — the clone-free ingest
+    /// path (no string is copied, hashed, or even read).
+    pub fn push_id_row(&mut self, row: Vec<ValueId>) -> Result<RowId, TableError> {
         if row.len() != self.schema.arity() {
             return Err(TableError::ArityMismatch {
                 row: self.rows,
@@ -92,48 +122,66 @@ impl Table {
         self.schema.arity()
     }
 
-    /// A whole column by index (panics if out of range).
+    /// A whole column of ids by index (panics if out of range).
     #[must_use]
-    pub fn column(&self, idx: usize) -> &[Value] {
+    pub fn column(&self, idx: usize) -> &[ValueId] {
         &self.columns[idx]
     }
 
     /// A whole column by name.
-    pub fn column_by_name(&self, name: &str) -> Result<&[Value], TableError> {
+    pub fn column_by_name(&self, name: &str) -> Result<&[ValueId], TableError> {
         Ok(&self.columns[self.schema.require(name)?])
     }
 
-    /// One cell.
+    /// One cell, materialized as a [`Value`] (allocates for text; use
+    /// [`Table::cell_id`] or [`Table::cell_str`] on hot paths).
     #[must_use]
-    pub fn cell(&self, row: RowId, col: usize) -> &Value {
-        &self.columns[col][row]
+    pub fn cell(&self, row: RowId, col: usize) -> Value {
+        self.columns[col][row].value()
+    }
+
+    /// One cell's interned id — `O(1)`, `Copy`, allocation-free.
+    #[must_use]
+    pub fn cell_id(&self, row: RowId, col: usize) -> ValueId {
+        self.columns[col][row]
     }
 
     /// One cell's string content (`None` if null).
     #[must_use]
-    pub fn cell_str(&self, row: RowId, col: usize) -> Option<&str> {
+    pub fn cell_str(&self, row: RowId, col: usize) -> Option<&'static str> {
         self.columns[col][row].as_str()
     }
 
     /// Overwrite one cell (used by error injection and repair).
     pub fn set_cell(&mut self, row: RowId, col: usize, v: Value) {
-        self.columns[col][row] = v;
+        self.columns[col][row] = ValuePool::intern_value(&v);
     }
 
-    /// Materialize one row.
+    /// Materialize one row as owned [`Value`]s.
     #[must_use]
-    pub fn row(&self, row: RowId) -> Vec<&Value> {
-        self.columns.iter().map(|c| &c[row]).collect()
+    pub fn row(&self, row: RowId) -> Vec<Value> {
+        self.columns.iter().map(|c| c[row].value()).collect()
     }
 
-    /// Iterate `(RowId, &Value)` over a column.
-    pub fn iter_column(&self, col: usize) -> impl Iterator<Item = (RowId, &Value)> {
-        self.columns[col].iter().enumerate()
+    /// One row as interned ids (the clone-free counterpart of
+    /// [`Table::row`]).
+    #[must_use]
+    pub fn row_ids(&self, row: RowId) -> Vec<ValueId> {
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// Iterate `(RowId, ValueId)` over a column.
+    pub fn iter_column(&self, col: usize) -> impl Iterator<Item = (RowId, ValueId)> + '_ {
+        self.columns[col].iter().copied().enumerate()
     }
 
     /// Iterate `(RowId, &str, &str)` over the non-null cells of a column
     /// pair — the unit of work of the discovery loop.
-    pub fn iter_pair(&self, a: usize, b: usize) -> impl Iterator<Item = (RowId, &str, &str)> {
+    pub fn iter_pair(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> impl Iterator<Item = (RowId, &'static str, &'static str)> + '_ {
         self.columns[a]
             .iter()
             .zip(self.columns[b].iter())
@@ -147,11 +195,56 @@ impl Table {
         let mut t = Table::empty(self.schema.clone());
         for r in 0..self.rows {
             if keep(r) {
-                let row: Vec<Value> = self.columns.iter().map(|c| c[r].clone()).collect();
-                t.push_row(row).expect("same schema");
+                t.push_id_row(self.row_ids(r)).expect("same schema");
             }
         }
         t
+    }
+}
+
+/// Serde mirror: tables serialize through their string cells (the same
+/// externally-visible JSON shape as before dictionary encoding), so
+/// stored documents are independent of pool id assignment.
+#[derive(Serialize, Deserialize)]
+struct TableRepr {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Serialize for Table {
+    fn to_json_value(&self) -> serde::Value {
+        TableRepr {
+            schema: self.schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.iter().map(|id| id.value()).collect())
+                .collect(),
+            rows: self.rows,
+        }
+        .to_json_value()
+    }
+}
+
+impl Deserialize for Table {
+    fn from_json_value(v: &serde::Value) -> Result<Table, serde::Error> {
+        let repr = TableRepr::from_json_value(v)?;
+        if repr.columns.len() != repr.schema.arity() {
+            return Err(serde::Error::custom("column count does not match schema"));
+        }
+        if repr.columns.iter().any(|c| c.len() != repr.rows) {
+            return Err(serde::Error::custom("ragged columns"));
+        }
+        Ok(Table {
+            schema: repr.schema,
+            columns: repr
+                .columns
+                .iter()
+                .map(|c| c.iter().map(ValuePool::intern_value).collect())
+                .collect(),
+            rows: repr.rows,
+        })
     }
 }
 
@@ -224,6 +317,31 @@ mod tests {
     }
 
     #[test]
+    fn dictionary_encoding_shares_ids() {
+        let t = zip_table();
+        // Three "Los Angeles" cells are one pool entry.
+        assert_eq!(t.cell_id(0, 1), t.cell_id(1, 1));
+        assert_eq!(t.cell_id(0, 1), t.cell_id(2, 1));
+        assert_ne!(t.cell_id(0, 1), t.cell_id(3, 1));
+        // Ids resolve to the original strings.
+        assert_eq!(t.cell_id(3, 1).as_str(), Some("New York"));
+    }
+
+    #[test]
+    fn id_row_roundtrip() {
+        let t = zip_table();
+        let mut t2 = Table::empty(t.schema().clone());
+        for r in 0..t.row_count() {
+            t2.push_id_row(t.row_ids(r)).unwrap();
+        }
+        assert_eq!(t, t2);
+        assert!(matches!(
+            t2.push_id_row(vec![ValueId::NULL]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn arity_enforced() {
         let schema = Schema::new(["a", "b"]).unwrap();
         let mut t = Table::empty(schema);
@@ -247,6 +365,7 @@ mod tests {
         let mut t = zip_table();
         t.set_cell(3, 1, Value::text("Los Angeles"));
         assert_eq!(t.cell_str(3, 1), Some("Los Angeles"));
+        assert_eq!(t.cell_id(3, 1), t.cell_id(0, 1));
     }
 
     #[test]
@@ -272,6 +391,8 @@ mod tests {
     fn serde_roundtrip() {
         let t = zip_table();
         let json = serde_json::to_string(&t).unwrap();
+        // Cells serialize as strings, not pool ids.
+        assert!(json.contains("Los Angeles"), "{json}");
         let t2: Table = serde_json::from_str(&json).unwrap();
         assert_eq!(t, t2);
         assert_eq!(t2.schema().index_of("city"), Some(1));

@@ -34,6 +34,67 @@ pub struct NGram {
     pub char_start: usize,
 }
 
+/// Visit each whitespace-delimited token as a borrowed slice of `s`,
+/// with its 0-based token index — the allocation-free counterpart of
+/// [`tokenize`] for hot loops (index construction) that never need owned
+/// token text.
+pub fn for_each_token(s: &str, mut f: impl FnMut(&str, usize)) {
+    let mut index = 0usize;
+    let mut start: Option<usize> = None;
+    for (b, c) in s.char_indices() {
+        if c.is_whitespace() {
+            if let Some(st) = start.take() {
+                f(&s[st..b], index);
+                index += 1;
+            }
+        } else if start.is_none() {
+            start = Some(b);
+        }
+    }
+    if let Some(st) = start {
+        f(&s[st..], index);
+    }
+}
+
+/// Visit each character n-gram as a borrowed slice of `s`, with its
+/// 0-based starting character offset — the allocation-free counterpart
+/// of [`ngrams`]. Yields the whole string once when it is shorter than
+/// `n`, and nothing for an empty string or `n == 0`.
+pub fn for_each_ngram(s: &str, n: usize, mut f: impl FnMut(&str, usize)) {
+    if n == 0 || s.is_empty() {
+        return;
+    }
+    let count = s.chars().count();
+    if count < n {
+        f(s, 0);
+        return;
+    }
+    let mut starts = s.char_indices();
+    let mut ends = s.char_indices().skip(n);
+    for i in 0..=count - n {
+        let (sb, _) = starts.next().expect("start within bounds");
+        let eb = ends.next().map_or(s.len(), |(b, _)| b);
+        f(&s[sb..eb], i);
+    }
+}
+
+/// Visit each prefix of up to `max_len` characters as a borrowed slice
+/// of `s` — the allocation-free counterpart of [`prefixes`]. The position
+/// is always 0 (prefixes start at the beginning by construction).
+pub fn for_each_prefix(s: &str, max_len: usize, mut f: impl FnMut(&str, usize)) {
+    let mut emitted = 0usize;
+    for (byte, _) in s.char_indices().skip(1) {
+        if emitted >= max_len {
+            return;
+        }
+        emitted += 1;
+        f(&s[..byte], 0);
+    }
+    if emitted < max_len && !s.is_empty() {
+        f(s, 0);
+    }
+}
+
 /// Split a cell into whitespace-delimited tokens.
 ///
 /// Runs of whitespace are a single separator; leading/trailing whitespace
@@ -195,5 +256,59 @@ mod tests {
     fn prefixes_capped_by_length() {
         assert_eq!(prefixes("ab", 5).len(), 2);
         assert!(prefixes("", 5).is_empty());
+    }
+
+    fn collect_cb(f: impl Fn(&mut dyn FnMut(&str, usize))) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        f(&mut |s, p| out.push((s.to_string(), p)));
+        out
+    }
+
+    #[test]
+    fn for_each_token_matches_tokenize() {
+        for s in [
+            "John Charles",
+            "  a \t b  ",
+            "",
+            "   ",
+            "Édouard Manet",
+            "one",
+        ] {
+            let expected: Vec<(String, usize)> =
+                tokenize(s).into_iter().map(|t| (t.text, t.index)).collect();
+            let got = collect_cb(|f| for_each_token(s, f));
+            assert_eq!(got, expected, "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn for_each_ngram_matches_ngrams() {
+        for (s, n) in [
+            ("90001", 3),
+            ("ab", 3),
+            ("", 3),
+            ("abc", 0),
+            ("abc", 3),
+            ("Édouard", 2),
+        ] {
+            let expected: Vec<(String, usize)> = ngrams(s, n)
+                .into_iter()
+                .map(|g| (g.text, g.char_start))
+                .collect();
+            let got = collect_cb(|f| for_each_ngram(s, n, f));
+            assert_eq!(got, expected, "input {s:?} n={n}");
+        }
+    }
+
+    #[test]
+    fn for_each_prefix_matches_prefixes() {
+        for (s, max) in [("90001", 3), ("ab", 5), ("", 5), ("Édouard", 3), ("x", 1)] {
+            let expected: Vec<(String, usize)> = prefixes(s, max)
+                .into_iter()
+                .map(|g| (g.text, g.char_start))
+                .collect();
+            let got = collect_cb(|f| for_each_prefix(s, max, f));
+            assert_eq!(got, expected, "input {s:?} max={max}");
+        }
     }
 }

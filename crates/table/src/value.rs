@@ -10,6 +10,76 @@
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Which field strings denote an absent value.
+///
+/// The CSV reader and [`Value::from_field`] share one policy, so "what
+/// counts as null" is decided in exactly one place. The default covers
+/// the conventional tokens (`NULL`, `null`, `NA`, `N/A`, `\N`); datasets
+/// with other disguised-missing markers (`nan`, `-`, `?`, …) extend it
+/// with [`NullPolicy::extend`] or replace it with
+/// [`NullPolicy::with_tokens`]. The empty field is always null,
+/// independent of the token list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NullPolicy {
+    tokens: Vec<String>,
+}
+
+impl Default for NullPolicy {
+    fn default() -> NullPolicy {
+        NullPolicy {
+            tokens: ["NULL", "null", "NA", "N/A", "\\N"]
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+        }
+    }
+}
+
+impl NullPolicy {
+    /// A policy recognizing exactly `tokens` (plus the empty field).
+    #[must_use]
+    pub fn with_tokens<I, S>(tokens: I) -> NullPolicy
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        NullPolicy {
+            tokens: tokens.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Add tokens to the policy (e.g. `nan`, `-`).
+    pub fn extend<I, S>(&mut self, tokens: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.tokens.extend(tokens.into_iter().map(Into::into));
+        self
+    }
+
+    /// Does `s` denote an absent value under this policy?
+    #[must_use]
+    pub fn is_null(&self, s: &str) -> bool {
+        s.is_empty() || self.tokens.iter().any(|t| t == s)
+    }
+
+    /// The recognized null tokens (not counting the empty field).
+    #[must_use]
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// The process-shared default policy (what [`Value::from_field`]
+    /// uses). Built once, never reallocated per cell.
+    #[must_use]
+    pub fn shared_default() -> &'static NullPolicy {
+        static DEFAULT: OnceLock<NullPolicy> = OnceLock::new();
+        DEFAULT.get_or_init(NullPolicy::default)
+    }
+}
 
 /// One table cell.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -21,11 +91,17 @@ pub enum Value {
 }
 
 impl Value {
-    /// Construct from a CSV field: empty fields and the conventional null
-    /// tokens become [`Value::Null`].
+    /// Construct from a CSV field under the default [`NullPolicy`]: empty
+    /// fields and the conventional null tokens become [`Value::Null`].
     #[must_use]
     pub fn from_field(s: &str) -> Value {
-        if s.is_empty() || matches!(s, "NULL" | "null" | "NA" | "N/A" | "\\N") {
+        Value::from_field_with(s, NullPolicy::shared_default())
+    }
+
+    /// Construct from a CSV field under an explicit [`NullPolicy`].
+    #[must_use]
+    pub fn from_field_with(s: &str, policy: &NullPolicy) -> Value {
+        if policy.is_null(s) {
             Value::Null
         } else {
             Value::Text(s.to_string())
@@ -120,5 +196,42 @@ mod tests {
     fn from_string_empty_is_null() {
         let v: Value = String::new().into();
         assert!(v.is_null());
+    }
+
+    #[test]
+    fn null_policy_default_tokens() {
+        let p = NullPolicy::default();
+        for s in ["", "NULL", "null", "NA", "N/A", "\\N"] {
+            assert!(p.is_null(s), "{s:?} should be null");
+        }
+        assert!(!p.is_null("nan"));
+        assert!(!p.is_null("-"));
+        assert!(!p.is_null("0"));
+        assert_eq!(p.tokens().len(), 5);
+    }
+
+    #[test]
+    fn null_policy_extendable() {
+        let mut p = NullPolicy::default();
+        p.extend(["nan", "-"]);
+        assert!(p.is_null("nan"));
+        assert!(p.is_null("-"));
+        assert!(p.is_null("NULL")); // defaults kept
+        assert!(Value::from_field_with("nan", &p).is_null());
+        assert!(!Value::from_field("nan").is_null()); // default unaffected
+    }
+
+    #[test]
+    fn null_policy_replacement() {
+        let p = NullPolicy::with_tokens(["?"]);
+        assert!(p.is_null("?"));
+        assert!(p.is_null("")); // empty is always null
+        assert!(!p.is_null("NULL")); // defaults replaced
+        assert!(Value::from_field_with("NULL", &p).as_str() == Some("NULL"));
+    }
+
+    #[test]
+    fn shared_default_matches_default() {
+        assert_eq!(*NullPolicy::shared_default(), NullPolicy::default());
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the table substrate.
 
-use anmat_table::{csv, Schema, Table, Value};
+use anmat_table::{csv, Schema, Table, Value, ValueId, ValuePool};
 use proptest::prelude::*;
 
 /// Arbitrary cell content, including CSV-hostile characters.
@@ -61,14 +61,14 @@ proptest! {
         prop_assert_eq!(t.schema().names(), t2.schema().names());
         for r in 0..t.row_count() {
             for c in 0..t.column_count() {
-                let a = t.cell(r, c).render();
-                let b = t2.cell(r, c).render();
+                let a = t.cell_str(r, c).unwrap_or("");
+                let b = t2.cell_str(r, c).unwrap_or("");
                 // Null tokens fold to empty on re-read.
-                let folded = match a.as_ref() {
+                let folded = match a {
                     "NULL" | "null" | "NA" | "N/A" | "\\N" => "",
                     other => other,
                 };
-                prop_assert_eq!(folded, b.as_ref(), "cell ({}, {})", r, c);
+                prop_assert_eq!(folded, b, "cell ({}, {})", r, c);
             }
         }
     }
@@ -110,6 +110,40 @@ proptest! {
                 prop_assert_eq!(g.char_start, i);
                 prop_assert_eq!(g.text.chars().count(), n);
             }
+        }
+    }
+
+    /// Pool round-trip: `intern → resolve` is the identity on any string.
+    #[test]
+    fn pool_intern_resolve_identity(s in "\\PC*") {
+        let id = ValuePool::intern(&s);
+        prop_assert!(!id.is_null());
+        prop_assert_eq!(ValuePool::resolve(id), s.as_str());
+        prop_assert_eq!(id.as_str(), Some(s.as_str()));
+    }
+
+    /// Pool dedup: repeated ingest of the same strings never mints new
+    /// ids, and equal cells share ids across independently built tables.
+    /// (Dedup is asserted via id identity, not global pool size — the
+    /// pool is process-global and other tests intern concurrently.)
+    #[test]
+    fn pool_dedup_under_repeated_ingest(fields in prop::collection::vec(any_field(), 1..20)) {
+        let ids: Vec<ValueId> = fields.iter().map(|f| ValuePool::intern(f)).collect();
+        let again: Vec<ValueId> = fields.iter().map(|f| ValuePool::intern(f)).collect();
+        prop_assert_eq!(&ids, &again);
+        // Same string ⇒ same id, even via lookup-only access.
+        for (f, id) in fields.iter().zip(&ids) {
+            prop_assert_eq!(ValuePool::lookup(f), Some(*id));
+        }
+
+        // Two tables built from the same rows are cell-for-cell id-equal.
+        let schema = Schema::new(["f"]).unwrap();
+        let rows = || fields.iter().map(|f| vec![Value::text(f.clone())]);
+        let t1 = Table::from_rows(schema.clone(), rows()).unwrap();
+        let t2 = Table::from_rows(schema, rows()).unwrap();
+        prop_assert_eq!(&t1, &t2);
+        for r in 0..t1.row_count() {
+            prop_assert_eq!(t1.cell_id(r, 0), t2.cell_id(r, 0));
         }
     }
 }

@@ -323,12 +323,14 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     );
 
     let mut engine = StreamEngine::with_config(table.schema().clone(), pfds, stream_config);
-    let mut pending: Vec<Vec<Value>> = Vec::with_capacity(batch);
+    // Rows are already interned by the CSV read; stream them as ids so
+    // replay is clone-free.
+    let mut pending: Vec<Vec<ValueId>> = Vec::with_capacity(batch);
     for r in 0..table.row_count() {
-        pending.push(table.row(r).into_iter().cloned().collect());
+        pending.push(table.row_ids(r));
         if pending.len() == batch || r + 1 == table.row_count() {
             let events = engine
-                .push_batch(pending.drain(..))
+                .push_id_batch(pending.drain(..))
                 .map_err(|e| format!("row {r}: {e}"))?;
             if !quiet {
                 for event in &events {

@@ -84,5 +84,7 @@ pub mod prelude {
     };
     pub use anmat_pattern::{ConstrainedPattern, Pattern};
     pub use anmat_stream::{DriftReport, StreamConfig, StreamEngine};
-    pub use anmat_table::{csv, Schema, Table, TableProfile, Value};
+    pub use anmat_table::{
+        csv, NullPolicy, Schema, Table, TableProfile, Value, ValueId, ValuePool,
+    };
 }

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `fxhash` crate.
+//!
+//! The build environment has no network access, so this vendor crate
+//! implements the (tiny) API subset the workspace uses: [`FxHasher`] —
+//! the multiply-rotate hash function used by Firefox and rustc — plus the
+//! usual `HashMap`/`HashSet` aliases.
+//!
+//! FxHash is *not* DoS-resistant; it trades collision hardness for raw
+//! speed on short keys. That is exactly the right trade for the interned
+//! `ValueId(u32)` keys that dominate this workspace's hash maps: a u32
+//! key hashes in one multiply-rotate step instead of SipHash's multiple
+//! rounds, and the id space is dense and attacker-free (ids are assigned
+//! by our own interner, not by external input).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative seed (the "golden ratio" constant used by rustc's
+/// FxHasher for 64-bit state).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher: `state = (rotl5(state) ^ word) * SEED`
+/// per input word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u32(42);
+        b.write_u32(42);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write_u32(43);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_boundaries() {
+        // Same logical content hashed as one write must be stable.
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this crosses an 8-byte chunk");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this crosses an 8-byte chunk");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_short_keys_spread() {
+        // Sanity: sequential u32 keys don't collapse to one bucket image.
+        let hashes: FxHashSet<u64> = (0u32..1000)
+            .map(|i| {
+                let mut h = FxHasher::default();
+                h.write_u32(i);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+}

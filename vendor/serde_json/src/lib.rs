@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_json`.
 //!
 //! Prints and parses JSON text against the vendor `serde` crate's
-//! [`Value`](serde::Value) data model. Supports the workspace's usage:
+//! [`Value`] data model. Supports the workspace's usage:
 //! [`to_string`], [`to_string_pretty`], and [`from_str`].
 
 use serde::{Deserialize, Serialize, Value};
