@@ -167,12 +167,15 @@ impl FdMiner {
         FdMiner { config }
     }
 
-    /// Discover (approximate) minimal FDs over `table`.
+    /// Discover (approximate) minimal FDs over `table` (live rows only).
     #[must_use]
     pub fn discover(&self, table: &Table) -> Vec<Fd> {
         let n_cols = table.column_count();
-        let n_rows = table.row_count();
-        if n_cols < 2 || n_rows == 0 {
+        // Slot count sizes the RowId-indexed lookup tables; the live
+        // count normalizes g3 (partitions see only live rows).
+        let n_slots = table.row_count();
+        let n_live = table.live_rows();
+        if n_cols < 2 || n_live == 0 {
             return Vec::new();
         }
         // Level-1 partitions.
@@ -202,7 +205,7 @@ impl FdMiner {
                     {
                         continue;
                     }
-                    let error = part.g3_error(table, rhs, n_rows);
+                    let error = part.g3_error(table, rhs, n_live);
                     if error <= self.config.max_error {
                         found.push(Fd {
                             lhs: lhs.clone(),
@@ -223,8 +226,8 @@ impl FdMiner {
                     if lhs.contains(&c) {
                         continue;
                     }
-                    let class_of = single.class_of(n_rows);
-                    let product = part.product(&class_of, n_rows);
+                    let class_of = single.class_of(n_slots);
+                    let product = part.product(&class_of, n_slots);
                     if product.stripped_rows == 0 {
                         continue; // superkey: nothing non-trivial below
                     }
@@ -239,12 +242,13 @@ impl FdMiner {
         found
     }
 
-    /// Flag rows violating an FD on (possibly different) data: within each
-    /// LHS class, minority-RHS rows.
+    /// Flag live rows violating an FD on (possibly different) data:
+    /// within each LHS class, minority-RHS rows. Tombstoned slots
+    /// neither vote nor get flagged.
     #[must_use]
     pub fn detect(&self, table: &Table, fd: &Fd) -> Vec<FdViolation> {
         let mut groups: HashMap<Vec<Option<&str>>, Vec<RowId>> = HashMap::new();
-        for row in 0..table.row_count() {
+        for row in table.iter_live() {
             let key: Vec<Option<&str>> = fd.lhs.iter().map(|&c| table.cell_str(row, c)).collect();
             groups.entry(key).or_default().push(row);
         }

@@ -30,7 +30,8 @@ pub(crate) fn detect(
                 let index = detector.index_for(lhs);
                 index.lookup(q.embedded())
             }
-            LhsCell::Wildcard => (0..table.row_count()).collect(),
+            // Live rows only: tombstoned slots can no longer violate.
+            LhsCell::Wildcard => table.iter_live().collect(),
         };
         let pattern_display = match &tuple.lhs {
             LhsCell::Pattern(q) => q.to_string(),

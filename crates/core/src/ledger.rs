@@ -205,6 +205,41 @@ mod tests {
     }
 
     #[test]
+    fn double_retract_is_a_noop() {
+        let mut ledger = ViolationLedger::new();
+        let v = violation(3, "Los Angeles");
+        ledger.create(v.clone());
+        assert!(ledger.retract(&v).is_some());
+        // A second retraction of the same violation must change nothing:
+        // no event, no counter movement, no underflow.
+        assert!(ledger.retract(&v).is_none());
+        assert!(ledger.retract(&v).is_none());
+        assert_eq!(ledger.retracted_total(), 1);
+        assert_eq!(ledger.created_total(), 1);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn retract_then_recreate_yields_a_fresh_event() {
+        let mut ledger = ViolationLedger::new();
+        let v = violation(3, "Los Angeles");
+        assert!(matches!(
+            ledger.create(v.clone()),
+            Some(LedgerEvent::Created(_))
+        ));
+        ledger.retract(&v).unwrap();
+        // Re-creating after a full retraction is a new lifecycle: a
+        // fresh Created event, and both lifetime counters advance.
+        assert!(matches!(
+            ledger.create(v.clone()),
+            Some(LedgerEvent::Created(_))
+        ));
+        assert_eq!(ledger.created_total(), 2);
+        assert_eq!(ledger.retracted_total(), 1);
+        assert_eq!(ledger.live_count(), 1);
+    }
+
+    #[test]
     fn snapshot_sorted_by_row_then_dependency() {
         let mut ledger = ViolationLedger::new();
         ledger.create(violation(5, "A"));

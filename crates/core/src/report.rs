@@ -25,7 +25,7 @@ pub fn profiling_view(table: &Table, profile: &TableProfile) -> String {
     let _ = writeln!(
         out,
         "=== Profiling: {} rows × {} columns ===",
-        table.row_count(),
+        table.live_rows(),
         table.column_count()
     );
     for col in &profile.columns {

@@ -1,0 +1,87 @@
+//! Property tests for [`ViolationLedger`] retraction semantics: under
+//! any interleaving of create/retract calls over a small violation
+//! universe, the lifetime counters stay monotone and consistent, double
+//! retracts never fire events, and live violations are exactly those
+//! with a positive reference count.
+
+use anmat_core::detect::{Violation, ViolationKind};
+use anmat_core::ViolationLedger;
+use proptest::prelude::*;
+
+fn violation(row: usize, expected: u8) -> Violation {
+    Violation {
+        dependency: "zip → city".into(),
+        lhs_attr: "zip".into(),
+        rhs_attr: "city".into(),
+        row,
+        lhs_value: format!("9000{row}"),
+        kind: ViolationKind::Constant {
+            pattern: "900\\D{2}".into(),
+            expected: format!("city-{expected}"),
+            found: Some("elsewhere".into()),
+        },
+        repair: None,
+    }
+}
+
+proptest! {
+    /// `retracted_total` is monotone, never exceeds `created_total`, and
+    /// `live = created − retracted` holds at every step of any
+    /// create/retract interleaving (retracts of never-created or
+    /// already-dead violations included).
+    #[test]
+    fn counters_stay_consistent_under_any_interleaving(
+        script in prop::collection::vec((0usize..4, 0u8..3, any::<bool>()), 0..120)
+    ) {
+        let mut ledger = ViolationLedger::new();
+        // Shadow refcounts to predict event emission exactly.
+        let mut refs = std::collections::HashMap::<(usize, u8), usize>::new();
+        let mut last_retracted = 0usize;
+        for (row, expected, is_create) in script {
+            let v = violation(row, expected);
+            let key = (row, expected);
+            if is_create {
+                let emitted = ledger.create(v).is_some();
+                let r = refs.entry(key).or_insert(0);
+                *r += 1;
+                prop_assert_eq!(emitted, *r == 1, "Created fires only on 0→1");
+            } else {
+                let emitted = ledger.retract(&v).is_some();
+                let r = refs.entry(key).or_insert(0);
+                let expected_event = *r == 1;
+                *r = r.saturating_sub(1);
+                prop_assert_eq!(emitted, expected_event, "Retracted fires only on 1→0");
+            }
+            // Monotonicity of the lifetime counter.
+            prop_assert!(ledger.retracted_total() >= last_retracted);
+            last_retracted = ledger.retracted_total();
+            // Accounting invariants.
+            prop_assert!(ledger.retracted_total() <= ledger.created_total());
+            prop_assert_eq!(
+                ledger.live_count(),
+                ledger.created_total() - ledger.retracted_total()
+            );
+            let live_refs = refs.values().filter(|&&r| r > 0).count();
+            prop_assert_eq!(ledger.live_count(), live_refs);
+        }
+    }
+
+    /// Retract-then-recreate always yields a fresh `Created` event, and
+    /// a retraction storm (more retracts than creates) bottoms out as a
+    /// no-op instead of corrupting state.
+    #[test]
+    fn retraction_storms_bottom_out(extra_retracts in 1usize..10) {
+        let mut ledger = ViolationLedger::new();
+        let v = violation(1, 0);
+        ledger.create(v.clone());
+        assert!(ledger.retract(&v).is_some());
+        for _ in 0..extra_retracts {
+            prop_assert!(ledger.retract(&v).is_none());
+        }
+        prop_assert_eq!(ledger.retracted_total(), 1);
+        let ev = ledger.create(v.clone());
+        prop_assert!(ev.is_some_and(|e| e.is_created()), "recreate is a fresh event");
+        prop_assert_eq!(ledger.created_total(), 2);
+        prop_assert_eq!(ledger.live_count(), 1);
+    }
+}

@@ -101,9 +101,17 @@ impl BlockingIndex {
 
 /// One block of an incrementally maintained partition: the rows sharing a
 /// key, their RHS values, and a delta-maintained RHS distribution.
+///
+/// Blocks are *mutable*: a removal (via
+/// [`BlockingPartition::remove`]) is the exact inverse of an insert —
+/// `O(1)` count decrements, with the majority re-derived (same
+/// count-desc/string-asc tie-break, so interning-order-independent) only
+/// when the removed value was the leader.
 #[derive(Debug, Clone, Default)]
 pub struct KeyBlock {
-    /// Rows in insertion (= row id) order.
+    /// Rows in ascending `RowId` order (updates can re-insert an old id,
+    /// so inserts place at the sorted position — `O(1)` for the common
+    /// append case where the id is the largest yet).
     rows: Vec<RowId>,
     /// RHS cell per row, parallel to `rows` ([`ValueId::NULL`] = null RHS).
     rhs: Vec<ValueId>,
@@ -113,23 +121,24 @@ pub struct KeyBlock {
     null_rhs: usize,
     /// Incrementally maintained `(majority value, its count)`. Only the
     /// value whose count just grew can displace the current leader, so
-    /// each insert updates this in `O(1)`.
+    /// each insert updates this in `O(1)`; a removal re-derives it in
+    /// `O(distinct RHS)` only when the leader's own count shrank.
     majority: Option<(ValueId, usize)>,
 }
 
 impl KeyBlock {
-    /// The rows of this block, in insertion order.
+    /// The rows of this block, in ascending row order.
     #[must_use]
     pub fn rows(&self) -> &[RowId] {
         &self.rows
     }
 
-    /// `(row, rhs)` pairs in insertion order.
+    /// `(row, rhs)` pairs in ascending row order.
     pub fn rows_with_rhs(&self) -> impl Iterator<Item = (RowId, Option<&'static str>)> + '_ {
         self.rows_with_rhs_ids().map(|(r, v)| (r, v.as_str()))
     }
 
-    /// `(row, rhs id)` pairs in insertion order (the `Copy` hot path).
+    /// `(row, rhs id)` pairs in ascending row order (the `Copy` hot path).
     pub fn rows_with_rhs_ids(&self) -> impl Iterator<Item = (RowId, ValueId)> + '_ {
         self.rows.iter().zip(&self.rhs).map(|(&r, &v)| (r, v))
     }
@@ -180,8 +189,20 @@ impl KeyBlock {
     }
 
     fn push(&mut self, row: RowId, rhs: ValueId) {
-        self.rows.push(row);
-        self.rhs.push(rhs);
+        // Keep `rows` in ascending id order: appends land at the end in
+        // `O(1)`; an update re-inserting an older id pays a binary
+        // search + shift (`O(block)`, the same bound as a removal).
+        match self.rows.last() {
+            Some(&last) if last >= row => {
+                let pos = self.rows.partition_point(|&r| r < row);
+                self.rows.insert(pos, row);
+                self.rhs.insert(pos, rhs);
+            }
+            _ => {
+                self.rows.push(row);
+                self.rhs.push(rhs);
+            }
+        }
         if rhs.is_null() {
             self.null_rhs += 1;
             return;
@@ -203,6 +224,57 @@ impl KeyBlock {
             None => self.majority = Some((rhs, count)),
         }
     }
+
+    /// Remove one row; returns its RHS id, or `None` if the row was not
+    /// in this block. Count decrements are `O(1)`; the majority is
+    /// re-derived (in `O(distinct RHS)`, with the same deterministic
+    /// count-desc/string-asc tie-break as inserts and batch detection)
+    /// only when the removed value was the current leader.
+    fn remove(&mut self, row: RowId) -> Option<ValueId> {
+        let pos = self.rows.binary_search(&row).ok()?;
+        self.rows.remove(pos);
+        let rhs = self.rhs.remove(pos);
+        if rhs.is_null() {
+            self.null_rhs -= 1;
+            return Some(rhs);
+        }
+        let count = self
+            .counts
+            .get_mut(&rhs)
+            .expect("non-null rhs was counted on insert");
+        *count -= 1;
+        if *count == 0 {
+            self.counts.remove(&rhs);
+        }
+        // A non-leader losing a row can never change the vote; a leader
+        // losing one can now be tied or beaten, so re-derive.
+        if self.majority.map(|(leader, _)| leader) == Some(rhs) {
+            self.majority = self
+                .counts
+                .iter()
+                .map(|(v, c)| (*v, *c))
+                .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.render().cmp(va.render())));
+        }
+        Some(rhs)
+    }
+}
+
+/// Insert `row` into an ascending id list (`O(1)` for the append case).
+fn insert_sorted(rows: &mut Vec<RowId>, row: RowId) {
+    match rows.last() {
+        Some(&last) if last >= row => {
+            let pos = rows.partition_point(|&r| r < row);
+            rows.insert(pos, row);
+        }
+        _ => rows.push(row),
+    }
+}
+
+/// Remove `row` from an ascending id list (no-op if absent).
+fn remove_sorted(rows: &mut Vec<RowId>, row: RowId) {
+    if let Ok(pos) = rows.binary_search(&row) {
+        rows.remove(pos);
+    }
 }
 
 /// Where an inserted row landed in a [`BlockingPartition`].
@@ -219,11 +291,13 @@ pub enum Placement {
 /// An incrementally updatable blocking partition — the streaming
 /// counterpart of [`BlockingIndex::block`].
 ///
-/// Rows arrive one at a time via [`BlockingPartition::insert`]; each
-/// insert touches exactly one block (`O(1)` amortized, independent of how
-/// many rows the partition already holds), and per-key [`EntryStats`]
-/// deltas are maintained as rows land. `None` as the keyer blocks on the
-/// whole LHS value (the wildcard-LHS fallback of variable detection).
+/// Rows arrive one at a time via [`BlockingPartition::insert`] and leave
+/// via [`BlockingPartition::remove`]; each op touches exactly one block
+/// (`O(1)` amortized for appends, `O(affected block)` for removals and
+/// out-of-order re-inserts — never `O(partition)`), and per-key
+/// [`EntryStats`] deltas are maintained as rows come and go. `None` as
+/// the keyer blocks on the whole LHS value (the wildcard-LHS fallback of
+/// variable detection).
 #[derive(Debug)]
 pub struct BlockingPartition {
     keyer: Option<ConstrainedPattern>,
@@ -253,11 +327,12 @@ impl BlockingPartition {
         }
     }
 
-    /// Insert one row (interned cells). Rows must arrive in nondecreasing
-    /// `RowId` order.
+    /// Insert one row (interned cells). Appends (nondecreasing `RowId`)
+    /// are `O(1)` amortized; re-inserting an older id — an update
+    /// landing back on its slot — pays the affected block's shift cost.
     pub fn insert(&mut self, row: RowId, lhs: ValueId, rhs: ValueId) -> Placement {
         if lhs.is_null() {
-            self.null_rows.push(row);
+            insert_sorted(&mut self.null_rows, row);
             return Placement::NullLhs;
         }
         let key = match &self.keyer {
@@ -273,7 +348,43 @@ impl BlockingPartition {
                 Placement::Block(k)
             }
             None => {
-                self.unmatched.push(row);
+                insert_sorted(&mut self.unmatched, row);
+                Placement::Unmatched
+            }
+        }
+    }
+
+    /// Remove one row, given the LHS id it was inserted under — the exact
+    /// inverse of [`BlockingPartition::insert`], same `Placement` answer.
+    /// Cost is `O(affected block)`; empty blocks are dropped so
+    /// [`BlockingPartition::freeze`] keeps agreeing with batch blocking.
+    pub fn remove(&mut self, row: RowId, lhs: ValueId) -> Placement {
+        if lhs.is_null() {
+            remove_sorted(&mut self.null_rows, row);
+            return Placement::NullLhs;
+        }
+        // The key cache is per distinct LHS value, so the entry from the
+        // row's insert is still warm; a miss (possible only if the caller
+        // never inserted this value) re-derives it.
+        let key = match &self.keyer {
+            Some(q) => *self.key_cache.entry(lhs).or_insert_with(|| {
+                self.key_evals += 1;
+                q.key(lhs.render()).map(|k| ValuePool::intern(&k))
+            }),
+            None => Some(lhs),
+        };
+        match key {
+            Some(k) => {
+                if let Some(block) = self.blocks.get_mut(&k) {
+                    block.remove(row);
+                    if block.is_empty() {
+                        self.blocks.remove(&k);
+                    }
+                }
+                Placement::Block(k)
+            }
+            None => {
+                remove_sorted(&mut self.unmatched, row);
                 Placement::Unmatched
             }
         }
@@ -484,6 +595,120 @@ mod tests {
             p.insert(row, id(&zip), id("LA"));
         }
         assert_eq!(p.key_evals(), 10);
+    }
+
+    #[test]
+    fn remove_is_inverse_of_insert() {
+        let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
+        let mut p = BlockingPartition::new(Some(q.clone()));
+        p.insert(0, id("90001"), id("Los Angeles"));
+        p.insert(1, id("90002"), id("New York"));
+        p.insert(2, id("90003"), id("Los Angeles"));
+        assert_eq!(p.remove(1, id("90002")), Placement::Block(id("900")));
+        let block = p.block_by_str("900").unwrap();
+        assert_eq!(block.rows(), &[0, 2]);
+        assert_eq!(block.majority(), Some("Los Angeles"));
+        assert!(block.is_consistent());
+        let stats = block.stats();
+        assert_eq!(stats.support, 2);
+        assert_eq!(stats.rhs_counts, vec![(id("Los Angeles"), 2)]);
+        // Draining the block drops it entirely (freeze parity with batch).
+        p.remove(0, id("90001"));
+        p.remove(2, id("90003"));
+        assert_eq!(p.block_count(), 0);
+        assert!(p.block_by_str("900").is_none());
+    }
+
+    #[test]
+    fn remove_tracks_unmatched_and_null_rows() {
+        let q = ConstrainedPattern::whole("\\LL+".parse().unwrap());
+        let mut p = BlockingPartition::new(Some(q));
+        p.insert(0, id("123"), id("x"));
+        p.insert(1, ValueId::NULL, id("y"));
+        p.insert(2, id("abc"), id("z"));
+        assert_eq!(p.remove(0, id("123")), Placement::Unmatched);
+        assert_eq!(p.remove(1, ValueId::NULL), Placement::NullLhs);
+        assert!(p.unmatched().is_empty());
+        assert!(p.null_rows().is_empty());
+        assert_eq!(p.block_count(), 1);
+    }
+
+    #[test]
+    fn reinserting_an_old_row_id_keeps_row_order() {
+        // An update = remove + re-insert on the same slot: the block's
+        // row list must stay ascending so witnesses match batch order.
+        let mut p = BlockingPartition::new(None);
+        for row in 0..5 {
+            p.insert(row, id("k"), id("v1"));
+        }
+        p.remove(2, id("k"));
+        p.insert(2, id("k"), id("v2"));
+        let block = p.block_by_str("k").unwrap();
+        assert_eq!(block.rows(), &[0, 1, 2, 3, 4]);
+        let pairs: Vec<_> = block.rows_with_rhs().collect();
+        assert_eq!(pairs[2], (2, Some("v2")));
+        assert_eq!(block.majority(), Some("v1"));
+    }
+
+    #[test]
+    fn majority_reelected_after_leader_removal() {
+        let mut p = BlockingPartition::new(None);
+        p.insert(0, id("k"), id("alpha"));
+        p.insert(1, id("k"), id("alpha"));
+        p.insert(2, id("k"), id("alpha"));
+        p.insert(3, id("k"), id("beta"));
+        p.insert(4, id("k"), id("beta"));
+        assert_eq!(p.block_by_str("k").unwrap().majority(), Some("alpha"));
+        // Two leader removals: 1–2, beta takes over.
+        p.remove(0, id("k"));
+        p.remove(1, id("k"));
+        let block = p.block_by_str("k").unwrap();
+        assert_eq!(block.majority(), Some("beta"));
+        assert_eq!(block.majority_id().and_then(ValueId::as_str), Some("beta"));
+        // Removing the last alpha leaves a consistent beta block.
+        p.remove(2, id("k"));
+        assert!(p.block_by_str("k").unwrap().is_consistent());
+    }
+
+    #[test]
+    fn null_rhs_removal_decrements_without_vote_change() {
+        let mut p = BlockingPartition::new(None);
+        p.insert(0, id("k"), id("v"));
+        p.insert(1, id("k"), ValueId::NULL);
+        assert!(!p.block_by_str("k").unwrap().is_consistent());
+        p.remove(1, id("k"));
+        let block = p.block_by_str("k").unwrap();
+        assert!(block.is_consistent());
+        assert_eq!(block.majority(), Some("v"));
+        assert_eq!(block.len(), 1);
+    }
+
+    /// Satellite: `majority`/`majority_id` must stay in lockstep after
+    /// decrements too, and a deletion-induced tie must elect the
+    /// count-desc/string-asc winner regardless of interning (= arrival)
+    /// order.
+    #[test]
+    fn majority_tie_after_deletions_is_interning_order_independent() {
+        for (first, second) in [("m-del-tie", "b-del-tie"), ("b-del-tie", "m-del-tie")] {
+            let mut p = BlockingPartition::new(None);
+            // 3 × first vs 2 × second: `first` leads outright.
+            for (row, v) in [(0, first), (1, first), (2, first), (3, second), (4, second)] {
+                p.insert(row, id("k"), id(v));
+            }
+            assert_eq!(p.block_by_str("k").unwrap().majority(), Some(first));
+            // Delete one leader row: 2–2 tie → lexicographically smaller
+            // string wins, in both interning orders.
+            p.remove(0, id("k"));
+            let block = p.block_by_str("k").unwrap();
+            assert_eq!(block.majority(), Some("b-del-tie"));
+            assert_eq!(
+                block.majority_id().and_then(ValueId::as_str),
+                block.majority(),
+                "majority and majority_id must agree after decrements"
+            );
+            // And the derived stats order agrees with the vote.
+            assert_eq!(block.stats().rhs_counts[0].0, id("b-del-tie"));
+        }
     }
 
     #[test]

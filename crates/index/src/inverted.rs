@@ -242,6 +242,67 @@ impl InvertedIndex {
         self.rhs_scratch = rhs_keys;
     }
 
+    /// Remove one row's `(lhs, rhs)` cell pair — the exact inverse of
+    /// [`InvertedIndex::insert_row`]. The caller passes the same strings
+    /// the row was inserted under (a tombstoning table still holds
+    /// them). Per-key [`EntryStats`] shrink by exactly the deltas the
+    /// insert added (support −1, the row's full-RHS count −1), postings
+    /// for the row are dropped, and keys left with no rows disappear
+    /// entirely, so the index is indistinguishable from one built
+    /// without the row. Cost is `O(keys in the row)` hash probes plus
+    /// the shift cost of the removed list entries (postings are
+    /// row-sorted, so the row's range is binary-searched, not scanned).
+    ///
+    /// Like [`InvertedIndex::insert_row`], this is the maintenance hook
+    /// for *online re-discovery* over a mutating stream; the detection
+    /// engine itself mutates its sibling,
+    /// [`BlockingPartition`](crate::BlockingPartition).
+    pub fn remove_row(&mut self, row: RowId, lhs: &str, rhs: &str) {
+        self.considered_rows -= 1;
+        let rhs_full = ValuePool::lookup(rhs);
+        let lhs_mode = self.lhs_mode;
+        lhs_mode.for_each_key(lhs, |key, _| {
+            let Some(key) = ValuePool::lookup(key) else {
+                return;
+            };
+            let Some(rows) = self.rows_by_key.get_mut(&key) else {
+                return;
+            };
+            // Gate every delta on the distinct-rows list, exactly like
+            // the insert path: a key occurring twice in `lhs` undoes its
+            // deltas once.
+            let Ok(pos) = rows.binary_search(&row) else {
+                return;
+            };
+            rows.remove(pos);
+            if rows.is_empty() {
+                self.rows_by_key.remove(&key);
+            }
+            if let (Some(counts), Some(rhs_full)) = (self.rhs_counts_by_key.get_mut(&key), rhs_full)
+            {
+                if let Some(c) = counts.get_mut(&rhs_full) {
+                    *c -= 1;
+                    if *c == 0 {
+                        counts.remove(&rhs_full);
+                    }
+                }
+                if counts.is_empty() {
+                    self.rhs_counts_by_key.remove(&key);
+                }
+            }
+            if let Some(postings) = self.entries.get_mut(&key) {
+                // Postings are appended in nondecreasing row order, so
+                // the row's entries form one contiguous run.
+                let start = postings.partition_point(|p| p.row < row);
+                let end = postings.partition_point(|p| p.row <= row);
+                postings.drain(start..end);
+                if postings.is_empty() {
+                    self.entries.remove(&key);
+                }
+            }
+        });
+    }
+
     /// Number of distinct keys.
     #[must_use]
     pub fn key_count(&self) -> usize {
@@ -505,6 +566,78 @@ mod tests {
         b.insert_row(1, "key", "zzz-tie");
         assert_eq!(b.stats("key").dominant_rhs(), Some("aaa-tie"));
         assert_eq!(a.stats("key").rhs_counts, b.stats("key").rhs_counts);
+    }
+
+    #[test]
+    fn remove_row_is_exact_inverse_of_insert() {
+        let t = name_gender_table();
+        // Insert all four rows, remove row 3: stats must equal an index
+        // built from rows 0–2 alone — exact EntryStats decrement deltas.
+        let mut idx = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        for (row, a, b) in t.iter_pair(0, 1) {
+            idx.insert_row(row, a, b);
+        }
+        idx.remove_row(3, "Susan Boyle", "M");
+        let expected = {
+            let mut i = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+            for (row, a, b) in t.iter_pair(0, 1).take(3) {
+                i.insert_row(row, a, b);
+            }
+            i
+        };
+        assert_eq!(idx.considered_rows, expected.considered_rows);
+        assert_eq!(idx.key_count(), expected.key_count());
+        for (key, stats) in expected.iter_stats() {
+            assert_eq!(idx.stats(key), stats, "stats diverge for key {key:?}");
+            assert_eq!(idx.rows(key), expected.rows(key));
+            assert_eq!(idx.postings(key).len(), expected.postings(key).len());
+        }
+        // The Susan entry lost its violation with the erroneous row gone.
+        assert_eq!(idx.stats("Susan").support, 1);
+        assert_eq!(idx.stats("Susan").violations(), 0);
+    }
+
+    #[test]
+    fn remove_last_row_of_a_key_drops_the_key() {
+        let mut idx = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        idx.insert_row(0, "solo", "X");
+        idx.insert_row(1, "other", "Y");
+        idx.remove_row(0, "solo", "X");
+        assert_eq!(idx.key_count(), 1);
+        assert!(idx.rows("solo").is_empty());
+        assert!(idx.postings("solo").is_empty());
+        assert_eq!(idx.stats("solo").support, 0);
+        assert_eq!(idx.considered_rows, 1);
+    }
+
+    #[test]
+    fn remove_multi_occurrence_key_undoes_deltas_once() {
+        let mut idx = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        idx.insert_row(0, "x x x", "1");
+        idx.insert_row(1, "x", "1");
+        idx.remove_row(0, "x x x", "1");
+        let s = idx.stats("x");
+        assert_eq!(s.support, 1);
+        assert_eq!(s.rhs_counts, vec![(anmat_table::ValuePool::intern("1"), 1)]);
+        assert_eq!(idx.postings("x").len(), 1);
+    }
+
+    #[test]
+    fn churn_keeps_stats_consistent() {
+        // Insert/remove interleaving over one key: dominant RHS tracks
+        // the surviving rows at every step.
+        let mut idx = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        for row in 0..50 {
+            idx.insert_row(row, "John Smith", if row % 2 == 0 { "M" } else { "F" });
+        }
+        for row in (0..50).filter(|r| r % 2 == 1) {
+            idx.remove_row(row, "John Smith", "F");
+        }
+        let s = idx.stats("John");
+        assert_eq!(s.support, 25);
+        assert_eq!(s.dominant_rhs(), Some("M"));
+        assert_eq!(s.violations(), 0);
+        assert_eq!(idx.considered_rows, 25);
     }
 
     #[test]

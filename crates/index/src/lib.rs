@@ -20,12 +20,15 @@
 //! accelerate literal-prefix lookups.
 //!
 //! The inverted list and blocking structures are *incrementally
-//! updatable* for append-heavy workloads:
-//! [`InvertedIndex::insert_row`] appends one row in `O(keys per row)`
-//! with per-key [`EntryStats`] deltas (the hook for online
-//! re-discovery), and [`BlockingPartition`] places each arriving row
-//! into exactly one block with an `O(1)` majority update — the
-//! substrate of the `anmat-stream` engine's variable-PFD path.
+//! updatable in both directions* — mutable streams, not just appends:
+//! [`InvertedIndex::insert_row`] / [`InvertedIndex::remove_row`] apply
+//! one row's deltas in `O(keys per row)` with exact per-key
+//! [`EntryStats`] increments and decrements (the hook for online
+//! re-discovery), and [`BlockingPartition::insert`] /
+//! [`BlockingPartition::remove`] touch exactly the affected block, with
+//! an `O(1)` majority update per insert and a majority re-derivation
+//! only when a removal dethrones the leader — the substrate of the
+//! `anmat-stream` engine's variable-PFD delta pipeline.
 //!
 //! All three indexes key their maps on interned
 //! [`ValueId`](anmat_table::ValueId)s from the global

@@ -85,6 +85,21 @@ impl DriftMonitor {
         h.live_violations = (h.live_violations + created).saturating_sub(retracted);
     }
 
+    /// Record one *removed* row for a rule: the inverse of
+    /// [`DriftMonitor::observe`]. The denominator shrinks with the
+    /// stream — a rule judged over 1 000 matched rows of which 900 were
+    /// later deleted is judged over the 100 that remain — and the
+    /// violation deltas the removal caused (retractions for the row's
+    /// own violations, plus any creations from a majority re-derive)
+    /// keep the numerator exact.
+    pub fn retire(&mut self, rule: usize, matched: bool, created: usize, retracted: usize) {
+        let h = &mut self.health[rule];
+        if matched {
+            h.matched_rows = h.matched_rows.saturating_sub(1);
+        }
+        h.live_violations = (h.live_violations + created).saturating_sub(retracted);
+    }
+
     /// Health counters for one rule.
     #[must_use]
     pub fn health(&self, rule: usize) -> RuleHealth {
@@ -158,6 +173,33 @@ mod tests {
         assert_eq!(drifted[0].rule, 0);
         assert_eq!(drifted[0].live_violations, 5);
         assert!(drifted[0].confidence < drifted[0].min_confidence);
+    }
+
+    #[test]
+    fn retire_shrinks_the_denominator() {
+        let mut m = DriftMonitor::new(1, 2, 0.3);
+        // 10 clean matched rows, then 2 violating ones: confidence 10/12.
+        for _ in 0..10 {
+            m.observe(0, true, 0, 0);
+        }
+        for _ in 0..2 {
+            m.observe(0, true, 1, 0);
+        }
+        assert!(m.drifted(&[]).is_empty());
+        // Deleting 8 clean rows leaves 2 violations in 4 matched rows:
+        // confidence 0.5 < 0.7 → drifted.
+        for _ in 0..8 {
+            m.retire(0, true, 0, 0);
+        }
+        let drifted = m.drifted(&[]);
+        assert_eq!(drifted.len(), 1);
+        assert_eq!(drifted[0].matched_rows, 4);
+        assert!((drifted[0].confidence - 0.5).abs() < 1e-12);
+        // Deleting the violating rows (their violations retract) heals it.
+        m.retire(0, true, 0, 1);
+        m.retire(0, true, 0, 1);
+        assert!(m.drifted(&[]).is_empty());
+        assert_eq!(m.health(0).live_violations, 0);
     }
 
     #[test]

@@ -31,9 +31,9 @@ use anmat_core::detect::constant::violation_at;
 use anmat_core::detect::variable::{flag_block_minority, minority_violation, MAX_WITNESSES};
 use anmat_core::discovery::DiscoveryConfig;
 use anmat_core::{LedgerEvent, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger};
-use anmat_index::{BlockingPartition, Placement};
+use anmat_index::{BlockingPartition, KeyBlock, Placement};
 use anmat_pattern::{MatchMemo, Pattern};
-use anmat_table::{RowId, Schema, Table, TableError, Value, ValueId, ValuePool};
+use anmat_table::{RowId, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
 use fxhash::FxHashMap;
 
 /// Engine thresholds (the drift monitor's discovery-style knobs).
@@ -96,21 +96,136 @@ struct VariableTuple {
 /// the majority/witness context they were built under.
 ///
 /// Invariant: `violations` always equals what `flag_block_minority` would
-/// return for the block — maintained by three transition paths:
+/// return for the block — maintained by symmetric transition paths for
+/// inserts and removals:
 ///
 /// 1. **majority flip** (or first non-null RHS): every violation embeds
 ///    the majority value, so none survives — retract all, re-derive,
-///    re-create (`O(block)`, rare after warm-up);
-/// 2. **witness growth** (a majority row arrives while fewer than
-///    `MAX_WITNESSES` are known): every violation's witness list changes
-///    — rewrite each (`O(live violations)`, at most `MAX_WITNESSES − 1`
-///    times per majority era);
-/// 3. **minority arrival**: append one violation (`O(1)` — the hot path).
+///    re-create ([`BlockState::rederive`], `O(block)`, rare after
+///    warm-up);
+/// 2. **witness churn** (a majority row enters the first-`MAX_WITNESSES`
+///    window, or a witness is deleted): every violation's witness list
+///    changes — rewrite each ([`BlockState::rewrite_witnesses`],
+///    `O(live violations)`);
+/// 3. **minority arrival**: append one violation (`O(1)` — the hot
+///    path); **minority departure**: retract exactly that row's
+///    violation (`O(live violations)` lookup);
+/// 4. **off-window majority churn**: a majority row beyond the witness
+///    window arrives or leaves — nothing moves (`O(1)`).
 #[derive(Debug, Default)]
 struct BlockState {
     majority: Option<ValueId>,
     witnesses: Vec<RowId>,
     violations: Vec<Violation>,
+}
+
+impl BlockState {
+    /// Retract every asserted violation and re-derive the block from
+    /// scratch via the shared batch primitive — the `O(block)` path for
+    /// transitions that invalidate all context (majority flips, drained
+    /// blocks, deleted witnesses).
+    #[allow(clippy::too_many_arguments)]
+    fn rederive(
+        &mut self,
+        table: &Table,
+        pfd: &Pfd,
+        lhs: usize,
+        rhs: usize,
+        display: &str,
+        key: ValueId,
+        block: &KeyBlock,
+        ledger: &mut ViolationLedger,
+        events: &mut Vec<LedgerEvent>,
+        created: &mut usize,
+        retracted: &mut usize,
+    ) {
+        for v in self.violations.drain(..) {
+            *retracted += 1;
+            if let Some(ev) = ledger.retract(&v) {
+                events.push(ev);
+            }
+        }
+        self.majority = block.majority_id();
+        self.witnesses = match self.majority {
+            Some(m) => block
+                .rows_with_rhs_ids()
+                .filter(|&(_, v)| v == m)
+                .map(|(r, _)| r)
+                .take(MAX_WITNESSES)
+                .collect(),
+            None => Vec::new(),
+        };
+        if block.len() >= 2 {
+            self.violations =
+                flag_block_minority(table, pfd, lhs, rhs, display, key.render(), block.rows());
+            for v in &self.violations {
+                *created += 1;
+                if let Some(ev) = ledger.create(v.clone()) {
+                    events.push(ev);
+                }
+            }
+        }
+    }
+
+    /// Swap in a new witness list, rewriting every asserted violation
+    /// (each is retracted and re-created, since witnesses are part of
+    /// its identity).
+    fn rewrite_witnesses(
+        &mut self,
+        witnesses: Vec<RowId>,
+        ledger: &mut ViolationLedger,
+        events: &mut Vec<LedgerEvent>,
+        created: &mut usize,
+        retracted: &mut usize,
+    ) {
+        self.witnesses = witnesses;
+        for v in &mut self.violations {
+            *retracted += 1;
+            if let Some(ev) = ledger.retract(v) {
+                events.push(ev);
+            }
+            if let ViolationKind::Variable { witnesses, .. } = &mut v.kind {
+                witnesses.clone_from(&self.witnesses);
+            }
+            *created += 1;
+            if let Some(ev) = ledger.create(v.clone()) {
+                events.push(ev);
+            }
+        }
+    }
+
+    /// Retract the single violation asserted for `row`, if any — the
+    /// minority-departure fast path.
+    fn retract_row(
+        &mut self,
+        row: RowId,
+        ledger: &mut ViolationLedger,
+        events: &mut Vec<LedgerEvent>,
+        retracted: &mut usize,
+    ) {
+        if let Some(pos) = self.violations.iter().position(|v| v.row == row) {
+            let v = self.violations.swap_remove(pos);
+            *retracted += 1;
+            if let Some(ev) = ledger.retract(&v) {
+                events.push(ev);
+            }
+        }
+    }
+
+    /// Retract everything (the block drained to empty).
+    fn drain(
+        &mut self,
+        ledger: &mut ViolationLedger,
+        events: &mut Vec<LedgerEvent>,
+        retracted: &mut usize,
+    ) {
+        for v in self.violations.drain(..) {
+            *retracted += 1;
+            if let Some(ev) = ledger.retract(&v) {
+                events.push(ev);
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -283,11 +398,14 @@ impl StreamEngine {
         Ok(events)
     }
 
-    /// Replay an existing table row-by-row (the table's schema must match
-    /// the engine's). Clone-free: rows are carried over as interned ids.
+    /// Replay an existing table's *live* rows in row order (the table's
+    /// schema must match the engine's; tombstoned slots are skipped, so
+    /// the replayed state matches batch detection on the survivors —
+    /// note the engine assigns fresh, dense slot ids). Clone-free: rows
+    /// are carried over as interned ids.
     pub fn replay_table(&mut self, table: &Table) -> Result<Vec<LedgerEvent>, TableError> {
         let mut events = Vec::new();
-        for r in 0..table.row_count() {
+        for r in table.iter_live() {
             events.extend(self.push_id_row(table.row_ids(r))?);
         }
         Ok(events)
@@ -342,61 +460,40 @@ impl StreamEngine {
                             // Majority flip (or first non-null RHS):
                             // every asserted violation embeds the old
                             // majority, so none survives.
-                            for v in state.violations.drain(..) {
-                                retracted += 1;
-                                if let Some(ev) = ledger.retract(&v) {
-                                    events.push(ev);
-                                }
-                            }
-                            state.majority = new_majority;
-                            state.witnesses = match state.majority {
-                                Some(m) => block
-                                    .rows_with_rhs_ids()
-                                    .filter(|&(_, v)| v == m)
-                                    .map(|(r, _)| r)
-                                    .take(MAX_WITNESSES)
-                                    .collect(),
-                                None => Vec::new(),
-                            };
-                            if block.len() >= 2 {
-                                state.violations = flag_block_minority(
-                                    table,
-                                    &rule.pfd,
-                                    lhs,
-                                    rhs,
-                                    &vt.display,
-                                    key.render(),
-                                    block.rows(),
-                                );
-                                for v in &state.violations {
-                                    created += 1;
-                                    if let Some(ev) = ledger.create(v.clone()) {
-                                        events.push(ev);
-                                    }
-                                }
-                            }
+                            state.rederive(
+                                table,
+                                &rule.pfd,
+                                lhs,
+                                rhs,
+                                &vt.display,
+                                key,
+                                block,
+                                ledger,
+                                &mut events,
+                                &mut created,
+                                &mut retracted,
+                            );
                         } else if let Some(majority) = state.majority {
                             if rhs_id == majority {
-                                // New majority row: may extend the
-                                // witness list, which is part of every
-                                // asserted violation.
-                                if state.witnesses.len() < MAX_WITNESSES {
-                                    state.witnesses.push(row);
-                                    for v in &mut state.violations {
-                                        retracted += 1;
-                                        if let Some(ev) = ledger.retract(v) {
-                                            events.push(ev);
-                                        }
-                                        if let ViolationKind::Variable { witnesses, .. } =
-                                            &mut v.kind
-                                        {
-                                            witnesses.clone_from(&state.witnesses);
-                                        }
-                                        created += 1;
-                                        if let Some(ev) = ledger.create(v.clone()) {
-                                            events.push(ev);
-                                        }
-                                    }
+                                // New majority row: does it enter the
+                                // first-`MAX_WITNESSES` window? Appends
+                                // only grow a non-full list, but an
+                                // update can re-insert a *smaller* row
+                                // id that displaces the window's tail.
+                                let enters = state.witnesses.len() < MAX_WITNESSES
+                                    || state.witnesses.last().is_some_and(|&last| row < last);
+                                if enters {
+                                    let mut witnesses = state.witnesses.clone();
+                                    let pos = witnesses.partition_point(|&r| r < row);
+                                    witnesses.insert(pos, row);
+                                    witnesses.truncate(MAX_WITNESSES);
+                                    state.rewrite_witnesses(
+                                        witnesses,
+                                        ledger,
+                                        &mut events,
+                                        &mut created,
+                                        &mut retracted,
+                                    );
                                 }
                             } else if block.len() >= 2 {
                                 // Minority arrival — the hot path: one
@@ -429,6 +526,231 @@ impl StreamEngine {
         events
     }
 
+    /// Withdraw one row from every rule's incremental state — the exact
+    /// inverse of `process_row`. Called *before* the table slot is
+    /// tombstoned (or overwritten), while the row's cells are still the
+    /// ones its violations were built from, so every retraction is
+    /// structurally identical to the event it cancels.
+    fn process_removal(&mut self, row: RowId) -> Vec<LedgerEvent> {
+        let mut events = Vec::new();
+        let table = &self.table;
+        let ledger = &mut self.ledger;
+        for (rule_idx, rule) in self.rules.iter_mut().enumerate() {
+            let Some((lhs, rhs)) = rule.cols else {
+                continue;
+            };
+            let lhs_id = table.cell_id(row, lhs);
+            let rhs_id = table.cell_id(row, rhs);
+            let mut matched = false;
+            let mut created = 0usize;
+            let mut retracted = 0usize;
+            for tuple in &mut rule.tuples {
+                match tuple {
+                    TupleState::Constant(ct) => {
+                        let Some(value) = lhs_id.as_str() else {
+                            continue;
+                        };
+                        if let Some(p) = &ct.pattern {
+                            if !ct.memo.matches(p, lhs_id.raw(), value) {
+                                continue;
+                            }
+                        }
+                        matched = true;
+                        // Rebuild the violation the arrival created (the
+                        // check is the same id comparison; the memo makes
+                        // the pattern free) and retract it.
+                        if let Some(v) =
+                            violation_at(table, &rule.pfd, &ct.display, ct.expected, lhs, rhs, row)
+                        {
+                            retracted += 1;
+                            if let Some(ev) = ledger.retract(&v) {
+                                events.push(ev);
+                            }
+                        }
+                    }
+                    TupleState::Variable(vt) => {
+                        let Placement::Block(key) = vt.partition.remove(row, lhs_id) else {
+                            continue;
+                        };
+                        matched = true;
+                        let Some(state) = vt.blocks.get_mut(&key) else {
+                            continue; // row never asserted into this block
+                        };
+                        match vt.partition.block(key) {
+                            None => {
+                                // The block drained: nothing left to
+                                // flag, forget its state entirely.
+                                state.drain(ledger, &mut events, &mut retracted);
+                                vt.blocks.remove(&key);
+                            }
+                            Some(block) => {
+                                let new_majority = block.majority_id();
+                                if new_majority != state.majority {
+                                    // Majority flip (or last non-null
+                                    // RHS gone): full re-derive, exactly
+                                    // like the insert-side flip.
+                                    state.rederive(
+                                        table,
+                                        &rule.pfd,
+                                        lhs,
+                                        rhs,
+                                        &vt.display,
+                                        key,
+                                        block,
+                                        ledger,
+                                        &mut events,
+                                        &mut created,
+                                        &mut retracted,
+                                    );
+                                } else if let Some(majority) = state.majority {
+                                    if state.witnesses.binary_search(&row).is_ok() {
+                                        // A witness left: the next
+                                        // majority row in block order
+                                        // (if any) takes its slot.
+                                        let witnesses = block
+                                            .rows_with_rhs_ids()
+                                            .filter(|&(_, v)| v == majority)
+                                            .map(|(r, _)| r)
+                                            .take(MAX_WITNESSES)
+                                            .collect();
+                                        state.rewrite_witnesses(
+                                            witnesses,
+                                            ledger,
+                                            &mut events,
+                                            &mut created,
+                                            &mut retracted,
+                                        );
+                                    } else if rhs_id != majority {
+                                        // Minority departure — the fast
+                                        // path: exactly the row's own
+                                        // violation goes.
+                                        state.retract_row(row, ledger, &mut events, &mut retracted);
+                                    }
+                                    // Majority row beyond the witness
+                                    // window: nothing moves.
+                                }
+                                // Both majorities None: all-null block,
+                                // nothing was asserted.
+                            }
+                        }
+                    }
+                }
+            }
+            self.drift.retire(rule_idx, matched, created, retracted);
+        }
+        events
+    }
+
+    /// Delete one live row; returns the retractions it causes (plus any
+    /// creations where a block's majority flipped). Cost is
+    /// `O(tableau)` for constant tuples and `O(affected block)` for
+    /// variable tuples — never `O(table)`. The slot is tombstoned, so
+    /// every other `RowId` stays valid.
+    pub fn delete_row(&mut self, row: RowId) -> Result<Vec<LedgerEvent>, TableError> {
+        if !self.table.is_live(row) {
+            return Err(TableError::NoSuchRow { row });
+        }
+        let events = self.process_removal(row);
+        self.table.delete_row(row).expect("liveness checked");
+        Ok(events)
+    }
+
+    /// Update one live row in place — delete + insert *fused on one
+    /// slot*, so the caller gets a single event batch (old assertions
+    /// retracted, new ones created) and the row keeps its `RowId`.
+    pub fn update_row(
+        &mut self,
+        row: RowId,
+        cells: Vec<Value>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        self.update_id_row(row, cells.iter().map(ValuePool::intern_value).collect())
+    }
+
+    /// Update one live row with already-interned ids (the clone-free
+    /// counterpart of [`StreamEngine::update_row`]).
+    pub fn update_id_row(
+        &mut self,
+        row: RowId,
+        cells: Vec<ValueId>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        if cells.len() != self.table.schema().arity() {
+            return Err(TableError::ArityMismatch {
+                row,
+                found: cells.len(),
+                expected: self.table.schema().arity(),
+            });
+        }
+        if !self.table.is_live(row) {
+            return Err(TableError::NoSuchRow { row });
+        }
+        let mut events = self.process_removal(row);
+        self.table
+            .update_id_row(row, cells)
+            .expect("arity and liveness checked");
+        events.extend(self.process_row(row));
+        Ok(events)
+    }
+
+    /// Apply a batch of [`RowOp`]s; returns the concatenated events.
+    ///
+    /// Atomic with respect to errors, like the push-batch entry points:
+    /// the whole batch is validated against a simulation of the
+    /// engine's live set (arity of every insert/update, liveness of
+    /// every addressed row *at its point in the sequence*) before any
+    /// op executes, so a malformed op-log leaves the engine untouched.
+    pub fn apply(
+        &mut self,
+        ops: impl IntoIterator<Item = RowOp>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        let ops: Vec<RowOp> = ops.into_iter().collect();
+        let arity = self.table.schema().arity();
+        let mut live: Vec<bool> = (0..self.table.row_count())
+            .map(|r| self.table.is_live(r))
+            .collect();
+        for op in &ops {
+            match op {
+                RowOp::Insert(cells) => {
+                    if cells.len() != arity {
+                        return Err(TableError::ArityMismatch {
+                            row: live.len(),
+                            found: cells.len(),
+                            expected: arity,
+                        });
+                    }
+                    live.push(true);
+                }
+                RowOp::Delete(row) => {
+                    if !live.get(*row).copied().unwrap_or(false) {
+                        return Err(TableError::NoSuchRow { row: *row });
+                    }
+                    live[*row] = false;
+                }
+                RowOp::Update(row, cells) => {
+                    if cells.len() != arity {
+                        return Err(TableError::ArityMismatch {
+                            row: *row,
+                            found: cells.len(),
+                            expected: arity,
+                        });
+                    }
+                    if !live.get(*row).copied().unwrap_or(false) {
+                        return Err(TableError::NoSuchRow { row: *row });
+                    }
+                }
+            }
+        }
+        let mut events = Vec::new();
+        for op in ops {
+            let batch = match op {
+                RowOp::Insert(cells) => self.push_row(cells),
+                RowOp::Delete(row) => self.delete_row(row),
+                RowOp::Update(row, cells) => self.update_row(row, cells),
+            };
+            events.extend(batch.expect("ops pre-validated"));
+        }
+        Ok(events)
+    }
+
     /// The ledger of live violations.
     #[must_use]
     pub fn ledger(&self) -> &ViolationLedger {
@@ -441,10 +763,17 @@ impl StreamEngine {
         &self.table
     }
 
-    /// Rows ingested so far.
+    /// Row *slots* ingested so far (tombstoned ones included).
     #[must_use]
     pub fn row_count(&self) -> usize {
         self.table.row_count()
+    }
+
+    /// Rows currently live (ingested minus deleted) — what summaries
+    /// should report.
+    #[must_use]
+    pub fn live_rows(&self) -> usize {
+        self.table.live_rows()
     }
 
     /// The seeded rules, in index order.
@@ -689,5 +1018,160 @@ mod tests {
         let events = engine.push_batch(rows).unwrap();
         assert_eq!(events.len(), 2);
         assert_eq!(engine.row_count(), 2);
+    }
+
+    #[test]
+    fn delete_retracts_constant_violation() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_constant_pfd()]);
+        engine.push_str_row(["90001", "Los Angeles"]).unwrap();
+        engine.push_str_row(["90004", "New York"]).unwrap();
+        assert_eq!(engine.ledger().live_count(), 1);
+        let events = engine.delete_row(1).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].is_created());
+        assert_eq!(events[0].violation().row, 1);
+        assert!(engine.ledger().is_empty());
+        assert_eq!(engine.live_rows(), 1);
+        assert_eq!(engine.row_count(), 2);
+        // The rule's drift health shrank with the stream.
+        assert_eq!(engine.rule_health(0).matched_rows, 1);
+        assert_eq!(engine.rule_health(0).live_violations, 0);
+    }
+
+    #[test]
+    fn delete_of_majority_rows_flips_the_block() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd()]);
+        engine.push_str_row(["90001", "Los Angeles"]).unwrap();
+        engine.push_str_row(["90002", "New York"]).unwrap();
+        engine.push_str_row(["90003", "New York"]).unwrap();
+        // Majority "New York"; row 0 is the minority.
+        assert_eq!(engine.ledger().snapshot()[0].row, 0);
+        // Deleting both New York rows flips the majority to Los
+        // Angeles: row 0's violation retracts, nothing remains to flag.
+        engine.delete_row(1).unwrap();
+        let events = engine.delete_row(2).unwrap();
+        assert!(events.iter().any(|e| !e.is_created()));
+        assert!(engine.ledger().is_empty());
+        assert_eq!(engine.live_rows(), 1);
+    }
+
+    #[test]
+    fn delete_errors_are_safe() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd()]);
+        engine.push_str_row(["90001", "Los Angeles"]).unwrap();
+        assert!(matches!(
+            engine.delete_row(7),
+            Err(TableError::NoSuchRow { row: 7 })
+        ));
+        engine.delete_row(0).unwrap();
+        assert!(matches!(
+            engine.delete_row(0),
+            Err(TableError::NoSuchRow { row: 0 })
+        ));
+        assert!(matches!(
+            engine.update_row(0, vec![Value::text("x"), Value::text("y")]),
+            Err(TableError::NoSuchRow { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn update_fuses_delete_and_insert_on_one_slot() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd()]);
+        engine.push_str_row(["90001", "Los Angeles"]).unwrap();
+        engine.push_str_row(["90002", "Los Angeles"]).unwrap();
+        engine.push_str_row(["90003", "New York"]).unwrap();
+        // Row 2 is the minority.
+        assert_eq!(engine.ledger().snapshot()[0].row, 2);
+        // Correcting it in place retracts the violation in the same
+        // event batch; the slot keeps its id.
+        let events = engine
+            .update_row(2, vec![Value::text("90003"), Value::text("Los Angeles")])
+            .unwrap();
+        assert!(events.iter().any(|e| !e.is_created()));
+        assert!(engine.ledger().is_empty());
+        assert_eq!(engine.row_count(), 3);
+        assert_eq!(engine.live_rows(), 3);
+        assert_eq!(engine.table().cell_str(2, 1), Some("Los Angeles"));
+        // And making it wrong again re-creates a fresh violation.
+        let events = engine
+            .update_row(2, vec![Value::text("90003"), Value::text("Boston")])
+            .unwrap();
+        assert!(events.iter().any(LedgerEvent::is_created));
+        assert_eq!(engine.ledger().live_count(), 1);
+    }
+
+    #[test]
+    fn apply_replays_an_op_log() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd()]);
+        let ops = vec![
+            RowOp::Insert(vec![Value::text("90001"), Value::text("Los Angeles")]),
+            RowOp::Insert(vec![Value::text("90002"), Value::text("Los Angeles")]),
+            RowOp::Insert(vec![Value::text("90003"), Value::text("New York")]),
+            RowOp::Update(2, vec![Value::text("90003"), Value::text("Los Angeles")]),
+            RowOp::Delete(0),
+        ];
+        let events = engine.apply(ops).unwrap();
+        // Row 2 was flagged on arrival and cleared by the update.
+        assert!(events.iter().any(LedgerEvent::is_created));
+        assert!(events.iter().any(|e| !e.is_created()));
+        assert!(engine.ledger().is_empty());
+        assert_eq!(engine.live_rows(), 2);
+        assert_eq!(engine.row_count(), 3);
+    }
+
+    #[test]
+    fn apply_is_atomic_on_invalid_ops() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd()]);
+        engine.push_str_row(["90001", "Los Angeles"]).unwrap();
+        // The second op deletes a row the first op already deleted.
+        let bad = vec![RowOp::Delete(0), RowOp::Delete(0)];
+        assert!(matches!(
+            engine.apply(bad),
+            Err(TableError::NoSuchRow { row: 0 })
+        ));
+        assert_eq!(engine.live_rows(), 1, "nothing applied");
+        // An insert makes a later delete of the fresh slot valid.
+        let good = vec![
+            RowOp::Insert(vec![Value::text("90002"), Value::text("Los Angeles")]),
+            RowOp::Delete(1),
+        ];
+        engine.apply(good).unwrap();
+        assert_eq!(engine.live_rows(), 1);
+        // Arity of an update is validated before anything runs.
+        let bad_arity = vec![
+            RowOp::Delete(0),
+            RowOp::Update(0, vec![Value::text("just-one")]),
+        ];
+        assert!(matches!(
+            engine.apply(bad_arity),
+            Err(TableError::ArityMismatch { .. })
+        ));
+        assert_eq!(engine.live_rows(), 1);
+    }
+
+    #[test]
+    fn deleted_witness_is_replaced_in_evidence() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd()]);
+        for (zip, city) in [
+            ("90001", "Los Angeles"),
+            ("90002", "Los Angeles"),
+            ("90003", "New York"),
+        ] {
+            engine.push_str_row([zip, city]).unwrap();
+        }
+        let before = engine.ledger().snapshot();
+        match &before[0].kind {
+            ViolationKind::Variable { witnesses, .. } => assert_eq!(witnesses, &vec![0, 1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Deleting witness row 0 must rewrite the evidence, not dangle.
+        let events = engine.delete_row(0).unwrap();
+        assert_eq!(events.len(), 2, "retract + re-create with new witnesses");
+        let after = engine.ledger().snapshot();
+        assert_eq!(after.len(), 1);
+        match &after[0].kind {
+            ViolationKind::Variable { witnesses, .. } => assert_eq!(witnesses, &vec![1]),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

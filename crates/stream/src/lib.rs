@@ -1,29 +1,41 @@
-//! `anmat-stream` — incremental PFD violation maintenance for
-//! append-heavy workloads.
+//! `anmat-stream` — incremental PFD violation maintenance for *mutable*
+//! streams: inserts, deletes, and in-place updates.
 //!
 //! The batch pipeline (`discover` → confirm → `detect_all`) recomputes
 //! every violation from scratch per call — `O(table)` even when a single
-//! row arrived. This crate maintains violations *as rows arrive*:
+//! row changed. This crate maintains violations *as deltas arrive*:
 //!
 //! * [`StreamEngine`] is seeded with confirmed [`Pfd`]s (from a
-//!   `RuleStore` or straight from discovery) and ingests rows via
-//!   [`StreamEngine::push_row`] / [`StreamEngine::push_batch`], emitting
-//!   [`LedgerEvent`]s — newly created violations *and retractions* of
+//!   `RuleStore` or straight from discovery) and consumes
+//!   [`RowOp`](anmat_table::RowOp)s — [`StreamEngine::push_row`] /
+//!   [`StreamEngine::push_batch`] for appends,
+//!   [`StreamEngine::delete_row`] / [`StreamEngine::update_row`] for
+//!   mutations, [`StreamEngine::apply`] for a mixed op batch — emitting
+//!   [`LedgerEvent`]s: newly created violations *and retractions* of
 //!   earlier ones (a late burst of agreeing rows can flip a block's
-//!   majority RHS, withdrawing what used to look like an error).
-//! * Constant tableau tuples cost `O(tableau)` per row — a pattern match
-//!   against the new value, independent of table size. Variable tuples
-//!   maintain an incremental
-//!   [`BlockingPartition`](anmat_index::BlockingPartition): an insert
-//!   touches exactly the affected key's block, and only that block's
-//!   violations are re-derived and diffed.
+//!   majority RHS, withdrawing what used to look like an error; a
+//!   delete can do the same in reverse).
+//! * Constant tableau tuples cost `O(tableau)` per op — a memoized
+//!   pattern match against the value, independent of table size.
+//!   Variable tuples maintain an incremental
+//!   [`BlockingPartition`](anmat_index::BlockingPartition): an insert or
+//!   removal touches exactly the affected key's block, and only that
+//!   block's violations are re-derived and diffed. Deletes and updates
+//!   are `O(affected block)`, never `O(table)`.
+//! * An update is delete+insert *fused on one slot*: the row keeps its
+//!   `RowId` (the table tombstones deleted slots rather than compacting,
+//!   so ids embedded in violations and ledgers never dangle) and the
+//!   caller gets one coherent event batch.
 //! * Violation semantics are *identical to batch*: the engine calls the
 //!   same `flag_block_minority` / `violation_at` primitives as
-//!   `detect_all`, so replaying any table row-by-row ends in exactly the
-//!   batch violation set (property-tested in `tests/equivalence.rs`).
-//! * A [`DriftMonitor`] tracks per-rule confidence on the live stream
-//!   and flags rules that decay below the discovery threshold, so they
-//!   can be demoted to `RuleStatus::Pending` for re-review.
+//!   `detect_all`, so any interleaving of inserts/deletes/updates ends
+//!   in exactly the batch violation set over the surviving rows
+//!   (property-tested in `tests/equivalence.rs` for appends and
+//!   `tests/mutations.rs` for random op interleavings).
+//! * A [`DriftMonitor`] tracks per-rule confidence on the live stream —
+//!   the denominator shrinks as matched rows are deleted — and flags
+//!   rules that decay below the discovery threshold, so they can be
+//!   demoted to `RuleStatus::Pending` for re-review.
 //!
 //! # Example
 //!

@@ -1,0 +1,206 @@
+//! Mutable-stream/batch equivalence — the tentpole property of the
+//! delta pipeline: after *any* interleaving of insert/delete/update ops,
+//! the `StreamEngine`'s ledger (active violations) must equal batch
+//! `detect_all` over the surviving rows, and its per-rule drift health
+//! (the confidence numerator and denominator) must equal what a fresh
+//! engine computes when fed only the survivors.
+//!
+//! Ops are generated from a seed against each datagen dataset: the
+//! dataset's rows arrive as inserts, interleaved with deletes and
+//! updates of random live slots (update cells drawn from the dataset so
+//! values stay in-domain). A mirror `Table` applies the identical ops,
+//! so batch detection sees exactly the tombstoned state the engine
+//! maintained incrementally — same `RowId`s, same survivors.
+
+use anmat_core::{detect_all, discover, DiscoveryConfig, Pfd, Violation};
+use anmat_datagen::{chembl, employee, names, phone, zipcity, GenConfig};
+use anmat_stream::StreamEngine;
+use anmat_table::{RowId, RowOp, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn discovery_config() -> DiscoveryConfig {
+    DiscoveryConfig {
+        min_support: 3,
+        min_coverage: 0.5,
+        max_violation_ratio: 0.15,
+        ..DiscoveryConfig::default()
+    }
+}
+
+fn canonical(mut violations: Vec<Violation>) -> Vec<String> {
+    violations.sort_by_key(|v| (v.row, v.dependency.clone()));
+    let mut keys: Vec<String> = violations
+        .iter()
+        .map(|v| serde_json::to_string(v).expect("violations serialize"))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// A random interleaving: every source row arrives as an insert; after
+/// each arrival, with probability `churn` (repeatedly), a random live
+/// slot is deleted or updated in place.
+fn random_ops(source: &Table, seed: u64, churn: f64) -> Vec<RowOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    let mut live: Vec<RowId> = Vec::new();
+    for r in 0..source.row_count() {
+        // Inserts allocate slot ids densely in order, so the r-th
+        // source row lands in slot r regardless of interleaved ops.
+        ops.push(RowOp::Insert(source.row(r)));
+        live.push(r);
+        while !live.is_empty() && rng.random_bool(churn) {
+            let pick = rng.random_range(0..live.len());
+            let row = live[pick];
+            if rng.random_bool(0.5) {
+                live.remove(pick);
+                ops.push(RowOp::Delete(row));
+            } else {
+                let donor = rng.random_range(0..source.row_count());
+                ops.push(RowOp::Update(row, source.row(donor)));
+            }
+        }
+    }
+    ops
+}
+
+/// Apply `ops` to a fresh engine and to a mirror table, then assert the
+/// three-way equivalence: ledger vs batch-over-survivors, engine table
+/// vs mirror, and per-rule health vs a survivors-only replay.
+fn assert_mutation_equivalent(source: &Table, rules: &[Pfd], ops: &[RowOp], context: &str) {
+    let mut engine = StreamEngine::new(source.schema().clone(), rules.to_vec());
+    engine.apply(ops.to_vec()).expect("ops are valid");
+
+    let mut mirror = Table::empty(source.schema().clone());
+    for op in ops {
+        mirror.apply(op.clone()).expect("ops are valid");
+    }
+    assert_eq!(
+        engine.table(),
+        &mirror,
+        "engine table diverged from mirror on {context}"
+    );
+    assert_eq!(engine.live_rows(), mirror.live_rows());
+
+    let streamed = canonical(engine.ledger().snapshot());
+    let batch = canonical(detect_all(&mirror, rules));
+    assert_eq!(
+        streamed,
+        batch,
+        "stream and batch disagree on {context} ({} ops, {} survivors)",
+        ops.len(),
+        mirror.live_rows()
+    );
+
+    // Ledger accounting stays consistent under retractions.
+    let ledger = engine.ledger();
+    assert_eq!(
+        ledger.live_count(),
+        ledger.created_total() - ledger.retracted_total(),
+        "ledger accounting broken on {context}"
+    );
+
+    // Drift health under shrinking denominators: a fresh engine fed only
+    // the survivors (compacted, in row order) must agree on matched-row
+    // counts, live violation tallies, and hence confidence, per rule.
+    let survivors = mirror.filter_rows(|_| true);
+    let mut replay = StreamEngine::new(survivors.schema().clone(), rules.to_vec());
+    replay.replay_table(&survivors).expect("schema matches");
+    for i in 0..rules.len() {
+        let (mutated, replayed) = (engine.rule_health(i), replay.rule_health(i));
+        assert_eq!(
+            mutated,
+            replayed,
+            "rule {i} health diverged on {context}: confidence {} vs {}",
+            mutated.confidence(),
+            replayed.confidence()
+        );
+    }
+}
+
+fn check_dataset(table: &Table, seed: u64, churn: f64, context: &str) {
+    let rules = discover(table, &discovery_config());
+    let ops = random_ops(table, seed, churn);
+    assert_mutation_equivalent(table, &rules, &ops, context);
+}
+
+#[test]
+fn every_datagen_dataset_survives_churn() {
+    let config = GenConfig {
+        rows: 250,
+        seed: 0xDE17A,
+        error_rate: 0.04,
+    };
+    check_dataset(&phone::generate(&config).table, 1, 0.2, "phone");
+    check_dataset(&names::generate(&config).table, 2, 0.2, "names");
+    check_dataset(
+        &zipcity::generate(&config, zipcity::ZipTarget::City).table,
+        3,
+        0.2,
+        "zipcity/City",
+    );
+    check_dataset(
+        &zipcity::generate(&config, zipcity::ZipTarget::State).table,
+        4,
+        0.2,
+        "zipcity/State",
+    );
+    check_dataset(&employee::generate(&config).table, 5, 0.2, "employee");
+    check_dataset(&chembl::generate(&config).table, 6, 0.2, "chembl");
+}
+
+#[test]
+fn heavy_churn_deleting_most_of_the_table() {
+    // Delete/update pressure high enough that blocks drain, majorities
+    // flip repeatedly, and most slots end up tombstoned.
+    let config = GenConfig {
+        rows: 200,
+        seed: 0xC0FFEE,
+        error_rate: 0.06,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    check_dataset(&data.table, 99, 0.45, "zipcity heavy churn");
+}
+
+#[test]
+fn delete_everything_then_start_over() {
+    let config = GenConfig {
+        rows: 120,
+        seed: 11,
+        error_rate: 0.05,
+    };
+    let data = names::generate(&config);
+    let rules = discover(&data.table, &discovery_config());
+    let n = data.table.row_count();
+    let mut ops: Vec<RowOp> = (0..n).map(|r| RowOp::Insert(data.table.row(r))).collect();
+    ops.extend((0..n).map(RowOp::Delete));
+    ops.extend((0..n).map(|r| RowOp::Insert(data.table.row(r))));
+    assert_mutation_equivalent(&data.table, &rules, &ops, "drain and refill");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole acceptance property: any seeded op interleaving over
+    /// a seeded dataset converges to batch detection on the survivors —
+    /// violations *and* per-rule confidence.
+    #[test]
+    fn random_interleavings_equal_batch_on_survivors(
+        seed in 0u64..10_000,
+        rows in 80usize..250,
+        churn_pct in 5u32..40,
+    ) {
+        let config = GenConfig { rows, seed, error_rate: 0.04 };
+        let churn = f64::from(churn_pct) / 100.0;
+        check_dataset(
+            &zipcity::generate(&config, zipcity::ZipTarget::City).table,
+            seed ^ 0x5eed,
+            churn,
+            "zipcity (property)",
+        );
+        check_dataset(&names::generate(&config).table, seed ^ 0xabcd, churn, "names (property)");
+    }
+}

@@ -75,7 +75,8 @@ pub fn write_str_with(table: &Table, opts: CsvOptions) -> String {
             opts.delimiter,
         );
     }
-    for r in 0..table.row_count() {
+    // Tombstoned rows are not part of the table's live contents.
+    for r in table.iter_live() {
         write_record(
             &mut out,
             (0..table.column_count()).map(|c| table.cell_str(r, c).unwrap_or("")),
@@ -131,6 +132,14 @@ fn fields_to_values(row: Vec<String>, policy: &NullPolicy) -> Vec<Value> {
     row.into_iter()
         .map(|f| Value::from_field_with(&f, policy))
         .collect()
+}
+
+/// Parse CSV text into raw records of fields (no header handling, no
+/// value conversion). Public so op-log style formats — each record an
+/// op code plus fields, as in `anmat stream --ops` — can reuse the
+/// RFC-4180 quoting rules instead of naive comma splitting.
+pub fn parse_raw_records(input: &str, delimiter: char) -> Result<Vec<Vec<String>>, TableError> {
+    parse_records(input, delimiter)
 }
 
 /// Parse CSV text into records of fields.

@@ -14,6 +14,11 @@ pub enum TableError {
         /// Number of fields expected.
         expected: usize,
     },
+    /// A row id addressed no live row (out of range or tombstoned).
+    NoSuchRow {
+        /// The offending row id.
+        row: usize,
+    },
     /// A column name was not found in the schema.
     UnknownColumn {
         /// The offending name.
@@ -43,6 +48,9 @@ impl fmt::Display for TableError {
                 found,
                 expected,
             } => write!(f, "row {row} has {found} fields, schema expects {expected}"),
+            TableError::NoSuchRow { row } => {
+                write!(f, "row {row} is out of range or already deleted")
+            }
             TableError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
             TableError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
             TableError::Csv { line, reason } => write!(f, "CSV error at line {line}: {reason}"),

@@ -7,7 +7,8 @@
 //! * [`Value`] / [`Schema`] / [`Table`] — a columnar, string-centric
 //!   relational store (PFDs operate on cell *strings*, so cells are text
 //!   with an explicit null marker; typed interpretation happens at
-//!   profiling time);
+//!   profiling time); tables are mutable streams — [`RowOp`]
+//!   insert/delete/update with tombstoned slots and stable `RowId`s;
 //! * [`csv`] — an RFC-4180 CSV reader/writer (quoting, embedded
 //!   separators/newlines, escaped quotes);
 //! * [`profile`] — the data profiler behind Figure 3: inferred column
@@ -33,7 +34,7 @@ pub use error::TableError;
 pub use pool::{ValueId, ValuePool};
 pub use profile::{ColumnProfile, InferredType, PatternHistogram, TableProfile};
 pub use schema::Schema;
-pub use table::{RowId, Table, TableBuilder};
+pub use table::{RowId, RowOp, Table, TableBuilder};
 pub use tokenize::{
     for_each_ngram, for_each_prefix, for_each_token, ngrams, prefixes, tokenize, NGram, Token,
 };

@@ -212,8 +212,8 @@ impl TableProfile {
 
 fn profile_column(table: &Table, col: usize) -> ColumnProfile {
     let name = table.schema().name(col).to_string();
-    let column = table.column(col);
-    let row_count = column.len();
+    // Live rows only: tombstoned slots are not data.
+    let row_count = table.live_rows();
     let mut null_count = 0usize;
     let mut distinct: HashMap<&str, usize> = HashMap::new();
     let mut min_len = usize::MAX;
@@ -222,7 +222,7 @@ fn profile_column(table: &Table, col: usize) -> ColumnProfile {
     let mut all_int = true;
     let mut all_float = true;
     let mut all_bool = true;
-    for v in column {
+    for (_, v) in table.iter_column(col) {
         let Some(s) = v.as_str() else {
             null_count += 1;
             continue;

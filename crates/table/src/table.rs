@@ -1,4 +1,5 @@
-//! Columnar in-memory tables, dictionary-encoded.
+//! Columnar in-memory tables, dictionary-encoded, with tombstoned
+//! mutation.
 //!
 //! A column is a `Vec<ValueId>` — 4 bytes per cell — dictionary-encoded
 //! against the process-global [`ValuePool`]. Ingest interns each cell
@@ -8,6 +9,19 @@
 //! `row`, `iter_pair`) are preserved at the API boundary for CSV ingest,
 //! reports and serde; id accessors (`cell_id`, `row_ids`, `column`) are
 //! the hot path.
+//!
+//! Tables are *mutable streams*: besides appends, [`Table::delete_row`]
+//! tombstones a slot and [`Table::update_row`] overwrites one in place.
+//! Slot identity is preserved — a deleted row keeps its `RowId` (and its
+//! last cell contents stay readable for evidence rendering), so row ids
+//! held by indexes, violations, and ledgers never dangle. Live-row
+//! iteration ([`Table::iter_column`], [`Table::iter_pair`],
+//! [`Table::iter_live`]) skips tombstones, so batch discovery/detection
+//! over a mutated table see exactly the surviving rows;
+//! [`Table::row_count`] counts slots and [`Table::live_rows`] counts
+//! survivors. The three mutations are reified as [`RowOp`] — the delta
+//! currency the whole pipeline (table → index → ledger → stream → CLI)
+//! speaks.
 
 use crate::error::TableError;
 use crate::pool::{ValueId, ValuePool};
@@ -17,6 +31,23 @@ use serde::{Deserialize, Serialize};
 
 /// Identifier of a row: its 0-based position.
 pub type RowId = usize;
+
+/// One mutation of a table — the delta currency of the whole pipeline.
+///
+/// An append-only stream is the special case where every op is
+/// [`RowOp::Insert`]. [`Table::apply`] executes one op;
+/// `StreamEngine::apply` (in `anmat-stream`) executes a batch while
+/// maintaining violations incrementally. An update is delete+insert
+/// *fused on one slot*: the row keeps its `RowId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowOp {
+    /// Append a new row.
+    Insert(Vec<Value>),
+    /// Tombstone an existing live row.
+    Delete(RowId),
+    /// Overwrite an existing live row's cells in place.
+    Update(RowId, Vec<Value>),
+}
 
 /// A columnar table: one `Vec<ValueId>` per column, all equal length.
 ///
@@ -29,6 +60,11 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Vec<ValueId>>,
     rows: usize,
+    /// Tombstone bitmap, parallel to the slots (`false` = deleted). Kept
+    /// as a plain `Vec<bool>` so `is_live` stays a branch-free load.
+    live: Vec<bool>,
+    /// Number of `false` entries in `live`.
+    dead: usize,
 }
 
 impl Table {
@@ -40,6 +76,8 @@ impl Table {
             schema,
             columns,
             rows: 0,
+            live: Vec::new(),
+            dead: 0,
         }
     }
 
@@ -83,6 +121,7 @@ impl Table {
         }
         let id = self.rows;
         self.rows += 1;
+        self.live.push(true);
         Ok(id)
     }
 
@@ -101,7 +140,74 @@ impl Table {
         }
         let id = self.rows;
         self.rows += 1;
+        self.live.push(true);
         Ok(id)
+    }
+
+    /// Tombstone one live row. The slot (and its last cell contents)
+    /// remains addressable — `RowId`s held elsewhere stay valid — but
+    /// live-row iteration and [`Table::live_rows`] no longer see it.
+    pub fn delete_row(&mut self, row: RowId) -> Result<(), TableError> {
+        self.require_live(row)?;
+        self.live[row] = false;
+        self.dead += 1;
+        Ok(())
+    }
+
+    /// Overwrite one live row's cells in place (slot identity preserved).
+    pub fn update_row(&mut self, row: RowId, cells: Vec<Value>) -> Result<(), TableError> {
+        if cells.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                row,
+                found: cells.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        self.require_live(row)?;
+        for (col, v) in self.columns.iter_mut().zip(&cells) {
+            col[row] = ValuePool::intern_value(v);
+        }
+        Ok(())
+    }
+
+    /// Overwrite one live row with already-interned ids.
+    pub fn update_id_row(&mut self, row: RowId, cells: Vec<ValueId>) -> Result<(), TableError> {
+        if cells.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                row,
+                found: cells.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        self.require_live(row)?;
+        for (col, v) in self.columns.iter_mut().zip(cells) {
+            col[row] = v;
+        }
+        Ok(())
+    }
+
+    /// Execute one [`RowOp`]. Returns the affected `RowId` (the fresh
+    /// slot for an insert, the addressed slot otherwise).
+    pub fn apply(&mut self, op: RowOp) -> Result<RowId, TableError> {
+        match op {
+            RowOp::Insert(cells) => self.push_row(cells),
+            RowOp::Delete(row) => {
+                self.delete_row(row)?;
+                Ok(row)
+            }
+            RowOp::Update(row, cells) => {
+                self.update_row(row, cells)?;
+                Ok(row)
+            }
+        }
+    }
+
+    fn require_live(&self, row: RowId) -> Result<(), TableError> {
+        if self.is_live(row) {
+            Ok(())
+        } else {
+            Err(TableError::NoSuchRow { row })
+        }
     }
 
     /// The schema.
@@ -110,10 +216,33 @@ impl Table {
         &self.schema
     }
 
-    /// Number of rows.
+    /// Number of row *slots*, tombstoned ones included (the exclusive
+    /// upper bound of valid `RowId`s). For the surviving-row count see
+    /// [`Table::live_rows`].
     #[must_use]
     pub fn row_count(&self) -> usize {
         self.rows
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    #[must_use]
+    pub fn live_rows(&self) -> usize {
+        self.rows - self.dead
+    }
+
+    /// Is this slot a live row? (`false` for tombstoned *and* for
+    /// out-of-range ids.)
+    #[must_use]
+    pub fn is_live(&self, row: RowId) -> bool {
+        self.live.get(row).copied().unwrap_or(false)
+    }
+
+    /// Iterate the live `RowId`s in ascending order.
+    pub fn iter_live(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &alive)| alive.then_some(r))
     }
 
     /// Number of columns.
@@ -170,13 +299,19 @@ impl Table {
         self.columns.iter().map(|c| c[row]).collect()
     }
 
-    /// Iterate `(RowId, ValueId)` over a column.
+    /// Iterate `(RowId, ValueId)` over the *live* rows of a column.
+    /// Tombstoned slots are skipped, so every batch consumer (discovery,
+    /// detection, blocking, profiling) sees exactly the surviving rows.
     pub fn iter_column(&self, col: usize) -> impl Iterator<Item = (RowId, ValueId)> + '_ {
-        self.columns[col].iter().copied().enumerate()
+        self.columns[col]
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(r, _)| self.live[r])
     }
 
-    /// Iterate `(RowId, &str, &str)` over the non-null cells of a column
-    /// pair — the unit of work of the discovery loop.
+    /// Iterate `(RowId, &str, &str)` over the non-null cells of the live
+    /// rows of a column pair — the unit of work of the discovery loop.
     pub fn iter_pair(
         &self,
         a: usize,
@@ -186,14 +321,21 @@ impl Table {
             .iter()
             .zip(self.columns[b].iter())
             .enumerate()
-            .filter_map(|(id, (va, vb))| Some((id, va.as_str()?, vb.as_str()?)))
+            .filter_map(|(id, (va, vb))| {
+                if !self.live[id] {
+                    return None;
+                }
+                Some((id, va.as_str()?, vb.as_str()?))
+            })
     }
 
-    /// A new table containing only the rows selected by `keep`.
+    /// A new compacted table containing only the live rows selected by
+    /// `keep` (tombstoned slots are never carried over; the result gets
+    /// fresh, dense `RowId`s).
     #[must_use]
     pub fn filter_rows(&self, keep: impl Fn(RowId) -> bool) -> Table {
         let mut t = Table::empty(self.schema.clone());
-        for r in 0..self.rows {
+        for r in self.iter_live() {
             if keep(r) {
                 t.push_id_row(self.row_ids(r)).expect("same schema");
             }
@@ -204,12 +346,14 @@ impl Table {
 
 /// Serde mirror: tables serialize through their string cells (the same
 /// externally-visible JSON shape as before dictionary encoding), so
-/// stored documents are independent of pool id assignment.
+/// stored documents are independent of pool id assignment. Tombstones
+/// travel as the sorted list of deleted `RowId`s.
 #[derive(Serialize, Deserialize)]
 struct TableRepr {
     schema: Schema,
     columns: Vec<Vec<Value>>,
     rows: usize,
+    deleted: Vec<RowId>,
 }
 
 impl Serialize for Table {
@@ -222,6 +366,7 @@ impl Serialize for Table {
                 .map(|c| c.iter().map(|id| id.value()).collect())
                 .collect(),
             rows: self.rows,
+            deleted: (0..self.rows).filter(|&r| !self.live[r]).collect(),
         }
         .to_json_value()
     }
@@ -236,6 +381,17 @@ impl Deserialize for Table {
         if repr.columns.iter().any(|c| c.len() != repr.rows) {
             return Err(serde::Error::custom("ragged columns"));
         }
+        if repr.deleted.iter().any(|&r| r >= repr.rows) {
+            return Err(serde::Error::custom("deleted row out of range"));
+        }
+        let mut live = vec![true; repr.rows];
+        let mut dead = 0usize;
+        for &r in &repr.deleted {
+            if live[r] {
+                live[r] = false;
+                dead += 1;
+            }
+        }
         Ok(Table {
             schema: repr.schema,
             columns: repr
@@ -244,6 +400,8 @@ impl Deserialize for Table {
                 .map(|c| c.iter().map(ValuePool::intern_value).collect())
                 .collect(),
             rows: repr.rows,
+            live,
+            dead,
         })
     }
 }
@@ -396,5 +554,105 @@ mod tests {
         let t2: Table = serde_json::from_str(&json).unwrap();
         assert_eq!(t, t2);
         assert_eq!(t2.schema().index_of("city"), Some(1));
+    }
+
+    #[test]
+    fn delete_preserves_slot_identity() {
+        let mut t = zip_table();
+        t.delete_row(1).unwrap();
+        assert_eq!(t.row_count(), 4, "slots are kept");
+        assert_eq!(t.live_rows(), 3);
+        assert!(!t.is_live(1));
+        assert!(t.is_live(2));
+        // The tombstoned slot's contents stay readable (evidence needs
+        // them) …
+        assert_eq!(t.cell_str(1, 0), Some("90002"));
+        // … but live iteration skips it.
+        let rows: Vec<RowId> = t.iter_column(0).map(|(r, _)| r).collect();
+        assert_eq!(rows, vec![0, 2, 3]);
+        let pairs: Vec<RowId> = t.iter_pair(0, 1).map(|(r, _, _)| r).collect();
+        assert_eq!(pairs, vec![0, 2, 3]);
+        assert_eq!(t.iter_live().collect::<Vec<_>>(), vec![0, 2, 3]);
+        // Appends after a delete get fresh slot ids.
+        let id = t
+            .push_row(vec![Value::text("90005"), Value::text("Los Angeles")])
+            .unwrap();
+        assert_eq!(id, 4);
+        assert_eq!(t.live_rows(), 4);
+    }
+
+    #[test]
+    fn delete_rejects_dead_and_out_of_range_rows() {
+        let mut t = zip_table();
+        t.delete_row(0).unwrap();
+        assert!(matches!(
+            t.delete_row(0),
+            Err(TableError::NoSuchRow { row: 0 })
+        ));
+        assert!(matches!(
+            t.delete_row(99),
+            Err(TableError::NoSuchRow { row: 99 })
+        ));
+        assert!(matches!(
+            t.update_row(0, vec![Value::text("x"), Value::text("y")]),
+            Err(TableError::NoSuchRow { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn update_overwrites_in_place() {
+        let mut t = zip_table();
+        t.update_row(3, vec![Value::text("90004"), Value::text("Los Angeles")])
+            .unwrap();
+        assert_eq!(t.cell_str(3, 1), Some("Los Angeles"));
+        assert_eq!(t.cell_id(3, 1), t.cell_id(0, 1));
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.live_rows(), 4);
+        // Arity is checked before anything is written.
+        assert!(matches!(
+            t.update_row(3, vec![Value::text("oops")]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+        assert_eq!(t.cell_str(3, 0), Some("90004"));
+    }
+
+    #[test]
+    fn row_ops_apply() {
+        let mut t = Table::empty(Schema::new(["zip", "city"]).unwrap());
+        let ops = vec![
+            RowOp::Insert(vec![Value::text("90001"), Value::text("Los Angeles")]),
+            RowOp::Insert(vec![Value::text("90002"), Value::text("New York")]),
+            RowOp::Update(1, vec![Value::text("90002"), Value::text("Los Angeles")]),
+            RowOp::Insert(vec![Value::text("90003"), Value::text("Los Angeles")]),
+            RowOp::Delete(0),
+        ];
+        for op in ops {
+            t.apply(op).unwrap();
+        }
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.live_rows(), 2);
+        assert_eq!(t.cell_str(1, 1), Some("Los Angeles"));
+        assert!(!t.is_live(0));
+    }
+
+    #[test]
+    fn serde_roundtrips_tombstones() {
+        let mut t = zip_table();
+        t.delete_row(2).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let t2: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, t2);
+        assert!(!t2.is_live(2));
+        assert_eq!(t2.live_rows(), 3);
+    }
+
+    #[test]
+    fn filter_rows_drops_tombstones() {
+        let mut t = zip_table();
+        t.delete_row(0).unwrap();
+        let f = t.filter_rows(|_| true);
+        assert_eq!(f.row_count(), 3);
+        assert_eq!(f.live_rows(), 3);
+        assert_eq!(f.cell_str(0, 0), Some("90002"));
     }
 }

@@ -17,7 +17,11 @@
 //! optionally writes a repaired copy of the data. `stream` replays the
 //! CSV as an append stream through the incremental engine, printing
 //! violations (and retractions) as rows arrive — the online-monitoring
-//! scenario the demo GUI hints at.
+//! scenario the demo GUI hints at. With `--ops FILE` it then replays a
+//! *mutation* op-log against the accumulated state: one op per record,
+//! `+,cell,…` inserts a row, `-,rowid` deletes one, `~,rowid,cell,…`
+//! updates one in place (RFC-4180 quoting, row ids as printed in event
+//! lines).
 
 use anmat::prelude::*;
 use std::process::ExitCode;
@@ -66,9 +70,14 @@ fn usage() -> String {
      \x20 anmat detect   <data.csv> (--store DIR | --rules FILE)\n\
      \x20                [--confirmed-only] [--repair OUT.csv]\n\
      \x20 anmat stream   <data.csv> (--store DIR | --rules FILE) [--batch N]\n\
-     \x20                [--confirmed-only] [--quiet] [--demote-drifted]\n\
+     \x20                [--ops FILE] [--confirmed-only] [--quiet] [--demote-drifted]\n\
      \x20                [--violations F] [--min-support N]  (drift thresholds;\n\
-     \x20                pass the values the rules were discovered with)\n"
+     \x20                pass the values the rules were discovered with)\n\
+     \n\
+     OP-LOG (--ops FILE; one op per CSV record):\n\
+     \x20 +,cell,…        insert a row\n\
+     \x20 -,rowid         delete the row in that slot\n\
+     \x20 ~,rowid,cell,…  update the row in place (slot id preserved)\n"
         .to_string()
 }
 
@@ -278,10 +287,56 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse an op-log (see `usage`): each CSV record is one [`RowOp`].
+fn parse_ops(text: &str) -> Result<Vec<RowOp>, String> {
+    let records = csv::parse_raw_records(text, ',').map_err(|e| format!("parsing op-log: {e}"))?;
+    let mut ops = Vec::with_capacity(records.len());
+    for (i, record) in records.into_iter().enumerate() {
+        let line = i + 1;
+        let Some((code, rest)) = record.split_first() else {
+            continue;
+        };
+        let cells = |fields: &[String]| -> Vec<Value> {
+            fields.iter().map(|f| Value::from_field(f)).collect()
+        };
+        let rowid = |field: &String| -> Result<RowId, String> {
+            field
+                .parse()
+                .map_err(|_| format!("op-log record {line}: bad row id `{field}`"))
+        };
+        match code.as_str() {
+            "+" => ops.push(RowOp::Insert(cells(rest))),
+            "-" => match rest {
+                [id] => ops.push(RowOp::Delete(rowid(id)?)),
+                _ => {
+                    return Err(format!(
+                        "op-log record {line}: `-` wants exactly one row id"
+                    ))
+                }
+            },
+            "~" => match rest.split_first() {
+                Some((id, cells_rest)) => ops.push(RowOp::Update(rowid(id)?, cells(cells_rest))),
+                None => {
+                    return Err(format!(
+                        "op-log record {line}: `~` wants a row id and cells"
+                    ))
+                }
+            },
+            other => {
+                return Err(format!(
+                    "op-log record {line}: unknown op `{other}` (want `+`, `-` or `~`)"
+                ))
+            }
+        }
+    }
+    Ok(ops)
+}
+
 fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let store_dir = take_flag(&mut args, "--store");
     let rules_file = take_flag(&mut args, "--rules");
+    let ops_file = take_flag(&mut args, "--ops");
     let confirmed_only = take_switch(&mut args, "--confirmed-only");
     let quiet = take_switch(&mut args, "--quiet");
     let demote_drifted = take_switch(&mut args, "--demote-drifted");
@@ -340,12 +395,29 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         }
     }
 
+    if let Some(path) = ops_file {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let ops = parse_ops(&text)?;
+        println!("applying {} op(s) from {path}", ops.len());
+        let events = engine
+            .apply(ops)
+            .map_err(|e| format!("applying ops: {e}"))?;
+        if !quiet {
+            for event in &events {
+                println!("{}", render_event(event));
+            }
+        }
+    }
+
     let ledger = engine.ledger();
+    // Live rows, not raw push count: tombstoned slots are not data.
     println!(
-        "\nfinal: {} live violation(s) ({} created, {} retracted) over {} row(s)",
+        "\nfinal: {} live violation(s) ({} created, {} retracted) over {} live row(s) \
+         ({} slot(s) ingested)",
         ledger.live_count(),
         ledger.created_total(),
         ledger.retracted_total(),
+        engine.live_rows(),
         engine.row_count()
     );
 

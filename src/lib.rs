@@ -22,21 +22,22 @@
 //!   and incrementally updatable);
 //! * [`core`] — PFD model, discovery, detection, FD/CFD baselines,
 //!   violation ledger, report rendering;
-//! * [`stream`] — the incremental violation engine for append-heavy
-//!   workloads: push rows, receive violation creations *and
-//!   retractions*, monitor rule drift;
+//! * [`stream`] — the incremental violation engine for *mutable*
+//!   streams: apply inserts/deletes/updates, receive violation
+//!   creations *and retractions*, monitor rule drift;
 //! * [`datagen`] — seeded synthetic datasets mirroring the paper's demo
 //!   data, with ground-truth error labels.
 //!
 //! ## Batch vs. streaming
 //!
 //! `detect_all` recomputes the violation set from scratch — right for a
-//! one-shot audit. When rows arrive continuously, seed a
+//! one-shot audit. When the data changes continuously, seed a
 //! [`StreamEngine`](stream::StreamEngine) with the confirmed rules
-//! instead: each pushed row costs `O(tableau)` on the constant-PFD path
-//! and `O(affected block)` on the variable path, never `O(table)`, and
-//! the final state provably equals batch detection on the accumulated
-//! table.
+//! instead and feed it [`RowOp`](table::RowOp)s — inserts, deletes, and
+//! in-place updates. Each op costs `O(tableau)` on the constant-PFD
+//! path and `O(affected block)` on the variable path, never `O(table)`,
+//! and the final state provably equals batch detection on the surviving
+//! rows, whatever the interleaving.
 //!
 //! ## Quickstart
 //!
@@ -85,6 +86,6 @@ pub mod prelude {
     pub use anmat_pattern::{ConstrainedPattern, Pattern};
     pub use anmat_stream::{DriftReport, StreamConfig, StreamEngine};
     pub use anmat_table::{
-        csv, NullPolicy, Schema, Table, TableProfile, Value, ValueId, ValuePool,
+        csv, NullPolicy, RowId, RowOp, Schema, Table, TableProfile, Value, ValueId, ValuePool,
     };
 }

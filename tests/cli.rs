@@ -90,6 +90,108 @@ fn stream_replays_csv_and_reports_violations() {
 }
 
 #[test]
+fn stream_ops_replays_mutations_and_reports_live_rows() {
+    let dir = std::env::temp_dir().join(format!("anmat_cli_ops_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("zips.csv");
+    std::fs::write(
+        &csv,
+        "zip,city\n90001,Los Angeles\n90002,Los Angeles\n90003,Los Angeles\n90004,New York\n",
+    )
+    .unwrap();
+    let rules = dir.join("rules.json");
+    let pfds = vec![Pfd::new(
+        "Zip",
+        "zip",
+        "city",
+        vec![PatternTuple::variable(
+            "[\\D{3}]\\D{2}".parse::<ConstrainedPattern>().unwrap(),
+        )],
+    )];
+    std::fs::write(&rules, serde_json::to_string(&pfds).unwrap()).unwrap();
+    // Fix the erroneous row in place, delete a clean one, append a new
+    // clean one: the violation retracts and the live count is 4.
+    let ops = dir.join("fixes.ops");
+    std::fs::write(&ops, "~,3,90004,Los Angeles\n-,0\n+,90005,Los Angeles\n").unwrap();
+
+    let out = anmat(&[
+        "stream",
+        csv.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        "--ops",
+        ops.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stream --ops failed: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("applying 3 op(s)"), "op-log banner:\n{text}");
+    assert!(
+        text.contains("- row 3"),
+        "the update must retract row 3's violation:\n{text}"
+    );
+    assert!(
+        text.contains("0 live violation(s)"),
+        "violation cleared by the op-log:\n{text}"
+    );
+    assert!(
+        text.contains("over 4 live row(s) (5 slot(s) ingested)"),
+        "summary reports live rows, not raw pushes:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stream_ops_rejects_malformed_logs() {
+    let dir = std::env::temp_dir().join(format!("anmat_cli_badops_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("d.csv");
+    std::fs::write(&csv, "zip,city\n90001,Los Angeles\n90002,Los Angeles\n").unwrap();
+    let rules = dir.join("rules.json");
+    let pfds = vec![Pfd::new(
+        "Zip",
+        "zip",
+        "city",
+        vec![PatternTuple::variable(
+            "[\\D{3}]\\D{2}".parse::<ConstrainedPattern>().unwrap(),
+        )],
+    )];
+    std::fs::write(&rules, serde_json::to_string(&pfds).unwrap()).unwrap();
+
+    for (ops_text, want) in [
+        ("?,1\n", "unknown op"),
+        ("-,notanumber\n", "bad row id"),
+        ("-,7\n", "out of range or already deleted"),
+        ("-,0\n-,0\n", "out of range or already deleted"),
+    ] {
+        let ops = dir.join("bad.ops");
+        std::fs::write(&ops, ops_text).unwrap();
+        let out = anmat(&[
+            "stream",
+            csv.to_str().unwrap(),
+            "--rules",
+            rules.to_str().unwrap(),
+            "--ops",
+            ops.to_str().unwrap(),
+        ]);
+        assert!(!out.status.success(), "`{ops_text}` must fail");
+        assert!(
+            stderr(&out).contains(want),
+            "`{ops_text}` should report `{want}`, got: {}",
+            stderr(&out)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stream_without_rules_source_fails() {
     let dir = std::env::temp_dir().join(format!("anmat_cli_norules_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
