@@ -15,7 +15,7 @@
 use anmat_bench::{criterion, experiment_config};
 use anmat_core::{detect_all, discover, Pfd};
 use anmat_datagen::{zipcity, Dataset};
-use anmat_stream::StreamEngine;
+use anmat_stream::{ShardedEngine, StreamEngine};
 use anmat_table::{RowOp, Table, Value, ValueId};
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use std::time::Instant;
@@ -117,12 +117,59 @@ fn churn_ops(data: &Dataset) -> Vec<RowOp> {
     ops
 }
 
+/// Shard-count sweep on the 90/10 churn workload: ops/s for the
+/// single-threaded engine and for `ShardedEngine` at 1/2/4/8 workers.
+/// Rule processing is the parallel fraction, so the curve is bounded by
+/// the rule count *and* by the host's cores — both are printed so the
+/// artifact is interpretable wherever it was produced (a single-core
+/// container timeslices the workers and shows a flat line; the speedup
+/// materializes on multi-core hosts).
+fn shard_sweep_artifact(data: &Dataset, rules: &[Pfd], rows: usize) {
+    let ops = churn_ops(data);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "── E14 artifact: shard sweep (90/10 churn, {rows} rows, {} ops; \
+         {} rule(s) shardable, {cores} core(s) available) ──",
+        ops.len(),
+        rules.len()
+    );
+    let ops_per_sec = |secs: f64| ops.len() as f64 / secs;
+    let start = Instant::now();
+    let mut engine = StreamEngine::new(data.table.schema().clone(), rules.to_vec());
+    engine.apply(ops.iter().cloned()).expect("ops are valid");
+    let single = ops_per_sec(start.elapsed().as_secs_f64());
+    println!(
+        "  single-threaded   : {single:>9.0} ops/s ({} live violations)",
+        engine.ledger().live_count()
+    );
+    let mut one_shard = single;
+    for shards in [1usize, 2, 4, 8] {
+        let mut engine = ShardedEngine::new(data.table.schema().clone(), rules.to_vec(), shards);
+        let start = Instant::now();
+        engine.apply(ops.iter().cloned()).expect("ops are valid");
+        let rate = ops_per_sec(start.elapsed().as_secs_f64());
+        if shards == 1 {
+            one_shard = rate;
+        }
+        println!(
+            "  sharded ×{:<2}       : {rate:>9.0} ops/s ({:.2}× vs 1 shard, {} worker(s), \
+             {} live violations)",
+            shards,
+            rate / one_shard,
+            engine.shard_count(),
+            engine.ledger().live_count()
+        );
+    }
+}
+
 fn bench(c: &mut Criterion) {
     // Discovery over 100k rows dominates setup; do it once and share it
     // between the artifact and the 100k benchmark cases.
     let big = dataset(100_000);
     marginal_cost_artifact(&big.0, &big.1);
     let small = dataset(10_000);
+    shard_sweep_artifact(&small.0, &small.1, 10_000);
+    shard_sweep_artifact(&big.0, &big.1, 100_000);
     for (rows, (data, rules)) in [(10_000usize, &small), (100_000, &big)] {
         let prebuilt = rows_of(&data.table);
         let mut g = c.benchmark_group("fig6_streaming");
@@ -169,6 +216,23 @@ fn bench(c: &mut Criterion) {
                 black_box(engine.ledger().live_count())
             });
         });
+        // The shard sweep on the same churn mix: scaling is bounded by
+        // min(shards, rules, cores) — see the artifact header for the
+        // host's figures.
+        for shards in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new("stream_churn_sharded", format!("{rows}r/{shards}s")),
+                &ops,
+                |b, ops| {
+                    b.iter(|| {
+                        let mut engine =
+                            ShardedEngine::new(data.table.schema().clone(), rules.to_vec(), shards);
+                        engine.apply(ops.iter().cloned()).expect("ops are valid");
+                        black_box(engine.ledger().live_count())
+                    });
+                },
+            );
+        }
         g.throughput(Throughput::Elements(rows as u64));
         // The naive alternative: re-run batch detection after each of 100
         // appends of rows/100 (full per-append batch re-detection at 1:1

@@ -36,7 +36,8 @@ use anmat_pattern::{MatchMemo, Pattern};
 use anmat_table::{RowId, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
 use fxhash::FxHashMap;
 
-/// Engine thresholds (the drift monitor's discovery-style knobs).
+/// Engine thresholds (the drift monitor's discovery-style knobs) plus
+/// the shard count the sharded engine and the CLI plumb through.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
     /// Rows a rule must match before drift is judged.
@@ -44,6 +45,10 @@ pub struct StreamConfig {
     /// Allowed violation ratio before a rule counts as drifted (mirrors
     /// `DiscoveryConfig::max_violation_ratio`).
     pub max_violation_ratio: f64,
+    /// Worker shards for [`ShardedEngine`](crate::ShardedEngine)
+    /// (`StreamEngine` itself is always single-threaded; `1` means "no
+    /// extra workers"). Clamped to the rule count at engine build.
+    pub shards: usize,
 }
 
 impl Default for StreamConfig {
@@ -51,6 +56,7 @@ impl Default for StreamConfig {
         StreamConfig {
             min_support: 8,
             max_violation_ratio: 0.3,
+            shards: 1,
         }
     }
 }
@@ -62,8 +68,134 @@ impl StreamConfig {
         StreamConfig {
             min_support: config.min_support,
             max_violation_ratio: config.max_violation_ratio,
+            shards: 1,
         }
     }
+}
+
+/// One violation assertion change produced by a rule's incremental
+/// state. Rule processing emits deltas into a [`DeltaSink`]; *applying*
+/// them to the refcounting [`ViolationLedger`] (which dedupes across
+/// rules) is the owning engine's job — inline for `StreamEngine`, at the
+/// merge step for `ShardedEngine`. This split is what lets rule state
+/// live on worker threads while the ledger stays in one place.
+#[derive(Debug, Clone)]
+pub(crate) enum Delta {
+    /// The rule now asserts this violation.
+    Create(Violation),
+    /// The rule withdraws this (previously asserted) violation.
+    Retract(Violation),
+}
+
+/// Ordered deltas for one rule × one op phase, with the assertion
+/// counts the drift monitor needs (counted per rule, independent of the
+/// ledger's cross-rule refcounting).
+#[derive(Debug, Default)]
+pub(crate) struct DeltaSink {
+    pub(crate) deltas: Vec<Delta>,
+    pub(crate) created: usize,
+    pub(crate) retracted: usize,
+}
+
+impl DeltaSink {
+    fn create(&mut self, v: Violation) {
+        self.created += 1;
+        self.deltas.push(Delta::Create(v));
+    }
+
+    fn retract(&mut self, v: Violation) {
+        self.retracted += 1;
+        self.deltas.push(Delta::Retract(v));
+    }
+}
+
+/// Replay a delta sequence into the ledger, collecting the events the
+/// ledger actually emits (refcount-only changes emit nothing).
+pub(crate) fn apply_deltas(
+    ledger: &mut ViolationLedger,
+    deltas: Vec<Delta>,
+    events: &mut Vec<LedgerEvent>,
+) {
+    for delta in deltas {
+        match delta {
+            Delta::Create(v) => {
+                if let Some(ev) = ledger.create(v) {
+                    events.push(ev);
+                }
+            }
+            Delta::Retract(v) => {
+                if let Some(ev) = ledger.retract(&v) {
+                    events.push(ev);
+                }
+            }
+        }
+    }
+}
+
+/// The table-shape of one [`RowOp`], for batch pre-validation.
+pub(crate) enum OpShape {
+    Insert { arity: usize },
+    Delete { row: RowId },
+    Update { row: RowId, arity: usize },
+}
+
+impl OpShape {
+    pub(crate) fn of(op: &RowOp) -> OpShape {
+        match op {
+            RowOp::Insert(cells) => OpShape::Insert { arity: cells.len() },
+            RowOp::Delete(row) => OpShape::Delete { row: *row },
+            RowOp::Update(row, cells) => OpShape::Update {
+                row: *row,
+                arity: cells.len(),
+            },
+        }
+    }
+}
+
+/// Validate a whole op batch against a simulation of `table`'s live set
+/// (arity of every insert/update, liveness of every addressed row *at
+/// its point in the sequence*) before any op executes — the atomicity
+/// guarantee both engines give: a malformed op-log leaves the engine
+/// untouched.
+pub(crate) fn validate_shapes(
+    table: &Table,
+    shapes: impl IntoIterator<Item = OpShape>,
+) -> Result<(), TableError> {
+    let arity = table.schema().arity();
+    let mut live: Vec<bool> = (0..table.row_count()).map(|r| table.is_live(r)).collect();
+    for shape in shapes {
+        match shape {
+            OpShape::Insert { arity: found } => {
+                if found != arity {
+                    return Err(TableError::ArityMismatch {
+                        row: live.len(),
+                        found,
+                        expected: arity,
+                    });
+                }
+                live.push(true);
+            }
+            OpShape::Delete { row } => {
+                if !live.get(row).copied().unwrap_or(false) {
+                    return Err(TableError::NoSuchRow { row });
+                }
+                live[row] = false;
+            }
+            OpShape::Update { row, arity: found } => {
+                if found != arity {
+                    return Err(TableError::ArityMismatch {
+                        row,
+                        found,
+                        expected: arity,
+                    });
+                }
+                if !live.get(row).copied().unwrap_or(false) {
+                    return Err(TableError::NoSuchRow { row });
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Incremental state for one constant tableau tuple.
@@ -134,16 +266,10 @@ impl BlockState {
         display: &str,
         key: ValueId,
         block: &KeyBlock,
-        ledger: &mut ViolationLedger,
-        events: &mut Vec<LedgerEvent>,
-        created: &mut usize,
-        retracted: &mut usize,
+        sink: &mut DeltaSink,
     ) {
         for v in self.violations.drain(..) {
-            *retracted += 1;
-            if let Some(ev) = ledger.retract(&v) {
-                events.push(ev);
-            }
+            sink.retract(v);
         }
         self.majority = block.majority_id();
         self.witnesses = match self.majority {
@@ -159,10 +285,7 @@ impl BlockState {
             self.violations =
                 flag_block_minority(table, pfd, lhs, rhs, display, key.render(), block.rows());
             for v in &self.violations {
-                *created += 1;
-                if let Some(ev) = ledger.create(v.clone()) {
-                    events.push(ev);
-                }
+                sink.create(v.clone());
             }
         }
     }
@@ -170,60 +293,30 @@ impl BlockState {
     /// Swap in a new witness list, rewriting every asserted violation
     /// (each is retracted and re-created, since witnesses are part of
     /// its identity).
-    fn rewrite_witnesses(
-        &mut self,
-        witnesses: Vec<RowId>,
-        ledger: &mut ViolationLedger,
-        events: &mut Vec<LedgerEvent>,
-        created: &mut usize,
-        retracted: &mut usize,
-    ) {
+    fn rewrite_witnesses(&mut self, witnesses: Vec<RowId>, sink: &mut DeltaSink) {
         self.witnesses = witnesses;
         for v in &mut self.violations {
-            *retracted += 1;
-            if let Some(ev) = ledger.retract(v) {
-                events.push(ev);
-            }
+            sink.retract(v.clone());
             if let ViolationKind::Variable { witnesses, .. } = &mut v.kind {
                 witnesses.clone_from(&self.witnesses);
             }
-            *created += 1;
-            if let Some(ev) = ledger.create(v.clone()) {
-                events.push(ev);
-            }
+            sink.create(v.clone());
         }
     }
 
     /// Retract the single violation asserted for `row`, if any — the
     /// minority-departure fast path.
-    fn retract_row(
-        &mut self,
-        row: RowId,
-        ledger: &mut ViolationLedger,
-        events: &mut Vec<LedgerEvent>,
-        retracted: &mut usize,
-    ) {
+    fn retract_row(&mut self, row: RowId, sink: &mut DeltaSink) {
         if let Some(pos) = self.violations.iter().position(|v| v.row == row) {
             let v = self.violations.swap_remove(pos);
-            *retracted += 1;
-            if let Some(ev) = ledger.retract(&v) {
-                events.push(ev);
-            }
+            sink.retract(v);
         }
     }
 
     /// Retract everything (the block drained to empty).
-    fn drain(
-        &mut self,
-        ledger: &mut ViolationLedger,
-        events: &mut Vec<LedgerEvent>,
-        retracted: &mut usize,
-    ) {
+    fn drain(&mut self, sink: &mut DeltaSink) {
         for v in self.violations.drain(..) {
-            *retracted += 1;
-            if let Some(ev) = ledger.retract(&v) {
-                events.push(ev);
-            }
+            sink.retract(v);
         }
     }
 }
@@ -236,9 +329,15 @@ enum TupleState {
 }
 
 /// One seeded rule with its resolved columns and per-tuple state.
+///
+/// Rule state is fully self-contained (no ledger, no drift counters):
+/// [`RuleState::process_insert`] / [`RuleState::process_removal`] read a
+/// table and emit deltas, which is what lets a rule live on any worker
+/// thread — and migrate between them on rebalance — while the engines
+/// own the shared bookkeeping.
 #[derive(Debug)]
-struct RuleState {
-    pfd: Pfd,
+pub(crate) struct RuleState {
+    pub(crate) pfd: Pfd,
     /// `(lhs, rhs)` column indexes; `None` if the schema lacks either
     /// attribute (the rule is inert, exactly like batch detection).
     cols: Option<(usize, usize)>,
@@ -246,7 +345,7 @@ struct RuleState {
 }
 
 impl RuleState {
-    fn seed(pfd: Pfd, schema: &Schema) -> RuleState {
+    pub(crate) fn seed(pfd: Pfd, schema: &Schema) -> RuleState {
         let cols = match (
             schema.index_of(&pfd.lhs_attr),
             schema.index_of(&pfd.rhs_attr),
@@ -284,6 +383,238 @@ impl RuleState {
             })
             .collect();
         RuleState { pfd, cols, tuples }
+    }
+
+    /// Incorporate one arrived row, emitting the violation deltas it
+    /// causes for this rule. Returns whether the row's LHS matched any
+    /// tableau tuple (the drift monitor's denominator bit); inert rules
+    /// (missing columns) return `false` without touching the sink.
+    pub(crate) fn process_insert(
+        &mut self,
+        table: &Table,
+        row: RowId,
+        sink: &mut DeltaSink,
+    ) -> bool {
+        let Some((lhs, rhs)) = self.cols else {
+            return false;
+        };
+        let lhs_id = table.cell_id(row, lhs);
+        let rhs_id = table.cell_id(row, rhs);
+        let mut matched = false;
+        for tuple in &mut self.tuples {
+            match tuple {
+                TupleState::Constant(ct) => {
+                    let Some(value) = lhs_id.as_str() else {
+                        continue;
+                    };
+                    if let Some(p) = &ct.pattern {
+                        if !ct.memo.matches(p, lhs_id.raw(), value) {
+                            continue;
+                        }
+                    }
+                    matched = true;
+                    if let Some(v) =
+                        violation_at(table, &self.pfd, &ct.display, ct.expected, lhs, rhs, row)
+                    {
+                        // Drift counts this rule's own assertion even
+                        // when another rule already implied the same
+                        // violation (the ledger refcounts those).
+                        sink.create(v);
+                    }
+                }
+                TupleState::Variable(vt) => {
+                    let Placement::Block(key) = vt.partition.insert(row, lhs_id, rhs_id) else {
+                        continue;
+                    };
+                    matched = true;
+                    let block = vt.partition.block(key).expect("row just joined");
+                    let new_majority = block.majority_id();
+                    let state = vt.blocks.entry(key).or_default();
+                    if new_majority != state.majority {
+                        // Majority flip (or first non-null RHS): every
+                        // asserted violation embeds the old majority, so
+                        // none survives.
+                        state.rederive(table, &self.pfd, lhs, rhs, &vt.display, key, block, sink);
+                    } else if let Some(majority) = state.majority {
+                        if rhs_id == majority {
+                            // New majority row: does it enter the
+                            // first-`MAX_WITNESSES` window? Appends only
+                            // grow a non-full list, but an update can
+                            // re-insert a *smaller* row id that displaces
+                            // the window's tail.
+                            let enters = state.witnesses.len() < MAX_WITNESSES
+                                || state.witnesses.last().is_some_and(|&last| row < last);
+                            if enters {
+                                let mut witnesses = state.witnesses.clone();
+                                let pos = witnesses.partition_point(|&r| r < row);
+                                witnesses.insert(pos, row);
+                                witnesses.truncate(MAX_WITNESSES);
+                                state.rewrite_witnesses(witnesses, sink);
+                            }
+                        } else if block.len() >= 2 {
+                            // Minority arrival — the hot path: one new
+                            // violation, nothing else moves.
+                            let v = minority_violation(
+                                table,
+                                &self.pfd,
+                                lhs,
+                                rhs,
+                                &vt.display,
+                                key.render(),
+                                majority.render(),
+                                &state.witnesses,
+                                row,
+                            );
+                            sink.create(v.clone());
+                            state.violations.push(v);
+                        }
+                    }
+                    // new majority == old == None: all-null block,
+                    // nothing to assert.
+                }
+            }
+        }
+        matched
+    }
+
+    /// Withdraw one row from this rule's incremental state — the exact
+    /// inverse of [`RuleState::process_insert`]. Must run *before* the
+    /// table slot is tombstoned (or overwritten), while the row's cells
+    /// are still the ones its violations were built from, so every
+    /// retraction is structurally identical to the delta it cancels.
+    pub(crate) fn process_removal(
+        &mut self,
+        table: &Table,
+        row: RowId,
+        sink: &mut DeltaSink,
+    ) -> bool {
+        let Some((lhs, rhs)) = self.cols else {
+            return false;
+        };
+        let lhs_id = table.cell_id(row, lhs);
+        let rhs_id = table.cell_id(row, rhs);
+        let mut matched = false;
+        for tuple in &mut self.tuples {
+            match tuple {
+                TupleState::Constant(ct) => {
+                    let Some(value) = lhs_id.as_str() else {
+                        continue;
+                    };
+                    if let Some(p) = &ct.pattern {
+                        if !ct.memo.matches(p, lhs_id.raw(), value) {
+                            continue;
+                        }
+                    }
+                    matched = true;
+                    // Rebuild the violation the arrival created (the
+                    // check is the same id comparison; the memo makes
+                    // the pattern free) and retract it.
+                    if let Some(v) =
+                        violation_at(table, &self.pfd, &ct.display, ct.expected, lhs, rhs, row)
+                    {
+                        sink.retract(v);
+                    }
+                }
+                TupleState::Variable(vt) => {
+                    let Placement::Block(key) = vt.partition.remove(row, lhs_id) else {
+                        continue;
+                    };
+                    matched = true;
+                    let Some(state) = vt.blocks.get_mut(&key) else {
+                        continue; // row never asserted into this block
+                    };
+                    match vt.partition.block(key) {
+                        None => {
+                            // The block drained: nothing left to flag,
+                            // forget its state entirely.
+                            state.drain(sink);
+                            vt.blocks.remove(&key);
+                        }
+                        Some(block) => {
+                            let new_majority = block.majority_id();
+                            if new_majority != state.majority {
+                                // Majority flip (or last non-null RHS
+                                // gone): full re-derive, exactly like the
+                                // insert-side flip.
+                                state.rederive(
+                                    table,
+                                    &self.pfd,
+                                    lhs,
+                                    rhs,
+                                    &vt.display,
+                                    key,
+                                    block,
+                                    sink,
+                                );
+                            } else if let Some(majority) = state.majority {
+                                if state.witnesses.binary_search(&row).is_ok() {
+                                    // A witness left: the next majority
+                                    // row in block order (if any) takes
+                                    // its slot.
+                                    let witnesses = block
+                                        .rows_with_rhs_ids()
+                                        .filter(|&(_, v)| v == majority)
+                                        .map(|(r, _)| r)
+                                        .take(MAX_WITNESSES)
+                                        .collect();
+                                    state.rewrite_witnesses(witnesses, sink);
+                                } else if rhs_id != majority {
+                                    // Minority departure — the fast path:
+                                    // exactly the row's own violation
+                                    // goes.
+                                    state.retract_row(row, sink);
+                                }
+                                // Majority row beyond the witness window:
+                                // nothing moves.
+                            }
+                            // Both majorities None: all-null block,
+                            // nothing was asserted.
+                        }
+                    }
+                }
+            }
+        }
+        matched
+    }
+
+    /// Pattern evaluations this rule's memoized state performed —
+    /// constant tuples' match memos plus variable tuples' capture
+    /// extractions.
+    pub(crate) fn pattern_evals(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| match t {
+                TupleState::Constant(ct) => ct.memo.evals(),
+                TupleState::Variable(vt) => vt.partition.key_evals(),
+            })
+            .sum()
+    }
+
+    /// Blocks this rule currently maintains — the observed load figure
+    /// shard rebalancing distributes by.
+    pub(crate) fn block_count(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| match t {
+                TupleState::Constant(_) => 0,
+                TupleState::Variable(vt) => vt.partition.block_count(),
+            })
+            .sum()
+    }
+
+    /// A-priori load estimate for a rule that has seen no data yet:
+    /// variable tuples maintain whole block partitions, constant tuples
+    /// just a match memo — the seed weights the initial round-robin
+    /// shard assignment sorts by.
+    pub(crate) fn estimated_weight(pfd: &Pfd) -> usize {
+        pfd.tableau
+            .iter()
+            .map(|t| match &t.rhs {
+                RhsCell::Wildcard => 4,
+                RhsCell::Constant(_) => 1,
+            })
+            .sum::<usize>()
+            .max(1)
     }
 }
 
@@ -413,115 +744,12 @@ impl StreamEngine {
 
     fn process_row(&mut self, row: RowId) -> Vec<LedgerEvent> {
         let mut events = Vec::new();
-        let table = &self.table;
-        let ledger = &mut self.ledger;
         for (rule_idx, rule) in self.rules.iter_mut().enumerate() {
-            let Some((lhs, rhs)) = rule.cols else {
-                continue;
-            };
-            let lhs_id = table.cell_id(row, lhs);
-            let rhs_id = table.cell_id(row, rhs);
-            let mut matched = false;
-            let mut created = 0usize;
-            let mut retracted = 0usize;
-            for tuple in &mut rule.tuples {
-                match tuple {
-                    TupleState::Constant(ct) => {
-                        let Some(value) = lhs_id.as_str() else {
-                            continue;
-                        };
-                        if let Some(p) = &ct.pattern {
-                            if !ct.memo.matches(p, lhs_id.raw(), value) {
-                                continue;
-                            }
-                        }
-                        matched = true;
-                        if let Some(v) =
-                            violation_at(table, &rule.pfd, &ct.display, ct.expected, lhs, rhs, row)
-                        {
-                            // Drift counts this rule's own assertion even
-                            // when another rule already implied the same
-                            // violation (the ledger refcounts those).
-                            created += 1;
-                            if let Some(ev) = ledger.create(v) {
-                                events.push(ev);
-                            }
-                        }
-                    }
-                    TupleState::Variable(vt) => {
-                        let Placement::Block(key) = vt.partition.insert(row, lhs_id, rhs_id) else {
-                            continue;
-                        };
-                        matched = true;
-                        let block = vt.partition.block(key).expect("row just joined");
-                        let new_majority = block.majority_id();
-                        let state = vt.blocks.entry(key).or_default();
-                        if new_majority != state.majority {
-                            // Majority flip (or first non-null RHS):
-                            // every asserted violation embeds the old
-                            // majority, so none survives.
-                            state.rederive(
-                                table,
-                                &rule.pfd,
-                                lhs,
-                                rhs,
-                                &vt.display,
-                                key,
-                                block,
-                                ledger,
-                                &mut events,
-                                &mut created,
-                                &mut retracted,
-                            );
-                        } else if let Some(majority) = state.majority {
-                            if rhs_id == majority {
-                                // New majority row: does it enter the
-                                // first-`MAX_WITNESSES` window? Appends
-                                // only grow a non-full list, but an
-                                // update can re-insert a *smaller* row
-                                // id that displaces the window's tail.
-                                let enters = state.witnesses.len() < MAX_WITNESSES
-                                    || state.witnesses.last().is_some_and(|&last| row < last);
-                                if enters {
-                                    let mut witnesses = state.witnesses.clone();
-                                    let pos = witnesses.partition_point(|&r| r < row);
-                                    witnesses.insert(pos, row);
-                                    witnesses.truncate(MAX_WITNESSES);
-                                    state.rewrite_witnesses(
-                                        witnesses,
-                                        ledger,
-                                        &mut events,
-                                        &mut created,
-                                        &mut retracted,
-                                    );
-                                }
-                            } else if block.len() >= 2 {
-                                // Minority arrival — the hot path: one
-                                // new violation, nothing else moves.
-                                let v = minority_violation(
-                                    table,
-                                    &rule.pfd,
-                                    lhs,
-                                    rhs,
-                                    &vt.display,
-                                    key.render(),
-                                    majority.render(),
-                                    &state.witnesses,
-                                    row,
-                                );
-                                created += 1;
-                                if let Some(ev) = ledger.create(v.clone()) {
-                                    events.push(ev);
-                                }
-                                state.violations.push(v);
-                            }
-                        }
-                        // new majority == old == None: all-null block,
-                        // nothing to assert.
-                    }
-                }
-            }
-            self.drift.observe(rule_idx, matched, created, retracted);
+            let mut sink = DeltaSink::default();
+            let matched = rule.process_insert(&self.table, row, &mut sink);
+            self.drift
+                .observe(rule_idx, matched, sink.created, sink.retracted);
+            apply_deltas(&mut self.ledger, sink.deltas, &mut events);
         }
         events
     }
@@ -533,110 +761,12 @@ impl StreamEngine {
     /// structurally identical to the event it cancels.
     fn process_removal(&mut self, row: RowId) -> Vec<LedgerEvent> {
         let mut events = Vec::new();
-        let table = &self.table;
-        let ledger = &mut self.ledger;
         for (rule_idx, rule) in self.rules.iter_mut().enumerate() {
-            let Some((lhs, rhs)) = rule.cols else {
-                continue;
-            };
-            let lhs_id = table.cell_id(row, lhs);
-            let rhs_id = table.cell_id(row, rhs);
-            let mut matched = false;
-            let mut created = 0usize;
-            let mut retracted = 0usize;
-            for tuple in &mut rule.tuples {
-                match tuple {
-                    TupleState::Constant(ct) => {
-                        let Some(value) = lhs_id.as_str() else {
-                            continue;
-                        };
-                        if let Some(p) = &ct.pattern {
-                            if !ct.memo.matches(p, lhs_id.raw(), value) {
-                                continue;
-                            }
-                        }
-                        matched = true;
-                        // Rebuild the violation the arrival created (the
-                        // check is the same id comparison; the memo makes
-                        // the pattern free) and retract it.
-                        if let Some(v) =
-                            violation_at(table, &rule.pfd, &ct.display, ct.expected, lhs, rhs, row)
-                        {
-                            retracted += 1;
-                            if let Some(ev) = ledger.retract(&v) {
-                                events.push(ev);
-                            }
-                        }
-                    }
-                    TupleState::Variable(vt) => {
-                        let Placement::Block(key) = vt.partition.remove(row, lhs_id) else {
-                            continue;
-                        };
-                        matched = true;
-                        let Some(state) = vt.blocks.get_mut(&key) else {
-                            continue; // row never asserted into this block
-                        };
-                        match vt.partition.block(key) {
-                            None => {
-                                // The block drained: nothing left to
-                                // flag, forget its state entirely.
-                                state.drain(ledger, &mut events, &mut retracted);
-                                vt.blocks.remove(&key);
-                            }
-                            Some(block) => {
-                                let new_majority = block.majority_id();
-                                if new_majority != state.majority {
-                                    // Majority flip (or last non-null
-                                    // RHS gone): full re-derive, exactly
-                                    // like the insert-side flip.
-                                    state.rederive(
-                                        table,
-                                        &rule.pfd,
-                                        lhs,
-                                        rhs,
-                                        &vt.display,
-                                        key,
-                                        block,
-                                        ledger,
-                                        &mut events,
-                                        &mut created,
-                                        &mut retracted,
-                                    );
-                                } else if let Some(majority) = state.majority {
-                                    if state.witnesses.binary_search(&row).is_ok() {
-                                        // A witness left: the next
-                                        // majority row in block order
-                                        // (if any) takes its slot.
-                                        let witnesses = block
-                                            .rows_with_rhs_ids()
-                                            .filter(|&(_, v)| v == majority)
-                                            .map(|(r, _)| r)
-                                            .take(MAX_WITNESSES)
-                                            .collect();
-                                        state.rewrite_witnesses(
-                                            witnesses,
-                                            ledger,
-                                            &mut events,
-                                            &mut created,
-                                            &mut retracted,
-                                        );
-                                    } else if rhs_id != majority {
-                                        // Minority departure — the fast
-                                        // path: exactly the row's own
-                                        // violation goes.
-                                        state.retract_row(row, ledger, &mut events, &mut retracted);
-                                    }
-                                    // Majority row beyond the witness
-                                    // window: nothing moves.
-                                }
-                                // Both majorities None: all-null block,
-                                // nothing was asserted.
-                            }
-                        }
-                    }
-                }
-            }
-            self.drift.retire(rule_idx, matched, created, retracted);
+            let mut sink = DeltaSink::default();
+            let matched = rule.process_removal(&self.table, row, &mut sink);
+            self.drift
+                .retire(rule_idx, matched, sink.created, sink.retracted);
+            apply_deltas(&mut self.ledger, sink.deltas, &mut events);
         }
         events
     }
@@ -703,42 +833,7 @@ impl StreamEngine {
         ops: impl IntoIterator<Item = RowOp>,
     ) -> Result<Vec<LedgerEvent>, TableError> {
         let ops: Vec<RowOp> = ops.into_iter().collect();
-        let arity = self.table.schema().arity();
-        let mut live: Vec<bool> = (0..self.table.row_count())
-            .map(|r| self.table.is_live(r))
-            .collect();
-        for op in &ops {
-            match op {
-                RowOp::Insert(cells) => {
-                    if cells.len() != arity {
-                        return Err(TableError::ArityMismatch {
-                            row: live.len(),
-                            found: cells.len(),
-                            expected: arity,
-                        });
-                    }
-                    live.push(true);
-                }
-                RowOp::Delete(row) => {
-                    if !live.get(*row).copied().unwrap_or(false) {
-                        return Err(TableError::NoSuchRow { row: *row });
-                    }
-                    live[*row] = false;
-                }
-                RowOp::Update(row, cells) => {
-                    if cells.len() != arity {
-                        return Err(TableError::ArityMismatch {
-                            row: *row,
-                            found: cells.len(),
-                            expected: arity,
-                        });
-                    }
-                    if !live.get(*row).copied().unwrap_or(false) {
-                        return Err(TableError::NoSuchRow { row: *row });
-                    }
-                }
-            }
-        }
+        validate_shapes(&self.table, ops.iter().map(OpShape::of))?;
         let mut events = Vec::new();
         for op in ops {
             let batch = match op {
@@ -788,14 +883,7 @@ impl StreamEngine {
     /// evaluation per (pattern, distinct value)" guarantee.
     #[must_use]
     pub fn pattern_evals(&self) -> usize {
-        self.rules
-            .iter()
-            .flat_map(|r| &r.tuples)
-            .map(|t| match t {
-                TupleState::Constant(ct) => ct.memo.evals(),
-                TupleState::Variable(vt) => vt.partition.key_evals(),
-            })
-            .sum()
+        self.rules.iter().map(RuleState::pattern_evals).sum()
     }
 
     /// Streaming health counters for one rule.
@@ -806,13 +894,21 @@ impl StreamEngine {
 
     /// Rules whose live confidence decayed below the discovery threshold
     /// — candidates for demotion to `RuleStatus::Pending`.
+    ///
+    /// Rule-index order is part of the API contract (consumers key the
+    /// `anmat rules` listing off it), so it is enforced with an explicit
+    /// sort rather than left as a side effect of how the reports happen
+    /// to be gathered.
     #[must_use]
     pub fn drift_report(&self) -> Vec<DriftReport> {
-        self.rules
+        let mut reports: Vec<DriftReport> = self
+            .rules
             .iter()
             .enumerate()
             .filter_map(|(i, r)| self.drift.judge(i, r.pfd.embedded_fd()))
-            .collect()
+            .collect();
+        reports.sort_by_key(|r| r.rule);
+        reports
     }
 }
 
@@ -963,6 +1059,7 @@ mod tests {
         let config = StreamConfig {
             min_support: 4,
             max_violation_ratio: 0.3,
+            shards: 1,
         };
         let mut engine = StreamEngine::with_config(schema(), vec![zip_constant_pfd()], config);
         for i in 0..10 {

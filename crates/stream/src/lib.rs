@@ -36,6 +36,16 @@
 //!   the denominator shrinks as matched rows are deleted — and flags
 //!   rules that decay below the discovery threshold, so they can be
 //!   demoted to `RuleStatus::Pending` for re-review.
+//! * [`ShardedEngine`] runs the same delta pipeline across worker
+//!   threads: rules (whose incremental state is mutually independent)
+//!   are partitioned over N shards, each op batch is interned once and
+//!   fanned out over bounded channels, and per-shard deltas are merged
+//!   back in global rule order into one coordinator-owned ledger. The
+//!   **determinism contract**: for any op sequence and any shard count,
+//!   the event stream, ledger state, per-rule health, and drift report
+//!   are bit-for-bit identical to [`StreamEngine`]'s (property-tested in
+//!   `tests/shard_equivalence.rs`). Cross-shard string traffic rides the
+//!   `ValuePool`, whose id→string resolution is lock-free.
 //!
 //! # Example
 //!
@@ -69,9 +79,11 @@
 
 pub mod drift;
 pub mod engine;
+pub mod sharded;
 
 pub use drift::{DriftMonitor, DriftReport, RuleHealth};
 pub use engine::{StreamConfig, StreamEngine};
+pub use sharded::ShardedEngine;
 
 // Re-exported so downstream users of the engine's event stream don't need
 // a direct anmat-core dependency.

@@ -1,0 +1,724 @@
+//! Sharded execution of the incremental engine: rule state spread
+//! across worker threads, one deterministic merged event stream.
+//!
+//! # Why rules shard cleanly
+//!
+//! Every rule's incremental state (match memos, blocking partition,
+//! per-block assertions) is independent of every other rule's — the only
+//! cross-rule structures are the [`ViolationLedger`] (which refcounts
+//! identical violations asserted by different rules) and the
+//! [`DriftMonitor`]. So the partitioning is rule-granular: each worker
+//! owns a disjoint subset of the seeded rules and processes every op for
+//! exactly those rules.
+//!
+//! # The shard/merge protocol
+//!
+//! A batch of [`RowOp`]s is validated and interned **once** by the
+//! coordinator (one `ValuePool` lock acquisition per record via
+//! `intern_value_batch`), then fanned out over bounded channels as one
+//! shared `Arc` of id-ops. Each worker applies the ops *in order* to its
+//! own id-table replica (4-byte cells; the string bytes live once, in
+//! the process-global pool, whose `resolve` is lock-free) and runs its
+//! rules' `process_insert`/`process_removal`
+//! delta core against it — the exact code the single-threaded engine
+//! runs, against an identical table state at every op. Workers return,
+//! per op and per phase (removal, then insert), the deltas each of their
+//! rules produced.
+//!
+//! The coordinator merges: for each op, phase by phase, deltas are
+//! ordered by **global rule index** and replayed into the one ledger and
+//! the one drift monitor. That replay performs the same ledger calls in
+//! the same order as `StreamEngine` would, so cross-rule refcount
+//! dedup, event contents, and event *order* are bit-for-bit identical —
+//! the determinism contract `tests/shard_equivalence.rs` pins down for
+//! 1/2/4 shards against the single-threaded engine.
+//!
+//! # Placement and rebalancing
+//!
+//! Rules are assigned round-robin in descending order of an a-priori
+//! weight (variable tuples maintain whole block partitions and weigh
+//! more than constant tuples). Once real data has flowed,
+//! [`ShardedEngine::rebalance`] redistributes by *observed* per-rule
+//! block counts: workers hand their rule states back over the channel,
+//! the coordinator re-sorts and re-installs them — possible precisely
+//! because rule state is self-contained and every worker's table replica
+//! is identical.
+
+use crate::drift::{DriftMonitor, DriftReport, RuleHealth};
+use crate::engine::{
+    apply_deltas, validate_shapes, Delta, DeltaSink, OpShape, RuleState, StreamConfig,
+};
+use anmat_core::{LedgerEvent, Pfd, ViolationLedger};
+use anmat_table::{RowId, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A [`RowOp`] with its cells already interned — what crosses the
+/// channel (ids are `Copy`; no string is cloned into a worker).
+#[derive(Debug, Clone)]
+enum IdOp {
+    Insert(Vec<ValueId>),
+    Delete(RowId),
+    Update(RowId, Vec<ValueId>),
+}
+
+impl IdOp {
+    fn shape(&self) -> OpShape {
+        match self {
+            IdOp::Insert(cells) => OpShape::Insert { arity: cells.len() },
+            IdOp::Delete(row) => OpShape::Delete { row: *row },
+            IdOp::Update(row, cells) => OpShape::Update {
+                row: *row,
+                arity: cells.len(),
+            },
+        }
+    }
+}
+
+/// Deltas one rule produced for one phase of one op.
+struct RuleDeltas {
+    rule: usize,
+    matched: bool,
+    created: usize,
+    retracted: usize,
+    deltas: Vec<Delta>,
+}
+
+/// What one shard produced for one op: the removal phase (deletes and
+/// the first half of updates), then the insert phase.
+#[derive(Default)]
+struct OpOutcome {
+    removal: Vec<RuleDeltas>,
+    insert: Vec<RuleDeltas>,
+}
+
+/// Per-rule load/observability figures a worker reports on request.
+struct RuleStats {
+    rule: usize,
+    blocks: usize,
+    pattern_evals: usize,
+}
+
+enum WorkerMsg {
+    Batch(Arc<Vec<IdOp>>),
+    Stats,
+    Extract,
+    Install(Vec<(usize, RuleState)>),
+}
+
+enum WorkerReply {
+    Batch(Vec<OpOutcome>),
+    Stats(Vec<RuleStats>),
+    Extracted(Vec<(usize, RuleState)>),
+    Installed,
+}
+
+/// One worker thread's state: its table replica and its rule subset
+/// (kept sorted by global rule index so per-op outcomes come out
+/// pre-ordered).
+struct Worker {
+    table: Table,
+    rules: Vec<(usize, RuleState)>,
+}
+
+impl Worker {
+    fn run(mut self, rx: &Receiver<WorkerMsg>, tx: &SyncSender<WorkerReply>) {
+        while let Ok(msg) = rx.recv() {
+            let reply = match msg {
+                WorkerMsg::Batch(ops) => WorkerReply::Batch(self.process_batch(&ops)),
+                WorkerMsg::Stats => WorkerReply::Stats(
+                    self.rules
+                        .iter()
+                        .map(|(rule, state)| RuleStats {
+                            rule: *rule,
+                            blocks: state.block_count(),
+                            pattern_evals: state.pattern_evals(),
+                        })
+                        .collect(),
+                ),
+                WorkerMsg::Extract => WorkerReply::Extracted(std::mem::take(&mut self.rules)),
+                WorkerMsg::Install(mut rules) => {
+                    rules.sort_by_key(|(rule, _)| *rule);
+                    self.rules = rules;
+                    WorkerReply::Installed
+                }
+            };
+            if tx.send(reply).is_err() {
+                break; // coordinator gone
+            }
+        }
+    }
+
+    fn process_batch(&mut self, ops: &[IdOp]) -> Vec<OpOutcome> {
+        ops.iter()
+            .map(|op| {
+                let mut outcome = OpOutcome::default();
+                match op {
+                    IdOp::Insert(cells) => {
+                        let row = self
+                            .table
+                            .push_id_row(cells.clone())
+                            .expect("coordinator validated the batch");
+                        outcome.insert = self.phase(row, false);
+                    }
+                    IdOp::Delete(row) => {
+                        // Removal runs against the pre-delete cells, as
+                        // in the single-threaded engine.
+                        outcome.removal = self.phase(*row, true);
+                        self.table
+                            .delete_row(*row)
+                            .expect("coordinator validated the batch");
+                    }
+                    IdOp::Update(row, cells) => {
+                        outcome.removal = self.phase(*row, true);
+                        self.table
+                            .update_id_row(*row, cells.clone())
+                            .expect("coordinator validated the batch");
+                        outcome.insert = self.phase(*row, false);
+                    }
+                }
+                outcome
+            })
+            .collect()
+    }
+
+    /// Run one phase of one op for every owned rule, in ascending global
+    /// rule order. No-op entries (unmatched, no deltas) are dropped —
+    /// they would be drift no-ops at the merge anyway.
+    fn phase(&mut self, row: RowId, removal: bool) -> Vec<RuleDeltas> {
+        let mut out = Vec::new();
+        for (rule, state) in &mut self.rules {
+            let mut sink = DeltaSink::default();
+            let matched = if removal {
+                state.process_removal(&self.table, row, &mut sink)
+            } else {
+                state.process_insert(&self.table, row, &mut sink)
+            };
+            if matched || sink.created > 0 || sink.retracted > 0 || !sink.deltas.is_empty() {
+                out.push(RuleDeltas {
+                    rule: *rule,
+                    matched,
+                    created: sink.created,
+                    retracted: sink.retracted,
+                    deltas: sink.deltas,
+                });
+            }
+        }
+        out
+    }
+}
+
+struct WorkerHandle {
+    tx: Option<SyncSender<WorkerMsg>>,
+    rx: Receiver<WorkerReply>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    fn send(&self, msg: WorkerMsg) {
+        self.tx
+            .as_ref()
+            .expect("worker channel open")
+            .send(msg)
+            .expect("worker thread alive");
+    }
+
+    fn recv(&self) -> WorkerReply {
+        self.rx.recv().expect("worker thread alive")
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker's recv loop.
+        self.tx.take();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The sharded incremental engine: same semantics as [`StreamEngine`]
+/// (bit-for-bit, including event order), rule processing spread over
+/// worker threads. See the module docs for the shard/merge protocol.
+///
+/// [`StreamEngine`]: crate::StreamEngine
+pub struct ShardedEngine {
+    /// The coordinator's canonical table (workers hold id replicas).
+    table: Table,
+    rules: Vec<Pfd>,
+    /// Rule index → shard index.
+    assignment: Vec<usize>,
+    workers: Vec<WorkerHandle>,
+    ledger: ViolationLedger,
+    drift: DriftMonitor,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.workers.len())
+            .field("rules", &self.rules.len())
+            .field("rows", &self.table.row_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedEngine {
+    /// An engine over `schema` with `shards` workers, default
+    /// thresholds. The worker count is clamped to `[1, rule count]` —
+    /// rule-granular sharding cannot use more workers than rules.
+    #[must_use]
+    pub fn new(schema: Schema, rules: Vec<Pfd>, shards: usize) -> ShardedEngine {
+        let config = StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        };
+        ShardedEngine::with_config(schema, rules, config)
+    }
+
+    /// An engine with explicit thresholds; `config.shards` sets the
+    /// worker count.
+    #[must_use]
+    pub fn with_config(schema: Schema, rules: Vec<Pfd>, config: StreamConfig) -> ShardedEngine {
+        let shards = config.shards.clamp(1, rules.len().max(1));
+        let assignment = ShardedEngine::assign(&rules, shards);
+        let drift = DriftMonitor::new(rules.len(), config.min_support, config.max_violation_ratio);
+        let workers = (0..shards)
+            .map(|shard| {
+                let states: Vec<(usize, RuleState)> = rules
+                    .iter()
+                    .enumerate()
+                    .filter(|(rule, _)| assignment[*rule] == shard)
+                    .map(|(rule, pfd)| (rule, RuleState::seed(pfd.clone(), &schema)))
+                    .collect();
+                let worker = Worker {
+                    table: Table::empty(schema.clone()),
+                    rules: states,
+                };
+                // Bounded both ways: one in-flight batch per worker.
+                let (msg_tx, msg_rx) = sync_channel::<WorkerMsg>(1);
+                let (reply_tx, reply_rx) = sync_channel::<WorkerReply>(1);
+                let thread = std::thread::Builder::new()
+                    .name(format!("anmat-shard-{shard}"))
+                    .spawn(move || worker.run(&msg_rx, &reply_tx))
+                    .expect("spawn shard worker");
+                WorkerHandle {
+                    tx: Some(msg_tx),
+                    rx: reply_rx,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        ShardedEngine {
+            table: Table::empty(schema),
+            rules,
+            assignment,
+            workers,
+            ledger: ViolationLedger::new(),
+            drift,
+        }
+    }
+
+    /// Round-robin over rules sorted by descending weight (ties by
+    /// index): the heaviest rules land on distinct shards first.
+    fn assign_by_weight(weights: &[usize], shards: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by_key(|&rule| (std::cmp::Reverse(weights[rule]), rule));
+        let mut assignment = vec![0; weights.len()];
+        for (pos, &rule) in order.iter().enumerate() {
+            assignment[rule] = pos % shards;
+        }
+        assignment
+    }
+
+    fn assign(rules: &[Pfd], shards: usize) -> Vec<usize> {
+        let weights: Vec<usize> = rules.iter().map(RuleState::estimated_weight).collect();
+        ShardedEngine::assign_by_weight(&weights, shards)
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shard a rule currently lives on.
+    #[must_use]
+    pub fn rule_shard(&self, rule: usize) -> usize {
+        self.assignment[rule]
+    }
+
+    // ── ingest entry points (same surface as `StreamEngine`) ─────────
+
+    /// Ingest one row; returns the violation events it caused, in
+    /// rule/tableau order — identical to the single-threaded engine.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<Vec<LedgerEvent>, TableError> {
+        self.apply([RowOp::Insert(row)])
+    }
+
+    /// Ingest one row of already-interned ids (clone-free fan-out).
+    pub fn push_id_row(&mut self, row: Vec<ValueId>) -> Result<Vec<LedgerEvent>, TableError> {
+        self.run_id_ops(vec![IdOp::Insert(row)])
+    }
+
+    /// Ingest a batch of rows; returns the concatenated events. Atomic
+    /// with respect to errors: the whole batch is validated before any
+    /// row is ingested.
+    pub fn push_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        self.apply(rows.into_iter().map(RowOp::Insert))
+    }
+
+    /// Ingest a batch of already-interned rows; atomic like
+    /// [`ShardedEngine::push_batch`].
+    pub fn push_id_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = Vec<ValueId>>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        self.run_id_ops(rows.into_iter().map(IdOp::Insert).collect())
+    }
+
+    /// Delete one live row; same contract as the single-threaded
+    /// engine's `delete_row`.
+    pub fn delete_row(&mut self, row: RowId) -> Result<Vec<LedgerEvent>, TableError> {
+        self.run_id_ops(vec![IdOp::Delete(row)])
+    }
+
+    /// Update one live row in place (delete + insert fused on one slot).
+    pub fn update_row(
+        &mut self,
+        row: RowId,
+        cells: Vec<Value>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        self.apply([RowOp::Update(row, cells)])
+    }
+
+    /// Update one live row with already-interned ids.
+    pub fn update_id_row(
+        &mut self,
+        row: RowId,
+        cells: Vec<ValueId>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        self.run_id_ops(vec![IdOp::Update(row, cells)])
+    }
+
+    /// Apply a batch of [`RowOp`]s; returns the concatenated events.
+    /// Atomic with respect to errors (validated against a simulation of
+    /// the live set before any op executes or is fanned out).
+    pub fn apply(
+        &mut self,
+        ops: impl IntoIterator<Item = RowOp>,
+    ) -> Result<Vec<LedgerEvent>, TableError> {
+        let ops: Vec<RowOp> = ops.into_iter().collect();
+        validate_shapes(&self.table, ops.iter().map(OpShape::of))?;
+        // Intern every record once, coordinator-side (one pool lock
+        // acquisition per record); workers only ever see `Copy` ids.
+        let id_ops: Vec<IdOp> = ops
+            .into_iter()
+            .map(|op| match op {
+                RowOp::Insert(cells) => IdOp::Insert(ValuePool::intern_value_batch(&cells)),
+                RowOp::Delete(row) => IdOp::Delete(row),
+                RowOp::Update(row, cells) => {
+                    IdOp::Update(row, ValuePool::intern_value_batch(&cells))
+                }
+            })
+            .collect();
+        self.fan_out(id_ops)
+    }
+
+    /// Replay an existing table's *live* rows in row order (clone-free:
+    /// rows are carried over as interned ids, in one fan-out batch).
+    pub fn replay_table(&mut self, table: &Table) -> Result<Vec<LedgerEvent>, TableError> {
+        self.run_id_ops(
+            table
+                .iter_live()
+                .map(|r| IdOp::Insert(table.row_ids(r)))
+                .collect(),
+        )
+    }
+
+    fn run_id_ops(&mut self, id_ops: Vec<IdOp>) -> Result<Vec<LedgerEvent>, TableError> {
+        validate_shapes(&self.table, id_ops.iter().map(IdOp::shape))?;
+        self.fan_out(id_ops)
+    }
+
+    /// Fan a validated id-op batch out to every worker, apply it to the
+    /// canonical table while they process, then merge the per-shard
+    /// outcomes into the deterministic event stream.
+    fn fan_out(&mut self, id_ops: Vec<IdOp>) -> Result<Vec<LedgerEvent>, TableError> {
+        let op_count = id_ops.len();
+        if op_count == 0 {
+            return Ok(Vec::new());
+        }
+        let batch = Arc::new(id_ops);
+        for worker in &self.workers {
+            worker.send(WorkerMsg::Batch(Arc::clone(&batch)));
+        }
+        // The coordinator's replica advances while the workers chew.
+        for op in batch.iter() {
+            match op {
+                IdOp::Insert(cells) => {
+                    self.table
+                        .push_id_row(cells.clone())
+                        .expect("batch pre-validated");
+                }
+                IdOp::Delete(row) => {
+                    self.table.delete_row(*row).expect("batch pre-validated");
+                }
+                IdOp::Update(row, cells) => {
+                    self.table
+                        .update_id_row(*row, cells.clone())
+                        .expect("batch pre-validated");
+                }
+            }
+        }
+        let replies: Vec<Vec<OpOutcome>> = self
+            .workers
+            .iter()
+            .map(|worker| match worker.recv() {
+                WorkerReply::Batch(outcomes) => outcomes,
+                _ => unreachable!("worker replies in lockstep with requests"),
+            })
+            .collect();
+        Ok(self.merge(op_count, replies))
+    }
+
+    /// Merge per-shard outcomes: for each op, removal phase then insert
+    /// phase, deltas ordered by global rule index — the same ledger call
+    /// sequence the single-threaded engine performs, hence the same
+    /// events in the same order.
+    fn merge(&mut self, op_count: usize, mut replies: Vec<Vec<OpOutcome>>) -> Vec<LedgerEvent> {
+        let mut events = Vec::new();
+        for op in 0..op_count {
+            let mut removal: Vec<RuleDeltas> = Vec::new();
+            let mut insert: Vec<RuleDeltas> = Vec::new();
+            for shard in &mut replies {
+                let outcome = std::mem::take(&mut shard[op]);
+                removal.extend(outcome.removal);
+                insert.extend(outcome.insert);
+            }
+            removal.sort_by_key(|d| d.rule);
+            insert.sort_by_key(|d| d.rule);
+            for d in removal {
+                self.drift.retire(d.rule, d.matched, d.created, d.retracted);
+                apply_deltas(&mut self.ledger, d.deltas, &mut events);
+            }
+            for d in insert {
+                self.drift
+                    .observe(d.rule, d.matched, d.created, d.retracted);
+                apply_deltas(&mut self.ledger, d.deltas, &mut events);
+            }
+        }
+        events
+    }
+
+    // ── rebalancing ──────────────────────────────────────────────────
+
+    /// Redistribute rules across shards by *observed* per-rule block
+    /// counts (heaviest-first round-robin). Rule states migrate between
+    /// workers with their memos and partitions intact; the engine's
+    /// observable behaviour is unchanged — only future load placement.
+    pub fn rebalance(&mut self) {
+        if self.workers.len() <= 1 {
+            return;
+        }
+        let stats = self.gather_stats();
+        let mut weights = vec![0usize; self.rules.len()];
+        for s in &stats {
+            // Observed blocks, floored at 1 so data-free rules still
+            // spread instead of piling onto shard 0.
+            weights[s.rule] = s.blocks.max(1);
+        }
+        self.assignment = ShardedEngine::assign_by_weight(&weights, self.workers.len());
+        // Pull every rule state back, then re-install per the new map.
+        for worker in &self.workers {
+            worker.send(WorkerMsg::Extract);
+        }
+        let mut states: Vec<(usize, RuleState)> = Vec::with_capacity(self.rules.len());
+        for worker in &self.workers {
+            match worker.recv() {
+                WorkerReply::Extracted(mut s) => states.append(&mut s),
+                _ => unreachable!("worker replies in lockstep with requests"),
+            }
+        }
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let assigned: Vec<(usize, RuleState)> = states
+                .extract_if(.., |(rule, _)| self.assignment[*rule] == shard)
+                .collect();
+            worker.send(WorkerMsg::Install(assigned));
+        }
+        for worker in &self.workers {
+            match worker.recv() {
+                WorkerReply::Installed => {}
+                _ => unreachable!("worker replies in lockstep with requests"),
+            }
+        }
+    }
+
+    fn gather_stats(&self) -> Vec<RuleStats> {
+        for worker in &self.workers {
+            worker.send(WorkerMsg::Stats);
+        }
+        let mut stats = Vec::with_capacity(self.rules.len());
+        for worker in &self.workers {
+            match worker.recv() {
+                WorkerReply::Stats(mut s) => stats.append(&mut s),
+                _ => unreachable!("worker replies in lockstep with requests"),
+            }
+        }
+        stats
+    }
+
+    // ── accessors (same surface as `StreamEngine`) ───────────────────
+
+    /// The ledger of live violations.
+    #[must_use]
+    pub fn ledger(&self) -> &ViolationLedger {
+        &self.ledger
+    }
+
+    /// The accumulated (canonical) table.
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Row *slots* ingested so far (tombstoned ones included).
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.table.row_count()
+    }
+
+    /// Rows currently live (ingested minus deleted).
+    #[must_use]
+    pub fn live_rows(&self) -> usize {
+        self.table.live_rows()
+    }
+
+    /// The seeded rules, in index order.
+    pub fn rules(&self) -> impl Iterator<Item = &Pfd> {
+        self.rules.iter()
+    }
+
+    /// Total pattern evaluations across all shards (bounded by
+    /// `Σ_tuple distinct(LHS column)`, exactly as in the single-threaded
+    /// engine — the memoization guarantee shards per rule).
+    #[must_use]
+    pub fn pattern_evals(&self) -> usize {
+        self.gather_stats().iter().map(|s| s.pattern_evals).sum()
+    }
+
+    /// Streaming health counters for one rule.
+    #[must_use]
+    pub fn rule_health(&self, rule: usize) -> RuleHealth {
+        self.drift.health(rule)
+    }
+
+    /// Rules whose live confidence decayed below the discovery
+    /// threshold, in rule-index order — the same explicit ordering
+    /// contract as the single-threaded engine's `drift_report` (drift
+    /// state is coordinator-owned, so shard completion order cannot
+    /// reach it; the sort pins the contract against future gathering
+    /// changes).
+    #[must_use]
+    pub fn drift_report(&self) -> Vec<DriftReport> {
+        let mut reports: Vec<DriftReport> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, pfd)| self.drift.judge(i, pfd.embedded_fd()))
+            .collect();
+        reports.sort_by_key(|r| r.rule);
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anmat_core::PatternTuple;
+
+    fn schema() -> Schema {
+        Schema::new(["zip", "city"]).unwrap()
+    }
+
+    fn zip_variable_pfd() -> Pfd {
+        Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::variable("[\\D{3}]\\D{2}".parse().unwrap())],
+        )
+    }
+
+    #[test]
+    fn assignment_spreads_heaviest_first() {
+        let weights = [1, 4, 4, 1, 2];
+        let a = ShardedEngine::assign_by_weight(&weights, 2);
+        // Sorted by weight desc, index asc: 1, 2, 4, 0, 3 → shards
+        // 0, 1, 0, 1, 0.
+        assert_eq!(a, vec![1, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn shard_count_clamped_to_rules() {
+        let engine = ShardedEngine::new(schema(), vec![zip_variable_pfd()], 8);
+        assert_eq!(engine.shard_count(), 1);
+        let engine = ShardedEngine::new(schema(), vec![], 4);
+        assert_eq!(engine.shard_count(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut engine = ShardedEngine::new(schema(), vec![zip_variable_pfd()], 2);
+        let events = engine.apply([]).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(engine.row_count(), 0);
+    }
+
+    #[test]
+    fn basic_flow_matches_expectations() {
+        let mut engine = ShardedEngine::new(schema(), vec![zip_variable_pfd()], 2);
+        assert!(engine
+            .push_row(vec![Value::text("90001"), Value::text("Los Angeles")])
+            .unwrap()
+            .is_empty());
+        let events = engine
+            .push_row(vec![Value::text("90002"), Value::text("New York")])
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_created());
+        assert_eq!(engine.ledger().live_count(), 1);
+        assert_eq!(engine.live_rows(), 2);
+        // Deleting the flagged row retracts its violation.
+        let events = engine.delete_row(1).unwrap();
+        assert!(events.iter().any(|e| !e.is_created()));
+        assert!(engine.ledger().is_empty());
+    }
+
+    #[test]
+    fn invalid_ops_leave_the_engine_untouched() {
+        let mut engine = ShardedEngine::new(schema(), vec![zip_variable_pfd()], 2);
+        engine
+            .push_row(vec![Value::text("90001"), Value::text("Los Angeles")])
+            .unwrap();
+        assert!(matches!(
+            engine.apply([RowOp::Delete(0), RowOp::Delete(0)]),
+            Err(TableError::NoSuchRow { row: 0 })
+        ));
+        assert_eq!(engine.live_rows(), 1, "nothing applied");
+        assert!(matches!(
+            engine.push_row(vec![Value::text("just-one")]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+        // The engine still works after rejected batches.
+        engine
+            .push_row(vec![Value::text("90002"), Value::text("Los Angeles")])
+            .unwrap();
+        assert_eq!(engine.live_rows(), 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! Shard-equivalence — the determinism contract of the sharded engine:
+//! for every datagen dataset and random op interleavings, a
+//! [`ShardedEngine`] with 1/2/4 shards must produce the **same event
+//! stream, batch by batch** (contents *and* order), the same final
+//! ledger state, the same per-rule health, and the same drift report as
+//! the single-threaded [`StreamEngine`] — bit-for-bit, regardless of
+//! shard completion order, batch splits, or mid-stream rebalancing.
+//!
+//! Case count scales with `PROPTEST_CASES` (CI runs a dedicated
+//! elevated-cases step so the concurrency path gets real coverage on
+//! every push).
+
+use anmat_core::{discover, DiscoveryConfig, Pfd};
+use anmat_datagen::{chembl, employee, names, phone, zipcity, GenConfig};
+use anmat_stream::{ShardedEngine, StreamEngine};
+use anmat_table::{RowId, RowOp, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn discovery_config() -> DiscoveryConfig {
+    DiscoveryConfig {
+        min_support: 3,
+        min_coverage: 0.5,
+        max_violation_ratio: 0.15,
+        ..DiscoveryConfig::default()
+    }
+}
+
+/// Local proptest case count, overridable by `PROPTEST_CASES` (the CI
+/// elevated step); the in-repo default stays small because each case
+/// runs discovery plus four full engines.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A random interleaving: every source row arrives as an insert; after
+/// each arrival, with probability `churn` (repeatedly), a random live
+/// slot is deleted or updated in place (same generator as
+/// `tests/mutations.rs`).
+fn random_ops(source: &Table, seed: u64, churn: f64) -> Vec<RowOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    let mut live: Vec<RowId> = Vec::new();
+    for r in 0..source.row_count() {
+        ops.push(RowOp::Insert(source.row(r)));
+        live.push(r);
+        while !live.is_empty() && rng.random_bool(churn) {
+            let pick = rng.random_range(0..live.len());
+            let row = live[pick];
+            if rng.random_bool(0.5) {
+                live.remove(pick);
+                ops.push(RowOp::Delete(row));
+            } else {
+                let donor = rng.random_range(0..source.row_count());
+                ops.push(RowOp::Update(row, source.row(donor)));
+            }
+        }
+    }
+    ops
+}
+
+/// Split `ops` into batches whose sizes cycle through `batch_sizes`, so
+/// the sharded fan-out is exercised at several batch granularities in
+/// one run.
+fn batches(ops: &[RowOp], batch_sizes: &[usize]) -> Vec<Vec<RowOp>> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut size_idx = 0usize;
+    while i < ops.len() {
+        let size = batch_sizes[size_idx % batch_sizes.len()].max(1);
+        size_idx += 1;
+        let end = (i + size).min(ops.len());
+        out.push(ops[i..end].to_vec());
+        i = end;
+    }
+    out
+}
+
+/// Feed identical batch sequences to the single-threaded engine and to
+/// sharded engines with 1/2/4 shards (optionally rebalancing the
+/// sharded ones mid-stream), asserting the full determinism contract.
+fn assert_shard_equivalent(
+    schema: &anmat_table::Schema,
+    rules: &[Pfd],
+    op_batches: &[Vec<RowOp>],
+    rebalance_at: Option<usize>,
+    context: &str,
+) {
+    let mut single = StreamEngine::new(schema.clone(), rules.to_vec());
+    let reference: Vec<Vec<_>> = op_batches
+        .iter()
+        .map(|batch| single.apply(batch.clone()).expect("ops are valid"))
+        .collect();
+
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedEngine::new(schema.clone(), rules.to_vec(), shards);
+        for (k, batch) in op_batches.iter().enumerate() {
+            if rebalance_at == Some(k) {
+                sharded.rebalance();
+            }
+            let events = sharded.apply(batch.clone()).expect("ops are valid");
+            assert_eq!(
+                events, reference[k],
+                "event stream diverged on {context} (shards={shards}, batch {k})"
+            );
+        }
+        assert_eq!(
+            sharded.ledger().snapshot(),
+            single.ledger().snapshot(),
+            "ledger state diverged on {context} (shards={shards})"
+        );
+        assert_eq!(sharded.ledger().live_count(), single.ledger().live_count());
+        assert_eq!(
+            sharded.ledger().created_total(),
+            single.ledger().created_total(),
+            "created totals diverged on {context} (shards={shards})"
+        );
+        assert_eq!(
+            sharded.ledger().retracted_total(),
+            single.ledger().retracted_total(),
+            "retracted totals diverged on {context} (shards={shards})"
+        );
+        assert_eq!(
+            sharded.table(),
+            single.table(),
+            "canonical table diverged on {context} (shards={shards})"
+        );
+        for rule in 0..rules.len() {
+            assert_eq!(
+                sharded.rule_health(rule),
+                single.rule_health(rule),
+                "rule {rule} health diverged on {context} (shards={shards})"
+            );
+        }
+        assert_eq!(
+            sharded.drift_report(),
+            single.drift_report(),
+            "drift report diverged on {context} (shards={shards})"
+        );
+    }
+}
+
+fn check_dataset(table: &Table, seed: u64, churn: f64, context: &str) {
+    let rules = discover(table, &discovery_config());
+    let ops = random_ops(table, seed, churn);
+    let op_batches = batches(&ops, &[1, 7, 64, 3]);
+    assert_shard_equivalent(table.schema(), &rules, &op_batches, None, context);
+}
+
+#[test]
+fn every_datagen_dataset_is_shard_equivalent() {
+    let config = GenConfig {
+        rows: 180,
+        seed: 0x5AAD,
+        error_rate: 0.04,
+    };
+    check_dataset(&phone::generate(&config).table, 1, 0.15, "phone");
+    check_dataset(&names::generate(&config).table, 2, 0.15, "names");
+    check_dataset(
+        &zipcity::generate(&config, zipcity::ZipTarget::City).table,
+        3,
+        0.15,
+        "zipcity/City",
+    );
+    check_dataset(
+        &zipcity::generate(&config, zipcity::ZipTarget::State).table,
+        4,
+        0.15,
+        "zipcity/State",
+    );
+    check_dataset(&employee::generate(&config).table, 5, 0.15, "employee");
+    check_dataset(&chembl::generate(&config).table, 6, 0.15, "chembl");
+}
+
+#[test]
+fn replay_table_is_shard_equivalent() {
+    let config = GenConfig {
+        rows: 300,
+        seed: 0xBEE5,
+        error_rate: 0.03,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    let rules = discover(&data.table, &discovery_config());
+    let mut single = StreamEngine::new(data.table.schema().clone(), rules.clone());
+    let reference = single.replay_table(&data.table).expect("schema matches");
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedEngine::new(data.table.schema().clone(), rules.clone(), shards);
+        let events = sharded.replay_table(&data.table).expect("schema matches");
+        assert_eq!(
+            events, reference,
+            "replay events diverged (shards={shards})"
+        );
+        assert_eq!(sharded.ledger().snapshot(), single.ledger().snapshot());
+        assert_eq!(sharded.pattern_evals(), single.pattern_evals());
+    }
+}
+
+#[test]
+fn rebalancing_mid_stream_changes_nothing_observable() {
+    let config = GenConfig {
+        rows: 200,
+        seed: 0x12EBA,
+        error_rate: 0.05,
+    };
+    let data = names::generate(&config);
+    let rules = discover(&data.table, &discovery_config());
+    let ops = random_ops(&data.table, 7, 0.2);
+    let op_batches = batches(&ops, &[16]);
+    // Rebalance after roughly half the batches have flowed.
+    let mid = op_batches.len() / 2;
+    assert_shard_equivalent(
+        data.table.schema(),
+        &rules,
+        &op_batches,
+        Some(mid),
+        "names + mid-stream rebalance",
+    );
+}
+
+#[test]
+fn drift_report_is_rule_index_sorted_across_engines() {
+    use anmat_core::PatternTuple;
+    use anmat_table::{Schema, Value};
+
+    // Three constant rules that all drift (every matching row violates),
+    // seeded so different shards own different rules — the report must
+    // come back [0, 1, 2] regardless of which shard judged which rule.
+    let schema = Schema::new(["zip", "city"]).unwrap();
+    let rule = |expected: &str| {
+        Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::constant(
+                anmat_pattern_unconstrained("900\\D{2}"),
+                expected,
+            )],
+        )
+    };
+    let rules = vec![rule("Alpha"), rule("Beta"), rule("Gamma")];
+    let rows: Vec<Vec<Value>> = (0..12)
+        .map(|i| vec![Value::text(format!("900{i:02}")), Value::text("Delta")])
+        .collect();
+
+    let mut single = StreamEngine::new(schema.clone(), rules.clone());
+    single.push_batch(rows.clone()).unwrap();
+    let single_report = single.drift_report();
+    assert_eq!(
+        single_report.iter().map(|d| d.rule).collect::<Vec<_>>(),
+        vec![0, 1, 2],
+        "single-threaded drift report must be rule-index sorted"
+    );
+
+    for shards in [2usize, 3] {
+        let mut sharded = ShardedEngine::new(schema.clone(), rules.clone(), shards);
+        sharded.push_batch(rows.clone()).unwrap();
+        let report = sharded.drift_report();
+        assert_eq!(
+            report.iter().map(|d| d.rule).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "sharded drift report must be rule-index sorted (shards={shards})"
+        );
+        assert_eq!(report, single_report);
+    }
+}
+
+/// Helper: an unconstrained pattern wrapped the way rule constructors
+/// expect (kept out of line to keep the test body readable).
+fn anmat_pattern_unconstrained(p: &str) -> anmat_pattern::ConstrainedPattern {
+    anmat_pattern::ConstrainedPattern::unconstrained(p.parse().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(4)))]
+
+    /// The acceptance property: for random datasets, op interleavings,
+    /// and batch splits, 1/2/4 shards are indistinguishable from the
+    /// single-threaded engine.
+    #[test]
+    fn random_interleavings_are_shard_equivalent(
+        seed in 0u64..10_000,
+        rows in 60usize..160,
+        churn_pct in 5u32..35,
+        batch_a in 1usize..48,
+        batch_b in 1usize..12,
+    ) {
+        let config = GenConfig { rows, seed, error_rate: 0.04 };
+        let churn = f64::from(churn_pct) / 100.0;
+        for (table, context) in [
+            (zipcity::generate(&config, zipcity::ZipTarget::City).table, "zipcity (property)"),
+            (names::generate(&config).table, "names (property)"),
+        ] {
+            let rules = discover(&table, &discovery_config());
+            let ops = random_ops(&table, seed ^ 0x5eed, churn);
+            let op_batches = batches(&ops, &[batch_a, batch_b]);
+            assert_shard_equivalent(table.schema(), &rules, &op_batches, None, context);
+        }
+    }
+}

@@ -36,12 +36,41 @@
 //! non-null id — nullness is a property of the *cell*, not of string
 //! content.
 //!
-//! Interning is thread-safe (`RwLock`; reads are lock-shared and writes
-//! only happen on first sighting of a string), so tables can be built
-//! from multiple threads and the resulting ids are globally comparable.
+//! # Concurrency: lock-free resolution
+//!
+//! The pool is split into two halves with different synchronization:
+//!
+//! * **id → string** is an append-only *chunked store*: a fixed ladder of
+//!   doubling-capacity chunks (64, 128, 256, … slots) whose addresses
+//!   never change once allocated, plus an atomic length watermark.
+//!   [`ValuePool::resolve`] is therefore **lock-free**: a relaxed
+//!   watermark bounds check and two pointer chases (chunk, then the
+//!   published entry), with acquire loads pairing against the publishing
+//!   release stores. Resolution never blocks and is never blocked — not
+//!   by other resolvers, and not by concurrent interning. This is what
+//!   lets sharded stream workers render evidence strings on every thread
+//!   without contending on the pool.
+//! * **string → id** (interning) keeps an `RwLock`ed hash map: lookups of
+//!   already-interned strings take the shared read lock; only a genuine
+//!   *miss* — the first sighting of a string — takes the write lock to
+//!   allocate and publish. [`ValuePool::intern_batch`] amortizes further:
+//!   a whole record is looked up under one read-lock acquisition, and
+//!   whatever missed is interned under one write-lock acquisition — the
+//!   CSV ingest path pays two lock operations per *record*, not two per
+//!   cell.
+//!
+//! Publishing protocol (single writer at a time — the map write lock
+//! doubles as the store's append lock): write the entry pointer into its
+//! slot with `Release`, then advance the watermark with `Release`.
+//! Readers load the slot with `Acquire`; a non-null pointer therefore
+//! carries a happens-before edge to the entry's contents. A legitimate
+//! id always finds a non-null slot, because the id itself can only have
+//! reached the resolving thread through the intern that published it (or
+//! a synchronizing handoff downstream of it).
 
 use crate::value::Value;
 use fxhash::FxHashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 use std::sync::{OnceLock, RwLock};
 
 /// A dictionary-encoded cell value: `0` = null, otherwise an index into
@@ -64,8 +93,8 @@ impl ValueId {
         self.0 == 0
     }
 
-    /// The interned string, or `None` for null. `O(1)`; the returned
-    /// reference is `'static` (see the module docs for why).
+    /// The interned string, or `None` for null. `O(1)` and lock-free;
+    /// the returned reference is `'static` (see the module docs for why).
     #[must_use]
     pub fn as_str(self) -> Option<&'static str> {
         if self.is_null() {
@@ -107,21 +136,108 @@ impl std::fmt::Display for ValueId {
     }
 }
 
-struct PoolInner {
-    /// String → id. Keys borrow the leaked `'static` storage in `strings`.
-    map: FxHashMap<&'static str, u32>,
-    /// Id → string; slot 0 is the null placeholder and never handed out.
-    strings: Vec<&'static str>,
+/// log2 of the first chunk's slot count.
+const FIRST_CHUNK_BITS: u32 = 6;
+/// Chunk `k` holds `64 << k` slots; 27 chunks cover the full `u32` id
+/// space (64 · (2²⁷ − 1) > 2³²).
+const CHUNK_COUNT: usize = 27;
+
+/// Id → (chunk index, offset within chunk). Chunk `k` covers ids
+/// `[64·(2ᵏ−1), 64·(2ᵏ⁺¹−1))`.
+fn locate(id: u32) -> (usize, usize) {
+    let adjusted = u64::from(id) + (1u64 << FIRST_CHUNK_BITS);
+    let level = (63 - adjusted.leading_zeros()) - FIRST_CHUNK_BITS;
+    let offset = adjusted - (1u64 << (level + FIRST_CHUNK_BITS));
+    (level as usize, offset as usize)
 }
 
-fn pool() -> &'static RwLock<PoolInner> {
-    static POOL: OnceLock<RwLock<PoolInner>> = OnceLock::new();
-    POOL.get_or_init(|| {
-        RwLock::new(PoolInner {
-            map: FxHashMap::default(),
-            strings: vec![""], // slot 0 = null placeholder
-        })
-    })
+/// A published pool entry. Slots hold a *thin* pointer to one of these
+/// (a `&'static str` is a fat pointer and cannot be stored atomically),
+/// so a resolve is two pointer chases: slot → entry → bytes.
+struct Entry(&'static str);
+
+type Slot = AtomicPtr<Entry>;
+
+/// The append-only id → string store. Chunk addresses never change once
+/// allocated and entries are never dropped, so readers need no lock —
+/// only acquire loads pairing with the writer's release stores.
+struct Store {
+    chunks: [AtomicPtr<Slot>; CHUNK_COUNT],
+    /// Number of initialized slots (including the reserved null slot 0).
+    /// Advanced with `Release` *after* the slot it covers is published.
+    len: AtomicU32,
+}
+
+impl Store {
+    fn new() -> Store {
+        Store {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            // Slot 0 is the null placeholder: counted, never published.
+            len: AtomicU32::new(1),
+        }
+    }
+
+    /// Append one leaked string. Must only be called while holding the
+    /// interning write lock (single writer), which makes the plain
+    /// read-modify-write of `len` and the chunk allocation race-free.
+    fn push(&self, s: &'static str) -> u32 {
+        let id = self.len.load(Ordering::Relaxed);
+        assert!(id < u32::MAX, "value pool exhausted u32 ids");
+        let (level, offset) = locate(id);
+        let mut chunk = self.chunks[level].load(Ordering::Acquire);
+        if chunk.is_null() {
+            let cap = 1usize << (level as u32 + FIRST_CHUNK_BITS);
+            let boxed: Box<[Slot]> = (0..cap)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect();
+            chunk = Box::into_raw(boxed) as *mut Slot;
+            self.chunks[level].store(chunk, Ordering::Release);
+        }
+        let entry = Box::into_raw(Box::new(Entry(s)));
+        // SAFETY: `offset` < the chunk's capacity by construction of
+        // `locate`, and the chunk allocation above (or by an earlier
+        // push) is visible to this sole writer.
+        unsafe { (*chunk.add(offset)).store(entry, Ordering::Release) };
+        self.len.store(id + 1, Ordering::Release);
+        id
+    }
+
+    /// Lock-free id → string. `None` for ids this pool never produced.
+    fn get(&self, id: u32) -> Option<&'static str> {
+        // Relaxed is enough for the bounds filter: the authoritative
+        // visibility check is the acquire load of the slot itself.
+        if id >= self.len.load(Ordering::Relaxed) {
+            return None;
+        }
+        let (level, offset) = locate(id);
+        let chunk = self.chunks[level].load(Ordering::Acquire);
+        if chunk.is_null() {
+            return None;
+        }
+        // SAFETY: non-null chunks are live for the process lifetime and
+        // `offset` is within the chunk's capacity.
+        let entry = unsafe { (*chunk.add(offset)).load(Ordering::Acquire) };
+        if entry.is_null() {
+            return None;
+        }
+        // SAFETY: a non-null entry pointer was acquire-loaded, pairing
+        // with the release store that published the fully-initialized
+        // entry; entries are never dropped.
+        Some(unsafe { (*entry).0 })
+    }
+}
+
+fn store() -> &'static Store {
+    static STORE: OnceLock<Store> = OnceLock::new();
+    STORE.get_or_init(Store::new)
+}
+
+/// String → id map. Keys borrow the leaked `'static` storage. Read locks
+/// serve intern *hits*; the write lock serves misses and doubles as the
+/// store's single-writer append lock.
+fn map() -> &'static RwLock<FxHashMap<&'static str, u32>> {
+    static MAP: OnceLock<RwLock<FxHashMap<&'static str, u32>>> = OnceLock::new();
+    MAP.get_or_init(|| RwLock::new(FxHashMap::default()))
 }
 
 /// The process-global string interner (all methods are associated
@@ -132,24 +248,25 @@ pub struct ValuePool;
 impl ValuePool {
     /// Intern a string, returning its canonical id. Allocates only on the
     /// first sighting of `s`; afterwards this is a shared-lock hash
-    /// lookup.
+    /// lookup. For whole records prefer [`ValuePool::intern_batch`],
+    /// which pays the lock costs once per record instead of once per
+    /// cell.
     #[must_use]
     pub fn intern(s: &str) -> ValueId {
         {
-            let inner = pool().read().expect("value pool poisoned");
-            if let Some(&id) = inner.map.get(s) {
+            let map = map().read().expect("value pool poisoned");
+            if let Some(&id) = map.get(s) {
                 return ValueId(id);
             }
         }
-        let mut inner = pool().write().expect("value pool poisoned");
+        let mut map = map().write().expect("value pool poisoned");
         // Re-check: another thread may have interned `s` between locks.
-        if let Some(&id) = inner.map.get(s) {
+        if let Some(&id) = map.get(s) {
             return ValueId(id);
         }
         let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
-        let id = u32::try_from(inner.strings.len()).expect("value pool exhausted u32 ids");
-        inner.strings.push(leaked);
-        inner.map.insert(leaked, id);
+        let id = store().push(leaked);
+        map.insert(leaked, id);
         ValueId(id)
     }
 
@@ -162,16 +279,72 @@ impl ValuePool {
         }
     }
 
+    /// Intern a whole record of strings with **one** read-lock
+    /// acquisition (plus one write-lock acquisition only if any field is
+    /// a first sighting) — the CSV-ingest fast path.
+    #[must_use]
+    pub fn intern_batch<'a>(fields: impl IntoIterator<Item = &'a str>) -> Vec<ValueId> {
+        let fields: Vec<Option<&str>> = fields.into_iter().map(Some).collect();
+        ValuePool::intern_all(&fields)
+    }
+
+    /// Intern a whole record of [`Value`]s with one read-lock acquisition
+    /// (`Null` cells map to [`ValueId::NULL`] without touching the pool).
+    #[must_use]
+    pub fn intern_value_batch(values: &[Value]) -> Vec<ValueId> {
+        let fields: Vec<Option<&str>> = values.iter().map(Value::as_str).collect();
+        ValuePool::intern_all(&fields)
+    }
+
+    /// Batch-intern core: one read pass for the hits, then (only if
+    /// needed) one write pass for the misses. `None` fields are null
+    /// cells.
+    fn intern_all(fields: &[Option<&str>]) -> Vec<ValueId> {
+        let mut out = vec![ValueId::NULL; fields.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let map = map().read().expect("value pool poisoned");
+            for (i, field) in fields.iter().enumerate() {
+                let Some(s) = field else { continue };
+                match map.get(s) {
+                    Some(&id) => out[i] = ValueId(id),
+                    None => misses.push(i),
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let mut map = map().write().expect("value pool poisoned");
+            for i in misses {
+                let s = fields[i].expect("only non-null fields miss");
+                out[i] = match map.get(s) {
+                    Some(&id) => ValueId(id),
+                    None => {
+                        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+                        let id = store().push(leaked);
+                        map.insert(leaked, id);
+                        ValueId(id)
+                    }
+                };
+            }
+        }
+        out
+    }
+
     /// The id of an already-interned string, without interning. `None`
     /// means no cell anywhere in the process ever held `s` — useful for
     /// lookups that must not grow the pool.
     #[must_use]
     pub fn lookup(s: &str) -> Option<ValueId> {
-        let inner = pool().read().expect("value pool poisoned");
-        inner.map.get(s).map(|&id| ValueId(id))
+        let map = map().read().expect("value pool poisoned");
+        map.get(s).map(|&id| ValueId(id))
     }
 
     /// Resolve a non-null id to its interned string.
+    ///
+    /// **Lock-free**: a relaxed watermark check plus two acquire pointer
+    /// chases — no `RwLock` is touched, so resolution never blocks (and
+    /// is never blocked by) concurrent interning. This is the hot read
+    /// path every shard worker leans on.
     ///
     /// # Panics
     /// Panics on [`ValueId::NULL`] (nulls have no string) or on an id not
@@ -179,16 +352,16 @@ impl ValuePool {
     #[must_use]
     pub fn resolve(id: ValueId) -> &'static str {
         assert!(!id.is_null(), "ValueId::NULL has no string");
-        let inner = pool().read().expect("value pool poisoned");
-        inner.strings[id.0 as usize]
+        store()
+            .get(id.0)
+            .unwrap_or_else(|| panic!("ValueId({}) was not produced by this process's pool", id.0))
     }
 
     /// Number of distinct strings interned so far (excludes the null
-    /// placeholder).
+    /// placeholder). Lock-free (watermark read).
     #[must_use]
     pub fn len() -> usize {
-        let inner = pool().read().expect("value pool poisoned");
-        inner.strings.len() - 1
+        store().len.load(Ordering::Acquire) as usize - 1
     }
 }
 
@@ -249,5 +422,53 @@ mod tests {
     fn display_resolves() {
         let id = ValuePool::intern("display-probe");
         assert_eq!(id.to_string(), "display-probe");
+    }
+
+    #[test]
+    fn locate_maps_chunk_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(63), (0, 63));
+        assert_eq!(locate(64), (1, 0));
+        assert_eq!(locate(191), (1, 127));
+        assert_eq!(locate(192), (2, 0));
+        assert_eq!(locate(u32::MAX - 1), locate(u32::MAX - 1)); // no overflow
+        let (level, _) = locate(u32::MAX - 1);
+        assert!(level < CHUNK_COUNT);
+    }
+
+    #[test]
+    fn resolution_survives_chunk_growth() {
+        // Intern enough distinct strings to cross several chunk
+        // boundaries, then verify every id still round-trips (chunk
+        // addresses must be stable under growth).
+        let ids: Vec<(ValueId, String)> = (0..500)
+            .map(|i| {
+                let s = format!("chunk-growth-probe-{i}");
+                (ValuePool::intern(&s), s)
+            })
+            .collect();
+        for (id, s) in &ids {
+            assert_eq!(id.as_str(), Some(s.as_str()));
+        }
+    }
+
+    #[test]
+    fn intern_batch_matches_individual_interning() {
+        let fields = ["batch-a", "batch-b", "batch-a", "batch-c"];
+        let batch = ValuePool::intern_batch(fields);
+        let individual: Vec<ValueId> = fields.iter().map(|s| ValuePool::intern(s)).collect();
+        assert_eq!(batch, individual);
+        assert_eq!(batch[0], batch[2], "duplicates within a record share ids");
+    }
+
+    #[test]
+    fn intern_value_batch_maps_nulls() {
+        let values = vec![Value::text("vb-x"), Value::Null, Value::text("vb-y")];
+        let ids = ValuePool::intern_value_batch(&values);
+        assert_eq!(ids.len(), 3);
+        assert!(!ids[0].is_null());
+        assert!(ids[1].is_null());
+        assert_eq!(ids[0], ValuePool::intern("vb-x"));
+        assert_eq!(ids[2], ValuePool::intern("vb-y"));
     }
 }

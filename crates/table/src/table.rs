@@ -107,7 +107,8 @@ impl Table {
         Ok(t)
     }
 
-    /// Append one row, interning each cell into the [`ValuePool`].
+    /// Append one row, interning the whole record into the [`ValuePool`]
+    /// with one lock acquisition ([`ValuePool::intern_value_batch`]).
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<RowId, TableError> {
         if row.len() != self.schema.arity() {
             return Err(TableError::ArityMismatch {
@@ -116,8 +117,9 @@ impl Table {
                 expected: self.schema.arity(),
             });
         }
-        for (col, v) in self.columns.iter_mut().zip(&row) {
-            col.push(ValuePool::intern_value(v));
+        let ids = ValuePool::intern_value_batch(&row);
+        for (col, id) in self.columns.iter_mut().zip(ids) {
+            col.push(id);
         }
         let id = self.rows;
         self.rows += 1;
@@ -164,8 +166,9 @@ impl Table {
             });
         }
         self.require_live(row)?;
-        for (col, v) in self.columns.iter_mut().zip(&cells) {
-            col[row] = ValuePool::intern_value(v);
+        let ids = ValuePool::intern_value_batch(&cells);
+        for (col, id) in self.columns.iter_mut().zip(ids) {
+            col[row] = id;
         }
         Ok(())
     }

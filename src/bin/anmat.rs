@@ -70,9 +70,11 @@ fn usage() -> String {
      \x20 anmat detect   <data.csv> (--store DIR | --rules FILE)\n\
      \x20                [--confirmed-only] [--repair OUT.csv]\n\
      \x20 anmat stream   <data.csv> (--store DIR | --rules FILE) [--batch N]\n\
-     \x20                [--ops FILE] [--confirmed-only] [--quiet] [--demote-drifted]\n\
-     \x20                [--violations F] [--min-support N]  (drift thresholds;\n\
-     \x20                pass the values the rules were discovered with)\n\
+     \x20                [--shards N] [--ops FILE] [--confirmed-only] [--quiet]\n\
+     \x20                [--demote-drifted] [--violations F] [--min-support N]\n\
+     \x20                (drift thresholds: pass the values the rules were\n\
+     \x20                discovered with; --shards N > 1 spreads rule state\n\
+     \x20                over N worker threads, same output bit-for-bit)\n\
      \n\
      OP-LOG (--ops FILE; one op per CSV record):\n\
      \x20 +,cell,…        insert a row\n\
@@ -332,6 +334,60 @@ fn parse_ops(text: &str) -> Result<Vec<RowOp>, String> {
     Ok(ops)
 }
 
+/// The two engine flavours behind `anmat stream`, dispatched on
+/// `--shards`: identical observable behaviour (the sharded engine's
+/// determinism contract), different execution.
+enum AnyEngine {
+    Single(StreamEngine),
+    Sharded(ShardedEngine),
+}
+
+impl AnyEngine {
+    fn push_id_batch(&mut self, rows: Vec<Vec<ValueId>>) -> Result<Vec<LedgerEvent>, String> {
+        match self {
+            AnyEngine::Single(e) => e.push_id_batch(rows),
+            AnyEngine::Sharded(e) => e.push_id_batch(rows),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn apply(&mut self, ops: Vec<RowOp>) -> Result<Vec<LedgerEvent>, String> {
+        match self {
+            AnyEngine::Single(e) => e.apply(ops),
+            AnyEngine::Sharded(e) => e.apply(ops),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn ledger(&self) -> &ViolationLedger {
+        match self {
+            AnyEngine::Single(e) => e.ledger(),
+            AnyEngine::Sharded(e) => e.ledger(),
+        }
+    }
+
+    fn live_rows(&self) -> usize {
+        match self {
+            AnyEngine::Single(e) => e.live_rows(),
+            AnyEngine::Sharded(e) => e.live_rows(),
+        }
+    }
+
+    fn row_count(&self) -> usize {
+        match self {
+            AnyEngine::Single(e) => e.row_count(),
+            AnyEngine::Sharded(e) => e.row_count(),
+        }
+    }
+
+    fn drift_report(&self) -> Vec<DriftReport> {
+        match self {
+            AnyEngine::Single(e) => e.drift_report(),
+            AnyEngine::Sharded(e) => e.drift_report(),
+        }
+    }
+}
+
 fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let store_dir = take_flag(&mut args, "--store");
@@ -358,6 +414,13 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     if let Some(s) = take_flag(&mut args, "--min-support") {
         stream_config.min_support = s.parse().map_err(|_| format!("bad --min-support `{s}`"))?;
     }
+    if let Some(n) = take_flag(&mut args, "--shards") {
+        stream_config.shards = n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or(format!("bad --shards `{n}` (want a positive integer)"))?;
+    }
     if demote_drifted && store_dir.is_none() {
         return Err("--demote-drifted needs --store DIR".into());
     }
@@ -371,21 +434,40 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         rules_file.as_deref(),
         confirmed_only,
     )?;
+    let rule_count = pfds.len();
+    let mut engine = if stream_config.shards > 1 {
+        AnyEngine::Sharded(ShardedEngine::with_config(
+            table.schema().clone(),
+            pfds,
+            stream_config,
+        ))
+    } else {
+        AnyEngine::Single(StreamEngine::with_config(
+            table.schema().clone(),
+            pfds,
+            stream_config,
+        ))
+    };
+    // Report the *effective* worker count (the engine clamps --shards
+    // to the rule count).
+    let sharding = match &engine {
+        AnyEngine::Sharded(e) => format!(", {} shard(s)", e.shard_count()),
+        AnyEngine::Single(_) => String::new(),
+    };
     println!(
-        "streaming {} row(s) from {path} through {} rule(s), batch size {batch}",
-        table.row_count(),
-        pfds.len()
+        "streaming {} row(s) from {path} through {rule_count} rule(s), batch size \
+         {batch}{sharding}",
+        table.row_count()
     );
-
-    let mut engine = StreamEngine::with_config(table.schema().clone(), pfds, stream_config);
     // Rows are already interned by the CSV read; stream them as ids so
     // replay is clone-free.
     let mut pending: Vec<Vec<ValueId>> = Vec::with_capacity(batch);
     for r in 0..table.row_count() {
         pending.push(table.row_ids(r));
         if pending.len() == batch || r + 1 == table.row_count() {
+            let full = std::mem::replace(&mut pending, Vec::with_capacity(batch));
             let events = engine
-                .push_id_batch(pending.drain(..))
+                .push_id_batch(full)
                 .map_err(|e| format!("row {r}: {e}"))?;
             if !quiet {
                 for event in &events {

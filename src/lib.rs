@@ -84,7 +84,7 @@ pub mod prelude {
         RepairReport, RhsCell, Violation, ViolationKind, ViolationLedger,
     };
     pub use anmat_pattern::{ConstrainedPattern, Pattern};
-    pub use anmat_stream::{DriftReport, StreamConfig, StreamEngine};
+    pub use anmat_stream::{DriftReport, ShardedEngine, StreamConfig, StreamEngine};
     pub use anmat_table::{
         csv, NullPolicy, RowId, RowOp, Schema, Table, TableProfile, Value, ValueId, ValuePool,
     };

@@ -90,6 +90,89 @@ fn stream_replays_csv_and_reports_violations() {
 }
 
 #[test]
+fn stream_shards_flag_is_output_invariant() {
+    // `--shards N` spreads rule state over N workers; the determinism
+    // contract says every printed line below the header is identical.
+    let dir = std::env::temp_dir().join(format!("anmat_cli_shards_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("zips.csv");
+    std::fs::write(
+        &csv,
+        "zip,city\n90001,Los Angeles\n90002,Los Angeles\n90003,Los Angeles\n90004,New York\n",
+    )
+    .unwrap();
+    let rules = dir.join("rules.json");
+    let pfds = vec![
+        Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::variable(
+                "[\\D{3}]\\D{2}".parse::<ConstrainedPattern>().unwrap(),
+            )],
+        ),
+        Pfd::new(
+            "Zip",
+            "zip",
+            "city",
+            vec![PatternTuple::constant(
+                ConstrainedPattern::unconstrained("900\\D{2}".parse().unwrap()),
+                "Los Angeles",
+            )],
+        ),
+    ];
+    std::fs::write(&rules, serde_json::to_string(&pfds).unwrap()).unwrap();
+
+    let strip_header =
+        |text: String| -> String { text.lines().skip(1).collect::<Vec<_>>().join("\n") };
+    let base = anmat(&[
+        "stream",
+        csv.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(base.status.success(), "stream failed: {}", stderr(&base));
+    let sharded = anmat(&[
+        "stream",
+        csv.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        "--shards",
+        "2",
+    ]);
+    assert!(
+        sharded.status.success(),
+        "sharded stream failed: {}",
+        stderr(&sharded)
+    );
+    assert!(
+        stdout(&sharded).contains("2 shard(s)"),
+        "header advertises sharding:\n{}",
+        stdout(&sharded)
+    );
+    assert_eq!(
+        strip_header(stdout(&base)),
+        strip_header(stdout(&sharded)),
+        "sharded output must be bit-for-bit identical below the header"
+    );
+
+    // Bad shard counts are rejected up front.
+    let bad = anmat(&[
+        "stream",
+        csv.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        "--shards",
+        "0",
+    ]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("bad --shards"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stream_ops_replays_mutations_and_reports_live_rows() {
     let dir = std::env::temp_dir().join(format!("anmat_cli_ops_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
