@@ -15,9 +15,11 @@
 use anmat_bench::{criterion, experiment_config};
 use anmat_core::{detect_all, discover, Pfd};
 use anmat_datagen::{zipcity, Dataset};
-use anmat_stream::{ShardedEngine, StreamEngine};
+use anmat_stream::{ShardedEngine, StreamConfig, StreamEngine};
 use anmat_table::{RowOp, Table, Value, ValueId};
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn dataset(rows: usize) -> (Dataset, Vec<Pfd>) {
@@ -117,6 +119,82 @@ fn churn_ops(data: &Dataset) -> Vec<RowOp> {
     ops
 }
 
+/// Sustained-churn memory sweep: a 50% delete workload (every op is a
+/// coin flip between inserting the next dataset row and deleting a
+/// random live one) run for `total_ops` ops in 256-op batches, with and
+/// without `compact_ratio` 0.3. The artifact prints peak total slots vs
+/// peak live rows, the worst observed slots/live ratio at a batch
+/// boundary, and the final table footprint — the bounded-growth claim:
+/// with the ratio trigger, slots stay within 2× live for the whole run
+/// while the uncompacted twin's slot count grows with *history*.
+fn churn_memory_artifact(data: &Dataset, rules: &[Pfd], total_ops: usize) {
+    println!("── E14 artifact: sustained-churn memory (50% delete mix, {total_ops} ops) ──");
+    let rows = rows_of(&data.table);
+    for ratio in [0.0f64, 0.3] {
+        let config = StreamConfig {
+            compact_ratio: ratio,
+            ..StreamConfig::default()
+        };
+        let mut engine =
+            StreamEngine::with_config(data.table.schema().clone(), rules.to_vec(), config);
+        let mut rng = StdRng::seed_from_u64(0x3AC7);
+        let mut live: Vec<usize> = Vec::new();
+        let (mut peak_slots, mut peak_live) = (0usize, 0usize);
+        let mut worst_ratio = 1.0f64;
+        let mut done = 0usize;
+        let mut src = 0usize;
+        let start = Instant::now();
+        while done < total_ops {
+            let mut slots = engine.row_count();
+            let epoch = engine.epoch();
+            let batch = 256.min(total_ops - done);
+            let mut ops = Vec::with_capacity(batch);
+            for _ in 0..batch {
+                if !live.is_empty() && rng.random_bool(0.5) {
+                    let pick = rng.random_range(0..live.len());
+                    ops.push(RowOp::Delete(live.swap_remove(pick)));
+                } else {
+                    ops.push(RowOp::Insert(rows[src % rows.len()].clone()));
+                    src += 1;
+                    live.push(slots);
+                    slots += 1;
+                }
+            }
+            done += ops.len();
+            engine.apply(ops).expect("ops are valid");
+            if engine.epoch() != epoch {
+                // Compaction renumbered the slots: refresh the id cache.
+                live = engine.table().iter_live().collect();
+            }
+            // `slots` is the pre-compaction count for this batch — the
+            // honest peak even when the boundary check then compacts.
+            peak_slots = peak_slots.max(slots);
+            peak_live = peak_live.max(engine.live_rows());
+            worst_ratio =
+                worst_ratio.max(engine.row_count() as f64 / engine.live_rows().max(1) as f64);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let footprint = engine.table().mem_footprint();
+        let stats = engine.compaction_stats();
+        println!(
+            "  compact-ratio {:>4}: peak {peak_slots:>6} slot(s) vs {peak_live:>6} peak live \
+             (worst slots/live {worst_ratio:.2}×); {} epoch(s), {} slot(s) reclaimed; final \
+             {} slot(s) / {} live, {} B table; {:.0} ops/s",
+            if ratio > 0.0 {
+                format!("{ratio}")
+            } else {
+                "off".to_string()
+            },
+            stats.epochs,
+            stats.reclaimed_slots,
+            footprint.total_slots,
+            footprint.live_slots,
+            footprint.bytes,
+            total_ops as f64 / secs
+        );
+    }
+}
+
 /// Shard-count sweep on the 90/10 churn workload: ops/s for the
 /// single-threaded engine and for `ShardedEngine` at 1/2/4/8 workers.
 /// Rule processing is the parallel fraction, so the curve is bounded by
@@ -167,6 +245,7 @@ fn bench(c: &mut Criterion) {
     // between the artifact and the 100k benchmark cases.
     let big = dataset(100_000);
     marginal_cost_artifact(&big.0, &big.1);
+    churn_memory_artifact(&big.0, &big.1, 100_000);
     let small = dataset(10_000);
     shard_sweep_artifact(&small.0, &small.1, 10_000);
     shard_sweep_artifact(&big.0, &big.1, 100_000);

@@ -97,6 +97,24 @@ impl Violation {
         out
     }
 
+    /// Rewrite every row reference (flagged row, witnesses, repair
+    /// target) through a compaction [`RowIdRemap`] — the violation's
+    /// side of the remap protocol. All referenced rows are live by
+    /// construction (deleting any of them retracts or rewrites the
+    /// violation first), so the translation is total; witness lists
+    /// stay ascending because the remap is monotone.
+    ///
+    /// [`RowIdRemap`]: anmat_table::RowIdRemap
+    pub fn remap(&mut self, remap: &anmat_table::RowIdRemap) {
+        self.row = remap.live_id(self.row);
+        if let ViolationKind::Variable { witnesses, .. } = &mut self.kind {
+            remap.remap_sorted_in_place(witnesses);
+        }
+        if let Some(repair) = &mut self.repair {
+            repair.row = remap.live_id(repair.row);
+        }
+    }
+
     /// The cells of the violation as `(row, attr)` pairs — four cells for
     /// a minimal variable-PFD violation, as in the paper's
     /// `(r3[name], r3[gender], r4[name], r4[gender])` example.

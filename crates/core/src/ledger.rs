@@ -14,13 +14,23 @@
 //! repair — everything). The incremental engine retracts exactly the
 //! objects it previously created, so structural identity is both precise
 //! and cheap.
+//!
+//! The ledger also participates in the **compaction remap protocol**:
+//! when the backing table compacts (renumbering `RowId`s),
+//! [`ViolationLedger::remap`] rewrites every live violation's row
+//! references in place and adopts the remap's epoch. Event *history* is
+//! never rewritten — each [`LedgerEvent`] carries the
+//! [`epoch`](LedgerEvent::epoch) it was emitted in, so a consumer
+//! replaying an event log knows which id space every row reference
+//! lives in, and replay stays bit-exact across compactions.
 
 use crate::detect::Violation;
+use anmat_table::RowIdRemap;
 use std::collections::BTreeMap;
 
-/// A change to the set of live violations.
+/// What happened to a violation's liveness.
 #[derive(Debug, Clone, PartialEq)]
-pub enum LedgerEvent {
+pub enum LedgerChange {
     /// A violation became live.
     Created(Violation),
     /// A previously live violation was withdrawn (e.g. the block majority
@@ -28,19 +38,35 @@ pub enum LedgerEvent {
     Retracted(Violation),
 }
 
+/// A change to the set of live violations, stamped with the compaction
+/// epoch it was emitted in.
+///
+/// Row ids inside the change are meaningful relative to `epoch`: a
+/// compaction renumbers rows, remaps the *live* set silently (no
+/// events), and bumps the ledger's epoch — so already-emitted events
+/// keep their original ids and their original epoch stamp, verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEvent {
+    /// The ledger's compaction epoch at emission time (0 before any
+    /// compaction).
+    pub epoch: u64,
+    /// The liveness change itself.
+    pub change: LedgerChange,
+}
+
 impl LedgerEvent {
     /// The violation the event concerns.
     #[must_use]
     pub fn violation(&self) -> &Violation {
-        match self {
-            LedgerEvent::Created(v) | LedgerEvent::Retracted(v) => v,
+        match &self.change {
+            LedgerChange::Created(v) | LedgerChange::Retracted(v) => v,
         }
     }
 
     /// Is this a creation?
     #[must_use]
     pub fn is_created(&self) -> bool {
-        matches!(self, LedgerEvent::Created(_))
+        matches!(self.change, LedgerChange::Created(_))
     }
 }
 
@@ -53,6 +79,9 @@ pub struct ViolationLedger {
     live: BTreeMap<String, (usize, Violation)>,
     created_total: usize,
     retracted_total: usize,
+    /// Compaction epoch stamped onto emitted events; follows the backing
+    /// table's epoch via [`ViolationLedger::remap`].
+    epoch: u64,
 }
 
 fn canonical_key(v: &Violation) -> String {
@@ -77,7 +106,10 @@ impl ViolationLedger {
         entry.0 += 1;
         if entry.0 == 1 {
             self.created_total += 1;
-            Some(LedgerEvent::Created(violation))
+            Some(LedgerEvent {
+                epoch: self.epoch,
+                change: LedgerChange::Created(violation),
+            })
         } else {
             None
         }
@@ -95,7 +127,38 @@ impl ViolationLedger {
         }
         let (_, v) = self.live.remove(&key).expect("entry exists");
         self.retracted_total += 1;
-        Some(LedgerEvent::Retracted(v))
+        Some(LedgerEvent {
+            epoch: self.epoch,
+            change: LedgerChange::Retracted(v),
+        })
+    }
+
+    /// The ledger's current compaction epoch (0 before any
+    /// [`ViolationLedger::remap`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Apply a compaction [`RowIdRemap`]: rewrite every *live*
+    /// violation's row references (flagged row, witnesses, repair
+    /// target) into the new id space and adopt the remap's epoch.
+    ///
+    /// Deliberately silent — no `Created`/`Retracted` events are
+    /// emitted and the lifetime counters do not move, because no
+    /// violation's liveness changed; only its coordinates did. Event
+    /// history stays verbatim (see [`LedgerEvent::epoch`]). Reference
+    /// counts survive: the remap is injective on live rows and touches
+    /// nothing else, so distinct entries stay distinct.
+    pub fn remap(&mut self, remap: &RowIdRemap) {
+        self.epoch = remap.epoch();
+        let old = std::mem::take(&mut self.live);
+        for (_, (refcount, mut v)) in old {
+            v.remap(remap);
+            let key = canonical_key(&v);
+            let prev = self.live.insert(key, (refcount, v));
+            debug_assert!(prev.is_none(), "remap is injective on live violations");
+        }
     }
 
     /// The live violations, in deterministic (serialized-key) order.
@@ -168,15 +231,13 @@ mod tests {
     fn create_and_retract_roundtrip() {
         let mut ledger = ViolationLedger::new();
         let v = violation(3, "Los Angeles");
-        assert!(matches!(
-            ledger.create(v.clone()),
-            Some(LedgerEvent::Created(_))
-        ));
+        let created = ledger.create(v.clone()).expect("fresh violation");
+        assert!(created.is_created());
+        assert_eq!(created.epoch, 0, "pre-compaction events carry epoch 0");
         assert_eq!(ledger.live_count(), 1);
-        assert!(matches!(
-            ledger.retract(&v),
-            Some(LedgerEvent::Retracted(_))
-        ));
+        let retracted = ledger.retract(&v).expect("was live");
+        assert!(!retracted.is_created());
+        assert!(matches!(retracted.change, LedgerChange::Retracted(_)));
         assert!(ledger.is_empty());
         assert_eq!(ledger.created_total(), 1);
         assert_eq!(ledger.retracted_total(), 1);
@@ -223,17 +284,11 @@ mod tests {
     fn retract_then_recreate_yields_a_fresh_event() {
         let mut ledger = ViolationLedger::new();
         let v = violation(3, "Los Angeles");
-        assert!(matches!(
-            ledger.create(v.clone()),
-            Some(LedgerEvent::Created(_))
-        ));
+        assert!(ledger.create(v.clone()).is_some_and(|e| e.is_created()));
         ledger.retract(&v).unwrap();
         // Re-creating after a full retraction is a new lifecycle: a
         // fresh Created event, and both lifetime counters advance.
-        assert!(matches!(
-            ledger.create(v.clone()),
-            Some(LedgerEvent::Created(_))
-        ));
+        assert!(ledger.create(v.clone()).is_some_and(|e| e.is_created()));
         assert_eq!(ledger.created_total(), 2);
         assert_eq!(ledger.retracted_total(), 1);
         assert_eq!(ledger.live_count(), 1);
@@ -255,5 +310,87 @@ mod tests {
         ledger.create(violation(3, "Los Angeles"));
         ledger.create(violation(3, "San Diego"));
         assert_eq!(ledger.live_count(), 2);
+    }
+
+    /// A remap built from a real table compaction: slots 0 and 2 die, so
+    /// survivors 1, 3, 4 become 0, 1, 2.
+    fn sample_remap() -> anmat_table::RowIdRemap {
+        use anmat_table::{Schema, Table, Value};
+        let mut t = Table::empty(Schema::new(["a"]).unwrap());
+        for i in 0..5 {
+            t.push_row(vec![Value::text(format!("r{i}"))]).unwrap();
+        }
+        t.delete_row(0).unwrap();
+        t.delete_row(2).unwrap();
+        t.compact()
+    }
+
+    fn variable_violation(row: usize, witnesses: Vec<usize>) -> Violation {
+        Violation {
+            dependency: "zip → city".into(),
+            lhs_attr: "zip".into(),
+            rhs_attr: "city".into(),
+            row,
+            lhs_value: "90004".into(),
+            kind: ViolationKind::Variable {
+                pattern: "[\\D{3}]\\D{2}".into(),
+                key: "900".into(),
+                majority: "Los Angeles".into(),
+                found: Some("New York".into()),
+                witnesses,
+            },
+            repair: Some(crate::detect::Repair {
+                row,
+                attr: "city".into(),
+                from: Some("New York".into()),
+                to: "Los Angeles".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn remap_rewrites_live_rows_witnesses_and_repairs() {
+        let mut ledger = ViolationLedger::new();
+        ledger.create(variable_violation(4, vec![1, 3]));
+        ledger.create(violation(3, "Los Angeles"));
+        ledger.remap(&sample_remap());
+        assert_eq!(ledger.epoch(), 1);
+        let snap = ledger.snapshot();
+        assert_eq!(snap.len(), 2);
+        // Constant violation on old row 3 → new row 1.
+        assert_eq!(snap[0].row, 1);
+        // Variable violation on old row 4 → new row 2, witnesses 1,3 →
+        // 0,1, repair follows the flagged row.
+        assert_eq!(snap[1].row, 2);
+        match &snap[1].kind {
+            ViolationKind::Variable { witnesses, .. } => assert_eq!(witnesses, &vec![0, 1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(snap[1].repair.as_ref().unwrap().row, 2);
+        // Liveness bookkeeping untouched: remap is silent.
+        assert_eq!(ledger.created_total(), 2);
+        assert_eq!(ledger.retracted_total(), 0);
+        assert_eq!(ledger.live_count(), 2);
+    }
+
+    #[test]
+    fn remap_preserves_refcounts_and_stamps_later_events() {
+        let mut ledger = ViolationLedger::new();
+        let v = violation(3, "Los Angeles");
+        ledger.create(v.clone());
+        ledger.create(v.clone()); // second implier: refcount 2
+        ledger.remap(&sample_remap());
+        // Retracting once keeps it live (refcount survived the remap) …
+        let mut moved = violation(1, "Los Angeles");
+        moved.repair = v.repair.clone();
+        assert!(ledger.retract(&moved).is_none());
+        assert_eq!(ledger.live_count(), 1);
+        // … and the final retraction's event carries the new epoch.
+        let ev = ledger.retract(&moved).expect("last refcount");
+        assert_eq!(ev.epoch, 1);
+        assert!(!ev.is_created());
+        // New creations are stamped with the adopted epoch too.
+        let ev = ledger.create(violation(0, "X")).expect("fresh");
+        assert_eq!(ev.epoch, 1);
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::inverted::{sort_rhs_counts, EntryStats};
 use anmat_pattern::ConstrainedPattern;
-use anmat_table::{RowId, Table, ValueId, ValuePool};
+use anmat_table::{RowId, RowIdRemap, Table, ValueId, ValuePool};
 use fxhash::FxHashMap;
 
 /// Rows grouped by constrained-capture key.
@@ -257,6 +257,14 @@ impl KeyBlock {
         }
         Some(rhs)
     }
+
+    /// Rewrite the block's row ids through a compaction remap. The RHS
+    /// column, counts, and majority are row-id-free and stay untouched;
+    /// monotonicity keeps `rows` ascending (and `rhs` stays parallel
+    /// because nothing is reordered).
+    fn remap(&mut self, remap: &RowIdRemap) {
+        remap.remap_sorted_in_place(&mut self.rows);
+    }
 }
 
 /// Insert `row` into an ascending id list (`O(1)` for the append case).
@@ -426,6 +434,23 @@ impl BlockingPartition {
     #[must_use]
     pub fn key_evals(&self) -> usize {
         self.key_evals
+    }
+
+    /// Apply a compaction [`RowIdRemap`] in place — the partition's side
+    /// of the remap protocol.
+    ///
+    /// Block row lists, the unmatched list, and the null-LHS list are
+    /// rewritten through the remap (monotone, so all three stay
+    /// ascending). Everything value-keyed survives verbatim: the block
+    /// map's keys, RHS counts, majorities, the key cache, and —
+    /// critically — `key_evals`: compaction renumbers rows, it never
+    /// re-extracts a capture, so the memoization counter must not move.
+    pub fn apply_remap(&mut self, remap: &RowIdRemap) {
+        for block in self.blocks.values_mut() {
+            block.remap(remap);
+        }
+        remap.remap_sorted_in_place(&mut self.unmatched);
+        remap.remap_sorted_in_place(&mut self.null_rows);
     }
 
     /// Snapshot into the batch [`Blocks`] shape (sorted keys), for parity
@@ -709,6 +734,59 @@ mod tests {
             // And the derived stats order agrees with the vote.
             assert_eq!(block.stats().rhs_counts[0].0, id("b-del-tie"));
         }
+    }
+
+    /// The remap protocol: removing the deleted rows, compacting the
+    /// table, and applying the remap must leave the partition identical
+    /// to one built fresh from the compacted table — with zero new
+    /// capture extractions.
+    #[test]
+    fn apply_remap_matches_partition_over_compacted_table() {
+        let schema = Schema::new(["zip", "city"]).unwrap();
+        let mut t = Table::from_str_rows(
+            schema,
+            [
+                ["90001", "Los Angeles"],
+                ["90002", "New York"],
+                ["90101", "Pasadena"],
+                ["bad-zip", "Nowhere"],
+                ["", "Null Town"],
+                ["90003", "Los Angeles"],
+            ],
+        )
+        .unwrap();
+        let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
+        let mut p = BlockingPartition::new(Some(q.clone()));
+        for (row, v) in t.iter_column(0) {
+            p.insert(row, v, t.cell_id(row, 1));
+        }
+        // Delete rows 1 (a block member) and 3 (unmatched): partition
+        // first, then table, then compact + remap.
+        p.remove(1, t.cell_id(1, 0));
+        p.remove(3, t.cell_id(3, 0));
+        t.delete_row(1).unwrap();
+        t.delete_row(3).unwrap();
+        let evals_before = p.key_evals();
+        let remap = t.compact();
+        p.apply_remap(&remap);
+        assert_eq!(
+            p.key_evals(),
+            evals_before,
+            "remap must not re-extract captures"
+        );
+
+        let mut fresh = BlockingPartition::new(Some(q));
+        for (row, v) in t.iter_column(0) {
+            fresh.insert(row, v, t.cell_id(row, 1));
+        }
+        let (a, b) = (p.freeze(), fresh.freeze());
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.unmatched, b.unmatched);
+        assert_eq!(a.null_rows, b.null_rows);
+        // Per-block stats survived the renumbering untouched.
+        let block = p.block_by_str("900").unwrap();
+        assert_eq!(block.majority(), Some("Los Angeles"));
+        assert_eq!(block.stats(), fresh.block_by_str("900").unwrap().stats());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! interning.
 
 use anmat_table::{
-    for_each_ngram, for_each_prefix, for_each_token, RowId, Table, ValueId, ValuePool,
+    for_each_ngram, for_each_prefix, for_each_token, RowId, RowIdRemap, Table, ValueId, ValuePool,
 };
 use fxhash::FxHashMap;
 
@@ -301,6 +301,32 @@ impl InvertedIndex {
                 }
             }
         });
+    }
+
+    /// Apply a compaction [`RowIdRemap`] in place — the index's side of
+    /// the remap protocol.
+    ///
+    /// Every posting's `row` and every per-key distinct-row list is
+    /// rewritten through the remap; because the remap is monotone, the
+    /// lists stay sorted without re-sorting. Nothing else moves: per-key
+    /// RHS distributions, supports, and `considered_rows` are counts
+    /// over the same surviving rows, so no statistic is re-derived and
+    /// no pattern/tokenization work is repeated. Cost is `O(postings)`
+    /// pointer-chasing, zero hashing.
+    ///
+    /// The protocol's precondition holds here as everywhere: deleted
+    /// rows were already removed via [`InvertedIndex::remove_row`], so
+    /// every id the index holds is live and maps to `Some` (a dead id
+    /// panics — it means a maintenance bug, not a remap problem).
+    pub fn apply_remap(&mut self, remap: &RowIdRemap) {
+        for postings in self.entries.values_mut() {
+            for p in postings {
+                p.row = remap.live_id(p.row);
+            }
+        }
+        for rows in self.rows_by_key.values_mut() {
+            remap.remap_sorted_in_place(rows);
+        }
     }
 
     /// Number of distinct keys.
@@ -638,6 +664,49 @@ mod tests {
         assert_eq!(s.dominant_rhs(), Some("M"));
         assert_eq!(s.violations(), 0);
         assert_eq!(idx.considered_rows, 25);
+    }
+
+    /// The remap protocol: remove deleted rows, compact, remap — the
+    /// index must equal one built from the compacted table, stats
+    /// included, with no stat re-derivation (the counts are untouched).
+    #[test]
+    fn apply_remap_matches_index_over_compacted_table() {
+        let schema = Schema::new(["name", "gender"]).unwrap();
+        let mut t = Table::from_str_rows(
+            schema,
+            [
+                ["John Charles", "M"],
+                ["John Bosco", "M"],
+                ["Susan Orlean", "F"],
+                ["Susan Boyle", "M"],
+                ["John Doe", "M"],
+            ],
+        )
+        .unwrap();
+        let mut idx = InvertedIndex::empty(ExtractionMode::Tokens, ExtractionMode::Tokens);
+        for (row, a, b) in t.iter_pair(0, 1) {
+            idx.insert_row(row, a, b);
+        }
+        idx.remove_row(1, "John Bosco", "M");
+        idx.remove_row(2, "Susan Orlean", "F");
+        t.delete_row(1).unwrap();
+        t.delete_row(2).unwrap();
+        let remap = t.compact();
+        idx.apply_remap(&remap);
+
+        let expected =
+            InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
+        assert_eq!(idx.considered_rows, expected.considered_rows);
+        assert_eq!(idx.key_count(), expected.key_count());
+        for (key, stats) in expected.iter_stats() {
+            assert_eq!(idx.stats(key), stats, "stats diverge for key {key:?}");
+            assert_eq!(
+                idx.rows(key),
+                expected.rows(key),
+                "rows diverge for {key:?}"
+            );
+            assert_eq!(idx.postings(key), expected.postings(key));
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ use anmat_core::discovery::DiscoveryConfig;
 use anmat_core::{LedgerEvent, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger};
 use anmat_index::{BlockingPartition, KeyBlock, Placement};
 use anmat_pattern::{MatchMemo, Pattern};
-use anmat_table::{RowId, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
+use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
 use fxhash::FxHashMap;
 
 /// Engine thresholds (the drift monitor's discovery-style knobs) plus
@@ -49,6 +49,12 @@ pub struct StreamConfig {
     /// (`StreamEngine` itself is always single-threaded; `1` means "no
     /// extra workers"). Clamped to the rule count at engine build.
     pub shards: usize,
+    /// Tombstone ratio (`dead slots / total slots`) above which the
+    /// engine compacts automatically at the end of a mutation entry
+    /// point (never mid-batch: op batches are validated against one id
+    /// space). `<= 0.0` (the default) disables auto-compaction;
+    /// [`StreamEngine::compact`] stays available manually either way.
+    pub compact_ratio: f64,
 }
 
 impl Default for StreamConfig {
@@ -57,6 +63,7 @@ impl Default for StreamConfig {
             min_support: 8,
             max_violation_ratio: 0.3,
             shards: 1,
+            compact_ratio: 0.0,
         }
     }
 }
@@ -68,9 +75,26 @@ impl StreamConfig {
         StreamConfig {
             min_support: config.min_support,
             max_violation_ratio: config.max_violation_ratio,
-            shards: 1,
+            ..StreamConfig::default()
         }
     }
+}
+
+/// Lifetime compaction counters — what the CLI summary reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Compaction epochs run (manual and automatic).
+    pub epochs: usize,
+    /// Tombstoned slots reclaimed across all epochs.
+    pub reclaimed_slots: usize,
+}
+
+/// Should a table with this tombstone census compact under `ratio`?
+/// Shared by both engines so their auto-compaction points coincide —
+/// part of the sharded determinism contract.
+pub(crate) fn should_compact(ratio: f64, total_slots: usize, live_slots: usize) -> bool {
+    let dead = total_slots - live_slots;
+    ratio > 0.0 && dead > 0 && dead as f64 >= ratio * total_slots as f64
 }
 
 /// One violation assertion change produced by a rule's incremental
@@ -317,6 +341,17 @@ impl BlockState {
     fn drain(&mut self, sink: &mut DeltaSink) {
         for v in self.violations.drain(..) {
             sink.retract(v);
+        }
+    }
+
+    /// Rewrite the asserted context into a new id space — witnesses and
+    /// every asserted violation translate together, silently (no
+    /// deltas: nothing changed liveness). The majority value is
+    /// row-id-free and stays put.
+    fn apply_remap(&mut self, remap: &RowIdRemap) {
+        remap.remap_sorted_in_place(&mut self.witnesses);
+        for v in &mut self.violations {
+            v.remap(remap);
         }
     }
 }
@@ -577,6 +612,30 @@ impl RuleState {
         matched
     }
 
+    /// Apply a compaction [`RowIdRemap`] to this rule's incremental
+    /// state — the rule's side of the remap protocol.
+    ///
+    /// Constant tuples hold no row references (their memo is keyed by
+    /// value id) and are untouched. Variable tuples remap their
+    /// partition's row lists and every block's asserted
+    /// witnesses/violations in place. Nothing is re-derived and no
+    /// pattern or capture evaluation runs, so
+    /// [`RuleState::pattern_evals`] is invariant under remap — the
+    /// protocol's cheapness guarantee, pinned by tests.
+    pub(crate) fn apply_remap(&mut self, remap: &RowIdRemap) {
+        for tuple in &mut self.tuples {
+            match tuple {
+                TupleState::Constant(_) => {}
+                TupleState::Variable(vt) => {
+                    vt.partition.apply_remap(remap);
+                    for state in vt.blocks.values_mut() {
+                        state.apply_remap(remap);
+                    }
+                }
+            }
+        }
+    }
+
     /// Pattern evaluations this rule's memoized state performed —
     /// constant tuples' match memos plus variable tuples' capture
     /// extractions.
@@ -625,6 +684,9 @@ pub struct StreamEngine {
     rules: Vec<RuleState>,
     ledger: ViolationLedger,
     drift: DriftMonitor,
+    /// Auto-compaction threshold (see [`StreamConfig::compact_ratio`]).
+    compact_ratio: f64,
+    compaction: CompactionStats,
 }
 
 impl StreamEngine {
@@ -647,7 +709,64 @@ impl StreamEngine {
             rules: states,
             ledger: ViolationLedger::new(),
             drift,
+            compact_ratio: config.compact_ratio,
+            compaction: CompactionStats::default(),
         }
+    }
+
+    /// Compact the engine's table and thread the resulting
+    /// [`RowIdRemap`] through every consumer — the remap protocol,
+    /// end to end:
+    ///
+    /// 1. [`Table::compact`] drops tombstoned slots and opens a new
+    ///    epoch;
+    /// 2. every rule's blocking partition and asserted block context
+    ///    translate in place (`RuleState::apply_remap` — no pattern
+    ///    re-evaluation, [`StreamEngine::pattern_evals`] is invariant);
+    /// 3. the ledger rewrites its live violations and adopts the epoch
+    ///    (event history stays verbatim; see
+    ///    [`LedgerEvent::epoch`](anmat_core::LedgerEvent)).
+    ///
+    /// Silent by design: no events are emitted, no drift counter moves —
+    /// only coordinates change. Callers holding pre-compaction `RowId`s
+    /// must translate them through the returned remap.
+    pub fn compact(&mut self) -> RowIdRemap {
+        let remap = self.table.compact();
+        for rule in &mut self.rules {
+            rule.apply_remap(&remap);
+        }
+        self.ledger.remap(&remap);
+        self.compaction.epochs += 1;
+        self.compaction.reclaimed_slots += remap.reclaimed();
+        remap
+    }
+
+    /// Auto-compaction hook: runs at the end of tombstoning entry
+    /// points (never mid-batch — a validated op batch addresses one id
+    /// space) when the tombstone ratio crosses
+    /// [`StreamConfig::compact_ratio`].
+    fn maybe_compact(&mut self) {
+        if should_compact(
+            self.compact_ratio,
+            self.table.row_count(),
+            self.table.live_rows(),
+        ) {
+            self.compact();
+        }
+    }
+
+    /// The engine's compaction epoch (0 until the first compaction).
+    /// Callers that cache `RowId`s can watch this to know when to
+    /// refresh them.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.table.epoch()
+    }
+
+    /// Lifetime compaction counters (epochs run, slots reclaimed).
+    #[must_use]
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.compaction
     }
 
     /// Ingest one row; returns the violation events it caused (creations
@@ -775,8 +894,19 @@ impl StreamEngine {
     /// creations where a block's majority flipped). Cost is
     /// `O(tableau)` for constant tuples and `O(affected block)` for
     /// variable tuples — never `O(table)`. The slot is tombstoned, so
-    /// every other `RowId` stays valid.
+    /// every other `RowId` stays valid — until auto-compaction (if
+    /// enabled) crosses its threshold at the end of this call and
+    /// renumbers; watch [`StreamEngine::epoch`].
     pub fn delete_row(&mut self, row: RowId) -> Result<Vec<LedgerEvent>, TableError> {
+        let events = self.delete_row_inner(row)?;
+        self.maybe_compact();
+        Ok(events)
+    }
+
+    /// The delete without the auto-compaction check — what batch
+    /// replay uses, so compaction can never strike in the middle of a
+    /// pre-validated op sequence.
+    fn delete_row_inner(&mut self, row: RowId) -> Result<Vec<LedgerEvent>, TableError> {
         if !self.table.is_live(row) {
             return Err(TableError::NoSuchRow { row });
         }
@@ -836,13 +966,16 @@ impl StreamEngine {
         validate_shapes(&self.table, ops.iter().map(OpShape::of))?;
         let mut events = Vec::new();
         for op in ops {
+            // Inner variants: the whole batch addresses one id space, so
+            // the auto-compaction check waits until after the loop.
             let batch = match op {
                 RowOp::Insert(cells) => self.push_row(cells),
-                RowOp::Delete(row) => self.delete_row(row),
+                RowOp::Delete(row) => self.delete_row_inner(row),
                 RowOp::Update(row, cells) => self.update_row(row, cells),
             };
             events.extend(batch.expect("ops pre-validated"));
         }
+        self.maybe_compact();
         Ok(events)
     }
 
@@ -1059,7 +1192,7 @@ mod tests {
         let config = StreamConfig {
             min_support: 4,
             max_violation_ratio: 0.3,
-            shards: 1,
+            ..StreamConfig::default()
         };
         let mut engine = StreamEngine::with_config(schema(), vec![zip_constant_pfd()], config);
         for i in 0..10 {
@@ -1244,6 +1377,107 @@ mod tests {
             Err(TableError::ArityMismatch { .. })
         ));
         assert_eq!(engine.live_rows(), 1);
+    }
+
+    #[test]
+    fn compact_remaps_live_violations_and_keeps_detection_exact() {
+        let mut engine = StreamEngine::new(schema(), vec![zip_variable_pfd(), zip_constant_pfd()]);
+        for (zip, city) in [
+            ("90001", "Los Angeles"),
+            ("90002", "Los Angeles"),
+            ("90003", "Los Angeles"),
+            ("90004", "New York"), // flagged by both rules
+        ] {
+            engine.push_str_row([zip, city]).unwrap();
+        }
+        engine.delete_row(0).unwrap();
+        engine.delete_row(2).unwrap();
+        let evals_before = engine.pattern_evals();
+        let remap = engine.compact();
+        // Survivors 1, 3 → 0, 1; no pattern work was repeated.
+        assert_eq!(remap.reclaimed(), 2);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.ledger().epoch(), 1);
+        assert_eq!(
+            engine.pattern_evals(),
+            evals_before,
+            "compaction must not re-evaluate patterns"
+        );
+        assert_eq!(engine.compaction_stats().epochs, 1);
+        assert_eq!(engine.compaction_stats().reclaimed_slots, 2);
+        let snap = engine.ledger().snapshot();
+        assert!(snap.iter().all(|v| v.row == 1), "flagged row remapped");
+        // The remapped ledger equals batch detection over the compacted
+        // table — the protocol's correctness contract.
+        let rules: Vec<Pfd> = engine.rules().cloned().collect();
+        let mut batch = detect_all(engine.table(), &rules);
+        let key = |v: &Violation| serde_json::to_string(v).unwrap();
+        batch.sort_by_key(|v| key(v));
+        batch.dedup();
+        let mut streamed = snap;
+        streamed.sort_by_key(|v| key(v));
+        assert_eq!(streamed, batch);
+        // The engine keeps working in the new id space: deleting the
+        // remapped minority row retracts both rules' violations.
+        let events = engine.delete_row(1).unwrap();
+        assert!(events.iter().all(|e| !e.is_created()));
+        assert_eq!(events.iter().map(|e| e.epoch).max(), Some(1));
+        assert!(engine.ledger().is_empty());
+        assert_eq!(engine.live_rows(), 1);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_the_configured_ratio() {
+        let config = StreamConfig {
+            compact_ratio: 0.5,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::with_config(schema(), vec![zip_variable_pfd()], config);
+        for i in 0..8 {
+            let zip = format!("900{i:02}");
+            engine.push_str_row([zip.as_str(), "Los Angeles"]).unwrap();
+        }
+        // Three deletes: 3/8 < 0.5, no compaction yet.
+        for row in 0..3 {
+            engine.delete_row(row).unwrap();
+        }
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.row_count(), 8);
+        // Fourth delete crosses 4/8 >= 0.5: compaction runs at the end
+        // of the call, slots shrink to the live rows.
+        engine.delete_row(3).unwrap();
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.row_count(), 4);
+        assert_eq!(engine.live_rows(), 4);
+        assert_eq!(engine.compaction_stats().reclaimed_slots, 4);
+        // Slots stay bounded by live rows for the rest of the run.
+        assert!(engine.row_count() <= 2 * engine.live_rows());
+    }
+
+    #[test]
+    fn auto_compaction_waits_for_the_batch_boundary() {
+        let config = StreamConfig {
+            compact_ratio: 0.3,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::with_config(schema(), vec![zip_variable_pfd()], config);
+        let mut ops: Vec<RowOp> = (0..6)
+            .map(|i| RowOp::Insert(vec![Value::text(format!("900{i:02}")), Value::text("LA")]))
+            .collect();
+        // Deletes address pre-batch id space even though the ratio
+        // crosses the threshold partway through.
+        ops.extend([RowOp::Delete(0), RowOp::Delete(2), RowOp::Delete(4)]);
+        engine.apply(ops).unwrap();
+        // One compaction, after the whole batch.
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.compaction_stats().epochs, 1);
+        assert_eq!(engine.row_count(), 3);
+        assert_eq!(engine.live_rows(), 3);
+        assert_eq!(
+            engine.table().cell_str(0, 0),
+            Some("90001"),
+            "survivors renumbered densely"
+        );
     }
 
     #[test]

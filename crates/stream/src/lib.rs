@@ -23,9 +23,23 @@
 //!   block's violations are re-derived and diffed. Deletes and updates
 //!   are `O(affected block)`, never `O(table)`.
 //! * An update is delete+insert *fused on one slot*: the row keeps its
-//!   `RowId` (the table tombstones deleted slots rather than compacting,
-//!   so ids embedded in violations and ledgers never dangle) and the
-//!   caller gets one coherent event batch.
+//!   `RowId` (the table tombstones deleted slots rather than moving
+//!   rows, so ids embedded in violations and ledgers never dangle) and
+//!   the caller gets one coherent event batch.
+//! * Tombstones are reclaimed by **compaction epochs**:
+//!   [`StreamEngine::compact`] (or the automatic
+//!   [`StreamConfig::compact_ratio`] trigger, checked at batch
+//!   boundaries) drops dead slots and threads the resulting
+//!   [`RowIdRemap`](anmat_table::RowIdRemap) through every consumer —
+//!   blocking partitions, asserted block context, and the ledger's live
+//!   violations all translate in place, with zero pattern
+//!   re-evaluation and zero events. Each [`LedgerEvent`] carries the
+//!   epoch it was emitted in, so event history stays valid verbatim
+//!   across renumberings. Memory is thereby proportional to *live*
+//!   rows, not to history (`tests/mutations.rs` pins the whole
+//!   protocol: compacted runs are observably identical to uncompacted
+//!   ones modulo the remap, and slots stay within 2× live rows at
+//!   ratio 0.3).
 //! * Violation semantics are *identical to batch*: the engine calls the
 //!   same `flag_block_minority` / `violation_at` primitives as
 //!   `detect_all`, so any interleaving of inserts/deletes/updates ends
@@ -45,7 +59,11 @@
 //!   the event stream, ledger state, per-rule health, and drift report
 //!   are bit-for-bit identical to [`StreamEngine`]'s (property-tested in
 //!   `tests/shard_equivalence.rs`). Cross-shard string traffic rides the
-//!   `ValuePool`, whose id→string resolution is lock-free.
+//!   `ValuePool`, whose id→string resolution is lock-free. Compaction
+//!   runs as a coordinated **epoch barrier** ([`ShardedEngine::compact`]):
+//!   the coordinator compacts, broadcasts the remap, and every worker
+//!   remaps its replica and rule state before the next batch flows —
+//!   the equivalence contract holds across compactions too.
 //!
 //! # Example
 //!
@@ -82,9 +100,9 @@ pub mod engine;
 pub mod sharded;
 
 pub use drift::{DriftMonitor, DriftReport, RuleHealth};
-pub use engine::{StreamConfig, StreamEngine};
+pub use engine::{CompactionStats, StreamConfig, StreamEngine};
 pub use sharded::ShardedEngine;
 
 // Re-exported so downstream users of the engine's event stream don't need
 // a direct anmat-core dependency.
-pub use anmat_core::{LedgerEvent, Pfd, ViolationLedger};
+pub use anmat_core::{LedgerChange, LedgerEvent, Pfd, ViolationLedger};

@@ -43,13 +43,28 @@
 //! the coordinator re-sorts and re-installs them — possible precisely
 //! because rule state is self-contained and every worker's table replica
 //! is identical.
+//!
+//! # The epoch barrier
+//!
+//! Tombstone compaction is the one maneuver that rewrites `RowId`s, so
+//! it runs as a coordinated barrier ([`ShardedEngine::compact`]): the
+//! coordinator compacts its canonical table, broadcasts the resulting
+//! `RowIdRemap`, and every worker compacts its own replica
+//! (bit-identical, asserted in debug builds) and remaps its rules'
+//! partitions and asserted violations in place before acknowledging.
+//! No op batch ever straddles two id spaces — batches are validated
+//! against one epoch and the auto-trigger
+//! (`StreamConfig::compact_ratio`) is checked only between fan-outs, at
+//! the same boundaries the single-threaded engine uses, which is what
+//! keeps the equivalence contract alive across compactions.
 
 use crate::drift::{DriftMonitor, DriftReport, RuleHealth};
 use crate::engine::{
-    apply_deltas, validate_shapes, Delta, DeltaSink, OpShape, RuleState, StreamConfig,
+    apply_deltas, should_compact, validate_shapes, CompactionStats, Delta, DeltaSink, OpShape,
+    RuleState, StreamConfig,
 };
 use anmat_core::{LedgerEvent, Pfd, ViolationLedger};
-use anmat_table::{RowId, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
+use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -105,6 +120,9 @@ enum WorkerMsg {
     Stats,
     Extract,
     Install(Vec<(usize, RuleState)>),
+    /// The epoch barrier: compact the replica and remap rule state with
+    /// the coordinator's broadcast remap, then acknowledge.
+    Compact(Arc<RowIdRemap>),
 }
 
 enum WorkerReply {
@@ -112,6 +130,7 @@ enum WorkerReply {
     Stats(Vec<RuleStats>),
     Extracted(Vec<(usize, RuleState)>),
     Installed,
+    Compacted,
 }
 
 /// One worker thread's state: its table replica and its rule subset
@@ -142,6 +161,23 @@ impl Worker {
                     rules.sort_by_key(|(rule, _)| *rule);
                     self.rules = rules;
                     WorkerReply::Installed
+                }
+                WorkerMsg::Compact(remap) => {
+                    // The replica is op-for-op identical to the
+                    // coordinator's table, so compacting it locally
+                    // reproduces the broadcast remap exactly — asserted
+                    // in debug builds, which the equivalence proptests
+                    // run under.
+                    let local = self.table.compact();
+                    debug_assert_eq!(
+                        &local,
+                        remap.as_ref(),
+                        "worker replica diverged from the coordinator's table"
+                    );
+                    for (_, state) in &mut self.rules {
+                        state.apply_remap(&remap);
+                    }
+                    WorkerReply::Compacted
                 }
             };
             if tx.send(reply).is_err() {
@@ -253,6 +289,9 @@ pub struct ShardedEngine {
     workers: Vec<WorkerHandle>,
     ledger: ViolationLedger,
     drift: DriftMonitor,
+    /// Auto-compaction threshold (see [`StreamConfig::compact_ratio`]).
+    compact_ratio: f64,
+    compaction: CompactionStats,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -318,7 +357,70 @@ impl ShardedEngine {
             workers,
             ledger: ViolationLedger::new(),
             drift,
+            compact_ratio: config.compact_ratio,
+            compaction: CompactionStats::default(),
         }
+    }
+
+    /// Run one coordinated compaction epoch across the whole engine —
+    /// the sharded half of the remap protocol:
+    ///
+    /// 1. the coordinator compacts its canonical table, producing the
+    ///    epoch-stamped [`RowIdRemap`];
+    /// 2. the remap is broadcast; every worker compacts its own 4-byte
+    ///    replica (bit-identical by construction) and remaps its rules'
+    ///    partitions and asserted block context in place;
+    /// 3. the coordinator rewrites the ledger's live violations and
+    ///    adopts the epoch, then waits for every worker's acknowledgment
+    ///    — a full barrier, so no op batch ever straddles two id spaces.
+    ///
+    /// Like the single-threaded [`StreamEngine::compact`], the pass is
+    /// silent (no events, no drift movement, no pattern re-evaluation),
+    /// which is what keeps the shard-equivalence contract intact across
+    /// compactions triggered at identical batch boundaries.
+    ///
+    /// [`StreamEngine::compact`]: crate::StreamEngine::compact
+    pub fn compact(&mut self) -> RowIdRemap {
+        let remap = Arc::new(self.table.compact());
+        for worker in &self.workers {
+            worker.send(WorkerMsg::Compact(Arc::clone(&remap)));
+        }
+        // The coordinator's share of the epoch overlaps the workers'.
+        self.ledger.remap(&remap);
+        self.compaction.epochs += 1;
+        self.compaction.reclaimed_slots += remap.reclaimed();
+        for worker in &self.workers {
+            match worker.recv() {
+                WorkerReply::Compacted => {}
+                _ => unreachable!("worker replies in lockstep with requests"),
+            }
+        }
+        RowIdRemap::clone(&remap)
+    }
+
+    /// Auto-compaction hook, checked after every fanned-out batch — the
+    /// same `should_compact` predicate at the same boundaries as the
+    /// single-threaded engine, so both compact at identical points.
+    fn maybe_compact(&mut self) {
+        if should_compact(
+            self.compact_ratio,
+            self.table.row_count(),
+            self.table.live_rows(),
+        ) {
+            self.compact();
+        }
+    }
+
+    /// The engine's compaction epoch (0 until the first compaction).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.table.epoch()
+    }
+
+    /// Lifetime compaction counters (epochs run, slots reclaimed).
+    #[must_use]
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.compaction
     }
 
     /// Round-robin over rules sorted by descending weight (ties by
@@ -484,7 +586,9 @@ impl ShardedEngine {
                 _ => unreachable!("worker replies in lockstep with requests"),
             })
             .collect();
-        Ok(self.merge(op_count, replies))
+        let events = self.merge(op_count, replies);
+        self.maybe_compact();
+        Ok(events)
     }
 
     /// Merge per-shard outcomes: for each op, removal phase then insert
@@ -698,6 +802,58 @@ mod tests {
         let events = engine.delete_row(1).unwrap();
         assert!(events.iter().any(|e| !e.is_created()));
         assert!(engine.ledger().is_empty());
+    }
+
+    #[test]
+    fn coordinated_compaction_keeps_the_engine_consistent() {
+        let mut engine = ShardedEngine::new(schema(), vec![zip_variable_pfd()], 2);
+        for (i, city) in [
+            "Los Angeles",
+            "Los Angeles",
+            "Los Angeles",
+            "New York", // row 3: the minority
+        ]
+        .iter()
+        .enumerate()
+        {
+            engine
+                .push_row(vec![Value::text(format!("9000{i}")), Value::text(*city)])
+                .unwrap();
+        }
+        engine.delete_row(0).unwrap();
+        engine.delete_row(1).unwrap();
+        let remap = engine.compact();
+        assert_eq!(remap.reclaimed(), 2);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.compaction_stats().epochs, 1);
+        assert_eq!(engine.row_count(), 2);
+        // The flagged row moved 3 → 1 in the ledger.
+        assert_eq!(engine.ledger().snapshot()[0].row, 1);
+        // Workers and coordinator stayed aligned: ops in the new id
+        // space behave, and the retraction carries the new epoch.
+        let events = engine.delete_row(1).unwrap();
+        assert!(events.iter().any(|e| !e.is_created() && e.epoch == 1));
+        assert!(engine.ledger().is_empty());
+        assert_eq!(engine.live_rows(), 1);
+    }
+
+    #[test]
+    fn auto_compaction_is_checked_at_batch_boundaries() {
+        let config = StreamConfig {
+            shards: 2,
+            compact_ratio: 0.4,
+            ..StreamConfig::default()
+        };
+        let mut engine = ShardedEngine::with_config(schema(), vec![zip_variable_pfd()], config);
+        let mut ops: Vec<RowOp> = (0..5)
+            .map(|i| RowOp::Insert(vec![Value::text(format!("9000{i}")), Value::text("LA")]))
+            .collect();
+        ops.extend([RowOp::Delete(1), RowOp::Delete(3)]);
+        engine.apply(ops).unwrap();
+        // 2/5 = 0.4 ≥ 0.4: one epoch at the batch boundary.
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.row_count(), 3);
+        assert_eq!(engine.compaction_stats().reclaimed_slots, 2);
     }
 
     #[test]

@@ -12,13 +12,16 @@
 //! so batch detection sees exactly the tombstoned state the engine
 //! maintained incrementally — same `RowId`s, same survivors.
 
-use anmat_core::{detect_all, discover, DiscoveryConfig, Pfd, Violation};
+use anmat_core::{detect_all, discover, DiscoveryConfig, Pfd, Violation, ViolationKind};
 use anmat_datagen::{chembl, employee, names, phone, zipcity, GenConfig};
-use anmat_stream::StreamEngine;
+use anmat_stream::{StreamConfig, StreamEngine};
 use anmat_table::{RowId, RowOp, Table};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+mod common;
+use common::cases;
 
 fn discovery_config() -> DiscoveryConfig {
     DiscoveryConfig {
@@ -202,5 +205,321 @@ proptest! {
             "zipcity (property)",
         );
         check_dataset(&names::generate(&config).table, seed ^ 0xabcd, churn, "names (property)");
+    }
+}
+
+// ───────────────────────── compaction epochs ─────────────────────────
+//
+// The remap-protocol acceptance property: a run that compacts (forced at
+// random points, or automatically off `compact_ratio`) must be
+// observably identical to a run that never compacts — event streams
+// (order included), live violation sets, per-rule health, and drift
+// reports all agree once compacted row ids are translated back through
+// the accumulated remap; `pattern_evals` must not move on compaction;
+// and with `compact_ratio` 0.3 the slot count stays within 2× the live
+// rows at every batch boundary.
+
+/// Rewrite a compacted-run violation's row references into the
+/// uncompacted run's id space. `cur_to_base` is maintained by the
+/// paired driver: index = current slot id, value = the slot id the same
+/// logical row has in the never-compacted twin. The mapping is strictly
+/// increasing (both sides number rows by arrival), so sorted witness
+/// lists stay sorted.
+fn translate_violation(v: &Violation, cur_to_base: &[RowId]) -> Violation {
+    let mut v = v.clone();
+    v.row = cur_to_base[v.row];
+    if let ViolationKind::Variable { witnesses, .. } = &mut v.kind {
+        for w in witnesses {
+            *w = cur_to_base[*w];
+        }
+    }
+    if let Some(repair) = &mut v.repair {
+        repair.row = cur_to_base[repair.row];
+    }
+    v
+}
+
+/// Drive a compacting engine and a never-compacting twin through the
+/// same logical op stream and assert, batch by batch, that compaction
+/// is observationally invisible modulo the id translation.
+///
+/// `auto_ratio > 0` enables the engine's own trigger
+/// (`StreamConfig::compact_ratio`); `force_compaction` additionally
+/// calls `compact()` between random batches. Ops are generated in
+/// whatever id space the compacting engine currently speaks, with the
+/// twin's ops translated on the fly.
+fn check_compaction_invisible(
+    source: &Table,
+    seed: u64,
+    churn: f64,
+    auto_ratio: f64,
+    force_compaction: bool,
+    context: &str,
+) {
+    let rules = discover(source, &discovery_config());
+    let mut plain = StreamEngine::new(source.schema().clone(), rules.clone());
+    let config = StreamConfig {
+        compact_ratio: auto_ratio,
+        ..StreamConfig::default()
+    };
+    let mut compacted = StreamEngine::with_config(source.schema().clone(), rules.clone(), config);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Current-slot → twin-slot translation; entries for tombstoned slots
+    // survive until a compaction drops them (events may still cite them
+    // within the batch that deleted them).
+    let mut cur_to_base: Vec<RowId> = Vec::new();
+    let mut live_cur: Vec<RowId> = Vec::new();
+    let mut next_source_row = 0usize;
+    let mut epochs_seen = 0u64;
+
+    while next_source_row < source.row_count() {
+        // One batch: a handful of arrivals, each chased by churn.
+        let mut cur_ops = Vec::new();
+        let mut base_ops = Vec::new();
+        let batch_rows = rng
+            .random_range(1usize..24)
+            .min(source.row_count() - next_source_row);
+        for _ in 0..batch_rows {
+            let cells = source.row(next_source_row);
+            next_source_row += 1;
+            live_cur.push(cur_to_base.len());
+            cur_to_base.push(cur_to_base.len() + epochs_reclaimed(&plain, &compacted));
+            cur_ops.push(RowOp::Insert(cells.clone()));
+            base_ops.push(RowOp::Insert(cells));
+            while !live_cur.is_empty() && rng.random_bool(churn) {
+                let pick = rng.random_range(0..live_cur.len());
+                let cur = live_cur[pick];
+                if rng.random_bool(0.5) {
+                    live_cur.remove(pick);
+                    cur_ops.push(RowOp::Delete(cur));
+                    base_ops.push(RowOp::Delete(cur_to_base[cur]));
+                } else {
+                    let donor = rng.random_range(0..source.row_count());
+                    cur_ops.push(RowOp::Update(cur, source.row(donor)));
+                    base_ops.push(RowOp::Update(cur_to_base[cur], source.row(donor)));
+                }
+            }
+        }
+        let epoch_at_start = compacted.epoch();
+        let base_events = plain.apply(base_ops).expect("twin ops are valid");
+        let cur_events = compacted.apply(cur_ops).expect("ops are valid");
+
+        // Event streams: same length, same order, same content modulo
+        // the id translation; epochs stamp the space each event's ids
+        // live in.
+        assert_eq!(
+            base_events.len(),
+            cur_events.len(),
+            "event counts diverged on {context}"
+        );
+        for (base_ev, cur_ev) in base_events.iter().zip(&cur_events) {
+            assert_eq!(base_ev.epoch, 0, "uncompacted run never leaves epoch 0");
+            assert_eq!(
+                cur_ev.epoch, epoch_at_start,
+                "events carry the epoch they were emitted in on {context}"
+            );
+            assert_eq!(base_ev.is_created(), cur_ev.is_created());
+            assert_eq!(
+                base_ev.violation(),
+                &translate_violation(cur_ev.violation(), &cur_to_base),
+                "event diverged modulo remap on {context}"
+            );
+        }
+
+        // Health and drift judge identically — no ids involved.
+        for rule in 0..rules.len() {
+            assert_eq!(
+                plain.rule_health(rule),
+                compacted.rule_health(rule),
+                "rule {rule} health diverged on {context}"
+            );
+        }
+        assert_eq!(
+            plain.drift_report(),
+            compacted.drift_report(),
+            "drift reports diverged on {context}"
+        );
+
+        // Detect the engine's own compactions; optionally force one.
+        let mut epoch = compacted.epoch();
+        if epoch == epoch_at_start && force_compaction && rng.random_bool(0.35) {
+            let evals_before = compacted.pattern_evals();
+            compacted.compact();
+            assert_eq!(
+                compacted.pattern_evals(),
+                evals_before,
+                "compaction must not move pattern_evals on {context}"
+            );
+            epoch = compacted.epoch();
+        }
+        if epoch != epochs_seen {
+            epochs_seen = epoch;
+            // Rebuild the translation: survivors keep arrival order.
+            live_cur.sort_unstable();
+            cur_to_base = live_cur.iter().map(|&cur| cur_to_base[cur]).collect();
+            live_cur = (0..cur_to_base.len()).collect();
+            assert_eq!(compacted.row_count(), cur_to_base.len());
+        }
+
+        // The acceptance bound: slots within 2× live rows at every
+        // batch boundary once auto-compaction is on.
+        if auto_ratio > 0.0 {
+            assert!(
+                compacted.row_count() <= 2 * compacted.live_rows().max(1),
+                "slots {} exceeded 2× live {} on {context}",
+                compacted.row_count(),
+                compacted.live_rows()
+            );
+        }
+
+        // Live violation sets agree modulo translation.
+        let translated: Vec<Violation> = compacted
+            .ledger()
+            .snapshot()
+            .iter()
+            .map(|v| translate_violation(v, &cur_to_base))
+            .collect();
+        assert_eq!(
+            canonical(plain.ledger().snapshot()),
+            canonical(translated),
+            "ledger state diverged on {context}"
+        );
+        assert_eq!(
+            plain.ledger().created_total(),
+            compacted.ledger().created_total()
+        );
+        assert_eq!(
+            plain.ledger().retracted_total(),
+            compacted.ledger().retracted_total()
+        );
+    }
+
+    // Terminal cross-check straight against batch detection: the
+    // compacted table is dense, so its ids are exactly what `detect_all`
+    // sees.
+    assert_eq!(
+        canonical(compacted.ledger().snapshot()),
+        canonical(detect_all(compacted.table(), &rules)),
+        "compacted engine diverged from batch detection on {context}"
+    );
+    // And the surviving row contents line up pairwise.
+    let plain_rows: Vec<Vec<anmat_table::ValueId>> = plain
+        .table()
+        .iter_live()
+        .map(|r| plain.table().row_ids(r))
+        .collect();
+    let compacted_rows: Vec<Vec<anmat_table::ValueId>> = compacted
+        .table()
+        .iter_live()
+        .map(|r| compacted.table().row_ids(r))
+        .collect();
+    assert_eq!(
+        plain_rows, compacted_rows,
+        "survivors diverged on {context}"
+    );
+}
+
+/// Slots the compacting engine dropped so far = how far its slot ids
+/// lag the twin's. (Helper for assigning the twin id of a fresh
+/// insert: twin ids never shrink.)
+fn epochs_reclaimed(plain: &StreamEngine, compacted: &StreamEngine) -> usize {
+    debug_assert!(plain.row_count() >= compacted.row_count());
+    plain.row_count() - compacted.row_count()
+}
+
+#[test]
+fn forced_compaction_at_random_points_is_invisible() {
+    let config = GenConfig {
+        rows: 220,
+        seed: 0xC0DA,
+        error_rate: 0.05,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    check_compaction_invisible(
+        &data.table,
+        17,
+        0.25,
+        0.0,
+        true,
+        "zipcity forced compaction",
+    );
+    let data = names::generate(&config);
+    check_compaction_invisible(&data.table, 18, 0.25, 0.0, true, "names forced compaction");
+}
+
+#[test]
+fn ratio_triggered_compaction_bounds_slots_on_a_half_delete_workload() {
+    // The acceptance workload: ~50% of churn ops are deletes, ratio 0.3.
+    let config = GenConfig {
+        rows: 260,
+        seed: 0x3AC7,
+        error_rate: 0.05,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    check_compaction_invisible(&data.table, 19, 0.45, 0.3, false, "zipcity ratio 0.3");
+}
+
+#[test]
+fn compaction_of_a_fully_drained_table_restarts_cleanly() {
+    let config = GenConfig {
+        rows: 90,
+        seed: 23,
+        error_rate: 0.05,
+    };
+    let data = names::generate(&config);
+    let rules = discover(&data.table, &discovery_config());
+    let mut engine = StreamEngine::new(data.table.schema().clone(), rules.clone());
+    let n = data.table.row_count();
+    let inserts: Vec<RowOp> = (0..n).map(|r| RowOp::Insert(data.table.row(r))).collect();
+    engine.apply(inserts.clone()).expect("valid");
+    engine.apply((0..n).map(RowOp::Delete)).expect("valid");
+    let remap = engine.compact();
+    assert_eq!(remap.new_slots(), 0);
+    assert_eq!(engine.row_count(), 0);
+    assert!(engine.ledger().is_empty());
+    // Refill from slot 0 in the new epoch: equivalent to a fresh run.
+    engine.apply(inserts).expect("valid");
+    assert_eq!(
+        canonical(engine.ledger().snapshot()),
+        canonical(detect_all(engine.table(), &rules)),
+    );
+    assert!(engine.ledger().snapshot().iter().all(|v| v.row < n));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(4)))]
+
+    /// The compaction acceptance property: random interleavings with
+    /// compaction forced at random points — and, in the ratio variant,
+    /// triggered automatically — are observationally identical to an
+    /// uncompacted run and to batch detection over the survivors.
+    #[test]
+    fn random_interleavings_with_compaction_equal_uncompacted_runs(
+        seed in 0u64..10_000,
+        rows in 80usize..220,
+        churn_pct in 15u32..50,
+        auto_bit in 0u32..2,
+    ) {
+        let config = GenConfig { rows, seed, error_rate: 0.04 };
+        let churn = f64::from(churn_pct) / 100.0;
+        let auto = auto_bit == 1;
+        let ratio = if auto { 0.3 } else { 0.0 };
+        check_compaction_invisible(
+            &zipcity::generate(&config, zipcity::ZipTarget::City).table,
+            seed ^ 0xC0DA,
+            churn,
+            ratio,
+            !auto,
+            "zipcity (compaction property)",
+        );
+        check_compaction_invisible(
+            &names::generate(&config).table,
+            seed ^ 0xFACE,
+            churn,
+            ratio,
+            !auto,
+            "names (compaction property)",
+        );
     }
 }

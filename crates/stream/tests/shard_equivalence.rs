@@ -12,11 +12,14 @@
 
 use anmat_core::{discover, DiscoveryConfig, Pfd};
 use anmat_datagen::{chembl, employee, names, phone, zipcity, GenConfig};
-use anmat_stream::{ShardedEngine, StreamEngine};
+use anmat_stream::{ShardedEngine, StreamConfig, StreamEngine};
 use anmat_table::{RowId, RowOp, Table};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+mod common;
+use common::cases;
 
 fn discovery_config() -> DiscoveryConfig {
     DiscoveryConfig {
@@ -25,16 +28,6 @@ fn discovery_config() -> DiscoveryConfig {
         max_violation_ratio: 0.15,
         ..DiscoveryConfig::default()
     }
-}
-
-/// Local proptest case count, overridable by `PROPTEST_CASES` (the CI
-/// elevated step); the in-repo default stays small because each case
-/// runs discovery plus four full engines.
-fn cases(default: u32) -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 /// A random interleaving: every source row arrives as an insert; after
@@ -80,34 +73,88 @@ fn batches(ops: &[RowOp], batch_sizes: &[usize]) -> Vec<Vec<RowOp>> {
     out
 }
 
+/// How compaction epochs interleave with the batch stream: forced
+/// barriers after given batch indices, and/or the engines' own
+/// `compact_ratio` trigger. Ops must then be generated epoch-aware
+/// ([`epoch_aware_batches`]), since compaction renumbers row ids.
+#[derive(Default, Clone)]
+struct CompactionPlan {
+    /// Run a coordinated `compact()` on every engine after this batch.
+    force_after: Option<usize>,
+    /// `StreamConfig::compact_ratio` for every engine (0.0 = off).
+    ratio: f64,
+    /// Expected engine epoch after each batch (from
+    /// [`epoch_aware_batches`]'s simulation) — pins the test's id-space
+    /// bookkeeping to what the engines actually did.
+    expected_epochs: Vec<u64>,
+}
+
 /// Feed identical batch sequences to the single-threaded engine and to
-/// sharded engines with 1/2/4 shards (optionally rebalancing the
-/// sharded ones mid-stream), asserting the full determinism contract.
+/// sharded engines with 1/2/4 shards (optionally rebalancing or
+/// compacting mid-stream), asserting the full determinism contract.
 fn assert_shard_equivalent(
     schema: &anmat_table::Schema,
     rules: &[Pfd],
     op_batches: &[Vec<RowOp>],
     rebalance_at: Option<usize>,
+    compaction: &CompactionPlan,
     context: &str,
 ) {
-    let mut single = StreamEngine::new(schema.clone(), rules.to_vec());
+    let config = StreamConfig {
+        compact_ratio: compaction.ratio,
+        ..StreamConfig::default()
+    };
+    let mut single = StreamEngine::with_config(schema.clone(), rules.to_vec(), config);
     let reference: Vec<Vec<_>> = op_batches
         .iter()
-        .map(|batch| single.apply(batch.clone()).expect("ops are valid"))
+        .enumerate()
+        .map(|(k, batch)| {
+            let events = single.apply(batch.clone()).expect("ops are valid");
+            if compaction.force_after == Some(k) {
+                single.compact();
+            }
+            if let Some(&expected) = compaction.expected_epochs.get(k) {
+                assert_eq!(
+                    single.epoch(),
+                    expected,
+                    "the test's epoch simulation diverged from the engine on {context} (batch {k})"
+                );
+            }
+            events
+        })
         .collect();
 
     for shards in [1usize, 2, 4] {
-        let mut sharded = ShardedEngine::new(schema.clone(), rules.to_vec(), shards);
+        let mut sharded = ShardedEngine::with_config(schema.clone(), rules.to_vec(), config);
         for (k, batch) in op_batches.iter().enumerate() {
             if rebalance_at == Some(k) {
                 sharded.rebalance();
             }
             let events = sharded.apply(batch.clone()).expect("ops are valid");
+            if compaction.force_after == Some(k) {
+                let evals_before = sharded.pattern_evals();
+                sharded.compact();
+                assert_eq!(
+                    sharded.pattern_evals(),
+                    evals_before,
+                    "the epoch barrier must not move pattern_evals on {context}"
+                );
+            }
             assert_eq!(
                 events, reference[k],
                 "event stream diverged on {context} (shards={shards}, batch {k})"
             );
         }
+        assert_eq!(
+            sharded.epoch(),
+            single.epoch(),
+            "compaction epochs diverged on {context} (shards={shards})"
+        );
+        assert_eq!(
+            sharded.compaction_stats(),
+            single.compaction_stats(),
+            "compaction stats diverged on {context} (shards={shards})"
+        );
         assert_eq!(
             sharded.ledger().snapshot(),
             single.ledger().snapshot(),
@@ -144,11 +191,127 @@ fn assert_shard_equivalent(
     }
 }
 
+/// Like [`random_ops`] + [`batches`], but epoch-aware: the op stream is
+/// generated against the id space the engines will actually hold,
+/// replicating the compaction plan (forced barriers after given
+/// batches, and the `compact_ratio` trigger — which both engines check
+/// at batch boundaries only). Returns the batches plus the expected
+/// epoch after each batch, so the harness can cross-check its
+/// simulation against the engines.
+fn epoch_aware_batches(
+    source: &Table,
+    seed: u64,
+    churn: f64,
+    batch_sizes: &[usize],
+    plan: CompactionPlan,
+) -> (Vec<Vec<RowOp>>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batches = Vec::new();
+    let mut epochs = Vec::new();
+    let mut live: Vec<RowId> = Vec::new();
+    let mut slots = 0usize;
+    let mut epoch = 0u64;
+    let mut next = 0usize;
+    let mut size_idx = 0usize;
+    while next < source.row_count() {
+        let size = batch_sizes[size_idx % batch_sizes.len()].max(1);
+        size_idx += 1;
+        let mut ops = Vec::new();
+        for _ in 0..size.min(source.row_count() - next) {
+            ops.push(RowOp::Insert(source.row(next)));
+            next += 1;
+            live.push(slots);
+            slots += 1;
+            while !live.is_empty() && rng.random_bool(churn) {
+                let pick = rng.random_range(0..live.len());
+                let row = live[pick];
+                if rng.random_bool(0.5) {
+                    live.remove(pick);
+                    ops.push(RowOp::Delete(row));
+                } else {
+                    let donor = rng.random_range(0..source.row_count());
+                    ops.push(RowOp::Update(row, source.row(donor)));
+                }
+            }
+        }
+        let k = batches.len();
+        batches.push(ops);
+        // Policy replica: the ratio trigger fires at the batch
+        // boundary; a forced barrier runs right after it (both can fire
+        // on one batch — two epochs, the second an identity pass).
+        let dead = slots - live.len();
+        if plan.ratio > 0.0 && dead > 0 && dead as f64 >= plan.ratio * slots as f64 {
+            epoch += 1;
+            live.sort_unstable();
+            slots = live.len();
+            live = (0..slots).collect();
+        }
+        if plan.force_after == Some(k) {
+            epoch += 1;
+            live.sort_unstable();
+            slots = live.len();
+            live = (0..slots).collect();
+        }
+        epochs.push(epoch);
+    }
+    (batches, epochs)
+}
+
 fn check_dataset(table: &Table, seed: u64, churn: f64, context: &str) {
     let rules = discover(table, &discovery_config());
     let ops = random_ops(table, seed, churn);
     let op_batches = batches(&ops, &[1, 7, 64, 3]);
-    assert_shard_equivalent(table.schema(), &rules, &op_batches, None, context);
+    assert_shard_equivalent(
+        table.schema(),
+        &rules,
+        &op_batches,
+        None,
+        &CompactionPlan::default(),
+        context,
+    );
+}
+
+/// The sharded half of the compaction acceptance criterion: with a
+/// coordinated epoch barrier mid-stream — forced, or triggered by
+/// `compact_ratio` — 1/2/4 shards stay bit-for-bit identical to the
+/// single-threaded engine, epochs and reclaimed-slot counts included.
+fn check_dataset_with_compaction(table: &Table, seed: u64, churn: f64, context: &str) {
+    let rules = discover(table, &discovery_config());
+    // Forced barrier roughly mid-stream.
+    let probe = epoch_aware_batches(table, seed, churn, &[5, 17, 2], CompactionPlan::default());
+    let mid = probe.0.len() / 2;
+    let mut plan = CompactionPlan {
+        force_after: Some(mid),
+        ratio: 0.0,
+        expected_epochs: Vec::new(),
+    };
+    let (op_batches, epochs) = epoch_aware_batches(table, seed, churn, &[5, 17, 2], plan.clone());
+    plan.expected_epochs = epochs;
+    assert_shard_equivalent(
+        table.schema(),
+        &rules,
+        &op_batches,
+        None,
+        &plan,
+        &format!("{context} + forced epoch barrier"),
+    );
+    // The engines' own ratio trigger (the acceptance ratio, 0.3).
+    let mut plan = CompactionPlan {
+        force_after: None,
+        ratio: 0.3,
+        expected_epochs: Vec::new(),
+    };
+    let (op_batches, epochs) =
+        epoch_aware_batches(table, seed ^ 0xE90C, churn, &[9, 3, 33], plan.clone());
+    plan.expected_epochs = epochs;
+    assert_shard_equivalent(
+        table.schema(),
+        &rules,
+        &op_batches,
+        None,
+        &plan,
+        &format!("{context} + ratio 0.3 epochs"),
+    );
 }
 
 #[test]
@@ -217,7 +380,54 @@ fn rebalancing_mid_stream_changes_nothing_observable() {
         &rules,
         &op_batches,
         Some(mid),
+        &CompactionPlan::default(),
         "names + mid-stream rebalance",
+    );
+}
+
+#[test]
+fn mid_stream_compaction_is_shard_equivalent() {
+    let config = GenConfig {
+        rows: 200,
+        seed: 0xE90C4,
+        error_rate: 0.05,
+    };
+    check_dataset_with_compaction(
+        &zipcity::generate(&config, zipcity::ZipTarget::City).table,
+        21,
+        0.3,
+        "zipcity",
+    );
+    check_dataset_with_compaction(&names::generate(&config).table, 22, 0.3, "names");
+}
+
+#[test]
+fn compaction_composes_with_mid_stream_rebalance() {
+    // The two coordinated maneuvers — rule-state migration and the
+    // epoch barrier — in one run, rebalance first, barrier later.
+    let config = GenConfig {
+        rows: 160,
+        seed: 0xBA1A,
+        error_rate: 0.05,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    let rules = discover(&data.table, &discovery_config());
+    let probe = epoch_aware_batches(&data.table, 31, 0.3, &[12], CompactionPlan::default());
+    let barrier = (2 * probe.0.len()) / 3;
+    let mut plan = CompactionPlan {
+        force_after: Some(barrier),
+        ratio: 0.0,
+        expected_epochs: Vec::new(),
+    };
+    let (op_batches, epochs) = epoch_aware_batches(&data.table, 31, 0.3, &[12], plan.clone());
+    plan.expected_epochs = epochs;
+    assert_shard_equivalent(
+        data.table.schema(),
+        &rules,
+        &op_batches,
+        Some(op_batches.len() / 3),
+        &plan,
+        "zipcity + rebalance then epoch barrier",
     );
 }
 
@@ -297,7 +507,46 @@ proptest! {
             let rules = discover(&table, &discovery_config());
             let ops = random_ops(&table, seed ^ 0x5eed, churn);
             let op_batches = batches(&ops, &[batch_a, batch_b]);
-            assert_shard_equivalent(table.schema(), &rules, &op_batches, None, context);
+            assert_shard_equivalent(
+                table.schema(),
+                &rules,
+                &op_batches,
+                None,
+                &CompactionPlan::default(),
+                context,
+            );
         }
+    }
+
+    /// The sharded compaction acceptance property: random datasets, op
+    /// interleavings, batch splits, and ratio-triggered epochs — every
+    /// shard count produces the identical observable stream.
+    #[test]
+    fn ratio_triggered_epochs_are_shard_equivalent(
+        seed in 0u64..10_000,
+        rows in 60usize..150,
+        churn_pct in 20u32..50,
+        batch in 2usize..40,
+    ) {
+        let config = GenConfig { rows, seed, error_rate: 0.04 };
+        let churn = f64::from(churn_pct) / 100.0;
+        let table = zipcity::generate(&config, zipcity::ZipTarget::City).table;
+        let rules = discover(&table, &discovery_config());
+        let mut plan = CompactionPlan {
+            force_after: None,
+            ratio: 0.3,
+            expected_epochs: Vec::new(),
+        };
+        let (op_batches, epochs) =
+            epoch_aware_batches(&table, seed ^ 0xE90C, churn, &[batch, 3], plan.clone());
+        plan.expected_epochs = epochs;
+        assert_shard_equivalent(
+            table.schema(),
+            &rules,
+            &op_batches,
+            None,
+            &plan,
+            "zipcity (ratio epochs property)",
+        );
     }
 }

@@ -34,7 +34,7 @@ pub use error::TableError;
 pub use pool::{ValueId, ValuePool};
 pub use profile::{ColumnProfile, InferredType, PatternHistogram, TableProfile};
 pub use schema::Schema;
-pub use table::{RowId, RowOp, Table, TableBuilder};
+pub use table::{MemFootprint, RowId, RowIdRemap, RowOp, Table, TableBuilder};
 pub use tokenize::{
     for_each_ngram, for_each_prefix, for_each_token, ngrams, prefixes, tokenize, NGram, Token,
 };

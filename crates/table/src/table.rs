@@ -22,6 +22,18 @@
 //! survivors. The three mutations are reified as [`RowOp`] — the delta
 //! currency the whole pipeline (table → index → ledger → stream → CLI)
 //! speaks.
+//!
+//! Tombstones accumulate under sustained churn, so tables also support
+//! **compaction epochs**: [`Table::compact`] drops every tombstoned
+//! slot, rewrites the columns densely, bumps the table's
+//! [`epoch`](Table::epoch), and returns a [`RowIdRemap`] — the
+//! epoch-stamped old→new slot mapping every `RowId`-holding consumer
+//! (indexes, ledgers, stream engines) applies to stay aligned. The
+//! remap is *monotone* (surviving slots keep their relative order), so
+//! sorted row lists stay sorted under
+//! [`RowIdRemap::remap_sorted_in_place`]. Memory is genuinely released:
+//! columns and the tombstone bitmap shrink to the live-row footprint
+//! (observable via [`Table::mem_footprint`]).
 
 use crate::error::TableError;
 use crate::pool::{ValueId, ValuePool};
@@ -31,6 +43,106 @@ use serde::{Deserialize, Serialize};
 
 /// Identifier of a row: its 0-based position.
 pub type RowId = usize;
+
+/// The old→new slot mapping one [`Table::compact`] pass produced,
+/// stamped with the epoch it opened.
+///
+/// This is the currency of the *remap protocol*: the table's owner
+/// threads the remap through every consumer holding `RowId`s (posting
+/// lists, block row lists, violation witnesses, ledger entries) so all
+/// of them translate in lockstep, instead of each rebuilding from
+/// scratch. Two properties consumers rely on:
+///
+/// * **Totality on live rows** — every slot that was live at compaction
+///   time maps to `Some(new)`; only tombstoned slots map to `None`.
+///   A consumer that removed dead rows as they were deleted (all of
+///   ours do) therefore never sees `None` — [`RowIdRemap::live_id`]
+///   encodes that contract.
+/// * **Monotonicity** — survivors keep their relative order, so an
+///   ascending row list stays ascending after
+///   [`RowIdRemap::remap_sorted_in_place`]; no re-sort is needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowIdRemap {
+    /// The epoch the compaction opened (the table's new epoch).
+    epoch: u64,
+    /// Old slot → new slot; `None` for dropped (tombstoned) slots.
+    map: Vec<Option<RowId>>,
+    /// Number of surviving slots (`Some` entries in `map`).
+    survivors: usize,
+}
+
+impl RowIdRemap {
+    /// The epoch this compaction opened.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of slots before compaction.
+    #[must_use]
+    pub fn old_slots(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of surviving slots (= the compacted table's row count).
+    #[must_use]
+    pub fn new_slots(&self) -> usize {
+        self.survivors
+    }
+
+    /// Tombstoned slots the compaction dropped.
+    #[must_use]
+    pub fn reclaimed(&self) -> usize {
+        self.map.len() - self.survivors
+    }
+
+    /// Did every slot survive (nothing moved)?
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.survivors == self.map.len()
+    }
+
+    /// The new id of an old slot, `None` if the slot was tombstoned (or
+    /// out of range).
+    #[must_use]
+    pub fn new_id(&self, old: RowId) -> Option<RowId> {
+        self.map.get(old).copied().flatten()
+    }
+
+    /// The new id of a slot that was live at compaction time.
+    ///
+    /// # Panics
+    /// Panics if `old` was tombstoned or out of range — by the remap
+    /// protocol, a consumer holding such an id has a maintenance bug
+    /// (it failed to drop the row when it was deleted).
+    #[must_use]
+    pub fn live_id(&self, old: RowId) -> RowId {
+        self.new_id(old)
+            .expect("remap protocol: consumers hold only live row ids")
+    }
+
+    /// Rewrite an ascending list of live row ids in place. Monotonicity
+    /// keeps the result ascending; panics like [`RowIdRemap::live_id`]
+    /// on a dead id.
+    pub fn remap_sorted_in_place(&self, rows: &mut [RowId]) {
+        for r in rows {
+            *r = self.live_id(*r);
+        }
+    }
+}
+
+/// A table's memory footprint, independent of the shared [`ValuePool`]
+/// (string bytes live once, process-wide; the table's own cost is the
+/// 4-byte id cells plus the tombstone bitmap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFootprint {
+    /// Allocated bytes: column capacity × id size + bitmap capacity.
+    pub bytes: usize,
+    /// Row slots held (tombstoned included).
+    pub total_slots: usize,
+    /// Live rows among them.
+    pub live_slots: usize,
+}
 
 /// One mutation of a table — the delta currency of the whole pipeline.
 ///
@@ -65,6 +177,9 @@ pub struct Table {
     live: Vec<bool>,
     /// Number of `false` entries in `live`.
     dead: usize,
+    /// Compaction epoch: 0 at construction, bumped by every
+    /// [`Table::compact`]. `RowId`s are only comparable within an epoch.
+    epoch: u64,
 }
 
 impl Table {
@@ -78,6 +193,7 @@ impl Table {
             rows: 0,
             live: Vec::new(),
             dead: 0,
+            epoch: 0,
         }
     }
 
@@ -345,18 +461,95 @@ impl Table {
         }
         t
     }
+
+    /// The table's compaction epoch (0 until the first
+    /// [`Table::compact`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drop every tombstoned slot, rewriting the columns densely, and
+    /// open a new epoch. Returns the epoch-stamped [`RowIdRemap`] the
+    /// caller must thread through every consumer holding `RowId`s.
+    ///
+    /// Survivors keep their relative order (the remap is monotone).
+    /// Column vectors and the tombstone bitmap are shrunk to the live
+    /// footprint, so memory is actually released — the whole point of
+    /// compaction under sustained churn. `O(slots × columns)`; with no
+    /// tombstones the pass is an identity remap (the epoch still
+    /// advances: an epoch is a compaction *event*, not a change).
+    pub fn compact(&mut self) -> RowIdRemap {
+        let mut map = Vec::with_capacity(self.rows);
+        let mut next = 0usize;
+        for &alive in &self.live {
+            if alive {
+                map.push(Some(next));
+                next += 1;
+            } else {
+                map.push(None);
+            }
+        }
+        if self.dead > 0 {
+            for col in &mut self.columns {
+                let mut write = 0usize;
+                for (old, entry) in map.iter().enumerate() {
+                    if entry.is_some() {
+                        col[write] = col[old];
+                        write += 1;
+                    }
+                }
+                col.truncate(next);
+                col.shrink_to_fit();
+            }
+        }
+        self.rows = next;
+        self.live.clear();
+        self.live.resize(next, true);
+        self.live.shrink_to_fit();
+        self.dead = 0;
+        self.epoch += 1;
+        RowIdRemap {
+            epoch: self.epoch,
+            map,
+            survivors: next,
+        }
+    }
+
+    /// The table's own memory footprint (excludes the process-global
+    /// [`ValuePool`], which is shared and append-only): allocated column
+    /// bytes plus the tombstone bitmap, with live-vs-total slot counts —
+    /// the observable that makes tombstone reclamation measurable.
+    #[must_use]
+    pub fn mem_footprint(&self) -> MemFootprint {
+        let column_bytes: usize = self
+            .columns
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<ValueId>())
+            .sum();
+        MemFootprint {
+            bytes: column_bytes + self.live.capacity() * std::mem::size_of::<bool>(),
+            total_slots: self.rows,
+            live_slots: self.live_rows(),
+        }
+    }
 }
 
 /// Serde mirror: tables serialize through their string cells (the same
 /// externally-visible JSON shape as before dictionary encoding), so
 /// stored documents are independent of pool id assignment. Tombstones
-/// travel as the sorted list of deleted `RowId`s.
+/// travel as the sorted list of *currently* deleted `RowId`s — derived
+/// from the live bitmap at save time, never cached, so a compacted
+/// table stores an empty list and a load can never resurrect slots a
+/// compaction already dropped. The epoch travels too: `RowId`s in
+/// ledgers and violation evidence are only meaningful relative to it.
 #[derive(Serialize, Deserialize)]
 struct TableRepr {
     schema: Schema,
     columns: Vec<Vec<Value>>,
     rows: usize,
     deleted: Vec<RowId>,
+    epoch: u64,
 }
 
 impl Serialize for Table {
@@ -370,6 +563,7 @@ impl Serialize for Table {
                 .collect(),
             rows: self.rows,
             deleted: (0..self.rows).filter(|&r| !self.live[r]).collect(),
+            epoch: self.epoch,
         }
         .to_json_value()
     }
@@ -405,6 +599,7 @@ impl Deserialize for Table {
             rows: repr.rows,
             live,
             dead,
+            epoch: repr.epoch,
         })
     }
 }
@@ -657,5 +852,135 @@ mod tests {
         assert_eq!(f.row_count(), 3);
         assert_eq!(f.live_rows(), 3);
         assert_eq!(f.cell_str(0, 0), Some("90002"));
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_renumbers_densely() {
+        let mut t = zip_table();
+        t.delete_row(1).unwrap();
+        t.delete_row(3).unwrap();
+        let remap = t.compact();
+        // Survivors 0 and 2 become 0 and 1; dropped slots map to None.
+        assert_eq!(remap.epoch(), 1);
+        assert_eq!(remap.old_slots(), 4);
+        assert_eq!(remap.new_slots(), 2);
+        assert_eq!(remap.reclaimed(), 2);
+        assert!(!remap.is_identity());
+        assert_eq!(remap.new_id(0), Some(0));
+        assert_eq!(remap.new_id(1), None);
+        assert_eq!(remap.new_id(2), Some(1));
+        assert_eq!(remap.new_id(3), None);
+        assert_eq!(remap.live_id(2), 1);
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.live_rows(), 2);
+        assert_eq!(t.cell_str(0, 0), Some("90001"));
+        assert_eq!(t.cell_str(1, 0), Some("90003"));
+        assert!(t.is_live(0) && t.is_live(1) && !t.is_live(2));
+        // Fresh slots continue densely in the new epoch.
+        let id = t
+            .push_row(vec![Value::text("90009"), Value::text("Los Angeles")])
+            .unwrap();
+        assert_eq!(id, 2);
+    }
+
+    #[test]
+    fn compact_without_tombstones_is_identity_but_opens_an_epoch() {
+        let mut t = zip_table();
+        let before = t.clone();
+        let remap = t.compact();
+        assert!(remap.is_identity());
+        assert_eq!(remap.reclaimed(), 0);
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.row_count(), before.row_count());
+        for r in 0..t.row_count() {
+            assert_eq!(remap.live_id(r), r);
+            assert_eq!(t.row_ids(r), before.row_ids(r));
+        }
+    }
+
+    #[test]
+    fn remap_is_monotone_on_sorted_lists() {
+        let mut t = zip_table();
+        t.delete_row(1).unwrap();
+        let remap = t.compact();
+        let mut rows = vec![0, 2, 3];
+        remap.remap_sorted_in_place(&mut rows);
+        assert_eq!(rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "remap protocol")]
+    fn remap_panics_on_dead_ids() {
+        let mut t = zip_table();
+        t.delete_row(1).unwrap();
+        let remap = t.compact();
+        let _ = remap.live_id(1);
+    }
+
+    #[test]
+    fn mem_footprint_shrinks_after_compaction() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut t = Table::empty(schema);
+        for i in 0..1_000 {
+            t.push_row(vec![Value::text(format!("k{i}")), Value::text("v")])
+                .unwrap();
+        }
+        for r in 0..900 {
+            t.delete_row(r).unwrap();
+        }
+        let before = t.mem_footprint();
+        assert_eq!(before.total_slots, 1_000);
+        assert_eq!(before.live_slots, 100);
+        let remap = t.compact();
+        assert_eq!(remap.reclaimed(), 900);
+        let after = t.mem_footprint();
+        assert_eq!(after.total_slots, 100);
+        assert_eq!(after.live_slots, 100);
+        assert!(
+            after.bytes < before.bytes / 2,
+            "compaction must release memory: {} -> {} bytes",
+            before.bytes,
+            after.bytes
+        );
+    }
+
+    /// Satellite regression: saving a *compacted* table must not store
+    /// (and a load must not resurrect) the pre-compaction deleted-slot
+    /// list — live rows and cell ids round-trip identically.
+    #[test]
+    fn serde_after_compaction_does_not_resurrect_tombstones() {
+        let mut t = zip_table();
+        t.delete_row(1).unwrap();
+        t.delete_row(2).unwrap();
+        t.compact();
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(
+            json.contains("\"deleted\":[]"),
+            "compacted table must store an empty deleted list: {json}"
+        );
+        let t2: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(t2.live_rows(), t.live_rows());
+        assert_eq!(t2.row_count(), t.row_count());
+        assert_eq!(t2.epoch(), t.epoch());
+        for r in 0..t.row_count() {
+            assert!(t2.is_live(r));
+            assert_eq!(t2.row_ids(r), t.row_ids(r));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrips_epoch_with_tombstones() {
+        let mut t = zip_table();
+        t.delete_row(0).unwrap();
+        t.compact();
+        t.delete_row(1).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let t2: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(t2.epoch(), 1);
+        assert!(!t2.is_live(1));
+        assert_eq!(t2.live_rows(), 2);
     }
 }

@@ -72,9 +72,13 @@ fn usage() -> String {
      \x20 anmat stream   <data.csv> (--store DIR | --rules FILE) [--batch N]\n\
      \x20                [--shards N] [--ops FILE] [--confirmed-only] [--quiet]\n\
      \x20                [--demote-drifted] [--violations F] [--min-support N]\n\
+     \x20                [--compact-ratio R]\n\
      \x20                (drift thresholds: pass the values the rules were\n\
      \x20                discovered with; --shards N > 1 spreads rule state\n\
-     \x20                over N worker threads, same output bit-for-bit)\n\
+     \x20                over N worker threads, same output bit-for-bit;\n\
+     \x20                --compact-ratio R reclaims tombstoned slots once\n\
+     \x20                they exceed fraction R of the table, renumbering\n\
+     \x20                rows via an epoch-stamped remap)\n\
      \n\
      OP-LOG (--ops FILE; one op per CSV record):\n\
      \x20 +,cell,…        insert a row\n\
@@ -386,6 +390,20 @@ impl AnyEngine {
             AnyEngine::Sharded(e) => e.drift_report(),
         }
     }
+
+    fn compaction_stats(&self) -> CompactionStats {
+        match self {
+            AnyEngine::Single(e) => e.compaction_stats(),
+            AnyEngine::Sharded(e) => e.compaction_stats(),
+        }
+    }
+
+    fn mem_footprint(&self) -> MemFootprint {
+        match self {
+            AnyEngine::Single(e) => e.table().mem_footprint(),
+            AnyEngine::Sharded(e) => e.table().mem_footprint(),
+        }
+    }
 }
 
 fn cmd_stream(args: &[String]) -> Result<(), String> {
@@ -420,6 +438,15 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             .ok()
             .filter(|&n| n > 0)
             .ok_or(format!("bad --shards `{n}` (want a positive integer)"))?;
+    }
+    if let Some(r) = take_flag(&mut args, "--compact-ratio") {
+        stream_config.compact_ratio =
+            r.parse()
+                .ok()
+                .filter(|&r: &f64| r > 0.0 && r < 1.0)
+                .ok_or(format!(
+                    "bad --compact-ratio `{r}` (want a tombstone ratio in (0, 1))"
+                ))?;
     }
     if demote_drifted && store_dir.is_none() {
         return Err("--demote-drifted needs --store DIR".into());
@@ -492,7 +519,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     }
 
     let ledger = engine.ledger();
+    let compaction = engine.compaction_stats();
     // Live rows, not raw push count: tombstoned slots are not data.
+    // Compaction drops slots, so "ingested" adds the reclaimed ones
+    // back — the figure stays the lifetime slot count either way.
     println!(
         "\nfinal: {} live violation(s) ({} created, {} retracted) over {} live row(s) \
          ({} slot(s) ingested)",
@@ -500,7 +530,24 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         ledger.created_total(),
         ledger.retracted_total(),
         engine.live_rows(),
-        engine.row_count()
+        engine.row_count() + compaction.reclaimed_slots
+    );
+    // Reclamation observability: epochs run, slots dropped, and the
+    // table's own memory. "Per table replica" states the scope exactly:
+    // the shared ValuePool is excluded (string bytes live once,
+    // process-wide), and under --shards the coordinator plus each of
+    // the N workers holds one replica this size — compaction shrinks
+    // all of them in lockstep. The line itself is shard-invariant, like
+    // everything below the header.
+    let footprint = engine.mem_footprint();
+    println!(
+        "compaction: {} epoch(s) run, {} slot(s) reclaimed; table memory {} byte(s) \
+         per table replica over {} slot(s) ({} live)",
+        compaction.epochs,
+        compaction.reclaimed_slots,
+        footprint.bytes,
+        footprint.total_slots,
+        footprint.live_slots
     );
 
     let drifted = engine.drift_report();
@@ -541,9 +588,9 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
 }
 
 fn render_event(event: &LedgerEvent) -> String {
-    let (sign, v) = match event {
-        LedgerEvent::Created(v) => ('+', v),
-        LedgerEvent::Retracted(v) => ('-', v),
+    let (sign, v) = match &event.change {
+        LedgerChange::Created(v) => ('+', v),
+        LedgerChange::Retracted(v) => ('-', v),
     };
     let detail = match &v.kind {
         ViolationKind::Constant {

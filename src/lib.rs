@@ -80,12 +80,15 @@ pub mod prelude {
     pub use anmat_core::store::{DatasetRecord, RuleStatus, RuleStore, StoredRule};
     pub use anmat_core::{
         apply_repairs, detect_all, detect_pfd, discover, discover_pair, repair_to_fixpoint, report,
-        ContextStyle, Detector, DiscoveryConfig, LedgerEvent, LhsCell, PatternTuple, Pfd, PfdKind,
-        RepairReport, RhsCell, Violation, ViolationKind, ViolationLedger,
+        ContextStyle, Detector, DiscoveryConfig, LedgerChange, LedgerEvent, LhsCell, PatternTuple,
+        Pfd, PfdKind, RepairReport, RhsCell, Violation, ViolationKind, ViolationLedger,
     };
     pub use anmat_pattern::{ConstrainedPattern, Pattern};
-    pub use anmat_stream::{DriftReport, ShardedEngine, StreamConfig, StreamEngine};
+    pub use anmat_stream::{
+        CompactionStats, DriftReport, ShardedEngine, StreamConfig, StreamEngine,
+    };
     pub use anmat_table::{
-        csv, NullPolicy, RowId, RowOp, Schema, Table, TableProfile, Value, ValueId, ValuePool,
+        csv, MemFootprint, NullPolicy, RowId, RowIdRemap, RowOp, Schema, Table, TableProfile,
+        Value, ValueId, ValuePool,
     };
 }

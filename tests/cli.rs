@@ -230,6 +230,91 @@ fn stream_ops_replays_mutations_and_reports_live_rows() {
 }
 
 #[test]
+fn stream_compact_ratio_reclaims_slots_and_reports_epochs() {
+    let dir = std::env::temp_dir().join(format!("anmat_cli_compact_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("zips.csv");
+    std::fs::write(
+        &csv,
+        "zip,city\n90001,Los Angeles\n90002,Los Angeles\n90003,Los Angeles\n90004,New York\n",
+    )
+    .unwrap();
+    let rules = dir.join("rules.json");
+    let pfds = vec![Pfd::new(
+        "Zip",
+        "zip",
+        "city",
+        vec![PatternTuple::variable(
+            "[\\D{3}]\\D{2}".parse::<ConstrainedPattern>().unwrap(),
+        )],
+    )];
+    std::fs::write(&rules, serde_json::to_string(&pfds).unwrap()).unwrap();
+    // Delete half the table: 2 tombstones / 4 slots = 0.5 ≥ 0.3, so one
+    // compaction epoch fires at the op-batch boundary.
+    let ops = dir.join("churn.ops");
+    std::fs::write(&ops, "-,0\n-,3\n").unwrap();
+
+    let base_args = [
+        "stream",
+        csv.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        "--ops",
+        ops.to_str().unwrap(),
+    ];
+    // Without the flag: no epochs, 4 slots kept.
+    let plain = anmat(&base_args);
+    assert!(plain.status.success(), "stream failed: {}", stderr(&plain));
+    let text = stdout(&plain);
+    assert!(
+        text.contains("compaction: 0 epoch(s) run, 0 slot(s) reclaimed"),
+        "compaction summary always present:\n{text}"
+    );
+    assert!(text.contains("over 2 live row(s) (4 slot(s) ingested)"));
+    assert!(
+        text.contains("4 slot(s) (2 live)"),
+        "uncompacted run keeps the tombstoned slots:\n{text}"
+    );
+
+    // With --compact-ratio 0.3: one epoch, two slots reclaimed, table
+    // memory reported over the compacted slot count — and the lifetime
+    // "ingested" figure unchanged.
+    let mut args: Vec<&str> = base_args.to_vec();
+    args.extend(["--compact-ratio", "0.3"]);
+    let compacted = anmat(&args);
+    assert!(
+        compacted.status.success(),
+        "compacting stream failed: {}",
+        stderr(&compacted)
+    );
+    let text = stdout(&compacted);
+    assert!(
+        text.contains("compaction: 1 epoch(s) run, 2 slot(s) reclaimed"),
+        "epoch summary:\n{text}"
+    );
+    assert!(
+        text.contains("over 2 live row(s) (4 slot(s) ingested)"),
+        "lifetime slot count survives compaction:\n{text}"
+    );
+    assert!(
+        text.contains("2 slot(s) (2 live)"),
+        "table memory reported over compacted slots:\n{text}"
+    );
+
+    // Bad ratios are rejected up front.
+    for bad in ["0", "1.5", "nope"] {
+        let mut args: Vec<&str> = base_args.to_vec();
+        args.extend(["--compact-ratio", bad]);
+        let out = anmat(&args);
+        assert!(!out.status.success(), "`--compact-ratio {bad}` must fail");
+        assert!(stderr(&out).contains("bad --compact-ratio"));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stream_ops_rejects_malformed_logs() {
     let dir = std::env::temp_dir().join(format!("anmat_cli_badops_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
