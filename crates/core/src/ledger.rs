@@ -25,6 +25,7 @@
 //! lives in, and replay stays bit-exact across compactions.
 
 use crate::detect::Violation;
+use anmat_obs as obs;
 use anmat_table::RowIdRemap;
 use std::collections::BTreeMap;
 
@@ -106,6 +107,7 @@ impl ViolationLedger {
         entry.0 += 1;
         if entry.0 == 1 {
             self.created_total += 1;
+            obs::counter!("ledger.created").incr();
             Some(LedgerEvent {
                 epoch: self.epoch,
                 change: LedgerChange::Created(violation),
@@ -127,6 +129,7 @@ impl ViolationLedger {
         }
         let (_, v) = self.live.remove(&key).expect("entry exists");
         self.retracted_total += 1;
+        obs::counter!("ledger.retracted").incr();
         Some(LedgerEvent {
             epoch: self.epoch,
             change: LedgerChange::Retracted(v),

@@ -318,6 +318,9 @@ pub struct BlockingPartition {
     /// Number of actual capture extractions performed (cache misses) —
     /// the call-counting test hook for the memoization guarantee.
     key_evals: usize,
+    /// Number of key-cache consultations (hits + misses) — the
+    /// denominator that turns `key_evals` into a hit rate.
+    key_lookups: usize,
 }
 
 impl BlockingPartition {
@@ -332,6 +335,7 @@ impl BlockingPartition {
             null_rows: Vec::new(),
             key_cache: FxHashMap::default(),
             key_evals: 0,
+            key_lookups: 0,
         }
     }
 
@@ -344,10 +348,13 @@ impl BlockingPartition {
             return Placement::NullLhs;
         }
         let key = match &self.keyer {
-            Some(q) => *self.key_cache.entry(lhs).or_insert_with(|| {
-                self.key_evals += 1;
-                q.key(lhs.render()).map(|k| ValuePool::intern(&k))
-            }),
+            Some(q) => {
+                self.key_lookups += 1;
+                *self.key_cache.entry(lhs).or_insert_with(|| {
+                    self.key_evals += 1;
+                    q.key(lhs.render()).map(|k| ValuePool::intern(&k))
+                })
+            }
             None => Some(lhs),
         };
         match key {
@@ -375,10 +382,13 @@ impl BlockingPartition {
         // row's insert is still warm; a miss (possible only if the caller
         // never inserted this value) re-derives it.
         let key = match &self.keyer {
-            Some(q) => *self.key_cache.entry(lhs).or_insert_with(|| {
-                self.key_evals += 1;
-                q.key(lhs.render()).map(|k| ValuePool::intern(&k))
-            }),
+            Some(q) => {
+                self.key_lookups += 1;
+                *self.key_cache.entry(lhs).or_insert_with(|| {
+                    self.key_evals += 1;
+                    q.key(lhs.render()).map(|k| ValuePool::intern(&k))
+                })
+            }
             None => Some(lhs),
         };
         match key {
@@ -434,6 +444,14 @@ impl BlockingPartition {
     #[must_use]
     pub fn key_evals(&self) -> usize {
         self.key_evals
+    }
+
+    /// Number of key-cache consultations (hits + misses). Together with
+    /// [`BlockingPartition::key_evals`] this yields the memo hit rate
+    /// the observability layer reports.
+    #[must_use]
+    pub fn key_lookups(&self) -> usize {
+        self.key_lookups
     }
 
     /// Apply a compaction [`RowIdRemap`] in place — the partition's side

@@ -15,6 +15,7 @@
 //! for callers holding raw text; they resolve through the pool without
 //! interning.
 
+use anmat_obs as obs;
 use anmat_table::{
     for_each_ngram, for_each_prefix, for_each_token, RowId, RowIdRemap, Table, ValueId, ValuePool,
 };
@@ -198,6 +199,7 @@ impl InvertedIndex {
     /// arrive in nondecreasing `RowId` order (append-only streams do).
     pub fn insert_row(&mut self, row: RowId, lhs: &str, rhs: &str) {
         self.considered_rows += 1;
+        obs::counter!("index.insert").incr();
         let rhs_full = ValuePool::intern(rhs);
         let mut rhs_keys = std::mem::take(&mut self.rhs_scratch);
         rhs_keys.clear();
@@ -259,6 +261,7 @@ impl InvertedIndex {
     /// [`BlockingPartition`](crate::BlockingPartition).
     pub fn remove_row(&mut self, row: RowId, lhs: &str, rhs: &str) {
         self.considered_rows -= 1;
+        obs::counter!("index.remove").incr();
         let rhs_full = ValuePool::lookup(rhs);
         let lhs_mode = self.lhs_mode;
         lhs_mode.for_each_key(lhs, |key, _| {

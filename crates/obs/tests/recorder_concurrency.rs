@@ -1,0 +1,114 @@
+//! Recorder concurrency hammer — the contract the instrumented engine
+//! leans on: many threads racing `fetch_add`s on shared counters and
+//! histograms must lose nothing (exact totals), histogram bucket sums
+//! must equal sample counts, and registration races on one name must
+//! converge on a single metric cell. Mirrors the shape of
+//! `crates/table/tests/pool_concurrency.rs`.
+
+use anmat_obs::{self as obs, MetricsSnapshot, Recorder};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 4_000;
+
+#[test]
+fn racing_counters_and_histograms_lose_nothing() {
+    Recorder::enable();
+    // Every thread resolves the same names through the site-caching
+    // macros *and* the cold registration path, so the registration race
+    // itself is exercised alongside the recording race.
+    let per_thread: Vec<(u64, u64)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut added = 0u64;
+                    let mut samples = 0u64;
+                    for round in 0..ROUNDS {
+                        let n = ((round + t) % 7 + 1) as u64;
+                        // Alternate macro-cached and freshly resolved
+                        // handles — both must land on the same cell.
+                        if round % 2 == 0 {
+                            obs::counter!("hammer.count").add(n);
+                        } else {
+                            obs::counter("hammer.count").add(n);
+                        }
+                        added += n;
+                        // Samples span many buckets, including the
+                        // extremes bucket 0 and the top bucket.
+                        let v = match round % 5 {
+                            0 => 0,
+                            1 => n,
+                            2 => n << 20,
+                            3 => u64::MAX,
+                            _ => 1u64 << (round % 63),
+                        };
+                        obs::histogram!("hammer.hist").record(v);
+                        samples += 1;
+                        obs::gauge!("hammer.level").add(1);
+                        obs::gauge!("hammer.level").sub(1);
+                    }
+                    (added, samples)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+
+    let expected_total: u64 = per_thread.iter().map(|(a, _)| a).sum();
+    let expected_samples: u64 = per_thread.iter().map(|(_, s)| s).sum();
+    assert_eq!(expected_samples, (THREADS * ROUNDS) as u64);
+
+    // Exact counts: no increment lost under contention.
+    assert_eq!(obs::counter("hammer.count").get(), expected_total);
+
+    // Bucket sums equal the sample count exactly: no sample lost and
+    // none double-bucketed.
+    let hist = obs::histogram("hammer.hist").snapshot();
+    assert_eq!(hist.count, expected_samples);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), expected_samples);
+    assert_eq!(hist.max, u64::MAX);
+    // Extremes landed where the boundary math says they must.
+    assert!(hist.buckets[0] > 0, "zero samples populate bucket 0");
+    assert!(hist.buckets[64] > 0, "u64::MAX samples populate bucket 64");
+
+    // Balanced add/sub leaves the gauge level at zero.
+    assert_eq!(obs::gauge("hammer.level").get(), 0);
+
+    // The snapshot view agrees with the handles.
+    let snap = MetricsSnapshot::capture();
+    assert_eq!(snap.counter("hammer.count"), Some(expected_total));
+    assert_eq!(snap.gauge("hammer.level"), Some(0));
+    assert_eq!(
+        snap.histogram("hammer.hist").map(|h| h.count),
+        Some(expected_samples)
+    );
+}
+
+#[test]
+fn spans_record_while_writers_hammer() {
+    Recorder::enable();
+    // Span guards record on drop while other threads keep the registry's
+    // record path hot — the reader quota completes regardless.
+    let stop = AtomicBool::new(false);
+    thread::scope(|scope| {
+        for _ in 0..2 {
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    obs::counter!("spanstorm.noise").incr();
+                }
+            });
+        }
+        for _ in 0..400 {
+            let _span = obs::span!("spanstorm.span_ns");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let hist = obs::histogram("spanstorm.span_ns").snapshot();
+    assert_eq!(hist.count, 400);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), 400);
+}

@@ -23,6 +23,7 @@ use fxhash::FxHashMap;
 pub struct MatchMemo {
     cache: FxHashMap<u32, bool>,
     evals: usize,
+    lookups: usize,
 }
 
 impl MatchMemo {
@@ -40,6 +41,7 @@ impl MatchMemo {
     /// caches for exactly one pattern) and an `id` that canonically
     /// identifies `s` (equal ids ⇒ equal strings).
     pub fn matches(&mut self, pattern: &Pattern, id: u32, s: &str) -> bool {
+        self.lookups += 1;
         if let Some(&hit) = self.cache.get(&id) {
             return hit;
         }
@@ -55,6 +57,14 @@ impl MatchMemo {
     #[must_use]
     pub fn evals(&self) -> usize {
         self.evals
+    }
+
+    /// Number of memo consultations (hits + misses). Together with
+    /// [`MatchMemo::evals`] this yields the cache hit rate the
+    /// observability layer reports.
+    #[must_use]
+    pub fn lookups(&self) -> usize {
+        self.lookups
     }
 
     /// Number of distinct ids memoized.

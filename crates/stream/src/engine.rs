@@ -32,6 +32,7 @@ use anmat_core::detect::variable::{flag_block_minority, minority_violation, MAX_
 use anmat_core::discovery::DiscoveryConfig;
 use anmat_core::{LedgerEvent, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger};
 use anmat_index::{BlockingPartition, KeyBlock, Placement};
+use anmat_obs as obs;
 use anmat_pattern::{MatchMemo, Pattern};
 use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
 use fxhash::FxHashMap;
@@ -649,6 +650,19 @@ impl RuleState {
             .sum()
     }
 
+    /// Memo consultations (hits + misses) across this rule's tuples —
+    /// the denominator that turns [`RuleState::pattern_evals`] into the
+    /// hit rate the observability layer reports.
+    pub(crate) fn pattern_lookups(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| match t {
+                TupleState::Constant(ct) => ct.memo.lookups(),
+                TupleState::Variable(vt) => vt.partition.key_lookups(),
+            })
+            .sum()
+    }
+
     /// Blocks this rule currently maintains — the observed load figure
     /// shard rebalancing distributes by.
     pub(crate) fn block_count(&self) -> usize {
@@ -823,12 +837,19 @@ impl StreamEngine {
         &mut self,
         rows: impl IntoIterator<Item = Vec<Value>>,
     ) -> Result<Vec<LedgerEvent>, TableError> {
+        let _batch = obs::span!("engine.batch_ns");
         let rows: Vec<Vec<Value>> = rows.into_iter().collect();
-        self.validate_batch_arity(&rows)?;
+        {
+            let _validate = obs::span!("engine.validate_ns");
+            self.validate_batch_arity(&rows)?;
+        }
+        let _apply = obs::span!("engine.apply_ns");
+        obs::counter!("engine.ops").add(rows.len() as u64);
         let mut events = Vec::new();
         for row in rows {
             events.extend(self.push_row(row).expect("arity pre-validated"));
         }
+        obs::counter!("engine.events").add(events.len() as u64);
         Ok(events)
     }
 
@@ -839,12 +860,19 @@ impl StreamEngine {
         &mut self,
         rows: impl IntoIterator<Item = Vec<ValueId>>,
     ) -> Result<Vec<LedgerEvent>, TableError> {
+        let _batch = obs::span!("engine.batch_ns");
         let rows: Vec<Vec<ValueId>> = rows.into_iter().collect();
-        self.validate_batch_arity(&rows)?;
+        {
+            let _validate = obs::span!("engine.validate_ns");
+            self.validate_batch_arity(&rows)?;
+        }
+        let _apply = obs::span!("engine.apply_ns");
+        obs::counter!("engine.ops").add(rows.len() as u64);
         let mut events = Vec::new();
         for row in rows {
             events.extend(self.push_id_row(row).expect("arity pre-validated"));
         }
+        obs::counter!("engine.events").add(events.len() as u64);
         Ok(events)
     }
 
@@ -962,8 +990,14 @@ impl StreamEngine {
         &mut self,
         ops: impl IntoIterator<Item = RowOp>,
     ) -> Result<Vec<LedgerEvent>, TableError> {
+        let _batch = obs::span!("engine.batch_ns");
         let ops: Vec<RowOp> = ops.into_iter().collect();
-        validate_shapes(&self.table, ops.iter().map(OpShape::of))?;
+        {
+            let _validate = obs::span!("engine.validate_ns");
+            validate_shapes(&self.table, ops.iter().map(OpShape::of))?;
+        }
+        let _apply = obs::span!("engine.apply_ns");
+        obs::counter!("engine.ops").add(ops.len() as u64);
         let mut events = Vec::new();
         for op in ops {
             // Inner variants: the whole batch addresses one id space, so
@@ -976,6 +1010,7 @@ impl StreamEngine {
             events.extend(batch.expect("ops pre-validated"));
         }
         self.maybe_compact();
+        obs::counter!("engine.events").add(events.len() as u64);
         Ok(events)
     }
 
@@ -1017,6 +1052,45 @@ impl StreamEngine {
     #[must_use]
     pub fn pattern_evals(&self) -> usize {
         self.rules.iter().map(RuleState::pattern_evals).sum()
+    }
+
+    /// Total memo consultations (hits + misses) across all rules — the
+    /// denominator for the memoization hit rate:
+    /// `1 − pattern_evals / pattern_lookups`.
+    #[must_use]
+    pub fn pattern_lookups(&self) -> usize {
+        self.rules.iter().map(RuleState::pattern_lookups).sum()
+    }
+
+    /// Publish the engine's derived state into the global metrics
+    /// registry as gauges: table slots/live/bytes, pool bytes/strings,
+    /// memo lookup/eval totals, block counts, ledger totals, and
+    /// compaction counters.
+    ///
+    /// Pull-based by design: per-row hot paths never touch these — the
+    /// caller (CLI summary, `--stats-every` ticks, benches) decides the
+    /// refresh cadence. A no-op while the recorder is disabled.
+    pub fn publish_metrics(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let table = self.table.mem_footprint();
+        obs::gauge!("table.slots").set(table.total_slots as i64);
+        obs::gauge!("table.live").set(table.live_slots as i64);
+        obs::gauge!("table.bytes").set(table.bytes as i64);
+        let pool = ValuePool::mem_footprint();
+        obs::gauge!("pool.bytes").set(pool.bytes as i64);
+        obs::gauge!("pool.strings").set(pool.strings as i64);
+        obs::gauge!("engine.rules").set(self.rules.len() as i64);
+        obs::gauge!("engine.blocks")
+            .set(self.rules.iter().map(RuleState::block_count).sum::<usize>() as i64);
+        obs::gauge!("memo.evals").set(self.pattern_evals() as i64);
+        obs::gauge!("memo.lookups").set(self.pattern_lookups() as i64);
+        obs::gauge!("ledger.live").set(self.ledger.live_count() as i64);
+        obs::gauge!("ledger.created_total").set(self.ledger.created_total() as i64);
+        obs::gauge!("ledger.retracted_total").set(self.ledger.retracted_total() as i64);
+        obs::gauge!("engine.compaction_epochs").set(self.compaction.epochs as i64);
+        obs::gauge!("engine.reclaimed_slots").set(self.compaction.reclaimed_slots as i64);
     }
 
     /// Streaming health counters for one rule.

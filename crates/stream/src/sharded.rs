@@ -64,6 +64,7 @@ use crate::engine::{
     RuleState, StreamConfig,
 };
 use anmat_core::{LedgerEvent, Pfd, ViolationLedger};
+use anmat_obs as obs;
 use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -113,6 +114,7 @@ struct RuleStats {
     rule: usize,
     blocks: usize,
     pattern_evals: usize,
+    pattern_lookups: usize,
 }
 
 enum WorkerMsg {
@@ -139,13 +141,24 @@ enum WorkerReply {
 struct Worker {
     table: Table,
     rules: Vec<(usize, RuleState)>,
+    /// Per-shard occupancy of the inbound bounded channel — the
+    /// coordinator raises it on send, this worker lowers it on dequeue.
+    queue_depth: &'static obs::Gauge,
+    /// Per-shard batches processed and time spent processing them.
+    batches: &'static obs::Counter,
+    busy_ns: &'static obs::Histogram,
 }
 
 impl Worker {
     fn run(mut self, rx: &Receiver<WorkerMsg>, tx: &SyncSender<WorkerReply>) {
         while let Ok(msg) = rx.recv() {
+            self.queue_depth.sub(1);
             let reply = match msg {
-                WorkerMsg::Batch(ops) => WorkerReply::Batch(self.process_batch(&ops)),
+                WorkerMsg::Batch(ops) => {
+                    self.batches.incr();
+                    let _busy = obs::Span::start(self.busy_ns);
+                    WorkerReply::Batch(self.process_batch(&ops))
+                }
                 WorkerMsg::Stats => WorkerReply::Stats(
                     self.rules
                         .iter()
@@ -153,6 +166,7 @@ impl Worker {
                             rule: *rule,
                             blocks: state.block_count(),
                             pattern_evals: state.pattern_evals(),
+                            pattern_lookups: state.pattern_lookups(),
                         })
                         .collect(),
                 ),
@@ -249,10 +263,15 @@ struct WorkerHandle {
     tx: Option<SyncSender<WorkerMsg>>,
     rx: Receiver<WorkerReply>,
     thread: Option<JoinHandle<()>>,
+    /// The same per-shard gauge the worker holds — raised here on send,
+    /// lowered worker-side on dequeue, so its level is the number of
+    /// messages sitting in (or blocked on) the bounded channel.
+    queue_depth: &'static obs::Gauge,
 }
 
 impl WorkerHandle {
     fn send(&self, msg: WorkerMsg) {
+        self.queue_depth.add(1);
         self.tx
             .as_ref()
             .expect("worker channel open")
@@ -332,9 +351,15 @@ impl ShardedEngine {
                     .filter(|(rule, _)| assignment[*rule] == shard)
                     .map(|(rule, pfd)| (rule, RuleState::seed(pfd.clone(), &schema)))
                     .collect();
+                // Per-shard metric instances; the registered handles are
+                // `&'static`, so they cross the thread boundary freely.
+                let queue_depth = obs::gauge(&format!("shard.{shard}.queue_depth"));
                 let worker = Worker {
                     table: Table::empty(schema.clone()),
                     rules: states,
+                    queue_depth,
+                    batches: obs::counter(&format!("shard.{shard}.batches")),
+                    busy_ns: obs::histogram(&format!("shard.{shard}.busy_ns")),
                 };
                 // Bounded both ways: one in-flight batch per worker.
                 let (msg_tx, msg_rx) = sync_channel::<WorkerMsg>(1);
@@ -347,6 +372,7 @@ impl ShardedEngine {
                     tx: Some(msg_tx),
                     rx: reply_rx,
                     thread: Some(thread),
+                    queue_depth,
                 }
             })
             .collect();
@@ -381,6 +407,7 @@ impl ShardedEngine {
     ///
     /// [`StreamEngine::compact`]: crate::StreamEngine::compact
     pub fn compact(&mut self) -> RowIdRemap {
+        obs::counter!("shard.epoch_barriers").incr();
         let remap = Arc::new(self.table.compact());
         for worker in &self.workers {
             worker.send(WorkerMsg::Compact(Arc::clone(&remap)));
@@ -556,6 +583,9 @@ impl ShardedEngine {
         if op_count == 0 {
             return Ok(Vec::new());
         }
+        obs::counter!("shard.batches").incr();
+        obs::counter!("engine.ops").add(op_count as u64);
+        let fanout = obs::span!("shard.fanout_ns");
         let batch = Arc::new(id_ops);
         for worker in &self.workers {
             worker.send(WorkerMsg::Batch(Arc::clone(&batch)));
@@ -578,15 +608,21 @@ impl ShardedEngine {
                 }
             }
         }
-        let replies: Vec<Vec<OpOutcome>> = self
-            .workers
-            .iter()
-            .map(|worker| match worker.recv() {
-                WorkerReply::Batch(outcomes) => outcomes,
-                _ => unreachable!("worker replies in lockstep with requests"),
-            })
-            .collect();
+        drop(fanout);
+        // Merge wait: how long the coordinator sits blocked on worker
+        // replies after finishing its own share of the batch.
+        let replies: Vec<Vec<OpOutcome>> = {
+            let _wait = obs::span!("shard.merge_wait_ns");
+            self.workers
+                .iter()
+                .map(|worker| match worker.recv() {
+                    WorkerReply::Batch(outcomes) => outcomes,
+                    _ => unreachable!("worker replies in lockstep with requests"),
+                })
+                .collect()
+        };
         let events = self.merge(op_count, replies);
+        obs::counter!("engine.events").add(events.len() as u64);
         self.maybe_compact();
         Ok(events)
     }
@@ -596,6 +632,7 @@ impl ShardedEngine {
     /// sequence the single-threaded engine performs, hence the same
     /// events in the same order.
     fn merge(&mut self, op_count: usize, mut replies: Vec<Vec<OpOutcome>>) -> Vec<LedgerEvent> {
+        let _merge = obs::span!("shard.merge_ns");
         let mut events = Vec::new();
         for op in 0..op_count {
             let mut removal: Vec<RuleDeltas> = Vec::new();
@@ -630,6 +667,7 @@ impl ShardedEngine {
         if self.workers.len() <= 1 {
             return;
         }
+        obs::counter!("shard.rebalances").incr();
         let stats = self.gather_stats();
         let mut weights = vec![0usize; self.rules.len()];
         for s in &stats {
@@ -714,6 +752,46 @@ impl ShardedEngine {
     #[must_use]
     pub fn pattern_evals(&self) -> usize {
         self.gather_stats().iter().map(|s| s.pattern_evals).sum()
+    }
+
+    /// Total memo consultations (hits + misses) across all shards —
+    /// together with [`ShardedEngine::pattern_evals`] this yields the
+    /// memo hit rate.
+    #[must_use]
+    pub fn pattern_lookups(&self) -> usize {
+        self.gather_stats().iter().map(|s| s.pattern_lookups).sum()
+    }
+
+    /// Publish pull-based gauges into the global metrics registry.
+    ///
+    /// Same contract as [`StreamEngine::publish_metrics`]: cheap enough
+    /// for a stats tick but not for a per-batch call — this one does a
+    /// full `Stats` round-trip to every worker for the memo and block
+    /// figures. No-op while the recorder is disabled.
+    ///
+    /// [`StreamEngine::publish_metrics`]: crate::StreamEngine::publish_metrics
+    pub fn publish_metrics(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let table = self.table.mem_footprint();
+        obs::gauge!("table.slots").set(table.total_slots as i64);
+        obs::gauge!("table.live").set(table.live_slots as i64);
+        obs::gauge!("table.bytes").set(table.bytes as i64);
+        let pool = ValuePool::mem_footprint();
+        obs::gauge!("pool.bytes").set(pool.bytes as i64);
+        obs::gauge!("pool.strings").set(pool.strings as i64);
+        obs::gauge!("engine.rules").set(self.rules.len() as i64);
+        let stats = self.gather_stats();
+        obs::gauge!("engine.blocks").set(stats.iter().map(|s| s.blocks).sum::<usize>() as i64);
+        obs::gauge!("memo.evals").set(stats.iter().map(|s| s.pattern_evals).sum::<usize>() as i64);
+        obs::gauge!("memo.lookups")
+            .set(stats.iter().map(|s| s.pattern_lookups).sum::<usize>() as i64);
+        obs::gauge!("ledger.live").set(self.ledger.live_count() as i64);
+        obs::gauge!("ledger.created_total").set(self.ledger.created_total() as i64);
+        obs::gauge!("ledger.retracted_total").set(self.ledger.retracted_total() as i64);
+        obs::gauge!("engine.compaction_epochs").set(self.compaction.epochs as i64);
+        obs::gauge!("engine.reclaimed_slots").set(self.compaction.reclaimed_slots as i64);
     }
 
     /// Streaming health counters for one rule.

@@ -484,6 +484,70 @@ fn anmat_pattern_unconstrained(p: &str) -> anmat_pattern::ConstrainedPattern {
     anmat_pattern::ConstrainedPattern::unconstrained(p.parse().unwrap())
 }
 
+#[test]
+fn instrumented_run_is_bit_for_bit_identical() {
+    // The observability contract: turning the metrics recorder on must
+    // not perturb anything observable — event streams, ledger, health,
+    // drift — in either engine flavour. (The recorder flag is process
+    // global; flipping it here is harmless to concurrently running
+    // tests precisely *because* of this contract.)
+    use anmat_obs as obs;
+
+    let config = GenConfig {
+        rows: 160,
+        seed: 0xB0B5,
+        error_rate: 0.05,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    let rules = discover(&data.table, &discovery_config());
+    let ops = random_ops(&data.table, 41, 0.25);
+    let op_batches = batches(&ops, &[1, 9, 32]);
+
+    let run = || {
+        let mut single = StreamEngine::new(data.table.schema().clone(), rules.clone());
+        let mut sharded = ShardedEngine::new(data.table.schema().clone(), rules.clone(), 2);
+        let events: Vec<_> = op_batches
+            .iter()
+            .map(|batch| {
+                let a = single.apply(batch.clone()).expect("ops are valid");
+                let b = sharded.apply(batch.clone()).expect("ops are valid");
+                (a, b)
+            })
+            .collect();
+        // Exercise the publish path too — reading gauges out of engine
+        // state must be as inert as the inline counters.
+        single.publish_metrics();
+        sharded.publish_metrics();
+        let healths: Vec<_> = (0..rules.len())
+            .map(|r| (single.rule_health(r), sharded.rule_health(r)))
+            .collect();
+        (
+            events,
+            single.ledger().snapshot(),
+            sharded.ledger().snapshot(),
+            healths,
+            single.drift_report(),
+            sharded.drift_report(),
+        )
+    };
+
+    let baseline = run();
+    obs::Recorder::enable();
+    let instrumented = run();
+    obs::Recorder::disable();
+    assert_eq!(
+        baseline, instrumented,
+        "an active recorder must not change any observable engine state"
+    );
+    // And the recorder really was live during the second run: the
+    // engine-phase counters can only have moved while it was enabled.
+    let snap = obs::MetricsSnapshot::capture();
+    assert!(
+        snap.counter("engine.ops").unwrap_or(0) > 0,
+        "instrumented run must have recorded engine.ops"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases(4)))]
 

@@ -31,7 +31,7 @@ pub mod tokenize;
 pub mod value;
 
 pub use error::TableError;
-pub use pool::{ValueId, ValuePool};
+pub use pool::{PoolFootprint, ValueId, ValuePool};
 pub use profile::{ColumnProfile, InferredType, PatternHistogram, TableProfile};
 pub use schema::Schema;
 pub use table::{MemFootprint, RowId, RowIdRemap, RowOp, Table, TableBuilder};

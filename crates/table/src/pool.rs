@@ -69,9 +69,17 @@
 //! a synchronizing handoff downstream of it).
 
 use crate::value::Value;
+use anmat_obs as obs;
 use fxhash::FxHashMap;
-use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{OnceLock, RwLock};
+
+/// Bytes of leaked string storage (summed at leak time). Maintained
+/// unconditionally — [`ValuePool::mem_footprint`] must be exact whether
+/// or not the metrics recorder is on.
+static STRING_BYTES: AtomicUsize = AtomicUsize::new(0);
+/// Bytes of allocated chunk-ladder slot arrays.
+static CHUNK_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 /// A dictionary-encoded cell value: `0` = null, otherwise an index into
 /// the global [`ValuePool`].
@@ -192,6 +200,8 @@ impl Store {
                 .collect();
             chunk = Box::into_raw(boxed) as *mut Slot;
             self.chunks[level].store(chunk, Ordering::Release);
+            CHUNK_BYTES.fetch_add(cap * std::mem::size_of::<Slot>(), Ordering::Relaxed);
+            obs::counter!("pool.chunk_allocs").incr();
         }
         let entry = Box::into_raw(Box::new(Entry(s)));
         // SAFETY: `offset` < the chunk's capacity by construction of
@@ -256,15 +266,19 @@ impl ValuePool {
         {
             let map = map().read().expect("value pool poisoned");
             if let Some(&id) = map.get(s) {
+                obs::counter!("pool.intern.hits").incr();
                 return ValueId(id);
             }
         }
         let mut map = map().write().expect("value pool poisoned");
         // Re-check: another thread may have interned `s` between locks.
         if let Some(&id) = map.get(s) {
+            obs::counter!("pool.intern.hits").incr();
             return ValueId(id);
         }
+        obs::counter!("pool.intern.misses").incr();
         let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        STRING_BYTES.fetch_add(leaked.len(), Ordering::Relaxed);
         let id = store().push(leaked);
         map.insert(leaked, id);
         ValueId(id)
@@ -302,24 +316,34 @@ impl ValuePool {
     fn intern_all(fields: &[Option<&str>]) -> Vec<ValueId> {
         let mut out = vec![ValueId::NULL; fields.len()];
         let mut misses: Vec<usize> = Vec::new();
+        let mut hits = 0u64;
         {
             let map = map().read().expect("value pool poisoned");
             for (i, field) in fields.iter().enumerate() {
                 let Some(s) = field else { continue };
                 match map.get(s) {
-                    Some(&id) => out[i] = ValueId(id),
+                    Some(&id) => {
+                        out[i] = ValueId(id);
+                        hits += 1;
+                    }
                     None => misses.push(i),
                 }
             }
         }
+        let mut inserted = 0u64;
         if !misses.is_empty() {
             let mut map = map().write().expect("value pool poisoned");
             for i in misses {
                 let s = fields[i].expect("only non-null fields miss");
                 out[i] = match map.get(s) {
-                    Some(&id) => ValueId(id),
+                    Some(&id) => {
+                        hits += 1;
+                        ValueId(id)
+                    }
                     None => {
+                        inserted += 1;
                         let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+                        STRING_BYTES.fetch_add(leaked.len(), Ordering::Relaxed);
                         let id = store().push(leaked);
                         map.insert(leaked, id);
                         ValueId(id)
@@ -327,6 +351,10 @@ impl ValuePool {
                 };
             }
         }
+        // One add per record, not per cell — the batch entry points stay
+        // two lock operations and two counter bumps per record.
+        obs::counter!("pool.intern.hits").add(hits);
+        obs::counter!("pool.intern.misses").add(inserted);
         out
     }
 
@@ -363,6 +391,56 @@ impl ValuePool {
     pub fn len() -> usize {
         store().len.load(Ordering::Acquire) as usize - 1
     }
+
+    /// Measure the pool's resident memory — the interned-string cost the
+    /// table's own [`crate::MemFootprint`] deliberately excludes (ids are
+    /// shared across all tables, so the pool is accounted once per
+    /// process, not per replica).
+    ///
+    /// Counts every owned allocation: the chunk-ladder slot arrays, the
+    /// published `Entry` cells, the leaked string bytes themselves, and
+    /// the string → id map (its bucket array estimated from capacity).
+    /// Takes the map read lock; intended for summaries and snapshots,
+    /// not hot loops.
+    #[must_use]
+    pub fn mem_footprint() -> PoolFootprint {
+        let strings = ValuePool::len();
+        let chunk_bytes = CHUNK_BYTES.load(Ordering::Relaxed);
+        let entry_bytes = strings * std::mem::size_of::<Entry>();
+        let string_bytes = STRING_BYTES.load(Ordering::Relaxed);
+        let map_bytes = {
+            let map = map().read().expect("value pool poisoned");
+            // Swiss-table layout: one (key, value) slot plus one control
+            // byte per bucket of capacity.
+            map.capacity() * (std::mem::size_of::<(&'static str, u32)>() + 1)
+        };
+        PoolFootprint {
+            bytes: chunk_bytes + entry_bytes + string_bytes + map_bytes,
+            strings,
+            chunk_bytes,
+            entry_bytes,
+            string_bytes,
+            map_bytes,
+        }
+    }
+}
+
+/// Resident-memory summary of the process-global [`ValuePool`] — see
+/// [`ValuePool::mem_footprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolFootprint {
+    /// Total owned bytes (sum of the component fields).
+    pub bytes: usize,
+    /// Distinct strings interned (excludes the null placeholder).
+    pub strings: usize,
+    /// Allocated chunk-ladder slot arrays.
+    pub chunk_bytes: usize,
+    /// Published entry cells (one thin-pointer box per string).
+    pub entry_bytes: usize,
+    /// The leaked string payloads themselves.
+    pub string_bytes: usize,
+    /// The string → id interning map (estimated from capacity).
+    pub map_bytes: usize,
 }
 
 #[cfg(test)]
@@ -459,6 +537,23 @@ mod tests {
         let individual: Vec<ValueId> = fields.iter().map(|s| ValuePool::intern(s)).collect();
         assert_eq!(batch, individual);
         assert_eq!(batch[0], batch[2], "duplicates within a record share ids");
+    }
+
+    #[test]
+    fn mem_footprint_accounts_growth() {
+        let before = ValuePool::mem_footprint();
+        assert_eq!(before.strings, ValuePool::len());
+        assert_eq!(
+            before.bytes,
+            before.chunk_bytes + before.entry_bytes + before.string_bytes + before.map_bytes
+        );
+        let payload = "footprint-probe-with-a-reasonably-long-payload";
+        let _ = ValuePool::intern(payload);
+        let after = ValuePool::mem_footprint();
+        assert_eq!(after.strings, before.strings + 1);
+        assert!(after.string_bytes >= before.string_bytes + payload.len());
+        assert!(after.bytes > before.bytes);
+        assert!(after.chunk_bytes >= 64 * std::mem::size_of::<Slot>());
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::error::TableError;
 use crate::pool::{ValueId, ValuePool};
 use crate::schema::Schema;
 use crate::value::Value;
+use anmat_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a row: its 0-based position.
@@ -240,6 +241,9 @@ impl Table {
         let id = self.rows;
         self.rows += 1;
         self.live.push(true);
+        // `table.*` counters aggregate over every Table in the process —
+        // under sharding that includes each worker's replica.
+        obs::counter!("table.push").incr();
         Ok(id)
     }
 
@@ -259,6 +263,7 @@ impl Table {
         let id = self.rows;
         self.rows += 1;
         self.live.push(true);
+        obs::counter!("table.push").incr();
         Ok(id)
     }
 
@@ -269,6 +274,7 @@ impl Table {
         self.require_live(row)?;
         self.live[row] = false;
         self.dead += 1;
+        obs::counter!("table.delete").incr();
         Ok(())
     }
 
@@ -286,6 +292,7 @@ impl Table {
         for (col, id) in self.columns.iter_mut().zip(ids) {
             col[row] = id;
         }
+        obs::counter!("table.update").incr();
         Ok(())
     }
 
@@ -302,6 +309,7 @@ impl Table {
         for (col, v) in self.columns.iter_mut().zip(cells) {
             col[row] = v;
         }
+        obs::counter!("table.update").incr();
         Ok(())
     }
 
@@ -509,6 +517,9 @@ impl Table {
         self.live.shrink_to_fit();
         self.dead = 0;
         self.epoch += 1;
+        obs::counter!("table.compact").incr();
+        obs::histogram!("table.remap_slots").record(map.len() as u64);
+        obs::histogram!("table.remap_survivors").record(next as u64);
         RowIdRemap {
             epoch: self.epoch,
             map,

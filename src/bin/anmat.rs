@@ -23,8 +23,10 @@
 //! updates one in place (RFC-4180 quoting, row ids as printed in event
 //! lines).
 
+use anmat::obs;
 use anmat::prelude::*;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,13 +74,17 @@ fn usage() -> String {
      \x20 anmat stream   <data.csv> (--store DIR | --rules FILE) [--batch N]\n\
      \x20                [--shards N] [--ops FILE] [--confirmed-only] [--quiet]\n\
      \x20                [--demote-drifted] [--violations F] [--min-support N]\n\
-     \x20                [--compact-ratio R]\n\
+     \x20                [--compact-ratio R] [--stats-every N] [--metrics-out FILE]\n\
      \x20                (drift thresholds: pass the values the rules were\n\
      \x20                discovered with; --shards N > 1 spreads rule state\n\
      \x20                over N worker threads, same output bit-for-bit;\n\
      \x20                --compact-ratio R reclaims tombstoned slots once\n\
      \x20                they exceed fraction R of the table, renumbering\n\
-     \x20                rows via an epoch-stamped remap)\n\
+     \x20                rows via an epoch-stamped remap;\n\
+     \x20                --stats-every N prints a one-line stats snapshot\n\
+     \x20                every N batches; --metrics-out FILE writes the\n\
+     \x20                full metrics registry as JSON at exit; timing\n\
+     \x20                lines are suppressed by --quiet or ANMAT_NO_TIMING=1)\n\
      \n\
      OP-LOG (--ops FILE; one op per CSV record):\n\
      \x20 +,cell,…        insert a row\n\
@@ -404,6 +410,38 @@ impl AnyEngine {
             AnyEngine::Sharded(e) => e.table().mem_footprint(),
         }
     }
+
+    fn publish_metrics(&self) {
+        match self {
+            AnyEngine::Single(e) => e.publish_metrics(),
+            AnyEngine::Sharded(e) => e.publish_metrics(),
+        }
+    }
+}
+
+/// One `stats:` line from the live metrics registry — the deterministic
+/// figures always, the wall-clock rate only when timing output is
+/// allowed (it is nondeterministic, so `--quiet`/`ANMAT_NO_TIMING`
+/// suppress it).
+fn print_stats_line(engine: &AnyEngine, started: Instant, timing: bool) {
+    engine.publish_metrics();
+    let snap = obs::MetricsSnapshot::capture();
+    let slots = snap.gauge("table.slots").unwrap_or(0);
+    let live = snap.gauge("table.live").unwrap_or(0);
+    let violations = snap.gauge("ledger.live").unwrap_or(0);
+    let pool = snap.gauge("pool.bytes").unwrap_or(0);
+    let mut line = format!(
+        "stats: {slots} slot(s) ({live} live), {violations} live violation(s), \
+         pool {pool} byte(s)"
+    );
+    if timing {
+        let secs = started.elapsed().as_secs_f64();
+        let ops = snap.counter("engine.ops").unwrap_or(0);
+        if secs > 0.0 {
+            line.push_str(&format!(", {:.0} rows/s", ops as f64 / secs));
+        }
+    }
+    println!("{line}");
 }
 
 fn cmd_stream(args: &[String]) -> Result<(), String> {
@@ -414,6 +452,16 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let confirmed_only = take_switch(&mut args, "--confirmed-only");
     let quiet = take_switch(&mut args, "--quiet");
     let demote_drifted = take_switch(&mut args, "--demote-drifted");
+    let metrics_out = take_flag(&mut args, "--metrics-out");
+    let stats_every: Option<usize> = match take_flag(&mut args, "--stats-every") {
+        Some(n) => Some(
+            n.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or(format!("bad --stats-every `{n}` (want a positive integer)"))?,
+        ),
+        None => None,
+    };
     let batch: usize = match take_flag(&mut args, "--batch") {
         Some(n) => n
             .parse()
@@ -452,6 +500,16 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         return Err("--demote-drifted needs --store DIR".into());
     }
     let path = args.first().ok_or("stream: missing <data.csv>")?;
+    // Timing output is wall-clock and thus nondeterministic; --quiet and
+    // the ANMAT_NO_TIMING env hook (used by the CLI test suite, whose
+    // assertions compare exact output) suppress it.
+    let timing = !quiet && std::env::var_os("ANMAT_NO_TIMING").is_none();
+    // Any consumer of the metrics registry turns the recorder on; with
+    // all three off the instrumented call sites cost one relaxed atomic
+    // load each.
+    if timing || stats_every.is_some() || metrics_out.is_some() {
+        obs::Recorder::enable();
+    }
     let table = csv::read_path(path).map_err(|e| format!("reading {path}: {e}"))?;
 
     let (pfds, store_indices) = load_rules(
@@ -488,7 +546,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     );
     // Rows are already interned by the CSV read; stream them as ids so
     // replay is clone-free.
+    let started = Instant::now();
+    let replayed_rows = table.row_count();
     let mut pending: Vec<Vec<ValueId>> = Vec::with_capacity(batch);
+    let mut batches_done = 0usize;
     for r in 0..table.row_count() {
         pending.push(table.row_ids(r));
         if pending.len() == batch || r + 1 == table.row_count() {
@@ -501,16 +562,30 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                     println!("{}", render_event(event));
                 }
             }
+            batches_done += 1;
+            if stats_every.is_some_and(|every| batches_done.is_multiple_of(every)) {
+                print_stats_line(&engine, started, timing);
+            }
         }
     }
+    // Elapsed replay time flows through the obs layer (the summary
+    // reads it back out of the histogram), so it lands in --metrics-out
+    // snapshots too.
+    obs::histogram!("cli.replay_ns")
+        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
 
+    let mut applied_ops = 0usize;
     if let Some(path) = ops_file {
         let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
         let ops = parse_ops(&text)?;
+        applied_ops = ops.len();
         println!("applying {} op(s) from {path}", ops.len());
+        let ops_started = Instant::now();
         let events = engine
             .apply(ops)
             .map_err(|e| format!("applying ops: {e}"))?;
+        obs::histogram!("cli.apply_ns")
+            .record(u64::try_from(ops_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
         if !quiet {
             for event in &events {
                 println!("{}", render_event(event));
@@ -549,6 +624,51 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         footprint.total_slots,
         footprint.live_slots
     );
+    // The interning pool is process-global and shared by every replica,
+    // so unlike the table line it is counted once — and it is identical
+    // whatever --shards says (the coordinator interns once).
+    let pool = ValuePool::mem_footprint();
+    println!(
+        "pool: {} byte(s) interned over {} string(s) ({} chunk, {} entry, {} string, \
+         {} map byte(s); shared process-wide)",
+        pool.bytes,
+        pool.strings,
+        pool.chunk_bytes,
+        pool.entry_bytes,
+        pool.string_bytes,
+        pool.map_bytes
+    );
+    if timing {
+        // Both figures come back out of the obs registry rather than a
+        // local stopwatch — the same numbers --metrics-out serializes.
+        let snap = obs::MetricsSnapshot::capture();
+        if let Some(h) = snap.histogram("cli.replay_ns") {
+            let secs = h.sum as f64 / 1e9;
+            let rate = if secs > 0.0 {
+                replayed_rows as f64 / secs
+            } else {
+                0.0
+            };
+            println!("timing: streamed {replayed_rows} row(s) in {secs:.3}s ({rate:.0} rows/s)");
+        }
+        if applied_ops > 0 {
+            if let Some(h) = snap.histogram("cli.apply_ns") {
+                let secs = h.sum as f64 / 1e9;
+                let rate = if secs > 0.0 {
+                    applied_ops as f64 / secs
+                } else {
+                    0.0
+                };
+                println!("timing: applied {applied_ops} op(s) in {secs:.3}s ({rate:.0} ops/s)");
+            }
+        }
+    }
+    if let Some(out) = &metrics_out {
+        engine.publish_metrics();
+        let snap = obs::MetricsSnapshot::capture();
+        std::fs::write(out, snap.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("metrics: full registry snapshot written to {out}");
+    }
 
     let drifted = engine.drift_report();
     if !drifted.is_empty() {

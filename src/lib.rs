@@ -25,6 +25,9 @@
 //! * [`stream`] — the incremental violation engine for *mutable*
 //!   streams: apply inserts/deletes/updates, receive violation
 //!   creations *and retractions*, monitor rule drift;
+//! * [`obs`] — the lock-free metrics registry the hot paths report
+//!   into (counters, gauges, log₂ latency histograms, span timers),
+//!   surfaced via `anmat stream --stats-every/--metrics-out`;
 //! * [`datagen`] — seeded synthetic datasets mirroring the paper's demo
 //!   data, with ground-truth error labels.
 //!
@@ -69,6 +72,7 @@
 pub use anmat_core as core;
 pub use anmat_datagen as datagen;
 pub use anmat_index as index;
+pub use anmat_obs as obs;
 pub use anmat_pattern as pattern;
 pub use anmat_stream as stream;
 pub use anmat_table as table;

@@ -144,6 +144,18 @@ impl Serialize for bool {
     }
 }
 
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Deserialize for bool {
     fn from_json_value(v: &Value) -> Result<Self, Error> {
         match v {
