@@ -14,10 +14,12 @@
 use anmat_bench::criterion;
 use anmat_core::{report, PatternTuple, Pfd};
 use anmat_datagen::{names, phone, zipcity};
-use anmat_pattern::ConstrainedPattern;
-use anmat_stream::StreamEngine;
+use anmat_obs as obs;
+use anmat_pattern::{match_pattern, CompiledConstrained, CompiledPattern, ConstrainedPattern};
+use anmat_stream::{StreamConfig, StreamEngine};
 use anmat_table::{Schema, Table, TableProfile};
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 
 /// A zip→city style table with exactly `rows * ratio` distinct LHS
 /// values, shuffled deterministically. The city is a function of the
@@ -57,21 +59,166 @@ fn sweep_rules() -> Vec<Pfd> {
     )]
 }
 
+/// The distinct LHS values a `distinct_ratio_table` contains, in first-
+/// sighting order — the population the per-distinct eval measurement
+/// runs over.
+fn distinct_lhs(rows: usize, ratio: f64) -> Vec<String> {
+    let distinct = ((rows as f64 * ratio) as usize).max(1);
+    (0..distinct).map(|k| format!("9{k:04}")).collect()
+}
+
+/// ns per distinct value for the per-distinct work the memoized engines
+/// actually do once per new value: one constant-pattern match plus one
+/// blocking-key derivation. `compiled` selects the bytecode VM or the
+/// AST interpreter — the ratio of the two figures is the tentpole's
+/// headline number.
+fn eval_ns_per_distinct(values: &[String], compiled: bool) -> f64 {
+    let pattern = "9000\\D".parse().expect("pattern");
+    let keyer: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().expect("q");
+    // Enough repetitions that the fast mode still accumulates a
+    // wall-clock signal well above timer noise.
+    let reps = (500_000 / values.len()).max(1);
+    let total = (reps * values.len()) as f64;
+    if compiled {
+        let cp = CompiledPattern::compile(&pattern);
+        let cq = CompiledConstrained::compile(&keyer);
+        let mut key_buf = String::new();
+        let start = Instant::now();
+        for _ in 0..reps {
+            for v in values {
+                black_box(cp.matches(v));
+                black_box(cq.key_into(v, &mut key_buf));
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e9 / total
+    } else {
+        let start = Instant::now();
+        for _ in 0..reps {
+            for v in values {
+                black_box(match_pattern(&pattern, v));
+                black_box(keyer.key(v));
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e9 / total
+    }
+}
+
+/// One timed full replay; returns (rows/s, pattern_evals).
+fn ingest_rate(table: &Table, rules: &[Pfd], use_compiled: bool) -> (f64, usize) {
+    let config = StreamConfig {
+        use_compiled,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::with_config(table.schema().clone(), rules.to_vec(), config);
+    let start = Instant::now();
+    engine.replay_table(table).expect("schema matches");
+    let rate = table.row_count() as f64 / start.elapsed().as_secs_f64();
+    black_box(engine.ledger().live_count());
+    (rate, engine.pattern_evals())
+}
+
+/// The machine-readable artifact (mirrors `BENCH_fig6.json`): for each
+/// distinct-ratio point, interpreted-vs-compiled ingest rows/s and
+/// per-distinct eval ns, plus the end-of-run metrics registry of a
+/// compiled replay (which carries `pattern.vm_evals` /
+/// `pattern.interp_evals` / `pattern.compile_ns`).
+fn write_fig3_json(rows: usize, sweep: &[SweepPoint]) {
+    obs::Recorder::enable();
+    let table = distinct_ratio_table(rows, 0.10);
+    let rules = sweep_rules();
+    let mut engine = StreamEngine::new(table.schema().clone(), rules);
+    engine.replay_table(&table).expect("schema matches");
+    engine.publish_metrics();
+    let snapshot = obs::MetricsSnapshot::capture();
+    obs::Recorder::disable();
+    let mut points = String::new();
+    for p in sweep {
+        if !points.is_empty() {
+            points.push_str(",\n");
+        }
+        points.push_str(&format!(
+            "    {{\n      \"pct_distinct\": {},\n      \"distinct\": {},\n      \
+             \"pattern_evals\": {},\n      \"interpreted\": {{\n        \
+             \"ingest_rows_per_sec\": {:.0},\n        \"eval_ns_per_distinct\": {:.1}\n      \
+             }},\n      \"compiled\": {{\n        \"ingest_rows_per_sec\": {:.0},\n        \
+             \"eval_ns_per_distinct\": {:.1}\n      }},\n      \
+             \"eval_speedup\": {:.2},\n      \"ingest_speedup\": {:.2}\n    }}",
+            p.pct,
+            p.distinct,
+            p.pattern_evals,
+            p.interp_rows_per_sec,
+            p.interp_eval_ns,
+            p.compiled_rows_per_sec,
+            p.compiled_eval_ns,
+            p.interp_eval_ns / p.compiled_eval_ns,
+            p.compiled_rows_per_sec / p.interp_rows_per_sec,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"sweep\": [\n{points}\n  ],\n  \"metrics\": {}\n}}\n",
+        snapshot.to_json()
+    );
+    // Anchor the artifact at the workspace root regardless of the cwd
+    // cargo hands the bench binary.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig3.json");
+    std::fs::write(out, &json).expect("write BENCH_fig3.json");
+    println!("  machine-readable artifact → BENCH_fig3.json");
+}
+
+struct SweepPoint {
+    pct: usize,
+    distinct: usize,
+    pattern_evals: usize,
+    interp_rows_per_sec: f64,
+    compiled_rows_per_sec: f64,
+    interp_eval_ns: f64,
+    compiled_eval_ns: f64,
+}
+
 fn bench_distinct_ratio_sweep(c: &mut Criterion) {
     const ROWS: usize = 20_000;
+    let mut sweep = Vec::new();
     let mut g = c.benchmark_group("fig3_distinct_ratio");
     g.throughput(Throughput::Elements(ROWS as u64));
     for &pct in &[1usize, 10, 50] {
-        let table = distinct_ratio_table(ROWS, pct as f64 / 100.0);
+        let ratio = pct as f64 / 100.0;
+        let table = distinct_ratio_table(ROWS, ratio);
         let rules = sweep_rules();
         // Artifact: the memoization bound in action — pattern evaluations
-        // per ingest stay at (tuples × distinct), not (tuples × rows).
-        let mut probe = StreamEngine::new(table.schema().clone(), rules.clone());
-        probe.replay_table(&table).expect("schema matches");
-        println!(
-            "── fig3 sweep artifact: {pct}% distinct → {} pattern evals for {ROWS} rows ──",
-            probe.pattern_evals()
+        // per ingest stay at (tuples × distinct), not (tuples × rows) —
+        // plus the per-distinct cost itself, interpreted vs compiled.
+        let values = distinct_lhs(ROWS, ratio);
+        let interp_eval_ns = eval_ns_per_distinct(&values, false);
+        let compiled_eval_ns = eval_ns_per_distinct(&values, true);
+        let (interp_rate, interp_evals) = ingest_rate(&table, &rules, false);
+        let (compiled_rate, compiled_evals) = ingest_rate(&table, &rules, true);
+        assert_eq!(
+            compiled_evals, interp_evals,
+            "compiled mode must not change the eval count"
         );
+        println!(
+            "── fig3 sweep artifact: {pct}% distinct → {interp_evals} pattern evals for \
+             {ROWS} rows ──"
+        );
+        println!(
+            "  per-distinct eval: {interp_eval_ns:>7.1} ns interpreted vs \
+             {compiled_eval_ns:>7.1} ns compiled ({:.2}×)",
+            interp_eval_ns / compiled_eval_ns
+        );
+        println!(
+            "  full ingest      : {interp_rate:>7.0} rows/s interpreted vs \
+             {compiled_rate:>7.0} rows/s compiled ({:.2}×)",
+            compiled_rate / interp_rate
+        );
+        sweep.push(SweepPoint {
+            pct,
+            distinct: values.len(),
+            pattern_evals: interp_evals,
+            interp_rows_per_sec: interp_rate,
+            compiled_rows_per_sec: compiled_rate,
+            interp_eval_ns,
+            compiled_eval_ns,
+        });
         g.bench_with_input(BenchmarkId::new("profile", pct), &table, |b, t| {
             b.iter(|| TableProfile::profile(black_box(t)));
         });
@@ -86,8 +233,27 @@ fn bench_distinct_ratio_sweep(c: &mut Criterion) {
                 });
             },
         );
+        // The interpreter baseline on the identical workload — the
+        // criterion-tracked twin of the artifact's rows/s pair.
+        g.bench_with_input(
+            BenchmarkId::new("stream_ingest_interp", pct),
+            &(&table, &rules),
+            |b, (t, rules)| {
+                b.iter(|| {
+                    let config = StreamConfig {
+                        use_compiled: false,
+                        ..StreamConfig::default()
+                    };
+                    let mut engine =
+                        StreamEngine::with_config(t.schema().clone(), rules.to_vec(), config);
+                    engine.replay_table(t).expect("schema matches");
+                    black_box(engine.ledger().live_count())
+                });
+            },
+        );
     }
     g.finish();
+    write_fig3_json(ROWS, &sweep);
 }
 
 fn bench(c: &mut Criterion) {

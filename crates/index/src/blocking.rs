@@ -17,7 +17,8 @@
 //! and every map in this module hashes a 4-byte id instead of a string.
 
 use crate::inverted::{sort_rhs_counts, EntryStats};
-use anmat_pattern::ConstrainedPattern;
+use anmat_obs as obs;
+use anmat_pattern::{CompiledConstrained, ConstrainedPattern};
 use anmat_table::{RowId, RowIdRemap, Table, ValueId, ValuePool};
 use fxhash::FxHashMap;
 
@@ -71,6 +72,10 @@ impl BlockingIndex {
     /// under `q`.
     #[must_use]
     pub fn block(table: &Table, col: usize, q: &ConstrainedPattern) -> Blocks {
+        // The compiled keyer pays one compile for at most
+        // `distinct(column)` span-VM extractions.
+        let compiled = CompiledConstrained::compile(q);
+        let mut key_buf = String::new();
         let mut map: FxHashMap<ValueId, Vec<RowId>> = FxHashMap::default();
         let mut unmatched = Vec::new();
         let mut null_rows = Vec::new();
@@ -81,9 +86,11 @@ impl BlockingIndex {
                 null_rows.push(row);
                 continue;
             };
-            let key = key_cache
-                .entry(v)
-                .or_insert_with(|| q.key(s).map(|k| ValuePool::intern(&k)));
+            let key = key_cache.entry(v).or_insert_with(|| {
+                compiled
+                    .key_into(s, &mut key_buf)
+                    .then(|| ValuePool::intern(&key_buf))
+            });
             match key {
                 Some(k) => map.entry(*k).or_default().push(row),
                 None => unmatched.push(row),
@@ -308,7 +315,17 @@ pub enum Placement {
 /// variable detection).
 #[derive(Debug)]
 pub struct BlockingPartition {
-    keyer: Option<ConstrainedPattern>,
+    /// The keyer, pre-compiled to span bytecode; `None` blocks on the
+    /// whole LHS value.
+    keyer: Option<CompiledConstrained>,
+    /// Evaluate cache misses on the span VM (`true`, the default) or on
+    /// the AST interpreter (`false` — the measured baseline for the
+    /// compiled-vs-interpreted comparison). Either way extraction runs at
+    /// most once per distinct LHS value, so `key_evals` is invariant.
+    use_compiled: bool,
+    /// Key-string scratch reused across extractions, so a cache miss
+    /// allocates nothing beyond interning a genuinely new key.
+    key_buf: String,
     blocks: FxHashMap<ValueId, KeyBlock>,
     unmatched: Vec<RowId>,
     null_rows: Vec<RowId>,
@@ -328,14 +345,48 @@ impl BlockingPartition {
     /// the whole LHS value when `q` is `None`.
     #[must_use]
     pub fn new(q: Option<ConstrainedPattern>) -> BlockingPartition {
+        BlockingPartition::with_mode(q, true)
+    }
+
+    /// An empty partition whose cache misses run on the AST interpreter
+    /// instead of the span VM — the measured baseline for the
+    /// compiled-vs-interpreted comparison. Behaviour and eval counts are
+    /// identical; only the per-extraction cost differs.
+    #[must_use]
+    pub fn new_interpreted(q: Option<ConstrainedPattern>) -> BlockingPartition {
+        BlockingPartition::with_mode(q, false)
+    }
+
+    fn with_mode(q: Option<ConstrainedPattern>, use_compiled: bool) -> BlockingPartition {
         BlockingPartition {
-            keyer: q,
+            keyer: q.map(|q| CompiledConstrained::compile(&q)),
+            use_compiled,
+            key_buf: String::new(),
             blocks: FxHashMap::default(),
             unmatched: Vec::new(),
             null_rows: Vec::new(),
             key_cache: FxHashMap::default(),
             key_evals: 0,
             key_lookups: 0,
+        }
+    }
+
+    /// Derive the blocking key for `lhs` — on the span VM or the AST
+    /// interpreter per the partition's mode. Counts one eval either way.
+    fn derive_key(
+        q: &CompiledConstrained,
+        use_compiled: bool,
+        key_buf: &mut String,
+        lhs: ValueId,
+    ) -> Option<ValueId> {
+        if use_compiled {
+            q.key_into(lhs.render(), key_buf)
+                .then(|| ValuePool::intern(key_buf))
+        } else {
+            // Interpreted keyer runs — count it in the same vm/interp
+            // taxonomy `CompiledConstrained::key_into` reports.
+            obs::counter!("pattern.interp_evals").incr();
+            q.source().key(lhs.render()).map(|k| ValuePool::intern(&k))
         }
     }
 
@@ -352,7 +403,7 @@ impl BlockingPartition {
                 self.key_lookups += 1;
                 *self.key_cache.entry(lhs).or_insert_with(|| {
                     self.key_evals += 1;
-                    q.key(lhs.render()).map(|k| ValuePool::intern(&k))
+                    BlockingPartition::derive_key(q, self.use_compiled, &mut self.key_buf, lhs)
                 })
             }
             None => Some(lhs),
@@ -386,7 +437,7 @@ impl BlockingPartition {
                 self.key_lookups += 1;
                 *self.key_cache.entry(lhs).or_insert_with(|| {
                     self.key_evals += 1;
-                    q.key(lhs.render()).map(|k| ValuePool::intern(&k))
+                    BlockingPartition::derive_key(q, self.use_compiled, &mut self.key_buf, lhs)
                 })
             }
             None => Some(lhs),
@@ -405,6 +456,29 @@ impl BlockingPartition {
                 remove_sorted(&mut self.unmatched, row);
                 Placement::Unmatched
             }
+        }
+    }
+
+    /// Batch-classify: derive and cache the blocking key for every
+    /// *uncached* non-null LHS id in one tight pass, ahead of per-row
+    /// inserts. Each new distinct id costs exactly the one extraction
+    /// the lazy path would have paid on first sighting, so
+    /// [`BlockingPartition::key_evals`] is invariant;
+    /// [`BlockingPartition::key_lookups`] does not advance (priming is
+    /// not a query — the per-row probes that follow count as usual, and
+    /// hit).
+    pub fn prime<I>(&mut self, ids: I)
+    where
+        I: IntoIterator<Item = ValueId>,
+    {
+        let Some(q) = &self.keyer else { return };
+        for lhs in ids {
+            if lhs.is_null() || self.key_cache.contains_key(&lhs) {
+                continue;
+            }
+            self.key_evals += 1;
+            let key = BlockingPartition::derive_key(q, self.use_compiled, &mut self.key_buf, lhs);
+            self.key_cache.insert(lhs, key);
         }
     }
 
@@ -638,6 +712,45 @@ mod tests {
             p.insert(row, id(&zip), id("LA"));
         }
         assert_eq!(p.key_evals(), 10);
+    }
+
+    #[test]
+    fn prime_counts_like_lazy_misses() {
+        let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
+        let mut lazy = BlockingPartition::new(Some(q.clone()));
+        let mut primed = BlockingPartition::new(Some(q));
+        let zips: Vec<ValueId> = (0..10).map(|i| id(&format!("900{i:02}"))).collect();
+        primed.prime(zips.iter().copied().chain([ValueId::NULL, id("bad")]));
+        for row in 0..1000u32 {
+            let lhs = zips[(row % 10) as usize];
+            lazy.insert(row as RowId, lhs, id("LA"));
+            primed.insert(row as RowId, lhs, id("LA"));
+        }
+        // Priming evaluated each distinct id once (plus the unmatched
+        // one); the lazy twin pays the same evals for the zips on first
+        // sighting. Lookup counts agree exactly.
+        assert_eq!(lazy.key_evals(), 10);
+        assert_eq!(primed.key_evals(), 11);
+        assert_eq!(lazy.key_lookups(), primed.key_lookups());
+        let (a, b) = (lazy.freeze(), primed.freeze());
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn interpreted_mode_matches_compiled() {
+        let q: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().unwrap();
+        let mut compiled = BlockingPartition::new(Some(q.clone()));
+        let mut interp = BlockingPartition::new_interpreted(Some(q));
+        for row in 0..100u32 {
+            let lhs = id(&format!("90{:03}", row % 7));
+            compiled.insert(row as RowId, lhs, id("LA"));
+            interp.insert(row as RowId, lhs, id("LA"));
+        }
+        assert_eq!(compiled.key_evals(), interp.key_evals());
+        assert_eq!(compiled.key_lookups(), interp.key_lookups());
+        let (a, b) = (compiled.freeze(), interp.freeze());
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.unmatched, b.unmatched);
     }
 
     #[test]

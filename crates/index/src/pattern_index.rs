@@ -17,7 +17,9 @@
 //!   descend directly to the matching subtree.
 
 use crate::trie::CharTrie;
-use anmat_pattern::{contains, intersects, match_pattern, signature, Pattern, PatternLevel};
+use anmat_pattern::{
+    contains, intersects, match_pattern, signature, CompiledPattern, Pattern, PatternLevel,
+};
 use anmat_table::{RowId, Table, ValueId, ValuePool};
 use fxhash::FxHashMap;
 use std::collections::HashMap;
@@ -115,6 +117,9 @@ impl PatternIndex {
     #[must_use]
     pub fn matching_ids(&self, pattern: &Pattern) -> Vec<ValueId> {
         let mut out = Vec::new();
+        // One compile amortized over every distinct value the screens
+        // fail to decide.
+        let compiled = CompiledPattern::compile(pattern);
         // Literal-prefix fast path: descend the trie, then verify.
         let prefix = literal_prefix(pattern);
         if !prefix.is_empty() {
@@ -122,7 +127,7 @@ impl PatternIndex {
             ids.sort_unstable();
             for id in ids {
                 let v = self.distinct[id];
-                if match_pattern(pattern, v.render()) {
+                if compiled.matches(v.render()) {
                     out.push(v);
                 }
             }
@@ -138,7 +143,7 @@ impl PatternIndex {
                 continue;
             }
             for &v in vals {
-                if match_pattern(pattern, v.render()) {
+                if compiled.matches(v.render()) {
                     out.push(v);
                 }
             }
@@ -159,7 +164,8 @@ impl PatternIndex {
     }
 
     /// Full scan fallback (for the ablation benchmark): match every
-    /// distinct value with no bucket pruning.
+    /// distinct value with no bucket pruning (and no bytecode — this is
+    /// the pure-interpreter baseline).
     #[must_use]
     pub fn lookup_scan(&self, pattern: &Pattern) -> Vec<RowId> {
         let mut rows: Vec<RowId> = Vec::new();

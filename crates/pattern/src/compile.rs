@@ -1,0 +1,496 @@
+//! Pattern → bytecode compilation.
+//!
+//! The AST interpreter in [`crate::matcher`] re-derives everything per
+//! evaluation: it decodes the value into a `Vec<char>`, consults the
+//! [`SymbolClass`] enum per character, and runs a dynamic program whose
+//! tables are sized per call. A tableau pattern, however, is evaluated
+//! against *millions* of cells over its lifetime — so [`CompiledPattern`]
+//! does the per-pattern work exactly once:
+//!
+//! * each element becomes one flat [`Op`] (literal byte / exact class
+//!   count / unbounded at-least / bounded range), so dispatch is a small
+//!   `match` on a copy-sized struct instead of pointer-chasing the AST;
+//! * each class is precomputed into a 128-bit ASCII membership bitset
+//!   ([`AsciiSet`]), so the per-character test is two shifts and a mask;
+//! * evaluation runs over `&str` **bytes** directly in a non-recursive
+//!   backtracking VM ([`crate::vm`]) — no `Vec<char>` collection, no
+//!   recursion, scratch reused thread-locally.
+//!
+//! The byte-level fast path is exact only when every input byte is ASCII
+//! (byte index == char index, and the bitsets encode the ASCII slice of
+//! [`SymbolClass::matches`] precisely — including the always-empty set of
+//! a non-ASCII literal). Non-ASCII values route to the AST interpreter;
+//! the split is observable as the `pattern.vm_evals` /
+//! `pattern.interp_evals` counters, and compilation time itself lands in
+//! the `pattern.compile_ns` histogram.
+
+use crate::ast::Pattern;
+use crate::constrained::ConstrainedPattern;
+use crate::matcher::MatchSpans;
+use crate::symbol::SymbolClass;
+use crate::vm;
+use std::cell::RefCell;
+
+/// Precomputed ASCII membership set for one symbol class: bit `b` is set
+/// iff the class matches the character with code point `b` (`b < 128`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsciiSet {
+    bits: [u64; 2],
+}
+
+impl AsciiSet {
+    /// The exact ASCII slice of `class.matches(..)`.
+    #[must_use]
+    pub fn of_class(class: SymbolClass) -> AsciiSet {
+        let mut bits = [0u64; 2];
+        for b in 0u8..128 {
+            if class.matches(b as char) {
+                bits[usize::from(b >> 6)] |= 1u64 << (b & 63);
+            }
+        }
+        AsciiSet { bits }
+    }
+
+    /// Does the set contain the (ASCII) byte `b`?
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, b: u8) -> bool {
+        debug_assert!(b < 128);
+        (self.bits[usize::from(b >> 6)] >> (b & 63)) & 1 != 0
+    }
+}
+
+/// One bytecode instruction. Each pattern element compiles to exactly one
+/// op; the quantifier's shape picks the variant, so the VM's dispatch
+/// mirrors what the element can actually do (fixed ops never backtrack,
+/// variable ops carry their repetition interval inline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Exactly one occurrence of one ASCII byte — the literal fast path.
+    Byte(u8),
+    /// Exactly `n` occurrences of the class (`One` / `Exactly`).
+    Exact {
+        /// ASCII membership set of the element's class.
+        set: AsciiSet,
+        /// Required repetition count.
+        n: u32,
+    },
+    /// `min` or more occurrences, unbounded (`Star` / `Plus` / `AtLeast`).
+    AtLeast {
+        /// ASCII membership set of the element's class.
+        set: AsciiSet,
+        /// Minimum repetition count (0 for `Star`).
+        min: u32,
+    },
+    /// Between `min` and `max` occurrences inclusive (`Range`).
+    Range {
+        /// ASCII membership set of the element's class.
+        set: AsciiSet,
+        /// Minimum repetition count.
+        min: u32,
+        /// Maximum repetition count.
+        max: u32,
+    },
+}
+
+impl Op {
+    /// The op's repetition interval `(min, max)`; `None` max = unbounded.
+    #[inline]
+    #[must_use]
+    pub fn interval(&self) -> (u32, Option<u32>) {
+        match *self {
+            Op::Byte(_) => (1, Some(1)),
+            Op::Exact { n, .. } => (n, Some(n)),
+            Op::AtLeast { min, .. } => (min, None),
+            Op::Range { min, max, .. } => (min, Some(max)),
+        }
+    }
+}
+
+/// A [`Pattern`] compiled to flat bytecode, with the source AST retained
+/// for the non-ASCII interpreter fallback.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    ops: Vec<Op>,
+    min_len: usize,
+    max_len: Option<usize>,
+    source: Pattern,
+}
+
+impl CompiledPattern {
+    /// Compile `pattern` into bytecode. The cost is `O(|P|)` plus one
+    /// 128-entry class sweep per element, paid once per tableau pattern
+    /// (recorded in the `pattern.compile_ns` histogram).
+    #[must_use]
+    pub fn compile(pattern: &Pattern) -> CompiledPattern {
+        let _span = anmat_obs::span!("pattern.compile_ns");
+        let ops = pattern
+            .elements()
+            .iter()
+            .map(|e| {
+                let (min, max) = e.quant.interval();
+                match (e.class, min, max) {
+                    (SymbolClass::Literal(c), 1, Some(1)) if c.is_ascii() => Op::Byte(c as u8),
+                    (class, min, Some(max)) if min == max => Op::Exact {
+                        set: AsciiSet::of_class(class),
+                        n: min,
+                    },
+                    (class, min, None) => Op::AtLeast {
+                        set: AsciiSet::of_class(class),
+                        min,
+                    },
+                    (class, min, Some(max)) => Op::Range {
+                        set: AsciiSet::of_class(class),
+                        min,
+                        max,
+                    },
+                }
+            })
+            .collect();
+        CompiledPattern {
+            ops,
+            min_len: pattern.min_len(),
+            max_len: pattern.max_len(),
+            source: pattern.clone(),
+        }
+    }
+
+    /// The compiled instruction sequence.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The pattern this program was compiled from.
+    #[must_use]
+    pub fn source(&self) -> &Pattern {
+        &self.source
+    }
+
+    /// Can the VM evaluate `s`, or must the interpreter take over?
+    #[inline]
+    fn vm_eligible(s: &str) -> bool {
+        // Byte positions equal char positions only for pure-ASCII input;
+        // the u32 frame fields additionally cap the value length (cell
+        // values are nowhere near 4 GiB — this guards correctness, not a
+        // real workload).
+        s.is_ascii() && s.len() < u32::MAX as usize
+    }
+
+    /// Does `s` match the pattern? (Anchored; identical to
+    /// [`Pattern::matches`].)
+    #[must_use]
+    pub fn matches(&self, s: &str) -> bool {
+        if Self::vm_eligible(s) {
+            anmat_obs::counter!("pattern.vm_evals").incr();
+            self.matches_ascii(s.as_bytes())
+        } else {
+            anmat_obs::counter!("pattern.interp_evals").incr();
+            crate::matcher::match_pattern(&self.source, s)
+        }
+    }
+
+    /// VM boolean match over known-ASCII bytes (screens included).
+    #[inline]
+    fn matches_ascii(&self, bytes: &[u8]) -> bool {
+        let n = bytes.len();
+        if n < self.min_len {
+            return false;
+        }
+        if let Some(max) = self.max_len {
+            if n > max {
+                return false;
+            }
+        }
+        vm::run(&self.ops, bytes, None)
+    }
+
+    /// Match and recover per-element spans under leftmost-greedy
+    /// semantics — identical to [`crate::matcher::match_spans`]
+    /// (character indices; for the ASCII fast path these coincide with
+    /// byte indices).
+    #[must_use]
+    pub fn spans(&self, s: &str) -> Option<MatchSpans> {
+        if Self::vm_eligible(s) {
+            anmat_obs::counter!("pattern.vm_evals").incr();
+            let mut spans = Vec::new();
+            self.spans_ascii(s.as_bytes(), &mut spans)
+                .then_some(MatchSpans { spans })
+        } else {
+            anmat_obs::counter!("pattern.interp_evals").incr();
+            crate::matcher::match_spans(&self.source, s)
+        }
+    }
+
+    /// VM span match over known-ASCII bytes into a caller buffer.
+    #[inline]
+    fn spans_ascii(&self, bytes: &[u8], out: &mut Vec<(usize, usize)>) -> bool {
+        let n = bytes.len();
+        if n < self.min_len {
+            return false;
+        }
+        if let Some(max) = self.max_len {
+            if n > max {
+                return false;
+            }
+        }
+        vm::run(&self.ops, bytes, Some(out))
+    }
+}
+
+thread_local! {
+    /// Span scratch for [`CompiledConstrained`] key extraction — reused
+    /// so a key evaluation allocates nothing but the key itself.
+    static KEY_SPANS: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A [`ConstrainedPattern`] whose embedded pattern is compiled, plus the
+/// capture plan (element boundaries of each constrained segment), so
+/// blocking-key extraction runs on the span VM.
+#[derive(Debug, Clone)]
+pub struct CompiledConstrained {
+    program: CompiledPattern,
+    /// `(start, end)` element boundaries of each *constrained* segment
+    /// within the embedded pattern.
+    captures: Vec<(usize, usize)>,
+    source: ConstrainedPattern,
+}
+
+impl CompiledConstrained {
+    /// Compile the keyer `q`.
+    #[must_use]
+    pub fn compile(q: &ConstrainedPattern) -> CompiledConstrained {
+        let program = CompiledPattern::compile(q.embedded());
+        let mut captures = Vec::new();
+        let mut start = 0usize;
+        for seg in q.segments() {
+            let end = start + seg.pattern.len();
+            if seg.constrained {
+                captures.push((start, end));
+            }
+            start = end;
+        }
+        CompiledConstrained {
+            program,
+            captures,
+            source: q.clone(),
+        }
+    }
+
+    /// The keyer this program was compiled from.
+    #[must_use]
+    pub fn source(&self) -> &ConstrainedPattern {
+        &self.source
+    }
+
+    /// Does `s` match the embedded pattern?
+    #[must_use]
+    pub fn matches(&self, s: &str) -> bool {
+        self.program.matches(s)
+    }
+
+    /// The blocking key of `s`, written into `out` (cleared first).
+    /// Returns `false` (leaving `out` empty) if `s` does not match.
+    /// Identical to [`ConstrainedPattern::key`] but allocation-free on
+    /// the ASCII path.
+    pub fn key_into(&self, s: &str, out: &mut String) -> bool {
+        out.clear();
+        if CompiledPattern::vm_eligible(s) {
+            anmat_obs::counter!("pattern.vm_evals").incr();
+            KEY_SPANS.with(|buf| {
+                let spans = &mut *buf.borrow_mut();
+                if !self.program.spans_ascii(s.as_bytes(), spans) {
+                    return false;
+                }
+                for (c, &(start, end)) in self.captures.iter().enumerate() {
+                    if c > 0 {
+                        out.push('\u{1F}');
+                    }
+                    // Mirror `ConstrainedPattern::captures`: an empty
+                    // segment captures zero width at its boundary.
+                    let from = if start == end {
+                        spans.get(start).map_or(s.len(), |&(a, _)| a)
+                    } else {
+                        spans[start].0
+                    };
+                    let to = if start == end { from } else { spans[end - 1].1 };
+                    out.push_str(&s[from..to]);
+                }
+                true
+            })
+        } else {
+            anmat_obs::counter!("pattern.interp_evals").incr();
+            match self.source.key(s) {
+                Some(k) => {
+                    out.push_str(&k);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    /// The blocking key of `s`, or `None` if it does not match —
+    /// allocating convenience over [`CompiledConstrained::key_into`].
+    #[must_use]
+    pub fn key(&self, s: &str) -> Option<String> {
+        let mut out = String::new();
+        self.key_into(s, &mut out).then_some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{match_pattern, match_spans};
+
+    fn pat(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    fn cp(s: &str) -> ConstrainedPattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ascii_set_matches_class_semantics() {
+        for class in [
+            SymbolClass::Upper,
+            SymbolClass::Lower,
+            SymbolClass::Digit,
+            SymbolClass::Symbol,
+            SymbolClass::Any,
+            SymbolClass::Literal('x'),
+            SymbolClass::Literal('É'), // non-ASCII literal: empty set
+        ] {
+            let set = AsciiSet::of_class(class);
+            for b in 0u8..128 {
+                assert_eq!(
+                    set.contains(b),
+                    class.matches(b as char),
+                    "{class:?} byte {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_shapes() {
+        let p = pat("a\\D{3}\\LL*\\A{1,4}");
+        let c = CompiledPattern::compile(&p);
+        assert!(matches!(c.ops()[0], Op::Byte(b'a')));
+        assert!(matches!(c.ops()[1], Op::Exact { n: 3, .. }));
+        assert!(matches!(c.ops()[2], Op::AtLeast { min: 0, .. }));
+        assert!(matches!(c.ops()[3], Op::Range { min: 1, max: 4, .. }));
+    }
+
+    #[test]
+    fn vm_agrees_with_interpreter_on_fixtures() {
+        let patterns = [
+            "90001",
+            "\\D{5}",
+            "\\D*",
+            "900\\D{2}",
+            "\\LU\\LL*\\ \\A*",
+            "\\A*a",
+            "\\LL+\\LL+",
+            "\\D{2,4}",
+            "a*b*c",
+            "\\D{3}\\S\\D{4}",
+            "",
+        ];
+        let inputs = [
+            "90001",
+            "90002",
+            "9000",
+            "900010",
+            "",
+            "a",
+            "bbba",
+            "ab",
+            "aaa",
+            "c",
+            "John Charles",
+            "JOHN Charles",
+            "John",
+            "555-1234",
+            "55511234",
+            "12a",
+            "ABcd12",
+        ];
+        for ps in patterns {
+            let p = pat(ps);
+            let c = CompiledPattern::compile(&p);
+            for s in inputs {
+                assert_eq!(c.matches(s), match_pattern(&p, s), "{ps:?} vs {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_spans_agree_with_interpreter_on_fixtures() {
+        let cases = [
+            ("\\A*a", "bbba"),
+            ("\\A*a", "aaa"),
+            ("a*b*c", "c"),
+            ("\\LU\\LL*\\ \\A*", "John Charles"),
+            ("\\LU+\\LL+\\D{2}", "ABcd12"),
+            ("\\D{3}\\D{2}", "90001"),
+        ];
+        for (ps, s) in cases {
+            let p = pat(ps);
+            let c = CompiledPattern::compile(&p);
+            assert_eq!(c.spans(s), match_spans(&p, s), "{ps:?} vs {s:?}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_falls_back_to_interpreter() {
+        let p = pat("\\LU\\LL+");
+        let c = CompiledPattern::compile(&p);
+        assert!(c.matches("Étienne"));
+        assert_eq!(
+            c.spans("Étienne").unwrap(),
+            match_spans(&p, "Étienne").unwrap()
+        );
+        // Non-ASCII literal against ASCII input: VM path, never matches.
+        let p = Pattern::literal("É");
+        let c = CompiledPattern::compile(&p);
+        assert!(!c.matches("E"));
+        assert!(c.matches("É"));
+    }
+
+    #[test]
+    fn compiled_key_matches_source_key() {
+        let cases = [
+            ("[\\D{3}]\\D{2}", vec!["90001", "90101", "9000", ""]),
+            (
+                "[\\LU\\LL*\\ ]\\A*",
+                vec!["John Charles", "John Bosco", "Susan Boyle", "john x"],
+            ),
+            ("[\\LL+]-[\\LL+]", vec!["ab-c", "a-bc", "x-y"]),
+            ("\\A*,\\ [Donald]\\A*", vec!["x, Donald Duck", "nope"]),
+            ("[\\D{3}]\\D{2}", vec!["90\u{E9}01"]), // non-ASCII fallback
+        ];
+        for (qs, inputs) in cases {
+            let q = cp(qs);
+            let c = CompiledConstrained::compile(&q);
+            for s in inputs {
+                assert_eq!(c.key(s), q.key(s), "{qs:?} vs {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_into_reuses_buffer() {
+        let q = cp("[\\D{3}]\\D{2}");
+        let c = CompiledConstrained::compile(&q);
+        let mut buf = String::new();
+        assert!(c.key_into("90001", &mut buf));
+        assert_eq!(buf, "900");
+        assert!(!c.key_into("x", &mut buf));
+        assert!(buf.is_empty());
+        assert!(c.key_into("85032", &mut buf));
+        assert_eq!(buf, "850");
+    }
+}

@@ -12,6 +12,9 @@
 //!   paper's textual syntax (e.g. `900\D{2}`, `\LU\LL*\ \A*`);
 //! * [`matcher`] — an `O(|s|·|P|)` matching engine with capture-span
 //!   recovery;
+//! * [`compile`](mod@compile) — patterns compiled to flat bytecode with
+//!   precomputed ASCII class bitsets, evaluated by a non-recursive
+//!   backtracking VM ([`vm`]) directly over `&str` bytes;
 //! * [`containment`] — sound and complete language-inclusion checking
 //!   (`P ⊆ P'`) plus least-general generalization of two patterns;
 //! * [`induce`](mod@induce) — pattern induction from string samples, the primitive the
@@ -42,6 +45,7 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod constrained;
 pub mod containment;
 pub mod error;
@@ -50,8 +54,10 @@ pub mod matcher;
 pub mod memo;
 pub mod parser;
 pub mod symbol;
+pub mod vm;
 
 pub use ast::{Element, Pattern, Quantifier};
+pub use compile::{AsciiSet, CompiledConstrained, CompiledPattern, Op};
 pub use constrained::{ConstrainedPattern, Segment};
 pub use containment::{contains, equivalent, generalize_patterns, intersects};
 pub use error::PatternError;

@@ -15,6 +15,18 @@
 //! `John Charles` for `[\LU\LL*\ ]\A*`.
 
 use crate::ast::Pattern;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Decoded-character scratch for the `&str` entry points; reused
+    /// across evaluations so the interpreter only allocates on growth.
+    static CHAR_BUF: RefCell<Vec<char>> = const { RefCell::new(Vec::new()) };
+    /// `reachable` / `next` DP rows for [`match_chars`].
+    static DP_BUF: RefCell<(Vec<bool>, Vec<bool>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Flattened `ok[j][i]` table for [`match_spans_chars`].
+    static OK_BUF: RefCell<Vec<bool>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The substring consumed by each pattern element in one concrete parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,8 +53,12 @@ impl MatchSpans {
 /// Does `s` match `pattern` in full? (Anchored at both ends.)
 #[must_use]
 pub fn match_pattern(pattern: &Pattern, s: &str) -> bool {
-    let chars: Vec<char> = s.chars().collect();
-    match_chars(pattern, &chars)
+    CHAR_BUF.with(|buf| {
+        let chars = &mut *buf.borrow_mut();
+        chars.clear();
+        chars.extend(s.chars());
+        match_chars(pattern, chars)
+    })
 }
 
 /// [`match_pattern`] over a pre-decoded character slice.
@@ -59,45 +75,50 @@ pub fn match_chars(pattern: &Pattern, chars: &[char]) -> bool {
         }
     }
     // reachable[i] = the first `j` processed elements can consume exactly i chars.
-    let mut reachable = vec![false; n + 1];
-    reachable[0] = true;
-    let mut next = vec![false; n + 1];
-    for e in pattern.elements() {
-        let (min, max) = e.quant.interval();
-        let min = min as usize;
-        next.iter_mut().for_each(|b| *b = false);
-        let mut any = false;
-        for i in 0..=n {
-            if !reachable[i] {
-                continue;
-            }
-            // Extend the run of matching characters from i.
-            let limit = match max {
-                Some(m) => (m as usize).min(n - i),
-                None => n - i,
-            };
-            let mut k = 0;
-            if min == 0 {
-                next[i] = true;
-                any = true;
-            }
-            while k < limit {
-                if !e.class.matches(chars[i + k]) {
-                    break;
+    DP_BUF.with(|buf| {
+        let (reachable, next) = &mut *buf.borrow_mut();
+        reachable.clear();
+        reachable.resize(n + 1, false);
+        reachable[0] = true;
+        next.clear();
+        next.resize(n + 1, false);
+        for e in pattern.elements() {
+            let (min, max) = e.quant.interval();
+            let min = min as usize;
+            next.iter_mut().for_each(|b| *b = false);
+            let mut any = false;
+            for i in 0..=n {
+                if !reachable[i] {
+                    continue;
                 }
-                k += 1;
-                if k >= min {
-                    next[i + k] = true;
+                // Extend the run of matching characters from i.
+                let limit = match max {
+                    Some(m) => (m as usize).min(n - i),
+                    None => n - i,
+                };
+                let mut k = 0;
+                if min == 0 {
+                    next[i] = true;
                     any = true;
                 }
+                while k < limit {
+                    if !e.class.matches(chars[i + k]) {
+                        break;
+                    }
+                    k += 1;
+                    if k >= min {
+                        next[i + k] = true;
+                        any = true;
+                    }
+                }
+            }
+            std::mem::swap(reachable, next);
+            if !any {
+                return false;
             }
         }
-        std::mem::swap(&mut reachable, &mut next);
-        if !any {
-            return false;
-        }
-    }
-    reachable[n]
+        reachable[n]
+    })
 }
 
 /// Match and recover per-element spans under leftmost-greedy semantics.
@@ -105,8 +126,12 @@ pub fn match_chars(pattern: &Pattern, chars: &[char]) -> bool {
 /// Returns `None` if `s` does not match.
 #[must_use]
 pub fn match_spans(pattern: &Pattern, s: &str) -> Option<MatchSpans> {
-    let chars: Vec<char> = s.chars().collect();
-    match_spans_chars(pattern, &chars)
+    CHAR_BUF.with(|buf| {
+        let chars = &mut *buf.borrow_mut();
+        chars.clear();
+        chars.extend(s.chars());
+        match_spans_chars(pattern, chars)
+    })
 }
 
 /// [`match_spans`] over a pre-decoded character slice.
@@ -122,73 +147,79 @@ pub fn match_spans_chars(pattern: &Pattern, chars: &[char]) -> Option<MatchSpans
             return None;
         }
     }
-    // ok[j][i] = elements j.. can consume exactly chars[i..].
-    // Built backwards so the forward greedy walk can consult it.
-    let mut ok = vec![vec![false; n + 1]; m + 1];
-    ok[m][n] = true;
-    for j in (0..m).rev() {
-        let e = pattern.elements()[j];
-        let (min, max) = e.quant.interval();
-        let min = min as usize;
-        for i in (0..=n).rev() {
+    // ok[j][i] = elements j.. can consume exactly chars[i..], flattened
+    // into reused scratch as ok[j * (n + 1) + i]. Built backwards so the
+    // forward greedy walk can consult it.
+    let stride = n + 1;
+    OK_BUF.with(|buf| {
+        let ok = &mut *buf.borrow_mut();
+        ok.clear();
+        ok.resize((m + 1) * stride, false);
+        ok[m * stride + n] = true;
+        for j in (0..m).rev() {
+            let e = pattern.elements()[j];
+            let (min, max) = e.quant.interval();
+            let min = min as usize;
+            for i in (0..=n).rev() {
+                let limit = match max {
+                    Some(mx) => (mx as usize).min(n - i),
+                    None => n - i,
+                };
+                let mut k = 0;
+                if min == 0 && ok[(j + 1) * stride + i] {
+                    ok[j * stride + i] = true;
+                }
+                while k < limit {
+                    if !e.class.matches(chars[i + k]) {
+                        break;
+                    }
+                    k += 1;
+                    if k >= min && ok[(j + 1) * stride + i + k] {
+                        ok[j * stride + i] = true;
+                        // Greedy reconstruction scans separately; reachability
+                        // just needs any witness.
+                    }
+                }
+            }
+        }
+        if !ok[0] {
+            return None;
+        }
+        // Forward greedy walk: each element takes the longest k that keeps the
+        // suffix matchable.
+        let mut spans = Vec::with_capacity(m);
+        let mut i = 0usize;
+        for (j, e) in pattern.elements().iter().enumerate() {
+            let (min, max) = e.quant.interval();
+            let min = min as usize;
             let limit = match max {
                 Some(mx) => (mx as usize).min(n - i),
                 None => n - i,
             };
-            let mut k = 0;
-            if min == 0 && ok[j + 1][i] {
-                ok[j][i] = true;
+            // Longest run of matching chars from i.
+            let mut run = 0;
+            while run < limit && e.class.matches(chars[i + run]) {
+                run += 1;
             }
-            while k < limit {
-                if !e.class.matches(chars[i + k]) {
+            let mut chosen = None;
+            let mut k = run;
+            loop {
+                if k >= min && ok[(j + 1) * stride + i + k] {
+                    chosen = Some(k);
                     break;
                 }
-                k += 1;
-                if k >= min && ok[j + 1][i + k] {
-                    ok[j][i] = true;
-                    // Greedy reconstruction scans separately; reachability
-                    // just needs any witness.
+                if k == 0 {
+                    break;
                 }
+                k -= 1;
             }
+            let k = chosen?; // ok[0][0] held, so a witness must exist
+            spans.push((i, i + k));
+            i += k;
         }
-    }
-    if !ok[0][0] {
-        return None;
-    }
-    // Forward greedy walk: each element takes the longest k that keeps the
-    // suffix matchable.
-    let mut spans = Vec::with_capacity(m);
-    let mut i = 0usize;
-    for (j, e) in pattern.elements().iter().enumerate() {
-        let (min, max) = e.quant.interval();
-        let min = min as usize;
-        let limit = match max {
-            Some(mx) => (mx as usize).min(n - i),
-            None => n - i,
-        };
-        // Longest run of matching chars from i.
-        let mut run = 0;
-        while run < limit && e.class.matches(chars[i + run]) {
-            run += 1;
-        }
-        let mut chosen = None;
-        let mut k = run;
-        loop {
-            if k >= min && ok[j + 1][i + k] {
-                chosen = Some(k);
-                break;
-            }
-            if k == 0 {
-                break;
-            }
-            k -= 1;
-        }
-        let k = chosen?; // ok[0][0] held, so a witness must exist
-        spans.push((i, i + k));
-        i += k;
-    }
-    debug_assert_eq!(i, n);
-    Some(MatchSpans { spans })
+        debug_assert_eq!(i, n);
+        Some(MatchSpans { spans })
+    })
 }
 
 #[cfg(test)]

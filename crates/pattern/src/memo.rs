@@ -16,6 +16,7 @@
 //! per pattern" guarantee.
 
 use crate::ast::Pattern;
+use crate::compile::CompiledPattern;
 use fxhash::FxHashMap;
 
 /// A `(interned value id) → matches?` cache for one [`Pattern`].
@@ -46,9 +47,48 @@ impl MatchMemo {
             return hit;
         }
         self.evals += 1;
+        // The same taxonomy `CompiledPattern` reports: this miss runs the
+        // AST interpreter, so interpreted-mode engines are visible in the
+        // vm/interp split too.
+        anmat_obs::counter!("pattern.interp_evals").incr();
         let result = pattern.matches(s);
         self.cache.insert(id, result);
         result
+    }
+
+    /// [`MatchMemo::matches`] with the miss evaluated on the compiled
+    /// program instead of the AST interpreter. Counting is identical, so
+    /// the "at most `distinct(column)` evaluations" invariant carries
+    /// over unchanged; `program` must be compiled from the same pattern
+    /// on every call.
+    pub fn matches_compiled(&mut self, program: &CompiledPattern, id: u32, s: &str) -> bool {
+        self.lookups += 1;
+        if let Some(&hit) = self.cache.get(&id) {
+            return hit;
+        }
+        self.evals += 1;
+        let result = program.matches(s);
+        self.cache.insert(id, result);
+        result
+    }
+
+    /// Batch-classify: evaluate `program` once for every *uncached* id,
+    /// in one tight pass. Each new distinct id costs exactly the one
+    /// eval the lazy path would have paid on first sighting, so
+    /// [`MatchMemo::evals`] is invariant; [`MatchMemo::lookups`] does not
+    /// advance (priming is not a query — the per-row probes that follow
+    /// count as usual, and hit).
+    pub fn prime_compiled<'a, I>(&mut self, program: &CompiledPattern, ids: I)
+    where
+        I: IntoIterator<Item = (u32, &'a str)>,
+    {
+        for (id, s) in ids {
+            if !self.cache.contains_key(&id) {
+                self.evals += 1;
+                let result = program.matches(s);
+                self.cache.insert(id, result);
+            }
+        }
     }
 
     /// Number of actual pattern evaluations performed (cache misses) —
@@ -112,6 +152,39 @@ mod tests {
             assert_eq!(memo.matches(&p, id, s), p.matches(s), "{s}");
         }
         assert_eq!(memo.evals(), 4);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_share_counting() {
+        let p: Pattern = "900\\D{2}".parse().unwrap();
+        let c = CompiledPattern::compile(&p);
+        let mut interp = MatchMemo::new();
+        let mut compiled = MatchMemo::new();
+        let probes = [(1u32, "90001"), (2, "10001"), (1, "90001"), (3, "900x1")];
+        for (id, s) in probes {
+            assert_eq!(
+                compiled.matches_compiled(&c, id, s),
+                interp.matches(&p, id, s),
+                "{s}"
+            );
+        }
+        assert_eq!(compiled.evals(), interp.evals());
+        assert_eq!(compiled.lookups(), interp.lookups());
+    }
+
+    #[test]
+    fn prime_counts_like_lazy_misses() {
+        let p: Pattern = "\\D{5}".parse().unwrap();
+        let c = CompiledPattern::compile(&p);
+        let mut memo = MatchMemo::new();
+        memo.prime_compiled(&c, [(1u32, "90001"), (2, "1234"), (1, "90001")]);
+        assert_eq!(memo.evals(), 2); // the duplicate id is skipped
+        assert_eq!(memo.lookups(), 0);
+        // Primed ids now hit; a fresh id still misses lazily.
+        assert!(memo.matches_compiled(&c, 1, "90001"));
+        assert!(!memo.matches_compiled(&c, 3, "12a45"));
+        assert_eq!(memo.evals(), 3);
+        assert_eq!(memo.lookups(), 2);
     }
 
     #[test]

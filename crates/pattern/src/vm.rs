@@ -1,0 +1,217 @@
+//! The bytecode VM: non-recursive backtracking over `&str` bytes.
+//!
+//! The restricted pattern language has no alternation and no nested
+//! repetition, so every [`Op`] consumes one greedy
+//! *run* of class-matching bytes; the only search dimension is how far
+//! each variable-count op's run is allowed to reach. The VM therefore
+//! executes with two reused structures and no recursion:
+//!
+//! * an explicit **backtrack stack** — one frame per executed op holding
+//!   `(op index, run start, chosen count)`; backtracking pops a frame and
+//!   shortens its run by one (greedy-first order, which reproduces the
+//!   interpreter's leftmost-greedy span semantics exactly);
+//! * a **visited-state bitset** over `(op index, position)` pairs — a
+//!   state is explored at most once, which caps the search at
+//!   `O(|P| · |s|)` states (the same order as the interpreter's dynamic
+//!   program) instead of the exponential worst case of naive
+//!   backtracking on patterns like `\A*\A*…\A*a`.
+//!
+//! Both structures live in thread-local scratch, so steady-state
+//! evaluation performs no heap allocation at all.
+
+use crate::compile::{AsciiSet, Op};
+use std::cell::RefCell;
+
+/// One executed op on the current search path: its run starts at byte
+/// `start` and currently spans `k` bytes.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    pc: u32,
+    start: u32,
+    k: u32,
+}
+
+#[derive(Default)]
+struct Scratch {
+    stack: Vec<Frame>,
+    visited: Vec<u64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Mark `(pc, pos)` in the visited bitset; returns whether it was
+/// already set (i.e. this state is known to fail).
+#[inline]
+fn mark(visited: &mut [u64], stride: usize, pc: usize, pos: usize) -> bool {
+    let idx = pc * stride + pos;
+    let (word, bit) = (idx / 64, idx % 64);
+    let seen = (visited[word] >> bit) & 1 != 0;
+    visited[word] |= 1 << bit;
+    seen
+}
+
+/// Longest run of `set`-matching bytes from `pos`, capped at `limit`.
+#[inline]
+fn run_len(set: &AsciiSet, bytes: &[u8], pos: usize, limit: usize) -> usize {
+    let mut k = 0;
+    while k < limit && set.contains(bytes[pos + k]) {
+        k += 1;
+    }
+    k
+}
+
+/// Execute `ops` against `bytes` (which the caller guarantees is pure
+/// ASCII). Returns whether the whole input matches; on success, if
+/// `spans` is given it receives one `(start, end)` byte span per op —
+/// identical to the interpreter's leftmost-greedy character spans, since
+/// byte and char indices coincide for ASCII.
+pub(crate) fn run(ops: &[Op], bytes: &[u8], mut spans: Option<&mut Vec<(usize, usize)>>) -> bool {
+    let n = bytes.len();
+    let m = ops.len();
+    let stride = n + 1;
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        scratch.stack.clear();
+        let words = ((m + 1) * stride).div_ceil(64);
+        scratch.visited.clear();
+        scratch.visited.resize(words, 0);
+        let (stack, visited) = (&mut scratch.stack, &mut scratch.visited);
+
+        let mut pc = 0usize;
+        let mut pos = 0usize;
+        loop {
+            // Try to advance from (pc, pos).
+            let advanced = if pc == m {
+                if pos == n {
+                    if let Some(out) = spans.take() {
+                        out.clear();
+                        out.extend(stack.iter().map(|f| {
+                            let (a, k) = (f.start as usize, f.k as usize);
+                            (a, a + k)
+                        }));
+                    }
+                    return true;
+                }
+                false
+            } else if mark(visited, stride, pc, pos) {
+                // Already explored from this state: known failure.
+                false
+            } else {
+                // Greedy: take the longest admissible run first.
+                let k = match ops[pc] {
+                    Op::Byte(b) => {
+                        if pos < n && bytes[pos] == b {
+                            Some(1)
+                        } else {
+                            None
+                        }
+                    }
+                    Op::Exact { ref set, n: cnt } => {
+                        let cnt = cnt as usize;
+                        (cnt <= n - pos && run_len(set, bytes, pos, cnt) == cnt).then_some(cnt)
+                    }
+                    Op::AtLeast { ref set, min } => {
+                        let k = run_len(set, bytes, pos, n - pos);
+                        (k >= min as usize).then_some(k)
+                    }
+                    Op::Range { ref set, min, max } => {
+                        let k = run_len(set, bytes, pos, (max as usize).min(n - pos));
+                        (k >= min as usize).then_some(k)
+                    }
+                };
+                match k {
+                    Some(k) => {
+                        stack.push(Frame {
+                            pc: pc as u32,
+                            start: pos as u32,
+                            k: k as u32,
+                        });
+                        pos += k;
+                        pc += 1;
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if advanced {
+                continue;
+            }
+            // Backtrack: shorten the most recent shrinkable run by one.
+            // The resumption state is deliberately NOT marked here — the
+            // main loop marks it on (first) entry; if it was already
+            // explored, the next iteration falls straight back here and
+            // the frame shrinks again.
+            let mut resumed = false;
+            while let Some(mut frame) = stack.pop() {
+                let min = ops[frame.pc as usize].interval().0;
+                if frame.k > min {
+                    frame.k -= 1;
+                    pos = (frame.start + frame.k) as usize;
+                    pc = frame.pc as usize + 1;
+                    stack.push(frame);
+                    resumed = true;
+                    break;
+                }
+            }
+            if !resumed {
+                return false;
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledPattern;
+    use crate::Pattern;
+
+    fn compiled(s: &str) -> CompiledPattern {
+        CompiledPattern::compile(&s.parse::<Pattern>().unwrap())
+    }
+
+    #[test]
+    fn empty_program_matches_only_empty() {
+        let c = CompiledPattern::compile(&Pattern::empty());
+        assert!(run(c.ops(), b"", None));
+        assert!(!run(c.ops(), b"a", None));
+    }
+
+    #[test]
+    fn backtracks_across_adjacent_stars() {
+        // Naive backtracking is exponential here; the visited set keeps
+        // it polynomial — and the answer correct.
+        let c = compiled("\\A*\\A*\\A*\\A*\\A*\\A*\\A*\\A*a");
+        assert!(run(c.ops(), b"bbbbbbbbbbbbbbbbbbbbbbba", None));
+        assert!(!run(c.ops(), b"bbbbbbbbbbbbbbbbbbbbbbbb", None));
+    }
+
+    #[test]
+    fn spans_are_leftmost_greedy() {
+        let c = compiled("\\A*a");
+        let mut spans = Vec::new();
+        assert!(run(c.ops(), b"aaa", Some(&mut spans)));
+        assert_eq!(spans, vec![(0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn zero_width_ops_yield_empty_spans() {
+        let c = compiled("a*b*c");
+        let mut spans = Vec::new();
+        assert!(run(c.ops(), b"c", Some(&mut spans)));
+        assert_eq!(spans, vec![(0, 0), (0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn range_backoff() {
+        // \D{1,3}\D{2}: on "123" the first op must back off from 3 to 1.
+        let c = compiled("\\D{1,3}\\D{2}");
+        let mut spans = Vec::new();
+        assert!(run(c.ops(), b"123", Some(&mut spans)));
+        assert_eq!(spans, vec![(0, 1), (1, 3)]);
+        assert!(run(c.ops(), b"12345", None));
+        assert!(!run(c.ops(), b"1", None));
+    }
+}

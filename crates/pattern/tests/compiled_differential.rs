@@ -1,0 +1,192 @@
+//! Differential property tests: the compiled bytecode VM must be
+//! observationally identical to the AST interpreter — match decisions,
+//! leftmost-greedy spans, and constrained blocking keys — over generated
+//! patterns × strings, including non-ASCII inputs that exercise the
+//! interpreter fallback and mixed corpora that cross both paths.
+//!
+//! Case count scales with `PROPTEST_CASES` (CI runs a dedicated step so
+//! the VM gets elevated coverage on every push).
+
+use anmat_pattern::{
+    match_pattern, match_spans, CompiledConstrained, CompiledPattern, ConstrainedPattern, Element,
+    Pattern, Quantifier, Segment, SymbolClass,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary symbol class over a small printable alphabet.
+fn any_class() -> impl Strategy<Value = SymbolClass> {
+    prop_oneof![
+        prop::char::ranges(vec!['a'..='z', 'A'..='Z', '0'..='9', '-'..='.'].into())
+            .prop_map(SymbolClass::Literal),
+        Just(SymbolClass::Upper),
+        Just(SymbolClass::Lower),
+        Just(SymbolClass::Digit),
+        Just(SymbolClass::Symbol),
+        Just(SymbolClass::Any),
+    ]
+}
+
+/// Strategy: an arbitrary (small) pattern.
+fn any_pattern() -> impl Strategy<Value = Pattern> {
+    prop::collection::vec(
+        (any_class(), 0u32..4, prop::option::of(0u32..4)).prop_filter_map(
+            "valid interval",
+            |(class, min, extra)| {
+                let max = extra.map(|e| min + e);
+                Quantifier::from_interval(min, max)
+                    .ok()
+                    .map(|q| Element::new(class, q))
+            },
+        ),
+        0..6,
+    )
+    .prop_map(Pattern::new)
+}
+
+/// Strategy: a short ASCII string over the pattern alphabet (the VM's
+/// fast path).
+fn any_ascii_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::char::ranges(vec!['a'..='z', 'A'..='Z', '0'..='9', ' '..=' ', '-'..='-'].into()),
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Strategy: a short string mixing ASCII with multi-byte scalars — every
+/// non-ASCII char routes the compiled program through the interpreter
+/// fallback, and mixed corpora cross both paths within one run.
+fn any_unicode_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::char::ranges(vec!['a'..='z', 'A'..='Z', '0'..='9', '-'..='-'].into()),
+            prop::char::ranges(
+                vec![
+                    'É'..='É',
+                    'ß'..='ß',
+                    'ñ'..='ñ',
+                    'Ω'..='Ω',
+                    '中'..='中',
+                    '٣'..='٣',
+                    '\u{1F600}'..='\u{1F600}',
+                ]
+                .into()
+            ),
+        ],
+        0..10,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Generate a string the pattern is guaranteed to match, by expanding
+/// each element with an in-range repetition count (deterministic in
+/// `seed`), so positive matches — where span parity matters — are
+/// exercised as densely as negative ones.
+fn string_matching(p: &Pattern, seed: u64) -> String {
+    let mut out = String::new();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for e in p.elements() {
+        let (min, max) = e.quant.interval();
+        let span = match max {
+            Some(m) => min + (next() as u32 % (m - min + 1)),
+            None => min + (next() as u32 % 3),
+        };
+        for _ in 0..span {
+            let c = match e.class {
+                SymbolClass::Literal(c) => c,
+                SymbolClass::Upper => char::from(b'A' + (next() % 26) as u8),
+                SymbolClass::Lower => char::from(b'a' + (next() % 26) as u8),
+                SymbolClass::Digit => char::from(b'0' + (next() % 10) as u8),
+                SymbolClass::Symbol => ['-', '.', ' ', ','][(next() % 4) as usize],
+                SymbolClass::Any => char::from(b'a' + (next() % 26) as u8),
+            };
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Strategy: an arbitrary constrained pattern — 1..4 segments, each an
+/// independently generated sub-pattern, with a random constrained mask.
+fn any_constrained() -> impl Strategy<Value = ConstrainedPattern> {
+    prop::collection::vec((any_pattern(), any::<bool>()), 1..4).prop_map(|parts| {
+        let segments: Vec<Segment> = parts
+            .into_iter()
+            .map(|(p, constrained)| {
+                if constrained {
+                    Segment::constrained(p)
+                } else {
+                    Segment::free(p)
+                }
+            })
+            .collect();
+        ConstrainedPattern::new(segments).expect("non-empty segment list")
+    })
+}
+
+proptest! {
+    /// Match decisions agree on arbitrary ASCII strings (the VM path).
+    #[test]
+    fn vm_matches_interpreter_on_ascii(p in any_pattern(), s in any_ascii_string()) {
+        let c = CompiledPattern::compile(&p);
+        prop_assert_eq!(c.matches(&s), match_pattern(&p, &s), "pattern {} on {:?}", p, s);
+    }
+
+    /// Match decisions agree on unicode strings (fallback + mixed).
+    #[test]
+    fn vm_matches_interpreter_on_unicode(p in any_pattern(), s in any_unicode_string()) {
+        let c = CompiledPattern::compile(&p);
+        prop_assert_eq!(c.matches(&s), match_pattern(&p, &s), "pattern {} on {:?}", p, s);
+    }
+
+    /// Positive-case parity: generated witnesses match through the VM
+    /// too, and their spans are identical to the interpreter's
+    /// leftmost-greedy decomposition.
+    #[test]
+    fn vm_spans_agree_on_witnesses(p in any_pattern(), seed in any::<u64>()) {
+        let c = CompiledPattern::compile(&p);
+        let s = string_matching(&p, seed);
+        prop_assert!(c.matches(&s), "witness {:?} must match {} via the VM", s, p);
+        prop_assert_eq!(c.spans(&s), match_spans(&p, &s), "pattern {} on {:?}", p, s);
+    }
+
+    /// Span parity on arbitrary strings — `None` agrees with `None`,
+    /// and successful decompositions agree span for span.
+    #[test]
+    fn vm_spans_agree_on_arbitrary_strings(p in any_pattern(), s in any_ascii_string()) {
+        let c = CompiledPattern::compile(&p);
+        prop_assert_eq!(c.spans(&s), match_spans(&p, &s), "pattern {} on {:?}", p, s);
+    }
+
+    /// Blocking keys agree: the capturing VM derives the same `≡_Q` key
+    /// as the interpreter for generated constrained patterns.
+    #[test]
+    fn compiled_key_agrees_on_ascii(q in any_constrained(), s in any_ascii_string()) {
+        let c = CompiledConstrained::compile(&q);
+        prop_assert_eq!(c.key(&s), q.key(&s), "keyer {} on {:?}", q, s);
+    }
+
+    /// Blocking keys agree on unicode strings (interpreter fallback).
+    #[test]
+    fn compiled_key_agrees_on_unicode(q in any_constrained(), s in any_unicode_string()) {
+        let c = CompiledConstrained::compile(&q);
+        prop_assert_eq!(c.key(&s), q.key(&s), "keyer {} on {:?}", q, s);
+    }
+
+    /// Key parity on witnesses of the embedded pattern, where the keyer
+    /// is guaranteed to produce a key on both paths.
+    #[test]
+    fn compiled_key_agrees_on_witnesses(q in any_constrained(), seed in any::<u64>()) {
+        let c = CompiledConstrained::compile(&q);
+        let s = string_matching(q.embedded(), seed);
+        let (vm, interp) = (c.key(&s), q.key(&s));
+        prop_assert!(interp.is_some(), "witness {:?} must key under {}", s, q);
+        prop_assert_eq!(vm, interp, "keyer {} on {:?}", q, s);
+    }
+}

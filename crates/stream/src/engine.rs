@@ -33,7 +33,7 @@ use anmat_core::discovery::DiscoveryConfig;
 use anmat_core::{LedgerEvent, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger};
 use anmat_index::{BlockingPartition, KeyBlock, Placement};
 use anmat_obs as obs;
-use anmat_pattern::{MatchMemo, Pattern};
+use anmat_pattern::{CompiledPattern, MatchMemo, Pattern};
 use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
 use fxhash::FxHashMap;
 
@@ -56,6 +56,13 @@ pub struct StreamConfig {
     /// space). `<= 0.0` (the default) disables auto-compaction;
     /// [`StreamEngine::compact`] stays available manually either way.
     pub compact_ratio: f64,
+    /// Evaluate memo misses on compiled pattern bytecode (`true`, the
+    /// default) or on the AST interpreter (`false` — the measured
+    /// baseline for the compiled-vs-interpreted comparison, and the CLI's
+    /// `--interpret` flag). Violations, events, and eval counts are
+    /// identical in both modes; only the per-distinct-value evaluation
+    /// cost differs.
+    pub use_compiled: bool,
 }
 
 impl Default for StreamConfig {
@@ -65,6 +72,7 @@ impl Default for StreamConfig {
             max_violation_ratio: 0.3,
             shards: 1,
             compact_ratio: 0.0,
+            use_compiled: true,
         }
     }
 }
@@ -228,6 +236,9 @@ pub(crate) fn validate_shapes(
 struct ConstantTuple {
     /// Embedded LHS pattern (`None` = wildcard: every non-null LHS).
     pattern: Option<Pattern>,
+    /// The pattern compiled to bytecode — what memo misses evaluate on
+    /// when the engine runs in compiled mode.
+    compiled: Option<CompiledPattern>,
     /// Per-`(pattern, ValueId)` match memo: the pattern is evaluated at
     /// most once per distinct LHS value, not once per row.
     memo: MatchMemo,
@@ -378,10 +389,13 @@ pub(crate) struct RuleState {
     /// attribute (the rule is inert, exactly like batch detection).
     cols: Option<(usize, usize)>,
     tuples: Vec<TupleState>,
+    /// Memo misses run on compiled bytecode (`true`) or the AST
+    /// interpreter (`false`); see [`StreamConfig::use_compiled`].
+    use_compiled: bool,
 }
 
 impl RuleState {
-    pub(crate) fn seed(pfd: Pfd, schema: &Schema) -> RuleState {
+    pub(crate) fn seed(pfd: Pfd, schema: &Schema, use_compiled: bool) -> RuleState {
         let cols = match (
             schema.index_of(&pfd.lhs_attr),
             schema.index_of(&pfd.rhs_attr),
@@ -398,8 +412,10 @@ impl RuleState {
                         LhsCell::Pattern(q) => (Some(q.embedded().clone()), q.to_string()),
                         LhsCell::Wildcard => (None, "⊥".to_string()),
                     };
+                    let compiled = pattern.as_ref().map(CompiledPattern::compile);
                     TupleState::Constant(ConstantTuple {
                         pattern,
+                        compiled,
                         memo: MatchMemo::new(),
                         display,
                         expected: ValuePool::intern(expected),
@@ -410,15 +426,60 @@ impl RuleState {
                         LhsCell::Pattern(q) => (Some(q.clone()), q.to_string()),
                         LhsCell::Wildcard => (None, "⊥".to_string()),
                     };
+                    let partition = if use_compiled {
+                        BlockingPartition::new(keyer)
+                    } else {
+                        BlockingPartition::new_interpreted(keyer)
+                    };
                     TupleState::Variable(Box::new(VariableTuple {
-                        partition: BlockingPartition::new(keyer),
+                        partition,
                         display,
                         blocks: FxHashMap::default(),
                     }))
                 }
             })
             .collect();
-        RuleState { pfd, cols, tuples }
+        RuleState {
+            pfd,
+            cols,
+            tuples,
+            use_compiled,
+        }
+    }
+
+    /// Batch-classify: warm every tuple's per-distinct-value cache over
+    /// the LHS cells of a batch's insert/update rows in one tight pass,
+    /// before any per-row work runs. Each *new* distinct id costs
+    /// exactly the one evaluation the lazy path would have paid on first
+    /// sighting, so [`RuleState::pattern_evals`] is invariant — priming
+    /// is a locality optimization (one program, one cache, no per-row
+    /// dispatch between evals), never extra work. No-op in interpreted
+    /// mode (the baseline keeps the per-row lazy shape).
+    pub(crate) fn prime_batch(&mut self, rows: &[&[ValueId]]) {
+        if !self.use_compiled {
+            return;
+        }
+        let Some((lhs, _)) = self.cols else {
+            return;
+        };
+        for tuple in &mut self.tuples {
+            match tuple {
+                TupleState::Constant(ct) => {
+                    if let Some(c) = &ct.compiled {
+                        ct.memo.prime_compiled(
+                            c,
+                            rows.iter().filter_map(|r| {
+                                let id = r[lhs];
+                                id.as_str().map(|s| (id.raw(), s))
+                            }),
+                        );
+                    }
+                }
+                TupleState::Variable(vt) => {
+                    vt.partition.prime(rows.iter().map(|r| r[lhs]));
+                }
+            }
+        }
     }
 
     /// Incorporate one arrived row, emitting the violation deltas it
@@ -444,7 +505,13 @@ impl RuleState {
                         continue;
                     };
                     if let Some(p) = &ct.pattern {
-                        if !ct.memo.matches(p, lhs_id.raw(), value) {
+                        let hit = if self.use_compiled {
+                            let c = ct.compiled.as_ref().expect("compiled alongside pattern");
+                            ct.memo.matches_compiled(c, lhs_id.raw(), value)
+                        } else {
+                            ct.memo.matches(p, lhs_id.raw(), value)
+                        };
+                        if !hit {
                             continue;
                         }
                     }
@@ -537,7 +604,13 @@ impl RuleState {
                         continue;
                     };
                     if let Some(p) = &ct.pattern {
-                        if !ct.memo.matches(p, lhs_id.raw(), value) {
+                        let hit = if self.use_compiled {
+                            let c = ct.compiled.as_ref().expect("compiled alongside pattern");
+                            ct.memo.matches_compiled(c, lhs_id.raw(), value)
+                        } else {
+                            ct.memo.matches(p, lhs_id.raw(), value)
+                        };
+                        if !hit {
                             continue;
                         }
                     }
@@ -716,7 +789,7 @@ impl StreamEngine {
         let drift = DriftMonitor::new(rules.len(), config.min_support, config.max_violation_ratio);
         let states = rules
             .into_iter()
-            .map(|pfd| RuleState::seed(pfd, &schema))
+            .map(|pfd| RuleState::seed(pfd, &schema, config.use_compiled))
             .collect();
         StreamEngine {
             table: Table::empty(schema),
@@ -845,9 +918,16 @@ impl StreamEngine {
         }
         let _apply = obs::span!("engine.apply_ns");
         obs::counter!("engine.ops").add(rows.len() as u64);
+        // Intern once up front, then batch-classify each rule's caches
+        // over the batch's new distinct ids before any per-row work.
+        let rows: Vec<Vec<ValueId>> = rows
+            .iter()
+            .map(|r| ValuePool::intern_value_batch(r))
+            .collect();
+        self.prime_rules(&rows);
         let mut events = Vec::new();
         for row in rows {
-            events.extend(self.push_row(row).expect("arity pre-validated"));
+            events.extend(self.push_id_row(row).expect("arity pre-validated"));
         }
         obs::counter!("engine.events").add(events.len() as u64);
         Ok(events)
@@ -868,12 +948,23 @@ impl StreamEngine {
         }
         let _apply = obs::span!("engine.apply_ns");
         obs::counter!("engine.ops").add(rows.len() as u64);
+        self.prime_rules(&rows);
         let mut events = Vec::new();
         for row in rows {
             events.extend(self.push_id_row(row).expect("arity pre-validated"));
         }
         obs::counter!("engine.events").add(events.len() as u64);
         Ok(events)
+    }
+
+    /// Batch-classify: prime every rule's per-distinct-value caches over
+    /// a batch's insert rows in one pass, ahead of the per-row loop (see
+    /// [`RuleState::prime_batch`] — count-neutral by construction).
+    fn prime_rules(&mut self, rows: &[Vec<ValueId>]) {
+        let refs: Vec<&[ValueId]> = rows.iter().map(Vec::as_slice).collect();
+        for rule in &mut self.rules {
+            rule.prime_batch(&refs);
+        }
     }
 
     /// Replay an existing table's *live* rows in row order (the table's
@@ -998,6 +1089,19 @@ impl StreamEngine {
         }
         let _apply = obs::span!("engine.apply_ns");
         obs::counter!("engine.ops").add(ops.len() as u64);
+        // Batch-classify over the insert/update rows before any op
+        // executes (the per-op path below re-interns each cell, which is
+        // a pool hash hit once this pass has interned it).
+        let arriving: Vec<Vec<ValueId>> = ops
+            .iter()
+            .filter_map(|op| match op {
+                RowOp::Insert(cells) | RowOp::Update(_, cells) => {
+                    Some(ValuePool::intern_value_batch(cells))
+                }
+                RowOp::Delete(_) => None,
+            })
+            .collect();
+        self.prime_rules(&arriving);
         let mut events = Vec::new();
         for op in ops {
             // Inner variants: the whole batch addresses one id space, so

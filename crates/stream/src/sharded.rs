@@ -201,6 +201,19 @@ impl Worker {
     }
 
     fn process_batch(&mut self, ops: &[IdOp]) -> Vec<OpOutcome> {
+        // Batch-classify each owned rule's caches over the batch's
+        // insert/update rows before any per-row work (count-neutral; see
+        // `RuleState::prime_batch`).
+        let arriving: Vec<&[ValueId]> = ops
+            .iter()
+            .filter_map(|op| match op {
+                IdOp::Insert(cells) | IdOp::Update(_, cells) => Some(cells.as_slice()),
+                IdOp::Delete(_) => None,
+            })
+            .collect();
+        for (_, state) in &mut self.rules {
+            state.prime_batch(&arriving);
+        }
         ops.iter()
             .map(|op| {
                 let mut outcome = OpOutcome::default();
@@ -349,7 +362,12 @@ impl ShardedEngine {
                     .iter()
                     .enumerate()
                     .filter(|(rule, _)| assignment[*rule] == shard)
-                    .map(|(rule, pfd)| (rule, RuleState::seed(pfd.clone(), &schema)))
+                    .map(|(rule, pfd)| {
+                        (
+                            rule,
+                            RuleState::seed(pfd.clone(), &schema, config.use_compiled),
+                        )
+                    })
                     .collect();
                 // Per-shard metric instances; the registered handles are
                 // `&'static`, so they cross the thread boundary freely.

@@ -548,6 +548,76 @@ fn instrumented_run_is_bit_for_bit_identical() {
     );
 }
 
+#[test]
+fn interpreted_mode_is_bit_for_bit_identical() {
+    // The compiled-bytecode contract: `use_compiled` changes only the
+    // machinery memo misses evaluate on (bytecode VM vs AST
+    // interpreter), never anything observable — event streams, ledger,
+    // health, drift — and not even the eval/lookup counters, because
+    // batch priming is count-neutral by construction.
+    let config = GenConfig {
+        rows: 180,
+        seed: 0xC0DE,
+        error_rate: 0.05,
+    };
+    for (table, context) in [
+        (
+            zipcity::generate(&config, zipcity::ZipTarget::City).table,
+            "zipcity",
+        ),
+        (names::generate(&config).table, "names"),
+    ] {
+        let rules = discover(&table, &discovery_config());
+        let ops = random_ops(&table, 51, 0.2);
+        let op_batches = batches(&ops, &[1, 11, 40]);
+        let interp_cfg = StreamConfig {
+            use_compiled: false,
+            ..StreamConfig::default()
+        };
+        let mut compiled = StreamEngine::with_config(
+            table.schema().clone(),
+            rules.clone(),
+            StreamConfig::default(),
+        );
+        let mut interp =
+            StreamEngine::with_config(table.schema().clone(), rules.clone(), interp_cfg);
+        let mut sharded_interp = ShardedEngine::with_config(
+            table.schema().clone(),
+            rules.clone(),
+            StreamConfig {
+                shards: 2,
+                ..interp_cfg
+            },
+        );
+        for (k, batch) in op_batches.iter().enumerate() {
+            let a = compiled.apply(batch.clone()).expect("ops are valid");
+            let b = interp.apply(batch.clone()).expect("ops are valid");
+            let c = sharded_interp.apply(batch.clone()).expect("ops are valid");
+            assert_eq!(a, b, "event stream diverged on {context} (batch {k})");
+            assert_eq!(
+                a, c,
+                "sharded interpreted stream diverged on {context} (batch {k})"
+            );
+        }
+        assert_eq!(compiled.ledger().snapshot(), interp.ledger().snapshot());
+        assert_eq!(
+            compiled.pattern_evals(),
+            interp.pattern_evals(),
+            "batch priming must be eval-count-neutral on {context}"
+        );
+        assert_eq!(
+            compiled.pattern_lookups(),
+            interp.pattern_lookups(),
+            "priming is not a lookup — per-row probe counts must agree on {context}"
+        );
+        assert_eq!(sharded_interp.pattern_evals(), interp.pattern_evals());
+        for rule in 0..rules.len() {
+            assert_eq!(compiled.rule_health(rule), interp.rule_health(rule));
+        }
+        assert_eq!(compiled.drift_report(), interp.drift_report());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases(4)))]
 

@@ -310,6 +310,17 @@ impl ValuePool {
         ValuePool::intern_all(&fields)
     }
 
+    /// Intern a record of nullable borrowed fields with one read-lock
+    /// acquisition — the borrowed-ingest fast path. `None` fields are
+    /// null cells and map to [`ValueId::NULL`] without touching the
+    /// pool; `Some` fields are interned exactly as [`ValuePool::intern`]
+    /// would, so no owned `Value` (or `String`) is ever required between
+    /// the CSV buffer and the id columns.
+    #[must_use]
+    pub fn intern_opt_batch(fields: &[Option<&str>]) -> Vec<ValueId> {
+        ValuePool::intern_all(fields)
+    }
+
     /// Batch-intern core: one read pass for the hits, then (only if
     /// needed) one write pass for the misses. `None` fields are null
     /// cells.

@@ -102,35 +102,30 @@ pub fn for_each_prefix(s: &str, max_len: usize, mut f: impl FnMut(&str, usize)) 
 /// UTF-8 input.
 #[must_use]
 pub fn tokenize(s: &str) -> Vec<Token> {
+    // One pass via the borrowed visitor; only the kept tokens allocate.
+    // `for_each_token` reports byte starts implicitly (it slices), so
+    // recover the *character* offset incrementally: count chars from the
+    // previous token's end to this token's start.
     let mut out = Vec::new();
-    let mut current = String::new();
-    let mut start = 0usize;
-    let mut index = 0usize;
-    for (ci, c) in s.chars().enumerate() {
-        if c.is_whitespace() {
-            if !current.is_empty() {
-                out.push(Token {
-                    text: std::mem::take(&mut current),
-                    index,
-                    char_start: start,
-                });
-                index += 1;
-            }
-        } else {
-            if current.is_empty() {
-                start = ci;
-            }
-            current.push(c);
-        }
-    }
-    if !current.is_empty() {
+    let mut scanned_bytes = 0usize;
+    let mut scanned_chars = 0usize;
+    for_each_token(s, |tok, index| {
+        let start_byte = offset_of(s, tok);
+        scanned_chars += s[scanned_bytes..start_byte].chars().count();
         out.push(Token {
-            text: current,
+            text: tok.to_string(),
             index,
-            char_start: start,
+            char_start: scanned_chars,
         });
-    }
+        scanned_chars += tok.chars().count();
+        scanned_bytes = start_byte + tok.len();
+    });
     out
+}
+
+/// Byte offset of a subslice within its parent string.
+fn offset_of(parent: &str, sub: &str) -> usize {
+    (sub.as_ptr() as usize) - (parent.as_ptr() as usize)
 }
 
 /// All character n-grams of length `n`.
@@ -140,22 +135,16 @@ pub fn tokenize(s: &str) -> Vec<Token> {
 /// string or `n == 0`.
 #[must_use]
 pub fn ngrams(s: &str, n: usize) -> Vec<NGram> {
-    if n == 0 || s.is_empty() {
-        return Vec::new();
-    }
-    let chars: Vec<char> = s.chars().collect();
-    if chars.len() < n {
-        return vec![NGram {
-            text: s.to_string(),
-            char_start: 0,
-        }];
-    }
-    (0..=chars.len() - n)
-        .map(|i| NGram {
-            text: chars[i..i + n].iter().collect(),
-            char_start: i,
-        })
-        .collect()
+    // Delegates to the borrowed visitor — no intermediate `Vec<char>`;
+    // each gram is sliced by byte offset and owned only on output.
+    let mut out = Vec::new();
+    for_each_ngram(s, n, |gram, char_start| {
+        out.push(NGram {
+            text: gram.to_string(),
+            char_start,
+        });
+    });
+    out
 }
 
 /// All prefixes of the string up to length `max_len` (inclusive), with
@@ -163,13 +152,16 @@ pub fn ngrams(s: &str, n: usize) -> Vec<NGram> {
 /// `900` of `90001` or the `F-` of `F-9-107`.
 #[must_use]
 pub fn prefixes(s: &str, max_len: usize) -> Vec<NGram> {
-    let chars: Vec<char> = s.chars().collect();
-    (1..=chars.len().min(max_len))
-        .map(|len| NGram {
-            text: chars[..len].iter().collect(),
-            char_start: 0,
-        })
-        .collect()
+    // Delegates to the borrowed visitor — prefixes are byte slices of
+    // `s`, owned only on output.
+    let mut out = Vec::new();
+    for_each_prefix(s, max_len, |prefix, char_start| {
+        out.push(NGram {
+            text: prefix.to_string(),
+            char_start,
+        });
+    });
+    out
 }
 
 #[cfg(test)]

@@ -75,7 +75,11 @@ fn usage() -> String {
      \x20                [--shards N] [--ops FILE] [--confirmed-only] [--quiet]\n\
      \x20                [--demote-drifted] [--violations F] [--min-support N]\n\
      \x20                [--compact-ratio R] [--stats-every N] [--metrics-out FILE]\n\
-     \x20                (drift thresholds: pass the values the rules were\n\
+     \x20                [--interpret]\n\
+     \x20                (--interpret disables the compiled pattern VM and\n\
+     \x20                runs rules through the AST interpreter — the\n\
+     \x20                measured baseline; output is bit-for-bit identical;\n\
+     \x20                drift thresholds: pass the values the rules were\n\
      \x20                discovered with; --shards N > 1 spreads rule state\n\
      \x20                over N worker threads, same output bit-for-bit;\n\
      \x20                --compact-ratio R reclaims tombstoned slots once\n\
@@ -430,9 +434,11 @@ fn print_stats_line(engine: &AnyEngine, started: Instant, timing: bool) {
     let live = snap.gauge("table.live").unwrap_or(0);
     let violations = snap.gauge("ledger.live").unwrap_or(0);
     let pool = snap.gauge("pool.bytes").unwrap_or(0);
+    let vm_evals = snap.counter("pattern.vm_evals").unwrap_or(0);
+    let interp_evals = snap.counter("pattern.interp_evals").unwrap_or(0);
     let mut line = format!(
         "stats: {slots} slot(s) ({live} live), {violations} live violation(s), \
-         pool {pool} byte(s)"
+         pool {pool} byte(s), pattern evals {vm_evals} vm / {interp_evals} interp"
     );
     if timing {
         let secs = started.elapsed().as_secs_f64();
@@ -452,6 +458,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let confirmed_only = take_switch(&mut args, "--confirmed-only");
     let quiet = take_switch(&mut args, "--quiet");
     let demote_drifted = take_switch(&mut args, "--demote-drifted");
+    let interpret = take_switch(&mut args, "--interpret");
     let metrics_out = take_flag(&mut args, "--metrics-out");
     let stats_every: Option<usize> = match take_flag(&mut args, "--stats-every") {
         Some(n) => Some(
@@ -472,7 +479,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     };
     // Drift thresholds: pass the values the rules were discovered with
     // (mirrors `discover`'s flags); defaults match StreamConfig.
-    let mut stream_config = StreamConfig::default();
+    let mut stream_config = StreamConfig {
+        use_compiled: !interpret,
+        ..StreamConfig::default()
+    };
     if let Some(v) = take_flag(&mut args, "--violations") {
         stream_config.max_violation_ratio =
             v.parse().map_err(|_| format!("bad --violations `{v}`"))?;
