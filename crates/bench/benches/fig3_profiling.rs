@@ -7,15 +7,19 @@
 //! at fixed row count): with dictionary-encoded interning, per-row work
 //! in profiling and streaming detection collapses onto per-distinct-value
 //! work, so throughput should rise super-linearly as the ratio drops.
-//! The seed (pre-interning) code paid string hashing and pattern
-//! matching per row at every ratio — this sweep is where that win shows
-//! up in the bench trajectory.
+//! The per-distinct cost itself is measured across all three pattern
+//! execution tiers — AST interpreter, bytecode VM, fused single-pass
+//! matcher — and a *field-length* sweep (8/64/512-byte fields) isolates
+//! the SWAR class-scan kernel against its byte-at-a-time scalar twin.
 
 use anmat_bench::criterion;
 use anmat_core::{report, PatternTuple, Pfd};
 use anmat_datagen::{names, phone, zipcity};
 use anmat_obs as obs;
-use anmat_pattern::{match_pattern, CompiledConstrained, CompiledPattern, ConstrainedPattern};
+use anmat_pattern::{
+    scan, AsciiSet, CompiledConstrained, CompiledPattern, ConstrainedPattern, PatternEngine,
+    SymbolClass,
+};
 use anmat_stream::{StreamConfig, StreamEngine};
 use anmat_table::{Schema, Table, TableProfile};
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
@@ -69,44 +73,36 @@ fn distinct_lhs(rows: usize, ratio: f64) -> Vec<String> {
 
 /// ns per distinct value for the per-distinct work the memoized engines
 /// actually do once per new value: one constant-pattern match plus one
-/// blocking-key derivation. `compiled` selects the bytecode VM or the
-/// AST interpreter — the ratio of the two figures is the tentpole's
-/// headline number.
-fn eval_ns_per_distinct(values: &[String], compiled: bool) -> f64 {
+/// blocking-key derivation, evaluated on the requested execution tier.
+/// The interp/vm/fused ratios are the tentpole's headline numbers.
+fn eval_ns_per_distinct(values: &[String], engine: PatternEngine) -> f64 {
     let pattern = "9000\\D".parse().expect("pattern");
     let keyer: ConstrainedPattern = "[\\D{3}]\\D{2}".parse().expect("q");
-    // Enough repetitions that the fast mode still accumulates a
+    let cp = CompiledPattern::compile(&pattern);
+    let cq = CompiledConstrained::compile(&keyer);
+    assert!(
+        cp.is_fused() && cq.program().is_fused(),
+        "sweep patterns are fixed-width and must take the fused tier"
+    );
+    let mut key_buf = String::new();
+    // Enough repetitions that the fast tiers still accumulate a
     // wall-clock signal well above timer noise.
     let reps = (500_000 / values.len()).max(1);
     let total = (reps * values.len()) as f64;
-    if compiled {
-        let cp = CompiledPattern::compile(&pattern);
-        let cq = CompiledConstrained::compile(&keyer);
-        let mut key_buf = String::new();
-        let start = Instant::now();
-        for _ in 0..reps {
-            for v in values {
-                black_box(cp.matches(v));
-                black_box(cq.key_into(v, &mut key_buf));
-            }
+    let start = Instant::now();
+    for _ in 0..reps {
+        for v in values {
+            black_box(cp.matches_with(v, engine));
+            black_box(cq.key_into_with(v, &mut key_buf, engine));
         }
-        start.elapsed().as_secs_f64() * 1e9 / total
-    } else {
-        let start = Instant::now();
-        for _ in 0..reps {
-            for v in values {
-                black_box(match_pattern(&pattern, v));
-                black_box(keyer.key(v));
-            }
-        }
-        start.elapsed().as_secs_f64() * 1e9 / total
     }
+    start.elapsed().as_secs_f64() * 1e9 / total
 }
 
 /// One timed full replay; returns (rows/s, pattern_evals).
-fn ingest_rate(table: &Table, rules: &[Pfd], use_compiled: bool) -> (f64, usize) {
+fn ingest_rate(table: &Table, rules: &[Pfd], engine: PatternEngine) -> (f64, usize) {
     let config = StreamConfig {
-        use_compiled,
+        pattern_engine: engine,
         ..StreamConfig::default()
     };
     let mut engine = StreamEngine::with_config(table.schema().clone(), rules.to_vec(), config);
@@ -117,12 +113,60 @@ fn ingest_rate(table: &Table, rules: &[Pfd], use_compiled: bool) -> (f64, usize)
     (rate, engine.pattern_evals())
 }
 
+/// Per-field ns for an unbounded digit-run (`\D{1,}`) match on
+/// `len`-byte fields, per execution tier. The run scan *is* the whole
+/// field here, so this isolates the `AtLeast` scan loop the SWAR kernel
+/// accelerates.
+fn long_field_eval_ns(len: usize, engine: PatternEngine) -> f64 {
+    let pattern = "\\D{1,}".parse().expect("pattern");
+    let cp = CompiledPattern::compile(&pattern);
+    let field = "7".repeat(len);
+    let reps = (40_000_000 / len).max(1_000);
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(cp.matches_with(black_box(&field), engine));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / reps as f64
+}
+
+/// Raw scan-kernel ns per `len`-byte field: the SWAR 8-bytes-per-step
+/// word loop vs the byte-at-a-time scalar loop, on the same digit set.
+fn scan_kernel_ns(len: usize) -> (f64, f64) {
+    let set = AsciiSet::of_class(SymbolClass::Digit);
+    let field = "7".repeat(len);
+    let bytes = field.as_bytes();
+    let reps = (80_000_000 / len).max(1_000);
+    let swar = {
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(scan::run_len(&set, black_box(bytes), 0, len));
+        }
+        start.elapsed().as_secs_f64() * 1e9 / reps as f64
+    };
+    let scalar = {
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(scan::run_len_scalar(&set, black_box(bytes), 0, len));
+        }
+        start.elapsed().as_secs_f64() * 1e9 / reps as f64
+    };
+    (swar, scalar)
+}
+
+const TIERS: [PatternEngine; 3] = [
+    PatternEngine::Interp,
+    PatternEngine::Vm,
+    PatternEngine::Fused,
+];
+
 /// The machine-readable artifact (mirrors `BENCH_fig6.json`): for each
-/// distinct-ratio point, interpreted-vs-compiled ingest rows/s and
-/// per-distinct eval ns, plus the end-of-run metrics registry of a
-/// compiled replay (which carries `pattern.vm_evals` /
-/// `pattern.interp_evals` / `pattern.compile_ns`).
-fn write_fig3_json(rows: usize, sweep: &[SweepPoint]) {
+/// distinct-ratio point, per-tier ingest rows/s and per-distinct eval
+/// ns; for each field length, per-tier `AtLeast`-scan eval ns plus the
+/// raw SWAR-vs-scalar kernel figures; and the end-of-run metrics
+/// registry of a default-engine replay (which carries
+/// `pattern.fused_evals` / `pattern.vm_evals` / `pattern.interp_evals`
+/// / `pattern.compile_ns`).
+fn write_fig3_json(rows: usize, sweep: &[SweepPoint], fields: &[FieldPoint]) {
     obs::Recorder::enable();
     let table = distinct_ratio_table(rows, 0.10);
     let rules = sweep_rules();
@@ -138,24 +182,51 @@ fn write_fig3_json(rows: usize, sweep: &[SweepPoint]) {
         }
         points.push_str(&format!(
             "    {{\n      \"pct_distinct\": {},\n      \"distinct\": {},\n      \
-             \"pattern_evals\": {},\n      \"interpreted\": {{\n        \
+             \"pattern_evals\": {},\n      \"interp\": {{\n        \
              \"ingest_rows_per_sec\": {:.0},\n        \"eval_ns_per_distinct\": {:.1}\n      \
-             }},\n      \"compiled\": {{\n        \"ingest_rows_per_sec\": {:.0},\n        \
+             }},\n      \"vm\": {{\n        \"ingest_rows_per_sec\": {:.0},\n        \
              \"eval_ns_per_distinct\": {:.1}\n      }},\n      \
-             \"eval_speedup\": {:.2},\n      \"ingest_speedup\": {:.2}\n    }}",
+             \"fused\": {{\n        \"ingest_rows_per_sec\": {:.0},\n        \
+             \"eval_ns_per_distinct\": {:.1}\n      }},\n      \
+             \"fused_vs_vm_eval_speedup\": {:.2},\n      \
+             \"fused_vs_interp_eval_speedup\": {:.2},\n      \
+             \"fused_ingest_speedup\": {:.2}\n    }}",
             p.pct,
             p.distinct,
             p.pattern_evals,
-            p.interp_rows_per_sec,
-            p.interp_eval_ns,
-            p.compiled_rows_per_sec,
-            p.compiled_eval_ns,
-            p.interp_eval_ns / p.compiled_eval_ns,
-            p.compiled_rows_per_sec / p.interp_rows_per_sec,
+            p.rows_per_sec[0],
+            p.eval_ns[0],
+            p.rows_per_sec[1],
+            p.eval_ns[1],
+            p.rows_per_sec[2],
+            p.eval_ns[2],
+            p.eval_ns[1] / p.eval_ns[2],
+            p.eval_ns[0] / p.eval_ns[2],
+            p.rows_per_sec[2] / p.rows_per_sec[0],
+        ));
+    }
+    let mut field_points = String::new();
+    for f in fields {
+        if !field_points.is_empty() {
+            field_points.push_str(",\n");
+        }
+        field_points.push_str(&format!(
+            "    {{\n      \"field_bytes\": {},\n      \
+             \"eval_ns\": {{ \"interp\": {:.1}, \"vm\": {:.1}, \"fused\": {:.1} }},\n      \
+             \"scan_kernel_ns\": {{ \"swar\": {:.1}, \"scalar\": {:.1} }},\n      \
+             \"swar_speedup\": {:.2}\n    }}",
+            f.len,
+            f.eval_ns[0],
+            f.eval_ns[1],
+            f.eval_ns[2],
+            f.swar_ns,
+            f.scalar_ns,
+            f.scalar_ns / f.swar_ns,
         ));
     }
     let json = format!(
-        "{{\n  \"rows\": {rows},\n  \"sweep\": [\n{points}\n  ],\n  \"metrics\": {}\n}}\n",
+        "{{\n  \"rows\": {rows},\n  \"sweep\": [\n{points}\n  ],\n  \
+         \"field_len_sweep\": [\n{field_points}\n  ],\n  \"metrics\": {}\n}}\n",
         snapshot.to_json()
     );
     // Anchor the artifact at the workspace root regardless of the cwd
@@ -169,10 +240,44 @@ struct SweepPoint {
     pct: usize,
     distinct: usize,
     pattern_evals: usize,
-    interp_rows_per_sec: f64,
-    compiled_rows_per_sec: f64,
-    interp_eval_ns: f64,
-    compiled_eval_ns: f64,
+    /// Indexed like [`TIERS`]: interp, vm, fused.
+    rows_per_sec: [f64; 3],
+    eval_ns: [f64; 3],
+}
+
+struct FieldPoint {
+    len: usize,
+    /// Indexed like [`TIERS`]: interp, vm, fused.
+    eval_ns: [f64; 3],
+    swar_ns: f64,
+    scalar_ns: f64,
+}
+
+fn bench_field_len_sweep() -> Vec<FieldPoint> {
+    let mut out = Vec::new();
+    for &len in &[8usize, 64, 512] {
+        let mut eval_ns = [0.0f64; 3];
+        for (i, &tier) in TIERS.iter().enumerate() {
+            eval_ns[i] = long_field_eval_ns(len, tier);
+        }
+        let (swar_ns, scalar_ns) = scan_kernel_ns(len);
+        println!(
+            "── fig3 field-length artifact: {len:>3}-byte `\\D{{1,}}` field ──\n  \
+             per-field eval : {:>7.1} ns interp / {:>6.1} ns vm / {:>6.1} ns fused\n  \
+             raw scan kernel: {swar_ns:>7.1} ns swar vs {scalar_ns:>6.1} ns scalar ({:.2}×)",
+            eval_ns[0],
+            eval_ns[1],
+            eval_ns[2],
+            scalar_ns / swar_ns,
+        );
+        out.push(FieldPoint {
+            len,
+            eval_ns,
+            swar_ns,
+            scalar_ns,
+        });
+    }
+    out
 }
 
 fn bench_distinct_ratio_sweep(c: &mut Criterion) {
@@ -186,38 +291,48 @@ fn bench_distinct_ratio_sweep(c: &mut Criterion) {
         let rules = sweep_rules();
         // Artifact: the memoization bound in action — pattern evaluations
         // per ingest stay at (tuples × distinct), not (tuples × rows) —
-        // plus the per-distinct cost itself, interpreted vs compiled.
+        // plus the per-distinct cost itself across all three tiers.
         let values = distinct_lhs(ROWS, ratio);
-        let interp_eval_ns = eval_ns_per_distinct(&values, false);
-        let compiled_eval_ns = eval_ns_per_distinct(&values, true);
-        let (interp_rate, interp_evals) = ingest_rate(&table, &rules, false);
-        let (compiled_rate, compiled_evals) = ingest_rate(&table, &rules, true);
-        assert_eq!(
-            compiled_evals, interp_evals,
-            "compiled mode must not change the eval count"
+        let mut eval_ns = [0.0f64; 3];
+        let mut rows_per_sec = [0.0f64; 3];
+        let mut evals = [0usize; 3];
+        for (i, &tier) in TIERS.iter().enumerate() {
+            eval_ns[i] = eval_ns_per_distinct(&values, tier);
+            let (rate, n) = ingest_rate(&table, &rules, tier);
+            rows_per_sec[i] = rate;
+            evals[i] = n;
+        }
+        assert!(
+            evals[1] == evals[0] && evals[2] == evals[0],
+            "execution tier must not change the eval count"
         );
         println!(
-            "── fig3 sweep artifact: {pct}% distinct → {interp_evals} pattern evals for \
-             {ROWS} rows ──"
+            "── fig3 sweep artifact: {pct}% distinct → {} pattern evals for {ROWS} rows ──",
+            evals[0]
         );
         println!(
-            "  per-distinct eval: {interp_eval_ns:>7.1} ns interpreted vs \
-             {compiled_eval_ns:>7.1} ns compiled ({:.2}×)",
-            interp_eval_ns / compiled_eval_ns
+            "  per-distinct eval: {:>7.1} ns interp / {:>6.1} ns vm / {:>6.1} ns fused \
+             (fused {:.2}× over vm, {:.2}× over interp)",
+            eval_ns[0],
+            eval_ns[1],
+            eval_ns[2],
+            eval_ns[1] / eval_ns[2],
+            eval_ns[0] / eval_ns[2],
         );
         println!(
-            "  full ingest      : {interp_rate:>7.0} rows/s interpreted vs \
-             {compiled_rate:>7.0} rows/s compiled ({:.2}×)",
-            compiled_rate / interp_rate
+            "  full ingest      : {:>7.0} rows/s interp / {:>7.0} rows/s vm / \
+             {:>7.0} rows/s fused ({:.2}×)",
+            rows_per_sec[0],
+            rows_per_sec[1],
+            rows_per_sec[2],
+            rows_per_sec[2] / rows_per_sec[0],
         );
         sweep.push(SweepPoint {
             pct,
             distinct: values.len(),
-            pattern_evals: interp_evals,
-            interp_rows_per_sec: interp_rate,
-            compiled_rows_per_sec: compiled_rate,
-            interp_eval_ns,
-            compiled_eval_ns,
+            pattern_evals: evals[0],
+            rows_per_sec,
+            eval_ns,
         });
         g.bench_with_input(BenchmarkId::new("profile", pct), &table, |b, t| {
             b.iter(|| TableProfile::profile(black_box(t)));
@@ -234,14 +349,14 @@ fn bench_distinct_ratio_sweep(c: &mut Criterion) {
             },
         );
         // The interpreter baseline on the identical workload — the
-        // criterion-tracked twin of the artifact's rows/s pair.
+        // criterion-tracked twin of the artifact's rows/s figures.
         g.bench_with_input(
             BenchmarkId::new("stream_ingest_interp", pct),
             &(&table, &rules),
             |b, (t, rules)| {
                 b.iter(|| {
                     let config = StreamConfig {
-                        use_compiled: false,
+                        pattern_engine: PatternEngine::Interp,
                         ..StreamConfig::default()
                     };
                     let mut engine =
@@ -253,7 +368,8 @@ fn bench_distinct_ratio_sweep(c: &mut Criterion) {
         );
     }
     g.finish();
-    write_fig3_json(ROWS, &sweep);
+    let fields = bench_field_len_sweep();
+    write_fig3_json(ROWS, &sweep, &fields);
 }
 
 fn bench(c: &mut Criterion) {

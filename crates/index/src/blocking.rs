@@ -17,10 +17,10 @@
 //! and every map in this module hashes a 4-byte id instead of a string.
 
 use crate::inverted::{sort_rhs_counts, EntryStats};
-use anmat_obs as obs;
-use anmat_pattern::{CompiledConstrained, ConstrainedPattern};
+use anmat_pattern::{CompiledConstrained, ConstrainedPattern, PatternEngine};
 use anmat_table::{RowId, RowIdRemap, Table, ValueId, ValuePool};
 use fxhash::FxHashMap;
+use std::sync::Arc;
 
 /// Rows grouped by constrained-capture key.
 #[derive(Debug)]
@@ -315,14 +315,15 @@ pub enum Placement {
 /// variable detection).
 #[derive(Debug)]
 pub struct BlockingPartition {
-    /// The keyer, pre-compiled to span bytecode; `None` blocks on the
+    /// The keyer, pre-compiled to span bytecode and shared (`Arc`) so
+    /// sharded engines compile each rule once; `None` blocks on the
     /// whole LHS value.
-    keyer: Option<CompiledConstrained>,
-    /// Evaluate cache misses on the span VM (`true`, the default) or on
-    /// the AST interpreter (`false` — the measured baseline for the
-    /// compiled-vs-interpreted comparison). Either way extraction runs at
-    /// most once per distinct LHS value, so `key_evals` is invariant.
-    use_compiled: bool,
+    keyer: Option<Arc<CompiledConstrained>>,
+    /// Which execution tier evaluates cache misses: fused-capable (the
+    /// default), the forced VM, or the AST interpreter (the measured
+    /// baseline). Either way extraction runs at most once per distinct
+    /// LHS value, so `key_evals` is invariant.
+    engine: PatternEngine,
     /// Key-string scratch reused across extractions, so a cache miss
     /// allocates nothing beyond interning a genuinely new key.
     key_buf: String,
@@ -345,22 +346,40 @@ impl BlockingPartition {
     /// the whole LHS value when `q` is `None`.
     #[must_use]
     pub fn new(q: Option<ConstrainedPattern>) -> BlockingPartition {
-        BlockingPartition::with_mode(q, true)
+        BlockingPartition::with_engine(q, PatternEngine::Fused)
     }
 
     /// An empty partition whose cache misses run on the AST interpreter
-    /// instead of the span VM — the measured baseline for the
+    /// instead of the compiled tiers — the measured baseline for the
     /// compiled-vs-interpreted comparison. Behaviour and eval counts are
     /// identical; only the per-extraction cost differs.
     #[must_use]
     pub fn new_interpreted(q: Option<ConstrainedPattern>) -> BlockingPartition {
-        BlockingPartition::with_mode(q, false)
+        BlockingPartition::with_engine(q, PatternEngine::Interp)
     }
 
-    fn with_mode(q: Option<ConstrainedPattern>, use_compiled: bool) -> BlockingPartition {
+    /// An empty partition evaluating cache misses on an explicit
+    /// execution tier (compiling the keyer here).
+    #[must_use]
+    pub fn with_engine(q: Option<ConstrainedPattern>, engine: PatternEngine) -> BlockingPartition {
+        BlockingPartition::with_shared(
+            q.map(|q| Arc::new(CompiledConstrained::compile(&q))),
+            engine,
+        )
+    }
+
+    /// An empty partition over an already-compiled, shared keyer — the
+    /// sharded engines' path, where each rule's keyer is compiled once
+    /// and every replica holds an `Arc` (so `pattern.compile_ns` counts
+    /// one compile regardless of `--shards N`).
+    #[must_use]
+    pub fn with_shared(
+        keyer: Option<Arc<CompiledConstrained>>,
+        engine: PatternEngine,
+    ) -> BlockingPartition {
         BlockingPartition {
-            keyer: q.map(|q| CompiledConstrained::compile(&q)),
-            use_compiled,
+            keyer,
+            engine,
             key_buf: String::new(),
             blocks: FxHashMap::default(),
             unmatched: Vec::new(),
@@ -371,23 +390,17 @@ impl BlockingPartition {
         }
     }
 
-    /// Derive the blocking key for `lhs` — on the span VM or the AST
-    /// interpreter per the partition's mode. Counts one eval either way.
+    /// Derive the blocking key for `lhs` on the partition's execution
+    /// tier. Counts one eval (in the tier's `pattern.*_evals` counter)
+    /// either way.
     fn derive_key(
         q: &CompiledConstrained,
-        use_compiled: bool,
+        engine: PatternEngine,
         key_buf: &mut String,
         lhs: ValueId,
     ) -> Option<ValueId> {
-        if use_compiled {
-            q.key_into(lhs.render(), key_buf)
-                .then(|| ValuePool::intern(key_buf))
-        } else {
-            // Interpreted keyer runs — count it in the same vm/interp
-            // taxonomy `CompiledConstrained::key_into` reports.
-            obs::counter!("pattern.interp_evals").incr();
-            q.source().key(lhs.render()).map(|k| ValuePool::intern(&k))
-        }
+        q.key_into_with(lhs.render(), key_buf, engine)
+            .then(|| ValuePool::intern(key_buf))
     }
 
     /// Insert one row (interned cells). Appends (nondecreasing `RowId`)
@@ -403,7 +416,7 @@ impl BlockingPartition {
                 self.key_lookups += 1;
                 *self.key_cache.entry(lhs).or_insert_with(|| {
                     self.key_evals += 1;
-                    BlockingPartition::derive_key(q, self.use_compiled, &mut self.key_buf, lhs)
+                    BlockingPartition::derive_key(q, self.engine, &mut self.key_buf, lhs)
                 })
             }
             None => Some(lhs),
@@ -437,7 +450,7 @@ impl BlockingPartition {
                 self.key_lookups += 1;
                 *self.key_cache.entry(lhs).or_insert_with(|| {
                     self.key_evals += 1;
-                    BlockingPartition::derive_key(q, self.use_compiled, &mut self.key_buf, lhs)
+                    BlockingPartition::derive_key(q, self.engine, &mut self.key_buf, lhs)
                 })
             }
             None => Some(lhs),
@@ -477,7 +490,7 @@ impl BlockingPartition {
                 continue;
             }
             self.key_evals += 1;
-            let key = BlockingPartition::derive_key(q, self.use_compiled, &mut self.key_buf, lhs);
+            let key = BlockingPartition::derive_key(q, self.engine, &mut self.key_buf, lhs);
             self.key_cache.insert(lhs, key);
         }
     }

@@ -1,4 +1,4 @@
-//! Pattern → bytecode compilation.
+//! Pattern → bytecode compilation and execution-tier selection.
 //!
 //! The AST interpreter in [`crate::matcher`] re-derives everything per
 //! evaluation: it decodes the value into a `Vec<char>`, consults the
@@ -10,32 +10,101 @@
 //! * each element becomes one flat [`Op`] (literal byte / exact class
 //!   count / unbounded at-least / bounded range), so dispatch is a small
 //!   `match` on a copy-sized struct instead of pointer-chasing the AST;
-//! * each class is precomputed into a 128-bit ASCII membership bitset
-//!   ([`AsciiSet`]), so the per-character test is two shifts and a mask;
-//! * evaluation runs over `&str` **bytes** directly in a non-recursive
-//!   backtracking VM ([`crate::vm`]) — no `Vec<char>` collection, no
-//!   recursion, scratch reused thread-locally.
+//! * each class is precomputed into a [`ClassSet`]: a 128-bit ASCII
+//!   membership bitset ([`AsciiSet`], scanned 8 bytes per step by
+//!   [`crate::scan`]) plus a constant-size *spillover* descriptor that
+//!   resolves codepoints ≥ 128 against lazily built sorted range tables
+//!   — so the compiled tiers are exact on **any** UTF-8 input and the
+//!   AST interpreter is never consulted on the hot path;
+//! * at compile time the program is probed for backtrack-freedom
+//!   (`fuse::plan`): when every op is fixed-width, or exactly
+//!   one op is variable-width (its run length is then forced by the
+//!   input length), the pattern is eligible for the **fused** one-pass
+//!   matcher — no backtrack stack, no visited set, inline span capture;
+//! * everything else runs on the non-recursive backtracking VM
+//!   ([`crate::vm`]) — no `Vec<char>` collection, no recursion, scratch
+//!   reused thread-locally.
 //!
-//! The byte-level fast path is exact only when every input byte is ASCII
-//! (byte index == char index, and the bitsets encode the ASCII slice of
-//! [`SymbolClass::matches`] precisely — including the always-empty set of
-//! a non-ASCII literal). Non-ASCII values route to the AST interpreter;
-//! the split is observable as the `pattern.vm_evals` /
+//! Which tier evaluates a value is picked per call via [`PatternEngine`]:
+//! `Fused` (the default) uses the fused matcher when the pattern proved
+//! fusible and the VM otherwise; `Vm` forces the VM; `Interp` forces the
+//! AST interpreter (the property-tested semantic oracle). The split is
+//! observable as the `pattern.fused_evals` / `pattern.vm_evals` /
 //! `pattern.interp_evals` counters, and compilation time itself lands in
 //! the `pattern.compile_ns` histogram.
 
 use crate::ast::Pattern;
 use crate::constrained::ConstrainedPattern;
+use crate::fuse::{self, FusePlan};
 use crate::matcher::MatchSpans;
+use crate::scan::{self, ScanKind};
 use crate::symbol::SymbolClass;
 use crate::vm;
 use std::cell::RefCell;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// Which execution tier evaluates pattern matches and key extractions.
+///
+/// All three tiers are semantically identical (property-tested); they
+/// differ only in cost. The taxonomy is observable through the
+/// `pattern.fused_evals` / `pattern.vm_evals` / `pattern.interp_evals`
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PatternEngine {
+    /// The AST interpreter — the semantic oracle. Slowest; kept for
+    /// baselines and differential testing.
+    Interp,
+    /// The bytecode VM — non-recursive backtracking over flat ops.
+    Vm,
+    /// Fused-capable (the default): backtrack-free patterns run on the
+    /// single-pass fused matcher, everything else on the VM.
+    #[default]
+    Fused,
+}
+
+impl PatternEngine {
+    /// The CLI spelling (`--pattern-engine {interp,vm,fused}`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternEngine::Interp => "interp",
+            PatternEngine::Vm => "vm",
+            PatternEngine::Fused => "fused",
+        }
+    }
+}
+
+impl fmt::Display for PatternEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PatternEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PatternEngine, String> {
+        match s {
+            "interp" | "interpreter" => Ok(PatternEngine::Interp),
+            "vm" => Ok(PatternEngine::Vm),
+            "fused" => Ok(PatternEngine::Fused),
+            other => Err(format!(
+                "unknown pattern engine {other:?} (expected interp, vm, or fused)"
+            )),
+        }
+    }
+}
 
 /// Precomputed ASCII membership set for one symbol class: bit `b` is set
 /// iff the class matches the character with code point `b` (`b < 128`).
+/// The word-scan shape ([`ScanKind`]) is classified once here so run
+/// scans dispatch without re-inspecting the bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AsciiSet {
     bits: [u64; 2],
+    kind: ScanKind,
 }
 
 impl AsciiSet {
@@ -48,7 +117,8 @@ impl AsciiSet {
                 bits[usize::from(b >> 6)] |= 1u64 << (b & 63);
             }
         }
-        AsciiSet { bits }
+        let kind = scan::classify(&bits);
+        AsciiSet { bits, kind }
     }
 
     /// Does the set contain the (ASCII) byte `b`?
@@ -58,34 +128,200 @@ impl AsciiSet {
         debug_assert!(b < 128);
         (self.bits[usize::from(b >> 6)] >> (b & 63)) & 1 != 0
     }
+
+    /// The set's word-scan shape, precomputed at construction.
+    #[inline]
+    #[must_use]
+    pub fn kind(&self) -> ScanKind {
+        self.kind
+    }
+}
+
+/// How a class behaves on codepoints ≥ 128 — the constant-size
+/// spillover descriptor that extends each [`AsciiSet`] to full UTF-8.
+///
+/// Only `Upper` / `Lower` need real tables (`\D` is ASCII-only in the
+/// generalization tree, and `\S` is exactly "neither upper nor lower"
+/// beyond ASCII — see [`SymbolClass::class_of`]); those tables are
+/// sorted `(lo, hi)` codepoint ranges built lazily at first use by one
+/// sweep of `SymbolClass::matches` over the supplementary planes, so
+/// the spillover can never drift from the oracle's semantics and
+/// `pattern.compile_ns` stays free of the one-time sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Spill {
+    /// No codepoint ≥ 128 matches (`\D`, ASCII literals).
+    None,
+    /// Every codepoint matches (`\A`).
+    All,
+    /// Exactly this (non-ASCII) literal matches.
+    Char(char),
+    /// Non-ASCII uppercase letters (the `\LU` range table).
+    Upper,
+    /// Non-ASCII lowercase letters (the `\LL` range table).
+    Lower,
+    /// Everything that is neither upper nor lower (`\S` beyond ASCII —
+    /// including non-ASCII digits, which `\D` deliberately excludes).
+    NonAlpha,
+}
+
+/// Sorted non-ASCII codepoint ranges matching `class`, built by one
+/// sweep over `0x80..=0x10FFFF` against the oracle's `matches`.
+fn sweep_ranges(class: SymbolClass) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut start: Option<u32> = None;
+    for cp in 0x80..=0x10FFFF_u32 {
+        let matched = char::from_u32(cp).is_some_and(|c| class.matches(c));
+        match (matched, start) {
+            (true, None) => start = Some(cp),
+            (false, Some(s)) => {
+                ranges.push((s, cp - 1));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        ranges.push((s, 0x10FFFF));
+    }
+    ranges
+}
+
+fn upper_ranges() -> &'static [(u32, u32)] {
+    static RANGES: OnceLock<Vec<(u32, u32)>> = OnceLock::new();
+    RANGES.get_or_init(|| sweep_ranges(SymbolClass::Upper))
+}
+
+fn lower_ranges() -> &'static [(u32, u32)] {
+    static RANGES: OnceLock<Vec<(u32, u32)>> = OnceLock::new();
+    RANGES.get_or_init(|| sweep_ranges(SymbolClass::Lower))
+}
+
+/// Binary-search membership in a sorted, disjoint range table.
+#[inline]
+fn in_ranges(ranges: &[(u32, u32)], cp: u32) -> bool {
+    let i = ranges.partition_point(|&(_, hi)| hi < cp);
+    ranges.get(i).is_some_and(|&(lo, _)| lo <= cp)
+}
+
+/// Full-UTF-8 membership set for one symbol class: the 128-bit ASCII
+/// bitset plus the ≥ 128 spillover. `Copy`, 24 bytes — ops embed it
+/// inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassSet {
+    ascii: AsciiSet,
+    spill: Spill,
+}
+
+impl ClassSet {
+    /// The exact membership set of `class.matches(..)` over all of
+    /// Unicode.
+    #[must_use]
+    pub fn of_class(class: SymbolClass) -> ClassSet {
+        let spill = match class {
+            SymbolClass::Literal(c) if c.is_ascii() => Spill::None,
+            SymbolClass::Literal(c) => Spill::Char(c),
+            SymbolClass::Upper => Spill::Upper,
+            SymbolClass::Lower => Spill::Lower,
+            SymbolClass::Digit => Spill::None,
+            SymbolClass::Symbol => Spill::NonAlpha,
+            SymbolClass::Any => Spill::All,
+        };
+        ClassSet {
+            ascii: AsciiSet::of_class(class),
+            spill,
+        }
+    }
+
+    /// The ASCII half (what the byte-level scans run on).
+    #[inline]
+    #[must_use]
+    pub fn ascii(&self) -> &AsciiSet {
+        &self.ascii
+    }
+
+    /// Does the set contain `c`? Exact for every `char` — ASCII through
+    /// the bitset, the rest through the spillover.
+    #[inline]
+    #[must_use]
+    pub fn contains_char(&self, c: char) -> bool {
+        if c.is_ascii() {
+            return self.ascii.contains(c as u8);
+        }
+        match self.spill {
+            Spill::None => false,
+            Spill::All => true,
+            Spill::Char(l) => c == l,
+            Spill::Upper => in_ranges(upper_ranges(), c as u32),
+            Spill::Lower => in_ranges(lower_ranges(), c as u32),
+            Spill::NonAlpha => {
+                let cp = c as u32;
+                !in_ranges(upper_ranges(), cp) && !in_ranges(lower_ranges(), cp)
+            }
+        }
+    }
+
+    /// Longest run of member *characters* from byte `pos` (a char
+    /// boundary), capped at `limit` chars. Returns `(chars, end byte)`.
+    /// ASCII stretches go through the SWAR scanner; non-ASCII chars are
+    /// decoded one at a time against the spillover.
+    pub(crate) fn run_chars(&self, s: &str, pos: usize, limit: usize) -> (usize, usize) {
+        let bytes = s.as_bytes();
+        let mut chars = 0usize;
+        let mut p = pos;
+        while chars < limit && p < bytes.len() {
+            if bytes[p] < 0x80 {
+                let cap = (limit - chars).min(bytes.len() - p);
+                let k = scan::run_len(&self.ascii, bytes, p, cap);
+                if k == 0 {
+                    break;
+                }
+                chars += k;
+                p += k;
+                // A short run stopped at a mismatch: an ASCII mismatch
+                // ends the run; a high byte hands over to the spillover.
+                if k < cap && bytes[p] < 0x80 {
+                    break;
+                }
+            } else {
+                let c = s[p..].chars().next().expect("pos is a char boundary");
+                if !self.contains_char(c) {
+                    break;
+                }
+                chars += 1;
+                p += c.len_utf8();
+            }
+        }
+        (chars, p)
+    }
 }
 
 /// One bytecode instruction. Each pattern element compiles to exactly one
 /// op; the quantifier's shape picks the variant, so the VM's dispatch
 /// mirrors what the element can actually do (fixed ops never backtrack,
-/// variable ops carry their repetition interval inline).
+/// variable ops carry their repetition interval inline). Repetition
+/// counts are **characters** (= bytes only on ASCII input).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Exactly one occurrence of one ASCII byte — the literal fast path.
     Byte(u8),
     /// Exactly `n` occurrences of the class (`One` / `Exactly`).
     Exact {
-        /// ASCII membership set of the element's class.
-        set: AsciiSet,
+        /// Membership set of the element's class.
+        set: ClassSet,
         /// Required repetition count.
         n: u32,
     },
     /// `min` or more occurrences, unbounded (`Star` / `Plus` / `AtLeast`).
     AtLeast {
-        /// ASCII membership set of the element's class.
-        set: AsciiSet,
+        /// Membership set of the element's class.
+        set: ClassSet,
         /// Minimum repetition count (0 for `Star`).
         min: u32,
     },
     /// Between `min` and `max` occurrences inclusive (`Range`).
     Range {
-        /// ASCII membership set of the element's class.
-        set: AsciiSet,
+        /// Membership set of the element's class.
+        set: ClassSet,
         /// Minimum repetition count.
         min: u32,
         /// Maximum repetition count.
@@ -105,15 +341,25 @@ impl Op {
             Op::Range { min, max, .. } => (min, Some(max)),
         }
     }
+
+    /// Is the op's width determined (`min == max`)?
+    #[inline]
+    #[must_use]
+    pub fn is_fixed(&self) -> bool {
+        let (min, max) = self.interval();
+        max == Some(min)
+    }
 }
 
-/// A [`Pattern`] compiled to flat bytecode, with the source AST retained
-/// for the non-ASCII interpreter fallback.
+/// A [`Pattern`] compiled to flat bytecode, with the fused-tier plan
+/// probed up front and the source AST retained for the `Interp` oracle
+/// tier.
 #[derive(Debug, Clone)]
 pub struct CompiledPattern {
     ops: Vec<Op>,
     min_len: usize,
     max_len: Option<usize>,
+    fused: Option<FusePlan>,
     source: Pattern,
 }
 
@@ -124,7 +370,7 @@ impl CompiledPattern {
     #[must_use]
     pub fn compile(pattern: &Pattern) -> CompiledPattern {
         let _span = anmat_obs::span!("pattern.compile_ns");
-        let ops = pattern
+        let ops: Vec<Op> = pattern
             .elements()
             .iter()
             .map(|e| {
@@ -132,25 +378,27 @@ impl CompiledPattern {
                 match (e.class, min, max) {
                     (SymbolClass::Literal(c), 1, Some(1)) if c.is_ascii() => Op::Byte(c as u8),
                     (class, min, Some(max)) if min == max => Op::Exact {
-                        set: AsciiSet::of_class(class),
+                        set: ClassSet::of_class(class),
                         n: min,
                     },
                     (class, min, None) => Op::AtLeast {
-                        set: AsciiSet::of_class(class),
+                        set: ClassSet::of_class(class),
                         min,
                     },
                     (class, min, Some(max)) => Op::Range {
-                        set: AsciiSet::of_class(class),
+                        set: ClassSet::of_class(class),
                         min,
                         max,
                     },
                 }
             })
             .collect();
+        let fused = fuse::plan(&ops);
         CompiledPattern {
             ops,
             min_len: pattern.min_len(),
             max_len: pattern.max_len(),
+            fused,
             source: pattern.clone(),
         }
     }
@@ -167,75 +415,140 @@ impl CompiledPattern {
         &self.source
     }
 
-    /// Can the VM evaluate `s`, or must the interpreter take over?
-    #[inline]
-    fn vm_eligible(s: &str) -> bool {
-        // Byte positions equal char positions only for pure-ASCII input;
-        // the u32 frame fields additionally cap the value length (cell
-        // values are nowhere near 4 GiB — this guards correctness, not a
-        // real workload).
-        s.is_ascii() && s.len() < u32::MAX as usize
+    /// Did compilation prove the pattern backtrack-free (so the `Fused`
+    /// engine runs it on the single-pass matcher)?
+    #[must_use]
+    pub fn is_fused(&self) -> bool {
+        self.fused.is_some()
     }
 
     /// Does `s` match the pattern? (Anchored; identical to
-    /// [`Pattern::matches`].)
+    /// [`Pattern::matches`].) Runs on the default fused-capable tier.
     #[must_use]
     pub fn matches(&self, s: &str) -> bool {
-        if Self::vm_eligible(s) {
-            anmat_obs::counter!("pattern.vm_evals").incr();
-            self.matches_ascii(s.as_bytes())
-        } else {
-            anmat_obs::counter!("pattern.interp_evals").incr();
-            crate::matcher::match_pattern(&self.source, s)
-        }
+        self.matches_with(s, PatternEngine::Fused)
     }
 
-    /// VM boolean match over known-ASCII bytes (screens included).
-    #[inline]
-    fn matches_ascii(&self, bytes: &[u8]) -> bool {
-        let n = bytes.len();
-        if n < self.min_len {
-            return false;
-        }
-        if let Some(max) = self.max_len {
-            if n > max {
-                return false;
+    /// [`CompiledPattern::matches`] on an explicit tier. Exactly one
+    /// `pattern.{fused,vm,interp}_evals` counter ticks per call.
+    #[must_use]
+    pub fn matches_with(&self, s: &str, engine: PatternEngine) -> bool {
+        match self.pick(s, engine) {
+            PatternEngine::Interp => {
+                anmat_obs::counter!("pattern.interp_evals").incr();
+                crate::matcher::match_pattern(&self.source, s)
+            }
+            PatternEngine::Vm => {
+                anmat_obs::counter!("pattern.vm_evals").incr();
+                self.exec(s, None, false)
+            }
+            PatternEngine::Fused => {
+                anmat_obs::counter!("pattern.fused_evals").incr();
+                self.exec(s, None, true)
             }
         }
-        vm::run(&self.ops, bytes, None)
     }
 
     /// Match and recover per-element spans under leftmost-greedy
     /// semantics — identical to [`crate::matcher::match_spans`]
-    /// (character indices; for the ASCII fast path these coincide with
-    /// byte indices).
+    /// (**character** indices on every tier and every input).
     #[must_use]
     pub fn spans(&self, s: &str) -> Option<MatchSpans> {
-        if Self::vm_eligible(s) {
-            anmat_obs::counter!("pattern.vm_evals").incr();
-            let mut spans = Vec::new();
-            self.spans_ascii(s.as_bytes(), &mut spans)
-                .then_some(MatchSpans { spans })
-        } else {
-            anmat_obs::counter!("pattern.interp_evals").incr();
-            crate::matcher::match_spans(&self.source, s)
+        self.spans_with(s, PatternEngine::Fused)
+    }
+
+    /// [`CompiledPattern::spans`] on an explicit tier.
+    #[must_use]
+    pub fn spans_with(&self, s: &str, engine: PatternEngine) -> Option<MatchSpans> {
+        match self.pick(s, engine) {
+            PatternEngine::Interp => {
+                anmat_obs::counter!("pattern.interp_evals").incr();
+                crate::matcher::match_spans(&self.source, s)
+            }
+            tier => {
+                let fused = tier == PatternEngine::Fused;
+                anmat_obs::counter!(if fused {
+                    "pattern.fused_evals"
+                } else {
+                    "pattern.vm_evals"
+                })
+                .incr();
+                let mut spans = Vec::new();
+                self.exec(s, Some(&mut spans), fused).then(|| MatchSpans {
+                    spans: byte_spans_to_char(s, spans),
+                })
+            }
         }
     }
 
-    /// VM span match over known-ASCII bytes into a caller buffer.
+    /// Resolve the requested engine to the tier that will actually run:
+    /// `Fused` degrades to `Vm` for non-fusible programs, and inputs the
+    /// u32 frame fields cannot address (≥ 4 GiB — a correctness guard,
+    /// not a workload) take the oracle.
     #[inline]
-    fn spans_ascii(&self, bytes: &[u8], out: &mut Vec<(usize, usize)>) -> bool {
-        let n = bytes.len();
+    fn pick(&self, s: &str, engine: PatternEngine) -> PatternEngine {
+        if engine == PatternEngine::Interp || s.len() >= u32::MAX as usize {
+            return PatternEngine::Interp;
+        }
+        if engine == PatternEngine::Fused && self.fused.is_some() {
+            PatternEngine::Fused
+        } else {
+            PatternEngine::Vm
+        }
+    }
+
+    /// Run the compiled program (length screens included). `fused` must
+    /// only be set when [`CompiledPattern::is_fused`]. On success, spans
+    /// are **byte** offsets into `s`.
+    #[inline]
+    fn exec(&self, s: &str, spans: Option<&mut Vec<(usize, usize)>>, fused: bool) -> bool {
+        let n = s.len();
+        // Chars ≤ bytes, so a byte count below the char minimum screens
+        // any input without counting chars.
         if n < self.min_len {
             return false;
         }
-        if let Some(max) = self.max_len {
-            if n > max {
+        if s.is_ascii() {
+            if self.max_len.is_some_and(|max| n > max) {
                 return false;
             }
+            if fused {
+                let plan = self.fused.expect("fused implies a plan");
+                fuse::run_ascii(&self.ops, plan, s.as_bytes(), spans)
+            } else {
+                vm::run_ascii(&self.ops, s, spans)
+            }
+        } else {
+            let chars = s.chars().count();
+            if chars < self.min_len || self.max_len.is_some_and(|max| chars > max) {
+                return false;
+            }
+            if fused {
+                let plan = self.fused.expect("fused implies a plan");
+                fuse::run_utf8(&self.ops, plan, s, chars, spans)
+            } else {
+                vm::run_utf8(&self.ops, s, spans)
+            }
         }
-        vm::run(&self.ops, bytes, Some(out))
     }
+}
+
+/// Convert contiguous byte spans (as the VM and fused tiers emit) into
+/// the interpreter's char-index spans. Free on ASCII input; one forward
+/// pass otherwise — spans partition the input, so each slice is counted
+/// once.
+fn byte_spans_to_char(s: &str, spans: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    if s.is_ascii() {
+        return spans;
+    }
+    let mut out = Vec::with_capacity(spans.len());
+    let mut char_pos = 0usize;
+    for (a, b) in spans {
+        let start = char_pos;
+        char_pos += s[a..b].chars().count();
+        out.push((start, char_pos));
+    }
+    out
 }
 
 thread_local! {
@@ -246,13 +559,18 @@ thread_local! {
 
 /// A [`ConstrainedPattern`] whose embedded pattern is compiled, plus the
 /// capture plan (element boundaries of each constrained segment), so
-/// blocking-key extraction runs on the span VM.
+/// blocking-key extraction runs on the span-capturing compiled tiers.
 #[derive(Debug, Clone)]
 pub struct CompiledConstrained {
     program: CompiledPattern,
     /// `(start, end)` element boundaries of each *constrained* segment
     /// within the embedded pattern.
     captures: Vec<(usize, usize)>,
+    /// Byte-offset capture windows for fully fixed-width fused
+    /// programs: every element's width is known at compile time, so on
+    /// ASCII input (1 char = 1 byte) each capture is a fixed slice of
+    /// the input and key extraction needs no span capture at all.
+    fixed_slices: Option<Vec<(usize, usize)>>,
     source: ConstrainedPattern,
 }
 
@@ -270,9 +588,25 @@ impl CompiledConstrained {
             }
             start = end;
         }
+        // Fully fixed-width fused program: element boundaries are
+        // compile-time prefix sums of the op widths.
+        let fixed_slices = (program.fused.is_some_and(|p| p.is_fixed())).then(|| {
+            let mut offsets = Vec::with_capacity(program.ops.len() + 1);
+            let mut at = 0usize;
+            offsets.push(0);
+            for op in &program.ops {
+                at += op.interval().0 as usize;
+                offsets.push(at);
+            }
+            captures
+                .iter()
+                .map(|&(s, e)| (offsets[s], offsets[e]))
+                .collect()
+        });
         CompiledConstrained {
             program,
             captures,
+            fixed_slices,
             source: q.clone(),
         }
     }
@@ -283,6 +617,12 @@ impl CompiledConstrained {
         &self.source
     }
 
+    /// The compiled embedded pattern.
+    #[must_use]
+    pub fn program(&self) -> &CompiledPattern {
+        &self.program
+    }
+
     /// Does `s` match the embedded pattern?
     #[must_use]
     pub fn matches(&self, s: &str) -> bool {
@@ -291,41 +631,74 @@ impl CompiledConstrained {
 
     /// The blocking key of `s`, written into `out` (cleared first).
     /// Returns `false` (leaving `out` empty) if `s` does not match.
-    /// Identical to [`ConstrainedPattern::key`] but allocation-free on
-    /// the ASCII path.
+    /// Identical to [`ConstrainedPattern::key`] but allocation-free.
     pub fn key_into(&self, s: &str, out: &mut String) -> bool {
+        self.key_into_with(s, out, PatternEngine::Fused)
+    }
+
+    /// [`CompiledConstrained::key_into`] on an explicit tier. Exactly
+    /// one `pattern.{fused,vm,interp}_evals` counter ticks per call.
+    pub fn key_into_with(&self, s: &str, out: &mut String, engine: PatternEngine) -> bool {
         out.clear();
-        if CompiledPattern::vm_eligible(s) {
-            anmat_obs::counter!("pattern.vm_evals").incr();
-            KEY_SPANS.with(|buf| {
-                let spans = &mut *buf.borrow_mut();
-                if !self.program.spans_ascii(s.as_bytes(), spans) {
-                    return false;
-                }
-                for (c, &(start, end)) in self.captures.iter().enumerate() {
-                    if c > 0 {
-                        out.push('\u{1F}');
+        match self.program.pick(s, engine) {
+            PatternEngine::Interp => {
+                anmat_obs::counter!("pattern.interp_evals").incr();
+                match self.source.key(s) {
+                    Some(k) => {
+                        out.push_str(&k);
+                        true
                     }
-                    // Mirror `ConstrainedPattern::captures`: an empty
-                    // segment captures zero width at its boundary.
-                    let from = if start == end {
-                        spans.get(start).map_or(s.len(), |&(a, _)| a)
-                    } else {
-                        spans[start].0
-                    };
-                    let to = if start == end { from } else { spans[end - 1].1 };
-                    out.push_str(&s[from..to]);
+                    None => false,
                 }
-                true
-            })
-        } else {
-            anmat_obs::counter!("pattern.interp_evals").incr();
-            match self.source.key(s) {
-                Some(k) => {
-                    out.push_str(&k);
+            }
+            tier => {
+                let fused = tier == PatternEngine::Fused;
+                anmat_obs::counter!(if fused {
+                    "pattern.fused_evals"
+                } else {
+                    "pattern.vm_evals"
+                })
+                .incr();
+                if fused && s.is_ascii() {
+                    if let Some(slices) = &self.fixed_slices {
+                        // Fixed-width fast path: verify without span
+                        // capture, then slice at compile-time offsets.
+                        if !self.program.exec(s, None, true) {
+                            return false;
+                        }
+                        for (c, &(from, to)) in slices.iter().enumerate() {
+                            if c > 0 {
+                                out.push('\u{1F}');
+                            }
+                            out.push_str(&s[from..to]);
+                        }
+                        return true;
+                    }
+                }
+                KEY_SPANS.with(|buf| {
+                    let spans = &mut *buf.borrow_mut();
+                    if !self.program.exec(s, Some(spans), fused) {
+                        return false;
+                    }
+                    // Byte spans slice the key segments directly —
+                    // identical strings to the interpreter's char-index
+                    // captures, without the index conversion.
+                    for (c, &(start, end)) in self.captures.iter().enumerate() {
+                        if c > 0 {
+                            out.push('\u{1F}');
+                        }
+                        // Mirror `ConstrainedPattern::captures`: an empty
+                        // segment captures zero width at its boundary.
+                        let from = if start == end {
+                            spans.get(start).map_or(s.len(), |&(a, _)| a)
+                        } else {
+                            spans[start].0
+                        };
+                        let to = if start == end { from } else { spans[end - 1].1 };
+                        out.push_str(&s[from..to]);
+                    }
                     true
-                }
-                None => false,
+                })
             }
         }
     }
@@ -352,6 +725,12 @@ mod tests {
         s.parse().unwrap()
     }
 
+    const ENGINES: [PatternEngine; 3] = [
+        PatternEngine::Interp,
+        PatternEngine::Vm,
+        PatternEngine::Fused,
+    ];
+
     #[test]
     fn ascii_set_matches_class_semantics() {
         for class in [
@@ -375,6 +754,66 @@ mod tests {
     }
 
     #[test]
+    fn class_set_matches_class_semantics_beyond_ascii() {
+        let probes = [
+            'a',
+            'Z',
+            '5',
+            '-',
+            ' ',
+            'É',
+            'é',
+            'ß',
+            'Ñ',
+            'ñ',
+            'Ω',
+            'ω',
+            '中',
+            '٣',
+            '😀',
+            '\u{80}',
+            '\u{10FFFF}',
+            'Ǆ',
+            'ǅ',
+            /* titlecase: Symbol */ 'ǆ',
+        ];
+        for class in [
+            SymbolClass::Upper,
+            SymbolClass::Lower,
+            SymbolClass::Digit,
+            SymbolClass::Symbol,
+            SymbolClass::Any,
+            SymbolClass::Literal('É'),
+            SymbolClass::Literal('x'),
+        ] {
+            let set = ClassSet::of_class(class);
+            for c in probes {
+                assert_eq!(set.contains_char(c), class.matches(c), "{class:?} {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spill_ranges_agree_with_oracle_on_sampled_planes() {
+        // Every 97th codepoint (coprime stride) across the whole space.
+        let classes = [SymbolClass::Upper, SymbolClass::Lower, SymbolClass::Symbol];
+        let sets: Vec<ClassSet> = classes.iter().map(|&c| ClassSet::of_class(c)).collect();
+        let mut cp = 0x80u32;
+        while cp <= 0x10FFFF {
+            if let Some(c) = char::from_u32(cp) {
+                for (class, set) in classes.iter().zip(&sets) {
+                    assert_eq!(
+                        set.contains_char(c),
+                        class.matches(c),
+                        "{class:?} U+{cp:04X}"
+                    );
+                }
+            }
+            cp += 97;
+        }
+    }
+
+    #[test]
     fn op_shapes() {
         let p = pat("a\\D{3}\\LL*\\A{1,4}");
         let c = CompiledPattern::compile(&p);
@@ -385,7 +824,23 @@ mod tests {
     }
 
     #[test]
-    fn vm_agrees_with_interpreter_on_fixtures() {
+    fn fused_selection() {
+        // All fixed-width → fused.
+        assert!(CompiledPattern::compile(&pat("900\\D{2}")).is_fused());
+        assert!(CompiledPattern::compile(&pat("\\D{5}")).is_fused());
+        assert!(CompiledPattern::compile(&pat("")).is_fused());
+        // Exactly one variable op (anywhere) → fused.
+        assert!(CompiledPattern::compile(&pat("\\D*")).is_fused());
+        assert!(CompiledPattern::compile(&pat("\\A*a")).is_fused());
+        assert!(CompiledPattern::compile(&pat("\\LU\\LL*")).is_fused());
+        assert!(CompiledPattern::compile(&pat("\\D{2,4}")).is_fused());
+        // Two variable ops → needs the backtracking VM.
+        assert!(!CompiledPattern::compile(&pat("\\LU\\LL*\\ \\A*")).is_fused());
+        assert!(!CompiledPattern::compile(&pat("a*b*c")).is_fused());
+    }
+
+    #[test]
+    fn all_tiers_agree_on_fixtures() {
         let patterns = [
             "90001",
             "\\D{5}",
@@ -398,6 +853,8 @@ mod tests {
             "a*b*c",
             "\\D{3}\\S\\D{4}",
             "",
+            "\\LU\\LL+",
+            "\\A{2}",
         ];
         let inputs = [
             "90001",
@@ -417,18 +874,35 @@ mod tests {
             "55511234",
             "12a",
             "ABcd12",
+            // full UTF-8 coverage, no interpreter fallback:
+            "Étienne",
+            "École Nationale",
+            "ΩΜΕΓΑ",
+            "ωμεγα",
+            "中文",
+            "٣٤٥",
+            "É",
+            "ß",
+            "a😀b",
         ];
         for ps in patterns {
             let p = pat(ps);
             let c = CompiledPattern::compile(&p);
             for s in inputs {
-                assert_eq!(c.matches(s), match_pattern(&p, s), "{ps:?} vs {s:?}");
+                let expected = match_pattern(&p, s);
+                for engine in ENGINES {
+                    assert_eq!(
+                        c.matches_with(s, engine),
+                        expected,
+                        "{ps:?} vs {s:?} on {engine}"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn vm_spans_agree_with_interpreter_on_fixtures() {
+    fn all_tiers_spans_agree_with_interpreter() {
         let cases = [
             ("\\A*a", "bbba"),
             ("\\A*a", "aaa"),
@@ -436,28 +910,24 @@ mod tests {
             ("\\LU\\LL*\\ \\A*", "John Charles"),
             ("\\LU+\\LL+\\D{2}", "ABcd12"),
             ("\\D{3}\\D{2}", "90001"),
+            // char-index spans on multibyte input:
+            ("\\LU\\LL*", "Étienne"),
+            ("\\LU\\LL*\\ \\A*", "Éti enne😀"),
+            ("\\A*", "中文字"),
+            ("\\S\\D{2}\\S*", "٣42"),
         ];
         for (ps, s) in cases {
             let p = pat(ps);
             let c = CompiledPattern::compile(&p);
-            assert_eq!(c.spans(s), match_spans(&p, s), "{ps:?} vs {s:?}");
+            let expected = match_spans(&p, s);
+            for engine in ENGINES {
+                assert_eq!(
+                    c.spans_with(s, engine),
+                    expected,
+                    "{ps:?} vs {s:?} on {engine}"
+                );
+            }
         }
-    }
-
-    #[test]
-    fn non_ascii_falls_back_to_interpreter() {
-        let p = pat("\\LU\\LL+");
-        let c = CompiledPattern::compile(&p);
-        assert!(c.matches("Étienne"));
-        assert_eq!(
-            c.spans("Étienne").unwrap(),
-            match_spans(&p, "Étienne").unwrap()
-        );
-        // Non-ASCII literal against ASCII input: VM path, never matches.
-        let p = Pattern::literal("É");
-        let c = CompiledPattern::compile(&p);
-        assert!(!c.matches("E"));
-        assert!(c.matches("É"));
     }
 
     #[test]
@@ -470,13 +940,19 @@ mod tests {
             ),
             ("[\\LL+]-[\\LL+]", vec!["ab-c", "a-bc", "x-y"]),
             ("\\A*,\\ [Donald]\\A*", vec!["x, Donald Duck", "nope"]),
-            ("[\\D{3}]\\D{2}", vec!["90\u{E9}01"]), // non-ASCII fallback
+            ("[\\D{3}]\\D{2}", vec!["90\u{E9}01"]), // multibyte, no fallback
+            ("[\\LU\\LL*]\\ \\A*", vec!["Étienne Dupont", "Ñandú x"]),
+            ("[\\A{2}]\\A*", vec!["中文字符", "😀ab"]),
         ];
         for (qs, inputs) in cases {
             let q = cp(qs);
             let c = CompiledConstrained::compile(&q);
             for s in inputs {
-                assert_eq!(c.key(s), q.key(s), "{qs:?} vs {s:?}");
+                for engine in ENGINES {
+                    let mut out = String::new();
+                    let hit = c.key_into_with(s, &mut out, engine);
+                    assert_eq!(hit.then_some(out), q.key(s), "{qs:?} vs {s:?} on {engine}");
+                }
             }
         }
     }
@@ -492,5 +968,15 @@ mod tests {
         assert!(buf.is_empty());
         assert!(c.key_into("85032", &mut buf));
         assert_eq!(buf, "850");
+    }
+
+    #[test]
+    fn engine_parsing() {
+        assert_eq!("interp".parse(), Ok(PatternEngine::Interp));
+        assert_eq!("vm".parse(), Ok(PatternEngine::Vm));
+        assert_eq!("fused".parse(), Ok(PatternEngine::Fused));
+        assert_eq!(PatternEngine::default(), PatternEngine::Fused);
+        assert!("jit".parse::<PatternEngine>().is_err());
+        assert_eq!(PatternEngine::Vm.to_string(), "vm");
     }
 }

@@ -1,0 +1,284 @@
+//! The fused single-pass matcher: the tier above the VM.
+//!
+//! Most real tableaux are runs of fixed-width ops — `900\D{2}`,
+//! `\D{3}-\D{4}`, `\LU\LL{3}` — which need no backtracking at all. And
+//! patterns with exactly **one** variable-width op (`\LU\LL*`,
+//! `\A*a`, `\D{2,4}`) don't either, anchored as the language is: the
+//! variable op's run length is *forced* by the input length, `k = chars
+//! − Σ fixed widths`. In both shapes the parse is unique, so matching
+//! degenerates to one left-to-right verification pass — no backtrack
+//! stack, no visited bitset, spans captured inline as the pass walks.
+//! (Uniqueness also makes the spans trivially identical to the VM's and
+//! the interpreter's leftmost-greedy answer: there is only one parse to
+//! find.) This generalizes the "one variable op *in tail position*"
+//! shape: tail position is just the special case where the forced run
+//! ends at the input's end.
+//!
+//! Compilation probes every program with `plan`; eligible patterns get
+//! a `FusePlan` and the default engine routes their evaluations here
+//! (observable as `pattern.fused_evals`). Anything with two or more
+//! variable-width ops — where run lengths genuinely interact — stays on
+//! the backtracking VM.
+//!
+//! Like the VM, the matcher is monomorphized per encoding: the ASCII
+//! instantiation verifies byte runs with the SWAR scanner directly,
+//! while the UTF-8 instantiation counts characters through
+//! [`crate::compile::ClassSet`]'s `run_chars`.
+
+use crate::compile::Op;
+use crate::scan;
+
+/// The compile-time proof that a program is backtrack-free: at most one
+/// variable-width op (`var`, an index into the op sequence) and the
+/// total character width of all fixed ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FusePlan {
+    var: Option<u32>,
+    fixed_chars: u32,
+}
+
+impl FusePlan {
+    /// No variable-width op at all: every element's width (and on ASCII
+    /// input, its byte offset) is known at compile time.
+    pub(crate) fn is_fixed(self) -> bool {
+        self.var.is_none()
+    }
+}
+
+/// Probe `ops` for fusibility. Returns a plan iff zero or one op is
+/// variable-width.
+pub(crate) fn plan(ops: &[Op]) -> Option<FusePlan> {
+    let mut var: Option<u32> = None;
+    let mut fixed_chars: u64 = 0;
+    for (i, op) in ops.iter().enumerate() {
+        if op.is_fixed() {
+            fixed_chars += u64::from(op.interval().0);
+        } else if var.is_none() {
+            var = Some(i as u32);
+        } else {
+            return None; // two variable ops: genuinely needs search
+        }
+    }
+    let fixed_chars = u32::try_from(fixed_chars).ok()?;
+    Some(FusePlan { var, fixed_chars })
+}
+
+/// The forced run length (in chars) of the variable op, if the input
+/// length admits one: `chars − fixed_chars`, bounds-checked against the
+/// op's interval.
+#[inline]
+fn forced_var_len(ops: &[Op], plan: FusePlan, chars: usize) -> Option<usize> {
+    let fixed = plan.fixed_chars as usize;
+    match plan.var {
+        None => (chars == fixed).then_some(0),
+        Some(v) => {
+            let k = chars.checked_sub(fixed)?;
+            let (min, max) = ops[v as usize].interval();
+            (k >= min as usize && max.is_none_or(|m| k <= m as usize)).then_some(k)
+        }
+    }
+}
+
+/// Single-pass verification against pure-ASCII `s` (one char = one
+/// byte). On success, `spans` (if given) receives one byte span per op.
+pub(crate) fn run_ascii(
+    ops: &[Op],
+    plan: FusePlan,
+    bytes: &[u8],
+    spans: Option<&mut Vec<(usize, usize)>>,
+) -> bool {
+    let Some(var_k) = forced_var_len(ops, plan, bytes.len()) else {
+        return false;
+    };
+    let mut out = spans;
+    if let Some(out) = out.as_deref_mut() {
+        out.clear();
+    }
+    let mut pos = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let end = match *op {
+            Op::Byte(b) => {
+                if bytes[pos] != b {
+                    return false;
+                }
+                pos + 1
+            }
+            Op::Exact { ref set, n }
+            | Op::AtLeast { ref set, min: n }
+            | Op::Range {
+                ref set, min: n, ..
+            } => {
+                let w = if plan.var == Some(i as u32) {
+                    var_k
+                } else {
+                    debug_assert!(op.is_fixed());
+                    n as usize
+                };
+                // Short runs (the common fixed-width case) test the
+                // bitset directly — the word kernel's dispatch costs
+                // more than it saves under one word.
+                let ok = if w < 8 {
+                    bytes[pos..pos + w]
+                        .iter()
+                        .all(|&b| b < 0x80 && set.ascii().contains(b))
+                } else {
+                    scan::run_len(set.ascii(), bytes, pos, w) == w
+                };
+                if !ok {
+                    return false;
+                }
+                pos + w
+            }
+        };
+        if let Some(out) = out.as_deref_mut() {
+            out.push((pos, end));
+        }
+        pos = end;
+    }
+    debug_assert_eq!(pos, bytes.len());
+    true
+}
+
+/// Single-pass verification against arbitrary UTF-8 `s` (`chars` is the
+/// precomputed character count; widths are chars). On success, `spans`
+/// (if given) receives one **byte** span per op.
+pub(crate) fn run_utf8(
+    ops: &[Op],
+    plan: FusePlan,
+    s: &str,
+    chars: usize,
+    spans: Option<&mut Vec<(usize, usize)>>,
+) -> bool {
+    let Some(var_k) = forced_var_len(ops, plan, chars) else {
+        return false;
+    };
+    let mut out = spans;
+    if let Some(out) = out.as_deref_mut() {
+        out.clear();
+    }
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let end = match *op {
+            Op::Byte(b) => {
+                if pos >= bytes.len() || bytes[pos] != b {
+                    return false;
+                }
+                pos + 1
+            }
+            Op::Exact { ref set, n }
+            | Op::AtLeast { ref set, min: n }
+            | Op::Range {
+                ref set, min: n, ..
+            } => {
+                let w = if plan.var == Some(i as u32) {
+                    var_k
+                } else {
+                    debug_assert!(op.is_fixed());
+                    n as usize
+                };
+                let (got, end) = set.run_chars(s, pos, w);
+                if got != w {
+                    return false;
+                }
+                end
+            }
+        };
+        if let Some(out) = out.as_deref_mut() {
+            out.push((pos, end));
+        }
+        pos = end;
+    }
+    debug_assert_eq!(pos, bytes.len());
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledPattern;
+    use crate::Pattern;
+
+    fn compiled(s: &str) -> CompiledPattern {
+        CompiledPattern::compile(&s.parse::<Pattern>().unwrap())
+    }
+
+    fn fplan(c: &CompiledPattern) -> FusePlan {
+        plan(c.ops()).expect("pattern should be fusible")
+    }
+
+    #[test]
+    fn plans() {
+        let fixed = compiled("900\\D{2}");
+        assert_eq!(
+            plan(fixed.ops()),
+            Some(FusePlan {
+                var: None,
+                fixed_chars: 5
+            })
+        );
+        let tail_var = compiled("\\LU\\LL*");
+        assert_eq!(
+            plan(tail_var.ops()),
+            Some(FusePlan {
+                var: Some(1),
+                fixed_chars: 1
+            })
+        );
+        let head_var = compiled("\\A*a");
+        assert_eq!(
+            plan(head_var.ops()),
+            Some(FusePlan {
+                var: Some(0),
+                fixed_chars: 1
+            })
+        );
+        let two_vars = compiled("\\LU\\LL*\\ \\A*");
+        assert_eq!(plan(two_vars.ops()), None);
+    }
+
+    #[test]
+    fn fixed_width_verifies_in_one_pass() {
+        let c = compiled("900\\D{2}");
+        let p = fplan(&c);
+        assert!(run_ascii(c.ops(), p, b"90021", None));
+        assert!(!run_ascii(c.ops(), p, b"90x21", None));
+        assert!(!run_ascii(c.ops(), p, b"9002", None)); // wrong length
+        assert!(!run_ascii(c.ops(), p, b"900210", None));
+    }
+
+    #[test]
+    fn forced_var_respects_interval() {
+        let c = compiled("\\D{2,4}");
+        let p = fplan(&c);
+        assert!(!run_ascii(c.ops(), p, b"1", None));
+        assert!(run_ascii(c.ops(), p, b"12", None));
+        assert!(run_ascii(c.ops(), p, b"1234", None));
+        assert!(!run_ascii(c.ops(), p, b"12345", None));
+    }
+
+    #[test]
+    fn spans_match_unique_parse() {
+        let c = compiled("\\A*a");
+        let p = fplan(&c);
+        let mut spans = Vec::new();
+        assert!(run_ascii(c.ops(), p, b"bba", Some(&mut spans)));
+        assert_eq!(spans, vec![(0, 2), (2, 3)]);
+        // Note "aaa": forced k = 2, the unique parse — same as the VM's
+        // greedy backoff answer.
+        assert!(run_ascii(c.ops(), p, b"aaa", Some(&mut spans)));
+        assert_eq!(spans, vec![(0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn utf8_forced_lengths_count_chars() {
+        let c = compiled("\\LU\\LL*");
+        let p = fplan(&c);
+        let s = "Étienne";
+        let chars = s.chars().count();
+        let mut spans = Vec::new();
+        assert!(run_utf8(c.ops(), p, s, chars, Some(&mut spans)));
+        assert_eq!(spans, vec![(0, 2), (2, s.len())]); // É is 2 bytes
+        assert!(!run_utf8(c.ops(), p, "étienne", 7, None));
+    }
+}

@@ -13,8 +13,12 @@
 //! * [`matcher`] — an `O(|s|·|P|)` matching engine with capture-span
 //!   recovery;
 //! * [`compile`](mod@compile) — patterns compiled to flat bytecode with
-//!   precomputed ASCII class bitsets, evaluated by a non-recursive
-//!   backtracking VM ([`vm`]) directly over `&str` bytes;
+//!   precomputed class bitsets (full-UTF-8 via sorted-range spillover),
+//!   evaluated by a non-recursive backtracking VM ([`vm`]) directly over
+//!   `&str` bytes with SWAR class-run scans ([`scan`]), or — when
+//!   compilation proves the pattern backtrack-free — by the fused
+//!   single-pass matcher ([`fuse`]); the tier is picked per call via
+//!   [`PatternEngine`];
 //! * [`containment`] — sound and complete language-inclusion checking
 //!   (`P ⊆ P'`) plus least-general generalization of two patterns;
 //! * [`induce`](mod@induce) — pattern induction from string samples, the primitive the
@@ -49,19 +53,22 @@ pub mod compile;
 pub mod constrained;
 pub mod containment;
 pub mod error;
+pub mod fuse;
 pub mod induce;
 pub mod matcher;
 pub mod memo;
 pub mod parser;
+pub mod scan;
 pub mod symbol;
 pub mod vm;
 
 pub use ast::{Element, Pattern, Quantifier};
-pub use compile::{AsciiSet, CompiledConstrained, CompiledPattern, Op};
+pub use compile::{AsciiSet, ClassSet, CompiledConstrained, CompiledPattern, Op, PatternEngine};
 pub use constrained::{ConstrainedPattern, Segment};
 pub use containment::{contains, equivalent, generalize_patterns, intersects};
 pub use error::PatternError;
 pub use induce::{induce, loosen, signature, InduceConfig, PatternLevel};
 pub use matcher::{match_pattern, match_spans, MatchSpans};
 pub use memo::MatchMemo;
+pub use scan::ScanKind;
 pub use symbol::SymbolClass;

@@ -16,7 +16,7 @@
 //! per pattern" guarantee.
 
 use crate::ast::Pattern;
-use crate::compile::CompiledPattern;
+use crate::compile::{CompiledPattern, PatternEngine};
 use fxhash::FxHashMap;
 
 /// A `(interned value id) → matches?` cache for one [`Pattern`].
@@ -57,17 +57,30 @@ impl MatchMemo {
     }
 
     /// [`MatchMemo::matches`] with the miss evaluated on the compiled
-    /// program instead of the AST interpreter. Counting is identical, so
-    /// the "at most `distinct(column)` evaluations" invariant carries
-    /// over unchanged; `program` must be compiled from the same pattern
-    /// on every call.
+    /// program's default (fused-capable) tier instead of the AST
+    /// interpreter. Counting is identical, so the "at most
+    /// `distinct(column)` evaluations" invariant carries over unchanged;
+    /// `program` must be compiled from the same pattern on every call.
     pub fn matches_compiled(&mut self, program: &CompiledPattern, id: u32, s: &str) -> bool {
+        self.matches_with(program, PatternEngine::Fused, id, s)
+    }
+
+    /// [`MatchMemo::matches_compiled`] on an explicit execution tier
+    /// (misses tick the corresponding `pattern.*_evals` counter; hits
+    /// touch no tier at all).
+    pub fn matches_with(
+        &mut self,
+        program: &CompiledPattern,
+        engine: PatternEngine,
+        id: u32,
+        s: &str,
+    ) -> bool {
         self.lookups += 1;
         if let Some(&hit) = self.cache.get(&id) {
             return hit;
         }
         self.evals += 1;
-        let result = program.matches(s);
+        let result = program.matches_with(s, engine);
         self.cache.insert(id, result);
         result
     }
@@ -82,10 +95,18 @@ impl MatchMemo {
     where
         I: IntoIterator<Item = (u32, &'a str)>,
     {
+        self.prime_with(program, PatternEngine::Fused, ids);
+    }
+
+    /// [`MatchMemo::prime_compiled`] on an explicit execution tier.
+    pub fn prime_with<'a, I>(&mut self, program: &CompiledPattern, engine: PatternEngine, ids: I)
+    where
+        I: IntoIterator<Item = (u32, &'a str)>,
+    {
         for (id, s) in ids {
             if !self.cache.contains_key(&id) {
                 self.evals += 1;
-                let result = program.matches(s);
+                let result = program.matches_with(s, engine);
                 self.cache.insert(id, result);
             }
         }

@@ -1,0 +1,301 @@
+//! SWAR-accelerated class-run scans.
+//!
+//! The innermost loop of both the bytecode VM ([`crate::vm`]) and the
+//! fused matcher ([`crate::fuse`]) is "how many consecutive bytes from
+//! position `p` belong to this class?". PR 7 answered it one byte at a
+//! time against the 128-bit [`AsciiSet`]; this module answers it **8
+//! bytes per step** with u64 word tricks (SWAR — SIMD Within A
+//! Register, `memchr`-style, no external crates, no `unsafe`).
+//!
+//! The trick is that every class the pattern language can produce has a
+//! word-testable shape, classified once at [`AsciiSet`] construction
+//! into a [`ScanKind`]:
+//!
+//! * `\D` / `\LU` / `\LL` are **contiguous byte ranges** — membership of
+//!   all 8 lanes is two masked adds (the carryless `x + (0x80 - lo)`
+//!   range test) and an and;
+//! * a literal is a **single byte** — one xor + an exact zero-lane test;
+//! * `\S` is the **complement of the three alphanumeric ranges** — three
+//!   range tests or'd and inverted;
+//! * `\A` matches **every ASCII byte** — only the high bits are tested.
+//!
+//! Bytes ≥ 0x80 never belong to any set at the byte level (they are
+//! UTF-8 lead/continuation bytes); every kernel treats the high bit as
+//! an automatic mismatch, so a scan stops exactly at the first non-ASCII
+//! byte and the caller's character-level logic (the spillover path in
+//! [`crate::compile::ClassSet`]) takes over. The first mismatching lane
+//! is recovered with `trailing_zeros` on the little-endian lane order —
+//! no per-byte re-check.
+//!
+//! `run_len_scalar` keeps the PR 7 per-byte loop alive as the measured
+//! baseline for the fig3 field-length sweep (and the fallback for the
+//! `Generic` kind, which `of_class` never actually produces).
+
+use crate::compile::AsciiSet;
+
+/// The word-testable shape of an [`AsciiSet`], precomputed at
+/// construction so the scan dispatch is one `match` on a `Copy` enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanKind {
+    /// No byte matches (e.g. the set of a non-ASCII literal).
+    Empty,
+    /// Every ASCII byte matches (`\A`).
+    All,
+    /// Exactly one byte matches (an ASCII literal).
+    Byte(u8),
+    /// A contiguous inclusive byte range (`\D`, `\LU`, `\LL`).
+    Range(u8, u8),
+    /// The complement of the digit/upper/lower ranges within ASCII (`\S`).
+    NotAlnum,
+    /// Anything else: scanned with the per-byte bitset loop.
+    Generic,
+}
+
+/// Classify raw membership bits into a [`ScanKind`]. Called once per set
+/// at compile time.
+pub(crate) fn classify(bits: &[u64; 2]) -> ScanKind {
+    let count = bits[0].count_ones() + bits[1].count_ones();
+    if count == 0 {
+        return ScanKind::Empty;
+    }
+    if count == 128 {
+        return ScanKind::All;
+    }
+    let lo = if bits[0] != 0 {
+        bits[0].trailing_zeros() as u8
+    } else {
+        64 + bits[1].trailing_zeros() as u8
+    };
+    let hi = if bits[1] != 0 {
+        127 - bits[1].leading_zeros() as u8
+    } else {
+        63 - bits[0].leading_zeros() as u8
+    };
+    if u32::from(hi - lo) + 1 == count {
+        return if count == 1 {
+            ScanKind::Byte(lo)
+        } else {
+            ScanKind::Range(lo, hi)
+        };
+    }
+    // \S = ASCII minus digits, uppers, lowers.
+    let mut symbol = [!0u64, !0u64];
+    for range in [(b'0', b'9'), (b'A', b'Z'), (b'a', b'z')] {
+        for b in range.0..=range.1 {
+            symbol[usize::from(b >> 6)] &= !(1u64 << (b & 63));
+        }
+    }
+    if *bits == symbol {
+        return ScanKind::NotAlnum;
+    }
+    ScanKind::Generic
+}
+
+const LANES_LO: u64 = 0x0101_0101_0101_0101;
+const LANES_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Broadcast one byte into all 8 lanes.
+#[inline]
+const fn splat(b: u8) -> u64 {
+    LANES_LO * b as u64
+}
+
+/// Per-lane high-bit mask: set iff the lane's byte is in `[lo, hi]` *and*
+/// ASCII. The masked adds cannot carry across lanes: every lane operand
+/// is ≤ 0x7f and every addend ≤ 0x80, so each lane sum stays ≤ 0xff.
+#[inline]
+fn range_mask(x: u64, lo: u8, hi: u8) -> u64 {
+    let x7 = x & !LANES_HI;
+    let ge_lo = (x7 + splat(0x80 - lo)) & LANES_HI;
+    let gt_hi = (x7 + splat(0x7f - hi)) & LANES_HI;
+    ge_lo & !gt_hi & !(x & LANES_HI)
+}
+
+/// Per-lane high-bit mask: set iff the lane's byte equals `b` exactly.
+/// Unlike the classic `haszero` trick this is borrow-free, so *every*
+/// lane is exact, not just the first zero.
+#[inline]
+fn eq_mask(x: u64, b: u8) -> u64 {
+    let y = x ^ splat(b);
+    // Lane is nonzero iff its low 7 bits are nonzero or its high bit is.
+    let nonzero = (((y & !LANES_HI) + !LANES_HI) | y) & LANES_HI;
+    !nonzero & LANES_HI
+}
+
+/// Per-lane match mask for one `kind`, high bit set on matching lanes.
+#[inline]
+fn match_mask(kind: ScanKind, x: u64) -> u64 {
+    match kind {
+        ScanKind::Empty => 0,
+        ScanKind::All => !x & LANES_HI,
+        ScanKind::Byte(b) => eq_mask(x, b),
+        ScanKind::Range(lo, hi) => range_mask(x, lo, hi),
+        ScanKind::NotAlnum => {
+            let alnum =
+                range_mask(x, b'0', b'9') | range_mask(x, b'A', b'Z') | range_mask(x, b'a', b'z');
+            !alnum & !x & LANES_HI
+        }
+        // Unreachable from `of_class`; handled by the caller's scalar path.
+        ScanKind::Generic => 0,
+    }
+}
+
+/// The PR 7 per-byte scan: longest run of `set`-matching ASCII bytes
+/// from `pos`, capped at `limit` bytes. Kept as the measured baseline
+/// for the fig3 field-length sweep and as the `Generic` fallback.
+#[inline]
+#[must_use]
+pub fn run_len_scalar(set: &AsciiSet, bytes: &[u8], pos: usize, limit: usize) -> usize {
+    let mut k = 0;
+    while k < limit {
+        let b = bytes[pos + k];
+        if b >= 0x80 || !set.contains(b) {
+            break;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// The word loop behind [`run_len`], monomorphized per [`ScanKind`] so
+/// the per-word mask is branchless straight-line code: four unrolled
+/// words (32 bytes) per step while the run persists, then word by word,
+/// then a scalar tail. `mask` returns the per-lane *match* mask for one
+/// little-endian word.
+#[inline(always)]
+fn run_words(
+    set: &AsciiSet,
+    mask: impl Fn(u64) -> u64,
+    bytes: &[u8],
+    pos: usize,
+    end: usize,
+) -> usize {
+    #[inline(always)]
+    fn load(bytes: &[u8], p: usize) -> u64 {
+        u64::from_le_bytes(bytes[p..p + 8].try_into().unwrap())
+    }
+    let mut p = pos;
+    while p + 32 <= end {
+        let miss = (mask(load(bytes, p))
+            & mask(load(bytes, p + 8))
+            & mask(load(bytes, p + 16))
+            & mask(load(bytes, p + 24)))
+            ^ LANES_HI;
+        if miss != 0 {
+            // The first mismatch is somewhere in this block; the word
+            // loop below pins it down.
+            break;
+        }
+        p += 32;
+    }
+    while p + 8 <= end {
+        let miss = mask(load(bytes, p)) ^ LANES_HI;
+        if miss != 0 {
+            // Little-endian: the lowest set lane is the first mismatch.
+            return p + (miss.trailing_zeros() as usize) / 8 - pos;
+        }
+        p += 8;
+    }
+    p - pos + run_len_scalar(set, bytes, p, end - p)
+}
+
+/// Longest run of `set`-matching ASCII bytes from `pos`, capped at
+/// `limit` bytes, 8 (up to 32) bytes per step. Bytes ≥ 0x80 always
+/// terminate the run (the UTF-8 spillover path decides about them
+/// character-wise).
+#[inline]
+#[must_use]
+pub fn run_len(set: &AsciiSet, bytes: &[u8], pos: usize, limit: usize) -> usize {
+    let end = pos + limit;
+    debug_assert!(end <= bytes.len());
+    match set.kind() {
+        ScanKind::Empty => 0,
+        ScanKind::All => run_words(set, |x| !x & LANES_HI, bytes, pos, end),
+        ScanKind::Byte(b) => run_words(set, |x| eq_mask(x, b), bytes, pos, end),
+        ScanKind::Range(lo, hi) => run_words(set, |x| range_mask(x, lo, hi), bytes, pos, end),
+        ScanKind::NotAlnum => {
+            run_words(set, |x| match_mask(ScanKind::NotAlnum, x), bytes, pos, end)
+        }
+        ScanKind::Generic => run_len_scalar(set, bytes, pos, limit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolClass;
+
+    fn set(class: SymbolClass) -> AsciiSet {
+        AsciiSet::of_class(class)
+    }
+
+    #[test]
+    fn kinds_classified() {
+        assert_eq!(set(SymbolClass::Digit).kind(), ScanKind::Range(b'0', b'9'));
+        assert_eq!(set(SymbolClass::Upper).kind(), ScanKind::Range(b'A', b'Z'));
+        assert_eq!(set(SymbolClass::Lower).kind(), ScanKind::Range(b'a', b'z'));
+        assert_eq!(set(SymbolClass::Symbol).kind(), ScanKind::NotAlnum);
+        assert_eq!(set(SymbolClass::Any).kind(), ScanKind::All);
+        assert_eq!(set(SymbolClass::Literal('x')).kind(), ScanKind::Byte(b'x'));
+        assert_eq!(set(SymbolClass::Literal('É')).kind(), ScanKind::Empty);
+    }
+
+    #[test]
+    fn swar_agrees_with_scalar_on_all_classes_and_offsets() {
+        let classes = [
+            SymbolClass::Digit,
+            SymbolClass::Upper,
+            SymbolClass::Lower,
+            SymbolClass::Symbol,
+            SymbolClass::Any,
+            SymbolClass::Literal('7'),
+            SymbolClass::Literal('-'),
+            SymbolClass::Literal('É'),
+        ];
+        let inputs: [&[u8]; 8] = [
+            b"1234567890123456789",
+            b"777777777777777777x",
+            b"abcdefXYZ 0123---..",
+            b"------------------7",
+            b"",
+            b"\x7f\x00\x1f 09AZaz",
+            "digits123\u{E9}456".as_bytes(), // multibyte stops the run
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        ];
+        for class in classes {
+            let s = set(class);
+            for bytes in inputs {
+                for pos in 0..=bytes.len() {
+                    for limit in 0..=(bytes.len() - pos) {
+                        assert_eq!(
+                            run_len(&s, bytes, pos, limit),
+                            run_len_scalar(&s, bytes, pos, limit),
+                            "{class:?} pos={pos} limit={limit} bytes={bytes:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_bytes_terminate_every_kind() {
+        let bytes = "99\u{00E9}99".as_bytes(); // 39 39 C3 A9 39 39
+        for class in [SymbolClass::Digit, SymbolClass::Any, SymbolClass::Symbol] {
+            let s = set(class);
+            let k = run_len(&s, bytes, 0, bytes.len());
+            assert!(k <= 2, "{class:?} ran {k} past the UTF-8 lead byte");
+        }
+    }
+
+    #[test]
+    fn limit_caps_the_run() {
+        let s = set(SymbolClass::Digit);
+        let bytes = b"12345678901234567890";
+        assert_eq!(run_len(&s, bytes, 0, 20), 20);
+        assert_eq!(run_len(&s, bytes, 0, 13), 13);
+        assert_eq!(run_len(&s, bytes, 5, 3), 3);
+        assert_eq!(run_len(&s, bytes, 19, 1), 1);
+        assert_eq!(run_len(&s, bytes, 20, 0), 0);
+    }
+}

@@ -1,33 +1,48 @@
 //! The bytecode VM: non-recursive backtracking over `&str` bytes.
 //!
 //! The restricted pattern language has no alternation and no nested
-//! repetition, so every [`Op`] consumes one greedy
-//! *run* of class-matching bytes; the only search dimension is how far
-//! each variable-count op's run is allowed to reach. The VM therefore
+//! repetition, so every [`Op`] consumes one greedy *run* of
+//! class-matching characters; the only search dimension is how far each
+//! variable-count op's run is allowed to reach. The VM therefore
 //! executes with two reused structures and no recursion:
 //!
 //! * an explicit **backtrack stack** — one frame per executed op holding
-//!   `(op index, run start, chosen count)`; backtracking pops a frame and
-//!   shortens its run by one (greedy-first order, which reproduces the
-//!   interpreter's leftmost-greedy span semantics exactly);
-//! * a **visited-state bitset** over `(op index, position)` pairs — a
-//!   state is explored at most once, which caps the search at
+//!   its run's byte span and character count; backtracking pops a frame
+//!   and shortens its run by one character (greedy-first order, which
+//!   reproduces the interpreter's leftmost-greedy span semantics
+//!   exactly);
+//! * a **visited-state bitset** over `(op index, byte position)` pairs —
+//!   a state is explored at most once, which caps the search at
 //!   `O(|P| · |s|)` states (the same order as the interpreter's dynamic
 //!   program) instead of the exponential worst case of naive
 //!   backtracking on patterns like `\A*\A*…\A*a`.
 //!
-//! Both structures live in thread-local scratch, so steady-state
+//! One loop serves both encodings, monomorphized on an `ASCII` const:
+//! the ASCII instantiation works purely on bytes (runs come from the
+//! SWAR scanner in [`crate::scan`], one char = one byte, backtracking
+//! steps back one byte), while the UTF-8 instantiation counts runs in
+//! *characters* via [`ClassSet`]'s `run_chars` — SWAR over ASCII
+//! stretches,
+//! decoded spillover checks for codepoints ≥ 128 — and steps back over
+//! continuation bytes when it shrinks a run. Since PR 8 this covers
+//! every input: non-ASCII values no longer fall back to the AST
+//! interpreter.
+//!
+//! Both scratch structures live in thread-local storage, so steady-state
 //! evaluation performs no heap allocation at all.
 
-use crate::compile::{AsciiSet, Op};
+use crate::compile::{ClassSet, Op};
+use crate::scan;
 use std::cell::RefCell;
 
-/// One executed op on the current search path: its run starts at byte
-/// `start` and currently spans `k` bytes.
+/// One executed op on the current search path: its run spans bytes
+/// `start..end` and contains `k` characters (`end - start == k` in the
+/// ASCII instantiation).
 #[derive(Debug, Clone, Copy)]
 struct Frame {
     pc: u32,
     start: u32,
+    end: u32,
     k: u32,
 }
 
@@ -52,22 +67,58 @@ fn mark(visited: &mut [u64], stride: usize, pc: usize, pos: usize) -> bool {
     seen
 }
 
-/// Longest run of `set`-matching bytes from `pos`, capped at `limit`.
+/// Greedy run of `set` members from byte `pos`, at most `limit` *chars*.
+/// Returns `(chars, end byte)`.
 #[inline]
-fn run_len(set: &AsciiSet, bytes: &[u8], pos: usize, limit: usize) -> usize {
-    let mut k = 0;
-    while k < limit && set.contains(bytes[pos + k]) {
-        k += 1;
+fn take_run<const ASCII: bool>(
+    set: &ClassSet,
+    s: &str,
+    pos: usize,
+    limit: usize,
+) -> (usize, usize) {
+    if ASCII {
+        let bytes = s.as_bytes();
+        let k = scan::run_len(set.ascii(), bytes, pos, limit.min(bytes.len() - pos));
+        (k, pos + k)
+    } else {
+        set.run_chars(s, pos, limit)
     }
-    k
 }
 
-/// Execute `ops` against `bytes` (which the caller guarantees is pure
-/// ASCII). Returns whether the whole input matches; on success, if
-/// `spans` is given it receives one `(start, end)` byte span per op —
-/// identical to the interpreter's leftmost-greedy character spans, since
-/// byte and char indices coincide for ASCII.
-pub(crate) fn run(ops: &[Op], bytes: &[u8], mut spans: Option<&mut Vec<(usize, usize)>>) -> bool {
+/// The char boundary immediately before `end` (> 0).
+#[inline]
+fn prev_char_boundary<const ASCII: bool>(bytes: &[u8], end: usize) -> usize {
+    if ASCII {
+        return end - 1;
+    }
+    let mut e = end - 1;
+    while e > 0 && bytes[e] & 0xC0 == 0x80 {
+        e -= 1;
+    }
+    e
+}
+
+/// Execute `ops` against `s`, which the caller guarantees is pure ASCII
+/// (the byte-only instantiation of the loop). On success, if `spans` is
+/// given it receives one `(start, end)` **byte** span per op.
+pub(crate) fn run_ascii(ops: &[Op], s: &str, spans: Option<&mut Vec<(usize, usize)>>) -> bool {
+    debug_assert!(s.is_ascii());
+    exec::<true>(ops, s, spans)
+}
+
+/// Execute `ops` against arbitrary UTF-8 `s` (repetition counts are
+/// characters). On success, if `spans` is given it receives one
+/// `(start, end)` **byte** span per op.
+pub(crate) fn run_utf8(ops: &[Op], s: &str, spans: Option<&mut Vec<(usize, usize)>>) -> bool {
+    exec::<false>(ops, s, spans)
+}
+
+fn exec<const ASCII: bool>(
+    ops: &[Op],
+    s: &str,
+    mut spans: Option<&mut Vec<(usize, usize)>>,
+) -> bool {
+    let bytes = s.as_bytes();
     let n = bytes.len();
     let m = ops.len();
     let stride = n + 1;
@@ -80,17 +131,14 @@ pub(crate) fn run(ops: &[Op], bytes: &[u8], mut spans: Option<&mut Vec<(usize, u
         let (stack, visited) = (&mut scratch.stack, &mut scratch.visited);
 
         let mut pc = 0usize;
-        let mut pos = 0usize;
+        let mut pos = 0usize; // byte offset, always a char boundary
         loop {
             // Try to advance from (pc, pos).
             let advanced = if pc == m {
                 if pos == n {
                     if let Some(out) = spans.take() {
                         out.clear();
-                        out.extend(stack.iter().map(|f| {
-                            let (a, k) = (f.start as usize, f.k as usize);
-                            (a, a + k)
-                        }));
+                        out.extend(stack.iter().map(|f| (f.start as usize, f.end as usize)));
                     }
                     return true;
                 }
@@ -100,35 +148,31 @@ pub(crate) fn run(ops: &[Op], bytes: &[u8], mut spans: Option<&mut Vec<(usize, u
                 false
             } else {
                 // Greedy: take the longest admissible run first.
-                let k = match ops[pc] {
-                    Op::Byte(b) => {
-                        if pos < n && bytes[pos] == b {
-                            Some(1)
-                        } else {
-                            None
-                        }
-                    }
+                let hit = match ops[pc] {
+                    Op::Byte(b) => (pos < n && bytes[pos] == b).then_some((1, pos + 1)),
                     Op::Exact { ref set, n: cnt } => {
                         let cnt = cnt as usize;
-                        (cnt <= n - pos && run_len(set, bytes, pos, cnt) == cnt).then_some(cnt)
+                        let (k, end) = take_run::<ASCII>(set, s, pos, cnt);
+                        (k == cnt).then_some((k, end))
                     }
                     Op::AtLeast { ref set, min } => {
-                        let k = run_len(set, bytes, pos, n - pos);
-                        (k >= min as usize).then_some(k)
+                        let (k, end) = take_run::<ASCII>(set, s, pos, usize::MAX);
+                        (k >= min as usize).then_some((k, end))
                     }
                     Op::Range { ref set, min, max } => {
-                        let k = run_len(set, bytes, pos, (max as usize).min(n - pos));
-                        (k >= min as usize).then_some(k)
+                        let (k, end) = take_run::<ASCII>(set, s, pos, max as usize);
+                        (k >= min as usize).then_some((k, end))
                     }
                 };
-                match k {
-                    Some(k) => {
+                match hit {
+                    Some((k, end)) => {
                         stack.push(Frame {
                             pc: pc as u32,
                             start: pos as u32,
+                            end: end as u32,
                             k: k as u32,
                         });
-                        pos += k;
+                        pos = end;
                         pc += 1;
                         true
                     }
@@ -138,17 +182,18 @@ pub(crate) fn run(ops: &[Op], bytes: &[u8], mut spans: Option<&mut Vec<(usize, u
             if advanced {
                 continue;
             }
-            // Backtrack: shorten the most recent shrinkable run by one.
-            // The resumption state is deliberately NOT marked here — the
-            // main loop marks it on (first) entry; if it was already
-            // explored, the next iteration falls straight back here and
-            // the frame shrinks again.
+            // Backtrack: shorten the most recent shrinkable run by one
+            // character. The resumption state is deliberately NOT marked
+            // here — the main loop marks it on (first) entry; if it was
+            // already explored, the next iteration falls straight back
+            // here and the frame shrinks again.
             let mut resumed = false;
             while let Some(mut frame) = stack.pop() {
                 let min = ops[frame.pc as usize].interval().0;
                 if frame.k > min {
                     frame.k -= 1;
-                    pos = (frame.start + frame.k) as usize;
+                    frame.end = prev_char_boundary::<ASCII>(bytes, frame.end as usize) as u32;
+                    pos = frame.end as usize;
                     pc = frame.pc as usize + 1;
                     stack.push(frame);
                     resumed = true;
@@ -175,8 +220,8 @@ mod tests {
     #[test]
     fn empty_program_matches_only_empty() {
         let c = CompiledPattern::compile(&Pattern::empty());
-        assert!(run(c.ops(), b"", None));
-        assert!(!run(c.ops(), b"a", None));
+        assert!(run_ascii(c.ops(), "", None));
+        assert!(!run_ascii(c.ops(), "a", None));
     }
 
     #[test]
@@ -184,15 +229,15 @@ mod tests {
         // Naive backtracking is exponential here; the visited set keeps
         // it polynomial — and the answer correct.
         let c = compiled("\\A*\\A*\\A*\\A*\\A*\\A*\\A*\\A*a");
-        assert!(run(c.ops(), b"bbbbbbbbbbbbbbbbbbbbbbba", None));
-        assert!(!run(c.ops(), b"bbbbbbbbbbbbbbbbbbbbbbbb", None));
+        assert!(run_ascii(c.ops(), "bbbbbbbbbbbbbbbbbbbbbbba", None));
+        assert!(!run_ascii(c.ops(), "bbbbbbbbbbbbbbbbbbbbbbbb", None));
     }
 
     #[test]
     fn spans_are_leftmost_greedy() {
         let c = compiled("\\A*a");
         let mut spans = Vec::new();
-        assert!(run(c.ops(), b"aaa", Some(&mut spans)));
+        assert!(run_ascii(c.ops(), "aaa", Some(&mut spans)));
         assert_eq!(spans, vec![(0, 2), (2, 3)]);
     }
 
@@ -200,7 +245,7 @@ mod tests {
     fn zero_width_ops_yield_empty_spans() {
         let c = compiled("a*b*c");
         let mut spans = Vec::new();
-        assert!(run(c.ops(), b"c", Some(&mut spans)));
+        assert!(run_ascii(c.ops(), "c", Some(&mut spans)));
         assert_eq!(spans, vec![(0, 0), (0, 0), (0, 1)]);
     }
 
@@ -209,9 +254,41 @@ mod tests {
         // \D{1,3}\D{2}: on "123" the first op must back off from 3 to 1.
         let c = compiled("\\D{1,3}\\D{2}");
         let mut spans = Vec::new();
-        assert!(run(c.ops(), b"123", Some(&mut spans)));
+        assert!(run_ascii(c.ops(), "123", Some(&mut spans)));
         assert_eq!(spans, vec![(0, 1), (1, 3)]);
-        assert!(run(c.ops(), b"12345", None));
-        assert!(!run(c.ops(), b"1", None));
+        assert!(run_ascii(c.ops(), "12345", None));
+        assert!(!run_ascii(c.ops(), "1", None));
+    }
+
+    #[test]
+    fn utf8_counts_are_chars_not_bytes() {
+        // \A{2} must match exactly two characters of any width.
+        let c = compiled("\\A{2}");
+        assert!(run_utf8(c.ops(), "中文", None));
+        assert!(!run_utf8(c.ops(), "中", None));
+        assert!(!run_utf8(c.ops(), "中文字", None));
+    }
+
+    #[test]
+    fn utf8_backtracking_steps_back_whole_chars() {
+        // \A* must back off from the full run over multibyte chars to
+        // leave the final literal for the Byte op.
+        let c = compiled("\\A*a");
+        let mut spans = Vec::new();
+        assert!(run_utf8(c.ops(), "é中a", Some(&mut spans)));
+        // Byte spans: é=2 bytes, 中=3 bytes, then 'a'.
+        assert_eq!(spans, vec![(0, 5), (5, 6)]);
+    }
+
+    #[test]
+    fn utf8_spillover_classes_match_nonascii_letters() {
+        let c = compiled("\\LU\\LL*");
+        assert!(run_utf8(c.ops(), "Étienne", None));
+        assert!(run_utf8(c.ops(), "Ñandú", None));
+        assert!(!run_utf8(c.ops(), "étienne", None));
+        // Titlecase ǅ is neither upper nor lower → Symbol.
+        let sym = compiled("\\S+");
+        assert!(run_utf8(sym.ops(), "ǅ--", None));
+        assert!(!run_utf8(sym.ops(), "ǅa-", None));
     }
 }

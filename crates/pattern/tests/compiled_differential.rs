@@ -1,17 +1,26 @@
-//! Differential property tests: the compiled bytecode VM must be
-//! observationally identical to the AST interpreter — match decisions,
-//! leftmost-greedy spans, and constrained blocking keys — over generated
-//! patterns × strings, including non-ASCII inputs that exercise the
-//! interpreter fallback and mixed corpora that cross both paths.
+//! Differential property tests: every compiled execution tier — the
+//! backtracking bytecode VM and the fused single-pass matcher — must be
+//! observationally identical to the AST interpreter (the semantic
+//! oracle): match decisions, leftmost-greedy spans, and constrained
+//! blocking keys, over generated patterns × strings. Since the VM went
+//! full-UTF-8 there is no interpreter fallback left, so non-ASCII and
+//! mixed corpora run through the exact same compiled code paths as
+//! ASCII and must agree just the same.
 //!
 //! Case count scales with `PROPTEST_CASES` (CI runs a dedicated step so
-//! the VM gets elevated coverage on every push).
+//! the compiled tiers get elevated coverage on every push).
 
 use anmat_pattern::{
     match_pattern, match_spans, CompiledConstrained, CompiledPattern, ConstrainedPattern, Element,
-    Pattern, Quantifier, Segment, SymbolClass,
+    Pattern, PatternEngine, Quantifier, Segment, SymbolClass,
 };
 use proptest::prelude::*;
+
+/// The compiled tiers under test, each checked against the interpreter.
+/// `Fused` routes through the single-pass matcher when the pattern has
+/// a fuse plan and falls back to the VM otherwise — exactly the
+/// production `pick` logic.
+const COMPILED_TIERS: [PatternEngine; 2] = [PatternEngine::Vm, PatternEngine::Fused];
 
 /// Strategy: an arbitrary symbol class over a small printable alphabet.
 fn any_class() -> impl Strategy<Value = SymbolClass> {
@@ -43,7 +52,7 @@ fn any_pattern() -> impl Strategy<Value = Pattern> {
     .prop_map(Pattern::new)
 }
 
-/// Strategy: a short ASCII string over the pattern alphabet (the VM's
+/// Strategy: a short ASCII string over the pattern alphabet (the SWAR
 /// fast path).
 fn any_ascii_string() -> impl Strategy<Value = String> {
     prop::collection::vec(
@@ -53,9 +62,10 @@ fn any_ascii_string() -> impl Strategy<Value = String> {
     .prop_map(|cs| cs.into_iter().collect())
 }
 
-/// Strategy: a short string mixing ASCII with multi-byte scalars — every
-/// non-ASCII char routes the compiled program through the interpreter
-/// fallback, and mixed corpora cross both paths within one run.
+/// Strategy: a short string mixing ASCII with multi-byte scalars — 2-,
+/// 3-, and 4-byte encodings, titlecase, and non-ASCII digits — so the
+/// UTF-8 paths of both compiled tiers (class spillover, char-boundary
+/// backtracking, forced run lengths in chars) get direct coverage.
 fn any_unicode_string() -> impl Strategy<Value = String> {
     prop::collection::vec(
         prop_oneof![
@@ -66,6 +76,7 @@ fn any_unicode_string() -> impl Strategy<Value = String> {
                     'ß'..='ß',
                     'ñ'..='ñ',
                     'Ω'..='Ω',
+                    'ǅ'..='ǅ',
                     '中'..='中',
                     '٣'..='٣',
                     '\u{1F600}'..='\u{1F600}',
@@ -81,8 +92,10 @@ fn any_unicode_string() -> impl Strategy<Value = String> {
 /// Generate a string the pattern is guaranteed to match, by expanding
 /// each element with an in-range repetition count (deterministic in
 /// `seed`), so positive matches — where span parity matters — are
-/// exercised as densely as negative ones.
-fn string_matching(p: &Pattern, seed: u64) -> String {
+/// exercised as densely as negative ones. With `unicode` set, class
+/// expansions draw non-ASCII members too, producing multibyte
+/// witnesses.
+fn string_matching(p: &Pattern, seed: u64, unicode: bool) -> String {
     let mut out = String::new();
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut next = || {
@@ -98,12 +111,19 @@ fn string_matching(p: &Pattern, seed: u64) -> String {
             None => min + (next() as u32 % 3),
         };
         for _ in 0..span {
+            let wide = unicode && next() % 3 == 0;
             let c = match e.class {
                 SymbolClass::Literal(c) => c,
+                SymbolClass::Upper if wide => ['É', 'Ω', 'Ǆ'][(next() % 3) as usize],
                 SymbolClass::Upper => char::from(b'A' + (next() % 26) as u8),
+                SymbolClass::Lower if wide => ['ß', 'ñ', 'é'][(next() % 3) as usize],
                 SymbolClass::Lower => char::from(b'a' + (next() % 26) as u8),
+                // `\D` is ASCII-only by the language definition, so its
+                // witnesses stay ASCII even in unicode mode.
                 SymbolClass::Digit => char::from(b'0' + (next() % 10) as u8),
+                SymbolClass::Symbol if wide => ['中', '٣', 'ǅ', '\u{1F600}'][(next() % 4) as usize],
                 SymbolClass::Symbol => ['-', '.', ' ', ','][(next() % 4) as usize],
+                SymbolClass::Any if wide => ['中', 'é', '\u{1F600}'][(next() % 3) as usize],
                 SymbolClass::Any => char::from(b'a' + (next() % 26) as u8),
             };
             out.push(c);
@@ -130,63 +150,100 @@ fn any_constrained() -> impl Strategy<Value = ConstrainedPattern> {
     })
 }
 
+/// Assert match + span parity of every compiled tier against the
+/// interpreter on one (pattern, string) pair.
+fn assert_tiers_agree(p: &Pattern, s: &str) -> Result<(), String> {
+    let c = CompiledPattern::compile(p);
+    let expect_match = match_pattern(p, s);
+    let expect_spans = match_spans(p, s);
+    for tier in COMPILED_TIERS {
+        prop_assert_eq!(
+            c.matches_with(s, tier),
+            expect_match,
+            "pattern {} on {:?} via {}",
+            p,
+            s,
+            tier
+        );
+        prop_assert_eq!(
+            c.spans_with(s, tier),
+            expect_spans.clone(),
+            "pattern {} on {:?} via {}",
+            p,
+            s,
+            tier
+        );
+    }
+    Ok(())
+}
+
+/// Assert blocking-key parity of every compiled tier against the
+/// interpreter on one (keyer, string) pair.
+fn assert_keys_agree(q: &ConstrainedPattern, s: &str) -> Result<(), String> {
+    let c = CompiledConstrained::compile(q);
+    let expect = q.key(s);
+    for tier in COMPILED_TIERS {
+        let mut buf = String::new();
+        let got = c.key_into_with(s, &mut buf, tier).then(|| buf.clone());
+        prop_assert_eq!(got, expect.clone(), "keyer {} on {:?} via {}", q, s, tier);
+    }
+    Ok(())
+}
+
 proptest! {
-    /// Match decisions agree on arbitrary ASCII strings (the VM path).
+    /// Match + span decisions agree on arbitrary ASCII strings (the
+    /// SWAR fast path) for both compiled tiers.
     #[test]
-    fn vm_matches_interpreter_on_ascii(p in any_pattern(), s in any_ascii_string()) {
-        let c = CompiledPattern::compile(&p);
-        prop_assert_eq!(c.matches(&s), match_pattern(&p, &s), "pattern {} on {:?}", p, s);
+    fn tiers_match_interpreter_on_ascii(p in any_pattern(), s in any_ascii_string()) {
+        assert_tiers_agree(&p, &s)?;
     }
 
-    /// Match decisions agree on unicode strings (fallback + mixed).
+    /// Match + span decisions agree on multibyte strings — the full
+    /// UTF-8 VM and the fused matcher, no interpreter fallback.
     #[test]
-    fn vm_matches_interpreter_on_unicode(p in any_pattern(), s in any_unicode_string()) {
-        let c = CompiledPattern::compile(&p);
-        prop_assert_eq!(c.matches(&s), match_pattern(&p, &s), "pattern {} on {:?}", p, s);
+    fn tiers_match_interpreter_on_unicode(p in any_pattern(), s in any_unicode_string()) {
+        assert_tiers_agree(&p, &s)?;
     }
 
-    /// Positive-case parity: generated witnesses match through the VM
-    /// too, and their spans are identical to the interpreter's
-    /// leftmost-greedy decomposition.
+    /// Positive-case parity: generated ASCII witnesses match through
+    /// every tier, with identical leftmost-greedy spans.
     #[test]
-    fn vm_spans_agree_on_witnesses(p in any_pattern(), seed in any::<u64>()) {
-        let c = CompiledPattern::compile(&p);
-        let s = string_matching(&p, seed);
-        prop_assert!(c.matches(&s), "witness {:?} must match {} via the VM", s, p);
-        prop_assert_eq!(c.spans(&s), match_spans(&p, &s), "pattern {} on {:?}", p, s);
+    fn tier_spans_agree_on_witnesses(p in any_pattern(), seed in any::<u64>()) {
+        let s = string_matching(&p, seed, false);
+        prop_assert!(match_pattern(&p, &s), "witness {:?} must match {}", s, p);
+        assert_tiers_agree(&p, &s)?;
     }
 
-    /// Span parity on arbitrary strings — `None` agrees with `None`,
-    /// and successful decompositions agree span for span.
+    /// Positive-case parity on *multibyte* witnesses: class expansions
+    /// include 2-, 3-, and 4-byte scalars, so successful parses cross
+    /// the spillover and char-counting paths in both compiled tiers.
     #[test]
-    fn vm_spans_agree_on_arbitrary_strings(p in any_pattern(), s in any_ascii_string()) {
-        let c = CompiledPattern::compile(&p);
-        prop_assert_eq!(c.spans(&s), match_spans(&p, &s), "pattern {} on {:?}", p, s);
+    fn tier_spans_agree_on_unicode_witnesses(p in any_pattern(), seed in any::<u64>()) {
+        let s = string_matching(&p, seed, true);
+        prop_assert!(match_pattern(&p, &s), "witness {:?} must match {}", s, p);
+        assert_tiers_agree(&p, &s)?;
     }
 
-    /// Blocking keys agree: the capturing VM derives the same `≡_Q` key
-    /// as the interpreter for generated constrained patterns.
+    /// Blocking keys agree: the capturing tiers derive the same `≡_Q`
+    /// key as the interpreter for generated constrained patterns.
     #[test]
     fn compiled_key_agrees_on_ascii(q in any_constrained(), s in any_ascii_string()) {
-        let c = CompiledConstrained::compile(&q);
-        prop_assert_eq!(c.key(&s), q.key(&s), "keyer {} on {:?}", q, s);
+        assert_keys_agree(&q, &s)?;
     }
 
-    /// Blocking keys agree on unicode strings (interpreter fallback).
+    /// Blocking keys agree on multibyte strings (byte-span slicing on
+    /// the compiled tiers vs char-indexed interpretation).
     #[test]
     fn compiled_key_agrees_on_unicode(q in any_constrained(), s in any_unicode_string()) {
-        let c = CompiledConstrained::compile(&q);
-        prop_assert_eq!(c.key(&s), q.key(&s), "keyer {} on {:?}", q, s);
+        assert_keys_agree(&q, &s)?;
     }
 
-    /// Key parity on witnesses of the embedded pattern, where the keyer
-    /// is guaranteed to produce a key on both paths.
+    /// Key parity on multibyte witnesses of the embedded pattern, where
+    /// the keyer is guaranteed to produce a key on every tier.
     #[test]
     fn compiled_key_agrees_on_witnesses(q in any_constrained(), seed in any::<u64>()) {
-        let c = CompiledConstrained::compile(&q);
-        let s = string_matching(q.embedded(), seed);
-        let (vm, interp) = (c.key(&s), q.key(&s));
-        prop_assert!(interp.is_some(), "witness {:?} must key under {}", s, q);
-        prop_assert_eq!(vm, interp, "keyer {} on {:?}", q, s);
+        let s = string_matching(q.embedded(), seed, true);
+        prop_assert!(q.key(&s).is_some(), "witness {:?} must key under {}", s, q);
+        assert_keys_agree(&q, &s)?;
     }
 }

@@ -1,0 +1,109 @@
+//! Tier-accounting smoke test, in its own binary because the
+//! [`anmat_obs::Recorder`] and its counters are process-global: running
+//! this alongside other recorder-enabled tests (which Rust would
+//! parallelize within one binary) would make the counter deltas
+//! ambiguous.
+//!
+//! The contract under test is the tentpole's headline invariant: with
+//! the VM extended to full UTF-8, the interpreter is *never* consulted
+//! on the compiled tiers — `pattern.interp_evals` stays 0 on any input,
+//! ASCII or multibyte, under the default (fused-capable) engine, and
+//! every public-entry evaluation is attributed to exactly one tier.
+
+use anmat_obs as obs;
+use anmat_pattern::{CompiledConstrained, CompiledPattern, ConstrainedPattern, PatternEngine};
+use std::sync::Mutex;
+
+/// Serializes the two tests: both read deltas of the same process-wide
+/// counters, so interleaving them would corrupt each other's baselines.
+static RECORDER: Mutex<()> = Mutex::new(());
+
+/// Mixed corpus: ASCII, 2/3/4-byte scalars, titlecase, non-ASCII
+/// digits, and boundary codepoints.
+const CORPUS: &[&str] = &[
+    "Abc-123",
+    "Ångström",
+    "中文数据",
+    "٣٤٥",
+    "ǅungla",
+    "naïve café",
+    "😀😀-ok",
+    "\u{10FFFF}end",
+    "",
+    "90001",
+];
+
+fn counters() -> (u64, u64, u64) {
+    let snap = obs::MetricsSnapshot::capture();
+    (
+        snap.counter("pattern.fused_evals").unwrap_or(0),
+        snap.counter("pattern.vm_evals").unwrap_or(0),
+        snap.counter("pattern.interp_evals").unwrap_or(0),
+    )
+}
+
+#[test]
+fn default_engine_never_touches_the_interpreter() {
+    // A fused-eligible pattern, a VM-only pattern (two variable-width
+    // ops), and a constrained keyer.
+    let fused: CompiledPattern = CompiledPattern::compile(&"\\A{2}\\D{3}".parse().unwrap());
+    let vm_only: CompiledPattern = CompiledPattern::compile(&"\\A*-\\A*".parse().unwrap());
+    let keyer = CompiledConstrained::compile(&"[\\A*]-\\A*".parse::<ConstrainedPattern>().unwrap());
+    assert!(
+        fused.is_fused(),
+        "\\A{{2}}\\D{{3}} must take the fused tier"
+    );
+    assert!(!vm_only.is_fused(), "two stars cannot fuse");
+    assert!(!keyer.program().is_fused(), "two stars cannot fuse");
+
+    let _serial = RECORDER.lock().unwrap();
+    obs::Recorder::enable();
+    let before = counters();
+    let mut buf = String::new();
+    for s in CORPUS {
+        std::hint::black_box(fused.matches(s));
+        std::hint::black_box(vm_only.matches(s));
+        std::hint::black_box(keyer.key_into(s, &mut buf));
+    }
+    let after = counters();
+    obs::Recorder::disable();
+
+    let n = CORPUS.len() as u64;
+    assert_eq!(
+        after.2 - before.2,
+        0,
+        "interp_evals must stay 0 under the default engine — no UTF-8 fallback"
+    );
+    assert_eq!(
+        after.0 - before.0,
+        n,
+        "one fused eval per fused-pattern call"
+    );
+    // vm_only + the unfusable keyer segmentation both land on the VM.
+    assert_eq!(
+        after.1 - before.1,
+        2 * n,
+        "vm evals for the unfusable programs"
+    );
+}
+
+#[test]
+fn explicit_interp_engine_is_the_only_interpreter_client() {
+    let p = CompiledPattern::compile(&"\\A{2}\\D{3}".parse().unwrap());
+    let _serial = RECORDER.lock().unwrap();
+    obs::Recorder::enable();
+    let before = counters();
+    for s in CORPUS {
+        std::hint::black_box(p.matches_with(s, PatternEngine::Interp));
+    }
+    let after = counters();
+    obs::Recorder::disable();
+    let n = CORPUS.len() as u64;
+    assert_eq!(after.2 - before.2, n, "interp tier ticks interp_evals");
+    assert_eq!(
+        after.0 - before.0,
+        0,
+        "interp tier must not tick fused_evals"
+    );
+    assert_eq!(after.1 - before.1, 0, "interp tier must not tick vm_evals");
+}

@@ -33,9 +33,10 @@ use anmat_core::discovery::DiscoveryConfig;
 use anmat_core::{LedgerEvent, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger};
 use anmat_index::{BlockingPartition, KeyBlock, Placement};
 use anmat_obs as obs;
-use anmat_pattern::{CompiledPattern, MatchMemo, Pattern};
+use anmat_pattern::{CompiledConstrained, CompiledPattern, MatchMemo, PatternEngine};
 use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
 use fxhash::FxHashMap;
+use std::sync::Arc;
 
 /// Engine thresholds (the drift monitor's discovery-style knobs) plus
 /// the shard count the sharded engine and the CLI plumb through.
@@ -56,13 +57,13 @@ pub struct StreamConfig {
     /// space). `<= 0.0` (the default) disables auto-compaction;
     /// [`StreamEngine::compact`] stays available manually either way.
     pub compact_ratio: f64,
-    /// Evaluate memo misses on compiled pattern bytecode (`true`, the
-    /// default) or on the AST interpreter (`false` — the measured
-    /// baseline for the compiled-vs-interpreted comparison, and the CLI's
-    /// `--interpret` flag). Violations, events, and eval counts are
-    /// identical in both modes; only the per-distinct-value evaluation
-    /// cost differs.
-    pub use_compiled: bool,
+    /// Which execution tier evaluates memo misses — fused-capable
+    /// compiled bytecode (the default), the forced bytecode VM, or the
+    /// AST interpreter (the measured baseline and the CLI's
+    /// `--pattern-engine interp` flag). Violations, events, and eval
+    /// counts are identical across tiers; only the per-distinct-value
+    /// evaluation cost differs.
+    pub pattern_engine: PatternEngine,
 }
 
 impl Default for StreamConfig {
@@ -72,7 +73,7 @@ impl Default for StreamConfig {
             max_violation_ratio: 0.3,
             shards: 1,
             compact_ratio: 0.0,
-            use_compiled: true,
+            pattern_engine: PatternEngine::Fused,
         }
     }
 }
@@ -234,11 +235,11 @@ pub(crate) fn validate_shapes(
 /// Incremental state for one constant tableau tuple.
 #[derive(Debug)]
 struct ConstantTuple {
-    /// Embedded LHS pattern (`None` = wildcard: every non-null LHS).
-    pattern: Option<Pattern>,
-    /// The pattern compiled to bytecode — what memo misses evaluate on
-    /// when the engine runs in compiled mode.
-    compiled: Option<CompiledPattern>,
+    /// The LHS pattern compiled to bytecode (`None` = wildcard: every
+    /// non-null LHS), shared via `Arc` so a rule's programs are compiled
+    /// exactly once however many engines or shards hold its state. The
+    /// source AST rides inside for the interpreter tier.
+    compiled: Option<Arc<CompiledPattern>>,
     /// Per-`(pattern, ValueId)` match memo: the pattern is evaluated at
     /// most once per distinct LHS value, not once per row.
     memo: MatchMemo,
@@ -389,13 +390,65 @@ pub(crate) struct RuleState {
     /// attribute (the rule is inert, exactly like batch detection).
     cols: Option<(usize, usize)>,
     tuples: Vec<TupleState>,
-    /// Memo misses run on compiled bytecode (`true`) or the AST
-    /// interpreter (`false`); see [`StreamConfig::use_compiled`].
-    use_compiled: bool,
+    /// Which execution tier memo misses run on; see
+    /// [`StreamConfig::pattern_engine`].
+    engine: PatternEngine,
+}
+
+/// One rule's per-tuple compiled programs — compiled exactly once per
+/// rule and handed around as `Arc`s, so seeding rule state (on any
+/// engine, any shard, any rebalance) never recompiles and
+/// `pattern.compile_ns` counts each rule once regardless of `--shards N`.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledRule {
+    programs: Vec<TupleProgram>,
+}
+
+/// The compiled program of one tableau tuple (`None` = wildcard LHS).
+#[derive(Debug, Clone)]
+enum TupleProgram {
+    Constant(Option<Arc<CompiledPattern>>),
+    Variable(Option<Arc<CompiledConstrained>>),
+}
+
+impl CompiledRule {
+    /// Compile every tuple's LHS program for `pfd`.
+    pub(crate) fn compile(pfd: &Pfd) -> CompiledRule {
+        let programs = pfd
+            .tableau
+            .iter()
+            .map(|t| match (&t.rhs, &t.lhs) {
+                (RhsCell::Constant(_), LhsCell::Pattern(q)) => {
+                    TupleProgram::Constant(Some(Arc::new(CompiledPattern::compile(q.embedded()))))
+                }
+                (RhsCell::Constant(_), LhsCell::Wildcard) => TupleProgram::Constant(None),
+                (RhsCell::Wildcard, LhsCell::Pattern(q)) => {
+                    TupleProgram::Variable(Some(Arc::new(CompiledConstrained::compile(q))))
+                }
+                (RhsCell::Wildcard, LhsCell::Wildcard) => TupleProgram::Variable(None),
+            })
+            .collect();
+        CompiledRule { programs }
+    }
 }
 
 impl RuleState {
-    pub(crate) fn seed(pfd: Pfd, schema: &Schema, use_compiled: bool) -> RuleState {
+    /// Seed a rule, compiling its programs here (the single-engine
+    /// convenience over [`RuleState::seed_shared`]).
+    pub(crate) fn seed(pfd: Pfd, schema: &Schema, engine: PatternEngine) -> RuleState {
+        let compiled = CompiledRule::compile(&pfd);
+        RuleState::seed_shared(pfd, schema, engine, &compiled)
+    }
+
+    /// Seed a rule around already-compiled shared programs — the sharded
+    /// engine's path (compile once on the coordinator, seed on whichever
+    /// worker owns the rule).
+    pub(crate) fn seed_shared(
+        pfd: Pfd,
+        schema: &Schema,
+        engine: PatternEngine,
+        compiled: &CompiledRule,
+    ) -> RuleState {
         let cols = match (
             schema.index_of(&pfd.lhs_attr),
             schema.index_of(&pfd.rhs_attr),
@@ -406,36 +459,29 @@ impl RuleState {
         let tuples = pfd
             .tableau
             .iter()
-            .map(|t| match &t.rhs {
-                RhsCell::Constant(expected) => {
-                    let (pattern, display) = match &t.lhs {
-                        LhsCell::Pattern(q) => (Some(q.embedded().clone()), q.to_string()),
-                        LhsCell::Wildcard => (None, "⊥".to_string()),
-                    };
-                    let compiled = pattern.as_ref().map(CompiledPattern::compile);
-                    TupleState::Constant(ConstantTuple {
-                        pattern,
-                        compiled,
-                        memo: MatchMemo::new(),
-                        display,
-                        expected: ValuePool::intern(expected),
-                    })
-                }
-                RhsCell::Wildcard => {
-                    let (keyer, display) = match &t.lhs {
-                        LhsCell::Pattern(q) => (Some(q.clone()), q.to_string()),
-                        LhsCell::Wildcard => (None, "⊥".to_string()),
-                    };
-                    let partition = if use_compiled {
-                        BlockingPartition::new(keyer)
-                    } else {
-                        BlockingPartition::new_interpreted(keyer)
-                    };
-                    TupleState::Variable(Box::new(VariableTuple {
-                        partition,
-                        display,
-                        blocks: FxHashMap::default(),
-                    }))
+            .zip(&compiled.programs)
+            .map(|(t, program)| {
+                let display = match &t.lhs {
+                    LhsCell::Pattern(q) => q.to_string(),
+                    LhsCell::Wildcard => "⊥".to_string(),
+                };
+                match (&t.rhs, program) {
+                    (RhsCell::Constant(expected), TupleProgram::Constant(c)) => {
+                        TupleState::Constant(ConstantTuple {
+                            compiled: c.clone(),
+                            memo: MatchMemo::new(),
+                            display,
+                            expected: ValuePool::intern(expected),
+                        })
+                    }
+                    (RhsCell::Wildcard, TupleProgram::Variable(keyer)) => {
+                        TupleState::Variable(Box::new(VariableTuple {
+                            partition: BlockingPartition::with_shared(keyer.clone(), engine),
+                            display,
+                            blocks: FxHashMap::default(),
+                        }))
+                    }
+                    _ => unreachable!("CompiledRule::compile mirrors the tableau shape"),
                 }
             })
             .collect();
@@ -443,7 +489,7 @@ impl RuleState {
             pfd,
             cols,
             tuples,
-            use_compiled,
+            engine,
         }
     }
 
@@ -456,7 +502,7 @@ impl RuleState {
     /// dispatch between evals), never extra work. No-op in interpreted
     /// mode (the baseline keeps the per-row lazy shape).
     pub(crate) fn prime_batch(&mut self, rows: &[&[ValueId]]) {
-        if !self.use_compiled {
+        if self.engine == PatternEngine::Interp {
             return;
         }
         let Some((lhs, _)) = self.cols else {
@@ -466,8 +512,9 @@ impl RuleState {
             match tuple {
                 TupleState::Constant(ct) => {
                     if let Some(c) = &ct.compiled {
-                        ct.memo.prime_compiled(
+                        ct.memo.prime_with(
                             c,
+                            self.engine,
                             rows.iter().filter_map(|r| {
                                 let id = r[lhs];
                                 id.as_str().map(|s| (id.raw(), s))
@@ -504,14 +551,8 @@ impl RuleState {
                     let Some(value) = lhs_id.as_str() else {
                         continue;
                     };
-                    if let Some(p) = &ct.pattern {
-                        let hit = if self.use_compiled {
-                            let c = ct.compiled.as_ref().expect("compiled alongside pattern");
-                            ct.memo.matches_compiled(c, lhs_id.raw(), value)
-                        } else {
-                            ct.memo.matches(p, lhs_id.raw(), value)
-                        };
-                        if !hit {
+                    if let Some(c) = &ct.compiled {
+                        if !ct.memo.matches_with(c, self.engine, lhs_id.raw(), value) {
                             continue;
                         }
                     }
@@ -603,14 +644,8 @@ impl RuleState {
                     let Some(value) = lhs_id.as_str() else {
                         continue;
                     };
-                    if let Some(p) = &ct.pattern {
-                        let hit = if self.use_compiled {
-                            let c = ct.compiled.as_ref().expect("compiled alongside pattern");
-                            ct.memo.matches_compiled(c, lhs_id.raw(), value)
-                        } else {
-                            ct.memo.matches(p, lhs_id.raw(), value)
-                        };
-                        if !hit {
+                    if let Some(c) = &ct.compiled {
+                        if !ct.memo.matches_with(c, self.engine, lhs_id.raw(), value) {
                             continue;
                         }
                     }
@@ -789,7 +824,7 @@ impl StreamEngine {
         let drift = DriftMonitor::new(rules.len(), config.min_support, config.max_violation_ratio);
         let states = rules
             .into_iter()
-            .map(|pfd| RuleState::seed(pfd, &schema, config.use_compiled))
+            .map(|pfd| RuleState::seed(pfd, &schema, config.pattern_engine))
             .collect();
         StreamEngine {
             table: Table::empty(schema),

@@ -60,8 +60,8 @@
 
 use crate::drift::{DriftMonitor, DriftReport, RuleHealth};
 use crate::engine::{
-    apply_deltas, should_compact, validate_shapes, CompactionStats, Delta, DeltaSink, OpShape,
-    RuleState, StreamConfig,
+    apply_deltas, should_compact, validate_shapes, CompactionStats, CompiledRule, Delta, DeltaSink,
+    OpShape, RuleState, StreamConfig,
 };
 use anmat_core::{LedgerEvent, Pfd, ViolationLedger};
 use anmat_obs as obs;
@@ -356,16 +356,26 @@ impl ShardedEngine {
         let shards = config.shards.clamp(1, rules.len().max(1));
         let assignment = ShardedEngine::assign(&rules, shards);
         let drift = DriftMonitor::new(rules.len(), config.min_support, config.max_violation_ratio);
+        // Compile every rule's programs exactly once, on the coordinator;
+        // workers seed around the shared `Arc`s, so `pattern.compile_ns`
+        // records one compile per rule regardless of the shard count.
+        let compiled: Vec<CompiledRule> = rules.iter().map(CompiledRule::compile).collect();
         let workers = (0..shards)
             .map(|shard| {
                 let states: Vec<(usize, RuleState)> = rules
                     .iter()
+                    .zip(&compiled)
                     .enumerate()
                     .filter(|(rule, _)| assignment[*rule] == shard)
-                    .map(|(rule, pfd)| {
+                    .map(|(rule, (pfd, programs))| {
                         (
                             rule,
-                            RuleState::seed(pfd.clone(), &schema, config.use_compiled),
+                            RuleState::seed_shared(
+                                pfd.clone(),
+                                &schema,
+                                config.pattern_engine,
+                                programs,
+                            ),
                         )
                     })
                     .collect();

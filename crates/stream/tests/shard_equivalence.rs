@@ -12,6 +12,7 @@
 
 use anmat_core::{discover, DiscoveryConfig, Pfd};
 use anmat_datagen::{chembl, employee, names, phone, zipcity, GenConfig};
+use anmat_pattern::PatternEngine;
 use anmat_stream::{ShardedEngine, StreamConfig, StreamEngine};
 use anmat_table::{RowId, RowOp, Table};
 use proptest::prelude::*;
@@ -549,12 +550,12 @@ fn instrumented_run_is_bit_for_bit_identical() {
 }
 
 #[test]
-fn interpreted_mode_is_bit_for_bit_identical() {
-    // The compiled-bytecode contract: `use_compiled` changes only the
-    // machinery memo misses evaluate on (bytecode VM vs AST
-    // interpreter), never anything observable — event streams, ledger,
-    // health, drift — and not even the eval/lookup counters, because
-    // batch priming is count-neutral by construction.
+fn every_pattern_engine_is_bit_for_bit_identical() {
+    // The tiered-execution contract: `pattern_engine` changes only the
+    // machinery memo misses evaluate on (fused matcher vs bytecode VM
+    // vs AST interpreter), never anything observable — event streams,
+    // ledger, health, drift — and not even the eval/lookup counters,
+    // because batch priming is count-neutral by construction.
     let config = GenConfig {
         rows: 180,
         seed: 0xC0DE,
@@ -570,51 +571,63 @@ fn interpreted_mode_is_bit_for_bit_identical() {
         let rules = discover(&table, &discovery_config());
         let ops = random_ops(&table, 51, 0.2);
         let op_batches = batches(&ops, &[1, 11, 40]);
-        let interp_cfg = StreamConfig {
-            use_compiled: false,
-            ..StreamConfig::default()
+        let engine_for = |pattern_engine| {
+            StreamEngine::with_config(
+                table.schema().clone(),
+                rules.clone(),
+                StreamConfig {
+                    pattern_engine,
+                    ..StreamConfig::default()
+                },
+            )
         };
-        let mut compiled = StreamEngine::with_config(
-            table.schema().clone(),
-            rules.clone(),
-            StreamConfig::default(),
-        );
-        let mut interp =
-            StreamEngine::with_config(table.schema().clone(), rules.clone(), interp_cfg);
+        let mut fused = engine_for(PatternEngine::Fused);
+        let mut vm = engine_for(PatternEngine::Vm);
+        let mut interp = engine_for(PatternEngine::Interp);
         let mut sharded_interp = ShardedEngine::with_config(
             table.schema().clone(),
             rules.clone(),
             StreamConfig {
                 shards: 2,
-                ..interp_cfg
+                pattern_engine: PatternEngine::Interp,
+                ..StreamConfig::default()
             },
         );
         for (k, batch) in op_batches.iter().enumerate() {
-            let a = compiled.apply(batch.clone()).expect("ops are valid");
-            let b = interp.apply(batch.clone()).expect("ops are valid");
-            let c = sharded_interp.apply(batch.clone()).expect("ops are valid");
-            assert_eq!(a, b, "event stream diverged on {context} (batch {k})");
+            let a = fused.apply(batch.clone()).expect("ops are valid");
+            let b = vm.apply(batch.clone()).expect("ops are valid");
+            let c = interp.apply(batch.clone()).expect("ops are valid");
+            let d = sharded_interp.apply(batch.clone()).expect("ops are valid");
+            assert_eq!(a, b, "vm event stream diverged on {context} (batch {k})");
             assert_eq!(
                 a, c,
+                "interp event stream diverged on {context} (batch {k})"
+            );
+            assert_eq!(
+                a, d,
                 "sharded interpreted stream diverged on {context} (batch {k})"
             );
         }
-        assert_eq!(compiled.ledger().snapshot(), interp.ledger().snapshot());
+        assert_eq!(fused.ledger().snapshot(), interp.ledger().snapshot());
+        assert_eq!(vm.ledger().snapshot(), interp.ledger().snapshot());
         assert_eq!(
-            compiled.pattern_evals(),
+            fused.pattern_evals(),
             interp.pattern_evals(),
             "batch priming must be eval-count-neutral on {context}"
         );
         assert_eq!(
-            compiled.pattern_lookups(),
+            fused.pattern_lookups(),
             interp.pattern_lookups(),
             "priming is not a lookup — per-row probe counts must agree on {context}"
         );
+        assert_eq!(vm.pattern_evals(), interp.pattern_evals());
         assert_eq!(sharded_interp.pattern_evals(), interp.pattern_evals());
         for rule in 0..rules.len() {
-            assert_eq!(compiled.rule_health(rule), interp.rule_health(rule));
+            assert_eq!(fused.rule_health(rule), interp.rule_health(rule));
+            assert_eq!(vm.rule_health(rule), interp.rule_health(rule));
         }
-        assert_eq!(compiled.drift_report(), interp.drift_report());
+        assert_eq!(fused.drift_report(), interp.drift_report());
+        assert_eq!(vm.drift_report(), interp.drift_report());
     }
 }
 

@@ -75,10 +75,14 @@ fn usage() -> String {
      \x20                [--shards N] [--ops FILE] [--confirmed-only] [--quiet]\n\
      \x20                [--demote-drifted] [--violations F] [--min-support N]\n\
      \x20                [--compact-ratio R] [--stats-every N] [--metrics-out FILE]\n\
-     \x20                [--interpret]\n\
-     \x20                (--interpret disables the compiled pattern VM and\n\
-     \x20                runs rules through the AST interpreter — the\n\
-     \x20                measured baseline; output is bit-for-bit identical;\n\
+     \x20                [--pattern-engine interp|vm|fused]\n\
+     \x20                (--pattern-engine picks the execution tier: `fused`\n\
+     \x20                — the default — runs backtrack-free patterns on the\n\
+     \x20                single-pass fused matcher and the rest on the\n\
+     \x20                bytecode VM; `vm` forces the VM; `interp` runs the\n\
+     \x20                AST interpreter — the measured baseline (also\n\
+     \x20                spelled --interpret); output is bit-for-bit\n\
+     \x20                identical across all three;\n\
      \x20                drift thresholds: pass the values the rules were\n\
      \x20                discovered with; --shards N > 1 spreads rule state\n\
      \x20                over N worker threads, same output bit-for-bit;\n\
@@ -434,11 +438,13 @@ fn print_stats_line(engine: &AnyEngine, started: Instant, timing: bool) {
     let live = snap.gauge("table.live").unwrap_or(0);
     let violations = snap.gauge("ledger.live").unwrap_or(0);
     let pool = snap.gauge("pool.bytes").unwrap_or(0);
+    let fused_evals = snap.counter("pattern.fused_evals").unwrap_or(0);
     let vm_evals = snap.counter("pattern.vm_evals").unwrap_or(0);
     let interp_evals = snap.counter("pattern.interp_evals").unwrap_or(0);
     let mut line = format!(
         "stats: {slots} slot(s) ({live} live), {violations} live violation(s), \
-         pool {pool} byte(s), pattern evals {vm_evals} vm / {interp_evals} interp"
+         pool {pool} byte(s), pattern evals {fused_evals} fused / {vm_evals} vm / \
+         {interp_evals} interp"
     );
     if timing {
         let secs = started.elapsed().as_secs_f64();
@@ -459,6 +465,15 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let quiet = take_switch(&mut args, "--quiet");
     let demote_drifted = take_switch(&mut args, "--demote-drifted");
     let interpret = take_switch(&mut args, "--interpret");
+    let pattern_engine = match take_flag(&mut args, "--pattern-engine") {
+        Some(s) => s
+            .parse::<PatternEngine>()
+            .map_err(|e| format!("bad --pattern-engine: {e}"))?,
+        // --interpret survives as the baseline alias from before the
+        // three-tier flag existed.
+        None if interpret => PatternEngine::Interp,
+        None => PatternEngine::Fused,
+    };
     let metrics_out = take_flag(&mut args, "--metrics-out");
     let stats_every: Option<usize> = match take_flag(&mut args, "--stats-every") {
         Some(n) => Some(
@@ -480,7 +495,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     // Drift thresholds: pass the values the rules were discovered with
     // (mirrors `discover`'s flags); defaults match StreamConfig.
     let mut stream_config = StreamConfig {
-        use_compiled: !interpret,
+        pattern_engine,
         ..StreamConfig::default()
     };
     if let Some(v) = take_flag(&mut args, "--violations") {
@@ -517,7 +532,8 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     // Any consumer of the metrics registry turns the recorder on; with
     // all three off the instrumented call sites cost one relaxed atomic
     // load each.
-    if timing || stats_every.is_some() || metrics_out.is_some() {
+    let recording = timing || stats_every.is_some() || metrics_out.is_some();
+    if recording {
         obs::Recorder::enable();
     }
     let table = csv::read_path(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -648,6 +664,20 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         pool.string_bytes,
         pool.map_bytes
     );
+    // The three-way engine split (which execution tier actually ran the
+    // evals). Counters only move while the recorder is on, so the line
+    // is printed only then; it is deterministic for a given engine mode
+    // but naturally differs across --pattern-engine modes.
+    if recording {
+        let snap = obs::MetricsSnapshot::capture();
+        println!(
+            "pattern tiers: {} fused / {} vm / {} interp eval(s), engine {}",
+            snap.counter("pattern.fused_evals").unwrap_or(0),
+            snap.counter("pattern.vm_evals").unwrap_or(0),
+            snap.counter("pattern.interp_evals").unwrap_or(0),
+            stream_config.pattern_engine
+        );
+    }
     if timing {
         // Both figures come back out of the obs registry rather than a
         // local stopwatch — the same numbers --metrics-out serializes.
