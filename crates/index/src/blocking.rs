@@ -495,6 +495,94 @@ impl BlockingPartition {
         }
     }
 
+    /// Derive (and memoize) the blocking key for `lhs` without placing
+    /// any row — the coordinator-side *routing* hook for key-granular
+    /// sharding. Returns `None` for a null LHS or a non-matching value
+    /// (no block ⇒ nothing to route); a partition without a keyer blocks
+    /// on the whole value, so any non-null LHS routes to itself.
+    ///
+    /// Counting matches the lazy insert path exactly: one lookup per
+    /// call on a keyed partition, one eval per distinct uncached LHS —
+    /// so a router that sees the same LHS sequence as a single-threaded
+    /// partition reports identical `key_evals`.
+    pub fn key_for(&mut self, lhs: ValueId) -> Option<ValueId> {
+        if lhs.is_null() {
+            return None;
+        }
+        match &self.keyer {
+            Some(q) => {
+                self.key_lookups += 1;
+                *self.key_cache.entry(lhs).or_insert_with(|| {
+                    self.key_evals += 1;
+                    BlockingPartition::derive_key(q, self.engine, &mut self.key_buf, lhs)
+                })
+            }
+            None => Some(lhs),
+        }
+    }
+
+    /// Insert one row under an externally derived `key`, bypassing the
+    /// keyer and the key cache entirely — the worker-side half of the
+    /// key-granular sharding split, where the coordinator has already
+    /// paid for (and memoized) the key via [`BlockingPartition::key_for`]
+    /// and ships it with the op. Performs zero pattern work, so
+    /// [`BlockingPartition::key_evals`] stays 0 on pure key-fed
+    /// partitions and the global eval tally matches single-threaded runs.
+    pub fn insert_with_key(&mut self, row: RowId, key: ValueId, rhs: ValueId) {
+        self.blocks.entry(key).or_default().push(row, rhs);
+    }
+
+    /// Remove one row from the block under an externally derived `key` —
+    /// the exact inverse of [`BlockingPartition::insert_with_key`].
+    /// Empty blocks are dropped, mirroring [`BlockingPartition::remove`].
+    pub fn remove_with_key(&mut self, row: RowId, key: ValueId) {
+        if let Some(block) = self.blocks.get_mut(&key) {
+            block.remove(row);
+            if block.is_empty() {
+                self.blocks.remove(&key);
+            }
+        }
+    }
+
+    /// Move out every block whose key satisfies `pred` — the partition's
+    /// half of the key-range migration protocol (a sharded engine
+    /// reassigning a hash range of keys to another worker). The extracted
+    /// `(key, block)` pairs re-install losslessly via
+    /// [`BlockingPartition::install_blocks`]; counters and the key cache
+    /// stay put (migration performs no pattern work, and routing state
+    /// lives with the coordinator).
+    pub fn extract_blocks_if(
+        &mut self,
+        mut pred: impl FnMut(ValueId) -> bool,
+    ) -> Vec<(ValueId, KeyBlock)> {
+        let mut out = Vec::new();
+        self.blocks.retain(|&key, block| {
+            if pred(key) {
+                out.push((key, std::mem::take(block)));
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Install blocks previously moved out by
+    /// [`BlockingPartition::extract_blocks_if`]. Keys must not collide
+    /// with blocks already present (key ranges are disjoint across
+    /// workers by construction); a collision replaces the resident block.
+    pub fn install_blocks(&mut self, blocks: impl IntoIterator<Item = (ValueId, KeyBlock)>) {
+        for (key, block) in blocks {
+            self.blocks.insert(key, block);
+        }
+    }
+
+    /// Iterate the keys of all live blocks (arbitrary order) — the census
+    /// hook key-granular rebalancing uses to weigh hash ranges.
+    pub fn block_keys(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.blocks.keys().copied()
+    }
+
     /// The block for a key, if any row produced it.
     #[must_use]
     pub fn block(&self, key: ValueId) -> Option<&KeyBlock> {

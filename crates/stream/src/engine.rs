@@ -64,6 +64,35 @@ pub struct StreamConfig {
     /// counts are identical across tiers; only the per-distinct-value
     /// evaluation cost differs.
     pub pattern_engine: PatternEngine,
+    /// Which axis the sharded engine partitions work on: whole rules
+    /// (the default — each worker owns a disjoint rule subset) or hashed
+    /// blocking keys (each worker owns a disjoint key range of *every*
+    /// rule, so a single heavy rule spreads across all cores). Ignored
+    /// by `StreamEngine`.
+    pub shard_by: ShardBy,
+    /// Cross-batch pipelining window for the sharded engine: how many
+    /// submitted batches may be in flight (fanned out but not yet
+    /// merged) before the coordinator merges the oldest. `0` (the
+    /// default) restores the classic per-batch barrier. Merging is
+    /// always in submission order, so event order is unaffected.
+    /// Ignored by `StreamEngine`.
+    pub run_ahead: usize,
+}
+
+/// The sharded engine's work-partitioning axis (see
+/// [`StreamConfig::shard_by`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBy {
+    /// Partition by rule: worker `w` owns a disjoint subset of rules and
+    /// evaluates them over a full table replica. Zero routing cost, but
+    /// one heavy rule is capped at one core.
+    #[default]
+    Rule,
+    /// Partition by blocking key: every worker holds every rule, but only
+    /// processes tuples whose derived key (or constant-tuple LHS value)
+    /// hashes into the worker's slot range. The coordinator derives and
+    /// ships keys, so pattern work is still paid once per distinct value.
+    Key,
 }
 
 impl Default for StreamConfig {
@@ -74,6 +103,8 @@ impl Default for StreamConfig {
             shards: 1,
             compact_ratio: 0.0,
             pattern_engine: PatternEngine::Fused,
+            shard_by: ShardBy::Rule,
+            run_ahead: 0,
         }
     }
 }
@@ -282,7 +313,7 @@ struct VariableTuple {
 /// 4. **off-window majority churn**: a majority row beyond the witness
 ///    window arrives or leaves — nothing moves (`O(1)`).
 #[derive(Debug, Default)]
-struct BlockState {
+pub(crate) struct BlockState {
     majority: Option<ValueId>,
     witnesses: Vec<RowId>,
     violations: Vec<Violation>,
@@ -369,6 +400,166 @@ impl BlockState {
     }
 }
 
+impl ConstantTuple {
+    /// One row against this tuple: the memoized pattern gate plus the
+    /// same `violation_at` primitive batch detection uses. Returns
+    /// whether the LHS matched; on a match with a disagreeing RHS the
+    /// violation is created (arrivals) or retracted (removals) into
+    /// `sink`. Drift counts this rule's own assertion even when another
+    /// rule already implied the same violation (the ledger refcounts
+    /// those).
+    #[allow(clippy::too_many_arguments)]
+    fn process(
+        &mut self,
+        table: &Table,
+        pfd: &Pfd,
+        engine: PatternEngine,
+        lhs: usize,
+        rhs: usize,
+        lhs_id: ValueId,
+        row: RowId,
+        removal: bool,
+        sink: &mut DeltaSink,
+    ) -> bool {
+        let Some(value) = lhs_id.as_str() else {
+            return false;
+        };
+        if let Some(c) = &self.compiled {
+            if !self.memo.matches_with(c, engine, lhs_id.raw(), value) {
+                return false;
+            }
+        }
+        if let Some(v) = violation_at(table, pfd, &self.display, self.expected, lhs, rhs, row) {
+            if removal {
+                sink.retract(v);
+            } else {
+                sink.create(v);
+            }
+        }
+        true
+    }
+}
+
+impl VariableTuple {
+    /// Post-placement insert transition: `row` has just joined `key`'s
+    /// block; update the block's asserted majority/witness/violation
+    /// context. Shared verbatim between rule-granular processing (where
+    /// the partition derived `key` itself) and key-granular processing
+    /// (where the coordinator shipped it) — one transition body is what
+    /// keeps the two modes bit-for-bit identical.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_transition(
+        &mut self,
+        table: &Table,
+        pfd: &Pfd,
+        lhs: usize,
+        rhs: usize,
+        rhs_id: ValueId,
+        key: ValueId,
+        row: RowId,
+        sink: &mut DeltaSink,
+    ) {
+        let block = self.partition.block(key).expect("row just joined");
+        let new_majority = block.majority_id();
+        let state = self.blocks.entry(key).or_default();
+        if new_majority != state.majority {
+            // Majority flip (or first non-null RHS): every asserted
+            // violation embeds the old majority, so none survives.
+            state.rederive(table, pfd, lhs, rhs, &self.display, key, block, sink);
+        } else if let Some(majority) = state.majority {
+            if rhs_id == majority {
+                // New majority row: does it enter the
+                // first-`MAX_WITNESSES` window? Appends only grow a
+                // non-full list, but an update can re-insert a *smaller*
+                // row id that displaces the window's tail.
+                let enters = state.witnesses.len() < MAX_WITNESSES
+                    || state.witnesses.last().is_some_and(|&last| row < last);
+                if enters {
+                    let mut witnesses = state.witnesses.clone();
+                    let pos = witnesses.partition_point(|&r| r < row);
+                    witnesses.insert(pos, row);
+                    witnesses.truncate(MAX_WITNESSES);
+                    state.rewrite_witnesses(witnesses, sink);
+                }
+            } else if block.len() >= 2 {
+                // Minority arrival — the hot path: one new violation,
+                // nothing else moves.
+                let v = minority_violation(
+                    table,
+                    pfd,
+                    lhs,
+                    rhs,
+                    &self.display,
+                    key.render(),
+                    majority.render(),
+                    &state.witnesses,
+                    row,
+                );
+                sink.create(v.clone());
+                state.violations.push(v);
+            }
+        }
+        // new majority == old == None: all-null block, nothing to assert.
+    }
+
+    /// Post-placement removal transition: `row` has just left `key`'s
+    /// block — the exact inverse of
+    /// [`VariableTuple::insert_transition`], shared between both
+    /// sharding modes the same way.
+    #[allow(clippy::too_many_arguments)]
+    fn removal_transition(
+        &mut self,
+        table: &Table,
+        pfd: &Pfd,
+        lhs: usize,
+        rhs: usize,
+        rhs_id: ValueId,
+        key: ValueId,
+        row: RowId,
+        sink: &mut DeltaSink,
+    ) {
+        let Some(state) = self.blocks.get_mut(&key) else {
+            return; // row never asserted into this block
+        };
+        match self.partition.block(key) {
+            None => {
+                // The block drained: nothing left to flag, forget its
+                // state entirely.
+                state.drain(sink);
+                self.blocks.remove(&key);
+            }
+            Some(block) => {
+                let new_majority = block.majority_id();
+                if new_majority != state.majority {
+                    // Majority flip (or last non-null RHS gone): full
+                    // re-derive, exactly like the insert-side flip.
+                    state.rederive(table, pfd, lhs, rhs, &self.display, key, block, sink);
+                } else if let Some(majority) = state.majority {
+                    if state.witnesses.binary_search(&row).is_ok() {
+                        // A witness left: the next majority row in block
+                        // order (if any) takes its slot.
+                        let witnesses = block
+                            .rows_with_rhs_ids()
+                            .filter(|&(_, v)| v == majority)
+                            .map(|(r, _)| r)
+                            .take(MAX_WITNESSES)
+                            .collect();
+                        state.rewrite_witnesses(witnesses, sink);
+                    } else if rhs_id != majority {
+                        // Minority departure — the fast path: exactly the
+                        // row's own violation goes.
+                        state.retract_row(row, sink);
+                    }
+                    // Majority row beyond the witness window: nothing
+                    // moves.
+                }
+                // Both majorities None: all-null block, nothing was
+                // asserted.
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 enum TupleState {
     Constant(ConstantTuple),
@@ -395,6 +586,84 @@ pub(crate) struct RuleState {
     engine: PatternEngine,
 }
 
+/// The deltas one *owned* tableau tuple produced for one op under
+/// key-granular processing, tagged with the tuple's tableau index.
+///
+/// In key mode a single rule's work for one row can land on several
+/// workers (one per tuple the row's keys hash to), so deltas come back
+/// per `(rule, tuple)` instead of per rule; the coordinator sorts the
+/// merged entries by that pair to reproduce the single-threaded sink
+/// order, then folds the `matched` bits and violation counts into one
+/// drift tally per rule.
+#[derive(Debug)]
+pub(crate) struct TupleDeltas {
+    /// Tableau index of the emitting tuple — when several consecutive
+    /// owned tuples fuse into one entry, the first one's index (the
+    /// fused deltas stay in tableau order internally, so sorting merged
+    /// entries by this tag still reproduces the single-threaded order).
+    pub(crate) tuple: usize,
+    /// Did the row's LHS match this tuple (ORed across fused tuples)?
+    pub(crate) matched: bool,
+    /// The violation deltas, in single-threaded emission order.
+    pub(crate) sink: DeltaSink,
+}
+
+impl TupleDeltas {
+    /// Fold one more owned tuple's output into the running entry —
+    /// legal only while no *other* worker can emit an entry between the
+    /// fused tuples (the callers close the run at any tuple another
+    /// worker owns).
+    fn absorb(pending: &mut Option<TupleDeltas>, tuple: usize, matched: bool, sink: DeltaSink) {
+        match pending {
+            Some(p) => {
+                p.matched |= matched;
+                p.sink.created += sink.created;
+                p.sink.retracted += sink.retracted;
+                if p.sink.deltas.is_empty() {
+                    p.sink.deltas = sink.deltas;
+                } else {
+                    p.sink.deltas.extend(sink.deltas);
+                }
+            }
+            None => {
+                *pending = Some(TupleDeltas {
+                    tuple,
+                    matched,
+                    sink,
+                });
+            }
+        }
+    }
+
+    /// Close the current fusion run (another worker may own the next
+    /// tuple, so its entry must be sortable in between).
+    fn flush(pending: &mut Option<TupleDeltas>, out: &mut Vec<TupleDeltas>) {
+        if let Some(p) = pending.take() {
+            out.push(p);
+        }
+    }
+}
+
+/// One tuple's extractable per-key state — the payload of the key-range
+/// migration protocol (see [`RuleState::extract_keys`]).
+#[derive(Debug)]
+pub(crate) enum TupleKeySlice {
+    /// Constant tuple: `(lhs id, matched?)` memo entries.
+    Constant(Vec<(u32, bool)>),
+    /// Variable tuple: `(key, block, asserted context)` triples.
+    Variable(Vec<(ValueId, KeyBlock, BlockState)>),
+}
+
+impl TupleKeySlice {
+    /// Is there anything to migrate in this slice?
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            TupleKeySlice::Constant(entries) => entries.is_empty(),
+            TupleKeySlice::Variable(entries) => entries.is_empty(),
+        }
+    }
+}
+
 /// One rule's per-tuple compiled programs — compiled exactly once per
 /// rule and handed around as `Arc`s, so seeding rule state (on any
 /// engine, any shard, any rebalance) never recompiles and
@@ -412,6 +681,21 @@ enum TupleProgram {
 }
 
 impl CompiledRule {
+    /// The compiled key extractors of this rule's *variable* tuples, in
+    /// tableau order (`None` = wildcard LHS, which blocks on the whole
+    /// value). The coordinator of a key-granular sharded engine builds
+    /// its routing memos from these, sharing the same `Arc`s the worker
+    /// states hold.
+    pub(crate) fn variable_keyers(&self) -> Vec<Option<Arc<CompiledConstrained>>> {
+        self.programs
+            .iter()
+            .filter_map(|p| match p {
+                TupleProgram::Variable(keyer) => Some(keyer.clone()),
+                TupleProgram::Constant(_) => None,
+            })
+            .collect()
+    }
+
     /// Compile every tuple's LHS program for `pfd`.
     pub(crate) fn compile(pfd: &Pfd) -> CompiledRule {
         let programs = pfd
@@ -548,73 +832,24 @@ impl RuleState {
         for tuple in &mut self.tuples {
             match tuple {
                 TupleState::Constant(ct) => {
-                    let Some(value) = lhs_id.as_str() else {
-                        continue;
-                    };
-                    if let Some(c) = &ct.compiled {
-                        if !ct.memo.matches_with(c, self.engine, lhs_id.raw(), value) {
-                            continue;
-                        }
-                    }
-                    matched = true;
-                    if let Some(v) =
-                        violation_at(table, &self.pfd, &ct.display, ct.expected, lhs, rhs, row)
-                    {
-                        // Drift counts this rule's own assertion even
-                        // when another rule already implied the same
-                        // violation (the ledger refcounts those).
-                        sink.create(v);
-                    }
+                    matched |= ct.process(
+                        table,
+                        &self.pfd,
+                        self.engine,
+                        lhs,
+                        rhs,
+                        lhs_id,
+                        row,
+                        false,
+                        sink,
+                    );
                 }
                 TupleState::Variable(vt) => {
                     let Placement::Block(key) = vt.partition.insert(row, lhs_id, rhs_id) else {
                         continue;
                     };
                     matched = true;
-                    let block = vt.partition.block(key).expect("row just joined");
-                    let new_majority = block.majority_id();
-                    let state = vt.blocks.entry(key).or_default();
-                    if new_majority != state.majority {
-                        // Majority flip (or first non-null RHS): every
-                        // asserted violation embeds the old majority, so
-                        // none survives.
-                        state.rederive(table, &self.pfd, lhs, rhs, &vt.display, key, block, sink);
-                    } else if let Some(majority) = state.majority {
-                        if rhs_id == majority {
-                            // New majority row: does it enter the
-                            // first-`MAX_WITNESSES` window? Appends only
-                            // grow a non-full list, but an update can
-                            // re-insert a *smaller* row id that displaces
-                            // the window's tail.
-                            let enters = state.witnesses.len() < MAX_WITNESSES
-                                || state.witnesses.last().is_some_and(|&last| row < last);
-                            if enters {
-                                let mut witnesses = state.witnesses.clone();
-                                let pos = witnesses.partition_point(|&r| r < row);
-                                witnesses.insert(pos, row);
-                                witnesses.truncate(MAX_WITNESSES);
-                                state.rewrite_witnesses(witnesses, sink);
-                            }
-                        } else if block.len() >= 2 {
-                            // Minority arrival — the hot path: one new
-                            // violation, nothing else moves.
-                            let v = minority_violation(
-                                table,
-                                &self.pfd,
-                                lhs,
-                                rhs,
-                                &vt.display,
-                                key.render(),
-                                majority.render(),
-                                &state.witnesses,
-                                row,
-                            );
-                            sink.create(v.clone());
-                            state.violations.push(v);
-                        }
-                    }
-                    // new majority == old == None: all-null block,
-                    // nothing to assert.
+                    vt.insert_transition(table, &self.pfd, lhs, rhs, rhs_id, key, row, sink);
                 }
             }
         }
@@ -641,84 +876,282 @@ impl RuleState {
         for tuple in &mut self.tuples {
             match tuple {
                 TupleState::Constant(ct) => {
-                    let Some(value) = lhs_id.as_str() else {
-                        continue;
-                    };
-                    if let Some(c) = &ct.compiled {
-                        if !ct.memo.matches_with(c, self.engine, lhs_id.raw(), value) {
-                            continue;
-                        }
-                    }
-                    matched = true;
                     // Rebuild the violation the arrival created (the
                     // check is the same id comparison; the memo makes
                     // the pattern free) and retract it.
-                    if let Some(v) =
-                        violation_at(table, &self.pfd, &ct.display, ct.expected, lhs, rhs, row)
-                    {
-                        sink.retract(v);
-                    }
+                    matched |= ct.process(
+                        table,
+                        &self.pfd,
+                        self.engine,
+                        lhs,
+                        rhs,
+                        lhs_id,
+                        row,
+                        true,
+                        sink,
+                    );
                 }
                 TupleState::Variable(vt) => {
                     let Placement::Block(key) = vt.partition.remove(row, lhs_id) else {
                         continue;
                     };
                     matched = true;
-                    let Some(state) = vt.blocks.get_mut(&key) else {
-                        continue; // row never asserted into this block
-                    };
-                    match vt.partition.block(key) {
-                        None => {
-                            // The block drained: nothing left to flag,
-                            // forget its state entirely.
-                            state.drain(sink);
-                            vt.blocks.remove(&key);
-                        }
-                        Some(block) => {
-                            let new_majority = block.majority_id();
-                            if new_majority != state.majority {
-                                // Majority flip (or last non-null RHS
-                                // gone): full re-derive, exactly like the
-                                // insert-side flip.
-                                state.rederive(
-                                    table,
-                                    &self.pfd,
-                                    lhs,
-                                    rhs,
-                                    &vt.display,
-                                    key,
-                                    block,
-                                    sink,
-                                );
-                            } else if let Some(majority) = state.majority {
-                                if state.witnesses.binary_search(&row).is_ok() {
-                                    // A witness left: the next majority
-                                    // row in block order (if any) takes
-                                    // its slot.
-                                    let witnesses = block
-                                        .rows_with_rhs_ids()
-                                        .filter(|&(_, v)| v == majority)
-                                        .map(|(r, _)| r)
-                                        .take(MAX_WITNESSES)
-                                        .collect();
-                                    state.rewrite_witnesses(witnesses, sink);
-                                } else if rhs_id != majority {
-                                    // Minority departure — the fast path:
-                                    // exactly the row's own violation
-                                    // goes.
-                                    state.retract_row(row, sink);
-                                }
-                                // Majority row beyond the witness window:
-                                // nothing moves.
-                            }
-                            // Both majorities None: all-null block,
-                            // nothing was asserted.
-                        }
-                    }
+                    vt.removal_transition(table, &self.pfd, lhs, rhs, rhs_id, key, row, sink);
                 }
             }
         }
         matched
+    }
+
+    /// Key-granular [`RuleState::prime_batch`]: warm the constant
+    /// tuples' match memos over the *owned* LHS ids only. Variable
+    /// tuples are skipped entirely — in key mode the coordinator derives
+    /// (and memoizes) blocking keys, so worker partitions never run the
+    /// extractor. Each distinct LHS value is owned by exactly one
+    /// worker, so summing worker memos still yields the single-threaded
+    /// eval count.
+    /// The rule's LHS column in the live schema (`None` = inert rule).
+    /// Key-mode workers consult this to screen rules before any
+    /// per-tuple work.
+    pub(crate) fn lhs_col(&self) -> Option<usize> {
+        self.cols.map(|(lhs, _)| lhs)
+    }
+
+    /// Whether the tableau holds any constant tuple — the only tuple
+    /// kind whose key-mode ownership is decided by the row's LHS id
+    /// rather than a coordinator-shipped route.
+    pub(crate) fn has_constant_tuples(&self) -> bool {
+        self.tuples
+            .iter()
+            .any(|t| matches!(t, TupleState::Constant(_)))
+    }
+
+    pub(crate) fn prime_batch_key(&mut self, rows: &[&[ValueId]], owns: &impl Fn(ValueId) -> bool) {
+        if self.engine == PatternEngine::Interp {
+            return;
+        }
+        let Some((lhs, _)) = self.cols else {
+            return;
+        };
+        for tuple in &mut self.tuples {
+            if let TupleState::Constant(ct) = tuple {
+                if let Some(c) = &ct.compiled {
+                    ct.memo.prime_with(
+                        c,
+                        self.engine,
+                        rows.iter().filter_map(|r| {
+                            let id = r[lhs];
+                            if !owns(id) {
+                                return None;
+                            }
+                            id.as_str().map(|s| (id.raw(), s))
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Key-granular [`RuleState::process_insert`]: incorporate one
+    /// arrived row, but only through the tuples this worker *owns* —
+    /// constant tuples whose LHS id satisfies `owns`, and variable
+    /// tuples whose coordinator-derived route key (one `Option<ValueId>`
+    /// per variable tuple, tableau order, in `routes`) satisfies it.
+    /// `None` routes (null or non-matching LHS) are skipped by every
+    /// worker: no block forms, so nothing observable depends on them.
+    ///
+    /// Emits one [`TupleDeltas`] per owned tuple that matched (or
+    /// produced deltas), tagged with the tuple's tableau index — the
+    /// coordinator sorts merged entries by `(rule, tuple)` to reproduce
+    /// the single-threaded sink order exactly.
+    pub(crate) fn process_insert_key(
+        &mut self,
+        table: &Table,
+        row: RowId,
+        routes: &[Option<ValueId>],
+        owns: &impl Fn(ValueId) -> bool,
+        out: &mut Vec<TupleDeltas>,
+    ) {
+        let Some((lhs, rhs)) = self.cols else {
+            return;
+        };
+        let lhs_id = table.cell_id(row, lhs);
+        let rhs_id = table.cell_id(row, rhs);
+        // One slot-map probe covers every constant tuple: they all key
+        // on the same LHS id.
+        let const_owned = owns(lhs_id);
+        // Consecutive owned tuples fuse into one entry; a tuple another
+        // worker owns closes the run (its entry must sort in between),
+        // while tuples nobody processes (`None` routes) fuse across.
+        let mut pending: Option<TupleDeltas> = None;
+        let mut var_idx = 0;
+        for (idx, tuple) in self.tuples.iter_mut().enumerate() {
+            match tuple {
+                TupleState::Constant(ct) => {
+                    if !const_owned {
+                        TupleDeltas::flush(&mut pending, out);
+                        continue;
+                    }
+                    let mut sink = DeltaSink::default();
+                    let matched = ct.process(
+                        table,
+                        &self.pfd,
+                        self.engine,
+                        lhs,
+                        rhs,
+                        lhs_id,
+                        row,
+                        false,
+                        &mut sink,
+                    );
+                    if matched || !sink.deltas.is_empty() {
+                        TupleDeltas::absorb(&mut pending, idx, matched, sink);
+                    }
+                }
+                TupleState::Variable(vt) => {
+                    let route = routes[var_idx];
+                    var_idx += 1;
+                    let Some(key) = route else {
+                        continue;
+                    };
+                    if !owns(key) {
+                        TupleDeltas::flush(&mut pending, out);
+                        continue;
+                    }
+                    vt.partition.insert_with_key(row, key, rhs_id);
+                    let mut sink = DeltaSink::default();
+                    vt.insert_transition(table, &self.pfd, lhs, rhs, rhs_id, key, row, &mut sink);
+                    TupleDeltas::absorb(&mut pending, idx, true, sink);
+                }
+            }
+        }
+        TupleDeltas::flush(&mut pending, out);
+    }
+
+    /// Key-granular [`RuleState::process_removal`] — the exact inverse
+    /// of [`RuleState::process_insert_key`], with the same ownership and
+    /// routing contract (the coordinator derives removal routes from the
+    /// row's *pre-op* cells).
+    pub(crate) fn process_removal_key(
+        &mut self,
+        table: &Table,
+        row: RowId,
+        routes: &[Option<ValueId>],
+        owns: &impl Fn(ValueId) -> bool,
+        out: &mut Vec<TupleDeltas>,
+    ) {
+        let Some((lhs, rhs)) = self.cols else {
+            return;
+        };
+        let lhs_id = table.cell_id(row, lhs);
+        let rhs_id = table.cell_id(row, rhs);
+        let const_owned = owns(lhs_id);
+        let mut pending: Option<TupleDeltas> = None;
+        let mut var_idx = 0;
+        for (idx, tuple) in self.tuples.iter_mut().enumerate() {
+            match tuple {
+                TupleState::Constant(ct) => {
+                    if !const_owned {
+                        TupleDeltas::flush(&mut pending, out);
+                        continue;
+                    }
+                    let mut sink = DeltaSink::default();
+                    let matched = ct.process(
+                        table,
+                        &self.pfd,
+                        self.engine,
+                        lhs,
+                        rhs,
+                        lhs_id,
+                        row,
+                        true,
+                        &mut sink,
+                    );
+                    if matched || !sink.deltas.is_empty() {
+                        TupleDeltas::absorb(&mut pending, idx, matched, sink);
+                    }
+                }
+                TupleState::Variable(vt) => {
+                    let route = routes[var_idx];
+                    var_idx += 1;
+                    let Some(key) = route else {
+                        continue;
+                    };
+                    if !owns(key) {
+                        TupleDeltas::flush(&mut pending, out);
+                        continue;
+                    }
+                    vt.partition.remove_with_key(row, key);
+                    let mut sink = DeltaSink::default();
+                    vt.removal_transition(table, &self.pfd, lhs, rhs, rhs_id, key, row, &mut sink);
+                    TupleDeltas::absorb(&mut pending, idx, true, sink);
+                }
+            }
+        }
+        TupleDeltas::flush(&mut pending, out);
+    }
+
+    /// Move out all per-key state whose key (`ValueId::raw`) satisfies
+    /// `give_up` — one [`TupleKeySlice`] per tuple, tableau order. The
+    /// key-range migration half of key-granular rebalancing: constant
+    /// tuples surrender memo entries (keyed by LHS id), variable tuples
+    /// surrender whole blocks with their asserted
+    /// majority/witness/violation context. Eval counters stay put on
+    /// both sides, so global eval tallies survive any rebalance.
+    pub(crate) fn extract_keys(&mut self, give_up: &dyn Fn(u32) -> bool) -> Vec<TupleKeySlice> {
+        self.tuples
+            .iter_mut()
+            .map(|tuple| match tuple {
+                TupleState::Constant(ct) => TupleKeySlice::Constant(ct.memo.extract_if(give_up)),
+                TupleState::Variable(vt) => {
+                    let blocks = vt.partition.extract_blocks_if(|k| give_up(k.raw()));
+                    TupleKeySlice::Variable(
+                        blocks
+                            .into_iter()
+                            .map(|(key, block)| {
+                                let state = vt.blocks.remove(&key).unwrap_or_default();
+                                (key, block, state)
+                            })
+                            .collect(),
+                    )
+                }
+            })
+            .collect()
+    }
+
+    /// Install per-key state previously moved out by
+    /// [`RuleState::extract_keys`] on another worker. `slices` must be
+    /// tuple-aligned (same tableau, same order) — guaranteed because
+    /// every key-mode worker seeds every rule from the same shared
+    /// [`CompiledRule`].
+    pub(crate) fn install_keys(&mut self, slices: Vec<TupleKeySlice>) {
+        for (tuple, slice) in self.tuples.iter_mut().zip(slices) {
+            match (tuple, slice) {
+                (TupleState::Constant(ct), TupleKeySlice::Constant(entries)) => {
+                    ct.memo.install(entries);
+                }
+                (TupleState::Variable(vt), TupleKeySlice::Variable(entries)) => {
+                    for (key, block, state) in entries {
+                        vt.partition.install_blocks([(key, block)]);
+                        vt.blocks.insert(key, state);
+                    }
+                }
+                _ => unreachable!("slice shape mirrors the tableau"),
+            }
+        }
+    }
+
+    /// Visit the key of every live block across this rule's variable
+    /// tuples — the census hook key-granular rebalancing weighs hash
+    /// ranges with.
+    pub(crate) fn for_each_block_key(&self, f: &mut dyn FnMut(ValueId)) {
+        for tuple in &self.tuples {
+            if let TupleState::Variable(vt) = tuple {
+                for key in vt.partition.block_keys() {
+                    f(key);
+                }
+            }
+        }
     }
 
     /// Apply a compaction [`RowIdRemap`] to this rule's incremental

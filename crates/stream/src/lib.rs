@@ -51,19 +51,29 @@
 //!   rules that decay below the discovery threshold, so they can be
 //!   demoted to `RuleStatus::Pending` for re-review.
 //! * [`ShardedEngine`] runs the same delta pipeline across worker
-//!   threads: rules (whose incremental state is mutually independent)
-//!   are partitioned over N shards, each op batch is interned once and
-//!   fanned out over bounded channels, and per-shard deltas are merged
-//!   back in global rule order into one coordinator-owned ledger. The
-//!   **determinism contract**: for any op sequence and any shard count,
-//!   the event stream, ledger state, per-rule health, and drift report
+//!   threads, on either of two axes ([`StreamConfig::shard_by`]):
+//!   **rule-granular** (each worker owns a disjoint rule subset — the
+//!   incremental state of different rules is mutually independent) or
+//!   **key-granular** ([`ShardBy::Key`] — blocking keys are hashed over
+//!   workers, so a single heavy rule's blocks spread across every
+//!   core; the coordinator derives each distinct key once and ships
+//!   routes with the batch). Each op batch is interned once, fanned out
+//!   over bounded channels, and per-shard deltas are merged back in
+//!   `(rule, tuple)` order into one coordinator-owned ledger. With
+//!   [`StreamConfig::run_ahead`]` > 0` the coordinator *pipelines*
+//!   batches: [`ShardedEngine::submit`] returns while workers run
+//!   ahead, and epoch-sequence-tagged merges happen strictly in
+//!   submission order ([`BatchEvents`]). The **determinism contract**:
+//!   for any op sequence, shard count, axis, and run-ahead window, the
+//!   event stream, ledger state, per-rule health, and drift report
 //!   are bit-for-bit identical to [`StreamEngine`]'s (property-tested in
 //!   `tests/shard_equivalence.rs`). Cross-shard string traffic rides the
 //!   `ValuePool`, whose id→string resolution is lock-free. Compaction
 //!   runs as a coordinated **epoch barrier** ([`ShardedEngine::compact`]):
-//!   the coordinator compacts, broadcasts the remap, and every worker
-//!   remaps its replica and rule state before the next batch flows —
-//!   the equivalence contract holds across compactions too.
+//!   the pipeline drains, the coordinator compacts, broadcasts the
+//!   remap, and every worker remaps its replica and rule state before
+//!   the next batch flows — the equivalence contract holds across
+//!   compactions too.
 //!
 //! # Example
 //!
@@ -100,8 +110,8 @@ pub mod engine;
 pub mod sharded;
 
 pub use drift::{DriftMonitor, DriftReport, RuleHealth};
-pub use engine::{CompactionStats, StreamConfig, StreamEngine};
-pub use sharded::ShardedEngine;
+pub use engine::{CompactionStats, ShardBy, StreamConfig, StreamEngine};
+pub use sharded::{BatchEvents, ShardedEngine, KEY_SLOTS};
 
 // Re-exported so downstream users of the engine's event stream don't need
 // a direct anmat-core dependency.

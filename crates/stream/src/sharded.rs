@@ -1,74 +1,126 @@
-//! Sharded execution of the incremental engine: rule state spread
-//! across worker threads, one deterministic merged event stream.
+//! Sharded execution of the incremental engine: rule (or key-range)
+//! state spread across worker threads, one deterministic merged event
+//! stream, with optional cross-batch pipelining.
 //!
-//! # Why rules shard cleanly
+//! # Two sharding axes
 //!
-//! Every rule's incremental state (match memos, blocking partition,
-//! per-block assertions) is independent of every other rule's — the only
+//! **Rule-granular** ([`ShardBy::Rule`], the default): every rule's
+//! incremental state (match memos, blocking partition, per-block
+//! assertions) is independent of every other rule's — the only
 //! cross-rule structures are the [`ViolationLedger`] (which refcounts
 //! identical violations asserted by different rules) and the
-//! [`DriftMonitor`]. So the partitioning is rule-granular: each worker
-//! owns a disjoint subset of the seeded rules and processes every op for
-//! exactly those rules.
+//! [`DriftMonitor`]. Each worker owns a disjoint subset of the seeded
+//! rules and processes every op for exactly those rules. Zero routing
+//! cost, but one heavy rule is capped at one core.
+//!
+//! **Key-granular** ([`ShardBy::Key`]): every worker holds every rule,
+//! but only the tuples whose *blocking key* hashes into the worker's
+//! slot range. The key space is split into [`KEY_SLOTS`] hash slots; a
+//! slot map (slot → worker) assigns each worker a disjoint key range,
+//! so a single rule's blocks spread over all cores. The coordinator
+//! derives every blocking key exactly once (memoized per distinct LHS
+//! value, so pattern work is still paid once per distinct value) and
+//! ships the routes with the batch; workers insert/remove by the
+//! pre-derived key and run the identical block-transition code. Because
+//! each worker owns whole blocks, block-majority re-derivation stays
+//! local — no cross-worker votes, only per-`(rule, tuple)` delta
+//! merging on the coordinator.
 //!
 //! # The shard/merge protocol
 //!
 //! A batch of [`RowOp`]s is validated and interned **once** by the
 //! coordinator (one `ValuePool` lock acquisition per record via
 //! `intern_value_batch`), then fanned out over bounded channels as one
-//! shared `Arc` of id-ops. Each worker applies the ops *in order* to its
-//! own id-table replica (4-byte cells; the string bytes live once, in
-//! the process-global pool, whose `resolve` is lock-free) and runs its
-//! rules' `process_insert`/`process_removal`
-//! delta core against it — the exact code the single-threaded engine
-//! runs, against an identical table state at every op. Workers return,
-//! per op and per phase (removal, then insert), the deltas each of their
-//! rules produced.
+//! shared `Arc` of id-ops (plus, in key mode, the per-op route table).
+//! Each worker applies the ops *in order* to its own id-table replica
+//! (4-byte cells; the string bytes live once, in the process-global
+//! pool, whose `resolve` is lock-free) and runs its share of the
+//! `process_insert`/`process_removal` delta core against it — the exact
+//! code the single-threaded engine runs, against an identical table
+//! state at every op. Workers return, per op and per phase (removal,
+//! then insert), the deltas they produced, tagged `(rule, tuple)`.
 //!
 //! The coordinator merges: for each op, phase by phase, deltas are
-//! ordered by **global rule index** and replayed into the one ledger and
-//! the one drift monitor. That replay performs the same ledger calls in
-//! the same order as `StreamEngine` would, so cross-rule refcount
-//! dedup, event contents, and event *order* are bit-for-bit identical —
-//! the determinism contract `tests/shard_equivalence.rs` pins down for
-//! 1/2/4 shards against the single-threaded engine.
+//! ordered by **(global rule index, tableau tuple index)**, each rule's
+//! partial drift tallies are folded into one [`DriftDelta`]
+//! (`matched` ORs, counts add) and applied once, then the rule's deltas
+//! replay into the one ledger. That is the same ledger/drift call
+//! sequence `StreamEngine` performs, so cross-rule refcount dedup,
+//! event contents, and event *order* are bit-for-bit identical — the
+//! determinism contract `tests/shard_equivalence.rs` pins down for
+//! 1/2/4 shards on both axes against the single-threaded engine.
+//!
+//! # Cross-batch pipelining
+//!
+//! With `StreamConfig::run_ahead = N`, [`ShardedEngine::submit`] fans a
+//! batch out and returns without waiting: up to `N` batches may be in
+//! flight (fanned out but unmerged) while workers chew. Every batch is
+//! tagged with a monotone **epoch sequence number** at submission;
+//! replies carry it back, and the coordinator merges strictly in
+//! submission order ([`BatchEvents`] is the per-batch unit), so the
+//! event stream is byte-identical to `run_ahead = 0` — pipelining
+//! changes *when* the merge happens, never its order. Barriers
+//! (compaction, rebalance, stats gathering) drain the window first.
+//! [`ShardedEngine::apply`] remains the synchronous path: submit, drain,
+//! concatenate.
 //!
 //! # Placement and rebalancing
 //!
-//! Rules are assigned round-robin in descending order of an a-priori
-//! weight (variable tuples maintain whole block partitions and weigh
-//! more than constant tuples). Once real data has flowed,
-//! [`ShardedEngine::rebalance`] redistributes by *observed* per-rule
-//! block counts: workers hand their rule states back over the channel,
-//! the coordinator re-sorts and re-installs them — possible precisely
-//! because rule state is self-contained and every worker's table replica
-//! is identical.
+//! In rule mode, rules are assigned round-robin in descending order of
+//! an a-priori weight; [`ShardedEngine::rebalance`] redistributes by
+//! *observed* per-rule block counts, migrating whole rule states. In
+//! key mode the same call takes a per-slot block census and reassigns
+//! hash slots to workers heaviest-first; workers extract the per-key
+//! state (memo entries, blocks with their asserted context) for slots
+//! they lost and the coordinator re-installs it on the new owners.
+//! Either way the engine's observable behaviour is unchanged — only
+//! future load placement.
 //!
 //! # The epoch barrier
 //!
 //! Tombstone compaction is the one maneuver that rewrites `RowId`s, so
 //! it runs as a coordinated barrier ([`ShardedEngine::compact`]): the
-//! coordinator compacts its canonical table, broadcasts the resulting
-//! `RowIdRemap`, and every worker compacts its own replica
-//! (bit-identical, asserted in debug builds) and remaps its rules'
-//! partitions and asserted violations in place before acknowledging.
-//! No op batch ever straddles two id spaces — batches are validated
-//! against one epoch and the auto-trigger
-//! (`StreamConfig::compact_ratio`) is checked only between fan-outs, at
-//! the same boundaries the single-threaded engine uses, which is what
-//! keeps the equivalence contract alive across compactions.
+//! pipeline drains, the coordinator compacts its canonical table,
+//! broadcasts the resulting `RowIdRemap`, and every worker compacts its
+//! own replica (bit-identical, asserted in debug builds) and remaps its
+//! rules' partitions and asserted violations in place before
+//! acknowledging. No op batch ever straddles two id spaces — the
+//! auto-trigger (`StreamConfig::compact_ratio`) is checked after every
+//! *submitted* batch against the canonical table (which the coordinator
+//! advances at submission), the same boundaries the single-threaded
+//! engine uses, which is what keeps the equivalence contract alive
+//! across compactions.
 
-use crate::drift::{DriftMonitor, DriftReport, RuleHealth};
+use crate::drift::{DriftDelta, DriftMonitor, DriftReport, RuleHealth};
 use crate::engine::{
     apply_deltas, should_compact, validate_shapes, CompactionStats, CompiledRule, Delta, DeltaSink,
-    OpShape, RuleState, StreamConfig,
+    OpShape, RuleState, ShardBy, StreamConfig, TupleDeltas, TupleKeySlice,
 };
-use anmat_core::{LedgerEvent, Pfd, ViolationLedger};
+use anmat_core::{LedgerEvent, Pfd, RhsCell, ViolationLedger};
+use anmat_index::BlockingPartition;
 use anmat_obs as obs;
+use anmat_pattern::PatternEngine;
 use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
+use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Number of hash slots the key space is split into under
+/// [`ShardBy::Key`]. Slots are the unit of ownership and migration:
+/// each worker owns the slots the slot map assigns it, and rebalancing
+/// moves whole slots. 128 slots give fine-grained balancing headroom
+/// for any plausible worker count while keeping the census and the
+/// remap broadcast tiny.
+pub const KEY_SLOTS: usize = 128;
+
+/// The hash slot a key (`ValueId::raw`) falls into: a Fibonacci
+/// multiplicative hash taking the top 7 bits. Interned ids are dense
+/// sequential integers, so taking the *high* bits of the product
+/// scatters adjacent ids across slots.
+fn slot_of_raw(raw: u32) -> usize {
+    (raw.wrapping_mul(0x9E37_79B9) >> 25) as usize
+}
 
 /// A [`RowOp`] with its cells already interned — what crosses the
 /// channel (ids are `Copy`; no string is cloned into a worker).
@@ -92,9 +144,49 @@ impl IdOp {
     }
 }
 
-/// Deltas one rule produced for one phase of one op.
+/// One fanned-out batch: the interned ops plus (in key mode) the
+/// coordinator-derived blocking-key routes, shared as one `Arc` across
+/// workers.
+///
+/// Routes are one `Option<ValueId>` per variable tuple of every rule
+/// (tableau order, rule-major — sliced per rule via the shared layout),
+/// flattened across ops at a fixed `stride` so the whole batch routes
+/// in two allocations: op `k`'s routes for a phase occupy
+/// `[k * stride, (k + 1) * stride)`. `None` means the op's LHS was null
+/// or did not match the tuple's key extractor: no block forms, every
+/// worker skips it. Phases an op never runs (the removal half of an
+/// insert, the insert half of a delete) hold `None` padding no worker
+/// reads. Both vectors are empty in rule mode.
+#[derive(Debug)]
+struct RoutedBatch {
+    ops: Vec<IdOp>,
+    /// The tableau-wide variable-tuple count (`0` in rule mode).
+    stride: usize,
+    /// Worker count, the per-op stride of the mask vectors.
+    shards: usize,
+    /// Removal-phase routes, derived from each row's *pre-op* cells
+    /// (deletes and the first half of updates).
+    removal: Vec<Option<ValueId>>,
+    /// Insert-phase routes, derived from the arriving cells.
+    insert: Vec<Option<ValueId>>,
+    /// Per-`(op, worker)` rule bitmasks (`masks[op * shards + worker]`,
+    /// bit `r` = worker has owned work for rule `r` this phase): the
+    /// coordinator already hashes every route key, so it decides each
+    /// worker's rule visits up front and workers iterate set bits
+    /// instead of screening every rule per op. Exact, not conservative —
+    /// a set bit is precisely "some per-tuple ownership check inside
+    /// `process_*_key` will pass". Empty when more than 64 rules are
+    /// live (workers fall back to screening) and in rule mode.
+    removal_masks: Vec<u64>,
+    insert_masks: Vec<u64>,
+}
+
+/// Deltas one rule produced for one phase of one op, tagged with the
+/// emitting tableau tuple (always 0 in rule mode, where a rule's whole
+/// phase runs on one worker).
 struct RuleDeltas {
     rule: usize,
+    tuple: usize,
     matched: bool,
     created: usize,
     retracted: usize,
@@ -118,29 +210,55 @@ struct RuleStats {
 }
 
 enum WorkerMsg {
-    Batch(Arc<Vec<IdOp>>),
+    Batch {
+        /// The batch's epoch sequence number; echoed back in the reply
+        /// so the coordinator can assert in-order merging.
+        seq: u64,
+        batch: Arc<RoutedBatch>,
+    },
     Stats,
+    /// Rule-mode rebalance: hand every rule state back.
     Extract,
+    /// Rule-mode rebalance: adopt these rule states.
     Install(Vec<(usize, RuleState)>),
+    /// Key-mode census: per-slot block counts.
+    SlotCensus,
+    /// Key-mode rebalance: adopt the new slot map and hand back all
+    /// per-key state for slots this worker no longer owns.
+    Rekey(Arc<Vec<usize>>),
+    /// Key-mode rebalance: adopt per-key state extracted elsewhere.
+    InstallKeys(Vec<(usize, Vec<TupleKeySlice>)>),
     /// The epoch barrier: compact the replica and remap rule state with
     /// the coordinator's broadcast remap, then acknowledge.
     Compact(Arc<RowIdRemap>),
 }
 
 enum WorkerReply {
-    Batch(Vec<OpOutcome>),
+    Batch { seq: u64, outcomes: Vec<OpOutcome> },
     Stats(Vec<RuleStats>),
     Extracted(Vec<(usize, RuleState)>),
     Installed,
+    SlotCensus(Vec<usize>),
+    Rekeyed(Vec<(usize, Vec<TupleKeySlice>)>),
     Compacted,
 }
 
-/// One worker thread's state: its table replica and its rule subset
-/// (kept sorted by global rule index so per-op outcomes come out
-/// pre-ordered).
+/// One worker thread's state: its table replica and its rule states
+/// (a disjoint subset in rule mode; every rule in key mode, restricted
+/// to the owned key slots). Kept sorted by global rule index so per-op
+/// outcomes come out pre-ordered.
 struct Worker {
     table: Table,
     rules: Vec<(usize, RuleState)>,
+    shard: usize,
+    mode: ShardBy,
+    /// Key mode: slot → owning worker. Swapped atomically at rekey
+    /// barriers; the coordinator holds the same map for routing census
+    /// and migration, never for filtering (ownership is worker-side).
+    slot_map: Arc<Vec<usize>>,
+    /// Rule → `(offset, len)` into each op's flat route vector (shared,
+    /// immutable — the tableau never changes after seeding).
+    layout: Arc<Vec<(usize, usize)>>,
     /// Per-shard occupancy of the inbound bounded channel — the
     /// coordinator raises it on send, this worker lowers it on dequeue.
     queue_depth: &'static obs::Gauge,
@@ -154,10 +272,13 @@ impl Worker {
         while let Ok(msg) = rx.recv() {
             self.queue_depth.sub(1);
             let reply = match msg {
-                WorkerMsg::Batch(ops) => {
+                WorkerMsg::Batch { seq, batch } => {
                     self.batches.incr();
                     let _busy = obs::Span::start(self.busy_ns);
-                    WorkerReply::Batch(self.process_batch(&ops))
+                    WorkerReply::Batch {
+                        seq,
+                        outcomes: self.process_batch(&batch),
+                    }
                 }
                 WorkerMsg::Stats => WorkerReply::Stats(
                     self.rules
@@ -174,6 +295,39 @@ impl Worker {
                 WorkerMsg::Install(mut rules) => {
                     rules.sort_by_key(|(rule, _)| *rule);
                     self.rules = rules;
+                    WorkerReply::Installed
+                }
+                WorkerMsg::SlotCensus => {
+                    let mut counts = vec![0usize; KEY_SLOTS];
+                    for (_, state) in &self.rules {
+                        state.for_each_block_key(&mut |key| {
+                            counts[slot_of_raw(key.raw())] += 1;
+                        });
+                    }
+                    WorkerReply::SlotCensus(counts)
+                }
+                WorkerMsg::Rekey(new_map) => {
+                    self.slot_map = Arc::clone(&new_map);
+                    let me = self.shard;
+                    let give_up = move |raw: u32| new_map[slot_of_raw(raw)] != me;
+                    let mut moved = Vec::new();
+                    for (rule, state) in &mut self.rules {
+                        let slices = state.extract_keys(&give_up);
+                        if slices.iter().any(|s| !s.is_empty()) {
+                            moved.push((*rule, slices));
+                        }
+                    }
+                    WorkerReply::Rekeyed(moved)
+                }
+                WorkerMsg::InstallKeys(bundle) => {
+                    for (rule, slices) in bundle {
+                        let (_, state) = self
+                            .rules
+                            .iter_mut()
+                            .find(|(r, _)| *r == rule)
+                            .expect("key-mode workers hold every rule");
+                        state.install_keys(slices);
+                    }
                     WorkerReply::Installed
                 }
                 WorkerMsg::Compact(remap) => {
@@ -200,45 +354,93 @@ impl Worker {
         }
     }
 
-    fn process_batch(&mut self, ops: &[IdOp]) -> Vec<OpOutcome> {
+    fn process_batch(&mut self, batch: &RoutedBatch) -> Vec<OpOutcome> {
         // Batch-classify each owned rule's caches over the batch's
         // insert/update rows before any per-row work (count-neutral; see
-        // `RuleState::prime_batch`).
-        let arriving: Vec<&[ValueId]> = ops
+        // `RuleState::prime_batch`). In key mode only the owned LHS ids
+        // are primed, so summing worker memos still matches the
+        // single-threaded eval count.
+        let arriving: Vec<&[ValueId]> = batch
+            .ops
             .iter()
             .filter_map(|op| match op {
                 IdOp::Insert(cells) | IdOp::Update(_, cells) => Some(cells.as_slice()),
                 IdOp::Delete(_) => None,
             })
             .collect();
-        for (_, state) in &mut self.rules {
-            state.prime_batch(&arriving);
+        match self.mode {
+            ShardBy::Rule => {
+                for (_, state) in &mut self.rules {
+                    state.prime_batch(&arriving);
+                }
+            }
+            ShardBy::Key => {
+                let slot_map = &*self.slot_map;
+                let me = self.shard;
+                let owns = move |id: ValueId| slot_map[slot_of_raw(id.raw())] == me;
+                // Mask-gated priming only pays off when the masks
+                // actually prune (several workers); at one shard every
+                // bit is set and rebuilding the row list per rule would
+                // just duplicate `arriving`.
+                if batch.insert_masks.is_empty() || batch.shards == 1 {
+                    for (_, state) in &mut self.rules {
+                        state.prime_batch_key(&arriving, &owns);
+                    }
+                } else {
+                    // Mask-gated priming: a rule with constant tuples
+                    // always has its bit set on the LHS id's owner, so
+                    // scanning only mask-flagged ops still shows the
+                    // owner every row it must classify — the `owns`
+                    // filter inside stays exact, evals don't double.
+                    let shards = batch.shards;
+                    let mut owned: Vec<&[ValueId]> = Vec::with_capacity(arriving.len());
+                    for (rule, state) in &mut self.rules {
+                        let bit = 1u64 << *rule;
+                        owned.clear();
+                        owned.extend(batch.ops.iter().enumerate().filter_map(|(op_idx, op)| {
+                            if batch.insert_masks[op_idx * shards + me] & bit == 0 {
+                                return None;
+                            }
+                            match op {
+                                IdOp::Insert(cells) | IdOp::Update(_, cells) => {
+                                    Some(cells.as_slice())
+                                }
+                                IdOp::Delete(_) => None,
+                            }
+                        }));
+                        state.prime_batch_key(&owned, &owns);
+                    }
+                }
+            }
         }
-        ops.iter()
-            .map(|op| {
+        batch
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(op_idx, op)| {
                 let mut outcome = OpOutcome::default();
                 match op {
                     IdOp::Insert(cells) => {
                         let row = self
                             .table
-                            .push_id_row(cells.clone())
+                            .push_id_cells(cells)
                             .expect("coordinator validated the batch");
-                        outcome.insert = self.phase(row, false);
+                        outcome.insert = self.phase(batch, op_idx, row, false);
                     }
                     IdOp::Delete(row) => {
                         // Removal runs against the pre-delete cells, as
                         // in the single-threaded engine.
-                        outcome.removal = self.phase(*row, true);
+                        outcome.removal = self.phase(batch, op_idx, *row, true);
                         self.table
                             .delete_row(*row)
                             .expect("coordinator validated the batch");
                     }
                     IdOp::Update(row, cells) => {
-                        outcome.removal = self.phase(*row, true);
+                        outcome.removal = self.phase(batch, op_idx, *row, true);
                         self.table
-                            .update_id_row(*row, cells.clone())
+                            .update_id_cells(*row, cells)
                             .expect("coordinator validated the batch");
-                        outcome.insert = self.phase(*row, false);
+                        outcome.insert = self.phase(batch, op_idx, *row, false);
                     }
                 }
                 outcome
@@ -246,10 +448,33 @@ impl Worker {
             .collect()
     }
 
-    /// Run one phase of one op for every owned rule, in ascending global
-    /// rule order. No-op entries (unmatched, no deltas) are dropped —
-    /// they would be drift no-ops at the merge anyway.
-    fn phase(&mut self, row: RowId, removal: bool) -> Vec<RuleDeltas> {
+    /// Run one phase of one op for this worker's share of the rules, in
+    /// ascending global rule order. No-op entries (unmatched, no
+    /// deltas) are dropped — they would be drift no-ops at the merge
+    /// anyway.
+    fn phase(
+        &mut self,
+        batch: &RoutedBatch,
+        op_idx: usize,
+        row: RowId,
+        removal: bool,
+    ) -> Vec<RuleDeltas> {
+        match self.mode {
+            ShardBy::Rule => self.phase_rule(row, removal),
+            ShardBy::Key => {
+                let start = op_idx * batch.stride;
+                let (all, masks) = if removal {
+                    (&batch.removal, &batch.removal_masks)
+                } else {
+                    (&batch.insert, &batch.insert_masks)
+                };
+                let mask = (!masks.is_empty()).then(|| masks[op_idx * batch.shards + self.shard]);
+                self.phase_key(row, &all[start..start + batch.stride], mask, removal)
+            }
+        }
+    }
+
+    fn phase_rule(&mut self, row: RowId, removal: bool) -> Vec<RuleDeltas> {
         let mut out = Vec::new();
         for (rule, state) in &mut self.rules {
             let mut sink = DeltaSink::default();
@@ -261,6 +486,7 @@ impl Worker {
             if matched || sink.created > 0 || sink.retracted > 0 || !sink.deltas.is_empty() {
                 out.push(RuleDeltas {
                     rule: *rule,
+                    tuple: 0,
                     matched,
                     created: sink.created,
                     retracted: sink.retracted,
@@ -269,6 +495,134 @@ impl Worker {
             }
         }
         out
+    }
+
+    /// `mask`: the coordinator's exact rule bitmask for this worker and
+    /// phase (`None` when masks are unavailable, i.e. more than 64 live
+    /// rules — then every rule is screened worker-side instead).
+    fn phase_key(
+        &mut self,
+        row: RowId,
+        routes: &[Option<ValueId>],
+        mask: Option<u64>,
+        removal: bool,
+    ) -> Vec<RuleDeltas> {
+        let slot_map = &*self.slot_map;
+        let me = self.shard;
+        let owns = move |id: ValueId| slot_map[slot_of_raw(id.raw())] == me;
+        let layout = &*self.layout;
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        if let Some(mask) = mask {
+            // Fast path: visit exactly the rules the coordinator routed
+            // here. Key-mode workers hold every rule in index order, so
+            // bit `r` addresses `self.rules[r]` directly.
+            let mut mask = mask;
+            while mask != 0 {
+                let rule = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let (r, state) = &mut self.rules[rule];
+                debug_assert_eq!(*r, rule, "key-mode workers hold every rule in order");
+                let (offset, count) = layout[rule];
+                run_rule_key(
+                    state,
+                    &self.table,
+                    rule,
+                    row,
+                    &routes[offset..offset + count],
+                    &owns,
+                    removal,
+                    &mut scratch,
+                    &mut out,
+                );
+            }
+            return out;
+        }
+        let table = &self.table;
+        for (rule, state) in &mut self.rules {
+            let (offset, count) = layout[*rule];
+            let slice = &routes[offset..offset + count];
+            // Ownership screen: on a typical op this worker owns
+            // nothing for most rules, so decide that here — from the
+            // route slice and one slot probe of the constant-tuple LHS
+            // id (exactly the per-tuple checks `process_*_key` would
+            // repeat) — before any tableau walk or sink setup.
+            let var_owned = slice.iter().any(|r| r.is_some_and(&owns));
+            if !var_owned {
+                let Some(lhs) = state.lhs_col() else { continue };
+                if !state.has_constant_tuples() || !owns(table.cell_id(row, lhs)) {
+                    continue;
+                }
+            }
+            run_rule_key(
+                state,
+                table,
+                *rule,
+                row,
+                slice,
+                &owns,
+                removal,
+                &mut scratch,
+                &mut out,
+            );
+        }
+        out
+    }
+}
+
+/// Fold one op-phase's ownership into the per-worker rule bitmasks
+/// (`masks[worker]`, bit `r` = rule `r` has owned work there): every
+/// `Some` route key names exactly one owning worker, and a rule with
+/// constant tuples additionally routes to the owner of the row's LHS id
+/// (`lhs_of` reads the phase-appropriate cells — pre-op for removal,
+/// arriving for insert).
+fn fill_masks(
+    routes: &[Option<ValueId>],
+    lhs_of: impl Fn(usize) -> ValueId,
+    masks: &mut [u64],
+    layout: &[(usize, usize)],
+    const_cols: &[Option<usize>],
+    slot_map: &[usize],
+) {
+    for (rule, (offset, count)) in layout.iter().enumerate() {
+        for key in routes[*offset..offset + count].iter().flatten() {
+            masks[slot_map[slot_of_raw(key.raw())]] |= 1 << rule;
+        }
+        if let Some(col) = const_cols[rule] {
+            masks[slot_map[slot_of_raw(lhs_of(col).raw())]] |= 1 << rule;
+        }
+    }
+}
+
+/// One rule's share of one key-mode phase: run the per-tuple processor
+/// and relabel its [`TupleDeltas`] with the global rule index.
+#[allow(clippy::too_many_arguments)]
+fn run_rule_key(
+    state: &mut RuleState,
+    table: &Table,
+    rule: usize,
+    row: RowId,
+    routes: &[Option<ValueId>],
+    owns: &impl Fn(ValueId) -> bool,
+    removal: bool,
+    scratch: &mut Vec<TupleDeltas>,
+    out: &mut Vec<RuleDeltas>,
+) {
+    scratch.clear();
+    if removal {
+        state.process_removal_key(table, row, routes, owns, scratch);
+    } else {
+        state.process_insert_key(table, row, routes, owns, scratch);
+    }
+    for td in scratch.drain(..) {
+        out.push(RuleDeltas {
+            rule,
+            tuple: td.tuple,
+            matched: td.matched,
+            created: td.sink.created,
+            retracted: td.sink.retracted,
+            deltas: td.sink.deltas,
+        });
     }
 }
 
@@ -299,7 +653,9 @@ impl WorkerHandle {
 
 impl Drop for WorkerHandle {
     fn drop(&mut self) {
-        // Closing the channel ends the worker's recv loop.
+        // Closing the channel ends the worker's recv loop. The reply
+        // channel stays open until after the join, so a worker draining
+        // pipelined batches can always deliver its pending replies.
         self.tx.take();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
@@ -307,16 +663,122 @@ impl Drop for WorkerHandle {
     }
 }
 
+/// The coordinator's key-derivation front-end for [`ShardBy::Key`]:
+/// per rule, the LHS column and one memoized key extractor per variable
+/// tuple (sharing the same compiled `Arc`s the worker states hold).
+/// Every distinct LHS value's key is derived exactly once here — the
+/// workers receive pre-derived routes and never run an extractor, which
+/// is what keeps the global eval count identical to single-threaded.
+struct Router {
+    /// Per rule: LHS column (`None` = the rule's attributes are missing
+    /// from this schema, i.e. the rule is inert) and per-variable-tuple
+    /// routing memos, tableau order.
+    rules: Vec<(Option<usize>, Vec<BlockingPartition>)>,
+}
+
+impl Router {
+    fn new(
+        rules: &[Pfd],
+        compiled: &[CompiledRule],
+        schema: &Schema,
+        engine: PatternEngine,
+    ) -> Router {
+        let rules = rules
+            .iter()
+            .zip(compiled)
+            .map(|(pfd, programs)| {
+                let col = match (
+                    schema.index_of(&pfd.lhs_attr),
+                    schema.index_of(&pfd.rhs_attr),
+                ) {
+                    (Some(lhs), Some(_)) => Some(lhs),
+                    _ => None,
+                };
+                let memos = programs
+                    .variable_keyers()
+                    .into_iter()
+                    .map(|keyer| BlockingPartition::with_shared(keyer, engine))
+                    .collect();
+                (col, memos)
+            })
+            .collect();
+        Router { rules }
+    }
+
+    /// Append one route per variable tuple of every rule for a row with
+    /// these cells (the insert phase; counting mirrors
+    /// `BlockingPartition::insert` exactly, so lookup tallies match the
+    /// single-threaded engine).
+    fn routes_for_cells(&mut self, cells: &[ValueId], out: &mut Vec<Option<ValueId>>) {
+        for (col, memos) in &mut self.rules {
+            match col {
+                Some(c) => {
+                    let lhs = cells[*c];
+                    for memo in memos.iter_mut() {
+                        out.push(memo.key_for(lhs));
+                    }
+                }
+                None => out.extend(std::iter::repeat_n(None, memos.len())),
+            }
+        }
+    }
+
+    /// [`Router::routes_for_cells`] for a live row's current cells (the
+    /// removal phase — pre-op state, as the single-threaded engine
+    /// consults it).
+    fn routes_for_row(&mut self, table: &Table, row: RowId, out: &mut Vec<Option<ValueId>>) {
+        for (col, memos) in &mut self.rules {
+            match col {
+                Some(c) => {
+                    let lhs = table.cell_id(row, *c);
+                    for memo in memos.iter_mut() {
+                        out.push(memo.key_for(lhs));
+                    }
+                }
+                None => out.extend(std::iter::repeat_n(None, memos.len())),
+            }
+        }
+    }
+
+    fn key_evals(&self) -> usize {
+        self.rules
+            .iter()
+            .flat_map(|(_, memos)| memos.iter().map(BlockingPartition::key_evals))
+            .sum()
+    }
+
+    fn key_lookups(&self) -> usize {
+        self.rules
+            .iter()
+            .flat_map(|(_, memos)| memos.iter().map(BlockingPartition::key_lookups))
+            .sum()
+    }
+}
+
+/// The merged event stream of one submitted batch, tagged with the
+/// batch's epoch sequence number (monotone from 0, one per submission
+/// — empty batches included). Batches complete strictly in `seq` order.
+#[derive(Debug)]
+pub struct BatchEvents {
+    /// The batch's submission sequence number.
+    pub seq: u64,
+    /// The batch's violation events, in rule/tableau order — identical
+    /// to what the single-threaded engine would have returned.
+    pub events: Vec<LedgerEvent>,
+}
+
 /// The sharded incremental engine: same semantics as [`StreamEngine`]
 /// (bit-for-bit, including event order), rule processing spread over
-/// worker threads. See the module docs for the shard/merge protocol.
+/// worker threads on either the rule or the blocking-key axis, with
+/// optional cross-batch pipelining. See the module docs for the
+/// shard/merge protocol.
 ///
 /// [`StreamEngine`]: crate::StreamEngine
 pub struct ShardedEngine {
     /// The coordinator's canonical table (workers hold id replicas).
     table: Table,
     rules: Vec<Pfd>,
-    /// Rule index → shard index.
+    /// Rule index → shard index (rule mode; all zeros in key mode).
     assignment: Vec<usize>,
     workers: Vec<WorkerHandle>,
     ledger: ViolationLedger,
@@ -324,12 +786,37 @@ pub struct ShardedEngine {
     /// Auto-compaction threshold (see [`StreamConfig::compact_ratio`]).
     compact_ratio: f64,
     compaction: CompactionStats,
+    shard_by: ShardBy,
+    /// Pipelining window: how many submitted batches may be unmerged.
+    run_ahead: usize,
+    /// Next batch's epoch sequence number.
+    next_seq: u64,
+    /// Submitted-but-unmerged batches, oldest first: `(seq, op count)`.
+    in_flight: VecDeque<(u64, usize)>,
+    /// Merged batches not yet handed to the caller.
+    completed: Vec<BatchEvents>,
+    /// Key mode only: the coordinator's key-derivation memos.
+    router: Option<Router>,
+    /// Tableau-wide variable-tuple count — the per-op stride of the
+    /// flat route vectors (`0` in rule mode, where no routes ship).
+    route_stride: usize,
+    /// Rule → `(offset, len)` into the per-op route slice (the same
+    /// `Arc` every worker holds).
+    layout: Arc<Vec<(usize, usize)>>,
+    /// Key mode: per rule, the LHS column if the rule has constant
+    /// tuples (whose key-mode owner is decided by the row's LHS id) —
+    /// what the coordinator needs to finish each worker's rule bitmask.
+    const_cols: Vec<Option<usize>>,
+    /// Key mode: hash slot → owning worker (also held by every worker).
+    slot_map: Arc<Vec<usize>>,
 }
 
 impl std::fmt::Debug for ShardedEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEngine")
             .field("shards", &self.workers.len())
+            .field("shard_by", &self.shard_by)
+            .field("run_ahead", &self.run_ahead)
             .field("rules", &self.rules.len())
             .field("rows", &self.table.row_count())
             .finish_non_exhaustive()
@@ -338,8 +825,9 @@ impl std::fmt::Debug for ShardedEngine {
 
 impl ShardedEngine {
     /// An engine over `schema` with `shards` workers, default
-    /// thresholds. The worker count is clamped to `[1, rule count]` —
-    /// rule-granular sharding cannot use more workers than rules.
+    /// thresholds (rule-granular, no pipelining). The worker count is
+    /// clamped to `[1, rule count]` — rule-granular sharding cannot use
+    /// more workers than rules.
     #[must_use]
     pub fn new(schema: Schema, rules: Vec<Pfd>, shards: usize) -> ShardedEngine {
         let config = StreamConfig {
@@ -350,23 +838,72 @@ impl ShardedEngine {
     }
 
     /// An engine with explicit thresholds; `config.shards` sets the
-    /// worker count.
+    /// worker count, `config.shard_by` the partitioning axis, and
+    /// `config.run_ahead` the pipelining window. In key mode the worker
+    /// count is clamped to `[1, KEY_SLOTS]` instead of the rule count —
+    /// a single rule can use every core.
     #[must_use]
     pub fn with_config(schema: Schema, rules: Vec<Pfd>, config: StreamConfig) -> ShardedEngine {
-        let shards = config.shards.clamp(1, rules.len().max(1));
-        let assignment = ShardedEngine::assign(&rules, shards);
+        let shard_by = config.shard_by;
+        let shards = match shard_by {
+            ShardBy::Rule => config.shards.clamp(1, rules.len().max(1)),
+            ShardBy::Key => config.shards.clamp(1, KEY_SLOTS),
+        };
+        let assignment = match shard_by {
+            ShardBy::Rule => ShardedEngine::assign(&rules, shards),
+            ShardBy::Key => vec![0; rules.len()],
+        };
+        // Initial slot map: slots striped round-robin over workers.
+        let slot_map: Arc<Vec<usize>> = Arc::new((0..KEY_SLOTS).map(|s| s % shards).collect());
+        // Per-rule offsets into the flat per-op route vectors.
+        let mut layout = Vec::with_capacity(rules.len());
+        let mut offset = 0;
+        for pfd in &rules {
+            let count = pfd
+                .tableau
+                .iter()
+                .filter(|t| matches!(t.rhs, RhsCell::Wildcard))
+                .count();
+            layout.push((offset, count));
+            offset += count;
+        }
+        let layout = Arc::new(layout);
+        // Mirrors `RuleState::seed_shared`: a rule contributes constant
+        // tuples only when both its attributes resolve in the schema.
+        let const_cols: Vec<Option<usize>> = rules
+            .iter()
+            .map(|pfd| {
+                match (
+                    schema.index_of(&pfd.lhs_attr),
+                    schema.index_of(&pfd.rhs_attr),
+                ) {
+                    (Some(lhs), Some(_)) => pfd
+                        .tableau
+                        .iter()
+                        .any(|t| matches!(t.rhs, RhsCell::Constant(_)))
+                        .then_some(lhs),
+                    _ => None,
+                }
+            })
+            .collect();
         let drift = DriftMonitor::new(rules.len(), config.min_support, config.max_violation_ratio);
         // Compile every rule's programs exactly once, on the coordinator;
         // workers seed around the shared `Arc`s, so `pattern.compile_ns`
         // records one compile per rule regardless of the shard count.
         let compiled: Vec<CompiledRule> = rules.iter().map(CompiledRule::compile).collect();
+        let router = (shard_by == ShardBy::Key)
+            .then(|| Router::new(&rules, &compiled, &schema, config.pattern_engine));
         let workers = (0..shards)
             .map(|shard| {
                 let states: Vec<(usize, RuleState)> = rules
                     .iter()
                     .zip(&compiled)
                     .enumerate()
-                    .filter(|(rule, _)| assignment[*rule] == shard)
+                    .filter(|(rule, _)| {
+                        // Key mode: every worker holds every rule
+                        // (restricted to its key slots at runtime).
+                        shard_by == ShardBy::Key || assignment[*rule] == shard
+                    })
                     .map(|(rule, (pfd, programs))| {
                         (
                             rule,
@@ -385,13 +922,19 @@ impl ShardedEngine {
                 let worker = Worker {
                     table: Table::empty(schema.clone()),
                     rules: states,
+                    shard,
+                    mode: shard_by,
+                    slot_map: Arc::clone(&slot_map),
+                    layout: Arc::clone(&layout),
                     queue_depth,
                     batches: obs::counter(&format!("shard.{shard}.batches")),
                     busy_ns: obs::histogram(&format!("shard.{shard}.busy_ns")),
                 };
-                // Bounded both ways: one in-flight batch per worker.
-                let (msg_tx, msg_rx) = sync_channel::<WorkerMsg>(1);
-                let (reply_tx, reply_rx) = sync_channel::<WorkerReply>(1);
+                // Bounded both ways, sized to the pipelining window:
+                // `run_ahead + 1` in-flight batches per worker.
+                let cap = config.run_ahead + 1;
+                let (msg_tx, msg_rx) = sync_channel::<WorkerMsg>(cap);
+                let (reply_tx, reply_rx) = sync_channel::<WorkerReply>(cap);
                 let thread = std::thread::Builder::new()
                     .name(format!("anmat-shard-{shard}"))
                     .spawn(move || worker.run(&msg_rx, &reply_tx))
@@ -413,18 +956,30 @@ impl ShardedEngine {
             drift,
             compact_ratio: config.compact_ratio,
             compaction: CompactionStats::default(),
+            shard_by: config.shard_by,
+            run_ahead: config.run_ahead,
+            next_seq: 0,
+            in_flight: VecDeque::new(),
+            completed: Vec::new(),
+            router,
+            route_stride: offset,
+            layout,
+            const_cols,
+            slot_map,
         }
     }
 
     /// Run one coordinated compaction epoch across the whole engine —
     /// the sharded half of the remap protocol:
     ///
-    /// 1. the coordinator compacts its canonical table, producing the
+    /// 1. the pipeline drains (every in-flight batch merges), so the
+    ///    compaction point is a clean batch boundary;
+    /// 2. the coordinator compacts its canonical table, producing the
     ///    epoch-stamped [`RowIdRemap`];
-    /// 2. the remap is broadcast; every worker compacts its own 4-byte
+    /// 3. the remap is broadcast; every worker compacts its own 4-byte
     ///    replica (bit-identical by construction) and remaps its rules'
     ///    partitions and asserted block context in place;
-    /// 3. the coordinator rewrites the ledger's live violations and
+    /// 4. the coordinator rewrites the ledger's live violations and
     ///    adopts the epoch, then waits for every worker's acknowledgment
     ///    — a full barrier, so no op batch ever straddles two id spaces.
     ///
@@ -435,6 +990,7 @@ impl ShardedEngine {
     ///
     /// [`StreamEngine::compact`]: crate::StreamEngine::compact
     pub fn compact(&mut self) -> RowIdRemap {
+        self.drain_in_flight();
         obs::counter!("shard.epoch_barriers").incr();
         let remap = Arc::new(self.table.compact());
         for worker in &self.workers {
@@ -453,9 +1009,11 @@ impl ShardedEngine {
         RowIdRemap::clone(&remap)
     }
 
-    /// Auto-compaction hook, checked after every fanned-out batch — the
-    /// same `should_compact` predicate at the same boundaries as the
-    /// single-threaded engine, so both compact at identical points.
+    /// Auto-compaction hook, checked after every submitted batch
+    /// against the canonical table (which the coordinator advances at
+    /// submission) — the same `should_compact` predicate at the same
+    /// boundaries as the single-threaded engine, so both compact at
+    /// identical points regardless of the pipelining window.
     fn maybe_compact(&mut self) {
         if should_compact(
             self.compact_ratio,
@@ -478,8 +1036,10 @@ impl ShardedEngine {
         self.compaction
     }
 
-    /// Round-robin over rules sorted by descending weight (ties by
-    /// index): the heaviest rules land on distinct shards first.
+    /// Round-robin over items sorted by descending weight (ties by
+    /// index): the heaviest items land on distinct shards first. Used
+    /// for both rule assignment (weights per rule) and key-slot
+    /// assignment (weights per hash slot).
     fn assign_by_weight(weights: &[usize], shards: usize) -> Vec<usize> {
         let mut order: Vec<usize> = (0..weights.len()).collect();
         order.sort_by_key(|&rule| (std::cmp::Reverse(weights[rule]), rule));
@@ -501,7 +1061,26 @@ impl ShardedEngine {
         self.workers.len()
     }
 
-    /// The shard a rule currently lives on.
+    /// The work-partitioning axis this engine was built with.
+    #[must_use]
+    pub fn shard_by(&self) -> ShardBy {
+        self.shard_by
+    }
+
+    /// The pipelining window (0 = classic per-batch barrier).
+    #[must_use]
+    pub fn run_ahead(&self) -> usize {
+        self.run_ahead
+    }
+
+    /// Batches currently in flight (submitted, not yet merged).
+    #[must_use]
+    pub fn pipeline_depth(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The shard a rule currently lives on (rule mode; in key mode
+    /// every rule lives on every shard and this returns 0).
     #[must_use]
     pub fn rule_shard(&self, rule: usize) -> usize {
         self.assignment[rule]
@@ -565,26 +1144,51 @@ impl ShardedEngine {
 
     /// Apply a batch of [`RowOp`]s; returns the concatenated events.
     /// Atomic with respect to errors (validated against a simulation of
-    /// the live set before any op executes or is fanned out).
+    /// the live set before any op executes or is fanned out). This is
+    /// the *synchronous* path: it submits, drains the pipeline, and
+    /// concatenates — including any batches still pending from earlier
+    /// [`ShardedEngine::submit`] calls, so mixing the two APIs never
+    /// drops events.
     pub fn apply(
         &mut self,
         ops: impl IntoIterator<Item = RowOp>,
     ) -> Result<Vec<LedgerEvent>, TableError> {
-        let ops: Vec<RowOp> = ops.into_iter().collect();
-        validate_shapes(&self.table, ops.iter().map(OpShape::of))?;
-        // Intern every record once, coordinator-side (one pool lock
-        // acquisition per record); workers only ever see `Copy` ids.
-        let id_ops: Vec<IdOp> = ops
-            .into_iter()
-            .map(|op| match op {
-                RowOp::Insert(cells) => IdOp::Insert(ValuePool::intern_value_batch(&cells)),
-                RowOp::Delete(row) => IdOp::Delete(row),
-                RowOp::Update(row, cells) => {
-                    IdOp::Update(row, ValuePool::intern_value_batch(&cells))
-                }
-            })
-            .collect();
-        self.fan_out(id_ops)
+        let id_ops = self.intern_ops(ops)?;
+        self.run_id_ops(id_ops)
+    }
+
+    /// Submit a batch into the pipeline; returns every batch that
+    /// *completed* (merged, in submission order) as a consequence —
+    /// possibly none, while the run-ahead window still has room, and
+    /// possibly several, including earlier submissions. Call
+    /// [`ShardedEngine::flush`] to drain the rest.
+    pub fn submit(
+        &mut self,
+        ops: impl IntoIterator<Item = RowOp>,
+    ) -> Result<Vec<BatchEvents>, TableError> {
+        let id_ops = self.intern_ops(ops)?;
+        validate_shapes(&self.table, id_ops.iter().map(IdOp::shape))?;
+        self.submit_inner(id_ops);
+        Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// [`ShardedEngine::submit`] for a batch of already-interned rows —
+    /// the CLI's clone-free pipelined replay path.
+    pub fn submit_id_batch(
+        &mut self,
+        rows: impl IntoIterator<Item = Vec<ValueId>>,
+    ) -> Result<Vec<BatchEvents>, TableError> {
+        let id_ops: Vec<IdOp> = rows.into_iter().map(IdOp::Insert).collect();
+        validate_shapes(&self.table, id_ops.iter().map(IdOp::shape))?;
+        self.submit_inner(id_ops);
+        Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// Drain the pipeline: merge every in-flight batch and return all
+    /// completed-but-undelivered batches, in submission order.
+    pub fn flush(&mut self) -> Vec<BatchEvents> {
+        self.drain_in_flight();
+        std::mem::take(&mut self.completed)
     }
 
     /// Replay an existing table's *live* rows in row order (clone-free:
@@ -598,32 +1202,101 @@ impl ShardedEngine {
         )
     }
 
-    fn run_id_ops(&mut self, id_ops: Vec<IdOp>) -> Result<Vec<LedgerEvent>, TableError> {
-        validate_shapes(&self.table, id_ops.iter().map(IdOp::shape))?;
-        self.fan_out(id_ops)
+    /// Validate shapes and intern every record once, coordinator-side
+    /// (one pool lock acquisition per record); workers only ever see
+    /// `Copy` ids.
+    fn intern_ops(&self, ops: impl IntoIterator<Item = RowOp>) -> Result<Vec<IdOp>, TableError> {
+        let ops: Vec<RowOp> = ops.into_iter().collect();
+        validate_shapes(&self.table, ops.iter().map(OpShape::of))?;
+        Ok(ops
+            .into_iter()
+            .map(|op| match op {
+                RowOp::Insert(cells) => IdOp::Insert(ValuePool::intern_value_batch(&cells)),
+                RowOp::Delete(row) => IdOp::Delete(row),
+                RowOp::Update(row, cells) => {
+                    IdOp::Update(row, ValuePool::intern_value_batch(&cells))
+                }
+            })
+            .collect())
     }
 
-    /// Fan a validated id-op batch out to every worker, apply it to the
-    /// canonical table while they process, then merge the per-shard
-    /// outcomes into the deterministic event stream.
-    fn fan_out(&mut self, id_ops: Vec<IdOp>) -> Result<Vec<LedgerEvent>, TableError> {
+    fn run_id_ops(&mut self, id_ops: Vec<IdOp>) -> Result<Vec<LedgerEvent>, TableError> {
+        validate_shapes(&self.table, id_ops.iter().map(IdOp::shape))?;
+        self.submit_inner(id_ops);
+        self.drain_in_flight();
+        let completed = std::mem::take(&mut self.completed);
+        Ok(completed.into_iter().flat_map(|b| b.events).collect())
+    }
+
+    /// Fan a validated id-op batch out to every worker under a fresh
+    /// epoch sequence number, advance the canonical table, then trim
+    /// the pipeline to the run-ahead window (merging oldest-first).
+    fn submit_inner(&mut self, id_ops: Vec<IdOp>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let op_count = id_ops.len();
         if op_count == 0 {
-            return Ok(Vec::new());
+            // Empty batches keep the 1:1 batch ↔ seq mapping without a
+            // round-trip: they complete immediately.
+            self.completed.push(BatchEvents {
+                seq,
+                events: Vec::new(),
+            });
+            return;
         }
         obs::counter!("shard.batches").incr();
         obs::counter!("engine.ops").add(op_count as u64);
-        let fanout = obs::span!("shard.fanout_ns");
-        let batch = Arc::new(id_ops);
-        for worker in &self.workers {
-            worker.send(WorkerMsg::Batch(Arc::clone(&batch)));
+        {
+            let _fanout = obs::span!("shard.fanout_ns");
+            match self.shard_by {
+                ShardBy::Rule => {
+                    let batch = Arc::new(RoutedBatch {
+                        ops: id_ops,
+                        stride: 0,
+                        shards: self.workers.len(),
+                        removal: Vec::new(),
+                        insert: Vec::new(),
+                        removal_masks: Vec::new(),
+                        insert_masks: Vec::new(),
+                    });
+                    for worker in &self.workers {
+                        worker.send(WorkerMsg::Batch {
+                            seq,
+                            batch: Arc::clone(&batch),
+                        });
+                    }
+                    // The coordinator's replica advances while the
+                    // workers chew.
+                    self.apply_to_canonical(&batch.ops);
+                }
+                ShardBy::Key => {
+                    // Key derivation consults pre-op table state, so
+                    // routing and the canonical apply interleave per op
+                    // — then the routed batch fans out.
+                    let batch = Arc::new(self.route_and_apply(id_ops));
+                    for worker in &self.workers {
+                        worker.send(WorkerMsg::Batch {
+                            seq,
+                            batch: Arc::clone(&batch),
+                        });
+                    }
+                }
+            }
         }
-        // The coordinator's replica advances while the workers chew.
-        for op in batch.iter() {
+        self.in_flight.push_back((seq, op_count));
+        obs::gauge!("pipeline.run_ahead").set(self.in_flight.len() as i64);
+        while self.in_flight.len() > self.run_ahead {
+            self.merge_oldest();
+        }
+        self.maybe_compact();
+    }
+
+    fn apply_to_canonical(&mut self, ops: &[IdOp]) {
+        for op in ops {
             match op {
                 IdOp::Insert(cells) => {
                     self.table
-                        .push_id_row(cells.clone())
+                        .push_id_cells(cells)
                         .expect("batch pre-validated");
                 }
                 IdOp::Delete(row) => {
@@ -631,12 +1304,130 @@ impl ShardedEngine {
                 }
                 IdOp::Update(row, cells) => {
                     self.table
-                        .update_id_row(*row, cells.clone())
+                        .update_id_cells(*row, cells)
                         .expect("batch pre-validated");
                 }
             }
         }
-        drop(fanout);
+    }
+
+    /// Key mode: derive each op's routes against pre-op table state
+    /// while applying the ops to the canonical table in order — exactly
+    /// the state the single-threaded engine would consult (removal
+    /// routes from the pre-op row, insert routes from arriving cells).
+    fn route_and_apply(&mut self, id_ops: Vec<IdOp>) -> RoutedBatch {
+        let stride = self.route_stride;
+        let shards = self.workers.len();
+        // Rule bitmasks only fit u64; beyond that workers screen
+        // rules themselves (the slow path — fine, 64+ live rules is
+        // far past anything discovery emits).
+        let exact = self.rules.len() <= 64;
+        let mask_len = if exact { id_ops.len() * shards } else { 0 };
+        let ShardedEngine {
+            router,
+            table,
+            layout,
+            const_cols,
+            slot_map,
+            ..
+        } = self;
+        let layout = &**layout;
+        let slot_map = &**slot_map;
+        let router = router.as_mut().expect("key mode ships routes");
+        let mut removal = Vec::with_capacity(id_ops.len() * stride);
+        let mut insert = Vec::with_capacity(id_ops.len() * stride);
+        let mut removal_masks = vec![0u64; mask_len];
+        let mut insert_masks = vec![0u64; mask_len];
+        for (op_idx, op) in id_ops.iter().enumerate() {
+            let masks = op_idx * shards..(op_idx + 1) * shards;
+            match op {
+                IdOp::Insert(cells) => {
+                    removal.resize(removal.len() + stride, None);
+                    let base = insert.len();
+                    router.routes_for_cells(cells, &mut insert);
+                    if exact {
+                        fill_masks(
+                            &insert[base..],
+                            |c| cells[c],
+                            &mut insert_masks[masks],
+                            layout,
+                            const_cols,
+                            slot_map,
+                        );
+                    }
+                    table.push_id_cells(cells).expect("batch pre-validated");
+                }
+                IdOp::Delete(row) => {
+                    let base = removal.len();
+                    router.routes_for_row(table, *row, &mut removal);
+                    if exact {
+                        // Pre-op cells — the tombstone lands after.
+                        fill_masks(
+                            &removal[base..],
+                            |c| table.cell_id(*row, c),
+                            &mut removal_masks[masks],
+                            layout,
+                            const_cols,
+                            slot_map,
+                        );
+                    }
+                    insert.resize(insert.len() + stride, None);
+                    table.delete_row(*row).expect("batch pre-validated");
+                }
+                IdOp::Update(row, cells) => {
+                    let base = removal.len();
+                    router.routes_for_row(table, *row, &mut removal);
+                    if exact {
+                        fill_masks(
+                            &removal[base..],
+                            |c| table.cell_id(*row, c),
+                            &mut removal_masks[masks.clone()],
+                            layout,
+                            const_cols,
+                            slot_map,
+                        );
+                    }
+                    table
+                        .update_id_cells(*row, cells)
+                        .expect("batch pre-validated");
+                    let base = insert.len();
+                    router.routes_for_cells(cells, &mut insert);
+                    if exact {
+                        fill_masks(
+                            &insert[base..],
+                            |c| cells[c],
+                            &mut insert_masks[masks],
+                            layout,
+                            const_cols,
+                            slot_map,
+                        );
+                    }
+                }
+            }
+        }
+        RoutedBatch {
+            ops: id_ops,
+            stride,
+            shards,
+            removal,
+            insert,
+            removal_masks,
+            insert_masks,
+        }
+    }
+
+    /// Merge the oldest in-flight batch: await every worker's reply for
+    /// it (replies arrive in submission order on each FIFO channel,
+    /// asserted via the echoed seq) and fold the outcomes into the
+    /// ledger, drift monitor, and completed queue.
+    fn merge_oldest(&mut self) {
+        let Some((seq, op_count)) = self.in_flight.pop_front() else {
+            return;
+        };
+        // How many younger batches were already submitted when this one
+        // merges — 0 under the classic barrier, up to `run_ahead` when
+        // the pipeline is saturated.
+        obs::histogram!("merge.lag_batches").record(self.next_seq - seq - 1);
         // Merge wait: how long the coordinator sits blocked on worker
         // replies after finishing its own share of the batch.
         let replies: Vec<Vec<OpOutcome>> = {
@@ -644,59 +1435,118 @@ impl ShardedEngine {
             self.workers
                 .iter()
                 .map(|worker| match worker.recv() {
-                    WorkerReply::Batch(outcomes) => outcomes,
+                    WorkerReply::Batch { seq: got, outcomes } => {
+                        assert_eq!(got, seq, "worker replies arrive in submission order");
+                        outcomes
+                    }
                     _ => unreachable!("worker replies in lockstep with requests"),
                 })
                 .collect()
         };
         let events = self.merge(op_count, replies);
         obs::counter!("engine.events").add(events.len() as u64);
-        self.maybe_compact();
-        Ok(events)
+        obs::gauge!("pipeline.run_ahead").set(self.in_flight.len() as i64);
+        self.completed.push(BatchEvents { seq, events });
+    }
+
+    fn drain_in_flight(&mut self) {
+        while !self.in_flight.is_empty() {
+            self.merge_oldest();
+        }
     }
 
     /// Merge per-shard outcomes: for each op, removal phase then insert
-    /// phase, deltas ordered by global rule index — the same ledger call
-    /// sequence the single-threaded engine performs, hence the same
-    /// events in the same order.
+    /// phase, deltas ordered by `(global rule index, tableau tuple
+    /// index)` — the same ledger call sequence the single-threaded
+    /// engine performs, hence the same events in the same order.
     fn merge(&mut self, op_count: usize, mut replies: Vec<Vec<OpOutcome>>) -> Vec<LedgerEvent> {
         let _merge = obs::span!("shard.merge_ns");
         let mut events = Vec::new();
+        let mut removal: Vec<RuleDeltas> = Vec::new();
+        let mut insert: Vec<RuleDeltas> = Vec::new();
         for op in 0..op_count {
-            let mut removal: Vec<RuleDeltas> = Vec::new();
-            let mut insert: Vec<RuleDeltas> = Vec::new();
             for shard in &mut replies {
                 let outcome = std::mem::take(&mut shard[op]);
                 removal.extend(outcome.removal);
                 insert.extend(outcome.insert);
             }
-            removal.sort_by_key(|d| d.rule);
-            insert.sort_by_key(|d| d.rule);
-            for d in removal {
-                self.drift.retire(d.rule, d.matched, d.created, d.retracted);
-                apply_deltas(&mut self.ledger, d.deltas, &mut events);
-            }
-            for d in insert {
-                self.drift
-                    .observe(d.rule, d.matched, d.created, d.retracted);
-                apply_deltas(&mut self.ledger, d.deltas, &mut events);
-            }
+            self.merge_phase(&mut removal, true, &mut events);
+            self.merge_phase(&mut insert, false, &mut events);
         }
         events
     }
 
+    /// Replay one phase's merged deltas: per rule (ascending), fold the
+    /// partial drift tallies — in key mode a rule's work for one row
+    /// spreads over several workers/tuples — apply the folded tally
+    /// once, then replay the rule's deltas in tableau-tuple order. In
+    /// rule mode each rule has exactly one entry and this reduces to
+    /// the classic per-rule replay.
+    /// `entries` is a reusable buffer: drained (and cleared) here so the
+    /// caller's allocation survives across ops.
+    fn merge_phase(
+        &mut self,
+        entries: &mut Vec<RuleDeltas>,
+        removal: bool,
+        events: &mut Vec<LedgerEvent>,
+    ) {
+        entries.sort_by_key(|d| (d.rule, d.tuple));
+        let mut i = 0;
+        while i < entries.len() {
+            let rule = entries[i].rule;
+            let mut tally = DriftDelta {
+                matched: false,
+                created: 0,
+                retracted: 0,
+            };
+            let mut j = i;
+            while j < entries.len() && entries[j].rule == rule {
+                let d = &entries[j];
+                tally.absorb(DriftDelta {
+                    matched: d.matched,
+                    created: d.created,
+                    retracted: d.retracted,
+                });
+                j += 1;
+            }
+            // The folded tally lands before any of the rule's deltas
+            // replay — same order the per-rule collection preserved.
+            if removal {
+                self.drift.retire_delta(rule, tally);
+            } else {
+                self.drift.observe_delta(rule, tally);
+            }
+            for entry in &mut entries[i..j] {
+                apply_deltas(&mut self.ledger, std::mem::take(&mut entry.deltas), events);
+            }
+            i = j;
+        }
+        entries.clear();
+    }
+
     // ── rebalancing ──────────────────────────────────────────────────
 
-    /// Redistribute rules across shards by *observed* per-rule block
-    /// counts (heaviest-first round-robin). Rule states migrate between
-    /// workers with their memos and partitions intact; the engine's
+    /// Redistribute load across shards by *observed* block counts
+    /// (heaviest-first round-robin), after draining the pipeline. In
+    /// rule mode whole rule states migrate between workers with their
+    /// memos and partitions intact; in key mode hash slots are
+    /// reassigned and the affected per-key state (memo entries, blocks
+    /// with their asserted context) migrates. Either way the engine's
     /// observable behaviour is unchanged — only future load placement.
     pub fn rebalance(&mut self) {
         if self.workers.len() <= 1 {
             return;
         }
+        self.drain_in_flight();
         obs::counter!("shard.rebalances").incr();
-        let stats = self.gather_stats();
+        match self.shard_by {
+            ShardBy::Rule => self.rebalance_rules(),
+            ShardBy::Key => self.rebalance_keys(),
+        }
+    }
+
+    fn rebalance_rules(&mut self) {
+        let stats: Vec<RuleStats> = self.gather_stats().into_iter().flatten().collect();
         let mut weights = vec![0usize; self.rules.len()];
         for s in &stats {
             // Observed blocks, floored at 1 so data-free rules still
@@ -729,18 +1579,107 @@ impl ShardedEngine {
         }
     }
 
-    fn gather_stats(&self) -> Vec<RuleStats> {
+    /// Key-mode rebalance: census the per-slot block population, assign
+    /// slots to workers heaviest-first, and migrate the per-key state
+    /// of every slot that changed owner. Eval/lookup counters stay
+    /// where the work happened, so global tallies are unaffected.
+    fn rebalance_keys(&mut self) {
+        let shards = self.workers.len();
         for worker in &self.workers {
-            worker.send(WorkerMsg::Stats);
+            worker.send(WorkerMsg::SlotCensus);
         }
-        let mut stats = Vec::with_capacity(self.rules.len());
+        let mut counts = vec![0usize; KEY_SLOTS];
         for worker in &self.workers {
             match worker.recv() {
-                WorkerReply::Stats(mut s) => stats.append(&mut s),
+                WorkerReply::SlotCensus(c) => {
+                    for (slot, n) in c.into_iter().enumerate() {
+                        counts[slot] += n;
+                    }
+                }
                 _ => unreachable!("worker replies in lockstep with requests"),
             }
         }
-        stats
+        // Floor at 1 so empty slots still spread round-robin.
+        let weights: Vec<usize> = counts.iter().map(|&n| n.max(1)).collect();
+        let new_map = Arc::new(ShardedEngine::assign_by_weight(&weights, shards));
+        if *new_map == *self.slot_map {
+            return;
+        }
+        for worker in &self.workers {
+            worker.send(WorkerMsg::Rekey(Arc::clone(&new_map)));
+        }
+        let mut moved: Vec<(usize, Vec<TupleKeySlice>)> = Vec::new();
+        for worker in &self.workers {
+            match worker.recv() {
+                WorkerReply::Rekeyed(mut m) => moved.append(&mut m),
+                _ => unreachable!("worker replies in lockstep with requests"),
+            }
+        }
+        self.slot_map = Arc::clone(&new_map);
+        // Split each extracted slice by the new owner of its keys,
+        // keeping the per-rule slice vectors tuple-aligned (one slice
+        // per tableau tuple, possibly empty) as `install_keys` expects.
+        let mut bundles: Vec<Vec<(usize, Vec<TupleKeySlice>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (rule, slices) in moved {
+            let mut per_shard: Vec<Vec<TupleKeySlice>> = (0..shards).map(|_| Vec::new()).collect();
+            for slice in slices {
+                match slice {
+                    TupleKeySlice::Constant(entries) => {
+                        let mut split: Vec<Vec<(u32, bool)>> =
+                            (0..shards).map(|_| Vec::new()).collect();
+                        for (id, hit) in entries {
+                            split[new_map[slot_of_raw(id)]].push((id, hit));
+                        }
+                        for (w, part) in split.into_iter().enumerate() {
+                            per_shard[w].push(TupleKeySlice::Constant(part));
+                        }
+                    }
+                    TupleKeySlice::Variable(entries) => {
+                        let mut split: Vec<Vec<_>> = (0..shards).map(|_| Vec::new()).collect();
+                        for entry in entries {
+                            let slot = slot_of_raw(entry.0.raw());
+                            split[new_map[slot]].push(entry);
+                        }
+                        for (w, part) in split.into_iter().enumerate() {
+                            per_shard[w].push(TupleKeySlice::Variable(part));
+                        }
+                    }
+                }
+            }
+            for (w, slices) in per_shard.into_iter().enumerate() {
+                if slices.iter().any(|s| !s.is_empty()) {
+                    bundles[w].push((rule, slices));
+                }
+            }
+        }
+        for (worker, bundle) in self.workers.iter().zip(bundles) {
+            worker.send(WorkerMsg::InstallKeys(bundle));
+        }
+        for worker in &self.workers {
+            match worker.recv() {
+                WorkerReply::Installed => {}
+                _ => unreachable!("worker replies in lockstep with requests"),
+            }
+        }
+    }
+
+    /// One stats round-trip per worker (pipeline drained first — stats
+    /// requests share the FIFO batch channel). Outer index = shard; in
+    /// key mode every worker reports every rule, so per-rule figures
+    /// are partial and must be summed across shards.
+    fn gather_stats(&mut self) -> Vec<Vec<RuleStats>> {
+        self.drain_in_flight();
+        for worker in &self.workers {
+            worker.send(WorkerMsg::Stats);
+        }
+        self.workers
+            .iter()
+            .map(|worker| match worker.recv() {
+                WorkerReply::Stats(s) => s,
+                _ => unreachable!("worker replies in lockstep with requests"),
+            })
+            .collect()
     }
 
     // ── accessors (same surface as `StreamEngine`) ───────────────────
@@ -774,31 +1713,47 @@ impl ShardedEngine {
         self.rules.iter()
     }
 
-    /// Total pattern evaluations across all shards (bounded by
+    /// Total pattern evaluations across all shards, plus (in key mode)
+    /// the coordinator's key-derivation memos — bounded by
     /// `Σ_tuple distinct(LHS column)`, exactly as in the single-threaded
-    /// engine — the memoization guarantee shards per rule).
+    /// engine: the memoization guarantee shards per rule in rule mode
+    /// and per distinct value in key mode. Drains the pipeline.
     #[must_use]
-    pub fn pattern_evals(&self) -> usize {
-        self.gather_stats().iter().map(|s| s.pattern_evals).sum()
+    pub fn pattern_evals(&mut self) -> usize {
+        let worker: usize = self
+            .gather_stats()
+            .iter()
+            .flatten()
+            .map(|s| s.pattern_evals)
+            .sum();
+        worker + self.router.as_ref().map_or(0, Router::key_evals)
     }
 
-    /// Total memo consultations (hits + misses) across all shards —
-    /// together with [`ShardedEngine::pattern_evals`] this yields the
-    /// memo hit rate.
+    /// Total memo consultations (hits + misses) across all shards and
+    /// the key router — together with [`ShardedEngine::pattern_evals`]
+    /// this yields the memo hit rate. Drains the pipeline.
     #[must_use]
-    pub fn pattern_lookups(&self) -> usize {
-        self.gather_stats().iter().map(|s| s.pattern_lookups).sum()
+    pub fn pattern_lookups(&mut self) -> usize {
+        let worker: usize = self
+            .gather_stats()
+            .iter()
+            .flatten()
+            .map(|s| s.pattern_lookups)
+            .sum();
+        worker + self.router.as_ref().map_or(0, Router::key_lookups)
     }
 
     /// Publish pull-based gauges into the global metrics registry.
     ///
     /// Same contract as [`StreamEngine::publish_metrics`]: cheap enough
-    /// for a stats tick but not for a per-batch call — this one does a
-    /// full `Stats` round-trip to every worker for the memo and block
-    /// figures. No-op while the recorder is disabled.
+    /// for a stats tick but not for a per-batch call — this one drains
+    /// the pipeline and does a full `Stats` round-trip to every worker
+    /// for the memo and block figures, including per-shard
+    /// `shard.N.keys` block-ownership gauges. No-op while the recorder
+    /// is disabled.
     ///
     /// [`StreamEngine::publish_metrics`]: crate::StreamEngine::publish_metrics
-    pub fn publish_metrics(&self) {
+    pub fn publish_metrics(&mut self) {
         if !obs::enabled() {
             return;
         }
@@ -810,11 +1765,21 @@ impl ShardedEngine {
         obs::gauge!("pool.bytes").set(pool.bytes as i64);
         obs::gauge!("pool.strings").set(pool.strings as i64);
         obs::gauge!("engine.rules").set(self.rules.len() as i64);
-        let stats = self.gather_stats();
+        let per_worker = self.gather_stats();
+        for (shard, stats) in per_worker.iter().enumerate() {
+            // How many key blocks each worker currently owns — flat in
+            // rule mode, the load-balance signal in key mode.
+            obs::gauge(&format!("shard.{shard}.keys"))
+                .set(stats.iter().map(|s| s.blocks).sum::<usize>() as i64);
+        }
+        let stats: Vec<&RuleStats> = per_worker.iter().flatten().collect();
         obs::gauge!("engine.blocks").set(stats.iter().map(|s| s.blocks).sum::<usize>() as i64);
-        obs::gauge!("memo.evals").set(stats.iter().map(|s| s.pattern_evals).sum::<usize>() as i64);
+        let router_evals = self.router.as_ref().map_or(0, Router::key_evals);
+        let router_lookups = self.router.as_ref().map_or(0, Router::key_lookups);
+        obs::gauge!("memo.evals")
+            .set((stats.iter().map(|s| s.pattern_evals).sum::<usize>() + router_evals) as i64);
         obs::gauge!("memo.lookups")
-            .set(stats.iter().map(|s| s.pattern_lookups).sum::<usize>() as i64);
+            .set((stats.iter().map(|s| s.pattern_lookups).sum::<usize>() + router_lookups) as i64);
         obs::gauge!("ledger.live").set(self.ledger.live_count() as i64);
         obs::gauge!("ledger.created_total").set(self.ledger.created_total() as i64);
         obs::gauge!("ledger.retracted_total").set(self.ledger.retracted_total() as i64);
@@ -847,6 +1812,15 @@ impl ShardedEngine {
     }
 }
 
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Unmerged batches must be received before the worker handles
+        // close their channels, or a worker could exit mid-batch; the
+        // events are discarded (the caller chose not to flush).
+        self.drain_in_flight();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -865,6 +1839,16 @@ mod tests {
         )
     }
 
+    fn key_engine(shards: usize, run_ahead: usize) -> ShardedEngine {
+        let config = StreamConfig {
+            shards,
+            shard_by: ShardBy::Key,
+            run_ahead,
+            ..StreamConfig::default()
+        };
+        ShardedEngine::with_config(schema(), vec![zip_variable_pfd()], config)
+    }
+
     #[test]
     fn assignment_spreads_heaviest_first() {
         let weights = [1, 4, 4, 1, 2];
@@ -880,6 +1864,14 @@ mod tests {
         assert_eq!(engine.shard_count(), 1);
         let engine = ShardedEngine::new(schema(), vec![], 4);
         assert_eq!(engine.shard_count(), 1);
+    }
+
+    #[test]
+    fn key_mode_ignores_the_rule_clamp() {
+        // One rule, four workers: the whole point of the key axis.
+        let engine = key_engine(4, 0);
+        assert_eq!(engine.shard_count(), 4);
+        assert_eq!(engine.shard_by(), ShardBy::Key);
     }
 
     #[test]
@@ -908,6 +1900,93 @@ mod tests {
         let events = engine.delete_row(1).unwrap();
         assert!(events.iter().any(|e| !e.is_created()));
         assert!(engine.ledger().is_empty());
+    }
+
+    #[test]
+    fn key_mode_basic_flow_matches_rule_mode() {
+        let mut engine = key_engine(4, 0);
+        assert!(engine
+            .push_row(vec![Value::text("90001"), Value::text("Los Angeles")])
+            .unwrap()
+            .is_empty());
+        let events = engine
+            .push_row(vec![Value::text("90002"), Value::text("New York")])
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_created());
+        assert_eq!(engine.ledger().live_count(), 1);
+        let events = engine.delete_row(1).unwrap();
+        assert!(events.iter().any(|e| !e.is_created()));
+        assert!(engine.ledger().is_empty());
+        // One block lives on exactly one worker; the eval count is the
+        // single-threaded figure (keys derived once, on the router).
+        assert_eq!(engine.pattern_evals(), 2);
+    }
+
+    #[test]
+    fn pipelined_submissions_complete_in_order() {
+        let config = StreamConfig {
+            shards: 2,
+            shard_by: ShardBy::Key,
+            run_ahead: 4,
+            ..StreamConfig::default()
+        };
+        let mut engine = ShardedEngine::with_config(schema(), vec![zip_variable_pfd()], config);
+        let mut completed = Vec::new();
+        for i in 0..8 {
+            let ops = [RowOp::Insert(vec![
+                Value::text(format!("9000{i}")),
+                Value::text(if i % 2 == 0 { "LA" } else { "NY" }),
+            ])];
+            completed.extend(engine.submit(ops).unwrap());
+        }
+        // The window held some batches back…
+        assert!(completed.len() < 8);
+        completed.extend(engine.flush());
+        assert_eq!(engine.pipeline_depth(), 0);
+        // …but completion order is submission order, gap-free.
+        let seqs: Vec<u64> = completed.iter().map(|b| b.seq).collect();
+        assert_eq!(seqs, (0..8).collect::<Vec<u64>>());
+        // Same events as the synchronous path on a fresh engine.
+        let mut sync = key_engine(2, 0);
+        let mut expected = Vec::new();
+        for i in 0..8 {
+            expected.extend(
+                sync.push_row(vec![
+                    Value::text(format!("9000{i}")),
+                    Value::text(if i % 2 == 0 { "LA" } else { "NY" }),
+                ])
+                .unwrap(),
+            );
+        }
+        let got: Vec<_> = completed.into_iter().flat_map(|b| b.events).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn key_mode_rebalance_preserves_behaviour() {
+        let mut engine = key_engine(4, 0);
+        for i in 0..20 {
+            engine
+                .push_row(vec![
+                    Value::text(format!("{:05}", 90000 + i)),
+                    Value::text(if i % 5 == 0 { "Odd One" } else { "LA" }),
+                ])
+                .unwrap();
+        }
+        let live_before = engine.ledger().live_count();
+        let evals_before = engine.pattern_evals();
+        engine.rebalance();
+        // Nothing observable moved…
+        assert_eq!(engine.ledger().live_count(), live_before);
+        assert_eq!(engine.pattern_evals(), evals_before);
+        // …and the engine still processes correctly after migration: a
+        // fresh minority row in the (possibly migrated) block is
+        // flagged on arrival.
+        let events = engine
+            .push_row(vec![Value::text("90099"), Value::text("Odd One")])
+            .unwrap();
+        assert!(events.iter().any(|e| e.is_created()));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Shard-equivalence — the determinism contract of the sharded engine:
 //! for every datagen dataset and random op interleavings, a
-//! [`ShardedEngine`] with 1/2/4 shards must produce the **same event
-//! stream, batch by batch** (contents *and* order), the same final
-//! ledger state, the same per-rule health, and the same drift report as
-//! the single-threaded [`StreamEngine`] — bit-for-bit, regardless of
-//! shard completion order, batch splits, or mid-stream rebalancing.
+//! [`ShardedEngine`] must produce the **same event stream, batch by
+//! batch** (contents *and* order), the same final ledger state, the
+//! same per-rule health, the same drift report, and the same pattern
+//! eval/lookup counters as the single-threaded [`StreamEngine`] —
+//! bit-for-bit, regardless of the sharding axis (rule- or
+//! key-granular), shard count, run-ahead pipelining window, shard
+//! completion order, batch splits, or mid-stream rebalancing.
 //!
 //! Case count scales with `PROPTEST_CASES` (CI runs a dedicated
 //! elevated-cases step so the concurrency path gets real coverage on
@@ -13,7 +15,7 @@
 use anmat_core::{discover, DiscoveryConfig, Pfd};
 use anmat_datagen::{chembl, employee, names, phone, zipcity, GenConfig};
 use anmat_pattern::PatternEngine;
-use anmat_stream::{ShardedEngine, StreamConfig, StreamEngine};
+use anmat_stream::{BatchEvents, ShardBy, ShardedEngine, StreamConfig, StreamEngine};
 use anmat_table::{RowId, RowOp, Table};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -90,21 +92,63 @@ struct CompactionPlan {
     expected_epochs: Vec<u64>,
 }
 
-/// Feed identical batch sequences to the single-threaded engine and to
-/// sharded engines with 1/2/4 shards (optionally rebalancing or
-/// compacting mid-stream), asserting the full determinism contract.
-fn assert_shard_equivalent(
+/// One sharded configuration under test: the sharding axis, worker
+/// count, and pipelining window. The determinism contract quantifies
+/// over all three.
+#[derive(Clone, Copy)]
+struct ShardSpec {
+    shard_by: ShardBy,
+    shards: usize,
+    run_ahead: usize,
+}
+
+impl ShardSpec {
+    const fn rule(shards: usize) -> Self {
+        Self {
+            shard_by: ShardBy::Rule,
+            shards,
+            run_ahead: 0,
+        }
+    }
+
+    const fn key(shards: usize, run_ahead: usize) -> Self {
+        Self {
+            shard_by: ShardBy::Key,
+            shards,
+            run_ahead,
+        }
+    }
+
+    const fn pipelined(self, run_ahead: usize) -> Self {
+        Self {
+            shard_by: self.shard_by,
+            shards: self.shards,
+            run_ahead,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{:?}×{} run-ahead {}",
+            self.shard_by, self.shards, self.run_ahead
+        )
+    }
+}
+
+/// The classic matrix the original suite ran: rule-granular sharding,
+/// 1/2/4 workers, no pipelining.
+const RULE_SPECS: [ShardSpec; 3] = [ShardSpec::rule(1), ShardSpec::rule(2), ShardSpec::rule(4)];
+
+/// The single-threaded reference run: per-batch event streams plus the
+/// engine itself, kept for final-state comparisons.
+fn reference_run(
     schema: &anmat_table::Schema,
     rules: &[Pfd],
     op_batches: &[Vec<RowOp>],
-    rebalance_at: Option<usize>,
+    config: StreamConfig,
     compaction: &CompactionPlan,
     context: &str,
-) {
-    let config = StreamConfig {
-        compact_ratio: compaction.ratio,
-        ..StreamConfig::default()
-    };
+) -> (StreamEngine, Vec<Vec<anmat_stream::LedgerEvent>>) {
     let mut single = StreamEngine::with_config(schema.clone(), rules.to_vec(), config);
     let reference: Vec<Vec<_>> = op_batches
         .iter()
@@ -124,72 +168,192 @@ fn assert_shard_equivalent(
             events
         })
         .collect();
+    (single, reference)
+}
 
-    for shards in [1usize, 2, 4] {
-        let mut sharded = ShardedEngine::with_config(schema.clone(), rules.to_vec(), config);
-        for (k, batch) in op_batches.iter().enumerate() {
-            if rebalance_at == Some(k) {
-                sharded.rebalance();
-            }
+/// Run one sharded configuration over the batch stream and assert the
+/// full determinism contract against the reference. `run_ahead == 0`
+/// exercises the blocking `apply` path (per-batch comparison inline);
+/// `run_ahead > 0` exercises the pipelined `submit`/`flush` path, where
+/// completed batches surface later — sequence tags must still come back
+/// in submission order with bit-identical per-batch event streams.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn check_spec(
+    schema: &anmat_table::Schema,
+    rules: &[Pfd],
+    op_batches: &[Vec<RowOp>],
+    rebalance_at: Option<usize>,
+    compaction: &CompactionPlan,
+    base: StreamConfig,
+    single: &StreamEngine,
+    reference: &[Vec<anmat_stream::LedgerEvent>],
+    spec: ShardSpec,
+    context: &str,
+) {
+    let label = spec.label();
+    let config = StreamConfig {
+        shard_by: spec.shard_by,
+        shards: spec.shards,
+        run_ahead: spec.run_ahead,
+        ..base
+    };
+    let mut sharded = ShardedEngine::with_config(schema.clone(), rules.to_vec(), config);
+    assert_eq!(sharded.shard_by(), spec.shard_by);
+    assert_eq!(sharded.run_ahead(), spec.run_ahead);
+    let mut completed: Vec<BatchEvents> = Vec::new();
+    for (k, batch) in op_batches.iter().enumerate() {
+        if rebalance_at == Some(k) {
+            sharded.rebalance();
+        }
+        if spec.run_ahead == 0 {
             let events = sharded.apply(batch.clone()).expect("ops are valid");
-            if compaction.force_after == Some(k) {
-                let evals_before = sharded.pattern_evals();
-                sharded.compact();
-                assert_eq!(
-                    sharded.pattern_evals(),
-                    evals_before,
-                    "the epoch barrier must not move pattern_evals on {context}"
-                );
-            }
             assert_eq!(
                 events, reference[k],
-                "event stream diverged on {context} (shards={shards}, batch {k})"
+                "event stream diverged on {context} ({label}, batch {k})"
             );
+        } else {
+            completed.extend(sharded.submit(batch.clone()).expect("ops are valid"));
         }
-        assert_eq!(
-            sharded.epoch(),
-            single.epoch(),
-            "compaction epochs diverged on {context} (shards={shards})"
-        );
-        assert_eq!(
-            sharded.compaction_stats(),
-            single.compaction_stats(),
-            "compaction stats diverged on {context} (shards={shards})"
-        );
-        assert_eq!(
-            sharded.ledger().snapshot(),
-            single.ledger().snapshot(),
-            "ledger state diverged on {context} (shards={shards})"
-        );
-        assert_eq!(sharded.ledger().live_count(), single.ledger().live_count());
-        assert_eq!(
-            sharded.ledger().created_total(),
-            single.ledger().created_total(),
-            "created totals diverged on {context} (shards={shards})"
-        );
-        assert_eq!(
-            sharded.ledger().retracted_total(),
-            single.ledger().retracted_total(),
-            "retracted totals diverged on {context} (shards={shards})"
-        );
-        assert_eq!(
-            sharded.table(),
-            single.table(),
-            "canonical table diverged on {context} (shards={shards})"
-        );
-        for rule in 0..rules.len() {
+        if compaction.force_after == Some(k) {
+            let evals_before = sharded.pattern_evals();
+            sharded.compact();
             assert_eq!(
-                sharded.rule_health(rule),
-                single.rule_health(rule),
-                "rule {rule} health diverged on {context} (shards={shards})"
+                sharded.pattern_evals(),
+                evals_before,
+                "the epoch barrier must not move pattern_evals on {context} ({label})"
+            );
+        }
+    }
+    if spec.run_ahead > 0 {
+        completed.extend(sharded.flush());
+        assert_eq!(
+            completed.len(),
+            op_batches.len(),
+            "every submitted batch must surface exactly once on {context} ({label})"
+        );
+        for (k, batch_events) in completed.iter().enumerate() {
+            assert_eq!(
+                batch_events.seq as usize, k,
+                "pipelined batches must complete in submission order on {context} ({label})"
+            );
+            assert_eq!(
+                batch_events.events, reference[k],
+                "pipelined event stream diverged on {context} ({label}, batch {k})"
             );
         }
         assert_eq!(
-            sharded.drift_report(),
-            single.drift_report(),
-            "drift report diverged on {context} (shards={shards})"
+            sharded.pipeline_depth(),
+            0,
+            "flush must leave the pipeline empty on {context} ({label})"
         );
     }
+    assert_eq!(
+        sharded.epoch(),
+        single.epoch(),
+        "compaction epochs diverged on {context} ({label})"
+    );
+    assert_eq!(
+        sharded.compaction_stats(),
+        single.compaction_stats(),
+        "compaction stats diverged on {context} ({label})"
+    );
+    assert_eq!(
+        sharded.ledger().snapshot(),
+        single.ledger().snapshot(),
+        "ledger state diverged on {context} ({label})"
+    );
+    assert_eq!(sharded.ledger().live_count(), single.ledger().live_count());
+    assert_eq!(
+        sharded.ledger().created_total(),
+        single.ledger().created_total(),
+        "created totals diverged on {context} ({label})"
+    );
+    assert_eq!(
+        sharded.ledger().retracted_total(),
+        single.ledger().retracted_total(),
+        "retracted totals diverged on {context} ({label})"
+    );
+    assert_eq!(
+        sharded.table(),
+        single.table(),
+        "canonical table diverged on {context} ({label})"
+    );
+    for rule in 0..rules.len() {
+        assert_eq!(
+            sharded.rule_health(rule),
+            single.rule_health(rule),
+            "rule {rule} health diverged on {context} ({label})"
+        );
+    }
+    assert_eq!(
+        sharded.drift_report(),
+        single.drift_report(),
+        "drift report diverged on {context} ({label})"
+    );
+    assert_eq!(
+        sharded.pattern_evals(),
+        single.pattern_evals(),
+        "pattern eval counts diverged on {context} ({label})"
+    );
+    assert_eq!(
+        sharded.pattern_lookups(),
+        single.pattern_lookups(),
+        "pattern lookup counts diverged on {context} ({label})"
+    );
+}
+
+/// Feed identical batch sequences to the single-threaded engine and to
+/// every sharded configuration in `specs` (optionally rebalancing or
+/// compacting mid-stream), asserting the full determinism contract.
+fn assert_specs_equivalent(
+    schema: &anmat_table::Schema,
+    rules: &[Pfd],
+    op_batches: &[Vec<RowOp>],
+    rebalance_at: Option<usize>,
+    compaction: &CompactionPlan,
+    specs: &[ShardSpec],
+    context: &str,
+) {
+    let config = StreamConfig {
+        compact_ratio: compaction.ratio,
+        ..StreamConfig::default()
+    };
+    let (single, reference) = reference_run(schema, rules, op_batches, config, compaction, context);
+    for &spec in specs {
+        check_spec(
+            schema,
+            rules,
+            op_batches,
+            rebalance_at,
+            compaction,
+            config,
+            &single,
+            &reference,
+            spec,
+            context,
+        );
+    }
+}
+
+/// The original suite's entry point: rule-granular sharding at 1/2/4
+/// workers, no pipelining.
+fn assert_shard_equivalent(
+    schema: &anmat_table::Schema,
+    rules: &[Pfd],
+    op_batches: &[Vec<RowOp>],
+    rebalance_at: Option<usize>,
+    compaction: &CompactionPlan,
+    context: &str,
+) {
+    assert_specs_equivalent(
+        schema,
+        rules,
+        op_batches,
+        rebalance_at,
+        compaction,
+        &RULE_SPECS,
+        context,
+    );
 }
 
 /// Like [`random_ops`] + [`batches`], but epoch-aware: the op stream is
@@ -432,6 +596,145 @@ fn compaction_composes_with_mid_stream_rebalance() {
     );
 }
 
+/// The tentpole matrix: key-granular sharding (blocking keys hashed
+/// over workers) crossed with the run-ahead pipelining window. Every
+/// cell must be bit-for-bit indistinguishable from the single-threaded
+/// engine — per-batch events (in submission order under pipelining),
+/// ledger, health, drift, and the eval/lookup counters (the
+/// coordinator's route derivation plus worker-side evals must add up
+/// to exactly the single-threaded counts).
+#[test]
+fn key_sharding_and_pipelining_matrix_is_equivalent() {
+    let config = GenConfig {
+        rows: 180,
+        seed: 0x4E15,
+        error_rate: 0.05,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    let rules = discover(&data.table, &discovery_config());
+    let ops = random_ops(&data.table, 61, 0.2);
+    let op_batches = batches(&ops, &[1, 13, 48, 5]);
+    let mut specs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        for run_ahead in [0usize, 1, 4] {
+            specs.push(ShardSpec::key(shards, run_ahead));
+        }
+    }
+    // Pipelining composes with the rule axis too.
+    specs.push(ShardSpec::rule(2).pipelined(4));
+    specs.push(ShardSpec::rule(4).pipelined(1));
+    assert_specs_equivalent(
+        data.table.schema(),
+        &rules,
+        &op_batches,
+        None,
+        &CompactionPlan::default(),
+        &specs,
+        "zipcity (key/pipeline matrix)",
+    );
+}
+
+/// A single heavy variable rule — the workload rule-granular sharding
+/// cannot spread (its clamp collapses to one worker). Key mode must
+/// keep all four workers *and* stay bit-for-bit equivalent, pipelined
+/// or not.
+#[test]
+fn single_heavy_rule_is_key_shard_equivalent() {
+    use anmat_core::PatternTuple;
+
+    let config = GenConfig {
+        rows: 240,
+        seed: 0x1EAF,
+        error_rate: 0.05,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    let rule = Pfd::new(
+        "Zip",
+        "zip",
+        "city",
+        vec![PatternTuple::variable("[\\D{3}]\\D{2}".parse().unwrap())],
+    );
+    let ops = random_ops(&data.table, 71, 0.25);
+    let op_batches = batches(&ops, &[9, 31, 2]);
+    assert_specs_equivalent(
+        data.table.schema(),
+        &[rule],
+        &op_batches,
+        None,
+        &CompactionPlan::default(),
+        &[ShardSpec::key(4, 0), ShardSpec::key(4, 4)],
+        "zipcity single heavy rule",
+    );
+}
+
+/// The coordinated maneuvers under the key axis: a mid-stream
+/// `rebalance()` (slot census → key-range migration) followed later by
+/// a forced compaction epoch barrier, with pipelining both off and on.
+#[test]
+fn key_mode_rebalance_and_epoch_barrier_are_equivalent() {
+    let config = GenConfig {
+        rows: 160,
+        seed: 0x5107,
+        error_rate: 0.05,
+    };
+    let data = zipcity::generate(&config, zipcity::ZipTarget::City);
+    let rules = discover(&data.table, &discovery_config());
+    let probe = epoch_aware_batches(&data.table, 81, 0.3, &[11], CompactionPlan::default());
+    let barrier = (2 * probe.0.len()) / 3;
+    let mut plan = CompactionPlan {
+        force_after: Some(barrier),
+        ratio: 0.0,
+        expected_epochs: Vec::new(),
+    };
+    let (op_batches, epochs) = epoch_aware_batches(&data.table, 81, 0.3, &[11], plan.clone());
+    plan.expected_epochs = epochs;
+    assert_specs_equivalent(
+        data.table.schema(),
+        &rules,
+        &op_batches,
+        Some(op_batches.len() / 3),
+        &plan,
+        &[
+            ShardSpec::key(2, 0),
+            ShardSpec::key(4, 1),
+            ShardSpec::key(4, 4),
+        ],
+        "zipcity + key-mode rebalance then epoch barrier",
+    );
+}
+
+/// Ratio-triggered compaction epochs under key-granular pipelined
+/// sharding: the auto-compaction check runs against the coordinator's
+/// canonical table at submit time, so the trigger fires at the same
+/// batch boundary as the single-threaded engine even while workers run
+/// ahead.
+#[test]
+fn key_mode_ratio_epochs_are_equivalent() {
+    let config = GenConfig {
+        rows: 150,
+        seed: 0xA4C2,
+        error_rate: 0.05,
+    };
+    let data = names::generate(&config);
+    let rules = discover(&data.table, &discovery_config());
+    let mut plan = CompactionPlan {
+        force_after: None,
+        ratio: 0.3,
+        expected_epochs: Vec::new(),
+    };
+    let (op_batches, epochs) = epoch_aware_batches(&data.table, 91, 0.35, &[7, 23], plan.clone());
+    plan.expected_epochs = epochs;
+    assert_specs_equivalent(
+        data.table.schema(),
+        &rules,
+        &op_batches,
+        None,
+        &plan,
+        &[ShardSpec::key(2, 4), ShardSpec::key(4, 0)],
+        "names + key-mode ratio epochs",
+    );
+}
+
 #[test]
 fn drift_report_is_rule_index_sorted_across_engines() {
     use anmat_core::PatternTuple;
@@ -663,6 +966,41 @@ proptest! {
                 context,
             );
         }
+    }
+
+    /// The key-granular/pipelined acceptance property: for random
+    /// datasets, op interleavings, batch splits, shard counts, and
+    /// run-ahead windows, key-mode sharding is indistinguishable from
+    /// the single-threaded engine — events per batch (in submission
+    /// order), ledger, health, drift, and eval/lookup counters.
+    #[test]
+    fn random_interleavings_are_key_shard_equivalent(
+        seed in 0u64..10_000,
+        rows in 60usize..150,
+        churn_pct in 5u32..35,
+        batch_a in 1usize..40,
+        batch_b in 1usize..10,
+        // shards 1..=4 × run-ahead 0..=4, folded into one knob (the
+        // vendored proptest implements `Strategy` for ≤6-tuples).
+        knob in 0usize..20,
+    ) {
+        let shards = knob / 5 + 1;
+        let run_ahead = knob % 5;
+        let config = GenConfig { rows, seed, error_rate: 0.04 };
+        let churn = f64::from(churn_pct) / 100.0;
+        let table = zipcity::generate(&config, zipcity::ZipTarget::City).table;
+        let rules = discover(&table, &discovery_config());
+        let ops = random_ops(&table, seed ^ 0x6E4, churn);
+        let op_batches = batches(&ops, &[batch_a, batch_b]);
+        assert_specs_equivalent(
+            table.schema(),
+            &rules,
+            &op_batches,
+            None,
+            &CompactionPlan::default(),
+            &[ShardSpec::key(shards, run_ahead)],
+            "zipcity (key property)",
+        );
     }
 
     /// The sharded compaction acceptance property: random datasets, op

@@ -267,6 +267,27 @@ impl Table {
         Ok(id)
     }
 
+    /// [`Table::push_id_row`] from a borrowed slice — the sharded
+    /// engine's per-replica apply path, which would otherwise clone the
+    /// cell vector once per worker.
+    pub fn push_id_cells(&mut self, row: &[ValueId]) -> Result<RowId, TableError> {
+        if row.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                row: self.rows,
+                found: row.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(*v);
+        }
+        let id = self.rows;
+        self.rows += 1;
+        self.live.push(true);
+        obs::counter!("table.push").incr();
+        Ok(id)
+    }
+
     /// Tombstone one live row. The slot (and its last cell contents)
     /// remains addressable — `RowId`s held elsewhere stay valid — but
     /// live-row iteration and [`Table::live_rows`] no longer see it.
@@ -308,6 +329,23 @@ impl Table {
         self.require_live(row)?;
         for (col, v) in self.columns.iter_mut().zip(cells) {
             col[row] = v;
+        }
+        obs::counter!("table.update").incr();
+        Ok(())
+    }
+
+    /// [`Table::update_id_row`] from a borrowed slice.
+    pub fn update_id_cells(&mut self, row: RowId, cells: &[ValueId]) -> Result<(), TableError> {
+        if cells.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                row,
+                found: cells.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        self.require_live(row)?;
+        for (col, v) in self.columns.iter_mut().zip(cells) {
+            col[row] = *v;
         }
         obs::counter!("table.update").incr();
         Ok(())

@@ -72,7 +72,8 @@ fn usage() -> String {
      \x20 anmat detect   <data.csv> (--store DIR | --rules FILE)\n\
      \x20                [--confirmed-only] [--repair OUT.csv]\n\
      \x20 anmat stream   <data.csv> (--store DIR | --rules FILE) [--batch N]\n\
-     \x20                [--shards N] [--ops FILE] [--confirmed-only] [--quiet]\n\
+     \x20                [--shards N] [--shard-by rule|key] [--run-ahead N]\n\
+     \x20                [--ops FILE] [--confirmed-only] [--quiet]\n\
      \x20                [--demote-drifted] [--violations F] [--min-support N]\n\
      \x20                [--compact-ratio R] [--stats-every N] [--metrics-out FILE]\n\
      \x20                [--pattern-engine interp|vm|fused]\n\
@@ -86,6 +87,11 @@ fn usage() -> String {
      \x20                drift thresholds: pass the values the rules were\n\
      \x20                discovered with; --shards N > 1 spreads rule state\n\
      \x20                over N worker threads, same output bit-for-bit;\n\
+     \x20                --shard-by key hashes blocking keys across the\n\
+     \x20                workers instead, so even one heavy rule uses every\n\
+     \x20                core; --run-ahead N lets workers run up to N\n\
+     \x20                batches ahead of the merge — output is still\n\
+     \x20                bit-for-bit identical for any axis and window;\n\
      \x20                --compact-ratio R reclaims tombstoned slots once\n\
      \x20                they exceed fraction R of the table, renumbering\n\
      \x20                rows via an epoch-stamped remap;\n\
@@ -361,12 +367,29 @@ enum AnyEngine {
 }
 
 impl AnyEngine {
+    /// Ingest one replay batch. The sharded engine goes through its
+    /// pipelined `submit` path — with `--run-ahead 0` that merges
+    /// synchronously (identical to the classic call), with a window it
+    /// returns whichever older batches completed; either way events
+    /// come back in submission order. Callers must [`AnyEngine::flush`]
+    /// at end of stream.
     fn push_id_batch(&mut self, rows: Vec<Vec<ValueId>>) -> Result<Vec<LedgerEvent>, String> {
         match self {
             AnyEngine::Single(e) => e.push_id_batch(rows),
-            AnyEngine::Sharded(e) => e.push_id_batch(rows),
+            AnyEngine::Sharded(e) => e
+                .submit_id_batch(rows)
+                .map(|batches| batches.into_iter().flat_map(|b| b.events).collect()),
         }
         .map_err(|e| e.to_string())
+    }
+
+    /// Drain any pipelined batches still in flight; their events come
+    /// back in submission order. No-op for the single-threaded engine.
+    fn flush(&mut self) -> Vec<LedgerEvent> {
+        match self {
+            AnyEngine::Single(_) => Vec::new(),
+            AnyEngine::Sharded(e) => e.flush().into_iter().flat_map(|b| b.events).collect(),
+        }
     }
 
     fn apply(&mut self, ops: Vec<RowOp>) -> Result<Vec<LedgerEvent>, String> {
@@ -419,7 +442,7 @@ impl AnyEngine {
         }
     }
 
-    fn publish_metrics(&self) {
+    fn publish_metrics(&mut self) {
         match self {
             AnyEngine::Single(e) => e.publish_metrics(),
             AnyEngine::Sharded(e) => e.publish_metrics(),
@@ -431,7 +454,10 @@ impl AnyEngine {
 /// figures always, the wall-clock rate only when timing output is
 /// allowed (it is nondeterministic, so `--quiet`/`ANMAT_NO_TIMING`
 /// suppress it).
-fn print_stats_line(engine: &AnyEngine, started: Instant, timing: bool) {
+fn print_stats_line(engine: &mut AnyEngine, started: Instant, timing: bool) {
+    // Note the stats round-trip drains the pipeline, so the figures are
+    // a consistent point-in-time snapshot; `merge.lag_batches` still
+    // records how deep the run-ahead window actually got.
     engine.publish_metrics();
     let snap = obs::MetricsSnapshot::capture();
     let slots = snap.gauge("table.slots").unwrap_or(0);
@@ -446,6 +472,15 @@ fn print_stats_line(engine: &AnyEngine, started: Instant, timing: bool) {
          pool {pool} byte(s), pattern evals {fused_evals} fused / {vm_evals} vm / \
          {interp_evals} interp"
     );
+    if let Some(h) = snap.histogram("merge.lag_batches") {
+        if h.count > 0 {
+            line.push_str(&format!(
+                ", pipeline lag avg {:.2} batch(es) over {} merge(s)",
+                h.sum as f64 / h.count as f64,
+                h.count
+            ));
+        }
+    }
     if timing {
         let secs = started.elapsed().as_secs_f64();
         let ops = snap.counter("engine.ops").unwrap_or(0);
@@ -512,6 +547,18 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             .filter(|&n| n > 0)
             .ok_or(format!("bad --shards `{n}` (want a positive integer)"))?;
     }
+    if let Some(axis) = take_flag(&mut args, "--shard-by") {
+        stream_config.shard_by = match axis.as_str() {
+            "rule" => ShardBy::Rule,
+            "key" => ShardBy::Key,
+            other => return Err(format!("bad --shard-by `{other}` (want rule|key)")),
+        };
+    }
+    if let Some(n) = take_flag(&mut args, "--run-ahead") {
+        stream_config.run_ahead = n.parse().ok().ok_or(format!(
+            "bad --run-ahead `{n}` (want a non-negative integer)"
+        ))?;
+    }
     if let Some(r) = take_flag(&mut args, "--compact-ratio") {
         stream_config.compact_ratio =
             r.parse()
@@ -560,9 +607,19 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         ))
     };
     // Report the *effective* worker count (the engine clamps --shards
-    // to the rule count).
+    // to the rule count in rule mode, to the key-slot count in key
+    // mode) plus any non-default axis/pipelining choices.
     let sharding = match &engine {
-        AnyEngine::Sharded(e) => format!(", {} shard(s)", e.shard_count()),
+        AnyEngine::Sharded(e) => {
+            let mut s = format!(", {} shard(s)", e.shard_count());
+            if e.shard_by() == ShardBy::Key {
+                s.push_str(" by key");
+            }
+            if e.run_ahead() > 0 {
+                s.push_str(&format!(", run-ahead {}", e.run_ahead()));
+            }
+            s
+        }
         AnyEngine::Single(_) => String::new(),
     };
     println!(
@@ -590,8 +647,17 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             }
             batches_done += 1;
             if stats_every.is_some_and(|every| batches_done.is_multiple_of(every)) {
-                print_stats_line(&engine, started, timing);
+                print_stats_line(&mut engine, started, timing);
             }
+        }
+    }
+    // With --run-ahead > 0 the last few batches may still be in flight:
+    // drain them so their events print and the timing figure covers the
+    // whole stream.
+    let tail = engine.flush();
+    if !quiet {
+        for event in &tail {
+            println!("{}", render_event(event));
         }
     }
     // Elapsed replay time flows through the obs layer (the summary
@@ -677,6 +743,27 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             snap.counter("pattern.interp_evals").unwrap_or(0),
             stream_config.pattern_engine
         );
+        // Pipelining summary, only when a run-ahead window was in play:
+        // how deep the window actually ran (deterministic for a given
+        // batch size, unlike the wall-clock lines).
+        if let AnyEngine::Sharded(e) = &engine {
+            if e.run_ahead() > 0 {
+                if let Some(h) = snap.histogram("merge.lag_batches") {
+                    println!(
+                        "pipeline: run-ahead {}, {} merge(s), mean lag {:.2} batch(es), \
+                         max lag {}",
+                        e.run_ahead(),
+                        h.count,
+                        if h.count > 0 {
+                            h.sum as f64 / h.count as f64
+                        } else {
+                            0.0
+                        },
+                        h.max
+                    );
+                }
+            }
+        }
     }
     if timing {
         // Both figures come back out of the obs registry rather than a

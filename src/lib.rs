@@ -89,7 +89,8 @@ pub mod prelude {
     };
     pub use anmat_pattern::{ConstrainedPattern, Pattern, PatternEngine};
     pub use anmat_stream::{
-        CompactionStats, DriftReport, ShardedEngine, StreamConfig, StreamEngine,
+        BatchEvents, CompactionStats, DriftReport, ShardBy, ShardedEngine, StreamConfig,
+        StreamEngine,
     };
     pub use anmat_table::{
         csv, MemFootprint, NullPolicy, RowId, RowIdRemap, RowOp, Schema, Table, TableProfile,
