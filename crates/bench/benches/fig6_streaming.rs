@@ -246,12 +246,17 @@ fn shard_sweep_artifact(data: &Dataset, rules: &[Pfd], rows: usize) {
 /// instrumented leg *faster* (−52%): the first leg pays pool interning,
 /// page-cache, and branch-predictor warmup that the second inherits for
 /// free. Both legs are therefore warmed explicitly (one untimed run in
-/// each recorder state), then timed best-of-5 with the leg order
-/// alternating per repetition so ambient load and any residual warmup
-/// drift hit both modes alike. The published figure is clamped at zero:
-/// a negative delta just means the overhead is below the host's noise
-/// floor. The acceptance bound is 5% — reported here, asserted by a
-/// human reading the artifact (a loaded CI box is allowed to flap).
+/// each recorder state), then timed with the same interleaved
+/// discipline the shard coordination legs use: 7 repetitions, leg
+/// order alternating forward/reverse per rep, each leg keeping its
+/// best time — so both recorder states sample the same mix of
+/// ambient-load windows instead of whole legs landing in different
+/// load regimes (the earlier one-leg-at-a-time loop let exactly that
+/// happen and once recorded a 4.5% phantom overhead). The published
+/// figure is clamped at zero: a negative delta just means the overhead
+/// is below the host's noise floor. The acceptance bound is 3% —
+/// reported here, asserted by a human reading the artifact (a loaded
+/// CI box is allowed to flap).
 /// Returns `(off_ops_per_sec, on_ops_per_sec, overhead_pct, raw_pct)`.
 fn recorder_overhead_artifact(data: &Dataset, rules: &[Pfd]) -> (f64, f64, f64, f64) {
     let ops = churn_ops(data);
@@ -268,41 +273,253 @@ fn recorder_overhead_artifact(data: &Dataset, rules: &[Pfd]) -> (f64, f64, f64, 
         }
         start.elapsed().as_secs_f64() / 4.0
     };
+    let timed_leg = |recorder_on: bool| {
+        if recorder_on {
+            obs::Recorder::enable();
+        } else {
+            obs::Recorder::disable();
+        }
+        run()
+    };
     // Warm *both* legs untimed — each recorder state touches its own
     // code paths (counter increments vs predicted-not-taken branches).
-    obs::Recorder::disable();
-    run();
-    obs::Recorder::enable();
-    run();
-    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
-    for rep in 0..9 {
-        let off_first = rep % 2 == 0;
-        for leg in 0..2 {
-            if (leg == 0) == off_first {
-                obs::Recorder::disable();
-                best_off = best_off.min(run());
-            } else {
-                obs::Recorder::enable();
-                best_on = best_on.min(run());
-            }
+    for leg in [false, true] {
+        timed_leg(leg);
+    }
+    let mut best = [f64::INFINITY; 2];
+    for rep in 0..7 {
+        let order: [usize; 2] = if rep % 2 == 0 { [0, 1] } else { [1, 0] };
+        for leg in order {
+            best[leg] = best[leg].min(timed_leg(leg == 1));
         }
     }
     obs::Recorder::disable();
-    let off = ops.len() as f64 / best_off;
-    let on = ops.len() as f64 / best_on;
+    let off = ops.len() as f64 / best[0];
+    let on = ops.len() as f64 / best[1];
     let raw = (off - on) / off * 100.0;
     let overhead = raw.max(0.0);
     println!(
         "── E14 artifact: recorder overhead (90/10 churn, {} ops, both legs warmed, \
-         alternating best-of-9) ──",
+         interleaved best-of-7) ──",
         ops.len()
     );
     println!("  recorder off: {off:>9.0} ops/s");
     println!(
         "  recorder on : {on:>9.0} ops/s ({overhead:.2}% overhead, raw delta {raw:+.2}%; \
-         acceptance bound 5%)"
+         acceptance bound 3%)"
     );
     (off, on, overhead, raw)
+}
+
+/// Epoch-tied reclamation artifact: sustained churn over a
+/// high-cardinality column (every insert mints a fresh UUID-like city,
+/// so dead rows strand unique interned strings), with string
+/// reclamation off vs on. Both legs compact at ratio 0.3; the reclaim
+/// leg additionally sweeps unreferenced pool strings at each
+/// compaction barrier. Claims recorded:
+///
+/// * **bounded pool**: the string bytes the run adds to the pool stay
+///   ≤ 2× the exact bytes of strings still referenced by live rows
+///   under reclamation, while the no-reclaim twin's pool grows with
+///   *history* (one stranded string per dead insert, forever);
+/// * **cheap sweep**: throughput cost ≤ 5%. The comparison is biased
+///   *against* the reclaim leg — it also pays refcount maintenance and
+///   the mid-run snapshot captures;
+/// * **cheap snapshots**: capturing an `EngineSnapshot` mid-ingest is
+///   microseconds — it clones chunk handles and the live-violation
+///   map, `O(mutated chunks)`, never `O(rows)`.
+///
+/// The two legs (and each repetition) mint disjoint city universes so
+/// pool deltas are attributable and the reclaim leg can never free a
+/// string another leg still resolves. Dataset strings are pinned with
+/// one explicit retain up front: the pool is process-global and later
+/// artifacts still resolve `data.table`'s ids, so the sweep must never
+/// consider them even if this engine's last copy of a zip dies.
+/// Returns the artifact's JSON fragment.
+fn reclaim_churn_artifact(data: &Dataset, rules: &[Pfd], total_ops: usize) -> String {
+    use anmat_table::ValuePool;
+    println!(
+        "── E14 artifact: reclamation churn (high-cardinality city, 60/40 insert/delete \
+         mix, {total_ops} ops, compact-ratio 0.3, interleaved best-of-3) ──"
+    );
+    let rows = rows_of(&data.table);
+    let city_col = data
+        .table
+        .schema()
+        .index_of("city")
+        .expect("zipcity schema has a city column");
+    for r in 0..data.table.row_count() {
+        for id in data.table.row_ids(r) {
+            ValuePool::retain(id);
+        }
+    }
+    struct Leg {
+        ops_per_sec: f64,
+        strings_added: usize,
+        string_bytes_added: usize,
+        live_rows: usize,
+        live_string_bytes: usize,
+        swept: anmat_table::ReclaimStats,
+        snap_us: Vec<f64>,
+    }
+    let run_leg = |tag: &str, reclaim: bool, ops_budget: usize| -> Leg {
+        let config = StreamConfig {
+            compact_ratio: 0.3,
+            reclaim,
+            ..StreamConfig::default()
+        };
+        let mut engine =
+            StreamEngine::with_config(data.table.schema().clone(), rules.to_vec(), config);
+        let before = ValuePool::mem_footprint();
+        let mut rng = StdRng::seed_from_u64(0x9E1C);
+        let mut live: Vec<usize> = Vec::new();
+        let (mut done, mut src, mut batches) = (0usize, 0usize, 0usize);
+        let mut snap_us = Vec::new();
+        let start = Instant::now();
+        while done < ops_budget {
+            let mut slots = engine.row_count();
+            let epoch = engine.epoch();
+            let batch = 256.min(ops_budget - done);
+            let mut ops = Vec::with_capacity(batch);
+            for _ in 0..batch {
+                if !live.is_empty() && rng.random_bool(0.4) {
+                    let pick = rng.random_range(0..live.len());
+                    ops.push(RowOp::Delete(live.swap_remove(pick)));
+                } else {
+                    let mut row = rows[src % rows.len()].clone();
+                    row[city_col] = Value::Text(format!("{tag}-{src:08x}-c17y"));
+                    ops.push(RowOp::Insert(row));
+                    src += 1;
+                    live.push(slots);
+                    slots += 1;
+                }
+            }
+            done += ops.len();
+            engine.apply(ops).expect("ops are valid");
+            if engine.epoch() != epoch {
+                // Compaction renumbered the slots: refresh the id cache.
+                live = engine.table().iter_live().collect();
+            }
+            batches += 1;
+            if reclaim && batches % 64 == 0 {
+                // Mid-ingest snapshot: time the capture, then drop it at
+                // once so the pin never defers the next sweep.
+                let t = Instant::now();
+                let snap = engine.snapshot();
+                snap_us.push(t.elapsed().as_secs_f64() * 1e6);
+                black_box(snap.epoch());
+                drop(snap);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        // Final barrier: sweep whatever the last partial epoch queued,
+        // so the end-state footprint reflects the steady-state protocol.
+        engine.compact();
+        let after = ValuePool::mem_footprint();
+        let mut seen = std::collections::HashSet::new();
+        let mut live_string_bytes = 0usize;
+        for row in engine.table().iter_live() {
+            for col in 0..engine.table().schema().arity() {
+                if let Some(s) = engine.table().cell_str(row, col) {
+                    if seen.insert(s) {
+                        live_string_bytes += s.len();
+                    }
+                }
+            }
+        }
+        Leg {
+            ops_per_sec: ops_budget as f64 / secs,
+            strings_added: after.strings - before.strings,
+            string_bytes_added: after.string_bytes - before.string_bytes,
+            live_rows: engine.live_rows(),
+            live_string_bytes,
+            swept: engine.reclaim_stats(),
+            snap_us,
+        }
+    };
+    // Warm both legs untimed (quarter-size), then interleave best-of-3
+    // with per-rep disjoint string universes: every rep pays the same
+    // fresh-interning cost, so neither leg inherits a warm pool.
+    for (leg, reclaim) in [(0usize, false), (1, true)] {
+        run_leg(&format!("w{leg}"), reclaim, total_ops / 4);
+    }
+    let mut best: [Option<Leg>; 2] = [None, None];
+    for rep in 0..3 {
+        let order: [usize; 2] = if rep % 2 == 0 { [0, 1] } else { [1, 0] };
+        for leg in order {
+            let out = run_leg(&format!("{leg}x{rep}"), leg == 1, total_ops);
+            if best[leg]
+                .as_ref()
+                .is_none_or(|b| out.ops_per_sec > b.ops_per_sec)
+            {
+                best[leg] = Some(out);
+            }
+        }
+    }
+    let [no_reclaim, reclaim] = best.map(|l| l.expect("both legs ran"));
+    let ratio = reclaim.string_bytes_added as f64 / reclaim.live_string_bytes.max(1) as f64;
+    let raw_cost = (no_reclaim.ops_per_sec - reclaim.ops_per_sec) / no_reclaim.ops_per_sec * 100.0;
+    let cost = raw_cost.max(0.0);
+    let captures = reclaim.snap_us.len();
+    let mean_us = reclaim.snap_us.iter().sum::<f64>() / captures.max(1) as f64;
+    let max_us = reclaim.snap_us.iter().fold(0.0f64, |a, &b| a.max(b));
+    println!(
+        "  no-reclaim : {:>9.0} ops/s; pool +{} string(s) / +{} B — grows with history \
+         ({} live rows hold {} B of strings)",
+        no_reclaim.ops_per_sec,
+        no_reclaim.strings_added,
+        no_reclaim.string_bytes_added,
+        no_reclaim.live_rows,
+        no_reclaim.live_string_bytes
+    );
+    println!(
+        "  reclaim    : {:>9.0} ops/s; pool +{} string(s) / +{} B vs {} B live-string \
+         bytes ({ratio:.2}× live; bound 2×); swept {} string(s) / {} B",
+        reclaim.ops_per_sec,
+        reclaim.strings_added,
+        reclaim.string_bytes_added,
+        reclaim.live_string_bytes,
+        reclaim.swept.strings,
+        reclaim.swept.bytes
+    );
+    println!(
+        "  sweep cost : raw {raw_cost:+.2}% ({cost:.2}% clamped; acceptance bound 5%; \
+         reclaim leg also pays refcounts + {captures} snapshot capture(s))"
+    );
+    println!(
+        "  snapshots  : {captures} capture(s) mid-ingest, mean {mean_us:.0} µs, \
+         max {max_us:.0} µs — chunk-handle clones, O(mutated chunks), not O(rows)"
+    );
+    format!(
+        "{{\n    \"ops\": {total_ops},\n    \"insert_fraction\": 0.6,\n    \
+         \"no_reclaim\": {{ \"ops_per_sec\": {:.0}, \"pool_strings_added\": {}, \
+         \"pool_string_bytes_added\": {}, \"live_rows\": {}, \"live_string_bytes\": {} }},\n    \
+         \"reclaim\": {{ \"ops_per_sec\": {:.0}, \"pool_strings_added\": {}, \
+         \"pool_string_bytes_added\": {}, \"live_rows\": {}, \"live_string_bytes\": {}, \
+         \"swept_strings\": {}, \"swept_bytes\": {}, \"pool_bytes_over_live\": {ratio:.3} }},\n    \
+         \"sweep_cost_pct\": {cost:.3},\n    \"sweep_cost_raw_pct\": {raw_cost:.3},\n    \
+         \"snapshot\": {{ \"captures\": {captures}, \"mean_us\": {mean_us:.1}, \
+         \"max_us\": {max_us:.1} }},\n    \
+         \"claim\": \"every insert mints a fresh high-cardinality string; without \
+         reclamation the pool keeps one stranded string per dead insert forever (growth \
+         proportional to history), with --reclaim the epoch-tied sweep keeps pool string \
+         bytes within 2x the bytes referenced by live rows, at <=5% throughput cost \
+         (interleaved best-of-3, reclaim leg additionally pays refcounts and mid-ingest \
+         snapshot captures); capturing a copy-on-write snapshot during ingest costs \
+         microseconds, O(mutated chunks), never O(rows)\"\n  }}",
+        no_reclaim.ops_per_sec,
+        no_reclaim.strings_added,
+        no_reclaim.string_bytes_added,
+        no_reclaim.live_rows,
+        no_reclaim.live_string_bytes,
+        reclaim.ops_per_sec,
+        reclaim.strings_added,
+        reclaim.string_bytes_added,
+        reclaim.live_rows,
+        reclaim.live_string_bytes,
+        reclaim.swept.strings,
+        reclaim.swept.bytes,
+    )
 }
 
 /// The tentpole artifact: key-granular sharding on a workload that
@@ -498,7 +715,13 @@ fn key_shard_sweep_artifact(data: &Dataset, discovered: &[Pfd], rows: usize) -> 
 /// full end-of-run metrics registry, as one JSON document. The metrics
 /// section is exactly what `anmat stream --metrics-out` writes, so
 /// downstream tooling parses one schema for both producers.
-fn write_fig6_json(data: &Dataset, rules: &[Pfd], churn: (f64, f64, f64, f64), key_sweep: &str) {
+fn write_fig6_json(
+    data: &Dataset,
+    rules: &[Pfd],
+    churn: (f64, f64, f64, f64),
+    reclaim_churn: &str,
+    key_sweep: &str,
+) {
     obs::Recorder::enable();
     let ids = id_rows_of(&data.table);
     let mut engine = StreamEngine::new(data.table.schema().clone(), rules.to_vec());
@@ -515,7 +738,8 @@ fn write_fig6_json(data: &Dataset, rules: &[Pfd], churn: (f64, f64, f64, f64), k
         "{{\n  \"rows\": {},\n  \"ingest_rows_per_sec\": {ingest:.0},\n  \
          \"churn_ops_per_sec\": {{\n    \"uninstrumented\": {off:.0},\n    \
          \"instrumented\": {on:.0},\n    \"overhead_pct\": {overhead:.3},\n    \
-         \"overhead_raw_pct\": {raw:.3}\n  }},\n  \"key_shard_sweep\": {key_sweep},\n  \
+         \"overhead_raw_pct\": {raw:.3}\n  }},\n  \"reclaim_churn\": {reclaim_churn},\n  \
+         \"key_shard_sweep\": {key_sweep},\n  \
          \"metrics\": {}\n}}\n",
         ids.len(),
         snapshot.to_json()
@@ -538,8 +762,9 @@ fn bench(c: &mut Criterion) {
     churn_memory_artifact(&big.0, &big.1, 100_000);
     let small = dataset(10_000);
     let churn_rates = recorder_overhead_artifact(&small.0, &small.1);
+    let reclaim_churn = reclaim_churn_artifact(&small.0, &small.1, 100_000);
     let key_sweep = key_shard_sweep_artifact(&small.0, &small.1, 10_000);
-    write_fig6_json(&small.0, &small.1, churn_rates, &key_sweep);
+    write_fig6_json(&small.0, &small.1, churn_rates, &reclaim_churn, &key_sweep);
     shard_sweep_artifact(&small.0, &small.1, 10_000);
     shard_sweep_artifact(&big.0, &big.1, 100_000);
     for (rows, (data, rules)) in [(10_000usize, &small), (100_000, &big)] {

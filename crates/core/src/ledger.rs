@@ -28,6 +28,7 @@ use crate::detect::Violation;
 use anmat_obs as obs;
 use anmat_table::RowIdRemap;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// What happened to a violation's liveness.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,16 +74,46 @@ impl LedgerEvent {
 
 /// The set of currently live violations, keyed structurally, with
 /// reference counts and lifetime counters.
-#[derive(Debug, Default)]
+///
+/// The live map sits behind an [`Arc`], so [`ViolationLedger::freeze`]
+/// captures a consistent snapshot in `O(1)`; the first mutation after a
+/// capture copies the map once (map-granular copy-on-write) and every
+/// further mutation is back to in-place cost.
+#[derive(Debug, Default, Clone)]
 pub struct ViolationLedger {
     /// Canonical serialization → (refcount, violation). A `BTreeMap`
     /// keeps iteration deterministic.
-    live: BTreeMap<String, (usize, Violation)>,
+    live: Arc<BTreeMap<String, (usize, Violation)>>,
     created_total: usize,
     retracted_total: usize,
     /// Compaction epoch stamped onto emitted events; follows the backing
     /// table's epoch via [`ViolationLedger::remap`].
     epoch: u64,
+}
+
+/// A frozen, read-only view of a [`ViolationLedger`] captured by
+/// [`ViolationLedger::freeze`] — shares the live map with the ledger
+/// until the ledger next mutates. Derefs to [`ViolationLedger`], so the
+/// whole read API (`live`, `snapshot`, counters) works on it.
+#[derive(Debug, Clone)]
+pub struct LedgerSnapshot {
+    inner: ViolationLedger,
+}
+
+impl LedgerSnapshot {
+    /// The frozen view, as a `&ViolationLedger`.
+    #[must_use]
+    pub fn ledger(&self) -> &ViolationLedger {
+        &self.inner
+    }
+}
+
+impl std::ops::Deref for LedgerSnapshot {
+    type Target = ViolationLedger;
+
+    fn deref(&self) -> &ViolationLedger {
+        &self.inner
+    }
 }
 
 fn canonical_key(v: &Violation) -> String {
@@ -96,12 +127,32 @@ impl ViolationLedger {
         ViolationLedger::default()
     }
 
+    /// Capture a copy-on-write snapshot: `O(1)` — the handle shares the
+    /// live map until this ledger next mutates (which pays one map
+    /// copy, counted as `snapshot.map_copies`).
+    #[must_use]
+    pub fn freeze(&self) -> LedgerSnapshot {
+        obs::counter!("snapshot.ledger_captures").incr();
+        LedgerSnapshot {
+            inner: self.clone(),
+        }
+    }
+
+    /// The live map, for mutation — copies it first if a snapshot still
+    /// shares it.
+    fn live_mut(&mut self) -> &mut BTreeMap<String, (usize, Violation)> {
+        if Arc::strong_count(&self.live) > 1 {
+            obs::counter!("snapshot.map_copies").incr();
+        }
+        Arc::make_mut(&mut self.live)
+    }
+
     /// Record a violation. Returns the `Created` event if it was not
     /// already live (otherwise only the reference count grows).
     pub fn create(&mut self, violation: Violation) -> Option<LedgerEvent> {
         let key = canonical_key(&violation);
         let entry = self
-            .live
+            .live_mut()
             .entry(key)
             .or_insert_with(|| (0, violation.clone()));
         entry.0 += 1;
@@ -122,12 +173,18 @@ impl ViolationLedger {
     /// never live).
     pub fn retract(&mut self, violation: &Violation) -> Option<LedgerEvent> {
         let key = canonical_key(violation);
-        let entry = self.live.get_mut(&key)?;
+        // Peek before touching the map so a retract of a never-live
+        // violation doesn't force a COW copy under a snapshot.
+        if !self.live.contains_key(&key) {
+            return None;
+        }
+        let live = self.live_mut();
+        let entry = live.get_mut(&key)?;
         entry.0 -= 1;
         if entry.0 > 0 {
             return None;
         }
-        let (_, v) = self.live.remove(&key).expect("entry exists");
+        let (_, v) = live.remove(&key).expect("entry exists");
         self.retracted_total += 1;
         obs::counter!("ledger.retracted").incr();
         Some(LedgerEvent {
@@ -155,11 +212,12 @@ impl ViolationLedger {
     /// nothing else, so distinct entries stay distinct.
     pub fn remap(&mut self, remap: &RowIdRemap) {
         self.epoch = remap.epoch();
-        let old = std::mem::take(&mut self.live);
+        let old = std::mem::take(self.live_mut());
+        let live = Arc::make_mut(&mut self.live);
         for (_, (refcount, mut v)) in old {
             v.remap(remap);
             let key = canonical_key(&v);
-            let prev = self.live.insert(key, (refcount, v));
+            let prev = live.insert(key, (refcount, v));
             debug_assert!(prev.is_none(), "remap is injective on live violations");
         }
     }
@@ -395,5 +453,28 @@ mod tests {
         // New creations are stamped with the adopted epoch too.
         let ev = ledger.create(violation(0, "X")).expect("fresh");
         assert_eq!(ev.epoch, 1);
+    }
+
+    #[test]
+    fn freeze_is_isolated_from_later_mutation() {
+        let mut ledger = ViolationLedger::new();
+        ledger.create(violation(1, "A"));
+        let snap = ledger.freeze();
+        assert_eq!(snap.live_count(), 1);
+        // Mutate the live ledger every way it can move: create, retract,
+        // remap. The frozen view must not see any of it.
+        ledger.create(violation(3, "B"));
+        ledger.retract(&violation(1, "A"));
+        ledger.remap(&sample_remap());
+        assert_eq!(snap.live_count(), 1);
+        assert_eq!(snap.ledger().snapshot()[0].row, 1);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.created_total(), 1);
+        assert_eq!(snap.retracted_total(), 0);
+        // The live ledger moved on.
+        assert_eq!(ledger.live_count(), 1);
+        assert_eq!(ledger.epoch(), 1);
+        assert_eq!(ledger.snapshot()[0].row, 1, "old row 3 compacts to 1");
+        assert_eq!(ledger.retracted_total(), 1);
     }
 }

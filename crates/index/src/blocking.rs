@@ -521,6 +521,21 @@ impl BlockingPartition {
         }
     }
 
+    /// Drop every key-cache entry whose LHS id *or* cached derived-key
+    /// id satisfies `dead`, leaving counters and blocks untouched.
+    ///
+    /// The reclamation hook: when the pool frees a string, its id is
+    /// recycled for a different string later. A cache entry keyed on a
+    /// dead LHS would answer for the wrong value, and an entry whose
+    /// *derived key* died would route a fresh row into a stale block —
+    /// so the engine purges both at the epoch barrier that reclaims
+    /// them. Blocks themselves never hold dead ids: live blocks pin
+    /// their key and RHS ids through live table cells.
+    pub fn purge_cached_keys(&mut self, mut dead: impl FnMut(ValueId) -> bool) {
+        self.key_cache
+            .retain(|&lhs, key| !dead(lhs) && !key.is_some_and(&mut dead));
+    }
+
     /// Insert one row under an externally derived `key`, bypassing the
     /// keyer and the key cache entirely — the worker-side half of the
     /// key-granular sharding split, where the coordinator has already

@@ -20,6 +20,7 @@ use anmat_table::{
     for_each_ngram, for_each_prefix, for_each_token, RowId, RowIdRemap, Table, ValueId, ValuePool,
 };
 use fxhash::FxHashMap;
+use std::sync::Arc;
 
 /// How LHS/RHS strings are decomposed into inverted-list keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -138,24 +139,62 @@ pub(crate) fn sort_rhs_counts(rhs_counts: &mut [(ValueId, usize)]) {
 /// an online (re-)discovery pass over an append stream would sit on —
 /// today's `StreamEngine` detection path uses its sibling,
 /// [`BlockingPartition`](crate::BlockingPartition).
-#[derive(Debug)]
+/// The three maps sit behind [`Arc`]s so [`InvertedIndex::freeze`]
+/// captures a consistent snapshot in `O(1)`; the first mutation after a
+/// capture copies each touched map once (map-granular copy-on-write).
+#[derive(Debug, Clone)]
 pub struct InvertedIndex {
     /// LHS decomposition mode (kept so inserts match the build mode).
     lhs_mode: ExtractionMode,
     /// RHS decomposition mode.
     rhs_mode: ExtractionMode,
     /// Key → postings (one per (row, lhs occurrence, rhs token)).
-    entries: FxHashMap<ValueId, Vec<Posting>>,
+    entries: Arc<FxHashMap<ValueId, Vec<Posting>>>,
     /// Key → distinct rows containing it (deduplicated, sorted).
-    rows_by_key: FxHashMap<ValueId, Vec<RowId>>,
+    rows_by_key: Arc<FxHashMap<ValueId, Vec<RowId>>>,
     /// Key → full-RHS-value → distinct-row count, maintained per insert
     /// (the Δ behind [`InvertedIndex::stats`]).
-    rhs_counts_by_key: FxHashMap<ValueId, FxHashMap<ValueId, usize>>,
+    rhs_counts_by_key: Arc<FxHashMap<ValueId, FxHashMap<ValueId, usize>>>,
     /// Scratch buffer for the RHS keys of the row being inserted (reused
     /// across inserts so the hot path performs no allocation once warm).
     rhs_scratch: Vec<(ValueId, usize)>,
     /// Number of rows with non-null values on both sides.
     pub considered_rows: usize,
+}
+
+/// A frozen, read-only view of an [`InvertedIndex`] captured by
+/// [`InvertedIndex::freeze`] — shares the postings/rows/stats maps with
+/// the live index until it next mutates. Derefs to [`InvertedIndex`],
+/// so the whole read API (`postings`, `rows`, `stats`, `iter_stats`)
+/// works on it.
+#[derive(Debug, Clone)]
+pub struct IndexSnapshot {
+    inner: InvertedIndex,
+}
+
+impl IndexSnapshot {
+    /// The frozen view, as an `&InvertedIndex`.
+    #[must_use]
+    pub fn index(&self) -> &InvertedIndex {
+        &self.inner
+    }
+}
+
+impl std::ops::Deref for IndexSnapshot {
+    type Target = InvertedIndex;
+
+    fn deref(&self) -> &InvertedIndex {
+        &self.inner
+    }
+}
+
+/// `Arc::make_mut` with the `snapshot.map_copies` counter: copies the
+/// map first when a snapshot still shares it.
+fn map_mut<M: Clone>(map: &mut Arc<M>) -> &mut M {
+    if Arc::strong_count(map) > 1 {
+        obs::counter!("snapshot.map_copies").incr();
+    }
+    Arc::make_mut(map)
 }
 
 impl InvertedIndex {
@@ -165,11 +204,22 @@ impl InvertedIndex {
         InvertedIndex {
             lhs_mode,
             rhs_mode,
-            entries: FxHashMap::default(),
-            rows_by_key: FxHashMap::default(),
-            rhs_counts_by_key: FxHashMap::default(),
+            entries: Arc::new(FxHashMap::default()),
+            rows_by_key: Arc::new(FxHashMap::default()),
+            rhs_counts_by_key: Arc::new(FxHashMap::default()),
             rhs_scratch: Vec::new(),
             considered_rows: 0,
+        }
+    }
+
+    /// Capture a copy-on-write snapshot: `O(1)` — the handle shares all
+    /// three maps until this index next mutates (the first mutation then
+    /// pays one copy per touched map, counted as `snapshot.map_copies`).
+    #[must_use]
+    pub fn freeze(&self) -> IndexSnapshot {
+        obs::counter!("snapshot.index_captures").incr();
+        IndexSnapshot {
+            inner: self.clone(),
         }
     }
 
@@ -208,7 +258,7 @@ impl InvertedIndex {
         let lhs_mode = self.lhs_mode;
         lhs_mode.for_each_key(lhs, |key, lhs_pos| {
             let key = ValuePool::intern(key);
-            let postings = self.entries.entry(key).or_default();
+            let postings = map_mut(&mut self.entries).entry(key).or_default();
             for &(rhs_token, rhs_pos) in &rhs_keys {
                 postings.push(Posting {
                     row,
@@ -228,13 +278,12 @@ impl InvertedIndex {
                     rhs_full,
                 });
             }
-            let rows = self.rows_by_key.entry(key).or_default();
+            let rows = map_mut(&mut self.rows_by_key).entry(key).or_default();
             if rows.last() != Some(&row) {
                 rows.push(row);
                 // First sighting of this key in this row: one delta to
                 // the key's RHS distribution.
-                *self
-                    .rhs_counts_by_key
+                *map_mut(&mut self.rhs_counts_by_key)
                     .entry(key)
                     .or_default()
                     .entry(rhs_full)
@@ -268,7 +317,8 @@ impl InvertedIndex {
             let Some(key) = ValuePool::lookup(key) else {
                 return;
             };
-            let Some(rows) = self.rows_by_key.get_mut(&key) else {
+            let rows_map = map_mut(&mut self.rows_by_key);
+            let Some(rows) = rows_map.get_mut(&key) else {
                 return;
             };
             // Gate every delta on the distinct-rows list, exactly like
@@ -279,28 +329,31 @@ impl InvertedIndex {
             };
             rows.remove(pos);
             if rows.is_empty() {
-                self.rows_by_key.remove(&key);
+                rows_map.remove(&key);
             }
-            if let (Some(counts), Some(rhs_full)) = (self.rhs_counts_by_key.get_mut(&key), rhs_full)
-            {
-                if let Some(c) = counts.get_mut(&rhs_full) {
-                    *c -= 1;
-                    if *c == 0 {
-                        counts.remove(&rhs_full);
+            if let Some(rhs_full) = rhs_full {
+                let counts_map = map_mut(&mut self.rhs_counts_by_key);
+                if let Some(counts) = counts_map.get_mut(&key) {
+                    if let Some(c) = counts.get_mut(&rhs_full) {
+                        *c -= 1;
+                        if *c == 0 {
+                            counts.remove(&rhs_full);
+                        }
+                    }
+                    if counts.is_empty() {
+                        counts_map.remove(&key);
                     }
                 }
-                if counts.is_empty() {
-                    self.rhs_counts_by_key.remove(&key);
-                }
             }
-            if let Some(postings) = self.entries.get_mut(&key) {
+            let entries = map_mut(&mut self.entries);
+            if let Some(postings) = entries.get_mut(&key) {
                 // Postings are appended in nondecreasing row order, so
                 // the row's entries form one contiguous run.
                 let start = postings.partition_point(|p| p.row < row);
                 let end = postings.partition_point(|p| p.row <= row);
                 postings.drain(start..end);
                 if postings.is_empty() {
-                    self.entries.remove(&key);
+                    entries.remove(&key);
                 }
             }
         });
@@ -322,12 +375,12 @@ impl InvertedIndex {
     /// every id the index holds is live and maps to `Some` (a dead id
     /// panics — it means a maintenance bug, not a remap problem).
     pub fn apply_remap(&mut self, remap: &RowIdRemap) {
-        for postings in self.entries.values_mut() {
+        for postings in map_mut(&mut self.entries).values_mut() {
             for p in postings {
                 p.row = remap.live_id(p.row);
             }
         }
-        for rows in self.rows_by_key.values_mut() {
+        for rows in map_mut(&mut self.rows_by_key).values_mut() {
             remap.remap_sorted_in_place(rows);
         }
     }
@@ -710,6 +763,27 @@ mod tests {
             );
             assert_eq!(idx.postings(key), expected.postings(key));
         }
+    }
+
+    #[test]
+    fn freeze_is_isolated_from_later_mutation() {
+        let t = name_gender_table();
+        let mut idx =
+            InvertedIndex::build(&t, 0, 1, ExtractionMode::Tokens, ExtractionMode::Tokens);
+        let snap = idx.freeze();
+        // Mutate the live index every way it can move: insert, remove.
+        idx.insert_row(4, "Susan Sontag", "F");
+        idx.remove_row(0, "John Charles", "M");
+        // The frozen view still answers as of capture time.
+        assert_eq!(snap.considered_rows, 4);
+        assert_eq!(snap.rows("John"), &[0, 1]);
+        assert_eq!(snap.index().stats("Susan").support, 2);
+        assert_eq!(snap.stats("Susan").violations(), 1);
+        assert!(snap.rows("Sontag").is_empty());
+        // The live index moved on.
+        assert_eq!(idx.rows("John"), &[1]);
+        assert_eq!(idx.stats("Susan").support, 3);
+        assert_eq!(idx.rows("Sontag"), &[4]);
     }
 
     #[test]

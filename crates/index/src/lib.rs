@@ -44,6 +44,6 @@ pub mod pattern_index;
 pub mod trie;
 
 pub use blocking::{BlockingIndex, BlockingPartition, Blocks, KeyBlock, Placement};
-pub use inverted::{EntryStats, ExtractionMode, InvertedIndex, Posting};
+pub use inverted::{EntryStats, ExtractionMode, IndexSnapshot, InvertedIndex, Posting};
 pub use pattern_index::PatternIndex;
 pub use trie::CharTrie;

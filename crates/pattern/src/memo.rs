@@ -148,6 +148,18 @@ impl MatchMemo {
         out
     }
 
+    /// Drop every cached entry whose id satisfies `pred`, without
+    /// touching the eval/lookup counters.
+    ///
+    /// This is the reclamation hook: when the pool frees a string, its
+    /// id goes back on a free list and will be recycled for a
+    /// *different* string later. A memo entry keyed on the dead id
+    /// would then answer for the wrong value, so the engine purges dead
+    /// ids at the same epoch barrier that reclaims them.
+    pub fn purge(&mut self, mut pred: impl FnMut(u32) -> bool) {
+        self.cache.retain(|&id, _| !pred(id));
+    }
+
     /// Install entries previously moved out by [`MatchMemo::extract_if`]
     /// (or otherwise known-correct `(id, matched?)` pairs for this
     /// memo's pattern). Counts no evaluations — the work was already

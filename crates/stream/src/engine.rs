@@ -30,12 +30,17 @@ use crate::drift::{DriftMonitor, DriftReport, RuleHealth};
 use anmat_core::detect::constant::violation_at;
 use anmat_core::detect::variable::{flag_block_minority, minority_violation, MAX_WITNESSES};
 use anmat_core::discovery::DiscoveryConfig;
-use anmat_core::{LedgerEvent, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger};
+use anmat_core::{
+    LedgerEvent, LedgerSnapshot, LhsCell, Pfd, RhsCell, Violation, ViolationKind, ViolationLedger,
+};
 use anmat_index::{BlockingPartition, KeyBlock, Placement};
 use anmat_obs as obs;
 use anmat_pattern::{CompiledConstrained, CompiledPattern, MatchMemo, PatternEngine};
-use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
-use fxhash::FxHashMap;
+use anmat_table::{
+    ReclaimStats, RowId, RowIdRemap, RowOp, Schema, Table, TableError, TableSnapshot, Value,
+    ValueId, ValuePool,
+};
+use fxhash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 /// Engine thresholds (the drift monitor's discovery-style knobs) plus
@@ -77,6 +82,15 @@ pub struct StreamConfig {
     /// always in submission order, so event order is unaffected.
     /// Ignored by `StreamEngine`.
     pub run_ahead: usize,
+    /// Tie string reclamation to the compaction epochs: the engine
+    /// enables batch-granular [`ValuePool`] refcounting on its table and,
+    /// at the end of every compaction barrier, frees interned strings no
+    /// longer referenced by any live cell, blocking key, memo, or rule
+    /// state. `false` (the default) keeps the classic append-only pool
+    /// behaviour — nothing is ever freed. Reclamation is deferred (never
+    /// skipped) while an [`EngineSnapshot`] is alive, since snapshots
+    /// resolve ids against the shared pool.
+    pub reclaim: bool,
 }
 
 /// The sharded engine's work-partitioning axis (see
@@ -105,6 +119,7 @@ impl Default for StreamConfig {
             pattern_engine: PatternEngine::Fused,
             shard_by: ShardBy::Rule,
             run_ahead: 0,
+            reclaim: false,
         }
     }
 }
@@ -1178,6 +1193,58 @@ impl RuleState {
         }
     }
 
+    /// Collect every [`ValueId`] this rule's incremental state holds
+    /// *beyond* the table's live cells — ids that must survive a pool
+    /// sweep even when no live cell references them:
+    ///
+    /// * constant tuples' interned `expected` RHS (rule metadata — it
+    ///   may never appear in the data at all, or only in since-deleted
+    ///   rows);
+    /// * variable tuples' block keys (derived captures: `"90001" →
+    ///   "900"` interns a string no cell holds) and asserted majority
+    ///   ids (transitively live via block rows today, listed
+    ///   belt-and-braces so the invariant doesn't depend on it).
+    ///
+    /// Memoized *negative* entries (keys for values that since left, the
+    /// match memo's misses) are deliberately not protected — they are
+    /// caches, purged by [`RuleState::purge_values`] instead.
+    pub(crate) fn collect_protected(&self, out: &mut FxHashSet<u32>) {
+        for tuple in &self.tuples {
+            match tuple {
+                TupleState::Constant(ct) => {
+                    out.insert(ct.expected.raw());
+                }
+                TupleState::Variable(vt) => {
+                    for key in vt.partition.block_keys() {
+                        out.insert(key.raw());
+                    }
+                    for state in vt.blocks.values() {
+                        if let Some(majority) = state.majority {
+                            out.insert(majority.raw());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop every memoized entry keyed on (or caching) an id in `dead`,
+    /// ahead of the pool recycling those ids for different strings. See
+    /// [`MatchMemo::purge`] and
+    /// [`BlockingPartition::purge_cached_keys`] for why stale entries
+    /// would otherwise answer for the wrong value. Counters stay put —
+    /// a purge performs no pattern work.
+    pub(crate) fn purge_values(&mut self, dead: &FxHashSet<u32>) {
+        for tuple in &mut self.tuples {
+            match tuple {
+                TupleState::Constant(ct) => ct.memo.purge(|id| dead.contains(&id)),
+                TupleState::Variable(vt) => vt
+                    .partition
+                    .purge_cached_keys(|id| dead.contains(&id.raw())),
+            }
+        }
+    }
+
     /// Pattern evaluations this rule's memoized state performed —
     /// constant tuples' match memos plus variable tuples' capture
     /// extractions.
@@ -1232,6 +1299,68 @@ impl RuleState {
     }
 }
 
+/// A consistent copy-on-write view of a stream engine's observable
+/// state, frozen at a batch boundary (see [`StreamEngine::snapshot`] /
+/// [`ShardedEngine::snapshot`](crate::ShardedEngine::snapshot)).
+///
+/// The table view shares storage chunks with the live engine (copied
+/// lazily, per chunk, on the engine's next write — never by the reader)
+/// and the ledger view shares its live-violation map the same way, so
+/// drift analysis, `detect_all` cross-checks, and serde checkpoints can
+/// read a stable state while ingest continues on the live engine.
+///
+/// Holding a snapshot *pins string reclamation*: sweeps on the source
+/// engine defer until every snapshot from it is dropped, so ids resolve
+/// for the snapshot's whole lifetime. Compaction itself still runs —
+/// the snapshot keeps pre-compaction coordinates, which is why it
+/// carries the [`epoch`](EngineSnapshot::epoch) it was taken in.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    table: TableSnapshot,
+    ledger: LedgerSnapshot,
+    epoch: u64,
+    _pin: Arc<()>,
+}
+
+impl EngineSnapshot {
+    /// Capture a snapshot from the engine-internal pieces — shared by
+    /// [`StreamEngine::snapshot`] and the sharded engine (which freezes
+    /// its coordinator-owned canonical table and ledger behind the same
+    /// pipeline barrier its compactions use).
+    pub(crate) fn capture(
+        table: &Table,
+        ledger: &ViolationLedger,
+        pin: &Arc<()>,
+    ) -> EngineSnapshot {
+        obs::counter!("snapshot.engine_captures").incr();
+        EngineSnapshot {
+            table: table.snapshot(),
+            ledger: ledger.freeze(),
+            epoch: table.epoch(),
+            _pin: Arc::clone(pin),
+        }
+    }
+
+    /// The frozen table view.
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        self.table.table()
+    }
+
+    /// The frozen violation ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &ViolationLedger {
+        self.ledger.ledger()
+    }
+
+    /// The compaction epoch the snapshot was taken in — its `RowId`s
+    /// are coordinates of this epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
 /// The incremental PFD violation engine (see the crate docs).
 #[derive(Debug)]
 pub struct StreamEngine {
@@ -1242,6 +1371,14 @@ pub struct StreamEngine {
     /// Auto-compaction threshold (see [`StreamConfig::compact_ratio`]).
     compact_ratio: f64,
     compaction: CompactionStats,
+    /// Epoch-tied string reclamation (see [`StreamConfig::reclaim`]).
+    reclaim: bool,
+    /// Lifetime pool reclamation by this engine's sweeps.
+    reclaim_stats: ReclaimStats,
+    /// Snapshot pin: every live [`EngineSnapshot`] clones this `Arc`, so
+    /// `strong_count > 1` ⇔ a snapshot may still resolve ids — sweeps
+    /// defer (candidates stay queued in the table) until it drops.
+    snap_pin: Arc<()>,
 }
 
 impl StreamEngine {
@@ -1259,13 +1396,24 @@ impl StreamEngine {
             .into_iter()
             .map(|pfd| RuleState::seed(pfd, &schema, config.pattern_engine))
             .collect();
+        let mut table = Table::empty(schema);
+        if config.reclaim {
+            // Batch-granular refcounting: the table retains each cell id
+            // on insert and releases on delete/overwrite, recording ids
+            // whose count hit zero as sweep candidates for the next
+            // compaction barrier.
+            table.enable_refcounts();
+        }
         StreamEngine {
-            table: Table::empty(schema),
+            table,
             rules: states,
             ledger: ViolationLedger::new(),
             drift,
             compact_ratio: config.compact_ratio,
             compaction: CompactionStats::default(),
+            reclaim: config.reclaim,
+            reclaim_stats: ReclaimStats::default(),
+            snap_pin: Arc::new(()),
         }
     }
 
@@ -1293,7 +1441,80 @@ impl StreamEngine {
         self.ledger.remap(&remap);
         self.compaction.epochs += 1;
         self.compaction.reclaimed_slots += remap.reclaimed();
+        self.sweep_reclaimable();
         remap
+    }
+
+    /// The string-reclamation half of the compaction barrier (no-op
+    /// unless [`StreamConfig::reclaim`]): free every interned string
+    /// whose last table reference died since the previous sweep, unless
+    /// rule state still needs it.
+    ///
+    /// The candidate set is exactly the ids the refcounting table
+    /// recorded at their last release, filtered twice at the barrier:
+    ///
+    /// 1. **refcount recheck** — the string may have been re-inserted
+    ///    (same id: interning is idempotent) after the release that
+    ///    queued it;
+    /// 2. **protection** — rule state holds ids beyond live cells
+    ///    (constant RHS constants, derived block keys); see
+    ///    [`RuleState::collect_protected`].
+    ///
+    /// Survivors are purged from every memo/key cache *before*
+    /// [`ValuePool::reclaim`] queues them for recycling, so no cache can
+    /// answer for a recycled id. While an [`EngineSnapshot`] is alive
+    /// the whole sweep defers — candidates simply stay queued in the
+    /// table for the next barrier.
+    fn sweep_reclaimable(&mut self) {
+        if !self.reclaim {
+            return;
+        }
+        if Arc::strong_count(&self.snap_pin) > 1 {
+            obs::counter!("pool.sweeps_deferred").incr();
+            return;
+        }
+        let candidates = self.table.take_reclaim_candidates();
+        if candidates.is_empty() {
+            return;
+        }
+        let mut protected = FxHashSet::default();
+        for rule in &self.rules {
+            rule.collect_protected(&mut protected);
+        }
+        let doomed: Vec<ValueId> = candidates
+            .into_iter()
+            .filter(|id| ValuePool::refcount(*id) == 0 && !protected.contains(&id.raw()))
+            .collect();
+        if doomed.is_empty() {
+            return;
+        }
+        let dead: FxHashSet<u32> = doomed.iter().map(|id| id.raw()).collect();
+        for rule in &mut self.rules {
+            rule.purge_values(&dead);
+        }
+        let stats = ValuePool::reclaim(doomed);
+        self.reclaim_stats.strings += stats.strings;
+        self.reclaim_stats.bytes += stats.bytes;
+    }
+
+    /// Lifetime pool reclamation this engine's sweeps performed.
+    #[must_use]
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.reclaim_stats
+    }
+
+    /// Freeze a consistent copy-on-write view of the engine's observable
+    /// state — table and ledger — that stays valid while ingest
+    /// continues. Capture is `O(chunks + live violations)` handle
+    /// clones (no cell is copied); subsequent engine mutations pay one
+    /// chunk copy per first-touched chunk (`snapshot.cow_copies`).
+    ///
+    /// While the snapshot is alive, reclamation sweeps defer (the
+    /// snapshot resolves ids against the shared pool), so every id it
+    /// holds stays resolvable for its whole lifetime.
+    #[must_use]
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot::capture(&self.table, &self.ledger, &self.snap_pin)
     }
 
     /// Auto-compaction hook: runs at the end of tombstoning entry
@@ -1653,6 +1874,7 @@ impl StreamEngine {
         let pool = ValuePool::mem_footprint();
         obs::gauge!("pool.bytes").set(pool.bytes as i64);
         obs::gauge!("pool.strings").set(pool.strings as i64);
+        obs::gauge!("pool.string_bytes").set(pool.string_bytes as i64);
         obs::gauge!("engine.rules").set(self.rules.len() as i64);
         obs::gauge!("engine.blocks")
             .set(self.rules.iter().map(RuleState::block_count).sum::<usize>() as i64);
@@ -1663,6 +1885,16 @@ impl StreamEngine {
         obs::gauge!("ledger.retracted_total").set(self.ledger.retracted_total() as i64);
         obs::gauge!("engine.compaction_epochs").set(self.compaction.epochs as i64);
         obs::gauge!("engine.reclaimed_slots").set(self.compaction.reclaimed_slots as i64);
+        // Reclamation: live vs cumulatively-freed pool state (gauges —
+        // the matching `pool.reclaims`/`pool.reclaimed_*` *counters*
+        // move inside `ValuePool::reclaim` itself), plus what this
+        // engine's sweeps freed.
+        obs::gauge!("pool.live_strings").set(ValuePool::live_strings() as i64);
+        let (freed_strings, freed_bytes) = ValuePool::reclaimed();
+        obs::gauge!("pool.freed_strings").set(freed_strings as i64);
+        obs::gauge!("pool.freed_bytes").set(freed_bytes as i64);
+        obs::gauge!("engine.reclaimed_strings").set(self.reclaim_stats.strings as i64);
+        obs::gauge!("engine.reclaimed_bytes").set(self.reclaim_stats.bytes as i64);
     }
 
     /// Streaming health counters for one rule.

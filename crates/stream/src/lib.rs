@@ -110,7 +110,7 @@ pub mod engine;
 pub mod sharded;
 
 pub use drift::{DriftMonitor, DriftReport, RuleHealth};
-pub use engine::{CompactionStats, ShardBy, StreamConfig, StreamEngine};
+pub use engine::{CompactionStats, EngineSnapshot, ShardBy, StreamConfig, StreamEngine};
 pub use sharded::{BatchEvents, ShardedEngine, KEY_SLOTS};
 
 // Re-exported so downstream users of the engine's event stream don't need

@@ -94,13 +94,16 @@
 use crate::drift::{DriftDelta, DriftMonitor, DriftReport, RuleHealth};
 use crate::engine::{
     apply_deltas, should_compact, validate_shapes, CompactionStats, CompiledRule, Delta, DeltaSink,
-    OpShape, RuleState, ShardBy, StreamConfig, TupleDeltas, TupleKeySlice,
+    EngineSnapshot, OpShape, RuleState, ShardBy, StreamConfig, TupleDeltas, TupleKeySlice,
 };
 use anmat_core::{LedgerEvent, Pfd, RhsCell, ViolationLedger};
 use anmat_index::BlockingPartition;
 use anmat_obs as obs;
 use anmat_pattern::PatternEngine;
-use anmat_table::{RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool};
+use anmat_table::{
+    ReclaimStats, RowId, RowIdRemap, RowOp, Schema, Table, TableError, Value, ValueId, ValuePool,
+};
+use fxhash::FxHashSet;
 use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -231,16 +234,31 @@ enum WorkerMsg {
     /// The epoch barrier: compact the replica and remap rule state with
     /// the coordinator's broadcast remap, then acknowledge.
     Compact(Arc<RowIdRemap>),
+    /// Reclamation phase 1: report which of these candidate ids this
+    /// worker's rule state still needs (constant RHS constants, block
+    /// keys — see `RuleState::collect_protected`).
+    ReclaimScan(Arc<Vec<ValueId>>),
+    /// Reclamation phase 2: these ids are about to be freed — purge
+    /// every memo/key-cache entry keyed on (or caching) one, then
+    /// acknowledge.
+    ReclaimApply(Arc<FxHashSet<u32>>),
 }
 
 enum WorkerReply {
-    Batch { seq: u64, outcomes: Vec<OpOutcome> },
+    Batch {
+        seq: u64,
+        outcomes: Vec<OpOutcome>,
+    },
     Stats(Vec<RuleStats>),
     Extracted(Vec<(usize, RuleState)>),
     Installed,
     SlotCensus(Vec<usize>),
     Rekeyed(Vec<(usize, Vec<TupleKeySlice>)>),
     Compacted,
+    /// The subset of a `ReclaimScan`'s candidates this worker vetoes.
+    ReclaimVeto(Vec<u32>),
+    /// `ReclaimApply` done — caches purged, safe to free the ids.
+    Reclaimed,
 }
 
 /// One worker thread's state: its table replica and its rule states
@@ -346,6 +364,31 @@ impl Worker {
                         state.apply_remap(&remap);
                     }
                     WorkerReply::Compacted
+                }
+                WorkerMsg::ReclaimScan(candidates) => {
+                    // Veto = candidates ∩ this worker's protected ids.
+                    // The union of vetoes across workers covers every
+                    // protected id of every rule on both axes: rule mode
+                    // partitions the rules, key mode partitions each
+                    // rule's blocks (constant tuples are replicated, so
+                    // their vetoes just repeat).
+                    let mut protected = FxHashSet::default();
+                    for (_, state) in &self.rules {
+                        state.collect_protected(&mut protected);
+                    }
+                    WorkerReply::ReclaimVeto(
+                        candidates
+                            .iter()
+                            .map(|id| id.raw())
+                            .filter(|raw| protected.contains(raw))
+                            .collect(),
+                    )
+                }
+                WorkerMsg::ReclaimApply(dead) => {
+                    for (_, state) in &mut self.rules {
+                        state.purge_values(&dead);
+                    }
+                    WorkerReply::Reclaimed
                 }
             };
             if tx.send(reply).is_err() {
@@ -740,6 +783,19 @@ impl Router {
         }
     }
 
+    /// Drop every routing-memo entry keyed on (or caching) a dead id —
+    /// the coordinator's share of a reclamation barrier. The routing
+    /// memos are the key-mode counterpart of the workers' key caches:
+    /// a stale entry would route a recycled id's rows into the wrong
+    /// block.
+    fn purge(&mut self, dead: &FxHashSet<u32>) {
+        for (_, memos) in &mut self.rules {
+            for memo in memos.iter_mut() {
+                memo.purge_cached_keys(|id| dead.contains(&id.raw()));
+            }
+        }
+    }
+
     fn key_evals(&self) -> usize {
         self.rules
             .iter()
@@ -809,6 +865,12 @@ pub struct ShardedEngine {
     const_cols: Vec<Option<usize>>,
     /// Key mode: hash slot → owning worker (also held by every worker).
     slot_map: Arc<Vec<usize>>,
+    /// Epoch-tied string reclamation (see [`StreamConfig::reclaim`]).
+    reclaim: bool,
+    /// Lifetime pool reclamation by this engine's sweeps.
+    reclaim_stats: ReclaimStats,
+    /// Snapshot pin — see `StreamEngine::snap_pin`.
+    snap_pin: Arc<()>,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -947,8 +1009,17 @@ impl ShardedEngine {
                 }
             })
             .collect();
+        // Refcounting lives on the coordinator's canonical table only:
+        // worker replicas are op-for-op content-identical to it, so a
+        // cell id with no canonical reference has no replica reference
+        // either — one retain/release stream suffices for the whole
+        // engine.
+        let mut table = Table::empty(schema);
+        if config.reclaim {
+            table.enable_refcounts();
+        }
         ShardedEngine {
-            table: Table::empty(schema),
+            table,
             rules,
             assignment,
             workers,
@@ -966,6 +1037,9 @@ impl ShardedEngine {
             layout,
             const_cols,
             slot_map,
+            reclaim: config.reclaim,
+            reclaim_stats: ReclaimStats::default(),
+            snap_pin: Arc::new(()),
         }
     }
 
@@ -1006,7 +1080,96 @@ impl ShardedEngine {
                 _ => unreachable!("worker replies in lockstep with requests"),
             }
         }
+        self.sweep_reclaimable();
         RowIdRemap::clone(&remap)
+    }
+
+    /// The sharded half of the string-reclamation barrier (no-op unless
+    /// [`StreamConfig::reclaim`]), layered on the compaction barrier —
+    /// by the time it runs the pipeline is drained and every worker has
+    /// acknowledged its compaction, so the whole engine sits at one
+    /// batch boundary. Two phases over the same channels:
+    ///
+    /// 1. **scan** — candidates (ids whose canonical refcount hit zero,
+    ///    filtered by a recheck) are broadcast; each worker vetoes the
+    ///    ones its rule state still needs, exactly mirroring the
+    ///    single-threaded protected-set filter (so both engines free
+    ///    identical sets at identical boundaries — the determinism
+    ///    contract extends to reclamation);
+    /// 2. **apply** — the surviving set is broadcast; workers purge
+    ///    their memo/key-cache entries, the coordinator purges its
+    ///    routing memos, and only then are the ids freed.
+    fn sweep_reclaimable(&mut self) {
+        if !self.reclaim {
+            return;
+        }
+        if Arc::strong_count(&self.snap_pin) > 1 {
+            obs::counter!("pool.sweeps_deferred").incr();
+            return;
+        }
+        let candidates: Vec<ValueId> = self
+            .table
+            .take_reclaim_candidates()
+            .into_iter()
+            .filter(|id| ValuePool::refcount(*id) == 0)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let scan = Arc::new(candidates);
+        for worker in &self.workers {
+            worker.send(WorkerMsg::ReclaimScan(Arc::clone(&scan)));
+        }
+        let mut vetoed = FxHashSet::default();
+        for worker in &self.workers {
+            match worker.recv() {
+                WorkerReply::ReclaimVeto(ids) => vetoed.extend(ids),
+                _ => unreachable!("worker replies in lockstep with requests"),
+            }
+        }
+        let doomed: Vec<ValueId> = scan
+            .iter()
+            .copied()
+            .filter(|id| !vetoed.contains(&id.raw()))
+            .collect();
+        if doomed.is_empty() {
+            return;
+        }
+        let dead: Arc<FxHashSet<u32>> = Arc::new(doomed.iter().map(|id| id.raw()).collect());
+        for worker in &self.workers {
+            worker.send(WorkerMsg::ReclaimApply(Arc::clone(&dead)));
+        }
+        for worker in &self.workers {
+            match worker.recv() {
+                WorkerReply::Reclaimed => {}
+                _ => unreachable!("worker replies in lockstep with requests"),
+            }
+        }
+        if let Some(router) = &mut self.router {
+            router.purge(&dead);
+        }
+        let stats = ValuePool::reclaim(doomed);
+        self.reclaim_stats.strings += stats.strings;
+        self.reclaim_stats.bytes += stats.bytes;
+    }
+
+    /// Lifetime pool reclamation this engine's sweeps performed.
+    #[must_use]
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.reclaim_stats
+    }
+
+    /// Freeze a consistent copy-on-write view of the engine's canonical
+    /// table and ledger — the same [`EngineSnapshot`] the
+    /// single-threaded engine produces, captured behind the engine's
+    /// pipeline barrier: in-flight batches merge first, so the view
+    /// sits at a clean batch boundary. Workers are untouched (their
+    /// replicas hold no observable state of their own) and ingest can
+    /// resume immediately; reclamation sweeps defer while the snapshot
+    /// is alive.
+    pub fn snapshot(&mut self) -> EngineSnapshot {
+        self.drain_in_flight();
+        EngineSnapshot::capture(&self.table, &self.ledger, &self.snap_pin)
     }
 
     /// Auto-compaction hook, checked after every submitted batch
@@ -1764,6 +1927,7 @@ impl ShardedEngine {
         let pool = ValuePool::mem_footprint();
         obs::gauge!("pool.bytes").set(pool.bytes as i64);
         obs::gauge!("pool.strings").set(pool.strings as i64);
+        obs::gauge!("pool.string_bytes").set(pool.string_bytes as i64);
         obs::gauge!("engine.rules").set(self.rules.len() as i64);
         let per_worker = self.gather_stats();
         for (shard, stats) in per_worker.iter().enumerate() {
@@ -1785,6 +1949,14 @@ impl ShardedEngine {
         obs::gauge!("ledger.retracted_total").set(self.ledger.retracted_total() as i64);
         obs::gauge!("engine.compaction_epochs").set(self.compaction.epochs as i64);
         obs::gauge!("engine.reclaimed_slots").set(self.compaction.reclaimed_slots as i64);
+        // Reclamation: same gauge set as the single-threaded engine
+        // (the `pool.*` figures are process-global either way).
+        obs::gauge!("pool.live_strings").set(ValuePool::live_strings() as i64);
+        let (freed_strings, freed_bytes) = ValuePool::reclaimed();
+        obs::gauge!("pool.freed_strings").set(freed_strings as i64);
+        obs::gauge!("pool.freed_bytes").set(freed_bytes as i64);
+        obs::gauge!("engine.reclaimed_strings").set(self.reclaim_stats.strings as i64);
+        obs::gauge!("engine.reclaimed_bytes").set(self.reclaim_stats.bytes as i64);
     }
 
     /// Streaming health counters for one rule.

@@ -10,31 +10,37 @@
 //!
 //! # Ownership and lifetime story
 //!
-//! The pool is a **process-global, append-only** interner:
+//! The pool is a **process-global** interner, append-mostly:
 //!
 //! * The first time a string is interned, it is copied once into the pool
-//!   and intentionally **leaked** (`Box::leak`), making its storage
-//!   `&'static str`. Every later sighting of the same string resolves to
-//!   the same [`ValueId`] with a hash lookup and *zero* allocation.
-//! * Ids are never recycled and strings are never dropped: a `ValueId`
-//!   obtained anywhere in the process stays valid (and resolvable) for
-//!   the process lifetime. This is what lets [`ValueId::as_str`] hand out
-//!   `&'static str` without borrowing the pool, and what makes `ValueId`
-//!   `Send + Copy` — the prerequisite for sharding rule state across
-//!   threads without cloning string tables.
-//! * The deliberate leak is bounded by the number of *distinct* strings
-//!   ever ingested, not by row count — the low-cardinality assumption
-//!   that justifies dictionary encoding in the first place. A workload
-//!   that streams unbounded distinct values would grow the pool
-//!   unboundedly; such a workload also defeats dictionary encoding
-//!   anywhere else, and the paper's PFD columns are categorically not of
-//!   that shape.
+//!   and handed out as `&'static str` (`Box::leak`). Every later sighting
+//!   of the same string resolves to the same [`ValueId`] with a hash
+//!   lookup and *zero* allocation.
+//! * By default ids are never recycled and strings are never dropped: a
+//!   `ValueId` obtained anywhere in the process stays valid (and
+//!   resolvable) for the process lifetime. This is what lets
+//!   [`ValueId::as_str`] hand out `&'static str` without borrowing the
+//!   pool, and what makes `ValueId` `Send + Copy` — the prerequisite for
+//!   sharding rule state across threads without cloning string tables.
+//! * For long-running, high-cardinality streams the leak is no longer
+//!   acceptable, so the pool supports **explicit reclamation**
+//!   ([`ValuePool::reclaim`]): a caller that can prove a set of ids is
+//!   unreferenced (the stream engines prove it with batch-granular
+//!   refcounts swept at a compaction epoch barrier — see
+//!   `anmat_stream`) hands them back, their strings are unpublished and
+//!   freed, and the ids are recycled through a free list. Each recycling
+//!   bumps the id's **generation** ([`ValuePool::generation`]), so a
+//!   holder that stashed `(id, generation)` can detect staleness in
+//!   debug builds. Resolving a freed-and-not-yet-reused id panics
+//!   (fail-stop, never a dangle): the slot is nulled before the string
+//!   is dropped, and the drop itself is deferred one reclaim round as a
+//!   grace period for racing lock-free readers.
 //!
 //! Id `0` is reserved for the null cell ([`ValueId::NULL`]); real strings
-//! get ids from 1 upward in first-sighting order. The empty string, when
-//! interned explicitly (e.g. via `Value::text("")`), gets an ordinary
-//! non-null id — nullness is a property of the *cell*, not of string
-//! content.
+//! get ids from 1 upward in first-sighting order (or from the free list
+//! after reclamation). The empty string, when interned explicitly (e.g.
+//! via `Value::text("")`), gets an ordinary non-null id — nullness is a
+//! property of the *cell*, not of string content.
 //!
 //! # Concurrency: lock-free resolution
 //!
@@ -58,6 +64,10 @@
 //!   whatever missed is interned under one write-lock acquisition — the
 //!   CSV ingest path pays two lock operations per *record*, not two per
 //!   cell.
+//! * **refcounts** ([`ValuePool::retain`]/[`ValuePool::release`]) live in
+//!   a third ladder of plain `AtomicU32` cells parallel to the store —
+//!   one relaxed RMW per call, no locks, no effect on intern/resolve.
+//!   Only refcount-participating tables pay for them.
 //!
 //! Publishing protocol (single writer at a time — the map write lock
 //! doubles as the store's append lock): write the entry pointer into its
@@ -66,20 +76,38 @@
 //! carries a happens-before edge to the entry's contents. A legitimate
 //! id always finds a non-null slot, because the id itself can only have
 //! reached the resolving thread through the intern that published it (or
-//! a synchronizing handoff downstream of it).
+//! a synchronizing handoff downstream of it) — unless the id was
+//! reclaimed, in which case the slot is null again and resolve panics.
 
 use crate::value::Value;
 use anmat_obs as obs;
 use fxhash::FxHashMap;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{Mutex, OnceLock, RwLock};
 
-/// Bytes of leaked string storage (summed at leak time). Maintained
-/// unconditionally — [`ValuePool::mem_footprint`] must be exact whether
-/// or not the metrics recorder is on.
+/// Bytes of *live* string storage (added at publish, subtracted at
+/// reclaim). Maintained unconditionally — [`ValuePool::mem_footprint`]
+/// must be exact whether or not the metrics recorder is on.
 static STRING_BYTES: AtomicUsize = AtomicUsize::new(0);
-/// Bytes of allocated chunk-ladder slot arrays.
+/// Bytes of allocated chunk-ladder slot arrays (store + refcounts).
 static CHUNK_BYTES: AtomicUsize = AtomicUsize::new(0);
+/// Bytes of allocated refcount-ladder arrays.
+static REF_BYTES: AtomicUsize = AtomicUsize::new(0);
+/// Distinct strings currently published (excludes the null placeholder;
+/// published − reclaimed).
+static LIVE_STRINGS: AtomicUsize = AtomicUsize::new(0);
+/// Cumulative count of strings reclaimed over the process lifetime.
+static RECLAIMED_STRINGS: AtomicUsize = AtomicUsize::new(0);
+/// Cumulative bytes of string payload reclaimed over the process
+/// lifetime.
+static RECLAIMED_BYTES: AtomicUsize = AtomicUsize::new(0);
+/// The interning map's bucket capacity, mirrored out of the `RwLock` so
+/// [`ValuePool::mem_footprint`] never takes the lock. Updated by every
+/// path that holds the write lock (capacity only changes there).
+static MAP_CAPACITY: AtomicUsize = AtomicUsize::new(0);
+/// Lock-free hint: number of ids parked on the free list (so intern
+/// misses skip the reclaimer mutex entirely until a reclaim happens).
+static FREE_HINT: AtomicUsize = AtomicUsize::new(0);
 
 /// A dictionary-encoded cell value: `0` = null, otherwise an index into
 /// the global [`ValuePool`].
@@ -167,8 +195,9 @@ struct Entry(&'static str);
 type Slot = AtomicPtr<Entry>;
 
 /// The append-only id → string store. Chunk addresses never change once
-/// allocated and entries are never dropped, so readers need no lock —
-/// only acquire loads pairing with the writer's release stores.
+/// allocated, so readers need no lock — only acquire loads pairing with
+/// the writer's release stores. Entries are dropped only through
+/// [`ValuePool::reclaim`]'s deferred-drop protocol.
 struct Store {
     chunks: [AtomicPtr<Slot>; CHUNK_COUNT],
     /// Number of initialized slots (including the reserved null slot 0).
@@ -185,13 +214,9 @@ impl Store {
         }
     }
 
-    /// Append one leaked string. Must only be called while holding the
-    /// interning write lock (single writer), which makes the plain
-    /// read-modify-write of `len` and the chunk allocation race-free.
-    fn push(&self, s: &'static str) -> u32 {
-        let id = self.len.load(Ordering::Relaxed);
-        assert!(id < u32::MAX, "value pool exhausted u32 ids");
-        let (level, offset) = locate(id);
+    /// The slot array for `level`, allocating it if needed. Must only be
+    /// called while holding the interning write lock (single writer).
+    fn chunk(&self, level: usize) -> *mut Slot {
         let mut chunk = self.chunks[level].load(Ordering::Acquire);
         if chunk.is_null() {
             let cap = 1usize << (level as u32 + FIRST_CHUNK_BITS);
@@ -203,6 +228,18 @@ impl Store {
             CHUNK_BYTES.fetch_add(cap * std::mem::size_of::<Slot>(), Ordering::Relaxed);
             obs::counter!("pool.chunk_allocs").incr();
         }
+        chunk
+    }
+
+    /// Append one leaked string at the watermark. Must only be called
+    /// while holding the interning write lock (single writer), which
+    /// makes the plain read-modify-write of `len` and the chunk
+    /// allocation race-free.
+    fn push(&self, s: &'static str) -> u32 {
+        let id = self.len.load(Ordering::Relaxed);
+        assert!(id < u32::MAX, "value pool exhausted u32 ids");
+        let (level, offset) = locate(id);
+        let chunk = self.chunk(level);
         let entry = Box::into_raw(Box::new(Entry(s)));
         // SAFETY: `offset` < the chunk's capacity by construction of
         // `locate`, and the chunk allocation above (or by an earlier
@@ -212,7 +249,38 @@ impl Store {
         id
     }
 
-    /// Lock-free id → string. `None` for ids this pool never produced.
+    /// Republish a recycled id (below the watermark, slot currently
+    /// null). Must only be called while holding the interning write
+    /// lock.
+    fn put(&self, id: u32, s: &'static str) {
+        debug_assert!(id < self.len.load(Ordering::Relaxed));
+        let (level, offset) = locate(id);
+        let chunk = self.chunk(level);
+        let entry = Box::into_raw(Box::new(Entry(s)));
+        // SAFETY: as in `push` — in-bounds slot of a live chunk.
+        unsafe { (*chunk.add(offset)).store(entry, Ordering::Release) };
+    }
+
+    /// Unpublish a slot: swap it to null and return the old entry
+    /// pointer (null if the slot was never published or already
+    /// reclaimed). Must only be called while holding the interning write
+    /// lock. Racing lock-free readers that loaded the old pointer first
+    /// are the reason the caller defers the actual drop.
+    fn take(&self, id: u32) -> *mut Entry {
+        if id == 0 || id >= self.len.load(Ordering::Relaxed) {
+            return std::ptr::null_mut();
+        }
+        let (level, offset) = locate(id);
+        let chunk = self.chunks[level].load(Ordering::Acquire);
+        if chunk.is_null() {
+            return std::ptr::null_mut();
+        }
+        // SAFETY: in-bounds slot of a live chunk (see `get`).
+        unsafe { (*chunk.add(offset)).swap(std::ptr::null_mut(), Ordering::AcqRel) }
+    }
+
+    /// Lock-free id → string. `None` for ids this pool never produced
+    /// (or reclaimed and has not yet reused).
     fn get(&self, id: u32) -> Option<&'static str> {
         // Relaxed is enough for the bounds filter: the authoritative
         // visibility check is the acquire load of the slot itself.
@@ -232,7 +300,9 @@ impl Store {
         }
         // SAFETY: a non-null entry pointer was acquire-loaded, pairing
         // with the release store that published the fully-initialized
-        // entry; entries are never dropped.
+        // entry; reclaimed entries are dropped one full reclaim round
+        // after being unpublished (and only for ids the caller proved
+        // unreferenced), so a pointer read here is live.
         Some(unsafe { (*entry).0 })
     }
 }
@@ -242,12 +312,111 @@ fn store() -> &'static Store {
     STORE.get_or_init(Store::new)
 }
 
+/// The refcount ladder: `AtomicU32` cells parallel to the store's
+/// slots, allocated chunk-at-a-time on first touch. Retain/release are
+/// single relaxed RMWs — no locks, independent of intern/resolve.
+struct RefLadder {
+    chunks: [AtomicPtr<AtomicU32>; CHUNK_COUNT],
+}
+
+impl RefLadder {
+    fn new() -> RefLadder {
+        RefLadder {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// The refcount cell for `id`, allocating the chunk if needed.
+    /// Callable from any thread (CAS-installed; the loser frees its
+    /// allocation).
+    fn cell(&self, id: u32) -> &AtomicU32 {
+        let (level, offset) = locate(id);
+        let mut chunk = self.chunks[level].load(Ordering::Acquire);
+        if chunk.is_null() {
+            let cap = 1usize << (level as u32 + FIRST_CHUNK_BITS);
+            let boxed: Box<[AtomicU32]> = (0..cap).map(|_| AtomicU32::new(0)).collect();
+            let fresh = Box::into_raw(boxed) as *mut AtomicU32;
+            match self.chunks[level].compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    REF_BYTES.fetch_add(cap * std::mem::size_of::<AtomicU32>(), Ordering::Relaxed);
+                    chunk = fresh;
+                }
+                Err(winner) => {
+                    // SAFETY: `fresh` was just allocated above and lost
+                    // the race unpublished — reconstitute and drop.
+                    drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(fresh, cap)) });
+                    chunk = winner;
+                }
+            }
+        }
+        // SAFETY: in-bounds cell of a never-freed chunk.
+        unsafe { &*chunk.add(offset) }
+    }
+}
+
+fn refs() -> &'static RefLadder {
+    static REFS: OnceLock<RefLadder> = OnceLock::new();
+    REFS.get_or_init(RefLadder::new)
+}
+
+/// Reclamation bookkeeping: the free list of recycled ids, per-id
+/// generation tags, and allocations unpublished last round whose drop
+/// was deferred (grace period for racing lock-free readers).
+struct Reclaimer {
+    free: Vec<u32>,
+    gens: FxHashMap<u32, u32>,
+    deferred: Vec<(*mut Entry, *mut str)>,
+}
+
+// SAFETY: the raw pointers are owned allocations in transit between
+// unpublish and drop; they are only touched under the mutex.
+unsafe impl Send for Reclaimer {}
+
+fn reclaimer() -> &'static Mutex<Reclaimer> {
+    static RECLAIMER: OnceLock<Mutex<Reclaimer>> = OnceLock::new();
+    RECLAIMER.get_or_init(|| {
+        Mutex::new(Reclaimer {
+            free: Vec::new(),
+            gens: FxHashMap::default(),
+            deferred: Vec::new(),
+        })
+    })
+}
+
 /// String → id map. Keys borrow the leaked `'static` storage. Read locks
 /// serve intern *hits*; the write lock serves misses and doubles as the
 /// store's single-writer append lock.
 fn map() -> &'static RwLock<FxHashMap<&'static str, u32>> {
     static MAP: OnceLock<RwLock<FxHashMap<&'static str, u32>>> = OnceLock::new();
     MAP.get_or_init(|| RwLock::new(FxHashMap::default()))
+}
+
+/// Leak `s` and publish it, recycling a free-listed id when one is
+/// available. Must be called with the map write lock held.
+fn publish(map: &mut FxHashMap<&'static str, u32>, s: &str) -> u32 {
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    STRING_BYTES.fetch_add(leaked.len(), Ordering::Relaxed);
+    LIVE_STRINGS.fetch_add(1, Ordering::Relaxed);
+    let id = if FREE_HINT.load(Ordering::Relaxed) > 0 {
+        let mut rec = reclaimer().lock().expect("pool reclaimer poisoned");
+        match rec.free.pop() {
+            Some(id) => {
+                FREE_HINT.fetch_sub(1, Ordering::Relaxed);
+                store().put(id, leaked);
+                id
+            }
+            None => store().push(leaked),
+        }
+    } else {
+        store().push(leaked)
+    };
+    map.insert(leaked, id);
+    id
 }
 
 /// The process-global string interner (all methods are associated
@@ -277,10 +446,8 @@ impl ValuePool {
             return ValueId(id);
         }
         obs::counter!("pool.intern.misses").incr();
-        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
-        STRING_BYTES.fetch_add(leaked.len(), Ordering::Relaxed);
-        let id = store().push(leaked);
-        map.insert(leaked, id);
+        let id = publish(&mut map, s);
+        MAP_CAPACITY.store(map.capacity(), Ordering::Relaxed);
         ValueId(id)
     }
 
@@ -353,14 +520,11 @@ impl ValuePool {
                     }
                     None => {
                         inserted += 1;
-                        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
-                        STRING_BYTES.fetch_add(leaked.len(), Ordering::Relaxed);
-                        let id = store().push(leaked);
-                        map.insert(leaked, id);
-                        ValueId(id)
+                        ValueId(publish(&mut map, s))
                     }
                 };
             }
+            MAP_CAPACITY.store(map.capacity(), Ordering::Relaxed);
         }
         // One add per record, not per cell — the batch entry points stay
         // two lock operations and two counter bumps per record.
@@ -386,21 +550,162 @@ impl ValuePool {
     /// path every shard worker leans on.
     ///
     /// # Panics
-    /// Panics on [`ValueId::NULL`] (nulls have no string) or on an id not
-    /// produced by this process's pool.
+    /// Panics on [`ValueId::NULL`] (nulls have no string), on an id not
+    /// produced by this process's pool, or on an id whose string was
+    /// [`ValuePool::reclaim`]ed and not yet reused (fail-stop staleness
+    /// detection — the slot is nulled before the string is freed).
     #[must_use]
     pub fn resolve(id: ValueId) -> &'static str {
         assert!(!id.is_null(), "ValueId::NULL has no string");
-        store()
-            .get(id.0)
-            .unwrap_or_else(|| panic!("ValueId({}) was not produced by this process's pool", id.0))
+        store().get(id.0).unwrap_or_else(|| {
+            panic!(
+                "ValueId({}) is not live in this process's pool (never interned, or reclaimed)",
+                id.0
+            )
+        })
     }
 
-    /// Number of distinct strings interned so far (excludes the null
-    /// placeholder). Lock-free (watermark read).
+    /// Number of distinct ids ever allocated (excludes the null
+    /// placeholder; includes reclaimed ids awaiting reuse). Lock-free
+    /// (watermark read). For the count of strings currently resolvable
+    /// see [`ValuePool::live_strings`].
     #[must_use]
     pub fn len() -> usize {
         store().len.load(Ordering::Acquire) as usize - 1
+    }
+
+    /// Number of distinct strings currently published (interned and not
+    /// reclaimed). Lock-free.
+    #[must_use]
+    pub fn live_strings() -> usize {
+        LIVE_STRINGS.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative `(strings, payload bytes)` reclaimed over the process
+    /// lifetime. Lock-free.
+    #[must_use]
+    pub fn reclaimed() -> (usize, usize) {
+        (
+            RECLAIMED_STRINGS.load(Ordering::Relaxed),
+            RECLAIMED_BYTES.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Bump the refcount of a non-null id by one. A single relaxed RMW
+    /// on the refcount ladder — no locks, no interaction with
+    /// intern/resolve. Refcounts are a *caller protocol*: only tables
+    /// that opted into reclamation maintain them, and only
+    /// [`ValuePool::reclaim`] acts on them (indirectly, via the caller's
+    /// zero-candidate sweep).
+    pub fn retain(id: ValueId) {
+        if !id.is_null() {
+            refs().cell(id.0).fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop one reference from a non-null id. Returns `true` when this
+    /// release took the count to zero — the caller's cue to record the
+    /// id as a reclaim candidate (to be re-checked at the barrier; the
+    /// value may be retained again before then).
+    pub fn release(id: ValueId) -> bool {
+        if id.is_null() {
+            return false;
+        }
+        let prev = refs().cell(id.0).fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "ValueId({}) released below zero", id.0);
+        prev == 1
+    }
+
+    /// The current refcount of an id (0 for null). Relaxed read — only
+    /// meaningful at a quiescent barrier, which is exactly where the
+    /// sweep consults it.
+    #[must_use]
+    pub fn refcount(id: ValueId) -> u32 {
+        if id.is_null() {
+            0
+        } else {
+            refs().cell(id.0).load(Ordering::Relaxed)
+        }
+    }
+
+    /// Reclaim a set of ids the caller has proven unreferenced: each id
+    /// still zero-refcounted has its string unpublished from the
+    /// interning map, its store slot nulled (so a stale resolve panics
+    /// instead of dangling), its id pushed onto the free list for
+    /// recycling, and its generation tag bumped. The string and entry
+    /// allocations are dropped at the *next* reclaim call — a one-round
+    /// grace period for lock-free readers that raced the unpublish.
+    ///
+    /// Returns how many strings (and payload bytes) were actually
+    /// reclaimed; ids that were re-retained since the caller recorded
+    /// them, already reclaimed, or never interned are skipped.
+    ///
+    /// # Contract
+    /// The caller must guarantee no other holder of these ids remains —
+    /// the stream engines prove it with table-granular refcounts swept
+    /// behind a compaction epoch barrier, protecting rule constants and
+    /// live blocking keys explicitly. Reclaiming an id another engine
+    /// still references leads to panics (or, for a reader racing two
+    /// consecutive barriers, undefined behaviour) — which is why
+    /// reclamation is opt-in per engine and the opting engine's value
+    /// space must be disjoint from other pool users in the process.
+    pub fn reclaim(ids: impl IntoIterator<Item = ValueId>) -> ReclaimStats {
+        let mut map = map().write().expect("value pool poisoned");
+        let mut rec = reclaimer().lock().expect("pool reclaimer poisoned");
+        // The previous round's grace period is over: anything still
+        // parked was unpublished a full barrier ago.
+        for (entry, string) in rec.deferred.drain(..) {
+            // SAFETY: both pointers are owned allocations unpublished at
+            // the previous reclaim; by the caller contract no reader can
+            // still hold them.
+            unsafe {
+                drop(Box::from_raw(entry));
+                drop(Box::from_raw(string));
+            }
+        }
+        let mut stats = ReclaimStats::default();
+        for vid in ids {
+            let id = vid.raw();
+            if vid.is_null() || ValuePool::refcount(vid) != 0 {
+                continue;
+            }
+            let entry = store().take(id);
+            if entry.is_null() {
+                continue; // never interned, or already reclaimed
+            }
+            // SAFETY: `entry` was just unpublished by this sole writer;
+            // the pointed-to Entry stays valid until dropped from the
+            // deferred list.
+            let s: &'static str = unsafe { (*entry).0 };
+            map.remove(s);
+            stats.strings += 1;
+            stats.bytes += s.len();
+            rec.deferred
+                .push((entry, std::ptr::from_ref::<str>(s).cast_mut()));
+            rec.free.push(id);
+            *rec.gens.entry(id).or_insert(0) += 1;
+        }
+        FREE_HINT.store(rec.free.len(), Ordering::Relaxed);
+        MAP_CAPACITY.store(map.capacity(), Ordering::Relaxed);
+        STRING_BYTES.fetch_sub(stats.bytes, Ordering::Relaxed);
+        LIVE_STRINGS.fetch_sub(stats.strings, Ordering::Relaxed);
+        RECLAIMED_STRINGS.fetch_add(stats.strings, Ordering::Relaxed);
+        RECLAIMED_BYTES.fetch_add(stats.bytes, Ordering::Relaxed);
+        obs::counter!("pool.reclaims").incr();
+        obs::counter!("pool.reclaimed_strings").add(stats.strings as u64);
+        obs::counter!("pool.reclaimed_bytes").add(stats.bytes as u64);
+        stats
+    }
+
+    /// The generation tag of an id: how many times it has been reclaimed
+    /// (0 for never-reclaimed ids). A holder that stashes
+    /// `(id, generation)` at acquisition can assert the id still means
+    /// the same string — the debug-build staleness check the reclaim
+    /// protocol promises.
+    #[must_use]
+    pub fn generation(id: ValueId) -> u32 {
+        let rec = reclaimer().lock().expect("pool reclaimer poisoned");
+        rec.gens.get(&id.raw()).copied().unwrap_or(0)
     }
 
     /// Measure the pool's resident memory — the interned-string cost the
@@ -409,29 +714,31 @@ impl ValuePool {
     /// process, not per replica).
     ///
     /// Counts every owned allocation: the chunk-ladder slot arrays, the
-    /// published `Entry` cells, the leaked string bytes themselves, and
-    /// the string → id map (its bucket array estimated from capacity).
-    /// Takes the map read lock; intended for summaries and snapshots,
-    /// not hot loops.
+    /// published `Entry` cells, the live string bytes themselves, the
+    /// refcount ladder, and the string → id map (its bucket array
+    /// estimated from a mirrored capacity). **Lock-free** — every figure
+    /// is an atomic read, so snapshotting never contends with interning.
     #[must_use]
     pub fn mem_footprint() -> PoolFootprint {
-        let strings = ValuePool::len();
+        let strings = LIVE_STRINGS.load(Ordering::Relaxed);
         let chunk_bytes = CHUNK_BYTES.load(Ordering::Relaxed);
         let entry_bytes = strings * std::mem::size_of::<Entry>();
         let string_bytes = STRING_BYTES.load(Ordering::Relaxed);
-        let map_bytes = {
-            let map = map().read().expect("value pool poisoned");
-            // Swiss-table layout: one (key, value) slot plus one control
-            // byte per bucket of capacity.
-            map.capacity() * (std::mem::size_of::<(&'static str, u32)>() + 1)
-        };
+        let ref_bytes = REF_BYTES.load(Ordering::Relaxed);
+        // Swiss-table layout: one (key, value) slot plus one control
+        // byte per bucket of capacity.
+        let map_bytes =
+            MAP_CAPACITY.load(Ordering::Relaxed) * (std::mem::size_of::<(&'static str, u32)>() + 1);
         PoolFootprint {
-            bytes: chunk_bytes + entry_bytes + string_bytes + map_bytes,
+            bytes: chunk_bytes + entry_bytes + string_bytes + map_bytes + ref_bytes,
             strings,
             chunk_bytes,
             entry_bytes,
             string_bytes,
             map_bytes,
+            ref_bytes,
+            reclaimed_strings: RECLAIMED_STRINGS.load(Ordering::Relaxed),
+            reclaimed_bytes: RECLAIMED_BYTES.load(Ordering::Relaxed),
         }
     }
 }
@@ -440,18 +747,25 @@ impl ValuePool {
 /// [`ValuePool::mem_footprint`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolFootprint {
-    /// Total owned bytes (sum of the component fields).
+    /// Total owned bytes (sum of the resident component fields).
     pub bytes: usize,
-    /// Distinct strings interned (excludes the null placeholder).
+    /// Distinct strings currently published (live, not reclaimed).
     pub strings: usize,
     /// Allocated chunk-ladder slot arrays.
     pub chunk_bytes: usize,
-    /// Published entry cells (one thin-pointer box per string).
+    /// Published entry cells (one thin-pointer box per live string).
     pub entry_bytes: usize,
-    /// The leaked string payloads themselves.
+    /// The live string payloads themselves.
     pub string_bytes: usize,
     /// The string → id interning map (estimated from capacity).
     pub map_bytes: usize,
+    /// The refcount ladder (allocated only when reclamation is in use).
+    pub ref_bytes: usize,
+    /// Cumulative strings reclaimed over the process lifetime.
+    pub reclaimed_strings: usize,
+    /// Cumulative string payload bytes reclaimed over the process
+    /// lifetime.
+    pub reclaimed_bytes: usize,
 }
 
 #[cfg(test)]
@@ -553,10 +867,13 @@ mod tests {
     #[test]
     fn mem_footprint_accounts_growth() {
         let before = ValuePool::mem_footprint();
-        assert_eq!(before.strings, ValuePool::len());
         assert_eq!(
             before.bytes,
-            before.chunk_bytes + before.entry_bytes + before.string_bytes + before.map_bytes
+            before.chunk_bytes
+                + before.entry_bytes
+                + before.string_bytes
+                + before.map_bytes
+                + before.ref_bytes
         );
         let payload = "footprint-probe-with-a-reasonably-long-payload";
         let _ = ValuePool::intern(payload);
@@ -577,4 +894,81 @@ mod tests {
         assert_eq!(ids[0], ValuePool::intern("vb-x"));
         assert_eq!(ids[2], ValuePool::intern("vb-y"));
     }
+
+    #[test]
+    fn retain_release_roundtrip() {
+        let id = ValuePool::intern("refcount-probe");
+        ValuePool::retain(id);
+        ValuePool::retain(id);
+        assert_eq!(ValuePool::refcount(id), 2);
+        assert!(!ValuePool::release(id));
+        assert!(ValuePool::release(id), "last release reports zero");
+        assert_eq!(ValuePool::refcount(id), 0);
+        // Null ids are inert on every refcount path.
+        ValuePool::retain(ValueId::NULL);
+        assert!(!ValuePool::release(ValueId::NULL));
+        assert_eq!(ValuePool::refcount(ValueId::NULL), 0);
+    }
+
+    #[test]
+    fn reclaim_frees_recycles_and_tags() {
+        // Strings unique to this test: the reclaim contract demands the
+        // caller's value space be disjoint from other pool users.
+        let a = ValuePool::intern("rcl-pool-test-aaaa");
+        let b = ValuePool::intern("rcl-pool-test-bbbb");
+        ValuePool::retain(a);
+        ValuePool::retain(b);
+        let live_before = ValuePool::live_strings();
+        let gen_before = ValuePool::generation(a);
+
+        // A still-retained id must survive a reclaim attempt.
+        let none = ValuePool::reclaim([a]);
+        assert_eq!(none.strings, 0);
+        assert_eq!(ValuePool::resolve(a), "rcl-pool-test-aaaa");
+
+        ValuePool::release(a);
+        ValuePool::release(b);
+        let stats = ValuePool::reclaim([a, b]);
+        assert_eq!(stats.strings, 2);
+        assert_eq!(stats.bytes, "rcl-pool-test-aaaa".len() * 2);
+        assert_eq!(ValuePool::live_strings(), live_before - 2);
+        assert_eq!(ValuePool::generation(a), gen_before + 1);
+        // The string is gone from the map and the slot is fail-stop.
+        assert_eq!(ValuePool::lookup("rcl-pool-test-aaaa"), None);
+        assert!(std::panic::catch_unwind(|| ValuePool::resolve(a)).is_err());
+        // Double reclaim is a no-op.
+        assert_eq!(ValuePool::reclaim([a]).strings, 0);
+
+        // Re-interning recycles a freed id (watermark does not grow).
+        let len_before = ValuePool::len();
+        let a2 = ValuePool::intern("rcl-pool-test-cccc");
+        assert_eq!(ValuePool::len(), len_before);
+        assert!(a2 == a || a2 == b, "freed id recycled");
+        assert_eq!(ValuePool::resolve(a2), "rcl-pool-test-cccc");
+    }
+
+    #[test]
+    fn footprint_tracks_reclamation() {
+        let s = "rcl-footprint-probe-string-payload";
+        let id = ValuePool::intern(s);
+        ValuePool::retain(id);
+        ValuePool::release(id);
+        let before = ValuePool::mem_footprint();
+        let stats = ValuePool::reclaim([id]);
+        assert_eq!(stats.strings, 1);
+        let after = ValuePool::mem_footprint();
+        assert_eq!(after.strings, before.strings - 1);
+        assert_eq!(after.string_bytes, before.string_bytes - s.len());
+        assert_eq!(after.reclaimed_strings, before.reclaimed_strings + 1);
+        assert_eq!(after.reclaimed_bytes, before.reclaimed_bytes + s.len());
+    }
+}
+
+/// What one [`ValuePool::reclaim`] call actually freed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Strings unpublished and queued for drop.
+    pub strings: usize,
+    /// Payload bytes those strings held.
+    pub bytes: usize,
 }

@@ -1,14 +1,32 @@
 //! Columnar in-memory tables, dictionary-encoded, with tombstoned
-//! mutation.
+//! mutation and copy-on-write snapshots.
 //!
-//! A column is a `Vec<ValueId>` — 4 bytes per cell — dictionary-encoded
-//! against the process-global [`ValuePool`]. Ingest interns each cell
-//! once; every downstream consumer (indexes, discovery, detection, the
-//! stream engine) operates on `Copy` ids and pays string costs only per
-//! *distinct* value. The `Value`/`&str` views (`cell`, `cell_str`,
-//! `row`, `iter_pair`) are preserved at the API boundary for CSV ingest,
-//! reports and serde; id accessors (`cell_id`, `row_ids`, `column`) are
-//! the hot path.
+//! A column is a [`CowVec<ValueId>`] — 4 bytes per cell in 4096-cell
+//! `Arc`-shared chunks — dictionary-encoded against the process-global
+//! [`ValuePool`]. Ingest interns each cell once; every downstream
+//! consumer (indexes, discovery, detection, the stream engine) operates
+//! on `Copy` ids and pays string costs only per *distinct* value. The
+//! `Value`/`&str` views (`cell`, `cell_str`, `row`, `iter_pair`) are
+//! preserved at the API boundary for CSV ingest, reports and serde; id
+//! accessors (`cell_id`, `row_ids`) are the hot path.
+//!
+//! [`Table::snapshot`] freezes a consistent read-only view
+//! ([`TableSnapshot`]) in `O(chunks)` refcount bumps — no cell is
+//! copied. The live table keeps mutating; a write to a chunk still
+//! shared with a snapshot copies that one 16 KiB chunk first
+//! (`Arc::make_mut`), so snapshot cost is proportional to the chunks
+//! *mutated while the snapshot is alive*, not to table size. Drift
+//! reports, `detect_all` cross-checks, and serde checkpoints read the
+//! snapshot while ingest continues.
+//!
+//! Tables can also opt into **cell refcounting**
+//! ([`Table::enable_refcounts`]): every live cell holds one
+//! [`ValuePool::retain`] per occurrence, released on delete/overwrite.
+//! Ids whose release dropped the count to zero accumulate as *reclaim
+//! candidates* ([`Table::take_reclaim_candidates`]) for the engine's
+//! epoch-tied pool sweep. A tombstoned slot's cells stay *readable*
+//! (evidence rendering) but are no longer retained — the engine only
+//! sweeps at a post-compaction barrier, when no tombstones exist.
 //!
 //! Tables are *mutable streams*: besides appends, [`Table::delete_row`]
 //! tombstones a slot and [`Table::update_row`] overwrites one in place.
@@ -35,6 +53,7 @@
 //! columns and the tombstone bitmap shrink to the live-row footprint
 //! (observable via [`Table::mem_footprint`]).
 
+use crate::cow::CowVec;
 use crate::error::TableError;
 use crate::pool::{ValueId, ValuePool};
 use crate::schema::Schema;
@@ -168,33 +187,112 @@ pub enum RowOp {
 /// column pair) and detection (scan one column, probe another); the
 /// dictionary encoding makes each scan touch 4-byte `Copy` ids, with
 /// string resolution deferred to per-distinct-value work.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
-    columns: Vec<Vec<ValueId>>,
+    columns: Vec<CowVec<ValueId>>,
     rows: usize,
-    /// Tombstone bitmap, parallel to the slots (`false` = deleted). Kept
-    /// as a plain `Vec<bool>` so `is_live` stays a branch-free load.
-    live: Vec<bool>,
+    /// Tombstone bitmap, parallel to the slots (`false` = deleted).
+    live: CowVec<bool>,
     /// Number of `false` entries in `live`.
     dead: usize,
     /// Compaction epoch: 0 at construction, bumped by every
     /// [`Table::compact`]. `RowId`s are only comparable within an epoch.
     epoch: u64,
+    /// Does every live cell hold a [`ValuePool`] refcount?
+    refcounted: bool,
+    /// Ids whose [`ValuePool::release`] here dropped the shared count to
+    /// zero — reclaim candidates, drained by the engine at the barrier.
+    reclaim: Vec<ValueId>,
+}
+
+/// A clone of a [`Table`] shares every storage chunk and does *not*
+/// inherit refcount participation: the clone did not retain its cells,
+/// so it must not release them either. Use
+/// [`Table::enable_refcounts`] on the clone to opt it in (it retains
+/// its own counts).
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        self.clone_data()
+    }
+}
+
+/// Equality is over the *data* — schema, cells, tombstones, epoch —
+/// never over refcount bookkeeping, so a refcounted engine table and
+/// its never-refcounting twin compare equal when their contents agree.
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        self.schema == other.schema
+            && self.rows == other.rows
+            && self.dead == other.dead
+            && self.epoch == other.epoch
+            && self.live == other.live
+            && self.columns == other.columns
+    }
+}
+
+impl Eq for Table {}
+
+/// A frozen, read-only view of a [`Table`] captured by
+/// [`Table::snapshot`].
+///
+/// Capture is `O(chunks)` — the snapshot shares every storage chunk
+/// with the live table; neither copies until the live side mutates a
+/// shared chunk (and then only that chunk). The snapshot derefs to
+/// [`Table`], so the whole read API (`cell_id`, `iter_live`,
+/// `iter_pair`, serde, `mem_footprint`, …) works on it; there is no way
+/// to mutate one.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    inner: Table,
+}
+
+impl TableSnapshot {
+    /// The frozen view, as a `&Table`.
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.inner
+    }
+}
+
+impl std::ops::Deref for TableSnapshot {
+    type Target = Table;
+
+    fn deref(&self) -> &Table {
+        &self.inner
+    }
 }
 
 impl Table {
     /// An empty table with the given schema.
     #[must_use]
     pub fn empty(schema: Schema) -> Table {
-        let columns = (0..schema.arity()).map(|_| Vec::new()).collect();
+        let columns = (0..schema.arity()).map(|_| CowVec::new()).collect();
         Table {
             schema,
             columns,
             rows: 0,
-            live: Vec::new(),
+            live: CowVec::new(),
             dead: 0,
             epoch: 0,
+            refcounted: false,
+            reclaim: Vec::new(),
+        }
+    }
+
+    /// The data-preserving clone behind both `Clone` and
+    /// [`Table::snapshot`]: shares every chunk, drops refcount
+    /// bookkeeping (see the `Clone` impl for why).
+    fn clone_data(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            rows: self.rows,
+            live: self.live.clone(),
+            dead: self.dead,
+            epoch: self.epoch,
+            refcounted: false,
+            reclaim: Vec::new(),
         }
     }
 
@@ -235,7 +333,11 @@ impl Table {
             });
         }
         let ids = ValuePool::intern_value_batch(&row);
+        let refcounted = self.refcounted;
         for (col, id) in self.columns.iter_mut().zip(ids) {
+            if refcounted {
+                ValuePool::retain(id);
+            }
             col.push(id);
         }
         let id = self.rows;
@@ -257,7 +359,11 @@ impl Table {
                 expected: self.schema.arity(),
             });
         }
+        let refcounted = self.refcounted;
         for (col, v) in self.columns.iter_mut().zip(row) {
+            if refcounted {
+                ValuePool::retain(v);
+            }
             col.push(v);
         }
         let id = self.rows;
@@ -278,7 +384,11 @@ impl Table {
                 expected: self.schema.arity(),
             });
         }
+        let refcounted = self.refcounted;
         for (col, v) in self.columns.iter_mut().zip(row) {
+            if refcounted {
+                ValuePool::retain(*v);
+            }
             col.push(*v);
         }
         let id = self.rows;
@@ -291,10 +401,22 @@ impl Table {
     /// Tombstone one live row. The slot (and its last cell contents)
     /// remains addressable — `RowId`s held elsewhere stay valid — but
     /// live-row iteration and [`Table::live_rows`] no longer see it.
+    ///
+    /// Under refcounting the row's cells are released *now* (tombstoned
+    /// cells stay readable but no longer pin pool strings); the engine
+    /// only sweeps after compaction, when tombstones are gone.
     pub fn delete_row(&mut self, row: RowId) -> Result<(), TableError> {
         self.require_live(row)?;
-        self.live[row] = false;
+        self.live.set(row, false);
         self.dead += 1;
+        if self.refcounted {
+            for c in 0..self.columns.len() {
+                let id = self.columns[c].get(row);
+                if ValuePool::release(id) {
+                    self.reclaim.push(id);
+                }
+            }
+        }
         obs::counter!("table.delete").incr();
         Ok(())
     }
@@ -310,11 +432,28 @@ impl Table {
         }
         self.require_live(row)?;
         let ids = ValuePool::intern_value_batch(&cells);
-        for (col, id) in self.columns.iter_mut().zip(ids) {
-            col[row] = id;
+        for (c, id) in ids.into_iter().enumerate() {
+            self.overwrite_cell(row, c, id);
         }
         obs::counter!("table.update").incr();
         Ok(())
+    }
+
+    /// Overwrite one cell id, maintaining refcounts when enabled:
+    /// retain-new *before* release-old, so overwriting a cell with its
+    /// own value never produces a transient zero (a false reclaim
+    /// candidate).
+    fn overwrite_cell(&mut self, row: RowId, col: usize, id: ValueId) {
+        if self.refcounted {
+            ValuePool::retain(id);
+            let old = self.columns[col].get(row);
+            self.columns[col].set(row, id);
+            if ValuePool::release(old) {
+                self.reclaim.push(old);
+            }
+        } else {
+            self.columns[col].set(row, id);
+        }
     }
 
     /// Overwrite one live row with already-interned ids.
@@ -327,8 +466,8 @@ impl Table {
             });
         }
         self.require_live(row)?;
-        for (col, v) in self.columns.iter_mut().zip(cells) {
-            col[row] = v;
+        for (c, v) in cells.into_iter().enumerate() {
+            self.overwrite_cell(row, c, v);
         }
         obs::counter!("table.update").incr();
         Ok(())
@@ -344,8 +483,8 @@ impl Table {
             });
         }
         self.require_live(row)?;
-        for (col, v) in self.columns.iter_mut().zip(cells) {
-            col[row] = *v;
+        for (c, v) in cells.iter().enumerate() {
+            self.overwrite_cell(row, c, *v);
         }
         obs::counter!("table.update").incr();
         Ok(())
@@ -399,7 +538,7 @@ impl Table {
     /// out-of-range ids.)
     #[must_use]
     pub fn is_live(&self, row: RowId) -> bool {
-        self.live.get(row).copied().unwrap_or(false)
+        row < self.live.len() && self.live.get(row)
     }
 
     /// Iterate the live `RowId`s in ascending order.
@@ -407,7 +546,7 @@ impl Table {
         self.live
             .iter()
             .enumerate()
-            .filter_map(|(r, &alive)| alive.then_some(r))
+            .filter_map(|(r, alive)| alive.then_some(r))
     }
 
     /// Number of columns.
@@ -416,52 +555,55 @@ impl Table {
         self.schema.arity()
     }
 
-    /// A whole column of ids by index (panics if out of range).
-    #[must_use]
-    pub fn column(&self, idx: usize) -> &[ValueId] {
-        &self.columns[idx]
+    /// Iterate a whole column of ids by index, tombstoned slots
+    /// included (panics if out of range).
+    pub fn column(&self, idx: usize) -> impl Iterator<Item = ValueId> + '_ {
+        self.columns[idx].iter()
     }
 
-    /// A whole column by name.
-    pub fn column_by_name(&self, name: &str) -> Result<&[ValueId], TableError> {
-        Ok(&self.columns[self.schema.require(name)?])
+    /// [`Table::column`] by name.
+    pub fn column_by_name(
+        &self,
+        name: &str,
+    ) -> Result<impl Iterator<Item = ValueId> + '_, TableError> {
+        Ok(self.columns[self.schema.require(name)?].iter())
     }
 
     /// One cell, materialized as a [`Value`] (allocates for text; use
     /// [`Table::cell_id`] or [`Table::cell_str`] on hot paths).
     #[must_use]
     pub fn cell(&self, row: RowId, col: usize) -> Value {
-        self.columns[col][row].value()
+        self.columns[col].get(row).value()
     }
 
     /// One cell's interned id — `O(1)`, `Copy`, allocation-free.
     #[must_use]
     pub fn cell_id(&self, row: RowId, col: usize) -> ValueId {
-        self.columns[col][row]
+        self.columns[col].get(row)
     }
 
     /// One cell's string content (`None` if null).
     #[must_use]
     pub fn cell_str(&self, row: RowId, col: usize) -> Option<&'static str> {
-        self.columns[col][row].as_str()
+        self.columns[col].get(row).as_str()
     }
 
     /// Overwrite one cell (used by error injection and repair).
     pub fn set_cell(&mut self, row: RowId, col: usize, v: Value) {
-        self.columns[col][row] = ValuePool::intern_value(&v);
+        self.overwrite_cell(row, col, ValuePool::intern_value(&v));
     }
 
     /// Materialize one row as owned [`Value`]s.
     #[must_use]
     pub fn row(&self, row: RowId) -> Vec<Value> {
-        self.columns.iter().map(|c| c[row].value()).collect()
+        self.columns.iter().map(|c| c.get(row).value()).collect()
     }
 
     /// One row as interned ids (the clone-free counterpart of
     /// [`Table::row`]).
     #[must_use]
     pub fn row_ids(&self, row: RowId) -> Vec<ValueId> {
-        self.columns.iter().map(|c| c[row]).collect()
+        self.columns.iter().map(|c| c.get(row)).collect()
     }
 
     /// Iterate `(RowId, ValueId)` over the *live* rows of a column.
@@ -470,9 +612,8 @@ impl Table {
     pub fn iter_column(&self, col: usize) -> impl Iterator<Item = (RowId, ValueId)> + '_ {
         self.columns[col]
             .iter()
-            .copied()
             .enumerate()
-            .filter(|&(r, _)| self.live[r])
+            .filter(|&(r, _)| self.live.get(r))
     }
 
     /// Iterate `(RowId, &str, &str)` over the non-null cells of the live
@@ -487,7 +628,7 @@ impl Table {
             .zip(self.columns[b].iter())
             .enumerate()
             .filter_map(|(id, (va, vb))| {
-                if !self.live[id] {
+                if !self.live.get(id) {
                     return None;
                 }
                 Some((id, va.as_str()?, vb.as_str()?))
@@ -528,7 +669,7 @@ impl Table {
     pub fn compact(&mut self) -> RowIdRemap {
         let mut map = Vec::with_capacity(self.rows);
         let mut next = 0usize;
-        for &alive in &self.live {
+        for alive in self.live.iter() {
             if alive {
                 map.push(Some(next));
                 next += 1;
@@ -537,22 +678,20 @@ impl Table {
             }
         }
         if self.dead > 0 {
+            // Rebuild each column into fresh, unshared chunks: memory is
+            // genuinely released, and any chunks a snapshot still shares
+            // stay with the snapshot alone.
             for col in &mut self.columns {
-                let mut write = 0usize;
-                for (old, entry) in map.iter().enumerate() {
-                    if entry.is_some() {
-                        col[write] = col[old];
-                        write += 1;
-                    }
-                }
-                col.truncate(next);
-                col.shrink_to_fit();
+                let fresh: CowVec<ValueId> = col
+                    .iter()
+                    .zip(map.iter())
+                    .filter_map(|(v, entry)| entry.map(|_| v))
+                    .collect();
+                *col = fresh;
             }
         }
         self.rows = next;
-        self.live.clear();
-        self.live.resize(next, true);
-        self.live.shrink_to_fit();
+        self.live = (0..next).map(|_| true).collect();
         self.dead = 0;
         self.epoch += 1;
         obs::counter!("table.compact").incr();
@@ -571,16 +710,66 @@ impl Table {
     /// the observable that makes tombstone reclamation measurable.
     #[must_use]
     pub fn mem_footprint(&self) -> MemFootprint {
-        let column_bytes: usize = self
-            .columns
-            .iter()
-            .map(|c| c.capacity() * std::mem::size_of::<ValueId>())
-            .sum();
+        let column_bytes: usize = self.columns.iter().map(CowVec::capacity_bytes).sum();
         MemFootprint {
-            bytes: column_bytes + self.live.capacity() * std::mem::size_of::<bool>(),
+            bytes: column_bytes + self.live.capacity_bytes(),
             total_slots: self.rows,
             live_slots: self.live_rows(),
         }
+    }
+
+    /// Capture a copy-on-write snapshot — a frozen, consistent view this
+    /// table's future mutations cannot disturb. `O(chunks)` refcount
+    /// bumps; see [`TableSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> TableSnapshot {
+        obs::counter!("snapshot.table_captures").incr();
+        TableSnapshot {
+            inner: self.clone_data(),
+        }
+    }
+
+    /// Number of storage chunks currently shared with live snapshots —
+    /// the upper bound on chunk copies future mutations can pay.
+    #[must_use]
+    pub fn shared_chunks(&self) -> usize {
+        self.columns
+            .iter()
+            .map(CowVec::shared_chunks)
+            .sum::<usize>()
+            + self.live.shared_chunks()
+    }
+
+    /// Opt this table into cell refcounting: every *live* cell takes one
+    /// [`ValuePool::retain`] (tombstoned cells stay unretained, matching
+    /// [`Table::delete_row`]'s release-at-delete discipline), and every
+    /// later mutation maintains the counts. Idempotent.
+    pub fn enable_refcounts(&mut self) {
+        if self.refcounted {
+            return;
+        }
+        self.refcounted = true;
+        for col in &self.columns {
+            for (r, id) in col.iter().enumerate() {
+                if self.live.get(r) {
+                    ValuePool::retain(id);
+                }
+            }
+        }
+    }
+
+    /// Is cell refcounting enabled?
+    #[must_use]
+    pub fn is_refcounted(&self) -> bool {
+        self.refcounted
+    }
+
+    /// Drain the accumulated reclaim candidates: ids whose release
+    /// *here* dropped the shared pool count to zero. The engine rechecks
+    /// each against the live refcount (and its own protected set) at the
+    /// compaction barrier before sweeping.
+    pub fn take_reclaim_candidates(&mut self) -> Vec<ValueId> {
+        std::mem::take(&mut self.reclaim)
     }
 }
 
@@ -611,7 +800,7 @@ impl Serialize for Table {
                 .map(|c| c.iter().map(|id| id.value()).collect())
                 .collect(),
             rows: self.rows,
-            deleted: (0..self.rows).filter(|&r| !self.live[r]).collect(),
+            deleted: (0..self.rows).filter(|&r| !self.live.get(r)).collect(),
             epoch: self.epoch,
         }
         .to_json_value()
@@ -646,9 +835,11 @@ impl Deserialize for Table {
                 .map(|c| c.iter().map(ValuePool::intern_value).collect())
                 .collect(),
             rows: repr.rows,
-            live,
+            live: live.into_iter().collect(),
             dead,
             epoch: repr.epoch,
+            refcounted: false,
+            reclaim: Vec::new(),
         })
     }
 }
@@ -717,7 +908,8 @@ mod tests {
         assert_eq!(t.column_count(), 2);
         assert_eq!(t.cell_str(0, 0), Some("90001"));
         assert_eq!(t.cell_str(3, 1), Some("New York"));
-        assert_eq!(t.column_by_name("city").unwrap().len(), 4);
+        assert_eq!(t.column_by_name("city").unwrap().count(), 4);
+        assert_eq!(t.column(0).count(), 4);
         assert!(t.column_by_name("nope").is_err());
     }
 
@@ -1031,5 +1223,107 @@ mod tests {
         assert_eq!(t2.epoch(), 1);
         assert!(!t2.is_live(1));
         assert_eq!(t2.live_rows(), 2);
+    }
+
+    #[test]
+    fn snapshot_freezes_view_while_table_mutates() {
+        let mut t = zip_table();
+        let snap = t.snapshot();
+        assert_eq!(*snap.table(), t);
+        t.update_row(0, vec![Value::text("99999"), Value::text("Boston")])
+            .unwrap();
+        t.delete_row(1).unwrap();
+        t.push_row(vec![Value::text("90005"), Value::text("Chicago")])
+            .unwrap();
+        // The snapshot still reads the world as it was at capture.
+        assert_eq!(snap.row_count(), 4);
+        assert_eq!(snap.live_rows(), 4);
+        assert_eq!(snap.cell_str(0, 0), Some("90001"));
+        assert!(snap.is_live(1));
+        // The live table moved on.
+        assert_eq!(t.cell_str(0, 0), Some("99999"));
+        assert_eq!(t.row_count(), 5);
+        assert!(!t.is_live(1));
+        // Compaction rebuilds into fresh chunks — the snapshot keeps its
+        // frozen view across the epoch boundary.
+        t.compact();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.cell_str(1, 1), Some("Los Angeles"));
+        // A snapshot serializes like any table (checkpoint path).
+        let json = serde_json::to_string(snap.table()).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, *snap.table());
+    }
+
+    #[test]
+    fn refcounts_follow_cell_occurrences() {
+        // Unique strings: the pool is process-global, so refcount
+        // assertions are only meaningful on values no other test interns.
+        let schema = Schema::new(["k", "v"]).unwrap();
+        let mut t = Table::empty(schema);
+        t.enable_refcounts();
+        assert!(t.is_refcounted());
+        t.push_row(vec![
+            Value::text("rcl-table-k1"),
+            Value::text("rcl-table-shared"),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::text("rcl-table-k2"),
+            Value::text("rcl-table-shared"),
+        ])
+        .unwrap();
+        let k1 = t.cell_id(0, 0);
+        let shared = t.cell_id(0, 1);
+        assert_eq!(ValuePool::refcount(k1), 1);
+        assert_eq!(ValuePool::refcount(shared), 2);
+        // Same-value overwrite: count unchanged, no false candidate.
+        t.set_cell(0, 1, Value::text("rcl-table-shared"));
+        assert_eq!(ValuePool::refcount(shared), 2);
+        assert!(t.take_reclaim_candidates().is_empty());
+        // Delete releases the row's cells; k1 hits zero and becomes a
+        // candidate, the shared value stays pinned by row 1.
+        t.delete_row(0).unwrap();
+        assert_eq!(ValuePool::refcount(k1), 0);
+        assert_eq!(ValuePool::refcount(shared), 1);
+        let cand = t.take_reclaim_candidates();
+        assert!(cand.contains(&k1));
+        assert!(!cand.contains(&shared));
+        // Update releases the old cell and retains the new one.
+        t.update_row(
+            1,
+            vec![Value::text("rcl-table-k3"), Value::text("rcl-table-v3")],
+        )
+        .unwrap();
+        assert_eq!(ValuePool::refcount(shared), 0);
+        let k2 = ValuePool::lookup("rcl-table-k2").unwrap();
+        assert_eq!(ValuePool::refcount(k2), 0);
+        let cand = t.take_reclaim_candidates();
+        assert!(cand.contains(&shared) && cand.contains(&k2));
+        assert_eq!(ValuePool::refcount(t.cell_id(1, 0)), 1);
+    }
+
+    #[test]
+    fn clone_does_not_inherit_refcounting() {
+        let schema = Schema::new(["k"]).unwrap();
+        let mut t = Table::empty(schema);
+        t.enable_refcounts();
+        t.push_row(vec![Value::text("rcl-table-clone")]).unwrap();
+        let id = t.cell_id(0, 0);
+        assert_eq!(ValuePool::refcount(id), 1);
+        // The clone shares the data but holds no retains of its own —
+        // deleting in the clone must not disturb the original's count.
+        let mut c = t.clone();
+        assert!(!c.is_refcounted());
+        assert_eq!(t, c);
+        c.delete_row(0).unwrap();
+        assert_eq!(ValuePool::refcount(id), 1);
+        assert!(c.take_reclaim_candidates().is_empty());
+        // Opting the clone in retains its own (live) cells.
+        let mut c2 = t.clone();
+        c2.enable_refcounts();
+        assert_eq!(ValuePool::refcount(id), 2);
+        c2.delete_row(0).unwrap();
+        assert_eq!(ValuePool::refcount(id), 1);
     }
 }

@@ -75,7 +75,8 @@ fn usage() -> String {
      \x20                [--shards N] [--shard-by rule|key] [--run-ahead N]\n\
      \x20                [--ops FILE] [--confirmed-only] [--quiet]\n\
      \x20                [--demote-drifted] [--violations F] [--min-support N]\n\
-     \x20                [--compact-ratio R] [--stats-every N] [--metrics-out FILE]\n\
+     \x20                [--compact-ratio R] [--reclaim] [--checkpoint]\n\
+     \x20                [--stats-every N] [--metrics-out FILE]\n\
      \x20                [--pattern-engine interp|vm|fused]\n\
      \x20                (--pattern-engine picks the execution tier: `fused`\n\
      \x20                — the default — runs backtrack-free patterns on the\n\
@@ -95,6 +96,13 @@ fn usage() -> String {
      \x20                --compact-ratio R reclaims tombstoned slots once\n\
      \x20                they exceed fraction R of the table, renumbering\n\
      \x20                rows via an epoch-stamped remap;\n\
+     \x20                --reclaim additionally sweeps interned strings no\n\
+     \x20                longer referenced by any live row at each\n\
+     \x20                compaction barrier, recycling their pool ids —\n\
+     \x20                output is bit-for-bit identical either way;\n\
+     \x20                --checkpoint (needs --store) writes a consistent\n\
+     \x20                {epoch, table, live violations} JSON checkpoint\n\
+     \x20                into the store from a copy-on-write snapshot;\n\
      \x20                --stats-every N prints a one-line stats snapshot\n\
      \x20                every N batches; --metrics-out FILE writes the\n\
      \x20                full metrics registry as JSON at exit; timing\n\
@@ -448,6 +456,24 @@ impl AnyEngine {
             AnyEngine::Sharded(e) => e.publish_metrics(),
         }
     }
+
+    /// Lifetime string reclamation by this engine's sweeps.
+    fn reclaim_stats(&self) -> ReclaimStats {
+        match self {
+            AnyEngine::Single(e) => e.reclaim_stats(),
+            AnyEngine::Sharded(e) => e.reclaim_stats(),
+        }
+    }
+
+    /// A copy-on-write snapshot of the table + ledger. The sharded
+    /// engine drains its pipeline first, so the view sits at a clean
+    /// epoch barrier on every replica.
+    fn snapshot(&mut self) -> EngineSnapshot {
+        match self {
+            AnyEngine::Single(e) => e.snapshot(),
+            AnyEngine::Sharded(e) => e.snapshot(),
+        }
+    }
 }
 
 /// One `stats:` line from the live metrics registry — the deterministic
@@ -472,6 +498,17 @@ fn print_stats_line(engine: &mut AnyEngine, started: Instant, timing: bool) {
          pool {pool} byte(s), pattern evals {fused_evals} fused / {vm_evals} vm / \
          {interp_evals} interp"
     );
+    // Reclamation figures ride along only once a sweep has actually
+    // freed something — the line stays byte-identical to the historic
+    // format for non-reclaiming runs.
+    let freed_strings = snap.gauge("pool.freed_strings").unwrap_or(0);
+    if freed_strings > 0 {
+        line.push_str(&format!(
+            ", {} live string(s), {freed_strings} freed ({} byte(s))",
+            snap.gauge("pool.live_strings").unwrap_or(0),
+            snap.gauge("pool.freed_bytes").unwrap_or(0)
+        ));
+    }
     if let Some(h) = snap.histogram("merge.lag_batches") {
         if h.count > 0 {
             line.push_str(&format!(
@@ -499,6 +536,8 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let confirmed_only = take_switch(&mut args, "--confirmed-only");
     let quiet = take_switch(&mut args, "--quiet");
     let demote_drifted = take_switch(&mut args, "--demote-drifted");
+    let reclaim = take_switch(&mut args, "--reclaim");
+    let checkpoint = take_switch(&mut args, "--checkpoint");
     let interpret = take_switch(&mut args, "--interpret");
     let pattern_engine = match take_flag(&mut args, "--pattern-engine") {
         Some(s) => s
@@ -531,6 +570,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     // (mirrors `discover`'s flags); defaults match StreamConfig.
     let mut stream_config = StreamConfig {
         pattern_engine,
+        reclaim,
         ..StreamConfig::default()
     };
     if let Some(v) = take_flag(&mut args, "--violations") {
@@ -570,6 +610,9 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     }
     if demote_drifted && store_dir.is_none() {
         return Err("--demote-drifted needs --store DIR".into());
+    }
+    if checkpoint && store_dir.is_none() {
+        return Err("--checkpoint needs --store DIR".into());
     }
     let path = args.first().ok_or("stream: missing <data.csv>")?;
     // Timing output is wall-clock and thus nondeterministic; --quiet and
@@ -685,6 +728,32 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Snapshot-backed checkpoint: the capture is O(chunks) chunk-handle
+    // clones behind the epoch barrier (the sharded engine drains its
+    // pipeline first), so a service would keep ingesting while the
+    // serialization below reads the frozen view.
+    if checkpoint {
+        let dir = store_dir.as_deref().expect("validated before replay");
+        let snap = engine.snapshot();
+        let table_json = serde_json::to_string(snap.table())
+            .map_err(|e| format!("serializing checkpoint table: {e}"))?;
+        let violations_json = serde_json::to_string(&snap.ledger().snapshot())
+            .map_err(|e| format!("serializing checkpoint violations: {e}"))?;
+        let json = format!(
+            "{{\"epoch\":{},\"table\":{table_json},\"violations\":{violations_json}}}",
+            snap.epoch()
+        );
+        let out = format!("{dir}/{}.checkpoint.json", dataset_name(path));
+        std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "checkpoint: epoch {}, {} live row(s), {} live violation(s) written to {out} \
+             (copy-on-write snapshot; ingest may continue)",
+            snap.epoch(),
+            snap.table().live_rows(),
+            snap.ledger().live_count()
+        );
+    }
+
     let ledger = engine.ledger();
     let compaction = engine.compaction_stats();
     // Live rows, not raw push count: tombstoned slots are not data.
@@ -730,6 +799,23 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         pool.string_bytes,
         pool.map_bytes
     );
+    // Reclamation summary: pool-wide lifetime figures (every reclaiming
+    // engine in the process contributes) plus this engine's own sweeps.
+    // Only printed when --reclaim was on — without it both are zero and
+    // the line would be noise.
+    if reclaim {
+        let (freed_strings, freed_bytes) = ValuePool::reclaimed();
+        let swept = engine.reclaim_stats();
+        println!(
+            "reclaim: {} string(s) / {} byte(s) freed process-wide ({} live string(s) \
+             remain); this engine swept {} string(s) / {} byte(s)",
+            freed_strings,
+            freed_bytes,
+            ValuePool::live_strings(),
+            swept.strings,
+            swept.bytes
+        );
+    }
     // The three-way engine split (which execution tier actually ran the
     // evals). Counters only move while the recorder is on, so the line
     // is printed only then; it is deterministic for a given engine mode

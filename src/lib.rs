@@ -89,11 +89,11 @@ pub mod prelude {
     };
     pub use anmat_pattern::{ConstrainedPattern, Pattern, PatternEngine};
     pub use anmat_stream::{
-        BatchEvents, CompactionStats, DriftReport, ShardBy, ShardedEngine, StreamConfig,
-        StreamEngine,
+        BatchEvents, CompactionStats, DriftReport, EngineSnapshot, ShardBy, ShardedEngine,
+        StreamConfig, StreamEngine,
     };
     pub use anmat_table::{
-        csv, MemFootprint, NullPolicy, RowId, RowIdRemap, RowOp, Schema, Table, TableProfile,
-        Value, ValueId, ValuePool,
+        csv, MemFootprint, NullPolicy, ReclaimStats, RowId, RowIdRemap, RowOp, Schema, Table,
+        TableProfile, Value, ValueId, ValuePool,
     };
 }

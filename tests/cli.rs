@@ -603,3 +603,146 @@ fn stream_without_rules_source_fails() {
     assert!(stderr(&out).contains("need --store DIR or --rules FILE"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `--reclaim` sweeps stranded strings at the compaction barrier and is
+/// output-invariant below the header; `--checkpoint` writes a
+/// snapshot-backed JSON checkpoint into the store.
+#[test]
+fn stream_reclaim_is_output_invariant_and_checkpoint_writes_json() {
+    let dir = std::env::temp_dir().join(format!("anmat_cli_reclaim_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("zips.csv");
+    // Unique cities are stranded once their rows die; shared ones stay.
+    let mut data = String::from("zip,city\n");
+    for i in 0..40 {
+        let prefix = ["900", "104"][i % 2];
+        let city = if i % 4 == 0 {
+            format!("uniq-{i}")
+        } else {
+            format!("city-{prefix}")
+        };
+        data.push_str(&format!("{prefix}{i:02},{city}\n"));
+    }
+    std::fs::write(&csv, data).unwrap();
+    let pfds = vec![Pfd::new(
+        "Zip",
+        "zip",
+        "city",
+        vec![PatternTuple::variable(
+            "[\\D{3}]\\D{2}".parse::<ConstrainedPattern>().unwrap(),
+        )],
+    )];
+    let store_dir = dir.join("store");
+    let store = RuleStore::open(&store_dir).unwrap();
+    store
+        .save(&DatasetRecord {
+            name: "zips".into(),
+            profile: None,
+            rules: pfds
+                .into_iter()
+                .map(|pfd| StoredRule {
+                    pfd,
+                    status: RuleStatus::Confirmed,
+                })
+                .collect(),
+        })
+        .unwrap();
+    // Delete the first 30 rows: tombstones cross --compact-ratio, one
+    // epoch fires, and the dead rows' unique cities lose their last
+    // reference right at the barrier.
+    let ops = dir.join("churn.ops");
+    std::fs::write(
+        &ops,
+        (0..30).map(|r| format!("-,{r}\n")).collect::<String>(),
+    )
+    .unwrap();
+
+    let base = [
+        "stream",
+        csv.to_str().unwrap(),
+        "--store",
+        store_dir.to_str().unwrap(),
+        "--ops",
+        ops.to_str().unwrap(),
+        "--compact-ratio",
+        "0.3",
+    ];
+    let plain = anmat(&base);
+    assert!(plain.status.success(), "stream failed: {}", stderr(&plain));
+
+    let mut reclaim_args = base.to_vec();
+    reclaim_args.extend(["--reclaim", "--checkpoint"]);
+    let swept = anmat(&reclaim_args);
+    assert!(
+        swept.status.success(),
+        "stream --reclaim failed: {}",
+        stderr(&swept)
+    );
+    let text = stdout(&swept);
+    assert!(
+        text.contains("reclaim: ") && !text.contains("reclaim: 0 string(s)"),
+        "the sweep must free the stranded unique cities:\n{text}"
+    );
+    assert!(
+        text.contains("checkpoint: epoch 1, 10 live row(s)"),
+        "snapshot-backed checkpoint banner:\n{text}"
+    );
+    let checkpoint_path = store_dir.join("zips.checkpoint.json");
+    let checkpoint = std::fs::read_to_string(&checkpoint_path).unwrap();
+    assert!(
+        checkpoint.starts_with("{\"epoch\":1,\"table\":"),
+        "checkpoint JSON shape:\n{checkpoint}"
+    );
+    assert!(checkpoint.contains("\"violations\":"));
+
+    // Everything is identical modulo the reclaim / checkpoint lines and
+    // the pool footprint itself (which is the point: the sweep shrinks
+    // it) — reclamation never changes observable violation output.
+    let filter = |s: &str| {
+        s.lines()
+            .filter(|l| {
+                !l.starts_with("reclaim: ")
+                    && !l.starts_with("checkpoint: ")
+                    && !l.starts_with("pool: ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        filter(&stdout(&plain)),
+        filter(&text),
+        "--reclaim must be output-invariant"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stream_checkpoint_without_store_fails() {
+    let dir = std::env::temp_dir().join(format!("anmat_cli_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("d.csv");
+    std::fs::write(&csv, "a,b\n1,2\n").unwrap();
+    let rules = dir.join("rules.json");
+    let pfds = vec![Pfd::new(
+        "R",
+        "a",
+        "b",
+        vec![PatternTuple::variable(
+            "[\\D{1}]".parse::<ConstrainedPattern>().unwrap(),
+        )],
+    )];
+    std::fs::write(&rules, serde_json::to_string(&pfds).unwrap()).unwrap();
+    let out = anmat(&[
+        "stream",
+        csv.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        "--checkpoint",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--checkpoint needs --store DIR"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
